@@ -1,0 +1,194 @@
+//! Timing model of the comparison platform of Table 3: a 512-node
+//! Xeon/InfiniBand cluster running Desmond \[12, 15\].
+//!
+//! We cannot run the proprietary Desmond binary; instead this module
+//! models the *structure* of its communication schedule — Desmond's
+//! staged 6-message neighbor exchange (Figure 8a), an MPI all-to-all
+//! FFT transpose, and a recursive-doubling all-reduce — on the
+//! [`crate::ib::IbModel`] network, with arithmetic throughput typical of
+//! 2008-era Xeon nodes. The constants are chosen so the model lands on
+//! the published Desmond measurements the paper quotes (\[15\]; Table 3
+//! column 2), which is the honest way to reproduce a comparator we
+//! cannot rerun (see DESIGN.md substitutions).
+
+use crate::ib::IbModel;
+
+/// Per-step timing of the modeled Desmond cluster run, µs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesmondStep {
+    /// Critical-path communication time, µs.
+    pub communication_us: f64,
+    /// Total step time, µs.
+    pub total_us: f64,
+}
+
+/// The modeled cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct DesmondModel {
+    /// The cluster interconnect.
+    pub net: IbModel,
+    /// Nodes (the paper's comparison uses 512).
+    pub nodes: u32,
+    /// Atoms in the benchmark system.
+    pub atoms: u32,
+    /// *Effective* Xeon-node pairwise rate, pairs/ns/node. At 512-node
+    /// strong scaling (46 atoms/node) the published step times are
+    /// dominated by pairlist maintenance, packing, load imbalance, and
+    /// serial sections, so the effective rate is far below the cores'
+    /// peak — this constant absorbs all of that, calibrated to Table 3's
+    /// published compute residual (total − communication ≈ 243 µs).
+    pub pairs_per_ns: f64,
+    /// Average interactions per atom within the cutoff.
+    pub pairs_per_atom: f64,
+    /// Per-stage software cost of the staged exchange (pack, post,
+    /// progress, unpack, synchronize), µs.
+    pub per_stage_software_us: f64,
+    /// Additional software cost per FFT transpose message, µs.
+    pub fft_msg_software_us: f64,
+}
+
+impl DesmondModel {
+    /// The Table 3 configuration: DHFR on 512 nodes.
+    pub fn table3() -> DesmondModel {
+        DesmondModel {
+            net: IbModel::default(),
+            nodes: 512,
+            atoms: 23_558,
+            pairs_per_ns: 0.075,
+            pairs_per_atom: 380.0,
+            per_stage_software_us: 12.0,
+            fft_msg_software_us: 0.85,
+        }
+    }
+
+    /// Bytes of position/force payload exchanged per neighbor message:
+    /// with ~46 atoms per box and the staged half-shell import, each of
+    /// the 6 messages carries a few kilobytes.
+    fn neighbor_message_bytes(&self) -> u64 {
+        let atoms_per_node = self.atoms as f64 / self.nodes as f64;
+        // Import volume ≈ 2× home box per direction pair, 32 B per atom
+        // record (position + id + padding).
+        (atoms_per_node * 2.0 * 32.0) as u64
+    }
+
+    /// One staged all-neighbor exchange (Figure 8a): three stages of two
+    /// messages each, with data forwarded between stages — 6 messages
+    /// but 3 serialized rounds.
+    pub fn staged_exchange_us(&self) -> f64 {
+        let bytes = self.neighbor_message_bytes();
+        // Each stage: two concurrent messages (one per direction), the
+        // stage completes at the slower; stages serialize, and each pays
+        // the software pack/unpack/progress cost.
+        3.0 * (self.net.message_latency_us(bytes)
+            + self.net.per_message_us
+            + self.per_stage_software_us)
+    }
+
+    /// The FFT-based convolution: two transpose all-to-alls (forward and
+    /// inverse) over the node grid plus the mesh traffic; on a commodity
+    /// cluster each transpose is ~log n rounds of α-dominated exchanges.
+    pub fn fft_convolution_us(&self) -> f64 {
+        // Calibrated to the published 230 µs (Table 3): dominated by
+        // per-message overheads of the distributed transposes.
+        let rounds = 2.0 * (self.nodes as f64).log2(); // fwd + inv
+        let msgs_per_round = 6.0;
+        rounds
+            * msgs_per_round
+            * (self.net.alpha_us + self.net.per_message_us + self.fft_msg_software_us)
+    }
+
+    /// Global all-reduce for the thermostat: the paper measured 35.5 µs
+    /// for a bare 32-byte reduction; Desmond's thermostat phase also
+    /// reduces the virial and rescales, totalling ~78 µs communication.
+    pub fn thermostat_comm_us(&self) -> f64 {
+        // Kinetic-energy reduce + a broadcast-scale rescale sync.
+        2.0 * crate::survey::MEASURED_IB_ALLREDUCE_512_US + 7.0
+    }
+
+    /// Range-limited (every-step) communication: positions out + forces
+    /// back through the staged exchange.
+    pub fn range_limited_comm_us(&self) -> f64 {
+        2.0 * self.staged_exchange_us() + self.bonded_comm_us()
+    }
+
+    /// Bonded-term communication folded into the same exchanges plus
+    /// bookkeeping messages.
+    fn bonded_comm_us(&self) -> f64 {
+        6.0 * self.net.per_message_us + self.net.alpha_us
+    }
+
+    /// Arithmetic time per step (pair interactions dominate).
+    pub fn compute_us(&self, long_range: bool) -> f64 {
+        let pairs = self.atoms as f64 * self.pairs_per_atom / self.nodes as f64;
+        let base = pairs / self.pairs_per_ns / 1e3;
+        if long_range {
+            base * 1.45 // spreading + FFT arithmetic + interpolation
+        } else {
+            base
+        }
+    }
+
+    /// A range-limited step.
+    pub fn range_limited_step(&self) -> DesmondStep {
+        let comm = self.range_limited_comm_us();
+        DesmondStep { communication_us: comm, total_us: comm + self.compute_us(false) }
+    }
+
+    /// A long-range step (adds the FFT convolution and thermostat).
+    pub fn long_range_step(&self) -> DesmondStep {
+        let comm = self.range_limited_comm_us()
+            + self.fft_convolution_us()
+            + self.thermostat_comm_us();
+        DesmondStep { communication_us: comm, total_us: comm + self.compute_us(true) }
+    }
+
+    /// Average step (long-range every other step, as in Table 3).
+    pub fn average_step(&self) -> DesmondStep {
+        let rl = self.range_limited_step();
+        let lr = self.long_range_step();
+        DesmondStep {
+            communication_us: 0.5 * (rl.communication_us + lr.communication_us),
+            total_us: 0.5 * (rl.total_us + lr.total_us),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The model must land on the published Desmond numbers (Table 3)
+    /// within a factor accounting for its deliberate simplicity.
+    #[test]
+    fn matches_published_table3_shape() {
+        let m = DesmondModel::table3();
+        let rl = m.range_limited_step();
+        let lr = m.long_range_step();
+        let avg = m.average_step();
+        // Published: RL 108/351, LR 416/779, average 262/565 (comm/total).
+        assert!((70.0..160.0).contains(&rl.communication_us), "{rl:?}");
+        assert!((250.0..500.0).contains(&rl.total_us), "{rl:?}");
+        assert!((280.0..520.0).contains(&lr.communication_us), "{lr:?}");
+        assert!((550.0..1000.0).contains(&lr.total_us), "{lr:?}");
+        assert!((180.0..340.0).contains(&avg.communication_us), "{avg:?}");
+        assert!((400.0..750.0).contains(&avg.total_us), "{avg:?}");
+    }
+
+    #[test]
+    fn long_range_steps_cost_more() {
+        let m = DesmondModel::table3();
+        assert!(m.long_range_step().total_us > m.range_limited_step().total_us);
+        assert!(
+            m.long_range_step().communication_us > 2.0 * m.range_limited_step().communication_us
+        );
+    }
+
+    #[test]
+    fn fft_convolution_is_the_dominant_long_range_cost() {
+        // Table 3: 230 of the 416 µs long-range comm is the convolution.
+        let m = DesmondModel::table3();
+        let fft = m.fft_convolution_us();
+        assert!((150.0..300.0).contains(&fft), "{fft}");
+        assert!(fft > m.thermostat_comm_us());
+    }
+}

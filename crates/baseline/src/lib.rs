@@ -1,0 +1,20 @@
+//! # anton-baseline — the comparison platforms
+//!
+//! Models of the systems the paper compares Anton against: a DDR
+//! InfiniBand cluster network (Figure 7, §IV.B.4), a Desmond-style MD
+//! schedule on that cluster (Table 3), and the published-measurement
+//! constants of Table 1, §III.D, and §IV.B.4.
+
+#![warn(missing_docs)]
+
+pub mod desmond;
+pub mod ib;
+pub mod survey;
+
+pub use desmond::{DesmondModel, DesmondStep};
+pub use ib::IbModel;
+pub use survey::{
+    HalfBandwidthEntry, SurveyEntry, ANTON_HALF_BANDWIDTH_BYTES, ANTON_LATENCY_US,
+    BGL_TREE_ALLREDUCE_512_US, HALF_BANDWIDTH_SURVEY, LATENCY_SURVEY,
+    MEASURED_IB_ALLREDUCE_512_US, PAPER_TABLE2, PAPER_TABLE3,
+};

@@ -1,0 +1,127 @@
+//! Published measurements the paper compares against: the Table 1
+//! latency survey, the half-bandwidth message sizes of §III.D, and the
+//! §IV.B.4 collective measurements. These are literature constants — the
+//! quantities our simulator must beat (or be compared against) by the
+//! same margins the paper reports.
+
+/// One Table 1 row: published inter-node software-to-software (ping-pong)
+/// latency across a scalable network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurveyEntry {
+    /// Machine/interconnect name as the paper lists it.
+    pub machine: &'static str,
+    /// Published one-way software-to-software latency, µs.
+    pub latency_us: f64,
+    /// Publication year of the measurement.
+    pub year: u16,
+    /// The paper's bracketed reference.
+    pub reference: &'static str,
+}
+
+/// Table 1 (excluding Anton itself, which the simulator measures).
+pub const LATENCY_SURVEY: &[SurveyEntry] = &[
+    SurveyEntry { machine: "Altix 3700 BX2", latency_us: 1.25, year: 2006, reference: "[18]" },
+    SurveyEntry { machine: "QsNetII", latency_us: 1.28, year: 2005, reference: "[8]" },
+    SurveyEntry { machine: "Columbia", latency_us: 1.6, year: 2005, reference: "[10]" },
+    SurveyEntry { machine: "Sun Fire", latency_us: 1.7, year: 2002, reference: "[42]" },
+    SurveyEntry { machine: "EV7", latency_us: 1.7, year: 2002, reference: "[26]" },
+    SurveyEntry { machine: "J-Machine", latency_us: 1.8, year: 1993, reference: "[32]" },
+    SurveyEntry { machine: "QsNET", latency_us: 1.9, year: 2001, reference: "[33]" },
+    SurveyEntry { machine: "Roadrunner (InfiniBand)", latency_us: 2.16, year: 2008, reference: "[7]" },
+    SurveyEntry { machine: "Cray T3E", latency_us: 2.75, year: 1996, reference: "[37]" },
+    SurveyEntry { machine: "Blue Gene/P", latency_us: 2.75, year: 2008, reference: "[3]" },
+    SurveyEntry { machine: "Blue Gene/L", latency_us: 2.8, year: 2005, reference: "[25]" },
+    SurveyEntry { machine: "ASC Purple", latency_us: 4.4, year: 2005, reference: "[25]" },
+    SurveyEntry { machine: "Cray XT4", latency_us: 4.5, year: 2007, reference: "[2]" },
+    SurveyEntry { machine: "Red Storm", latency_us: 6.9, year: 2005, reference: "[25]" },
+    SurveyEntry { machine: "SR8000", latency_us: 9.9, year: 2001, reference: "[45]" },
+];
+
+/// The paper's reported Anton figure (our simulator must reproduce it).
+pub const ANTON_LATENCY_US: f64 = 0.162;
+
+/// Message sizes achieving 50% of peak data bandwidth (§III.D, from
+/// \[25\] for the comparison machines).
+#[derive(Debug, Clone, Copy)]
+pub struct HalfBandwidthEntry {
+    /// Machine name.
+    pub machine: &'static str,
+    /// Message size reaching 50% of peak data bandwidth, bytes.
+    pub half_bandwidth_bytes: u64,
+}
+
+/// §III.D: "50% of the maximum possible data bandwidth is achieved with
+/// 28-byte messages on Anton, compared with 1.4-, 16-, and 39-kilobyte
+/// messages on Blue Gene/L, Red Storm, and ASC Purple".
+pub const HALF_BANDWIDTH_SURVEY: &[HalfBandwidthEntry] = &[
+    HalfBandwidthEntry { machine: "Blue Gene/L", half_bandwidth_bytes: 1_400 },
+    HalfBandwidthEntry { machine: "Red Storm", half_bandwidth_bytes: 16_000 },
+    HalfBandwidthEntry { machine: "ASC Purple", half_bandwidth_bytes: 39_000 },
+];
+
+/// Anton's half-bandwidth message size per the paper.
+pub const ANTON_HALF_BANDWIDTH_BYTES: u64 = 28;
+
+/// §IV.B.4: measured 32-byte all-reduce on a 512-node DDR2 InfiniBand
+/// cluster.
+pub const MEASURED_IB_ALLREDUCE_512_US: f64 = 35.5;
+
+/// §IV.B.4: 16-byte all-reduce across 512 BlueGene/L nodes using its
+/// dedicated tree network \[5\].
+pub const BGL_TREE_ALLREDUCE_512_US: f64 = 4.22;
+
+/// Table 2's published Anton all-reduce times (µs), for
+/// paper-vs-simulated reporting: (nodes, dims, 0-byte, 32-byte).
+#[allow(clippy::type_complexity)] // a literal table row, not an abstraction
+pub const PAPER_TABLE2: &[(u32, (u32, u32, u32), f64, f64)] = &[
+    (1024, (8, 8, 16), 1.56, 2.06),
+    (512, (8, 8, 8), 1.32, 1.77),
+    (256, (8, 8, 4), 1.27, 1.68),
+    (128, (8, 2, 8), 1.24, 1.64),
+    (64, (4, 4, 4), 0.96, 1.31),
+];
+
+/// Table 3's published values (µs): (row, anton_comm, anton_total,
+/// desmond_comm, desmond_total).
+pub const PAPER_TABLE3: &[(&str, f64, f64, f64, f64)] = &[
+    ("Average time step", 9.8, 15.6, 262.0, 565.0),
+    ("Range-limited time step", 5.0, 9.0, 108.0, 351.0),
+    ("Long-range time step", 14.6, 22.2, 416.0, 779.0),
+    ("FFT-based convolution", 7.5, 8.5, 230.0, 290.0),
+    ("Thermostat", 2.6, 3.0, 78.0, 99.0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_is_sorted_by_latency() {
+        for w in LATENCY_SURVEY.windows(2) {
+            assert!(w[0].latency_us <= w[1].latency_us);
+        }
+    }
+
+    #[test]
+    fn anton_leads_by_roughly_an_order_of_magnitude() {
+        let best = LATENCY_SURVEY[0].latency_us;
+        assert!(best / ANTON_LATENCY_US > 7.0);
+    }
+
+    #[test]
+    fn paper_tables_are_self_consistent() {
+        // Table 3: communication ≤ total in every row.
+        for &(_, ac, at, dc, dt) in PAPER_TABLE3 {
+            assert!(ac <= at && dc <= dt);
+        }
+        // The headline: Anton's average-step communication is ~1/27 of
+        // Desmond's.
+        let (_, ac, _, dc, _) = PAPER_TABLE3[0];
+        let ratio = dc / ac;
+        assert!((25.0..29.0).contains(&ratio), "{ratio}");
+        // Table 2 grows with machine size.
+        for w in PAPER_TABLE2.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+    }
+}

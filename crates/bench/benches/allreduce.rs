@@ -1,0 +1,47 @@
+//! Criterion bench over the Table 2 collective: dimension-ordered and
+//! butterfly all-reduce across machine sizes, with the simulated
+//! latencies gated against the paper's bands.
+
+use anton_collectives::{random_inputs, run_all_reduce, Algorithm};
+use anton_topo::TorusDims;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Correctness gates: the 512-node 32-byte reduction lands near the
+    // paper's 1.77 µs, and dimension-ordered beats butterfly.
+    let dims = TorusDims::anton_512();
+    let inputs = random_inputs(dims, 4, 42);
+    let d = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+    let b = run_all_reduce(dims, Algorithm::Butterfly, Default::default(), &inputs);
+    let us = d.latency.as_us_f64();
+    assert!((1.2..2.3).contains(&us), "{us}");
+    assert!(d.latency < b.latency);
+
+    let mut group = c.benchmark_group("table2_allreduce");
+    group.sample_size(10);
+    for dims in [TorusDims::new(4, 4, 4), TorusDims::new(8, 8, 8)] {
+        let inputs = random_inputs(dims, 4, 7);
+        group.bench_with_input(
+            BenchmarkId::new("dimension_ordered", dims.node_count()),
+            &inputs,
+            |bch, inputs| {
+                bch.iter(|| {
+                    run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), inputs)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("butterfly", dims.node_count()),
+            &inputs,
+            |bch, inputs| {
+                bch.iter(|| {
+                    run_all_reduce(dims, Algorithm::Butterfly, Default::default(), inputs)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

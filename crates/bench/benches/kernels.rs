@@ -1,0 +1,59 @@
+//! Criterion benches of the computational substrates: the FFT, the
+//! range-limited pair kernel, and the fixed-point codec — the hot loops
+//! of the physics layer.
+
+use anton_fft::{fft3d, Complex, Direction, Fft1d};
+use anton_md::pair::{range_limited_forces, PairParams};
+use anton_md::{SystemBuilder, Vec3};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+
+    group.bench_function("fft1d_32", |b| {
+        let plan = Fft1d::new(32);
+        let mut data: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        b.iter(|| {
+            plan.transform(std::hint::black_box(&mut data), Direction::Forward);
+        });
+    });
+
+    group.bench_function("fft3d_32cubed", |b| {
+        let mut data: Vec<Complex> = (0..32 * 32 * 32)
+            .map(|i| Complex::real((i % 97) as f64 / 97.0))
+            .collect();
+        b.iter(|| {
+            fft3d(std::hint::black_box(&mut data), 32, 32, 32, Direction::Forward);
+        });
+    });
+
+    group.bench_function("range_limited_600atoms", |b| {
+        let sys = SystemBuilder::tiny(600, 27.0, 5).build();
+        let positions: Vec<Vec3> = sys.atoms.iter().map(|a| a.pos).collect();
+        let params = PairParams::with_cutoff(7.0);
+        b.iter(|| {
+            let mut forces = vec![Vec3::ZERO; positions.len()];
+            range_limited_forces(&sys, &positions, params, &mut forces)
+        });
+    });
+
+    group.bench_function("fixed_point_codec", |b| {
+        let forces: Vec<Vec3> = (0..1000)
+            .map(|i| Vec3::new(i as f64 * 0.37, -(i as f64) * 0.11, 42.0))
+            .collect();
+        b.iter(|| {
+            forces
+                .iter()
+                .map(|&f| anton_md::fixed::decode_force(anton_md::fixed::encode_force(f)))
+                .fold(Vec3::ZERO, |a, b| a + b)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

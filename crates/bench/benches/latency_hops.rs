@@ -1,0 +1,35 @@
+//! Criterion bench over the Figure 5 microbenchmark: simulated one-way
+//! counted-remote-write latency at increasing hop counts. The *measured
+//! quantity* here is host time to run the simulation; the *simulated*
+//! latencies are asserted against the paper's anchors so a regression in
+//! either the model or its performance is caught.
+
+use anton_bench::one_way_latency;
+use anton_des::SimDuration;
+use anton_topo::{Coord, TorusDims};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let dims = TorusDims::anton_512();
+    let src = Coord::new(0, 0, 0);
+    let mut group = c.benchmark_group("fig5_latency_vs_hops");
+    group.sample_size(20);
+    for (hops, dst, expect_ns) in [
+        (1u32, Coord::new(1, 0, 0), 162),
+        (4, Coord::new(4, 0, 0), 390),
+        (12, Coord::new(4, 4, 4), 822),
+    ] {
+        // Correctness gate before timing.
+        assert_eq!(
+            one_way_latency(dims, src, dst, 0, false, 4),
+            SimDuration::from_ns(expect_ns)
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &dst, |b, &dst| {
+            b.iter(|| one_way_latency(dims, src, std::hint::black_box(dst), 0, false, 4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

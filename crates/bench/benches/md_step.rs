@@ -1,0 +1,25 @@
+//! Criterion bench of a full simulated MD time step (Table 3's unit of
+//! work) at test scale: a 240-atom box on a 2×2×2 machine — every
+//! phase of the paper's Figure 2 dataflow exercised per iteration.
+
+use anton_core::{AntonConfig, AntonMdEngine};
+use anton_md::{MdParams, SystemBuilder};
+use anton_topo::TorusDims;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("md_step");
+    group.sample_size(10);
+    group.bench_function("step_2x2x2_240atoms", |b| {
+        let sys = SystemBuilder::tiny(240, 22.0, 3).build();
+        let mut md = MdParams::new(4.5, [16; 3]);
+        md.dt = 0.5;
+        let config = AntonConfig::new(md);
+        let mut eng = AntonMdEngine::new(sys, config, TorusDims::new(2, 2, 2));
+        b.iter(|| eng.step());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench over the Figure 7 microbenchmark: splitting a 2 KB
+//! transfer into k messages. Asserts the paper's shape (near-flat on
+//! Anton) before timing the simulator.
+
+use anton_bench::split_transfer_time;
+use anton_topo::TorusDims;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let dims = TorusDims::anton_512();
+    let t1 = split_transfer_time(dims, 1, 2048, 1);
+    let t64 = split_transfer_time(dims, 1, 2048, 64);
+    assert!(t64.as_ns_f64() / t1.as_ns_f64() < 2.0, "Anton must stay near-flat");
+
+    let mut group = c.benchmark_group("fig7_split_transfer");
+    group.sample_size(20);
+    for k in [1u32, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| split_transfer_time(dims, 1, 2048, std::hint::black_box(k)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench over the Figure 8 ablation: staged vs direct
+//! all-neighbor exchange.
+
+use anton_bench::{neighbor_exchange, ExchangeStyle};
+use anton_topo::TorusDims;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let dims = TorusDims::new(4, 4, 4);
+    let direct = neighbor_exchange(dims, ExchangeStyle::Direct, 1472);
+    let staged = neighbor_exchange(dims, ExchangeStyle::Staged, 1472);
+    assert!(direct.completion < staged.completion, "direct wins on Anton");
+
+    let mut group = c.benchmark_group("fig8_neighbor_exchange");
+    group.sample_size(10);
+    group.bench_function("direct", |b| {
+        b.iter(|| neighbor_exchange(dims, ExchangeStyle::Direct, 1472));
+    });
+    group.bench_function("staged", |b| {
+        b.iter(|| neighbor_exchange(dims, ExchangeStyle::Staged, 1472));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

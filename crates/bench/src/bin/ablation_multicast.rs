@@ -1,0 +1,40 @@
+//! Ablation (§IV.B.1): multicast vs. repeated unicast for distributing
+//! one atom's position to its NT import set ("positions are typically
+//! broadcast to as many as 17 different HTIS units"; multicast
+//! "significantly reduces both sender overhead and network bandwidth").
+
+use anton_bench::multicast_vs_unicast;
+use anton_bench::report::section;
+use anton_core::Decomposition;
+use anton_md::PeriodicBox;
+use anton_topo::{Coord, TorusDims};
+
+fn main() {
+    let dims = TorusDims::anton_512();
+    let decomp = Decomposition::new(dims, PeriodicBox::cubic(62.23), 11.0);
+    let src = Coord::new(4, 4, 4);
+    let dests = decomp.import_boxes(src);
+    section(&format!(
+        "Position fan-out to the NT import set ({} HTIS units)",
+        dests.len()
+    ));
+    let (t_multi, t_uni, trav_multi, trav_uni) = multicast_vs_unicast(dims, src, &dests, 28);
+    println!(
+        "multicast: completion {:.0} ns, {} link traversals, 1 injection",
+        t_multi.as_ns_f64(),
+        trav_multi
+    );
+    println!(
+        "unicast:   completion {:.0} ns, {} link traversals, {} injections",
+        t_uni.as_ns_f64(),
+        trav_uni,
+        dests.len()
+    );
+    println!(
+        "\nmulticast saves {:.0}% of link traversals and {:.0}% of completion time.",
+        (1.0 - trav_multi as f64 / trav_uni as f64) * 100.0,
+        (1.0 - t_multi.as_ns_f64() / t_uni.as_ns_f64()) * 100.0
+    );
+    assert!(trav_multi < trav_uni);
+    assert!(t_multi <= t_uni);
+}

@@ -1,0 +1,107 @@
+//! Physics-substrate validation sweep: the Gaussian-split-Ewald
+//! electrostatics (\[39\], the method behind Anton's long-range pipeline)
+//! must produce a total energy independent of how the work is split
+//! between the real-space (HTIS) and reciprocal-space (FFT) halves, and
+//! must converge with grid resolution. The absolute anchor is the NaCl
+//! Madelung constant.
+
+use anton_bench::report::section;
+use anton_md::longrange::{long_range_forces, LongRangeParams};
+use anton_md::pair::{range_limited_forces_naive, PairParams};
+use anton_md::units::COULOMB;
+use anton_md::{Atom, ChemicalSystem, PeriodicBox, Vec3};
+
+fn nacl_lattice(n: usize, a: f64) -> ChemicalSystem {
+    let mut atoms = Vec::new();
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                atoms.push(Atom {
+                    pos: Vec3::new(x as f64 * a, y as f64 * a, z as f64 * a),
+                    vel: Vec3::ZERO,
+                    mass: 1.0,
+                    charge: if (x + y + z) % 2 == 0 { 1.0 } else { -1.0 },
+                    lj_sigma: 1.0,
+                    lj_epsilon: 0.0,
+                });
+            }
+        }
+    }
+    let mut sys = ChemicalSystem {
+        pbox: PeriodicBox::cubic(a * n as f64),
+        atoms,
+        bonds: Vec::new(),
+        angles: Vec::new(),
+        dihedrals: Vec::new(),
+        exclusions: Vec::new(),
+    };
+    sys.rebuild_exclusions();
+    sys
+}
+
+fn total_electrostatic(sys: &ChemicalSystem, sigma: f64, grid: usize, cutoff: f64) -> f64 {
+    let positions: Vec<Vec3> = sys.atoms.iter().map(|a| a.pos).collect();
+    let mut f = vec![Vec3::ZERO; positions.len()];
+    let real = range_limited_forces_naive(
+        sys,
+        &positions,
+        PairParams { cutoff, ewald_sigma: Some(sigma) },
+        &mut f,
+    );
+    let lr = long_range_forces(
+        sys,
+        &positions,
+        &LongRangeParams::new([grid; 3], sigma),
+        &mut f,
+    );
+    real.coulomb_real + lr.energy
+}
+
+fn main() {
+    let a = 2.8; // lattice constant, Å
+    let n = 8;
+    let sys = nacl_lattice(n, a);
+    let madelung = 1.747_564_6;
+    let exact = -madelung * COULOMB / (2.0 * a);
+
+    section("Splitting-parameter independence (64-point grid, NaCl 8^3)");
+    println!(
+        "{:>8} {:>10} {:>16} {:>16} {:>10}",
+        "sigma", "cutoff", "E/ion (kcal/mol)", "exact", "error"
+    );
+    for &sigma in &[1.8f64, 2.0, 2.2, 2.5] {
+        let cutoff = (4.0 * sigma).min(10.9);
+        let e = total_electrostatic(&sys, sigma, 64, cutoff) / sys.atoms.len() as f64;
+        let rel = (e - exact).abs() / exact.abs();
+        println!(
+            "{:>8.1} {:>10.1} {:>16.4} {:>16.4} {:>9.2}%",
+            sigma,
+            cutoff,
+            e,
+            exact,
+            rel * 100.0
+        );
+        assert!(rel < 0.02, "sigma={sigma}: {rel}");
+    }
+
+    section("Grid convergence (sigma = 2.2, cutoff = 8.8)");
+    println!("{:>8} {:>16} {:>10}", "grid", "E/ion", "error");
+    let mut last_err = f64::INFINITY;
+    for &grid in &[32usize, 64, 128] {
+        let e = total_electrostatic(&sys, 2.2, grid, 8.8) / sys.atoms.len() as f64;
+        let rel = (e - exact).abs() / exact.abs();
+        println!("{:>8} {:>16.4} {:>9.3}%", grid, e, rel * 100.0);
+        if grid >= 64 {
+            assert!(
+                rel <= last_err * 1.5,
+                "error must not grow with resolution"
+            );
+        }
+        last_err = rel;
+    }
+    println!(
+        "\nanchor: the Madelung constant of rock salt, reproduced by the same\n\
+         spread→FFT→kernel→interpolate pipeline the simulated HTIS and\n\
+         flexible subsystems execute packet by packet."
+    );
+}

@@ -1,0 +1,45 @@
+//! §III.D's bandwidth claim: the message size at which a link achieves
+//! 50% of its peak data bandwidth. The paper: 28 bytes on Anton vs.
+//! 1.4 KB / 16 KB / 39 KB on Blue Gene/L, Red Storm, and ASC Purple.
+
+use anton_baseline::{ANTON_HALF_BANDWIDTH_BYTES, HALF_BANDWIDTH_SURVEY};
+use anton_bench::report::section;
+use anton_bench::streaming_bandwidth_gbps;
+
+fn main() {
+    section("Streaming data bandwidth vs message size (one Anton link)");
+    let payloads = [8u32, 16, 24, 28, 32, 48, 64, 96, 128, 192, 256];
+    let peak = streaming_bandwidth_gbps(256, 512);
+    println!("{:>10} {:>14} {:>10}", "bytes", "Gbit/s", "of peak");
+    let mut half_point = None;
+    let mut prev: Option<(u32, f64)> = None;
+    for &p in &payloads {
+        let bw = streaming_bandwidth_gbps(p, 512);
+        let frac = bw / peak;
+        println!("{:>10} {:>14.2} {:>9.0}%", p, bw, frac * 100.0);
+        if half_point.is_none() && frac >= 0.5 {
+            half_point = Some(match prev {
+                // Linear interpolation to the 50% crossing.
+                Some((p0, f0)) if frac > f0 => {
+                    p0 as f64 + (p - p0) as f64 * (0.5 - f0) / (frac - f0)
+                }
+                _ => p as f64,
+            });
+        }
+        prev = Some((p, frac));
+    }
+    let hp = half_point.expect("peak fraction crosses 50%");
+    println!("\nAnton half-bandwidth message size (simulated): {hp:.0} bytes");
+    println!("paper: {ANTON_HALF_BANDWIDTH_BYTES} bytes");
+    assert!((20.0..40.0).contains(&hp), "half point {hp}");
+
+    section("Published half-bandwidth sizes for comparison machines [25]");
+    for e in HALF_BANDWIDTH_SURVEY {
+        println!(
+            "{:>14}: {:>7} bytes ({}x Anton)",
+            e.machine,
+            e.half_bandwidth_bytes,
+            e.half_bandwidth_bytes / ANTON_HALF_BANDWIDTH_BYTES
+        );
+    }
+}

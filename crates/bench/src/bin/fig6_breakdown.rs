@@ -1,0 +1,37 @@
+//! Figure 6: the component-by-component breakdown of the 162 ns
+//! single-hop counted-remote-write latency, cross-checked against the
+//! end-to-end DES measurement.
+
+use anton_bench::one_way_latency;
+use anton_bench::report::section;
+use anton_net::Timing;
+use anton_topo::{Coord, TorusDims};
+
+fn main() {
+    let t = Timing::default();
+    section("Figure 6: single-hop (X) counted remote write latency breakdown");
+    let rows = [
+        ("write packet send initiated in processing slice", t.send_setup_ns),
+        ("2 send-side on-chip router hops", t.send_ring_ns),
+        ("X+ link adapter (incl. torus wire)", t.adapter_ns),
+        ("X- link adapter", t.adapter_ns),
+        ("3 receive-side on-chip router hops", t.recv_ring_ns),
+        ("delivery to slice memory + successful poll", t.deliver_poll_ns),
+    ];
+    let mut total = 0.0;
+    for (label, ns) in rows {
+        println!("{label:>48}: {ns:>5.0} ns");
+        total += ns;
+    }
+    println!("{:>48}: {total:>5.0} ns", "TOTAL (paper: 162 ns)");
+
+    let dims = TorusDims::anton_512();
+    let measured = one_way_latency(dims, Coord::new(0, 0, 0), Coord::new(1, 0, 0), 0, false, 8);
+    println!(
+        "\nend-to-end DES measurement of the same transfer: {:.0} ns",
+        measured.as_ns_f64()
+    );
+    assert_eq!(measured.as_ns_f64().round() as u64, total.round() as u64);
+    println!("bandwidth context: off-chip link {} Gbit/s raw ({} Gbit/s effective data), on-chip ring {} Gbit/s",
+        anton_net::LINK_RAW_GBPS, anton_net::LINK_EFFECTIVE_GBPS, anton_net::RING_GBPS);
+}

@@ -1,0 +1,63 @@
+//! Figure 7: total time to transfer 2 KB between nodes as a function of
+//! the number of messages used — Anton at 1 and 4 hops vs. a DDR
+//! InfiniBand cluster. Panel (a) absolute, panel (b) normalized to the
+//! single-message transfer.
+
+use anton_baseline::IbModel;
+use anton_bench::report::section;
+use anton_bench::split_transfer_time;
+use anton_topo::TorusDims;
+
+fn main() {
+    let dims = TorusDims::anton_512();
+    let ib = IbModel::default();
+    let total = 2048u32;
+    let ks = [1u32, 2, 4, 8, 16, 32, 64];
+
+    let anton1: Vec<f64> = ks
+        .iter()
+        .map(|&k| split_transfer_time(dims, 1, total, k).as_us_f64())
+        .collect();
+    let anton4: Vec<f64> = ks
+        .iter()
+        .map(|&k| split_transfer_time(dims, 4, total, k).as_us_f64())
+        .collect();
+    let ib_t: Vec<f64> = ks
+        .iter()
+        .map(|&k| ib.split_transfer_us(total as u64, k))
+        .collect();
+
+    section("Figure 7(a): 2 KB transfer time (us) vs number of messages");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12}",
+        "messages", "Anton 1hop", "Anton 4hop", "InfiniBand"
+    );
+    for (i, &k) in ks.iter().enumerate() {
+        println!(
+            "{:>9} {:>12.3} {:>12.3} {:>12.2}",
+            k, anton1[i], anton4[i], ib_t[i]
+        );
+    }
+
+    section("Figure 7(b): normalized to the single-message transfer");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12}",
+        "messages", "Anton 1hop", "Anton 4hop", "InfiniBand"
+    );
+    for (i, &k) in ks.iter().enumerate() {
+        println!(
+            "{:>9} {:>12.2} {:>12.2} {:>12.2}",
+            k,
+            anton1[i] / anton1[0],
+            anton4[i] / anton4[0],
+            ib_t[i] / ib_t[0]
+        );
+    }
+    println!(
+        "\npaper shape: Anton's curves stay nearly flat (<~1.6x at 64 messages);\n\
+         the cluster interconnect grows several-fold — per-message overhead\n\
+         dominates commodity networks."
+    );
+    assert!(anton1[6] / anton1[0] < 2.0, "Anton must stay nearly flat");
+    assert!(ib_t[6] / ib_t[0] > 3.0, "IB must degrade steeply");
+}

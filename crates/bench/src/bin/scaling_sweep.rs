@@ -1,0 +1,60 @@
+//! Strong scaling of the DHFR benchmark across machine sizes — the
+//! paper's motivating observation ("the maximum simulation speed
+//! achievable at high parallelism depends more on inter-node
+//! communication latency than on single-node compute throughput", §I):
+//! as nodes quadruple, arithmetic per node shrinks proportionally but
+//! the communication floor does not, so the speedup rolls off.
+
+use anton_core::{AntonConfig, AntonMdEngine};
+use anton_md::{MdParams, SystemBuilder};
+use anton_topo::TorusDims;
+
+fn main() {
+    println!("Strong scaling: 23,558 atoms, range-limited + long-range step pair");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "nodes", "avg (us)", "comm (us)", "compute", "comm frac", "speedup"
+    );
+    let mut base: Option<f64> = None;
+    let mut prev: Option<f64> = None;
+    for dims in [
+        TorusDims::new(4, 4, 4),
+        TorusDims::new(8, 8, 4),
+        TorusDims::new(8, 8, 8),
+    ] {
+        let sys = SystemBuilder::dhfr_like().build();
+        let mut md = MdParams::new(9.5, [32; 3]);
+        md.dt = 1.0;
+        let config = AntonConfig::new(md);
+        let mut eng = AntonMdEngine::new(sys, config, dims);
+        let t1 = eng.step();
+        let t2 = eng.step();
+        let avg = 0.5 * (t1.total + t2.total).as_us_f64();
+        let comm = 0.5 * (t1.communication() + t2.communication()).as_us_f64();
+        let compute = avg - comm;
+        let n = dims.node_count();
+        let speedup = base.map(|b| b / avg).unwrap_or(1.0);
+        println!(
+            "{:>7} {:>12.2} {:>12.2} {:>12.2} {:>11.0}% {:>9.2}x",
+            n,
+            avg,
+            comm,
+            compute,
+            comm / avg * 100.0,
+            speedup
+        );
+        if base.is_none() {
+            base = Some(avg);
+        }
+        if let Some(p) = prev {
+            assert!(avg < p, "more nodes must not slow the step down");
+        }
+        prev = Some(avg);
+    }
+    println!(
+        "\nthe communication fraction grows with node count — Anton's 162 ns\n\
+         fabric is what keeps the 512-node point profitable at ~46 atoms/node;\n\
+         on the cluster model the same scaling stalls two orders of magnitude\n\
+         earlier (Table 3)."
+    );
+}

@@ -1,0 +1,25 @@
+//! Small table-printing helpers shared by the figure binaries.
+
+/// Print a header with a rule.
+pub fn section(title: &str) {
+    println!("\n{title}");
+    println!("{}", "=".repeat(title.len()));
+}
+
+/// Format a microsecond value to two decimals.
+pub fn us(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format nanoseconds to the nearest integer.
+pub fn ns(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+/// Relative difference as a percentage string.
+pub fn rel(measured: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return "-".into();
+    }
+    format!("{:+.0}%", (measured - paper) / paper * 100.0)
+}

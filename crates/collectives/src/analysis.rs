@@ -1,0 +1,77 @@
+//! Closed-form hop/round analysis of the all-reduce algorithms
+//! (paper §IV.B.4's 3N/2-vs-3(N−1) comparison).
+
+use anton_topo::TorusDims;
+
+/// Rounds and sequential hop counts of an all-reduce algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopCost {
+    /// Communication rounds (synchronization points).
+    pub rounds: u32,
+    /// Total sequential hops on the critical path (the farthest distance
+    /// a datum travels per round, summed).
+    pub critical_hops: u32,
+}
+
+/// Dimension-ordered multicast all-reduce: 3 rounds; each round's
+/// farthest delivery is half the axis (shortest-path both ways), so an
+/// N×N×N machine pays 3·N/2 critical hops — the minimum possible.
+pub fn dimension_ordered_cost(dims: TorusDims) -> HopCost {
+    HopCost {
+        rounds: 3,
+        critical_hops: dims.nx / 2 + dims.ny / 2 + dims.nz / 2,
+    }
+}
+
+/// Radix-2 butterfly: log₂ rounds per dimension; round `b` exchanges with
+/// the partner 2^b away, so an N×N×N machine pays 3·(N−1) critical hops
+/// across 3·log₂N rounds. Axes must be powers of two.
+pub fn butterfly_cost(dims: TorusDims) -> HopCost {
+    let mut rounds = 0;
+    let mut hops = 0;
+    for n in [dims.nx, dims.ny, dims.nz] {
+        assert!(n.is_power_of_two(), "butterfly requires power-of-two axes");
+        rounds += n.trailing_zeros();
+        hops += n - 1; // 1 + 2 + 4 + … + n/2
+    }
+    HopCost { rounds, critical_hops: hops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_for_8x8x8() {
+        let dims = TorusDims::anton_512();
+        let do_cost = dimension_ordered_cost(dims);
+        assert_eq!(do_cost, HopCost { rounds: 3, critical_hops: 12 }); // 3N/2 = 12
+        let bf = butterfly_cost(dims);
+        assert_eq!(bf, HopCost { rounds: 9, critical_hops: 21 }); // 3log₂8, 3(N−1)
+    }
+
+    #[test]
+    fn dimension_ordered_always_wins_or_ties_on_hops() {
+        for n in [2u32, 4, 8, 16] {
+            let dims = TorusDims::new(n, n, n);
+            let d = dimension_ordered_cost(dims);
+            let b = butterfly_cost(dims);
+            assert!(d.critical_hops <= b.critical_hops, "n={n}");
+            assert!(d.rounds <= b.rounds, "n={n}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_machines() {
+        // 8×8×16 (the 1024-node Table 2 configuration).
+        let dims = TorusDims::new(8, 8, 16);
+        assert_eq!(dimension_ordered_cost(dims).critical_hops, 4 + 4 + 8);
+        assert_eq!(butterfly_cost(dims).rounds, 3 + 3 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn butterfly_rejects_odd_axes() {
+        butterfly_cost(TorusDims::new(6, 8, 8));
+    }
+}

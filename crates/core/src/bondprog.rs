@@ -1,0 +1,248 @@
+//! The bond program: static assignment of bonded force terms to nodes.
+//!
+//! "We simplify this communication on Anton by statically assigning
+//! bonded force terms to nodes, so that the set of destinations for a
+//! given atom is fixed. … The assignment of bond terms to nodes (which we
+//! refer to as the bond program) is chosen to minimize communication
+//! latency for the initial placement of atoms, but as the system evolves
+//! and atoms migrate this communication latency increases … We therefore
+//! regenerate the bond program every 100,000–200,000 time steps"
+//! (§IV.B.2, Figure 11).
+
+use crate::decomp::Decomposition;
+use anton_md::{ChemicalSystem, Vec3};
+use anton_topo::{hop_count, Coord, NodeId};
+
+/// One node's share of bonded work.
+#[derive(Debug, Clone, Default)]
+pub struct NodeTerms {
+    /// Bond indices assigned here.
+    pub bonds: Vec<u32>,
+    /// Angle indices assigned here.
+    pub angles: Vec<u32>,
+    /// Dihedral indices assigned here.
+    pub dihedrals: Vec<u32>,
+}
+
+impl NodeTerms {
+    /// Total bonded terms at this node.
+    pub fn len(&self) -> usize {
+        self.bonds.len() + self.angles.len() + self.dihedrals.len()
+    }
+
+    /// No terms assigned here.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The static term→node assignment plus derived routing tables.
+#[derive(Debug, Clone)]
+pub struct BondProgram {
+    /// Node of each bond / angle / dihedral (parallel to the system's
+    /// term lists).
+    pub bond_nodes: Vec<Coord>,
+    /// Node of each angle term.
+    pub angle_nodes: Vec<Coord>,
+    /// Node of each dihedral term.
+    pub dihedral_nodes: Vec<Coord>,
+    /// Terms grouped per node.
+    pub terms_at: Vec<NodeTerms>,
+    /// For each atom: the distinct term nodes needing its position
+    /// (sorted; may include the atom's own current home node — senders
+    /// skip the self entry at send time).
+    pub atom_destinations: Vec<Vec<Coord>>,
+}
+
+impl BondProgram {
+    /// Build from the positions the system had at generation time: each
+    /// term lands on the strict owner box of its central atom — the
+    /// assignment that minimizes communication for the *current*
+    /// placement.
+    pub fn generate(sys: &ChemicalSystem, decomp: &Decomposition, positions: &[Vec3]) -> Self {
+        let dims = decomp.dims;
+        let n_nodes = dims.node_count() as usize;
+        let mut terms_at = vec![NodeTerms::default(); n_nodes];
+        let mut atom_destinations: Vec<Vec<Coord>> = vec![Vec::new(); sys.atoms.len()];
+
+        let note = |atom: usize, node: Coord, dests: &mut Vec<Vec<Coord>>| {
+            if !dests[atom].contains(&node) {
+                dests[atom].push(node);
+            }
+        };
+
+        let bond_nodes: Vec<Coord> = sys
+            .bonds
+            .iter()
+            .enumerate()
+            .map(|(t, b)| {
+                let node = decomp.strict_owner(positions[b.i]);
+                terms_at[node.node_id(dims).index()].bonds.push(t as u32);
+                note(b.i, node, &mut atom_destinations);
+                note(b.j, node, &mut atom_destinations);
+                node
+            })
+            .collect();
+        let angle_nodes: Vec<Coord> = sys
+            .angles
+            .iter()
+            .enumerate()
+            .map(|(t, a)| {
+                let node = decomp.strict_owner(positions[a.j]);
+                terms_at[node.node_id(dims).index()].angles.push(t as u32);
+                note(a.i, node, &mut atom_destinations);
+                note(a.j, node, &mut atom_destinations);
+                note(a.k_atom, node, &mut atom_destinations);
+                node
+            })
+            .collect();
+        let dihedral_nodes: Vec<Coord> = sys
+            .dihedrals
+            .iter()
+            .enumerate()
+            .map(|(t, d)| {
+                let node = decomp.strict_owner(positions[d.j]);
+                terms_at[node.node_id(dims).index()]
+                    .dihedrals
+                    .push(t as u32);
+                note(d.i, node, &mut atom_destinations);
+                note(d.j, node, &mut atom_destinations);
+                note(d.k_atom, node, &mut atom_destinations);
+                note(d.l, node, &mut atom_destinations);
+                node
+            })
+            .collect();
+
+        for d in &mut atom_destinations {
+            d.sort_by_key(|c| c.node_id(dims).0);
+        }
+        BondProgram {
+            bond_nodes,
+            angle_nodes,
+            dihedral_nodes,
+            terms_at,
+            atom_destinations,
+        }
+    }
+
+    /// Mean network hops from each atom's current owner to its bond
+    /// destinations — the staleness metric behind Figure 11.
+    pub fn mean_destination_hops(
+        &self,
+        owners: &[NodeId],
+        decomp: &Decomposition,
+    ) -> f64 {
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for (atom, dests) in self.atom_destinations.iter().enumerate() {
+            let home = owners[atom].coord(decomp.dims);
+            for &d in dests {
+                total += hop_count(home, d, decomp.dims) as u64;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+
+    /// Position packets each node must send for bonded computation given
+    /// current owners: (sender, atom, destination) triples with local
+    /// destinations skipped.
+    pub fn position_sends(
+        &self,
+        owners: &[NodeId],
+        decomp: &Decomposition,
+    ) -> Vec<(NodeId, u32, Coord)> {
+        let mut out = Vec::new();
+        for (atom, dests) in self.atom_destinations.iter().enumerate() {
+            let home = owners[atom];
+            for &d in dests {
+                if d.node_id(decomp.dims) != home {
+                    out.push((home, atom as u32, d));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_md::{PeriodicBox, SystemBuilder};
+    use anton_topo::TorusDims;
+
+    fn setup() -> (anton_md::ChemicalSystem, Decomposition) {
+        let sys = SystemBuilder::tiny(300, 24.0, 44).build();
+        let decomp =
+            Decomposition::new(TorusDims::new(4, 4, 4), PeriodicBox::cubic(24.0), 5.0);
+        (sys, decomp)
+    }
+
+    #[test]
+    fn every_term_is_assigned_exactly_once() {
+        let (sys, decomp) = setup();
+        let positions: Vec<Vec3> = sys.atoms.iter().map(|a| a.pos).collect();
+        let bp = BondProgram::generate(&sys, &decomp, &positions);
+        assert_eq!(bp.bond_nodes.len(), sys.bonds.len());
+        assert_eq!(bp.angle_nodes.len(), sys.angles.len());
+        let total: usize = bp.terms_at.iter().map(|t| t.len()).sum();
+        assert_eq!(
+            total,
+            sys.bonds.len() + sys.angles.len() + sys.dihedrals.len()
+        );
+    }
+
+    #[test]
+    fn fresh_program_has_zero_hops_for_tight_molecules() {
+        // Water molecules are ≤2 Å across; with 6 Å boxes the central
+        // atom's box owns the whole molecule in nearly every case, so
+        // mean hops at generation time is near zero.
+        let (sys, decomp) = setup();
+        let positions: Vec<Vec3> = sys.atoms.iter().map(|a| a.pos).collect();
+        let bp = BondProgram::generate(&sys, &decomp, &positions);
+        let owners = decomp.assign_atoms(&positions);
+        let hops = bp.mean_destination_hops(&owners, &decomp);
+        assert!(hops < 0.7, "fresh bond program mean hops = {hops}");
+    }
+
+    #[test]
+    fn drifted_atoms_increase_destination_hops() {
+        let (sys, decomp) = setup();
+        let positions: Vec<Vec3> = sys.atoms.iter().map(|a| a.pos).collect();
+        let bp = BondProgram::generate(&sys, &decomp, &positions);
+        let owners = decomp.assign_atoms(&positions);
+        let fresh = bp.mean_destination_hops(&owners, &decomp);
+        // Shift everything by two boxes: every molecule is now far from
+        // its bond terms.
+        let drifted: Vec<Vec3> = positions
+            .iter()
+            .map(|&p| decomp.pbox.wrap(p + Vec3::new(12.0, 12.0, 0.0)))
+            .collect();
+        let owners2 = decomp.assign_atoms(&drifted);
+        let stale = bp.mean_destination_hops(&owners2, &decomp);
+        assert!(
+            stale > fresh + 1.0,
+            "stale program should cost more hops: {fresh} → {stale}"
+        );
+        // Regeneration restores locality.
+        let bp2 = BondProgram::generate(&sys, &decomp, &drifted);
+        let regen = bp2.mean_destination_hops(&owners2, &decomp);
+        assert!(regen < fresh + 0.3, "regenerated hops = {regen}");
+    }
+
+    #[test]
+    fn position_sends_skip_local_destinations() {
+        let (sys, decomp) = setup();
+        let positions: Vec<Vec3> = sys.atoms.iter().map(|a| a.pos).collect();
+        let bp = BondProgram::generate(&sys, &decomp, &positions);
+        let owners = decomp.assign_atoms(&positions);
+        for (sender, atom, dest) in bp.position_sends(&owners, &decomp) {
+            assert_eq!(owners[atom as usize], sender);
+            assert_ne!(dest.node_id(decomp.dims), sender);
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Spatial decomposition: home boxes, relaxed ownership, and the
+//! NT-method import regions for range-limited interactions.
+//!
+//! "The chemical system … is divided into a regular grid of boxes, with
+//! each box assigned to one ASIC" (§II). Positions are "broadcast to as
+//! many as 17 different HTIS units" (§IV.B.1) — Anton parallelizes the
+//! range-limited computation with a neutral-territory (NT) method: each
+//! atom's position is multicast to a *tower* (its column of boxes within
+//! vertical reach) and a *half-plate* (half the in-plane boxes within
+//! reach), and the pair (i, j) is computed on the node where i's tower
+//! meets j's plate. This fixes the communication pattern — the property
+//! counted remote writes need.
+
+use anton_md::{PeriodicBox, Vec3};
+use anton_topo::{Coord, NodeId, TorusDims};
+
+/// The spatial decomposition of a periodic box onto the machine.
+///
+/// ```
+/// use anton_core::Decomposition;
+/// use anton_md::PeriodicBox;
+/// use anton_topo::TorusDims;
+/// // The paper's DHFR case: 62.23 Å box, 8×8×8 machine, ~11 Å import
+/// // radius ⇒ positions multicast to ~15–17 HTIS units (§IV.B.1).
+/// let d = Decomposition::new(TorusDims::anton_512(),
+///                            PeriodicBox::cubic(62.23), 11.0);
+/// let n = d.import_offsets().len();
+/// assert!((13..=19).contains(&n));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// The machine.
+    pub dims: TorusDims,
+    /// The periodic simulation box.
+    pub pbox: PeriodicBox,
+    /// Range-limited interaction cutoff, Å.
+    pub cutoff: f64,
+    /// Tower reach in boxes (z).
+    zr: i64,
+    /// In-plane reach in boxes (x, y).
+    rxy: i64,
+}
+
+/// Signed minimal wrap displacement from `a` to `b` on an axis of length
+/// `n`, in (−n/2, n/2] (ties resolve positive).
+pub fn wrap_signed(a: u32, b: u32, n: u32) -> i64 {
+    let n = n as i64;
+    let mut d = (b as i64 - a as i64).rem_euclid(n);
+    if d > n / 2 {
+        d -= n;
+    }
+    d
+}
+
+impl Decomposition {
+    /// Build for a machine and box. Panics if a home box is smaller than
+    /// needed for the reach arithmetic (cutoff may span several boxes).
+    pub fn new(dims: TorusDims, pbox: PeriodicBox, cutoff: f64) -> Decomposition {
+        assert!(cutoff > 0.0);
+        let h = Decomposition::box_lengths_of(dims, pbox);
+        // Reach: smallest r such that boxes r apart have min distance ≥
+        // cutoff, i.e. (r−1)·h ≥ cutoff.
+        let reach = |edge: f64| -> i64 { (cutoff / edge).floor() as i64 + 1 };
+        let zr = reach(h.z);
+        let rxy = reach(h.x.min(h.y));
+        Decomposition { dims, pbox, cutoff, zr, rxy }
+    }
+
+    fn box_lengths_of(dims: TorusDims, pbox: PeriodicBox) -> Vec3 {
+        Vec3::new(
+            pbox.lengths.x / dims.nx as f64,
+            pbox.lengths.y / dims.ny as f64,
+            pbox.lengths.z / dims.nz as f64,
+        )
+    }
+
+    /// Home-box edge lengths, Å.
+    pub fn box_lengths(&self) -> Vec3 {
+        Decomposition::box_lengths_of(self.dims, self.pbox)
+    }
+
+    /// Tower reach (boxes).
+    pub fn tower_reach(&self) -> i64 {
+        self.zr
+    }
+
+    /// In-plane reach (boxes).
+    pub fn plate_reach(&self) -> i64 {
+        self.rxy
+    }
+
+    /// The box strictly containing `p`.
+    pub fn strict_owner(&self, p: Vec3) -> Coord {
+        let w = self.pbox.wrap(p);
+        let h = self.box_lengths();
+        let clamp = |v: f64, n: u32| -> u32 { ((v as i64).max(0) as u32).min(n - 1) };
+        Coord::new(
+            clamp((w.x / h.x).floor(), self.dims.nx),
+            clamp((w.y / h.y).floor(), self.dims.ny),
+            clamp((w.z / h.z).floor(), self.dims.nz),
+        )
+    }
+
+    /// Whether `p` lies within `owner`'s box **relaxed by `margin` Å** on
+    /// every face — the paper's overlapping home boxes that let migration
+    /// run every N steps instead of every step (§IV.B.5, \[40\]).
+    pub fn within_relaxed(&self, p: Vec3, owner: Coord, margin: f64) -> bool {
+        let h = self.box_lengths();
+        let w = self.pbox.wrap(p);
+        let lo = Vec3::new(
+            owner.x as f64 * h.x,
+            owner.y as f64 * h.y,
+            owner.z as f64 * h.z,
+        );
+        for axis in 0..3 {
+            let c = w.get(axis);
+            let l = lo.get(axis) - margin;
+            let u = lo.get(axis) + h.get(axis) + margin;
+            let full = self.pbox.lengths.get(axis);
+            // Compare in wrapped coordinates: distance from the interval.
+            let inside = if l < 0.0 || u > full {
+                // Interval wraps; membership via modular containment.
+                let cm = c.rem_euclid(full);
+                let lm = l.rem_euclid(full);
+                let um = u.rem_euclid(full);
+                if lm <= um { cm >= lm && cm <= um } else { cm >= lm || cm <= um }
+            } else {
+                c >= l && c <= u
+            };
+            if !inside {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the in-plane offset is in the canonical positive half
+    /// (dy > 0, or dy == 0 and dx > 0).
+    fn positive_half(dx: i64, dy: i64) -> bool {
+        dy > 0 || (dy == 0 && dx > 0)
+    }
+
+    /// In-plane disc membership: boxes whose minimum xy distance is
+    /// within the cutoff.
+    fn in_disc(&self, dx: i64, dy: i64) -> bool {
+        let h = self.box_lengths();
+        let gap = |d: i64, e: f64| ((d.abs() - 1).max(0) as f64) * e;
+        let gx = gap(dx, h.x);
+        let gy = gap(dy, h.y);
+        gx * gx + gy * gy < self.cutoff * self.cutoff
+    }
+
+    /// Offsets (in boxes) to which a home box's atom positions are
+    /// multicast: home + full tower (±zr) + positive half-plate.
+    /// Deduplicated against torus aliasing on small machines.
+    pub fn import_offsets(&self) -> Vec<[i64; 3]> {
+        let mut out: Vec<[i64; 3]> = vec![[0, 0, 0]];
+        for dz in 1..=self.zr {
+            out.push([0, 0, dz]);
+            out.push([0, 0, -dz]);
+        }
+        for dy in -self.rxy..=self.rxy {
+            for dx in -self.rxy..=self.rxy {
+                if (dx, dy) == (0, 0) || !Self::positive_half(dx, dy) {
+                    continue;
+                }
+                if self.in_disc(dx, dy) {
+                    out.push([dx, dy, 0]);
+                }
+            }
+        }
+        out
+    }
+
+    /// The concrete destination boxes of `b`'s position multicast
+    /// (offsets applied with wraparound, deduplicated).
+    pub fn import_boxes(&self, b: Coord) -> Vec<Coord> {
+        let mut out = Vec::new();
+        for o in self.import_offsets() {
+            let c = anton_topo::offset(b, o, self.dims);
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Source boxes whose atoms arrive at node `c` (inverse of
+    /// [`Decomposition::import_boxes`]).
+    pub fn source_boxes(&self, c: Coord) -> Vec<Coord> {
+        let mut out = Vec::new();
+        for o in self.import_offsets() {
+            let s = anton_topo::offset(c, [-o[0], -o[1], -o[2]], self.dims);
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// The node assigned to compute interactions between (atoms of)
+    /// boxes `a` and `b`. Both boxes' positions provably arrive there
+    /// (tested). Symmetric: `pair_node(a, b) == pair_node(b, a)`.
+    pub fn pair_node(&self, a: Coord, b: Coord) -> Coord {
+        if a == b {
+            return a;
+        }
+        // Canonical order so the choice is symmetric.
+        let (a, b) = if a.node_id(self.dims) <= b.node_id(self.dims) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let dx = wrap_signed(a.x, b.x, self.dims.nx);
+        let dy = wrap_signed(a.y, b.y, self.dims.ny);
+        if dx == 0 && dy == 0 {
+            // Same column: meet at b (a's tower reaches b; b plate-home).
+            return b;
+        }
+        if Self::positive_half(dx, dy) {
+            // a's plate reaches (b.xy, a.z); b's tower reaches it too.
+            Coord::new(b.x, b.y, a.z)
+        } else {
+            // Mirror: b's plate offset (−dx, −dy) is positive.
+            Coord::new(a.x, a.y, b.z)
+        }
+    }
+
+    /// All (unordered) box pairs whose interactions node `c` computes,
+    /// including the self pair (c, c).
+    pub fn task_pairs(&self, c: Coord) -> Vec<(Coord, Coord)> {
+        let sources = self.source_boxes(c);
+        let mut out = Vec::new();
+        for (i, &a) in sources.iter().enumerate() {
+            for &b in &sources[i..] {
+                if self.boxes_within_cutoff(a, b) && self.pair_node(a, b) == c {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether two boxes are close enough that some atom pair between
+    /// them could be within the cutoff.
+    pub fn boxes_within_cutoff(&self, a: Coord, b: Coord) -> bool {
+        let h = self.box_lengths();
+        let gap = |d: i64, e: f64| ((d.abs() - 1).max(0) as f64) * e;
+        let dx = gap(wrap_signed(a.x, b.x, self.dims.nx), h.x);
+        let dy = gap(wrap_signed(a.y, b.y, self.dims.ny), h.y);
+        let dz = gap(wrap_signed(a.z, b.z, self.dims.nz), h.z);
+        dx * dx + dy * dy + dz * dz < self.cutoff * self.cutoff
+    }
+
+    /// Partition atom ids of one node round-robin over its 4 slices.
+    pub fn slice_of_local_index(local_index: usize) -> u8 {
+        (local_index % 4) as u8
+    }
+
+    /// Assign atoms to owner nodes by strict containment.
+    pub fn assign_atoms(&self, positions: &[Vec3]) -> Vec<NodeId> {
+        positions
+            .iter()
+            .map(|&p| self.strict_owner(p).node_id(self.dims))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_des::Rng;
+
+    fn dhfr_decomp() -> Decomposition {
+        Decomposition::new(
+            TorusDims::anton_512(),
+            PeriodicBox::cubic(62.23),
+            9.5,
+        )
+    }
+
+    #[test]
+    fn import_count_matches_the_papers_17() {
+        // 62.23 Å box on 8×8×8 → 7.78 Å boxes; 9.5 Å cutoff →
+        // reach 2 in every dimension. Tower 4 + home 1 + half-plate.
+        let d = dhfr_decomp();
+        assert_eq!(d.tower_reach(), 2);
+        assert_eq!(d.plate_reach(), 2);
+        let n = d.import_offsets().len();
+        assert!(
+            (13..=19).contains(&n),
+            "import set should be ~17 boxes (paper §IV.B.1), got {n}"
+        );
+    }
+
+    #[test]
+    fn strict_owner_maps_boxes() {
+        let d = dhfr_decomp();
+        assert_eq!(d.strict_owner(Vec3::new(0.1, 0.1, 0.1)), Coord::new(0, 0, 0));
+        assert_eq!(
+            d.strict_owner(Vec3::new(62.0, 62.0, 62.0)),
+            Coord::new(7, 7, 7)
+        );
+        // Wraps.
+        assert_eq!(d.strict_owner(Vec3::new(-0.1, 0.1, 0.1)).x, 7);
+    }
+
+    #[test]
+    fn pair_node_is_symmetric() {
+        let d = dhfr_decomp();
+        let mut rng = Rng::seed_from(5);
+        for _ in 0..500 {
+            let a = Coord::new(
+                rng.next_below(8) as u32,
+                rng.next_below(8) as u32,
+                rng.next_below(8) as u32,
+            );
+            let b = Coord::new(
+                rng.next_below(8) as u32,
+                rng.next_below(8) as u32,
+                rng.next_below(8) as u32,
+            );
+            assert_eq!(d.pair_node(a, b), d.pair_node(b, a));
+        }
+    }
+
+    /// The central NT correctness property: every box pair within cutoff
+    /// range is computed on exactly one node, and both boxes' atoms are
+    /// imported there.
+    #[test]
+    fn every_cutoff_pair_is_covered_exactly_once() {
+        let d = dhfr_decomp();
+        let dims = d.dims;
+        // Count how many nodes claim each in-range pair.
+        let mut claims: std::collections::HashMap<(NodeId, NodeId), u32> =
+            std::collections::HashMap::new();
+        for c in dims.iter_coords() {
+            for (a, b) in d.task_pairs(c) {
+                // Both sources' imports must include c.
+                assert!(d.import_boxes(a).contains(&c), "a={a} c={c}");
+                assert!(d.import_boxes(b).contains(&c), "b={b} c={c}");
+                let key = (
+                    a.node_id(dims).min(b.node_id(dims)),
+                    a.node_id(dims).max(b.node_id(dims)),
+                );
+                *claims.entry(key).or_insert(0) += 1;
+            }
+        }
+        // Every within-cutoff pair claimed exactly once.
+        for a in dims.iter_coords() {
+            for b in dims.iter_coords() {
+                if a.node_id(dims) > b.node_id(dims) {
+                    continue;
+                }
+                let key = (a.node_id(dims), b.node_id(dims));
+                let want = u32::from(d.boxes_within_cutoff(a, b));
+                let got = claims.get(&key).copied().unwrap_or(0);
+                assert_eq!(got, want, "pair {a}–{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_holds_on_tiny_machines_too() {
+        // 2×2×2 with aliasing offsets — the configuration used by the
+        // physics-equivalence integration tests.
+        let d = Decomposition::new(TorusDims::new(2, 2, 2), PeriodicBox::cubic(18.0), 4.0);
+        let dims = d.dims;
+        let mut claims: std::collections::HashMap<(NodeId, NodeId), u32> =
+            std::collections::HashMap::new();
+        for c in dims.iter_coords() {
+            for (a, b) in d.task_pairs(c) {
+                let key = (
+                    a.node_id(dims).min(b.node_id(dims)),
+                    a.node_id(dims).max(b.node_id(dims)),
+                );
+                *claims.entry(key).or_insert(0) += 1;
+            }
+        }
+        for a in dims.iter_coords() {
+            for b in dims.iter_coords() {
+                if a.node_id(dims) > b.node_id(dims) {
+                    continue;
+                }
+                let want = u32::from(d.boxes_within_cutoff(a, b));
+                let got = claims
+                    .get(&(a.node_id(dims), b.node_id(dims)))
+                    .copied()
+                    .unwrap_or(0);
+                assert_eq!(got, want, "pair {a}–{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_boxes_accept_nearby_strays() {
+        let d = dhfr_decomp();
+        let owner = Coord::new(3, 3, 3);
+        // Box 3 spans [23.34, 31.11). A point 1 Å outside stays with a
+        // 1.5 Å margin but not with a 0.5 Å margin.
+        let p = Vec3::new(32.0, 25.0, 25.0);
+        assert!(d.within_relaxed(p, owner, 1.5));
+        assert!(!d.within_relaxed(p, owner, 0.5));
+        // Wrapping case: box 7 spans [54.45, 62.23); a point just past
+        // the boundary wraps to x≈0.
+        let owner7 = Coord::new(7, 3, 3);
+        let q = Vec3::new(0.4, 25.0, 25.0);
+        assert!(d.within_relaxed(q, owner7, 1.0));
+    }
+
+    #[test]
+    fn assign_atoms_is_consistent_with_strict_owner() {
+        let d = dhfr_decomp();
+        let mut rng = Rng::seed_from(8);
+        let positions: Vec<Vec3> = (0..200)
+            .map(|_| {
+                Vec3::new(
+                    rng.uniform(0.0, 62.23),
+                    rng.uniform(0.0, 62.23),
+                    rng.uniform(0.0, 62.23),
+                )
+            })
+            .collect();
+        let owners = d.assign_atoms(&positions);
+        for (p, o) in positions.iter().zip(&owners) {
+            assert_eq!(d.strict_owner(*p).node_id(d.dims), *o);
+        }
+    }
+
+    #[test]
+    fn slice_partition_is_balanced() {
+        let counts = (0..46)
+            .map(Decomposition::slice_of_local_index)
+            .fold([0u32; 4], |mut acc, s| {
+                acc[s as usize] += 1;
+                acc
+            });
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        assert!(max - min <= 1, "{counts:?}");
+    }
+}

@@ -1,0 +1,286 @@
+//! Fixed communication bookkeeping for the distributed FFT and the grid
+//! halo exchanges (charge spreading in, potentials out).
+//!
+//! "The FFT communication patterns are inherently fixed, so they can
+//! also be implemented using fine-grained (one grid point per packet)
+//! counted remote writes. … Communication occurs between computation for
+//! different dimensions, with per-dimension synchronization counters
+//! used to track incoming remote writes" (§IV.B.3).
+
+use anton_fft::{transverse, GridMap};
+use anton_topo::{Coord, Dim, NodeId};
+
+/// Which slice of the owning node handles a given 1D line: lines are
+/// dealt round-robin in (u, v) order — fixed, known to every sender.
+pub fn line_slice(map: &GridMap, dim: Dim, u: usize, v: usize) -> u8 {
+    // Round-robin over the node's owned-line list; equivalently, hash the
+    // transverse coordinates. Both ends must agree, so use the in-brick
+    // line index (the same quantity `line_owner` round-robins on).
+    let (du, dv) = transverse(dim);
+    let b = map.brick();
+    let lu = u % b[du.index()];
+    let lv = v % b[dv.index()];
+    (((lu + b[du.index()] * lv) / map_machine_len(map, dim)) % 4) as u8
+}
+
+fn map_machine_len(map: &GridMap, dim: Dim) -> usize {
+    map.dims.len(dim) as usize
+}
+
+/// Which slice of a brick owner handles a given brick grid point
+/// (round-robin by in-brick linear index).
+pub fn brick_point_slice(map: &GridMap, g: [usize; 3]) -> u8 {
+    let b = map.brick();
+    let l = [g[0] % b[0], g[1] % b[1], g[2] % b[2]];
+    ((l[0] + b[0] * (l[1] + b[1] * l[2])) % 4) as u8
+}
+
+/// Expected packet count per (node, slice) for one FFT gather stage:
+/// how many grid points arrive at each slice when repartitioning into
+/// `dim` pencils (every point of every owned line arrives, including
+/// point transfers that are node-local — senders deliver those over the
+/// on-chip ring so the counter targets stay fixed).
+pub fn pencil_targets(map: &GridMap, dim: Dim) -> Vec<[u64; 4]> {
+    let n_nodes = map.dims.node_count() as usize;
+    let mut out = vec![[0u64; 4]; n_nodes];
+    let (du, dv) = transverse(dim);
+    let line_len = map.grid[dim.index()] as u64;
+    for v in 0..map.grid[dv.index()] {
+        for u in 0..map.grid[du.index()] {
+            let owner = map.line_owner(dim, u, v);
+            let slice = line_slice(map, dim, u, v);
+            out[owner.index()][slice as usize] += line_len;
+        }
+    }
+    out
+}
+
+/// Expected packet count per (node, slice) for the final scatter back to
+/// brick layout (one packet per brick point).
+pub fn brick_targets(map: &GridMap) -> Vec<[u64; 4]> {
+    let n_nodes = map.dims.node_count() as usize;
+    let b = map.brick();
+    let per_brick = b[0] * b[1] * b[2];
+    let mut out = vec![[0u64; 4]; n_nodes];
+    for node in out.iter_mut() {
+        for p in 0..per_brick {
+            node[p % 4] += 1;
+        }
+    }
+    out
+}
+
+/// The grid-halo neighborhood of a node: the Moore neighborhood plus
+/// itself — the bricks whose points a node's spreading can touch and
+/// whose potentials its interpolation needs (spread support plus
+/// migration margin must fit within one brick; asserted by the engine).
+pub fn halo_sources(map: &GridMap, c: Coord) -> Vec<Coord> {
+    let mut out = vec![c];
+    out.extend(anton_topo::moore_neighbors(c, map.dims));
+    out
+}
+
+/// Charge/potential rows exchanged between a source node and one halo
+/// target brick: the set of (z, y, x-run) row segments of the target
+/// brick that the source's atoms (anywhere in its padded box) can touch.
+/// `reach_points` is the spread support radius in grid points.
+///
+/// Returned as (target-brick-local z, y, x0, len) tuples — fixed
+/// geometry, so the packet counts are fixed.
+pub fn halo_rows(
+    map: &GridMap,
+    src: Coord,
+    dst: Coord,
+    reach_points: usize,
+) -> Vec<(usize, usize, usize, usize)> {
+    let b = map.brick();
+    let machine = [map.dims.nx, map.dims.ny, map.dims.nz];
+    let src_c = [src.x, src.y, src.z];
+    let dst_c = [dst.x, dst.y, dst.z];
+    // Per axis, a mask of reachable target-brick-local indices, unioned
+    // over every offset alias (on short axes the +1 and −1 neighbor can
+    // be the same node, reachable through both faces).
+    let mut masks: [Vec<bool>; 3] = [
+        vec![false; b[0]],
+        vec![false; b[1]],
+        vec![false; b[2]],
+    ];
+    let mut any = true;
+    for axis in 0..3 {
+        let n = machine[axis] as i64;
+        let r = reach_points.min(b[axis]);
+        let mut reachable = false;
+        for d in [-1i64, 0, 1] {
+            if (src_c[axis] as i64 + d).rem_euclid(n) as u32 != dst_c[axis] {
+                continue;
+            }
+            reachable = true;
+            match d {
+                0 => masks[axis].iter_mut().for_each(|m| *m = true),
+                1 => masks[axis][..r].iter_mut().for_each(|m| *m = true),
+                -1 => {
+                    let len = b[axis];
+                    masks[axis][len - r..].iter_mut().for_each(|m| *m = true);
+                }
+                _ => unreachable!(),
+            }
+        }
+        any &= reachable;
+    }
+    if !any {
+        return Vec::new();
+    }
+    // Rows: for each reachable (z, y), the contiguous x-runs of the mask.
+    let mut rows = Vec::new();
+    for (z, &mz) in masks[2].iter().enumerate() {
+        if !mz {
+            continue;
+        }
+        for (y, &my) in masks[1].iter().enumerate() {
+            if !my {
+                continue;
+            }
+            let mut x = 0;
+            while x < b[0] {
+                if masks[0][x] {
+                    let x0 = x;
+                    while x < b[0] && masks[0][x] {
+                        x += 1;
+                    }
+                    rows.push((z, y, x0, x - x0));
+                } else {
+                    x += 1;
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Total expected charge-accumulation packets arriving at each node's
+/// accumulation memory 1 during spreading (sum of halo rows from every
+/// halo source, self included).
+pub fn charge_targets(map: &GridMap, reach_points: usize) -> Vec<u64> {
+    let n_nodes = map.dims.node_count() as usize;
+    let mut out = vec![0u64; n_nodes];
+    for c in map.dims.iter_coords() {
+        let dst = c.node_id(map.dims);
+        for src in halo_sources(map, c) {
+            out[dst.index()] += halo_rows(map, src, c, reach_points).len() as u64;
+        }
+    }
+    out
+}
+
+/// Expected potential-row packets arriving at each node's HTIS: each
+/// halo source brick multicasts all of its rows (bz·by) to its
+/// neighborhood.
+pub fn potential_targets(map: &GridMap) -> Vec<u64> {
+    let b = map.brick();
+    let rows_per_brick = (b[1] * b[2]) as u64;
+    let n_nodes = map.dims.node_count() as usize;
+    let mut out = vec![0u64; n_nodes];
+    for c in map.dims.iter_coords() {
+        let dst = c.node_id(map.dims);
+        out[dst.index()] += rows_per_brick * halo_sources(map, c).len() as u64;
+    }
+    out
+}
+
+/// A stable dense index for a grid point within its brick.
+pub fn brick_local_index(map: &GridMap, g: [usize; 3]) -> usize {
+    let b = map.brick();
+    (g[0] % b[0]) + b[0] * ((g[1] % b[1]) + b[1] * (g[2] % b[2]))
+}
+
+/// The owner node of the brick containing a grid point.
+pub fn brick_owner_node(map: &GridMap, g: [usize; 3]) -> NodeId {
+    map.brick_owner(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_topo::TorusDims;
+
+    fn paper_map() -> GridMap {
+        GridMap::new([32, 32, 32], TorusDims::anton_512())
+    }
+
+    #[test]
+    fn pencil_targets_cover_the_whole_grid() {
+        let map = paper_map();
+        for dim in [Dim::X, Dim::Y, Dim::Z] {
+            let targets = pencil_targets(&map, dim);
+            let total: u64 = targets.iter().flatten().sum();
+            assert_eq!(total, 32 * 32 * 32, "{dim:?}");
+            // 2 lines per node (32 points each) split across slices.
+            for t in &targets {
+                assert_eq!(t.iter().sum::<u64>(), 64);
+            }
+        }
+    }
+
+    #[test]
+    fn brick_targets_cover_the_whole_grid() {
+        let map = paper_map();
+        let t = brick_targets(&map);
+        let total: u64 = t.iter().flatten().sum();
+        assert_eq!(total, 32 * 32 * 32);
+    }
+
+    #[test]
+    fn line_slice_agrees_for_all_senders() {
+        // Any sender computing the slice for a line must get the same
+        // answer as the owner (it's a pure function of (dim, u, v)).
+        let map = paper_map();
+        for (u, v) in [(0, 0), (31, 31), (7, 19), (16, 4)] {
+            let a = line_slice(&map, Dim::Y, u, v);
+            assert!(a < 4);
+            assert_eq!(a, line_slice(&map, Dim::Y, u, v));
+        }
+    }
+
+    #[test]
+    fn halo_rows_shapes() {
+        let map = paper_map();
+        let src = Coord::new(3, 3, 3);
+        // Self: the full brick's rows (4×4), full x-runs.
+        let rows = halo_rows(&map, src, src, 3);
+        assert_eq!(rows.len(), 16);
+        assert!(rows.iter().all(|&(_, _, x0, len)| x0 == 0 && len == 4));
+        // +x face neighbor: full rows, x-run = reach (3 of 4 points).
+        let rows = halo_rows(&map, src, Coord::new(4, 3, 3), 3);
+        assert_eq!(rows.len(), 16);
+        assert!(rows.iter().all(|&(_, _, x0, len)| x0 == 0 && len == 3));
+        // −z neighbor: only the top `reach` planes of the target.
+        let rows = halo_rows(&map, src, Coord::new(3, 3, 2), 3);
+        assert_eq!(rows.len(), 4 * 3); // 3 z-planes × 4 y-rows
+        assert!(rows.iter().all(|&(z, _, _, _)| z >= 1));
+        // Corner: reach³ region → 9 short rows.
+        let rows = halo_rows(&map, src, Coord::new(4, 4, 4), 3);
+        assert_eq!(rows.len(), 9);
+        // Beyond the Moore neighborhood: nothing.
+        assert!(halo_rows(&map, src, Coord::new(5, 3, 3), 3).is_empty());
+    }
+
+    #[test]
+    fn charge_and_potential_targets_are_uniform_on_a_symmetric_machine() {
+        let map = paper_map();
+        let ct = charge_targets(&map, 3);
+        assert!(ct.iter().all(|&c| c == ct[0]));
+        assert!(ct[0] > 0);
+        let pt = potential_targets(&map);
+        assert!(pt.iter().all(|&p| p == pt[0]));
+        assert_eq!(pt[0], 16 * 27); // 16 rows from each of 27 halo bricks
+    }
+
+    #[test]
+    fn halo_sources_count() {
+        let map = paper_map();
+        assert_eq!(halo_sources(&map, Coord::new(2, 2, 2)).len(), 27);
+        // Tiny machine: aliasing shrinks the set.
+        let small = GridMap::new([8, 8, 8], TorusDims::new(2, 2, 2));
+        assert_eq!(halo_sources(&small, Coord::new(0, 0, 0)).len(), 8);
+    }
+}

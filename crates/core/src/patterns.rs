@@ -1,0 +1,237 @@
+//! Multicast pattern-id allocation.
+//!
+//! The hardware constraint (§III.A) is **per node**: up to 256
+//! precomputed patterns can be programmed into each node's lookup
+//! tables, and a packet's pattern id must resolve unambiguously at every
+//! node its tree touches. Ids are therefore assigned by greedy graph
+//! coloring over *all* tree families jointly: two trees that touch a
+//! common node get different ids; disjoint trees may share one. This is
+//! the table-packing problem Anton's software had to solve when
+//! programming the tables, and the allocation asserts the 256 budget.
+
+use crate::decomp::Decomposition;
+use anton_fft::GridMap;
+use anton_net::{Fabric, PatternId};
+use anton_topo::{Coord, Dim, MulticastPattern, TorusDims};
+
+/// Joint colorer: per-machine-node occupied color sets.
+struct Colorer {
+    used: Vec<Vec<u16>>,
+    max_color: u16,
+}
+
+impl Colorer {
+    fn new(n_nodes: usize) -> Colorer {
+        Colorer { used: vec![Vec::new(); n_nodes], max_color: 0 }
+    }
+
+    fn assign(&mut self, tree: &MulticastPattern) -> PatternId {
+        let members: Vec<usize> = tree.entries().map(|(node, _)| node.index()).collect();
+        let mut color = 0u16;
+        'search: loop {
+            for &m in &members {
+                if self.used[m].contains(&color) {
+                    color += 1;
+                    continue 'search;
+                }
+            }
+            break;
+        }
+        assert!(
+            (color as usize) < anton_topo::MAX_PATTERNS_PER_NODE,
+            "multicast table budget exceeded at color {color}"
+        );
+        for &m in &members {
+            self.used[m].push(color);
+        }
+        self.max_color = self.max_color.max(color);
+        PatternId(color)
+    }
+}
+
+/// One family of per-source multicast trees.
+#[derive(Debug, Clone)]
+pub struct PatternFamily {
+    /// Pattern id per source node (indexed by node id).
+    pub ids: Vec<PatternId>,
+    trees: Vec<MulticastPattern>,
+}
+
+impl PatternFamily {
+    fn build(
+        dims: TorusDims,
+        colorer: &mut Colorer,
+        mut dests: impl FnMut(Coord) -> Vec<Coord>,
+    ) -> PatternFamily {
+        let mut trees = Vec::new();
+        let mut ids = Vec::new();
+        for src in dims.iter_coords() {
+            let tree = MulticastPattern::build(src, &dests(src), dims);
+            ids.push(colorer.assign(&tree));
+            trees.push(tree);
+        }
+        PatternFamily { ids, trees }
+    }
+
+    fn register(&self, fabric: &mut Fabric) {
+        for (tree, &id) in self.trees.iter().zip(&self.ids) {
+            fabric.register_pattern(id, tree);
+        }
+    }
+
+    /// The pattern id for `src`.
+    pub fn id_of(&self, src: Coord, dims: TorusDims) -> PatternId {
+        self.ids[src.node_id(dims).index()]
+    }
+}
+
+/// The full set of MD pattern families, allocated once (they depend only
+/// on machine dims and reach geometry).
+#[derive(Debug, Clone)]
+pub struct MdPatterns {
+    /// NT position-import trees.
+    pub pos: PatternFamily,
+    /// Potential-halo trees.
+    pub pot: PatternFamily,
+    /// Migration-sync trees.
+    pub mig: PatternFamily,
+    /// All-reduce line broadcasts, one family per dimension.
+    pub ar: [PatternFamily; 3],
+    /// Highest color used (diagnostic; < 256 by construction).
+    pub colors_used: u16,
+    dims: TorusDims,
+}
+
+impl MdPatterns {
+    /// Allocate all families; panics if any node's table would exceed
+    /// 256 entries.
+    pub fn allocate(decomp: &Decomposition, grid_map: &GridMap) -> MdPatterns {
+        let dims = decomp.dims;
+        let mut colorer = Colorer::new(dims.node_count() as usize);
+        let pos = PatternFamily::build(dims, &mut colorer, |src| decomp.import_boxes(src));
+        let pot = PatternFamily::build(dims, &mut colorer, |src| {
+            crate::fftplan::halo_sources(grid_map, src)
+        });
+        let mig = PatternFamily::build(dims, &mut colorer, |src| {
+            anton_topo::moore_neighbors(src, dims)
+        });
+        let ar = Dim::ALL.map(|dim| {
+            PatternFamily::build(dims, &mut colorer, |src| {
+                if dims.len(dim) <= 1 {
+                    Vec::new()
+                } else {
+                    (0..dims.len(dim)).map(|v| src.with(dim, v)).collect()
+                }
+            })
+        });
+        MdPatterns {
+            pos,
+            pot,
+            mig,
+            ar,
+            colors_used: colorer.max_color + 1,
+            dims,
+        }
+    }
+
+    /// Position-multicast id for `src`.
+    pub fn pos_id(&self, src: Coord) -> PatternId {
+        self.pos.id_of(src, self.dims)
+    }
+
+    /// Potential-halo id for `src`.
+    pub fn pot_id(&self, src: Coord) -> PatternId {
+        self.pot.id_of(src, self.dims)
+    }
+
+    /// Migration-sync id for `src`.
+    pub fn mig_id(&self, src: Coord) -> PatternId {
+        self.mig.id_of(src, self.dims)
+    }
+
+    /// All-reduce line-broadcast id for `src` along `dim`.
+    pub fn ar_id(&self, dim: Dim, src: Coord) -> PatternId {
+        self.ar[dim.index()].id_of(src, self.dims)
+    }
+
+    /// Register families on a fresh fabric (`thermostat`/`migration`
+    /// gate the optional ones).
+    pub fn register(&self, fabric: &mut Fabric, thermostat: bool, migration: bool) {
+        self.pos.register(fabric);
+        self.pot.register(fabric);
+        if migration {
+            self.mig.register(fabric);
+        }
+        if thermostat {
+            for fam in &self.ar {
+                fam.register(fabric);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anton_md::PeriodicBox;
+
+    fn paper_setup() -> (Decomposition, GridMap) {
+        let dims = TorusDims::anton_512();
+        (
+            Decomposition::new(dims, PeriodicBox::cubic(62.23), 11.0),
+            GridMap::new([32; 3], dims),
+        )
+    }
+
+    #[test]
+    fn allocation_fits_hardware_limits_on_the_512_node_machine() {
+        let (decomp, grid_map) = paper_setup();
+        let pats = MdPatterns::allocate(&decomp, &grid_map);
+        let mut fabric = Fabric::new(decomp.dims);
+        // Must not panic: unique ids per node, ≤ 256 entries per node.
+        pats.register(&mut fabric, true, true);
+        assert!(
+            pats.colors_used as usize <= anton_topo::MAX_PATTERNS_PER_NODE,
+            "colors used: {}",
+            pats.colors_used
+        );
+    }
+
+    #[test]
+    fn allocation_works_on_tiny_machines() {
+        let dims = TorusDims::new(2, 2, 2);
+        let decomp = Decomposition::new(dims, PeriodicBox::cubic(18.0), 4.5);
+        let grid_map = GridMap::new([8; 3], dims);
+        let pats = MdPatterns::allocate(&decomp, &grid_map);
+        let mut fabric = Fabric::new(dims);
+        pats.register(&mut fabric, true, true);
+    }
+
+    #[test]
+    fn conflicting_trees_get_distinct_ids() {
+        let (decomp, grid_map) = paper_setup();
+        let pats = MdPatterns::allocate(&decomp, &grid_map);
+        // Adjacent sources' position trees share nodes → distinct ids.
+        let a = pats.pos_id(Coord::new(0, 0, 0));
+        let b = pats.pos_id(Coord::new(1, 0, 0));
+        assert_ne!(a, b);
+        // Position vs. potential trees from the same source share the
+        // source node → distinct ids.
+        assert_ne!(
+            pats.pos_id(Coord::new(0, 0, 0)),
+            pats.pot_id(Coord::new(0, 0, 0))
+        );
+        let _ = grid_map;
+    }
+
+    #[test]
+    fn ar_lines_cover_the_axis() {
+        let (decomp, grid_map) = paper_setup();
+        let pats = MdPatterns::allocate(&decomp, &grid_map);
+        // Two sources on the same X line must have distinct ids (their
+        // trees are the same node set).
+        let a = pats.ar_id(Dim::X, Coord::new(0, 3, 3));
+        let b = pats.ar_id(Dim::X, Coord::new(5, 3, 3));
+        assert_ne!(a, b);
+    }
+}

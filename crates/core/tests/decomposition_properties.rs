@@ -1,0 +1,142 @@
+//! Property tests of the NT decomposition and the FFT/halo plans across
+//! randomized machine geometries — correctness of these maps underpins
+//! every simulated experiment.
+
+use anton_core::Decomposition;
+use anton_fft::GridMap;
+use anton_md::PeriodicBox;
+use anton_topo::{NodeId, TorusDims};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// NT coverage: every box pair within reach is computed on exactly
+    /// one node, whatever the machine shape and cutoff.
+    #[test]
+    fn nt_coverage_on_random_geometries(
+        nx in 2u32..6, ny in 2u32..6, nz in 2u32..6,
+        edge in 18.0f64..40.0,
+        cutoff_frac in 0.15f64..0.45,
+    ) {
+        let dims = TorusDims::new(nx, ny, nz);
+        let pbox = PeriodicBox::cubic(edge);
+        let cutoff = edge * cutoff_frac;
+        let d = Decomposition::new(dims, pbox, cutoff);
+        let mut claims = std::collections::HashMap::new();
+        for c in dims.iter_coords() {
+            for (a, b) in d.task_pairs(c) {
+                prop_assert!(d.import_boxes(a).contains(&c));
+                prop_assert!(d.import_boxes(b).contains(&c));
+                let key = (
+                    a.node_id(dims).min(b.node_id(dims)),
+                    a.node_id(dims).max(b.node_id(dims)),
+                );
+                *claims.entry(key).or_insert(0u32) += 1;
+            }
+        }
+        for a in dims.iter_coords() {
+            for b in dims.iter_coords() {
+                if a.node_id(dims) > b.node_id(dims) {
+                    continue;
+                }
+                let want = u32::from(d.boxes_within_cutoff(a, b));
+                let got = claims
+                    .get(&(a.node_id(dims), b.node_id(dims)))
+                    .copied()
+                    .unwrap_or(0);
+                prop_assert_eq!(got, want, "pair {}–{} on {}x{}x{} cutoff {:.1}",
+                    a, b, nx, ny, nz, cutoff);
+            }
+        }
+    }
+
+    /// The import relation is symmetric through `source_boxes`:
+    /// c receives from s ⇔ s's import set contains c.
+    #[test]
+    fn import_and_source_are_inverse(
+        nx in 2u32..7, ny in 2u32..7, nz in 2u32..7,
+        seed in 0u64..1_000,
+    ) {
+        let dims = TorusDims::new(nx, ny, nz);
+        let d = Decomposition::new(dims, PeriodicBox::cubic(30.0), 8.0);
+        let n = dims.node_count() as u64;
+        let c = NodeId((seed % n) as u32).coord(dims);
+        for s in d.source_boxes(c) {
+            prop_assert!(d.import_boxes(s).contains(&c));
+        }
+        for t in d.import_boxes(c) {
+            prop_assert!(d.source_boxes(t).contains(&c));
+        }
+    }
+
+    /// FFT pencil ownership covers every grid point exactly once per
+    /// stage, on asymmetric machines and grids.
+    #[test]
+    fn fft_pencils_partition_the_grid(
+        mx in 1u32..5, my in 1u32..5, mz in 1u32..5,
+        gexp in 3u32..6,
+    ) {
+        let g = 1usize << gexp; // 8..32
+        let dims = TorusDims::new(
+            2u32.pow(mx.min(gexp)),
+            2u32.pow(my.min(gexp)),
+            2u32.pow(mz.min(gexp)),
+        );
+        let map = GridMap::new([g; 3], dims);
+        for dim in [anton_topo::Dim::X, anton_topo::Dim::Y, anton_topo::Dim::Z] {
+            let targets = anton_core::fftplan::pencil_targets(&map, dim);
+            let total: u64 = targets.iter().flatten().sum();
+            prop_assert_eq!(total as usize, g * g * g, "{:?}", dim);
+        }
+        let bt = anton_core::fftplan::brick_targets(&map);
+        let total: u64 = bt.iter().flatten().sum();
+        prop_assert_eq!(total as usize, g * g * g);
+    }
+
+    /// Halo rows: summing every (src → dst) region over all sources
+    /// covers each destination brick's reachable region without gaps in
+    /// the self-transfer (the self rows always cover the full brick).
+    #[test]
+    fn halo_self_rows_cover_the_brick(
+        m in 2u32..5,
+        gexp in 3u32..6,
+        reach in 1usize..4,
+    ) {
+        let g = 1usize << gexp;
+        let dims = TorusDims::new(m, m, m);
+        if !g.is_multiple_of(m as usize) {
+            return Ok(());
+        }
+        let map = GridMap::new([g; 3], dims);
+        let b = map.brick();
+        let c = anton_topo::Coord::new(0, 0, 0);
+        let rows = anton_core::fftplan::halo_rows(&map, c, c, reach.min(b[0]));
+        let covered: usize = rows.iter().map(|&(_, _, _, len)| len).sum();
+        prop_assert_eq!(covered, b[0] * b[1] * b[2], "self rows cover the brick");
+    }
+}
+
+/// Regression: the exact paper geometry's NT statistics.
+#[test]
+fn paper_geometry_statistics() {
+    let dims = TorusDims::anton_512();
+    let d = Decomposition::new(dims, PeriodicBox::cubic(62.23), 11.0);
+    // Import set size (the "as many as 17 HTIS units" claim).
+    let import = d.import_offsets().len();
+    assert!((13..=19).contains(&import));
+    // Total task pairs machine-wide = count of in-range unordered pairs.
+    let mut total_tasks = 0usize;
+    for c in dims.iter_coords() {
+        total_tasks += d.task_pairs(c).len();
+    }
+    let mut in_range = 0usize;
+    for a in dims.iter_coords() {
+        for b in dims.iter_coords() {
+            if a.node_id(dims) <= b.node_id(dims) && d.boxes_within_cutoff(a, b) {
+                in_range += 1;
+            }
+        }
+    }
+    assert_eq!(total_tasks, in_range);
+}

@@ -1,0 +1,208 @@
+//! Measurement helpers: streaming summaries and fixed-bin histograms.
+
+use crate::time::SimDuration;
+
+/// Streaming min/max/mean/variance over f64 samples (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration sample, in nanoseconds.
+    pub fn record_duration_ns(&mut self, d: SimDuration) {
+        self.record(d.as_ns_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for the empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample standard deviation (0 with fewer than 2 samples).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (None if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (None if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// Fixed-width-bin histogram over non-negative f64 samples, with an
+/// overflow bin. Used for latency distributions.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: f64,
+    bins: Vec<u64>,
+    overflow: u64,
+    summary: Summary,
+}
+
+impl Histogram {
+    /// `nbins` bins of `bin_width` each, covering `[0, nbins * bin_width)`.
+    pub fn new(bin_width: f64, nbins: usize) -> Self {
+        assert!(bin_width > 0.0 && nbins > 0);
+        Histogram {
+            bin_width,
+            bins: vec![0; nbins],
+            overflow: 0,
+            summary: Summary::new(),
+        }
+    }
+
+    /// Record one sample (values below 0 clamp into bin 0).
+    pub fn record(&mut self, x: f64) {
+        self.summary.record(x);
+        let idx = (x.max(0.0) / self.bin_width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Count of samples beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// The streaming summary over all samples.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Approximate p-th percentile (0..=100) by bin interpolation.
+    /// Returns None if empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = (p / 100.0 * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((i as f64 + 0.5) * self.bin_width);
+            }
+        }
+        Some(self.bins.len() as f64 * self.bin_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic dataset is ~2.138.
+        assert!((s.stddev() - 2.1380899).abs() < 1e-6);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn histogram_binning_and_overflow() {
+        let mut h = Histogram::new(10.0, 5); // [0,50)
+        for x in [0.0, 9.9, 10.0, 25.0, 49.9, 50.0, 1000.0] {
+            h.record(x);
+        }
+        assert_eq!(h.bin(0), 2);
+        assert_eq!(h.bin(1), 1);
+        assert_eq!(h.bin(2), 1);
+        assert_eq!(h.bin(4), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn histogram_percentile() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        assert!((p50 - 49.5).abs() < 1.0, "p50={p50}");
+        let p99 = h.percentile(99.0).unwrap();
+        assert!(p99 >= 98.0, "p99={p99}");
+        assert_eq!(Histogram::new(1.0, 4).percentile(50.0), None);
+    }
+
+    #[test]
+    fn duration_recording() {
+        let mut s = Summary::new();
+        s.record_duration_ns(SimDuration::from_ns(162));
+        assert_eq!(s.mean(), 162.0);
+    }
+}

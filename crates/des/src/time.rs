@@ -1,0 +1,288 @@
+//! Simulated time.
+//!
+//! All simulated time in this workspace is kept in **picoseconds** as a
+//! `u64`. Anton's interesting latencies span from single-digit nanoseconds
+//! (an on-chip router hop) to tens of microseconds (a long-range MD time
+//! step), so picoseconds give integer arithmetic with ample headroom:
+//! `u64::MAX` ps is over 200 days of simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, in picoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Picoseconds since simulation start.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Nanoseconds since simulation start (fractional).
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Microseconds since simulation start (fractional).
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration elapsed since `earlier`. Panics in debug builds if
+    /// `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier.0 <= self.0, "time went backwards");
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns * 1_000)
+    }
+
+    /// Construct from fractional nanoseconds (rounds to nearest ps).
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        debug_assert!(ns >= 0.0, "negative duration");
+        SimDuration((ns * 1e3).round() as u64)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000_000)
+    }
+
+    /// Picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Nanoseconds (fractional).
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Microseconds (fractional).
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time to serialize `bytes` bytes onto a channel of `gbit_per_s`
+    /// (10^9 bits per second), rounded up to the next picosecond so a
+    /// nonzero payload always consumes nonzero time.
+    pub fn for_bytes_at_gbps(bytes: u64, gbit_per_s: f64) -> SimDuration {
+        debug_assert!(gbit_per_s > 0.0);
+        let ps = (bytes as f64 * 8.0 * 1e3 / gbit_per_s).ceil() as u64;
+        SimDuration(ps)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(rhs.0 <= self.0, "negative duration");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        debug_assert!(rhs.0 <= self.0, "negative duration");
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ns", self.as_ns_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3} us", self.as_us_f64())
+        } else {
+            write!(f, "{:.3} ns", self.as_ns_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        assert_eq!(SimTime::from_ns(162).as_ps(), 162_000);
+        assert_eq!(SimTime::from_us(3).as_ps(), 3_000_000);
+        assert_eq!(SimDuration::from_ns(54).as_ps(), 54_000);
+        assert_eq!(SimDuration::from_us(1).as_ps(), 1_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ns(100) + SimDuration::from_ns(62);
+        assert_eq!(t, SimTime::from_ns(162));
+        assert_eq!(t.since(SimTime::from_ns(100)), SimDuration::from_ns(62));
+        assert_eq!(SimDuration::from_ns(10) * 3, SimDuration::from_ns(30));
+        assert_eq!(SimDuration::from_ns(30) / 3, SimDuration::from_ns(10));
+    }
+
+    #[test]
+    fn serialization_time_matches_bandwidth() {
+        // 256 bytes at 36.8 Gbit/s = 55.65 ns.
+        let d = SimDuration::for_bytes_at_gbps(256, 36.8);
+        let ns = d.as_ns_f64();
+        assert!((ns - 55.652).abs() < 0.01, "got {ns}");
+        // Zero bytes take zero time.
+        assert_eq!(SimDuration::for_bytes_at_gbps(0, 36.8), SimDuration::ZERO);
+        // One byte takes nonzero time (rounds up).
+        assert!(SimDuration::for_bytes_at_gbps(1, 1000.0).as_ps() > 0);
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(format!("{}", SimDuration::from_ns(162)), "162.000 ns");
+        assert_eq!(format!("{}", SimDuration::from_us(2)), "2.000 us");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_ns).sum();
+        assert_eq!(total, SimDuration::from_ns(10));
+    }
+
+    #[test]
+    fn fractional_ns() {
+        assert_eq!(SimDuration::from_ns_f64(9.5).as_ps(), 9_500);
+        assert_eq!(SimDuration::from_ns_f64(0.0004).as_ps(), 0);
+    }
+}

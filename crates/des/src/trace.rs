@@ -1,0 +1,293 @@
+//! Activity tracing — the software analogue of Anton's on-chip logic
+//! analyzer (paper §IV.C, Figure 13).
+//!
+//! Components record *intervals* of activity tagged with a track id and an
+//! activity kind. The tracer can then report per-track utilization over a
+//! window and render a coarse ASCII timeline like the paper's Figure 13.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Identifies one horizontal track in the trace (e.g. "torus X+ links",
+/// "Tensilica cores", "HTIS units"). Tracks aggregate all units of a class,
+/// as in the paper's figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId(pub u16);
+
+/// What a unit was doing during an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Activity {
+    /// Transferring data (links) or computing (cores).
+    Busy,
+    /// Stalled waiting for data (the paper renders this light gray).
+    Stalled,
+}
+
+/// One recorded interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// The track (component class) this interval belongs to.
+    pub track: TrackId,
+    /// What the unit was doing.
+    pub activity: Activity,
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end (≥ start).
+    pub end: SimTime,
+    /// Free-form phase tag (e.g. "position send", "FFT"). Index into the
+    /// tracer's label table to keep intervals `Copy`.
+    pub label: u16,
+}
+
+/// Interval recorder.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    intervals: Vec<Interval>,
+    track_names: BTreeMap<TrackId, String>,
+    labels: Vec<String>,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// A tracer that records (tracing costs memory; disable for big sweeps).
+    pub fn enabled() -> Self {
+        Tracer {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// A tracer that drops everything.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Whether intervals are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Register a human-readable name for a track.
+    pub fn name_track(&mut self, track: TrackId, name: impl Into<String>) {
+        self.track_names.insert(track, name.into());
+    }
+
+    /// Intern a label string, returning its id.
+    pub fn intern_label(&mut self, label: &str) -> u16 {
+        if let Some(i) = self.labels.iter().position(|l| l == label) {
+            return i as u16;
+        }
+        self.labels.push(label.to_owned());
+        (self.labels.len() - 1) as u16
+    }
+
+    /// Record an interval. Zero-length intervals are kept (they mark
+    /// instantaneous events) but contribute nothing to utilization.
+    pub fn record(
+        &mut self,
+        track: TrackId,
+        activity: Activity,
+        start: SimTime,
+        end: SimTime,
+        label: u16,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert!(end >= start);
+        self.intervals.push(Interval {
+            track,
+            activity,
+            start,
+            end,
+            label,
+        });
+    }
+
+    /// All recorded intervals, in recording order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Label text by id.
+    pub fn label(&self, id: u16) -> &str {
+        &self.labels[id as usize]
+    }
+
+    /// Total busy time on `track` within `[from, to)`, clipped.
+    pub fn busy_time(&self, track: TrackId, from: SimTime, to: SimTime) -> SimDuration {
+        self.clipped_total(track, Activity::Busy, from, to)
+    }
+
+    /// Total stalled time on `track` within `[from, to)`, clipped.
+    pub fn stalled_time(&self, track: TrackId, from: SimTime, to: SimTime) -> SimDuration {
+        self.clipped_total(track, Activity::Stalled, from, to)
+    }
+
+    fn clipped_total(
+        &self,
+        track: TrackId,
+        activity: Activity,
+        from: SimTime,
+        to: SimTime,
+    ) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for iv in &self.intervals {
+            if iv.track != track || iv.activity != activity {
+                continue;
+            }
+            let s = iv.start.max(from);
+            let e = iv.end.min(to);
+            if e > s {
+                total += e - s;
+            }
+        }
+        total
+    }
+
+    /// Emit a CSV of all intervals: `track,name,activity,start_ns,end_ns,label`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("track,name,activity,start_ns,end_ns,label\n");
+        for iv in &self.intervals {
+            let name = self
+                .track_names
+                .get(&iv.track)
+                .map(String::as_str)
+                .unwrap_or("");
+            let act = match iv.activity {
+                Activity::Busy => "busy",
+                Activity::Stalled => "stalled",
+            };
+            out.push_str(&format!(
+                "{},{},{},{:.3},{:.3},{}\n",
+                iv.track.0,
+                name,
+                act,
+                iv.start.as_ns_f64(),
+                iv.end.as_ns_f64(),
+                self.labels
+                    .get(iv.label as usize)
+                    .map(String::as_str)
+                    .unwrap_or("")
+            ));
+        }
+        out
+    }
+
+    /// Render a coarse ASCII timeline: one row per named track, `cols`
+    /// character cells spanning `[from, to)`. `#` = busy, `.` = stalled
+    /// (only), ` ` = idle. Busy wins over stalled in a cell.
+    pub fn ascii_timeline(&self, from: SimTime, to: SimTime, cols: usize) -> String {
+        assert!(to > from && cols > 0);
+        let span = (to - from).as_ps();
+        let cell = (span as f64 / cols as f64).max(1.0);
+        let mut out = String::new();
+        let width = self
+            .track_names
+            .values()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        for (&track, name) in &self.track_names {
+            let mut row = vec![b' '; cols];
+            for iv in &self.intervals {
+                if iv.track != track {
+                    continue;
+                }
+                let s = iv.start.max(from);
+                let e = iv.end.min(to);
+                if e <= s {
+                    continue;
+                }
+                let c0 = ((s.as_ps() - from.as_ps()) as f64 / cell) as usize;
+                let c1 = (((e.as_ps() - from.as_ps()) as f64 / cell).ceil() as usize).min(cols);
+                for c in row.iter_mut().take(c1).skip(c0.min(cols)) {
+                    match iv.activity {
+                        Activity::Busy => *c = b'#',
+                        Activity::Stalled => {
+                            if *c == b' ' {
+                                *c = b'.';
+                            }
+                        }
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "{:>width$} |{}|\n",
+                name,
+                String::from_utf8(row).expect("ascii"),
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn busy_time_clips_to_window() {
+        let mut tr = Tracer::enabled();
+        let lbl = tr.intern_label("x");
+        tr.record(TrackId(0), Activity::Busy, t(10), t(30), lbl);
+        tr.record(TrackId(0), Activity::Busy, t(50), t(60), lbl);
+        tr.record(TrackId(1), Activity::Busy, t(0), t(100), lbl);
+        // Window [20, 55): 10 ns of the first + 5 ns of the second.
+        assert_eq!(tr.busy_time(TrackId(0), t(20), t(55)), SimDuration::from_ns(15));
+        // Other activity kind on same track counts separately.
+        tr.record(TrackId(0), Activity::Stalled, t(30), t(50), lbl);
+        assert_eq!(
+            tr.stalled_time(TrackId(0), t(0), t(100)),
+            SimDuration::from_ns(20)
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tr = Tracer::disabled();
+        let lbl = tr.intern_label("x");
+        tr.record(TrackId(0), Activity::Busy, t(0), t(10), lbl);
+        assert!(tr.intervals().is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn label_interning_dedupes() {
+        let mut tr = Tracer::enabled();
+        let a = tr.intern_label("FFT");
+        let b = tr.intern_label("FFT");
+        let c = tr.intern_label("positions");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(tr.label(c), "positions");
+    }
+
+    #[test]
+    fn csv_output_contains_rows() {
+        let mut tr = Tracer::enabled();
+        tr.name_track(TrackId(3), "X+ links");
+        let lbl = tr.intern_label("position send");
+        tr.record(TrackId(3), Activity::Busy, t(1), t(2), lbl);
+        let csv = tr.to_csv();
+        assert!(csv.contains("3,X+ links,busy,1.000,2.000,position send"));
+    }
+
+    #[test]
+    fn ascii_timeline_marks_cells() {
+        let mut tr = Tracer::enabled();
+        tr.name_track(TrackId(0), "TS");
+        let lbl = tr.intern_label("w");
+        tr.record(TrackId(0), Activity::Busy, t(0), t(50), lbl);
+        tr.record(TrackId(0), Activity::Stalled, t(50), t(100), lbl);
+        let art = tr.ascii_timeline(t(0), t(100), 10);
+        assert!(art.contains("#####"));
+        assert!(art.contains("....."));
+    }
+}

@@ -1,0 +1,278 @@
+//! In-place iterative radix-2 FFT, plus a naive DFT used as the test
+//! oracle.
+//!
+//! Anton's long-range electrostatics pipeline runs small power-of-two
+//! FFTs (32³ and 64³ grids); a plain radix-2 Cooley–Tukey with
+//! precomputed twiddles is exactly the right tool.
+
+use crate::complex::Complex;
+
+/// Direction of the transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward transform (no normalization).
+    Forward,
+    /// Inverse transform (includes the 1/n normalization).
+    Inverse,
+}
+
+/// A reusable 1D FFT plan for length `n` (power of two): precomputed
+/// twiddle factors and bit-reversal table.
+#[derive(Debug, Clone)]
+pub struct Fft1d {
+    n: usize,
+    /// Forward twiddles `e^{-2πik/n}` for k in 0..n/2.
+    twiddles: Vec<Complex>,
+    bitrev: Vec<u32>,
+}
+
+impl Fft1d {
+    /// Build a plan. Panics unless `n` is a power of two ≥ 1.
+    pub fn new(n: usize) -> Fft1d {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two");
+        let twiddles = (0..n / 2)
+            .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .map(|i| if n == 1 { 0 } else { i })
+            .collect();
+        Fft1d { n, twiddles, bitrev }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate length-1 plan.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place transform. The inverse includes the 1/n normalization, so
+    /// `inverse(forward(x)) == x`.
+    pub fn transform(&self, data: &mut [Complex], dir: Direction) {
+        assert_eq!(data.len(), self.n, "buffer length mismatch");
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies.
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let tw = self.twiddles[k * step];
+                    let tw = match dir {
+                        Direction::Forward => tw,
+                        Direction::Inverse => tw.conj(),
+                    };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * tw;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+        if dir == Direction::Inverse {
+            let s = 1.0 / n as f64;
+            for v in data.iter_mut() {
+                *v = v.scale(s);
+            }
+        }
+    }
+}
+
+/// Naive O(n²) DFT (forward, no normalization) — the oracle for tests.
+pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in data.iter().enumerate() {
+                acc += x * Complex::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// 3D in-place FFT over a dense row-major `[nz][ny][nx]` grid. Serial
+/// reference implementation; the distributed plan must match it exactly.
+pub fn fft3d(
+    data: &mut [Complex],
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    dir: Direction,
+) {
+    assert_eq!(data.len(), nx * ny * nz);
+    let px = Fft1d::new(nx);
+    let py = Fft1d::new(ny);
+    let pz = Fft1d::new(nz);
+    let idx = |x: usize, y: usize, z: usize| x + nx * (y + ny * z);
+
+    // X lines are contiguous.
+    let mut buf = vec![Complex::ZERO; nx.max(ny).max(nz)];
+    for z in 0..nz {
+        for y in 0..ny {
+            let s = idx(0, y, z);
+            px.transform(&mut data[s..s + nx], dir);
+        }
+    }
+    // Y lines.
+    for z in 0..nz {
+        for x in 0..nx {
+            for y in 0..ny {
+                buf[y] = data[idx(x, y, z)];
+            }
+            py.transform(&mut buf[..ny], dir);
+            for y in 0..ny {
+                data[idx(x, y, z)] = buf[y];
+            }
+        }
+    }
+    // Z lines.
+    for y in 0..ny {
+        for x in 0..nx {
+            for z in 0..nz {
+                buf[z] = data[idx(x, y, z)];
+            }
+            pz.transform(&mut buf[..nz], dir);
+            for z in 0..nz {
+                data[idx(x, y, z)] = buf[z];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 32, 64] {
+            let data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let oracle = dft_naive(&data);
+            let plan = Fft1d::new(n);
+            let mut got = data.clone();
+            plan.transform(&mut got, Direction::Forward);
+            for (g, o) in got.iter().zip(&oracle) {
+                assert!(close(*g, *o, 1e-9 * n as f64), "n={n}: {g:?} vs {o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let n = 32;
+        let mut data = vec![Complex::ZERO; n];
+        data[0] = Complex::ONE;
+        Fft1d::new(n).transform(&mut data, Direction::Forward);
+        for v in &data {
+            assert!(close(*v, Complex::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 64;
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.31).cos()))
+            .collect();
+        let time_energy: f64 = data.iter().map(|c| c.norm_sq()).sum();
+        let mut freq = data.clone();
+        Fft1d::new(n).transform(&mut freq, Direction::Forward);
+        let freq_energy: f64 = freq.iter().map(|c| c.norm_sq()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// Round trip: inverse(forward(x)) == x.
+        #[test]
+        fn round_trip(log_n in 0usize..8, seed in 0u64..1000) {
+            let n = 1usize << log_n;
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut rnd = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            };
+            let data: Vec<Complex> = (0..n).map(|_| Complex::new(rnd(), rnd())).collect();
+            let plan = Fft1d::new(n);
+            let mut work = data.clone();
+            plan.transform(&mut work, Direction::Forward);
+            plan.transform(&mut work, Direction::Inverse);
+            for (w, d) in work.iter().zip(&data) {
+                prop_assert!(close(*w, *d, 1e-10 * (n as f64)));
+            }
+        }
+
+        /// Linearity: F(ax + by) == aF(x) + bF(y).
+        #[test]
+        fn linearity(seed in 0u64..1000) {
+            let n = 32;
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+            let mut rnd = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            };
+            let x: Vec<Complex> = (0..n).map(|_| Complex::new(rnd(), rnd())).collect();
+            let y: Vec<Complex> = (0..n).map(|_| Complex::new(rnd(), rnd())).collect();
+            let (a, b) = (rnd(), rnd());
+            let plan = Fft1d::new(n);
+            let mut combo: Vec<Complex> = x.iter().zip(&y)
+                .map(|(&xi, &yi)| xi.scale(a) + yi.scale(b)).collect();
+            plan.transform(&mut combo, Direction::Forward);
+            let mut fx = x.clone();
+            plan.transform(&mut fx, Direction::Forward);
+            let mut fy = y.clone();
+            plan.transform(&mut fy, Direction::Forward);
+            for i in 0..n {
+                let want = fx[i].scale(a) + fy[i].scale(b);
+                prop_assert!(close(combo[i], want, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn fft3d_round_trip_and_impulse() {
+        let (nx, ny, nz) = (8, 4, 2);
+        let mut data = vec![Complex::ZERO; nx * ny * nz];
+        data[0] = Complex::ONE;
+        let orig = data.clone();
+        fft3d(&mut data, nx, ny, nz, Direction::Forward);
+        for v in &data {
+            assert!(close(*v, Complex::ONE, 1e-12));
+        }
+        fft3d(&mut data, nx, ny, nz, Direction::Inverse);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!(close(*a, *b, 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        Fft1d::new(12);
+    }
+}

@@ -1,0 +1,21 @@
+//! # anton-fft — from-scratch FFT and the distributed dimension-ordered
+//! 3D FFT
+//!
+//! Implements the transform machinery behind Anton's long-range
+//! electrostatics (paper §II, §IV.B.3): a radix-2 complex FFT, a serial
+//! 3D reference, and the distributed pencil decomposition whose fixed
+//! communication pattern Anton executes with fine-grained (one grid point
+//! per packet) counted remote writes.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod dist;
+pub mod fft1d;
+
+pub use complex::Complex;
+pub use dist::{
+    distributed_fft3d, forward_stages, inverse_stages, point_owner, transfer_counts, transverse,
+    GridMap, Layout,
+};
+pub use fft1d::{dft_naive, fft3d, Direction, Fft1d};

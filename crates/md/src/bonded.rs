@@ -1,0 +1,263 @@
+//! Bonded force terms: harmonic bonds, harmonic angles, periodic
+//! dihedrals. Each function returns the term's energy and adds forces
+//! in place; Newton's third law holds exactly (a property test checks
+//! that every term's forces sum to zero and match −∇E numerically).
+
+use crate::pbc::PeriodicBox;
+use crate::system::{Angle, Bond, Dihedral};
+use crate::vec3::Vec3;
+
+/// Harmonic bond E = k (r − r0)². Returns energy; accumulates forces.
+pub fn bond_force(
+    b: &Bond,
+    pos: &[Vec3],
+    pbox: &PeriodicBox,
+    forces: &mut [Vec3],
+) -> f64 {
+    let d = pbox.min_image(pos[b.i], pos[b.j]); // j − i
+    let r = d.norm();
+    debug_assert!(r > 1e-9, "bonded atoms coincide");
+    let dr = r - b.r0;
+    let e = b.k * dr * dr;
+    // dE/dr = 2 k dr; force on j is −dE/dr · d̂.
+    let f = d * (-2.0 * b.k * dr / r);
+    forces[b.j] += f;
+    forces[b.i] -= f;
+    e
+}
+
+/// Harmonic angle E = k (θ − θ0)² over atoms i–j–k (j is the vertex).
+pub fn angle_force(
+    a: &Angle,
+    pos: &[Vec3],
+    pbox: &PeriodicBox,
+    forces: &mut [Vec3],
+) -> f64 {
+    let rij = pbox.min_image(pos[a.j], pos[a.i]); // i − j
+    let rkj = pbox.min_image(pos[a.j], pos[a.k_atom]); // k − j
+    let (ni, nk) = (rij.norm(), rkj.norm());
+    debug_assert!(ni > 1e-9 && nk > 1e-9);
+    let cos_t = (rij.dot(rkj) / (ni * nk)).clamp(-1.0, 1.0);
+    let theta = cos_t.acos();
+    let dt = theta - a.theta0;
+    let e = a.k * dt * dt;
+    // dE/dθ = 2 k dt; ∂θ/∂ri etc. via standard angle gradients.
+    let sin_t = (1.0 - cos_t * cos_t).sqrt().max(1e-8);
+    let de_dtheta = 2.0 * a.k * dt;
+    let fi = (rij * (cos_t / ni) - rkj / nk) * (-de_dtheta / (sin_t * ni));
+    let fk = (rkj * (cos_t / nk) - rij / ni) * (-de_dtheta / (sin_t * nk));
+    forces[a.i] += fi;
+    forces[a.k_atom] += fk;
+    forces[a.j] -= fi + fk;
+    e
+}
+
+/// Periodic dihedral E = k (1 + cos(n φ − φ0)) over atoms i–j–k–l.
+pub fn dihedral_force(
+    d: &Dihedral,
+    pos: &[Vec3],
+    pbox: &PeriodicBox,
+    forces: &mut [Vec3],
+) -> f64 {
+    // Standard torsion geometry (see e.g. Allen & Tildesley).
+    let b1 = pbox.min_image(pos[d.i], pos[d.j]); // j − i
+    let b2 = pbox.min_image(pos[d.j], pos[d.k_atom]); // k − j
+    let b3 = pbox.min_image(pos[d.k_atom], pos[d.l]); // l − k
+    let n1 = b1.cross(b2);
+    let n2 = b2.cross(b3);
+    let n1sq = n1.norm_sq().max(1e-12);
+    let n2sq = n2.norm_sq().max(1e-12);
+    let b2n = b2.norm().max(1e-9);
+    let cos_phi = (n1.dot(n2) / (n1sq * n2sq).sqrt()).clamp(-1.0, 1.0);
+    let sin_phi = n1.cross(n2).dot(b2) / (b2n * (n1sq * n2sq).sqrt());
+    let phi = sin_phi.atan2(cos_phi);
+    let nf = d.n as f64;
+    let e = d.k * (1.0 + (nf * phi - d.phi0).cos());
+    let de_dphi = -d.k * nf * (nf * phi - d.phi0).sin();
+    // Analytic gradients of φ.
+    let fi = n1 * (de_dphi * b2n / n1sq);
+    let fl = n2 * (-de_dphi * b2n / n2sq);
+    let tj = fi * (b1.dot(b2) / b2.norm_sq()) - fl * (b3.dot(b2) / b2.norm_sq());
+    let fj = -fi - tj;
+    let fk = -fl + tj;
+    forces[d.i] += fi;
+    forces[d.j] += fj;
+    forces[d.k_atom] += fk;
+    forces[d.l] += fl;
+    e
+}
+
+/// Evaluate all bonded terms of a topology slice; returns total energy.
+pub fn all_bonded(
+    bonds: &[Bond],
+    angles: &[Angle],
+    dihedrals: &[Dihedral],
+    pos: &[Vec3],
+    pbox: &PeriodicBox,
+    forces: &mut [Vec3],
+) -> f64 {
+    let mut e = 0.0;
+    for b in bonds {
+        e += bond_force(b, pos, pbox, forces);
+    }
+    for a in angles {
+        e += angle_force(a, pos, pbox, forces);
+    }
+    for d in dihedrals {
+        e += dihedral_force(d, pos, pbox, forces);
+    }
+    e
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // f[atom] vs num_grad(atom) reads clearer
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const BOX: f64 = 100.0; // large box: min-image is identity for tests
+
+    fn num_grad<E: Fn(&[Vec3]) -> f64>(energy: E, pos: &[Vec3], atom: usize) -> Vec3 {
+        let h = 1e-6;
+        let mut g = Vec3::ZERO;
+        for ax in 0..3 {
+            let mut p = pos.to_vec();
+            let mut q = pos.to_vec();
+            let v = p[atom].get(ax);
+            p[atom].set(ax, v + h);
+            let v = q[atom].get(ax);
+            q[atom].set(ax, v - h);
+            g.set(ax, (energy(&p) - energy(&q)) / (2.0 * h));
+        }
+        g
+    }
+
+    #[test]
+    fn bond_at_rest_length_has_zero_force_and_energy() {
+        let pbox = PeriodicBox::cubic(BOX);
+        let b = Bond { i: 0, j: 1, r0: 1.5, k: 300.0 };
+        let pos = vec![Vec3::ZERO, Vec3::new(1.5, 0.0, 0.0)];
+        let mut f = vec![Vec3::ZERO; 2];
+        let e = bond_force(&b, &pos, &pbox, &mut f);
+        assert!(e.abs() < 1e-12);
+        assert!(f[0].norm() < 1e-12 && f[1].norm() < 1e-12);
+    }
+
+    #[test]
+    fn stretched_bond_pulls_back() {
+        let pbox = PeriodicBox::cubic(BOX);
+        let b = Bond { i: 0, j: 1, r0: 1.0, k: 100.0 };
+        let pos = vec![Vec3::ZERO, Vec3::new(1.2, 0.0, 0.0)];
+        let mut f = vec![Vec3::ZERO; 2];
+        let e = bond_force(&b, &pos, &pbox, &mut f);
+        assert!((e - 100.0 * 0.04).abs() < 1e-12);
+        assert!(f[1].x < 0.0, "stretched bond must pull j back");
+        assert!((f[0] + f[1]).norm() < 1e-12, "Newton's third law");
+    }
+
+    #[test]
+    fn bond_across_periodic_boundary() {
+        let pbox = PeriodicBox::cubic(10.0);
+        let b = Bond { i: 0, j: 1, r0: 1.0, k: 100.0 };
+        // 0.5 and 9.7: min-image distance 0.8, not 9.2.
+        let pos = vec![Vec3::new(0.5, 5.0, 5.0), Vec3::new(9.7, 5.0, 5.0)];
+        let mut f = vec![Vec3::ZERO; 2];
+        let e = bond_force(&b, &pos, &pbox, &mut f);
+        assert!((e - 100.0 * 0.04).abs() < 1e-9, "e={e}");
+    }
+
+    #[test]
+    fn angle_at_equilibrium_is_zero() {
+        let pbox = PeriodicBox::cubic(BOX);
+        let a = Angle { i: 0, j: 1, k_atom: 2, theta0: std::f64::consts::FRAC_PI_2, k: 50.0 };
+        let pos = vec![
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+        ];
+        let mut f = vec![Vec3::ZERO; 3];
+        let e = angle_force(&a, &pos, &pbox, &mut f);
+        assert!(e.abs() < 1e-12);
+        assert!(f.iter().all(|v| v.norm() < 1e-9));
+    }
+
+    proptest! {
+        /// Bond forces equal −∇E and sum to zero.
+        #[test]
+        fn bond_matches_numerical_gradient(
+            x in 0.8f64..3.0, y in -1.0f64..1.0, z in -1.0f64..1.0,
+        ) {
+            let pbox = PeriodicBox::cubic(BOX);
+            let b = Bond { i: 0, j: 1, r0: 1.5, k: 120.0 };
+            let pos = vec![Vec3::ZERO, Vec3::new(x, y, z)];
+            let mut f = vec![Vec3::ZERO; 2];
+            bond_force(&b, &pos, &pbox, &mut f);
+            let e_of = |p: &[Vec3]| {
+                let mut scratch = vec![Vec3::ZERO; 2];
+                bond_force(&b, p, &pbox, &mut scratch)
+            };
+            for atom in 0..2 {
+                let g = num_grad(e_of, &pos, atom);
+                prop_assert!((f[atom] + g).norm() < 1e-5, "atom {atom}: f={:?} -g={:?}", f[atom], -g);
+            }
+            prop_assert!((f[0] + f[1]).norm() < 1e-12);
+        }
+
+        /// Angle forces equal −∇E and sum to zero.
+        #[test]
+        fn angle_matches_numerical_gradient(
+            ax in 0.7f64..2.0, ay in 0.2f64..2.0,
+            kx in -2.0f64..-0.2, ky in 0.2f64..2.0, kz in -1.0f64..1.0,
+        ) {
+            let pbox = PeriodicBox::cubic(BOX);
+            let a = Angle { i: 0, j: 1, k_atom: 2, theta0: 1.9, k: 45.0 };
+            let pos = vec![
+                Vec3::new(ax, ay, 0.1),
+                Vec3::ZERO,
+                Vec3::new(kx, ky, kz),
+            ];
+            let mut f = vec![Vec3::ZERO; 3];
+            angle_force(&a, &pos, &pbox, &mut f);
+            let e_of = |p: &[Vec3]| {
+                let mut scratch = vec![Vec3::ZERO; 3];
+                angle_force(&a, p, &pbox, &mut scratch)
+            };
+            for atom in 0..3 {
+                let g = num_grad(e_of, &pos, atom);
+                prop_assert!((f[atom] + g).norm() < 1e-4,
+                    "atom {atom}: f={:?} -g={:?}", f[atom], -g);
+            }
+            let net = f[0] + f[1] + f[2];
+            prop_assert!(net.norm() < 1e-10, "net={net:?}");
+        }
+
+        /// Dihedral forces equal −∇E and sum to zero.
+        #[test]
+        fn dihedral_matches_numerical_gradient(
+            iy in 0.5f64..1.5, iz in -0.9f64..0.9,
+            ly in -1.5f64..-0.5, lz in -0.9f64..0.9,
+        ) {
+            let pbox = PeriodicBox::cubic(BOX);
+            let d = Dihedral { i: 0, j: 1, k_atom: 2, l: 3, n: 3, k: 0.4, phi0: 0.3 };
+            let pos = vec![
+                Vec3::new(-0.5, iy, iz),
+                Vec3::ZERO,
+                Vec3::new(1.5, 0.0, 0.0),
+                Vec3::new(2.0, ly, lz),
+            ];
+            let mut f = vec![Vec3::ZERO; 4];
+            dihedral_force(&d, &pos, &pbox, &mut f);
+            let e_of = |p: &[Vec3]| {
+                let mut scratch = vec![Vec3::ZERO; 4];
+                dihedral_force(&d, p, &pbox, &mut scratch)
+            };
+            for atom in 0..4 {
+                let g = num_grad(e_of, &pos, atom);
+                prop_assert!((f[atom] + g).norm() < 1e-4,
+                    "atom {atom}: f={:?} -g={:?}", f[atom], -g);
+            }
+            let net = f[0] + f[1] + f[2] + f[3];
+            prop_assert!(net.norm() < 1e-10, "net={net:?}");
+        }
+    }
+}

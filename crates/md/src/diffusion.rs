@@ -1,0 +1,129 @@
+//! Diffusion fast-forward.
+//!
+//! Figure 11 of the paper spans 8 **million** time steps: atoms diffuse
+//! away from their initial home boxes, the static bond program's
+//! communication distances grow, and the step time degrades until the
+//! bond program is regenerated. Integrating 8 M real MD steps is not
+//! feasible (nor necessary — only the *drift statistics* matter), so the
+//! reproduction advances atom positions between timing checkpoints with
+//! a Brownian model: per-axis displacement ~ N(0, 2·D·t), with D a
+//! liquid-water-like self-diffusion coefficient. DESIGN.md records this
+//! substitution.
+
+use crate::pbc::PeriodicBox;
+use crate::vec3::Vec3;
+use anton_des::Rng;
+
+/// Self-diffusion coefficient of bulk water at 300 K, in Å²/fs
+/// (2.3×10⁻⁵ cm²/s).
+pub const WATER_DIFFUSION: f64 = 2.3e-4;
+
+/// Slower diffusion for protein-like (bonded, caged) atoms.
+pub const PROTEIN_DIFFUSION: f64 = 2.0e-5;
+
+/// Advance positions by `elapsed_fs` of Brownian motion. Molecules move
+/// as units: `groups[g]` lists the atom indices of rigid-ish group `g`
+/// (a water molecule, a protein chain), which share one displacement so
+/// bonded partners stay together.
+pub fn fast_forward(
+    positions: &mut [Vec3],
+    groups: &[Vec<usize>],
+    diffusion: &[f64],
+    pbox: &PeriodicBox,
+    elapsed_fs: f64,
+    rng: &mut Rng,
+) {
+    assert_eq!(groups.len(), diffusion.len());
+    assert!(elapsed_fs >= 0.0);
+    for (g, &d) in groups.iter().zip(diffusion) {
+        let sigma = (2.0 * d * elapsed_fs).sqrt();
+        let dx = Vec3::new(
+            sigma * rng.normal(),
+            sigma * rng.normal(),
+            sigma * rng.normal(),
+        );
+        for &i in g {
+            positions[i] = pbox.wrap(positions[i] + dx);
+        }
+    }
+}
+
+/// Mean squared displacement the model produces over `elapsed_fs`
+/// (per axis: 2·D·t; total: 6·D·t).
+pub fn expected_msd(diffusion: f64, elapsed_fs: f64) -> f64 {
+    6.0 * diffusion * elapsed_fs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msd_matches_theory() {
+        let pbox = PeriodicBox::cubic(1e6); // effectively unbounded
+        let n = 4000;
+        let mut positions = vec![Vec3::splat(5e5); n];
+        let groups: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        let diffusion = vec![WATER_DIFFUSION; n];
+        let mut rng = Rng::seed_from(2024);
+        let t = 300_000.0; // 120k steps × 2.5 fs
+        let orig = positions.clone();
+        fast_forward(&mut positions, &groups, &diffusion, &pbox, t, &mut rng);
+        let msd: f64 = positions
+            .iter()
+            .zip(&orig)
+            .map(|(p, o)| (*p - *o).norm_sq())
+            .sum::<f64>()
+            / n as f64;
+        let want = expected_msd(WATER_DIFFUSION, t);
+        assert!(
+            (msd - want).abs() / want < 0.05,
+            "msd={msd} want={want}"
+        );
+    }
+
+    #[test]
+    fn groups_move_together() {
+        let pbox = PeriodicBox::cubic(100.0);
+        let mut positions = vec![
+            Vec3::new(10.0, 10.0, 10.0),
+            Vec3::new(11.0, 10.0, 10.0),
+            Vec3::new(50.0, 50.0, 50.0),
+        ];
+        let groups = vec![vec![0, 1], vec![2]];
+        let diffusion = vec![WATER_DIFFUSION; 2];
+        let mut rng = Rng::seed_from(7);
+        let before = pbox.min_image(positions[0], positions[1]);
+        fast_forward(&mut positions, &groups, &diffusion, &pbox, 1e5, &mut rng);
+        let after = pbox.min_image(positions[0], positions[1]);
+        assert!((before - after).norm() < 1e-9, "bonded pair drifted apart");
+        // The third atom moved independently.
+        assert!((positions[2] - Vec3::new(50.0, 50.0, 50.0)).norm() > 1e-3);
+    }
+
+    #[test]
+    fn zero_time_is_identity() {
+        let pbox = PeriodicBox::cubic(100.0);
+        let mut positions = vec![Vec3::new(1.0, 2.0, 3.0)];
+        let mut rng = Rng::seed_from(1);
+        fast_forward(
+            &mut positions,
+            &[vec![0]],
+            &[WATER_DIFFUSION],
+            &pbox,
+            0.0,
+            &mut rng,
+        );
+        assert_eq!(positions[0], Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn drift_scale_is_significant_at_figure11_horizons() {
+        // Over 120,000 steps × 2.5 fs, rms per-axis drift ≈ 11–12 Å —
+        // more than one 7.8 Å home box on the 8×8×8 machine, which is why
+        // bond programs go stale (Figure 11's premise).
+        let t = 120_000.0 * 2.5;
+        let per_axis_rms = (2.0 * WATER_DIFFUSION * t).sqrt();
+        assert!(per_axis_rms > 7.8, "rms={per_axis_rms}");
+    }
+}

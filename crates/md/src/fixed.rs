@@ -1,0 +1,108 @@
+//! Fixed-point force/charge codec.
+//!
+//! Anton's accumulation memories sum packet payloads "in 4-byte
+//! quantities" (§III.A). Summing in fixed point makes the result exactly
+//! independent of arrival order — the machine is deterministic even
+//! though the network is not ordered. The Anton-mapped MD engine encodes
+//! every force and charge contribution to `i32` before it enters an
+//! accumulation memory and decodes the final sums.
+
+/// Scale for forces (kcal/mol/Å per LSB): 2⁻¹⁶ resolution, ±32768 range —
+/// generous for MD forces, which rarely exceed a few hundred kcal/mol/Å.
+pub const FORCE_SCALE: f64 = 65536.0;
+
+/// Scale for gridded charge density (e/Å³ per LSB).
+pub const CHARGE_SCALE: f64 = 1_048_576.0; // 2^20
+
+/// Scale for potentials (kcal/mol/e per LSB).
+pub const POTENTIAL_SCALE: f64 = 65536.0;
+
+/// Encode a real value to fixed point with the given scale, saturating
+/// at the i32 range (saturation would signal a blown-up simulation; the
+/// decoder can't detect it, so debug builds panic instead).
+#[inline]
+pub fn encode(value: f64, scale: f64) -> i32 {
+    let scaled = value * scale;
+    debug_assert!(
+        scaled.abs() < i32::MAX as f64,
+        "fixed-point overflow: {value} at scale {scale}"
+    );
+    if scaled >= i32::MAX as f64 {
+        i32::MAX
+    } else if scaled <= i32::MIN as f64 {
+        i32::MIN
+    } else {
+        scaled.round() as i32
+    }
+}
+
+/// Decode fixed point back to a real value.
+#[inline]
+pub fn decode(value: i32, scale: f64) -> f64 {
+    value as f64 / scale
+}
+
+/// Encode a force triple.
+#[inline]
+pub fn encode_force(f: crate::vec3::Vec3) -> [i32; 3] {
+    [
+        encode(f.x, FORCE_SCALE),
+        encode(f.y, FORCE_SCALE),
+        encode(f.z, FORCE_SCALE),
+    ]
+}
+
+/// Decode a force triple.
+#[inline]
+pub fn decode_force(v: [i32; 3]) -> crate::vec3::Vec3 {
+    crate::vec3::Vec3::new(
+        decode(v[0], FORCE_SCALE),
+        decode(v[1], FORCE_SCALE),
+        decode(v[2], FORCE_SCALE),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::Vec3;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_within_half_lsb() {
+        for v in [0.0, 1.0, -273.15, 0.123456, 3000.0] {
+            let rt = decode(encode(v, FORCE_SCALE), FORCE_SCALE);
+            assert!((rt - v).abs() <= 0.5 / FORCE_SCALE, "{v} → {rt}");
+        }
+    }
+
+    #[test]
+    fn force_triples_round_trip() {
+        let f = Vec3::new(12.5, -0.03125, 981.25);
+        let rt = decode_force(encode_force(f));
+        assert!((rt - f).norm() < 1.0 / FORCE_SCALE);
+    }
+
+    proptest! {
+        /// Fixed-point sums are exactly order-independent — the property
+        /// Anton's determinism rests on.
+        #[test]
+        fn summation_is_order_independent(values in prop::collection::vec(-100.0f64..100.0, 2..50)) {
+            let encoded: Vec<i32> = values.iter().map(|&v| encode(v, FORCE_SCALE)).collect();
+            let forward: i32 = encoded.iter().fold(0i32, |a, &b| a.wrapping_add(b));
+            let backward: i32 = encoded.iter().rev().fold(0i32, |a, &b| a.wrapping_add(b));
+            prop_assert_eq!(forward, backward);
+            // And close to the float sum.
+            let float_sum: f64 = values.iter().sum();
+            let fixed_sum = decode(forward, FORCE_SCALE);
+            prop_assert!((fixed_sum - float_sum).abs() < values.len() as f64 / FORCE_SCALE);
+        }
+
+        /// Round trip error bounded by half an LSB everywhere in range.
+        #[test]
+        fn round_trip_error_bounded(v in -30000.0f64..30000.0) {
+            let rt = decode(encode(v, FORCE_SCALE), FORCE_SCALE);
+            prop_assert!((rt - v).abs() <= 0.5 / FORCE_SCALE + 1e-12);
+        }
+    }
+}

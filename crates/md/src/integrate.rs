@@ -1,0 +1,233 @@
+//! Integration: velocity Verlet, kinetic energy/virial observables, and
+//! a Berendsen-style thermostat (the paper's simulations "included a
+//! thermostat"; temperature control uses the globally reduced kinetic
+//! energy to rescale velocities — §II, Figure 2).
+
+use crate::system::ChemicalSystem;
+use crate::units::{kinetic_energy, temperature, ACCEL_CONVERSION, KB};
+use crate::vec3::Vec3;
+
+/// One atmosphere in kcal/(mol·Å³).
+pub const ATM: f64 = 1.458_397e-5;
+
+/// First Verlet half-kick plus drift: v += a·dt/2; x += v·dt.
+/// `forces` are those from the *previous* step's positions.
+pub fn verlet_first_half(sys: &mut ChemicalSystem, forces: &[Vec3], dt: f64) {
+    assert_eq!(forces.len(), sys.atoms.len());
+    for (a, &f) in sys.atoms.iter_mut().zip(forces) {
+        let acc = f * (ACCEL_CONVERSION / a.mass);
+        a.vel += acc * (0.5 * dt);
+        a.pos += a.vel * dt;
+    }
+    // Keep positions wrapped (migration logic depends on box coords).
+    let pbox = sys.pbox;
+    for a in &mut sys.atoms {
+        a.pos = pbox.wrap(a.pos);
+    }
+}
+
+/// Second Verlet half-kick with the forces at the *new* positions.
+pub fn verlet_second_half(sys: &mut ChemicalSystem, forces: &[Vec3], dt: f64) {
+    assert_eq!(forces.len(), sys.atoms.len());
+    for (a, &f) in sys.atoms.iter_mut().zip(forces) {
+        let acc = f * (ACCEL_CONVERSION / a.mass);
+        a.vel += acc * (0.5 * dt);
+    }
+}
+
+/// Total kinetic energy, kcal/mol.
+pub fn total_kinetic(sys: &ChemicalSystem) -> f64 {
+    sys.atoms
+        .iter()
+        .map(|a| kinetic_energy(a.mass, a.vel.norm_sq()))
+        .sum()
+}
+
+/// Instantaneous temperature, K.
+pub fn instantaneous_temperature(sys: &ChemicalSystem) -> f64 {
+    temperature(total_kinetic(sys), sys.atoms.len())
+}
+
+/// Berendsen thermostat: rescale velocities toward `target` K with
+/// coupling time `tau` (fs). `dt` is the step. Returns the scale factor
+/// applied.
+pub fn berendsen_rescale(sys: &mut ChemicalSystem, target: f64, tau: f64, dt: f64) -> f64 {
+    let t = instantaneous_temperature(sys);
+    if t <= 0.0 {
+        return 1.0;
+    }
+    let lambda = (1.0 + dt / tau * (target / t - 1.0)).max(0.0).sqrt();
+    for a in &mut sys.atoms {
+        a.vel = a.vel * lambda;
+    }
+    lambda
+}
+
+/// Instantaneous pressure from the virial theorem:
+/// `P = (N·kB·T + W/3) / V`, with `W = Σ r·f` the pair virial
+/// (kcal/mol) and V the box volume (Å³). Returns kcal/(mol·Å³);
+/// divide by [`ATM`] for atmospheres. This is the quantity Anton's
+/// global all-reduce computes for the barostat (Figure 2).
+pub fn instantaneous_pressure(sys: &ChemicalSystem, virial: f64) -> f64 {
+    let v = sys.pbox.volume();
+    let nkt = sys.atoms.len() as f64 * KB * instantaneous_temperature(sys);
+    (nkt + virial / 3.0) / v
+}
+
+/// Berendsen barostat: isotropically rescale the box and all positions
+/// toward `target` pressure (kcal/(mol·Å³)) with coupling time `tau`
+/// (fs) and compressibility `kappa` ((kcal/(mol·Å³))⁻¹). Returns the
+/// linear scale factor µ applied.
+pub fn berendsen_pressure_rescale(
+    sys: &mut ChemicalSystem,
+    pressure: f64,
+    target: f64,
+    tau: f64,
+    kappa: f64,
+    dt: f64,
+) -> f64 {
+    let mu = (1.0 - kappa * dt / tau * (target - pressure))
+        .clamp(0.5, 2.0)
+        .powf(1.0 / 3.0);
+    sys.pbox.lengths = sys.pbox.lengths * mu;
+    for a in &mut sys.atoms {
+        a.pos = a.pos * mu;
+    }
+    mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbc::PeriodicBox;
+    use crate::system::Atom;
+
+    fn free_particle_system(v: Vec3) -> ChemicalSystem {
+        ChemicalSystem {
+            pbox: PeriodicBox::cubic(100.0),
+            atoms: vec![Atom {
+                pos: Vec3::new(50.0, 50.0, 50.0),
+                vel: v,
+                mass: 10.0,
+                charge: 0.0,
+                lj_sigma: 1.0,
+                lj_epsilon: 0.0,
+            }],
+            bonds: vec![],
+            angles: vec![],
+            dihedrals: vec![],
+            exclusions: vec![vec![]],
+        }
+    }
+
+    #[test]
+    fn free_particle_moves_in_a_straight_line() {
+        let mut sys = free_particle_system(Vec3::new(0.01, 0.0, 0.0));
+        let f = vec![Vec3::ZERO];
+        for _ in 0..100 {
+            verlet_first_half(&mut sys, &f, 1.0);
+            verlet_second_half(&mut sys, &f, 1.0);
+        }
+        assert!((sys.atoms[0].pos.x - 51.0).abs() < 1e-9);
+        assert!((sys.atoms[0].vel.x - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn constant_force_gives_quadratic_trajectory() {
+        let mut sys = free_particle_system(Vec3::ZERO);
+        let f_mag = 5.0; // kcal/mol/Å
+        let f = vec![Vec3::new(f_mag, 0.0, 0.0)];
+        let dt = 1.0;
+        let steps = 50;
+        for _ in 0..steps {
+            verlet_first_half(&mut sys, &f, dt);
+            verlet_second_half(&mut sys, &f, dt);
+        }
+        // x(t) = x0 + ½ a t²; Verlet is exact for constant force.
+        let a = f_mag * ACCEL_CONVERSION / 10.0;
+        let want = 50.0 + 0.5 * a * (steps as f64 * dt).powi(2);
+        assert!(
+            (sys.atoms[0].pos.x - want).abs() < 1e-9,
+            "{} vs {want}",
+            sys.atoms[0].pos.x
+        );
+    }
+
+    #[test]
+    fn harmonic_oscillator_conserves_energy() {
+        // One particle on a spring to the box center: E = KE + ½ k x².
+        let mut sys = free_particle_system(Vec3::ZERO);
+        sys.atoms[0].pos.x = 53.0; // 3 Å displacement
+        let k = 10.0;
+        let dt = 0.5;
+        let energy = |sys: &ChemicalSystem| {
+            let x = sys.atoms[0].pos.x - 50.0;
+            total_kinetic(sys) + 0.5 * k * x * x
+        };
+        let e0 = energy(&sys);
+        let force = |sys: &ChemicalSystem| {
+            vec![Vec3::new(-k * (sys.atoms[0].pos.x - 50.0), 0.0, 0.0)]
+        };
+        let mut f = force(&sys);
+        for _ in 0..2000 {
+            verlet_first_half(&mut sys, &f, dt);
+            f = force(&sys);
+            verlet_second_half(&mut sys, &f, dt);
+        }
+        let drift = (energy(&sys) - e0).abs() / e0;
+        assert!(drift < 1e-4, "energy drift {drift}");
+    }
+
+    #[test]
+    fn berendsen_pulls_temperature_toward_target() {
+        let mut sys = free_particle_system(Vec3::new(0.02, 0.01, -0.005));
+        let t0 = instantaneous_temperature(&sys);
+        let target = t0 * 0.5;
+        for _ in 0..1200 {
+            berendsen_rescale(&mut sys, target, 100.0, 1.0);
+        }
+        let t = instantaneous_temperature(&sys);
+        assert!(
+            (t - target).abs() / target < 0.02,
+            "t={t} target={target}"
+        );
+    }
+
+    #[test]
+    fn ideal_gas_pressure_matches_nkt_over_v() {
+        // With zero virial, P = N kB T / V exactly.
+        let sys = free_particle_system(Vec3::new(0.01, 0.0, 0.0));
+        let p = instantaneous_pressure(&sys, 0.0);
+        let want = KB * instantaneous_temperature(&sys) / sys.pbox.volume();
+        assert!((p - want).abs() < 1e-18, "{p} vs {want}");
+    }
+
+    #[test]
+    fn barostat_shrinks_when_pressure_is_below_target() {
+        let mut sys = free_particle_system(Vec3::new(0.01, 0.0, 0.0));
+        let p = instantaneous_pressure(&sys, 0.0);
+        let target = p * 4.0; // want more pressure → compress
+        let v0 = sys.pbox.volume();
+        let x0 = sys.atoms[0].pos.x;
+        let mu = berendsen_pressure_rescale(&mut sys, p, target, 1000.0, 10.0, 1.0);
+        assert!(mu < 1.0, "mu={mu}");
+        assert!(sys.pbox.volume() < v0);
+        assert!((sys.atoms[0].pos.x - x0 * mu).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barostat_at_target_is_identity() {
+        let mut sys = free_particle_system(Vec3::new(0.01, 0.0, 0.0));
+        let p = instantaneous_pressure(&sys, 0.0);
+        let mu = berendsen_pressure_rescale(&mut sys, p, p, 1000.0, 10.0, 1.0);
+        assert!((mu - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn berendsen_at_target_is_identity() {
+        let mut sys = free_particle_system(Vec3::new(0.02, 0.0, 0.0));
+        let t = instantaneous_temperature(&sys);
+        let lambda = berendsen_rescale(&mut sys, t, 100.0, 1.0);
+        assert!((lambda - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! # anton-md — molecular dynamics substrate
+//!
+//! The full MD physics the Anton machine computes (paper §II): bonded
+//! forces, range-limited LJ + screened-Coulomb pairs, FFT-based
+//! long-range electrostatics with Gaussian charge spreading and force
+//! interpolation, velocity-Verlet integration, thermostat, fixed-point
+//! accumulation codecs, and synthetic-system generation. A single-process
+//! reference engine serves as the oracle for the distributed
+//! (Anton-mapped) engine in `anton-core`.
+
+#![warn(missing_docs)]
+
+pub mod bonded;
+pub mod diffusion;
+pub mod engine;
+pub mod fixed;
+pub mod grid;
+pub mod integrate;
+pub mod longrange;
+pub mod observables;
+pub mod xyz;
+pub mod pair;
+pub mod pbc;
+pub mod system;
+pub mod units;
+pub mod vec3;
+
+pub use engine::{Barostat, ForceReport, MdParams, ReferenceEngine, Thermostat};
+pub use pbc::PeriodicBox;
+pub use system::{Angle, Atom, Bond, ChemicalSystem, Dihedral, SystemBuilder};
+pub use vec3::Vec3;

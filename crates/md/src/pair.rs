@@ -1,0 +1,371 @@
+//! Range-limited nonbonded interactions: Lennard-Jones plus the
+//! real-space (erfc-screened) part of Ewald electrostatics, evaluated
+//! with cell lists inside a cutoff (paper §II: "range-limited
+//! interactions … are thus computed directly for all atom pairs separated
+//! by less than some cutoff radius"). This is the arithmetic Anton's HTIS
+//! pipelines perform.
+
+use crate::pbc::PeriodicBox;
+use crate::system::ChemicalSystem;
+use crate::units::COULOMB;
+use crate::vec3::Vec3;
+
+/// Complementary error function, Abramowitz & Stegun 7.1.26
+/// (|error| ≤ 1.5×10⁻⁷ — ample for MD pair interactions).
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    poly * (-x * x).exp()
+}
+
+/// Error function.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Ewald splitting: interactions use `erfc(r/(√2 σ))/r` in real space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairParams {
+    /// Real-space cutoff, Å.
+    pub cutoff: f64,
+    /// Ewald Gaussian width σ, Å. `None` disables the long-range split
+    /// (bare truncated Coulomb — used for LJ-only test systems).
+    pub ewald_sigma: Option<f64>,
+}
+
+impl PairParams {
+    /// Cutoff with a splitting width tuned so erfc at the cutoff is tiny
+    /// (r_c = 3.5 σ ⇒ erfc(2.47) ≈ 5×10⁻⁴).
+    pub fn with_cutoff(cutoff: f64) -> PairParams {
+        PairParams { cutoff, ewald_sigma: Some(cutoff / 3.5) }
+    }
+}
+
+/// Result of a pairwise evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PairEnergy {
+    /// Lennard-Jones energy, kcal/mol.
+    pub lj: f64,
+    /// Screened real-space Coulomb energy, kcal/mol.
+    pub coulomb_real: f64,
+    /// Pair virial Σ r·f (kcal/mol), used by the barostat.
+    pub virial: f64,
+}
+
+/// Cell list over a periodic box.
+#[derive(Debug)]
+pub struct CellList {
+    cells: [usize; 3],
+    /// Atom indices bucketed per cell, cells in x-fastest order.
+    buckets: Vec<Vec<u32>>,
+}
+
+impl CellList {
+    /// Bucket `positions` into cells of edge ≥ `cutoff`.
+    pub fn build(positions: &[Vec3], pbox: &PeriodicBox, cutoff: f64) -> CellList {
+        assert!(cutoff > 0.0);
+        let mut cells = [1usize; 3];
+        for (ax, cell) in cells.iter_mut().enumerate() {
+            *cell = ((pbox.lengths.get(ax) / cutoff).floor() as usize).max(1);
+        }
+        let n_cells = cells[0] * cells[1] * cells[2];
+        let mut buckets = vec![Vec::new(); n_cells];
+        for (i, &p) in positions.iter().enumerate() {
+            let w = pbox.wrap(p);
+            let mut c = [0usize; 3];
+            for ax in 0..3 {
+                let idx = (w.get(ax) / pbox.lengths.get(ax) * cells[ax] as f64) as usize;
+                c[ax] = idx.min(cells[ax] - 1);
+            }
+            buckets[c[0] + cells[0] * (c[1] + cells[1] * c[2])].push(i as u32);
+        }
+        CellList { cells, buckets }
+    }
+
+    /// Visit each unordered atom pair (i < j) at most once, restricted to
+    /// atoms in the same or neighboring cells. When any axis has fewer
+    /// than 3 cells, neighbor offsets alias; duplicates are suppressed.
+    pub fn for_each_candidate_pair(&self, mut f: impl FnMut(usize, usize)) {
+        let [cx, cy, cz] = self.cells;
+        let cell_of = |x: usize, y: usize, z: usize| x + cx * (y + cy * z);
+        for z in 0..cz {
+            for y in 0..cy {
+                for x in 0..cx {
+                    let home = cell_of(x, y, z);
+                    // Within-cell pairs.
+                    let b = &self.buckets[home];
+                    for a in 0..b.len() {
+                        for c in (a + 1)..b.len() {
+                            f(b[a] as usize, b[c] as usize);
+                        }
+                    }
+                    // Cross-cell pairs: visit each neighbor cell once.
+                    let mut seen = Vec::with_capacity(26);
+                    for dz in -1i64..=1 {
+                        for dy in -1i64..=1 {
+                            for dx in -1i64..=1 {
+                                if dx == 0 && dy == 0 && dz == 0 {
+                                    continue;
+                                }
+                                let nx = (x as i64 + dx).rem_euclid(cx as i64) as usize;
+                                let ny = (y as i64 + dy).rem_euclid(cy as i64) as usize;
+                                let nz = (z as i64 + dz).rem_euclid(cz as i64) as usize;
+                                let other = cell_of(nx, ny, nz);
+                                // Process each unordered cell pair once.
+                                if other <= home || seen.contains(&other) {
+                                    continue;
+                                }
+                                seen.push(other);
+                                for &i in b {
+                                    for &j in &self.buckets[other] {
+                                        f(i as usize, j as usize);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One LJ + screened-Coulomb pair. Returns (lj energy, coulomb energy,
+/// force-on-j) for separation vector `d` = r_j − r_i.
+#[inline]
+pub fn pair_interaction(
+    d: Vec3,
+    qi: f64,
+    qj: f64,
+    sigma: f64,
+    epsilon: f64,
+    ewald_sigma: Option<f64>,
+) -> (f64, f64, Vec3) {
+    let r_sq = d.norm_sq();
+    let r = r_sq.sqrt();
+    debug_assert!(r > 1e-9, "overlapping nonbonded atoms");
+    let inv_r = 1.0 / r;
+    // Lennard-Jones.
+    let (e_lj, f_lj_over_r) = if epsilon > 0.0 {
+        let sr2 = sigma * sigma / r_sq;
+        let sr6 = sr2 * sr2 * sr2;
+        let sr12 = sr6 * sr6;
+        let e = 4.0 * epsilon * (sr12 - sr6);
+        // F = 24 ε (2 sr12 − sr6) / r, along d̂ (repulsive positive).
+        let f = 24.0 * epsilon * (2.0 * sr12 - sr6) / r_sq;
+        (e, f)
+    } else {
+        (0.0, 0.0)
+    };
+    // Screened Coulomb.
+    let (e_c, f_c_over_r) = if qi != 0.0 && qj != 0.0 {
+        let qq = COULOMB * qi * qj;
+        match ewald_sigma {
+            Some(s) => {
+                let a = 1.0 / (std::f64::consts::SQRT_2 * s);
+                let sc = erfc(a * r);
+                let e = qq * sc * inv_r;
+                // dE/dr = −qq [ erfc(ar)/r² + (2a/√π) e^{−a²r²}/r ]
+                let gauss = (2.0 * a / std::f64::consts::PI.sqrt()) * (-a * a * r_sq).exp();
+                let f = qq * (sc * inv_r * inv_r + gauss * inv_r) * inv_r;
+                (e, f)
+            }
+            None => {
+                // Bare Coulomb: F = qq/r² along d̂ ⇒ coefficient qq/r³.
+                let e = qq * inv_r;
+                (e, qq * inv_r * inv_r * inv_r)
+            }
+        }
+    } else {
+        (0.0, 0.0)
+    };
+    // Force on j: repulsion pushes j away from i (along +d).
+    (e_lj, e_c, d * (f_lj_over_r + f_c_over_r))
+}
+
+/// Evaluate all range-limited interactions of `sys` within the cutoff,
+/// accumulating forces. Exclusions (1-2, 1-3) are skipped here; the
+/// reciprocal-space correction for excluded pairs lives in
+/// [`crate::longrange`].
+pub fn range_limited_forces(
+    sys: &ChemicalSystem,
+    positions: &[Vec3],
+    params: PairParams,
+    forces: &mut [Vec3],
+) -> PairEnergy {
+    assert_eq!(positions.len(), sys.atoms.len());
+    assert_eq!(forces.len(), sys.atoms.len());
+    let cl = CellList::build(positions, &sys.pbox, params.cutoff);
+    let cut_sq = params.cutoff * params.cutoff;
+    let mut out = PairEnergy::default();
+    cl.for_each_candidate_pair(|i, j| {
+        if sys.is_excluded(i, j) {
+            return;
+        }
+        let d = sys.pbox.min_image(positions[i], positions[j]);
+        if d.norm_sq() >= cut_sq {
+            return;
+        }
+        let (ai, aj) = (&sys.atoms[i], &sys.atoms[j]);
+        // Lorentz–Berthelot combination.
+        let sigma = 0.5 * (ai.lj_sigma + aj.lj_sigma);
+        let epsilon = (ai.lj_epsilon * aj.lj_epsilon).sqrt();
+        let (e_lj, e_c, fj) =
+            pair_interaction(d, ai.charge, aj.charge, sigma, epsilon, params.ewald_sigma);
+        out.lj += e_lj;
+        out.coulomb_real += e_c;
+        out.virial += d.dot(fj);
+        forces[j] += fj;
+        forces[i] -= fj;
+    });
+    out
+}
+
+/// Brute-force O(n²) evaluation — the oracle for cell-list tests.
+pub fn range_limited_forces_naive(
+    sys: &ChemicalSystem,
+    positions: &[Vec3],
+    params: PairParams,
+    forces: &mut [Vec3],
+) -> PairEnergy {
+    let cut_sq = params.cutoff * params.cutoff;
+    let mut out = PairEnergy::default();
+    for i in 0..positions.len() {
+        for j in (i + 1)..positions.len() {
+            if sys.is_excluded(i, j) {
+                continue;
+            }
+            let d = sys.pbox.min_image(positions[i], positions[j]);
+            if d.norm_sq() >= cut_sq {
+                continue;
+            }
+            let (ai, aj) = (&sys.atoms[i], &sys.atoms[j]);
+            let sigma = 0.5 * (ai.lj_sigma + aj.lj_sigma);
+            let epsilon = (ai.lj_epsilon * aj.lj_epsilon).sqrt();
+            let (e_lj, e_c, fj) =
+                pair_interaction(d, ai.charge, aj.charge, sigma, epsilon, params.ewald_sigma);
+            out.lj += e_lj;
+            out.coulomb_real += e_c;
+            out.virial += d.dot(fj);
+            forces[j] += fj;
+            forces[i] -= fj;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemBuilder;
+
+    #[test]
+    fn erfc_reference_values() {
+        // erfc(0) = 1, erfc(∞) → 0, erfc(1) ≈ 0.15729921.
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!(erfc(5.0) < 2e-11);
+        assert!((erfc(1.0) - 0.15729921).abs() < 1e-6);
+        assert!((erfc(-1.0) - (2.0 - 0.15729921)).abs() < 1e-6);
+        assert!((erf(0.5) - 0.52049988).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lj_minimum_at_two_to_one_sixth_sigma() {
+        let sigma = 3.0;
+        let r_min = sigma * 2.0f64.powf(1.0 / 6.0);
+        let d = Vec3::new(r_min, 0.0, 0.0);
+        let (e, _, f) = pair_interaction(d, 0.0, 0.0, sigma, 0.5, None);
+        assert!((e + 0.5).abs() < 1e-12, "well depth is ε: e={e}");
+        assert!(f.norm() < 1e-12, "zero force at the minimum");
+        // Closer: repulsive (force on j along +d).
+        let (_, _, f) = pair_interaction(Vec3::new(2.9, 0.0, 0.0), 0.0, 0.0, sigma, 0.5, None);
+        assert!(f.x > 0.0);
+        // Farther: attractive.
+        let (_, _, f) = pair_interaction(Vec3::new(4.5, 0.0, 0.0), 0.0, 0.0, sigma, 0.5, None);
+        assert!(f.x < 0.0);
+    }
+
+    #[test]
+    fn coulomb_like_charges_repel() {
+        let d = Vec3::new(3.0, 0.0, 0.0);
+        let (_, e, f) = pair_interaction(d, 1.0, 1.0, 1.0, 0.0, Some(2.0));
+        assert!(e > 0.0);
+        assert!(f.x > 0.0);
+        let (_, e2, f2) = pair_interaction(d, 1.0, -1.0, 1.0, 0.0, Some(2.0));
+        assert!(e2 < 0.0);
+        assert!(f2.x < 0.0);
+    }
+
+    #[test]
+    fn screened_coulomb_forces_match_numerical_gradient() {
+        let qi = 0.8;
+        let qj = -0.5;
+        let s = Some(2.5);
+        for r in [2.0, 3.5, 5.0, 7.0] {
+            let h = 1e-6;
+            let e = |x: f64| pair_interaction(Vec3::new(x, 0.0, 0.0), qi, qj, 1.0, 0.0, s).1;
+            let g = (e(r + h) - e(r - h)) / (2.0 * h);
+            let (_, _, f) = pair_interaction(Vec3::new(r, 0.0, 0.0), qi, qj, 1.0, 0.0, s);
+            // The A&S erfc approximation (≤1.5e-7) bounds the match.
+            assert!((f.x + g).abs() < 1e-4 * g.abs().max(1.0), "r={r}: f={} -g={}", f.x, -g);
+        }
+    }
+
+    #[test]
+    fn cell_list_covers_all_atoms() {
+        let sys = SystemBuilder::tiny(300, 24.0, 11).build();
+        let pos: Vec<Vec3> = sys.atoms.iter().map(|a| a.pos).collect();
+        let cl = CellList::build(&pos, &sys.pbox, 8.0);
+        let total: usize = cl.buckets.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn cell_list_matches_naive_forces() {
+        let sys = SystemBuilder::tiny(240, 20.0, 17).build();
+        let pos: Vec<Vec3> = sys.atoms.iter().map(|a| a.pos).collect();
+        let params = PairParams::with_cutoff(6.0);
+        let mut f1 = vec![Vec3::ZERO; pos.len()];
+        let mut f2 = vec![Vec3::ZERO; pos.len()];
+        let e1 = range_limited_forces(&sys, &pos, params, &mut f1);
+        let e2 = range_limited_forces_naive(&sys, &pos, params, &mut f2);
+        assert!((e1.lj - e2.lj).abs() < 1e-9 * e2.lj.abs().max(1.0), "{} vs {}", e1.lj, e2.lj);
+        assert!((e1.coulomb_real - e2.coulomb_real).abs() < 1e-9 * e2.coulomb_real.abs().max(1.0));
+        assert!((e1.virial - e2.virial).abs() < 1e-8 * e2.virial.abs().max(1.0));
+        for (a, b) in f1.iter().zip(&f2) {
+            assert!((*a - *b).norm() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn forces_sum_to_zero() {
+        let sys = SystemBuilder::tiny(300, 22.0, 23).build();
+        let pos: Vec<Vec3> = sys.atoms.iter().map(|a| a.pos).collect();
+        let mut f = vec![Vec3::ZERO; pos.len()];
+        range_limited_forces(&sys, &pos, PairParams::with_cutoff(7.0), &mut f);
+        let net = f.iter().fold(Vec3::ZERO, |a, &b| a + b);
+        assert!(net.norm() < 1e-9, "net={net:?}");
+    }
+
+    #[test]
+    fn small_boxes_fall_back_to_single_cell() {
+        // Box smaller than 3 cells per axis: neighbor aliasing must not
+        // double-count pairs.
+        let sys = SystemBuilder::tiny(60, 9.0, 29).build();
+        let pos: Vec<Vec3> = sys.atoms.iter().map(|a| a.pos).collect();
+        let params = PairParams::with_cutoff(4.0);
+        let mut f1 = vec![Vec3::ZERO; pos.len()];
+        let mut f2 = vec![Vec3::ZERO; pos.len()];
+        let e1 = range_limited_forces(&sys, &pos, params, &mut f1);
+        let e2 = range_limited_forces_naive(&sys, &pos, params, &mut f2);
+        assert!((e1.lj - e2.lj).abs() < 1e-9 * e2.lj.abs().max(1.0));
+        for (a, b) in f1.iter().zip(&f2) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+}

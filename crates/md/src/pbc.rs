@@ -1,0 +1,126 @@
+//! Orthorhombic periodic boundary conditions.
+//!
+//! Anton simulations "typically employ periodic boundary conditions, in
+//! which atoms on one side of the simulated system interact with atoms on
+//! the other side" (§IV.A) — the property that makes the toroidal network
+//! topology match the physics.
+
+use crate::vec3::Vec3;
+
+/// An orthorhombic periodic simulation box with one corner at the origin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodicBox {
+    /// Edge lengths (Å) along x, y, z.
+    pub lengths: Vec3,
+}
+
+impl PeriodicBox {
+    /// Construct; all edge lengths must be positive.
+    pub fn new(lx: f64, ly: f64, lz: f64) -> PeriodicBox {
+        assert!(lx > 0.0 && ly > 0.0 && lz > 0.0, "box edges must be positive");
+        PeriodicBox { lengths: Vec3::new(lx, ly, lz) }
+    }
+
+    /// A cube.
+    pub fn cubic(l: f64) -> PeriodicBox {
+        PeriodicBox::new(l, l, l)
+    }
+
+    /// Box volume (Å³).
+    pub fn volume(&self) -> f64 {
+        self.lengths.x * self.lengths.y * self.lengths.z
+    }
+
+    /// Wrap a position into [0, L) per axis.
+    pub fn wrap(&self, p: Vec3) -> Vec3 {
+        Vec3::new(
+            p.x.rem_euclid(self.lengths.x),
+            p.y.rem_euclid(self.lengths.y),
+            p.z.rem_euclid(self.lengths.z),
+        )
+    }
+
+    /// Minimum-image displacement from `a` to `b` (b − a, folded).
+    pub fn min_image(&self, a: Vec3, b: Vec3) -> Vec3 {
+        let mut d = b - a;
+        for axis in 0..3 {
+            let l = self.lengths.get(axis);
+            let mut v = d.get(axis);
+            v -= l * (v / l).round();
+            d.set(axis, v);
+        }
+        d
+    }
+
+    /// Minimum-image distance.
+    pub fn distance(&self, a: Vec3, b: Vec3) -> f64 {
+        self.min_image(a, b).norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wrap_into_box() {
+        let b = PeriodicBox::cubic(10.0);
+        let w = b.wrap(Vec3::new(-0.5, 10.5, 25.0));
+        assert!((w.x - 9.5).abs() < 1e-12);
+        assert!((w.y - 0.5).abs() < 1e-12);
+        assert!((w.z - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_image_picks_the_short_way() {
+        let b = PeriodicBox::cubic(10.0);
+        let a = Vec3::new(0.5, 5.0, 5.0);
+        let c = Vec3::new(9.5, 5.0, 5.0);
+        let d = b.min_image(a, c);
+        assert!((d.x + 1.0).abs() < 1e-12, "{d:?}"); // 9.5 is −1 away, not +9
+        assert!((b.distance(a, c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume() {
+        assert_eq!(PeriodicBox::new(2.0, 3.0, 4.0).volume(), 24.0);
+    }
+
+    proptest! {
+        /// Minimum-image displacements never exceed half the box, and
+        /// are antisymmetric.
+        #[test]
+        fn min_image_bounds(
+            ax in -50.0f64..50.0, ay in -50.0f64..50.0, az in -50.0f64..50.0,
+            bx in -50.0f64..50.0, by in -50.0f64..50.0, bz in -50.0f64..50.0,
+        ) {
+            let b = PeriodicBox::new(10.0, 12.0, 14.0);
+            let p = Vec3::new(ax, ay, az);
+            let q = Vec3::new(bx, by, bz);
+            let d = b.min_image(p, q);
+            prop_assert!(d.x.abs() <= 5.0 + 1e-9);
+            prop_assert!(d.y.abs() <= 6.0 + 1e-9);
+            prop_assert!(d.z.abs() <= 7.0 + 1e-9);
+            let r = b.min_image(q, p);
+            prop_assert!((d + r).norm() < 1e-9);
+        }
+
+        /// Wrapping is idempotent and preserves min-image distances.
+        #[test]
+        fn wrap_idempotent(
+            x in -100.0f64..100.0, y in -100.0f64..100.0, z in -100.0f64..100.0,
+        ) {
+            let b = PeriodicBox::new(10.0, 12.0, 14.0);
+            let p = Vec3::new(x, y, z);
+            let w = b.wrap(p);
+            prop_assert!((b.wrap(w) - w).norm() < 1e-12);
+            prop_assert!(w.x >= 0.0 && w.x < 10.0);
+            prop_assert!(w.y >= 0.0 && w.y < 12.0);
+            prop_assert!(w.z >= 0.0 && w.z < 14.0);
+            // Distance to a fixed probe point is unchanged by wrapping.
+            let probe = Vec3::new(1.0, 2.0, 3.0);
+            prop_assert!((b.distance(p, probe) - b.distance(w, probe)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! Chemical systems: atoms, bonded topology, and synthetic system
+//! generation.
+//!
+//! The paper benchmarks DHFR (dihydrofolate reductase, 23,558 atoms,
+//! solvated in water) and a 17,758-particle system. We have no access to
+//! the original structures, so the generator builds **synthetic solvated
+//! protein-like systems** with matching statistics: a protein-like core
+//! of bonded chains (bonds, angles, dihedrals) surrounded by 3-site
+//! waters at liquid density. The communication behaviour on Anton depends
+//! on atom counts and densities per home box and on bond-term locality,
+//! which these systems match (DESIGN.md, substitution table).
+
+use crate::pbc::PeriodicBox;
+use crate::units::thermal_sigma;
+use crate::vec3::Vec3;
+use anton_des::Rng;
+
+/// One atom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Atom {
+    /// Position, Å (wrapped into the box).
+    pub pos: Vec3,
+    /// Velocity, Å/fs.
+    pub vel: Vec3,
+    /// amu.
+    pub mass: f64,
+    /// Elementary charges.
+    pub charge: f64,
+    /// Lennard-Jones σ, Å.
+    pub lj_sigma: f64,
+    /// Lennard-Jones ε, kcal/mol.
+    pub lj_epsilon: f64,
+}
+
+/// Harmonic bond: E = k (r − r0)².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bond {
+    /// First atom.
+    pub i: usize,
+    /// Second atom.
+    pub j: usize,
+    /// Rest length, Å.
+    pub r0: f64,
+    /// Force constant, kcal/mol/Å².
+    pub k: f64,
+}
+
+/// Harmonic angle: E = k (θ − θ0)².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Angle {
+    /// First end atom.
+    pub i: usize,
+    /// Vertex atom.
+    pub j: usize,
+    /// Second end atom.
+    pub k_atom: usize,
+    /// Rest angle, radians.
+    pub theta0: f64,
+    /// Force constant, kcal/mol/rad².
+    pub k: f64,
+}
+
+/// Periodic dihedral: E = k (1 + cos(n φ − φ0)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dihedral {
+    /// First atom.
+    pub i: usize,
+    /// Second atom (axis start).
+    pub j: usize,
+    /// Third atom (axis end).
+    pub k_atom: usize,
+    /// Fourth atom.
+    pub l: usize,
+    /// Multiplicity.
+    pub n: u8,
+    /// Barrier height, kcal/mol.
+    pub k: f64,
+    /// Phase, radians.
+    pub phi0: f64,
+}
+
+/// A complete simulated system.
+#[derive(Debug, Clone)]
+pub struct ChemicalSystem {
+    /// The periodic box.
+    pub pbox: PeriodicBox,
+    /// All atoms.
+    pub atoms: Vec<Atom>,
+    /// Harmonic bonds.
+    pub bonds: Vec<Bond>,
+    /// Harmonic angles.
+    pub angles: Vec<Angle>,
+    /// Periodic dihedrals.
+    pub dihedrals: Vec<Dihedral>,
+    /// Nonbonded exclusions (1-2 and 1-3 neighbors), stored for each atom
+    /// as a sorted list of excluded partners with higher index.
+    pub exclusions: Vec<Vec<usize>>,
+}
+
+impl ChemicalSystem {
+    /// Total charge (e). Generated systems are neutral.
+    pub fn total_charge(&self) -> f64 {
+        self.atoms.iter().map(|a| a.charge).sum()
+    }
+
+    /// Total mass (amu).
+    pub fn total_mass(&self) -> f64 {
+        self.atoms.iter().map(|a| a.mass).sum()
+    }
+
+    /// Total momentum (amu·Å/fs).
+    pub fn total_momentum(&self) -> Vec3 {
+        self.atoms
+            .iter()
+            .fold(Vec3::ZERO, |acc, a| acc + a.vel * a.mass)
+    }
+
+    /// Whether the unordered pair (i, j) is excluded from nonbonded
+    /// interactions.
+    pub fn is_excluded(&self, i: usize, j: usize) -> bool {
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        self.exclusions[lo].binary_search(&hi).is_ok()
+    }
+
+    /// Build the exclusion lists from the bonded topology: direct bond
+    /// partners (1-2) and angle ends (1-3).
+    pub fn rebuild_exclusions(&mut self) {
+        let n = self.atoms.len();
+        let mut ex: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let add = |ex: &mut Vec<Vec<usize>>, a: usize, b: usize| {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            ex[lo].push(hi);
+        };
+        for b in &self.bonds {
+            add(&mut ex, b.i, b.j);
+        }
+        for a in &self.angles {
+            add(&mut ex, a.i, a.k_atom);
+        }
+        for list in &mut ex {
+            list.sort_unstable();
+            list.dedup();
+        }
+        self.exclusions = ex;
+    }
+
+    /// Assign Maxwell–Boltzmann velocities at `temp` K, then remove net
+    /// momentum so the box doesn't drift.
+    pub fn thermalize(&mut self, temp: f64, rng: &mut Rng) {
+        for a in &mut self.atoms {
+            let s = thermal_sigma(a.mass, temp);
+            a.vel = Vec3::new(s * rng.normal(), s * rng.normal(), s * rng.normal());
+        }
+        let p = self.total_momentum();
+        let m = self.total_mass();
+        for a in &mut self.atoms {
+            a.vel -= p / m;
+        }
+    }
+}
+
+/// Water geometry constants (flexible 3-site, SPC-like).
+const WATER_OH: f64 = 1.0; // Å
+const WATER_ANGLE: f64 = 1.910611; // 109.47°, radians
+const Q_OXYGEN: f64 = -0.82;
+const Q_HYDROGEN: f64 = 0.41;
+
+/// Synthetic-system builder.
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    /// Edge of the cubic box, Å.
+    pub box_edge: f64,
+    /// Number of protein-like chain atoms (0 for pure water).
+    pub protein_atoms: usize,
+    /// Total target atom count (protein + water sites; rounded to whole
+    /// waters).
+    pub total_atoms: usize,
+    /// Initial temperature, K.
+    pub temperature: f64,
+    /// Generator seed (same seed ⇒ identical system).
+    pub seed: u64,
+}
+
+impl SystemBuilder {
+    /// The paper's flagship benchmark scale: DHFR-like, 23,558 atoms in a
+    /// 62.23 Å box (simulation parameters per \[40\]).
+    pub fn dhfr_like() -> SystemBuilder {
+        SystemBuilder {
+            box_edge: 62.23,
+            protein_atoms: 2_500,
+            total_atoms: 23_558,
+            temperature: 300.0,
+            seed: 2010,
+        }
+    }
+
+    /// The 17,758-particle system of Figure 12.
+    pub fn migration_benchmark() -> SystemBuilder {
+        SystemBuilder {
+            box_edge: 56.6,
+            protein_atoms: 1_800,
+            total_atoms: 17_758,
+            temperature: 300.0,
+            seed: 1912,
+        }
+    }
+
+    /// A small fast system for tests.
+    pub fn tiny(total_atoms: usize, box_edge: f64, seed: u64) -> SystemBuilder {
+        SystemBuilder {
+            box_edge,
+            protein_atoms: 0,
+            total_atoms,
+            temperature: 300.0,
+            seed,
+        }
+    }
+
+    /// Generate the system.
+    pub fn build(&self) -> ChemicalSystem {
+        assert!(self.protein_atoms <= self.total_atoms);
+        let mut rng = Rng::seed_from(self.seed);
+        let pbox = PeriodicBox::cubic(self.box_edge);
+        let mut sys = ChemicalSystem {
+            pbox,
+            atoms: Vec::with_capacity(self.total_atoms),
+            bonds: Vec::new(),
+            angles: Vec::new(),
+            dihedrals: Vec::new(),
+            exclusions: Vec::new(),
+        };
+
+        if self.protein_atoms > 0 {
+            build_protein_chains(&mut sys, self.protein_atoms, &mut rng);
+        }
+
+        // Fill the remainder with whole waters on a jittered lattice.
+        let remaining = self.total_atoms.saturating_sub(sys.atoms.len());
+        let n_waters = remaining / 3;
+        build_waters(&mut sys, n_waters, &mut rng);
+
+        // Water sites come in threes; top up to the exact atom count with
+        // neutral LJ particles (solvated "ions" without charge).
+        while sys.atoms.len() < self.total_atoms {
+            let pos = Vec3::new(
+                rng.uniform(0.0, self.box_edge),
+                rng.uniform(0.0, self.box_edge),
+                rng.uniform(0.0, self.box_edge),
+            );
+            sys.atoms.push(Atom {
+                pos,
+                vel: Vec3::ZERO,
+                mass: 22.99,
+                charge: 0.0,
+                lj_sigma: 2.6,
+                lj_epsilon: 0.05,
+            });
+        }
+
+        sys.rebuild_exclusions();
+        sys.thermalize(self.temperature, &mut rng);
+        debug_assert!(sys.total_charge().abs() < 1e-9);
+        sys
+    }
+}
+
+/// Protein-like chains: united-atom "residue" beads on a jittered
+/// lattice filling a central globule at liquid density (~0.105 atoms/Å³
+/// — a real solvated protein matches the water around it, which keeps
+/// home-box load balanced, something the Anton timing model is sensitive
+/// to). Consecutive beads along a boustrophedon (snake) path are bonded,
+/// giving full bond/angle/dihedral topology with rest geometry equal to
+/// the lattice geometry. Charges alternate in neutral quadruples.
+fn build_protein_chains(sys: &mut ChemicalSystem, n_atoms: usize, rng: &mut Rng) {
+    let center = sys.pbox.lengths * 0.5;
+    let density: f64 = 0.105;
+    let spacing = (1.0 / density).powf(1.0 / 3.0); // ≈ 2.12 Å
+    let radius = (n_atoms as f64 * 3.0 / (4.0 * std::f64::consts::PI * density))
+        .powf(1.0 / 3.0)
+        .min(sys.pbox.lengths.x * 0.4);
+    let chain_len = 64usize;
+
+    // Snake-order lattice sites inside the globule: consecutive kept
+    // sites are usually lattice neighbors; larger jumps break the chain.
+    let n_side = (2.0 * radius / spacing).ceil() as i64 + 1;
+    let mut sites = Vec::with_capacity(n_atoms);
+    'fill: for iz in 0..n_side {
+        let ys: Vec<i64> = if iz % 2 == 0 {
+            (0..n_side).collect()
+        } else {
+            (0..n_side).rev().collect()
+        };
+        for (yi, &iy) in ys.iter().enumerate() {
+            let xs: Vec<i64> = if (iz + yi as i64) % 2 == 0 {
+                (0..n_side).collect()
+            } else {
+                (0..n_side).rev().collect()
+            };
+            for &ix in &xs {
+                let p = Vec3::new(
+                    (ix as f64 - n_side as f64 / 2.0) * spacing,
+                    (iy as f64 - n_side as f64 / 2.0) * spacing,
+                    (iz as f64 - n_side as f64 / 2.0) * spacing,
+                );
+                if p.norm() <= radius {
+                    let jitter = Vec3::new(
+                        rng.uniform(-0.1, 0.1),
+                        rng.uniform(-0.1, 0.1),
+                        rng.uniform(-0.1, 0.1),
+                    );
+                    sites.push(center + p + jitter);
+                    if sites.len() == n_atoms {
+                        break 'fill;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(sites.len(), n_atoms, "globule too small for protein atoms");
+
+    let mut chain_start = sys.atoms.len();
+    let mut chain_pos = 0usize;
+    let break_dist = 1.6 * spacing;
+    for (k, &pos) in sites.iter().enumerate() {
+        let idx = sys.atoms.len();
+        let q = match chain_pos % 4 {
+            0 => 0.25,
+            1 => -0.25,
+            2 => -0.25,
+            _ => 0.25,
+        };
+        sys.atoms.push(Atom {
+            pos: sys.pbox.wrap(pos),
+            vel: Vec3::ZERO,
+            mass: 12.011,
+            charge: q,
+            lj_sigma: 3.4,
+            lj_epsilon: 0.1,
+        });
+        // Start a new chain at length limits or spatial discontinuities.
+        let broke = chain_pos >= chain_len
+            || (k > 0 && (pos - sites[k - 1]).norm() > break_dist);
+        if broke || k == 0 {
+            // Neutralize the finished chain's charge remainder.
+            if idx > chain_start {
+                let rem: f64 = sys.atoms[chain_start..idx].iter().map(|a| a.charge).sum();
+                if rem.abs() > 1e-12 {
+                    sys.atoms[idx - 1].charge -= rem;
+                }
+            }
+            chain_start = idx;
+            chain_pos = 0;
+            // Re-assign the first bead's charge of the new chain.
+            sys.atoms[idx].charge = 0.25;
+        }
+        if chain_pos >= 1 {
+            let r0 = (sites[k] - sites[k - 1]).norm();
+            sys.bonds.push(Bond { i: idx - 1, j: idx, r0, k: 300.0 });
+        }
+        if chain_pos >= 2 {
+            // Rest angle = the actual lattice angle at generation time.
+            let v1 = sites[k - 2] - sites[k - 1];
+            let v2 = sites[k] - sites[k - 1];
+            let theta0 = (v1.dot(v2) / (v1.norm() * v2.norm()))
+                .clamp(-1.0, 1.0)
+                .acos();
+            sys.angles.push(Angle {
+                i: idx - 2,
+                j: idx - 1,
+                k_atom: idx,
+                theta0,
+                k: 60.0,
+            });
+        }
+        if chain_pos >= 3 {
+            sys.dihedrals.push(Dihedral {
+                i: idx - 3,
+                j: idx - 2,
+                k_atom: idx - 1,
+                l: idx,
+                n: 3,
+                k: 0.2,
+                phi0: 0.0,
+            });
+        }
+        chain_pos += 1;
+    }
+    // Neutralize the final chain.
+    let end = sys.atoms.len();
+    if end > chain_start {
+        let rem: f64 = sys.atoms[chain_start..end].iter().map(|a| a.charge).sum();
+        if rem.abs() > 1e-12 {
+            sys.atoms[end - 1].charge -= rem;
+        }
+    }
+}
+
+/// Waters on a jittered cubic lattice, skipping sites that collide with
+/// already-placed atoms.
+fn build_waters(sys: &mut ChemicalSystem, n_waters: usize, rng: &mut Rng) {
+    if n_waters == 0 {
+        return;
+    }
+    let edge = sys.pbox.lengths.x;
+    // Lattice fine enough to hold n_waters with some sites rejected.
+    let mut cells = 1usize;
+    while cells * cells * cells < n_waters * 2 {
+        cells += 1;
+    }
+    let spacing = edge / cells as f64;
+    let existing: Vec<Vec3> = sys.atoms.iter().map(|a| a.pos).collect();
+    let min_dist = 2.4; // Å clearance from protein atoms
+    // Collect every admissible site first, then take an evenly strided
+    // subset — filling in lattice order would leave the top of the box
+    // empty and wreck the home-box load balance the timing model needs.
+    let mut candidates = Vec::new();
+    for cz in 0..cells {
+        for cy in 0..cells {
+            for cx in 0..cells {
+                let jitter = Vec3::new(
+                    rng.uniform(-0.12, 0.12),
+                    rng.uniform(-0.12, 0.12),
+                    rng.uniform(-0.12, 0.12),
+                ) * spacing;
+                let o_pos = Vec3::new(
+                    (cx as f64 + 0.5) * spacing,
+                    (cy as f64 + 0.5) * spacing,
+                    (cz as f64 + 0.5) * spacing,
+                ) + jitter;
+                // Reject sites inside the protein globule.
+                if existing
+                    .iter()
+                    .any(|&p| sys.pbox.distance(p, o_pos) < min_dist)
+                {
+                    continue;
+                }
+                candidates.push(o_pos);
+            }
+        }
+    }
+    assert!(
+        candidates.len() >= n_waters,
+        "could not place all waters: {}/{n_waters} sites (box too small?)",
+        candidates.len()
+    );
+    for i in 0..n_waters {
+        let idx = i * candidates.len() / n_waters;
+        add_water(sys, candidates[idx], rng);
+    }
+}
+
+/// Append one flexible 3-site water at `o_pos` with random orientation.
+fn add_water(sys: &mut ChemicalSystem, o_pos: Vec3, rng: &mut Rng) {
+    let o = sys.atoms.len();
+    // Random orthonormal frame.
+    let mut u = Vec3::new(rng.normal(), rng.normal(), rng.normal());
+    while u.norm() < 1e-6 {
+        u = Vec3::new(rng.normal(), rng.normal(), rng.normal());
+    }
+    let u = u.normalized();
+    let mut v = u.cross(Vec3::new(0.0, 0.0, 1.0));
+    if v.norm() < 1e-6 {
+        v = u.cross(Vec3::new(0.0, 1.0, 0.0));
+    }
+    let v = v.normalized();
+    let half = WATER_ANGLE / 2.0;
+    let h1 = o_pos + (u * half.cos() + v * half.sin()) * WATER_OH;
+    let h2 = o_pos + (u * half.cos() - v * half.sin()) * WATER_OH;
+    sys.atoms.push(Atom {
+        pos: sys.pbox.wrap(o_pos),
+        vel: Vec3::ZERO,
+        mass: 15.999,
+        charge: Q_OXYGEN,
+        lj_sigma: 3.166,
+        lj_epsilon: 0.155,
+    });
+    for h in [h1, h2] {
+        sys.atoms.push(Atom {
+            pos: sys.pbox.wrap(h),
+            vel: Vec3::ZERO,
+            mass: 1.008,
+            charge: Q_HYDROGEN,
+            lj_sigma: 1.0,
+            lj_epsilon: 0.0,
+        });
+    }
+    sys.bonds.push(Bond { i: o, j: o + 1, r0: WATER_OH, k: 450.0 });
+    sys.bonds.push(Bond { i: o, j: o + 2, r0: WATER_OH, k: 450.0 });
+    sys.angles.push(Angle {
+        i: o + 1,
+        j: o,
+        k_atom: o + 2,
+        theta0: WATER_ANGLE,
+        k: 55.0,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_water_box_is_neutral_and_sized() {
+        let sys = SystemBuilder::tiny(300, 22.0, 1).build();
+        assert_eq!(sys.atoms.len(), 300);
+        assert!(sys.total_charge().abs() < 1e-9);
+        assert_eq!(sys.bonds.len(), 200); // 100 waters × 2 bonds
+        assert_eq!(sys.angles.len(), 100);
+        // Every position inside the box.
+        for a in &sys.atoms {
+            for ax in 0..3 {
+                let p = a.pos.get(ax);
+                assert!((0.0..22.0).contains(&p), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn exclusions_cover_bonds_and_angles() {
+        let sys = SystemBuilder::tiny(30, 12.0, 3).build();
+        for b in &sys.bonds {
+            assert!(sys.is_excluded(b.i, b.j));
+            assert!(sys.is_excluded(b.j, b.i));
+        }
+        for a in &sys.angles {
+            assert!(sys.is_excluded(a.i, a.k_atom));
+        }
+        // H of one water is not excluded from O of another.
+        assert!(!sys.is_excluded(0, 3));
+    }
+
+    #[test]
+    fn thermalization_hits_target_temperature_and_zero_momentum() {
+        let mut sys = SystemBuilder::tiny(3000, 45.0, 7).build();
+        let mut rng = Rng::seed_from(99);
+        sys.thermalize(300.0, &mut rng);
+        assert!(sys.total_momentum().norm() < 1e-12);
+        let ke: f64 = sys
+            .atoms
+            .iter()
+            .map(|a| crate::units::kinetic_energy(a.mass, a.vel.norm_sq()))
+            .sum();
+        let t = crate::units::temperature(ke, sys.atoms.len());
+        assert!((t - 300.0).abs() < 15.0, "t={t}");
+    }
+
+    #[test]
+    fn protein_chains_have_full_topology_and_neutrality() {
+        let b = SystemBuilder {
+            box_edge: 40.0,
+            protein_atoms: 200,
+            total_atoms: 1000,
+            temperature: 300.0,
+            seed: 5,
+        };
+        let sys = b.build();
+        assert!(sys.total_charge().abs() < 1e-9);
+        assert!(!sys.dihedrals.is_empty());
+        assert_eq!(sys.atoms.len(), 1000);
+        // (1000 − 200)/3 = 266 waters × 2 bonds (the ÷3 remainder becomes
+        // two neutral top-up ions with no bonds), plus protein chain
+        // bonds: one per bead minus one per chain (snake path breaks at
+        // globule-boundary jumps, so the chain count varies a little).
+        let chain_bonds = sys.bonds.len() - 2 * 266;
+        assert!(
+            (140..200).contains(&chain_bonds),
+            "chain bonds = {chain_bonds}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SystemBuilder::tiny(150, 18.0, 42).build();
+        let b = SystemBuilder::tiny(150, 18.0, 42).build();
+        for (x, y) in a.atoms.iter().zip(&b.atoms) {
+            assert_eq!(x.pos, y.pos);
+            assert_eq!(x.vel, y.vel);
+        }
+    }
+
+    #[test]
+    #[ignore = "slow: full-size generation (run with --ignored)"]
+    fn dhfr_like_builds_at_full_size() {
+        let sys = SystemBuilder::dhfr_like().build();
+        assert_eq!(sys.atoms.len(), 23_558);
+        assert!(sys.total_charge().abs() < 1e-9);
+    }
+}

@@ -1,0 +1,77 @@
+//! Units and physical constants.
+//!
+//! The MD substrate uses the AKMA-style unit system common in
+//! biomolecular codes:
+//!
+//! - length: Å (ångström)
+//! - time: fs (femtosecond)
+//! - mass: amu
+//! - energy: kcal/mol
+//! - charge: elementary charge e
+//! - temperature: K
+//!
+//! Forces are kcal/mol/Å; accelerations need [`ACCEL_CONVERSION`].
+
+/// Acceleration conversion: a (Å/fs²) = F (kcal/mol/Å) / m (amu) × this.
+/// (1 kcal/mol = 4184 J/mol; 1 amu = 1.66054e-27 kg; 1 Å/fs² = 1e25 m/s².)
+pub const ACCEL_CONVERSION: f64 = 4.184e-4;
+
+/// Boltzmann constant, kcal/(mol·K).
+pub const KB: f64 = 1.987204259e-3;
+
+/// Coulomb constant, kcal·Å/(mol·e²).
+pub const COULOMB: f64 = 332.063713;
+
+/// Kinetic energy of one particle: ½ m v² in kcal/mol with v in Å/fs and
+/// m in amu.
+#[inline]
+pub fn kinetic_energy(mass: f64, v_sq: f64) -> f64 {
+    0.5 * mass * v_sq / ACCEL_CONVERSION
+}
+
+/// Instantaneous temperature of N particles with total kinetic energy
+/// `ke` (kcal/mol), using 3N degrees of freedom.
+#[inline]
+pub fn temperature(ke: f64, n_atoms: usize) -> f64 {
+    if n_atoms == 0 {
+        return 0.0;
+    }
+    2.0 * ke / (3.0 * n_atoms as f64 * KB)
+}
+
+/// Thermal velocity standard deviation per component (Å/fs) for mass m
+/// (amu) at temperature T (K): sqrt(kB T / m), converted.
+#[inline]
+pub fn thermal_sigma(mass: f64, temp: f64) -> f64 {
+    (KB * temp / mass * ACCEL_CONVERSION).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn water_oxygen_thermal_speed_is_sane() {
+        // Oxygen at 300 K: ~0.000394 Å/fs per component ≈ 394 m/s.
+        let s = thermal_sigma(15.999, 300.0);
+        let m_per_s = s * 1e5; // Å/fs → m/s
+        assert!((350.0..450.0).contains(&m_per_s), "{m_per_s} m/s");
+    }
+
+    #[test]
+    fn equipartition_round_trip() {
+        // A particle moving at exactly the thermal sigma in each component
+        // has KE = 3/2 kB T, i.e., temperature() recovers T.
+        let t = 310.0;
+        let m = 12.011;
+        let s = thermal_sigma(m, t);
+        let ke = kinetic_energy(m, 3.0 * s * s);
+        let got = temperature(ke, 1);
+        assert!((got - t).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn zero_atoms_zero_temperature() {
+        assert_eq!(temperature(5.0, 0), 0.0);
+    }
+}

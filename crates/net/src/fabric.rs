@@ -1,0 +1,656 @@
+//! The network fabric: torus links, on-chip rings, injection ports,
+//! multicast tables, and packet delivery.
+//!
+//! ## Model
+//!
+//! Packets cut through the network: the *head* of a packet advances with
+//! the fixed per-stage latencies of [`crate::timing::Timing`], while each
+//! torus link direction is a serial resource occupied for the packet's
+//! full wire time (contention backs up subsequent packets in FIFO order).
+//! The synchronization counter bumps when the *tail* arrives — base
+//! latency plus the payload's serialization time.
+//!
+//! Anton guarantees lossless, deadlock-free routing via virtual channels
+//! (§III.A); we model unbounded link queues, which is lossless and cannot
+//! deadlock, and preserves per-pair ordering (deterministic
+//! dimension-ordered routes over FIFO links), so the in-order header flag
+//! is honored by construction.
+
+use crate::memory::{AccumMemory, LocalMemory, MsgFifo, SyncCounters};
+use crate::packet::{
+    ClientAddr, ClientKind, CounterId, Destination, Packet, PacketKind, PatternId, Payload,
+    COUNTER_BY_SOURCE,
+};
+use crate::timing::Timing;
+use anton_des::{Activity, Scheduler, SimDuration, SimTime, Tracer, TrackId};
+use anton_topo::{Coord, Dim, LinkDir, MulticastPattern, NodeId, Route, TorusDims};
+use std::collections::HashMap;
+
+/// Capacity (in messages) of each slice's hardware message FIFO. The paper
+/// doesn't publish the size; migration bursts are tens of messages, so 64
+/// exercises backpressure only under deliberately abusive tests.
+pub const FIFO_CAPACITY: usize = 64;
+
+/// Events produced and consumed by the fabric (plus program dispatches).
+#[derive(Debug)]
+pub enum Ev {
+    /// Kick off all node programs at time zero.
+    Start,
+    /// A packet's head arrived at `node`'s receive adapter having entered
+    /// along dimension `in_dim`.
+    HopArrive {
+        /// The packet in flight.
+        pkt: Packet,
+        /// The node whose receive adapter the head reached.
+        node: NodeId,
+        /// Dimension of the link it arrived on.
+        in_dim: Dim,
+    },
+    /// A packet's tail reached its target client at `node`; apply it.
+    Deliver {
+        /// The arriving packet.
+        pkt: Packet,
+        /// Delivery node.
+        node: NodeId,
+        /// Target client on that node.
+        client: ClientKind,
+    },
+    /// Software services one message from a slice's FIFO.
+    FifoService {
+        /// The node whose FIFO is serviced.
+        node: NodeId,
+        /// The slice owning the FIFO.
+        client: ClientKind,
+    },
+    /// Dispatch to the node program.
+    Prog {
+        /// Target node.
+        node: NodeId,
+        /// The program event.
+        pe: ProgEvent,
+    },
+}
+
+/// Callbacks into node programs.
+#[derive(Debug)]
+pub enum ProgEvent {
+    /// Simulation start.
+    Start,
+    /// A watched synchronization counter reached its target.
+    CounterReached {
+        /// The client whose counter fired.
+        client: ClientKind,
+        /// Which counter.
+        counter: CounterId,
+    },
+    /// Software popped one message from a client's hardware FIFO.
+    FifoMessage {
+        /// The slice that drained the message.
+        client: ClientKind,
+        /// The popped message.
+        pkt: Packet,
+    },
+    /// A timer set via `Ctx::set_timer` or `Ctx::compute` expired.
+    Timer {
+        /// The client the timer was set for.
+        client: ClientKind,
+        /// Application-defined tag.
+        tag: u64,
+    },
+}
+
+/// Per-client simulated state.
+#[derive(Debug, Default)]
+struct ClientState {
+    mem: LocalMemory,
+    accum: AccumMemory,
+    counters: SyncCounters,
+    fifo: Option<MsgFifo<Packet>>,
+    /// Pending accumulation-counter watch fire times are handled inline;
+    /// nothing else needed per client.
+    fifo_service_pending: bool,
+    /// Per-source-node counter mapping for COUNTER_BY_SOURCE packets
+    /// (the HTIS buffer table).
+    source_counters: HashMap<anton_topo::NodeId, CounterId>,
+}
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Default, Clone)]
+pub struct NetStats {
+    /// Packets injected by clients (a multicast counts once).
+    pub packets_sent: u64,
+    /// Deliveries into client memories (a multicast counts per member).
+    pub packets_delivered: u64,
+    /// Total payload bytes delivered.
+    pub payload_bytes_delivered: u64,
+    /// Individual link-direction occupations.
+    pub link_traversals: u64,
+    /// Per-node packets sent / delivered (for the paper's "over 250
+    /// messages sent and over 500 received per node per time step").
+    pub sent_by_node: Vec<u64>,
+    /// Per-node delivery counts.
+    pub delivered_by_node: Vec<u64>,
+}
+
+/// The simulated communication fabric of one Anton machine.
+pub struct Fabric {
+    dims: TorusDims,
+    timing: Timing,
+    /// Busy-until per unidirectional link, indexed `node*6 + link`.
+    link_busy: Vec<SimTime>,
+    /// Busy-until per client injection port, indexed `node*7 + client`.
+    inject_busy: Vec<SimTime>,
+    /// Busy-until per slice Tensilica core, indexed `node*7 + client`
+    /// (only slice entries are used).
+    core_busy: Vec<SimTime>,
+    /// Per-node, per-pattern multicast forwarding tables.
+    patterns: Vec<HashMap<PatternId, NodePatternEntry>>,
+    clients: Vec<ClientState>,
+    /// Aggregate traffic statistics.
+    pub stats: NetStats,
+    /// Activity tracer (tracks 0–5 are the six link directions).
+    pub tracer: Tracer,
+    /// Label applied to link-activity intervals; set via [`Ctx::set_phase`].
+    current_label: u16,
+}
+
+#[derive(Debug, Clone, Default)]
+struct NodePatternEntry {
+    forward: Vec<LinkDir>,
+    deliver: bool,
+}
+
+fn client_index(node: NodeId, client: ClientKind) -> usize {
+    node.index() * 7 + client.index()
+}
+
+impl Fabric {
+    /// Build a fabric for the given machine size with default timing.
+    pub fn new(dims: TorusDims) -> Fabric {
+        Fabric::with_timing(dims, Timing::default())
+    }
+
+    /// Build with explicit timing (ablations perturb constants).
+    pub fn with_timing(dims: TorusDims, timing: Timing) -> Fabric {
+        let n = dims.node_count() as usize;
+        let mut clients: Vec<ClientState> = Vec::with_capacity(n * 7);
+        for _ in 0..n {
+            for kind in ClientKind::ALL {
+                let mut st = ClientState::default();
+                if matches!(kind, ClientKind::Slice(_)) {
+                    st.fifo = Some(MsgFifo::new(FIFO_CAPACITY));
+                }
+                clients.push(st);
+            }
+        }
+        let mut tracer = Tracer::disabled();
+        for (i, l) in LinkDir::ALL.iter().enumerate() {
+            tracer.name_track(TrackId(i as u16), format!("{l} links"));
+        }
+        Fabric {
+            dims,
+            timing,
+            link_busy: vec![SimTime::ZERO; n * 6],
+            inject_busy: vec![SimTime::ZERO; n * 7],
+            core_busy: vec![SimTime::ZERO; n * 7],
+            patterns: vec![HashMap::new(); n],
+            clients,
+            stats: NetStats {
+                sent_by_node: vec![0; n],
+                delivered_by_node: vec![0; n],
+                ..Default::default()
+            },
+            tracer,
+            current_label: 0,
+        }
+    }
+
+    /// Enable activity tracing (disabled by default; costs memory).
+    pub fn enable_tracing(&mut self) {
+        let mut tracer = Tracer::enabled();
+        for (i, l) in LinkDir::ALL.iter().enumerate() {
+            tracer.name_track(TrackId(i as u16), format!("{l} links"));
+        }
+        self.tracer = tracer;
+    }
+
+    /// Machine dimensions.
+    pub fn dims(&self) -> TorusDims {
+        self.dims
+    }
+
+    /// The timing model in force.
+    pub fn timing(&self) -> &Timing {
+        &self.timing
+    }
+
+    /// Install a multicast pattern under `id` (the same id on every node
+    /// the tree touches, as the hardware tables work). Panics if any node
+    /// would exceed the 256-pattern hardware limit or the id is taken.
+    pub fn register_pattern(&mut self, id: PatternId, pattern: &MulticastPattern) {
+        assert_eq!(pattern.dims(), self.dims, "pattern built for other dims");
+        for (node, entry) in pattern.entries() {
+            let table = &mut self.patterns[node.index()];
+            assert!(
+                !table.contains_key(&id),
+                "pattern id {} already registered on node {}",
+                id.0,
+                node.0
+            );
+            assert!(
+                table.len() < anton_topo::MAX_PATTERNS_PER_NODE,
+                "node {} exceeds 256 multicast patterns",
+                node.0
+            );
+            table.insert(
+                id,
+                NodePatternEntry {
+                    forward: entry.forward.clone(),
+                    deliver: entry.deliver,
+                },
+            );
+        }
+    }
+
+    /// Remove a pattern everywhere (bond-program regeneration reprograms
+    /// tables between epochs).
+    pub fn unregister_pattern(&mut self, id: PatternId) {
+        for table in &mut self.patterns {
+            table.remove(&id);
+        }
+    }
+
+    fn reserve_link(
+        &mut self,
+        node: NodeId,
+        link: LinkDir,
+        ready: SimTime,
+        payload_bytes: u32,
+    ) -> SimTime {
+        let idx = node.index() * 6 + link.index();
+        let start = ready.max(self.link_busy[idx]);
+        let occ = self.timing.link_occupancy(payload_bytes);
+        self.link_busy[idx] = start + occ;
+        self.stats.link_traversals += 1;
+        if self.tracer.is_enabled() {
+            self.tracer.record(
+                TrackId(link.index() as u16),
+                Activity::Busy,
+                start,
+                start + occ,
+                self.current_label,
+            );
+        }
+        start
+    }
+
+    /// Send a packet. `now` is the time software issues the send. All
+    /// downstream progress is scheduled on `sched`.
+    pub fn send(&mut self, pkt: Packet, now: SimTime, sched: &mut Scheduler<Ev>) {
+        assert!(pkt.src.client.can_send(), "client cannot send packets");
+        let src_node = pkt.src.node;
+        self.stats.packets_sent += 1;
+        self.stats.sent_by_node[src_node.index()] += 1;
+
+        // The sending Tensilica core is occupied briefly per send (the
+        // full send_setup is pipeline latency, not occupancy).
+        let ci = client_index(src_node, pkt.src.client);
+        let t0 = if matches!(pkt.src.client, ClientKind::Slice(_)) {
+            let t0 = now.max(self.core_busy[ci]);
+            self.core_busy[ci] = t0 + SimDuration::from_ns_f64(self.timing.send_issue_ns);
+            t0
+        } else {
+            now
+        };
+
+        // Injection-port serialization onto the on-chip ring.
+        let inj_ready = t0 + SimDuration::from_ns_f64(self.timing.send_setup_ns);
+        let inj_start = inj_ready.max(self.inject_busy[ci]);
+        self.inject_busy[ci] = inj_start + self.timing.injection_occupancy(pkt.payload_bytes);
+
+        match pkt.dest {
+            Destination::Unicast(dst) => {
+                if dst.node == src_node {
+                    // Local client-to-client write over the ring only.
+                    let done = t0
+                        + self.timing.local_latency()
+                        + self.timing.payload_tail_onchip(pkt.payload_bytes);
+                    sched.at(
+                        done,
+                        Ev::Deliver { node: dst.node, client: dst.client, pkt },
+                    );
+                } else {
+                    let src_c = src_node.coord(self.dims);
+                    let dst_c = dst.node.coord(self.dims);
+                    let link = Route::next_link_from(src_c, dst_c, self.dims)
+                        .expect("distinct nodes have a route");
+                    let ready = inj_start + SimDuration::from_ns_f64(self.timing.send_ring_ns);
+                    let start = self.reserve_link(src_node, link, ready, pkt.payload_bytes);
+                    let next = src_c.step(link, self.dims).node_id(self.dims);
+                    sched.at(
+                        start + self.timing.link_head(),
+                        Ev::HopArrive { pkt, node: next, in_dim: link.dim },
+                    );
+                }
+            }
+            Destination::Multicast { pattern, client } => {
+                let entry = self.patterns[src_node.index()]
+                    .get(&pattern)
+                    .unwrap_or_else(|| panic!("pattern {} unknown at source", pattern.0))
+                    .clone();
+                if entry.deliver {
+                    let done = t0
+                        + self.timing.local_latency()
+                        + self.timing.payload_tail_onchip(pkt.payload_bytes);
+                    sched.at(
+                        done,
+                        Ev::Deliver { node: src_node, client, pkt: pkt.clone() },
+                    );
+                }
+                let src_c = src_node.coord(self.dims);
+                let ready = inj_start + SimDuration::from_ns_f64(self.timing.send_ring_ns);
+                for l in entry.forward {
+                    let start = self.reserve_link(src_node, l, ready, pkt.payload_bytes);
+                    let next = src_c.step(l, self.dims).node_id(self.dims);
+                    sched.at(
+                        start + self.timing.link_head(),
+                        Ev::HopArrive { pkt: pkt.clone(), node: next, in_dim: l.dim },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Handle a packet head arriving at `node`.
+    pub fn hop_arrive(
+        &mut self,
+        pkt: Packet,
+        node: NodeId,
+        in_dim: Dim,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        match pkt.dest {
+            Destination::Unicast(dst) => {
+                if dst.node == node {
+                    let done = now
+                        + self.timing.recv_overhead()
+                        + self.timing.payload_tail(pkt.payload_bytes);
+                    sched.at(done, Ev::Deliver { node, client: dst.client, pkt });
+                } else {
+                    let cur = node.coord(self.dims);
+                    let dst_c = dst.node.coord(self.dims);
+                    let link = Route::next_link_from(cur, dst_c, self.dims)
+                        .expect("not yet at destination");
+                    let ready = now + self.timing.transit_ring(in_dim, link.dim);
+                    let start = self.reserve_link(node, link, ready, pkt.payload_bytes);
+                    let next = cur.step(link, self.dims).node_id(self.dims);
+                    sched.at(
+                        start + self.timing.link_head(),
+                        Ev::HopArrive { pkt, node: next, in_dim: link.dim },
+                    );
+                }
+            }
+            Destination::Multicast { pattern, client } => {
+                let entry = self.patterns[node.index()]
+                    .get(&pattern)
+                    .unwrap_or_else(|| panic!("pattern {} unknown at node {}", pattern.0, node.0))
+                    .clone();
+                if entry.deliver {
+                    let done = now
+                        + self.timing.recv_overhead()
+                        + self.timing.payload_tail(pkt.payload_bytes);
+                    sched.at(done, Ev::Deliver { node, client, pkt: pkt.clone() });
+                }
+                let cur = node.coord(self.dims);
+                for l in entry.forward {
+                    let ready = now + self.timing.transit_ring(in_dim, l.dim);
+                    let start = self.reserve_link(node, l, ready, pkt.payload_bytes);
+                    let next = cur.step(l, self.dims).node_id(self.dims);
+                    sched.at(
+                        start + self.timing.link_head(),
+                        Ev::HopArrive { pkt: pkt.clone(), node: next, in_dim: l.dim },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Apply a delivered packet to its target client. Returns the program
+    /// events to dispatch (counter fires, FIFO service scheduling happens
+    /// here too).
+    pub fn deliver(
+        &mut self,
+        pkt: Packet,
+        node: NodeId,
+        client: ClientKind,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        self.stats.packets_delivered += 1;
+        self.stats.payload_bytes_delivered += pkt.payload_bytes as u64;
+        self.stats.delivered_by_node[node.index()] += 1;
+        let ci = client_index(node, client);
+        let counter = pkt.counter;
+        let pkt_src = pkt.src.node;
+        match pkt.kind {
+            PacketKind::Write => {
+                self.clients[ci].mem.write(pkt.addr, pkt.payload);
+            }
+            PacketKind::Accumulate => {
+                assert!(
+                    matches!(client, ClientKind::Accum(_)),
+                    "accumulate delivered to non-accumulation client"
+                );
+                match &pkt.payload {
+                    Payload::I32s(vs) => self.clients[ci].accum.accumulate(pkt.addr, vs),
+                    Payload::Empty => {}
+                    other => panic!("accumulation payload must be I32s, got {other:?}"),
+                }
+            }
+            PacketKind::Fifo => {
+                let fifo = self.clients[ci]
+                    .fifo
+                    .as_mut()
+                    .expect("FIFO packets must target a processing slice");
+                fifo.push(pkt);
+                if !self.clients[ci].fifo_service_pending {
+                    self.clients[ci].fifo_service_pending = true;
+                    sched.at(now, Ev::FifoService { node, client });
+                }
+                // FIFO messages never carry counters: synchronization of
+                // FIFO traffic uses separate in-order counted writes
+                // (§IV.B.5), and nothing in hardware bumps a counter on a
+                // FIFO push.
+                return;
+            }
+        }
+        let counter = match counter {
+            Some(c) if c == COUNTER_BY_SOURCE => {
+                Some(*self.clients[ci].source_counters.get(&pkt_src).unwrap_or_else(|| {
+                    panic!(
+                        "COUNTER_BY_SOURCE packet from node {} but no buffer mapping at node {}",
+                        pkt_src.0, node.0
+                    )
+                }))
+            }
+            other => other,
+        };
+        if let Some(cid) = counter {
+            if self.clients[ci].counters.increment(cid) {
+                // A watch fired. Slices and the HTIS poll their own
+                // counters locally (cost already inside deliver_poll);
+                // accumulation-memory counters are polled by a slice
+                // across the ring and see extra latency (§III.B).
+                // A slice's poll only *succeeds* once its Tensilica core
+                // is free — a core mid-send delays noticing the arrival,
+                // which is why bidirectional ping-pong runs slightly
+                // slower than unidirectional in Figure 5.
+                let visible = if matches!(client, ClientKind::Slice(_)) {
+                    now.max(self.core_busy[ci])
+                } else {
+                    now
+                };
+                let extra = if client.local_poll() {
+                    SimDuration::ZERO
+                } else {
+                    SimDuration::from_ns_f64(self.timing.accum_poll_extra_ns)
+                };
+                sched.at(
+                    visible + extra,
+                    Ev::Prog {
+                        node,
+                        pe: ProgEvent::CounterReached { client, counter: cid },
+                    },
+                );
+            }
+        }
+    }
+
+    /// Service one FIFO message: when the Tensilica core is free, pop,
+    /// charge the software cost, dispatch to the program, and re-arm if
+    /// messages remain. The pop itself waits for the core — the hardware
+    /// queue (and then network backpressure) absorbs bursts faster than
+    /// software can drain (§III.C).
+    pub fn fifo_service(
+        &mut self,
+        node: NodeId,
+        client: ClientKind,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let ci = client_index(node, client);
+        // The servicing Tensilica core is a serial resource: retry when
+        // it frees up (fifo_service_pending stays set).
+        let free = self.core_busy[ci];
+        if free > now {
+            sched.at(free, Ev::FifoService { node, client });
+            return;
+        }
+        let done = now + SimDuration::from_ns_f64(self.timing.fifo_pop_ns);
+        let fifo = self.clients[ci].fifo.as_mut().expect("slice has a FIFO");
+        match fifo.pop() {
+            Some(pkt) => {
+                self.core_busy[ci] = done;
+                let more = !fifo.is_empty();
+                self.clients[ci].fifo_service_pending = more;
+                sched.at(
+                    done,
+                    Ev::Prog { node, pe: ProgEvent::FifoMessage { client, pkt } },
+                );
+                if more {
+                    sched.at(done, Ev::FifoService { node, client });
+                }
+            }
+            None => {
+                self.clients[ci].fifo_service_pending = false;
+            }
+        }
+    }
+
+    // ----- client-state accessors used by node programs (via Ctx) -----
+
+    /// Read a client's local memory cell.
+    pub fn mem_read(&self, addr: ClientAddr, a: u64) -> Option<&Payload> {
+        self.clients[client_index(addr.node, addr.client)].mem.read(a)
+    }
+
+    /// Take (consume) a client's local memory cell.
+    pub fn mem_take(&mut self, addr: ClientAddr, a: u64) -> Option<Payload> {
+        self.clients[client_index(addr.node, addr.client)].mem.take(a)
+    }
+
+    /// Write a client's local memory directly (software-local store, no
+    /// network traffic).
+    pub fn mem_write(&mut self, addr: ClientAddr, a: u64, p: Payload) {
+        self.clients[client_index(addr.node, addr.client)].mem.write(a, p);
+    }
+
+    /// Drain a range of a client's local memory.
+    pub fn mem_drain_range(&mut self, addr: ClientAddr, lo: u64, hi: u64) -> Vec<(u64, Payload)> {
+        self.clients[client_index(addr.node, addr.client)]
+            .mem
+            .drain_range(lo, hi)
+    }
+
+    /// Read `n` 4-byte words from an accumulation memory.
+    pub fn accum_read(&self, addr: ClientAddr, a: u64, n: usize) -> Vec<i32> {
+        assert!(matches!(addr.client, ClientKind::Accum(_)));
+        self.clients[client_index(addr.node, addr.client)].accum.read(a, n)
+    }
+
+    /// Zero `n` words of an accumulation memory.
+    pub fn accum_clear(&mut self, addr: ClientAddr, a: u64, n: usize) {
+        self.clients[client_index(addr.node, addr.client)].accum.clear(a, n);
+    }
+
+    /// Current value of a synchronization counter.
+    pub fn counter_read(&self, addr: ClientAddr, id: CounterId) -> u64 {
+        self.clients[client_index(addr.node, addr.client)].counters.read(id)
+    }
+
+    /// Reset a counter to zero.
+    pub fn counter_reset(&mut self, addr: ClientAddr, id: CounterId) {
+        self.clients[client_index(addr.node, addr.client)].counters.reset(id);
+    }
+
+    /// Register a watch; if the target is already met, the `CounterReached`
+    /// event fires immediately (plus the accumulation-poll penalty where
+    /// applicable).
+    pub fn counter_watch(
+        &mut self,
+        addr: ClientAddr,
+        id: CounterId,
+        target: u64,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let already = self.clients[client_index(addr.node, addr.client)]
+            .counters
+            .watch(id, target);
+        if already {
+            let extra = if addr.client.local_poll() {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_ns_f64(self.timing.accum_poll_extra_ns)
+            };
+            sched.at(
+                now + extra,
+                Ev::Prog {
+                    node: addr.node,
+                    pe: ProgEvent::CounterReached { client: addr.client, counter: id },
+                },
+            );
+        }
+    }
+
+    /// Program the per-source buffer counter table of a client (the HTIS
+    /// buffer mechanism): packets labeled [`COUNTER_BY_SOURCE`] increment
+    /// the counter mapped to their source node.
+    pub fn set_source_counter_map(
+        &mut self,
+        addr: ClientAddr,
+        map: HashMap<anton_topo::NodeId, CounterId>,
+    ) {
+        self.clients[client_index(addr.node, addr.client)].source_counters = map;
+    }
+
+    /// Mark the phase label applied to subsequently traced link activity.
+    pub fn set_phase_label(&mut self, label: &str) {
+        self.current_label = self.tracer.intern_label(label);
+    }
+
+    /// FIFO backpressure events observed so far on a slice (diagnostics).
+    pub fn fifo_backpressure_events(&self, addr: ClientAddr) -> u64 {
+        self.clients[client_index(addr.node, addr.client)]
+            .fifo
+            .as_ref()
+            .map(|f| f.backpressure_events())
+            .unwrap_or(0)
+    }
+
+    /// Coordinates helper.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        node.coord(self.dims)
+    }
+}

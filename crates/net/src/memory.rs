@@ -1,0 +1,385 @@
+//! Client-local state: memories, synchronization counters, and the
+//! hardware message FIFO.
+
+use crate::packet::{CounterId, Payload, COUNTERS_PER_CLIENT};
+use std::collections::HashMap;
+
+/// A client's local memory, addressable by remote write packets
+/// (Figure 3: "each network client contains a local memory that can
+/// directly accept write packets issued by other clients").
+///
+/// Modeled as a sparse map from address to the last payload written
+/// there. Receive-side buffers are pre-allocated by the software before a
+/// simulation begins (§IV.A), which here means the application chooses
+/// disjoint addresses; overlapping writes simply overwrite, as hardware
+/// would.
+#[derive(Debug, Default, Clone)]
+pub struct LocalMemory {
+    cells: HashMap<u64, Payload>,
+}
+
+impl LocalMemory {
+    /// An empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store `payload` at `addr`.
+    pub fn write(&mut self, addr: u64, payload: Payload) {
+        self.cells.insert(addr, payload);
+    }
+
+    /// Read the payload last written at `addr`.
+    pub fn read(&self, addr: u64) -> Option<&Payload> {
+        self.cells.get(&addr)
+    }
+
+    /// Remove and return the payload at `addr` (software consuming a
+    /// buffer).
+    pub fn take(&mut self, addr: u64) -> Option<Payload> {
+        self.cells.remove(&addr)
+    }
+
+    /// Number of occupied cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cell is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Drain all cells whose address lies in `[lo, hi)`, returning them
+    /// sorted by address (deterministic iteration for reproducibility).
+    pub fn drain_range(&mut self, lo: u64, hi: u64) -> Vec<(u64, Payload)> {
+        let keys: Vec<u64> = self
+            .cells
+            .keys()
+            .copied()
+            .filter(|&a| a >= lo && a < hi)
+            .collect();
+        let mut out: Vec<(u64, Payload)> = keys
+            .into_iter()
+            .map(|k| (k, self.cells.remove(&k).expect("key just listed")))
+            .collect();
+        out.sort_by_key(|&(a, _)| a);
+        out
+    }
+}
+
+/// An accumulation memory: write packets *add* their payload, in 4-byte
+/// signed quantities, to the current contents (§III.A). Anton used this
+/// for force and charge accumulation; fixed-point addition makes the sum
+/// independent of arrival order, which is why the machine is
+/// deterministic — a property our tests lean on.
+#[derive(Debug, Default, Clone)]
+pub struct AccumMemory {
+    words: HashMap<u64, i32>,
+}
+
+impl AccumMemory {
+    /// An empty (all-zero) accumulation memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `values` starting at word address `addr/4` (addr must be
+    /// 4-byte aligned).
+    pub fn accumulate(&mut self, addr: u64, values: &[i32]) {
+        assert!(addr.is_multiple_of(4), "accumulation address must be 4-byte aligned");
+        let base = addr / 4;
+        for (i, &v) in values.iter().enumerate() {
+            let w = self.words.entry(base + i as u64).or_insert(0);
+            *w = w.wrapping_add(v);
+        }
+    }
+
+    /// Plain write (non-accumulating store), used to clear buffers between
+    /// time steps.
+    pub fn write(&mut self, addr: u64, values: &[i32]) {
+        assert!(addr.is_multiple_of(4), "accumulation address must be 4-byte aligned");
+        let base = addr / 4;
+        for (i, &v) in values.iter().enumerate() {
+            self.words.insert(base + i as u64, v);
+        }
+    }
+
+    /// Read `n` words starting at `addr`.
+    pub fn read(&self, addr: u64, n: usize) -> Vec<i32> {
+        assert!(addr.is_multiple_of(4));
+        let base = addr / 4;
+        (0..n)
+            .map(|i| *self.words.get(&(base + i as u64)).unwrap_or(&0))
+            .collect()
+    }
+
+    /// Zero the `n` words starting at `addr`.
+    pub fn clear(&mut self, addr: u64, n: usize) {
+        assert!(addr.is_multiple_of(4));
+        let base = addr / 4;
+        for i in 0..n {
+            self.words.remove(&(base + i as u64));
+        }
+    }
+}
+
+/// A client's bank of synchronization counters (§III.B). Write and
+/// accumulation packets labeled with a counter id increment it once the
+/// memory update completes; software polls (here: registers a watch for)
+/// a target value.
+#[derive(Debug, Clone)]
+pub struct SyncCounters {
+    counts: [u64; COUNTERS_PER_CLIENT],
+    /// Outstanding watch per counter: fire when count reaches the target.
+    watches: [Option<u64>; COUNTERS_PER_CLIENT],
+}
+
+impl Default for SyncCounters {
+    fn default() -> Self {
+        SyncCounters {
+            counts: [0; COUNTERS_PER_CLIENT],
+            watches: [None; COUNTERS_PER_CLIENT],
+        }
+    }
+}
+
+impl SyncCounters {
+    /// A zeroed counter bank with no watches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value.
+    pub fn read(&self, id: CounterId) -> u64 {
+        self.counts[id.0 as usize]
+    }
+
+    /// Reset a counter to zero (software re-arming for the next phase).
+    /// Panics if a watch is still pending — resetting under a live watch
+    /// is a lost-wakeup bug in the node program.
+    pub fn reset(&mut self, id: CounterId) {
+        assert!(
+            self.watches[id.0 as usize].is_none(),
+            "resetting counter {} with a pending watch",
+            id.0
+        );
+        self.counts[id.0 as usize] = 0;
+    }
+
+    /// Increment (a labeled packet arrived). Returns true if a pending
+    /// watch fired.
+    pub fn increment(&mut self, id: CounterId) -> bool {
+        let i = id.0 as usize;
+        self.counts[i] += 1;
+        if let Some(target) = self.watches[i] {
+            if self.counts[i] >= target {
+                self.watches[i] = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Register a watch: notify when the counter reaches `target`.
+    /// Returns true if the target is already met (fires immediately);
+    /// in that case no watch is stored.
+    pub fn watch(&mut self, id: CounterId, target: u64) -> bool {
+        let i = id.0 as usize;
+        assert!(
+            self.watches[i].is_none(),
+            "counter {} already has a pending watch",
+            id.0
+        );
+        if self.counts[i] >= target {
+            true
+        } else {
+            self.watches[i] = Some(target);
+            false
+        }
+    }
+
+    /// Whether a watch is pending on `id`.
+    pub fn has_watch(&self, id: CounterId) -> bool {
+        self.watches[id.0 as usize].is_some()
+    }
+}
+
+/// The hardware-managed circular message FIFO in each processing slice's
+/// local memory (§III.C). The Tensilica core polls the tail pointer for
+/// new messages and advances the head pointer as it consumes them; if the
+/// FIFO fills, backpressure is exerted into the network.
+#[derive(Debug, Clone)]
+pub struct MsgFifo<T> {
+    queue: std::collections::VecDeque<T>,
+    capacity: usize,
+    /// Messages stalled in the network by backpressure, in arrival order.
+    backpressured: std::collections::VecDeque<T>,
+    /// Total count of messages that ever hit backpressure (diagnostic).
+    backpressure_events: u64,
+}
+
+impl<T> MsgFifo<T> {
+    /// A FIFO holding up to `capacity` messages.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        MsgFifo {
+            queue: std::collections::VecDeque::new(),
+            capacity,
+            backpressured: std::collections::VecDeque::new(),
+            backpressure_events: 0,
+        }
+    }
+
+    /// Hardware push on packet arrival. If the FIFO is full the message
+    /// parks in the network (backpressure) and is admitted when software
+    /// pops. Returns true if the message entered the FIFO immediately.
+    pub fn push(&mut self, msg: T) -> bool {
+        if self.queue.len() < self.capacity {
+            self.queue.push_back(msg);
+            true
+        } else {
+            self.backpressured.push_back(msg);
+            self.backpressure_events += 1;
+            false
+        }
+    }
+
+    /// Software pop (poll tail, consume, advance head). Admits one
+    /// backpressured message if any is waiting.
+    pub fn pop(&mut self) -> Option<T> {
+        let msg = self.queue.pop_front();
+        if msg.is_some() {
+            if let Some(parked) = self.backpressured.pop_front() {
+                self.queue.push_back(parked);
+            }
+        }
+        msg
+    }
+
+    /// Messages currently visible in the FIFO.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the FIFO is empty (a failed poll).
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Messages parked in the network.
+    pub fn backpressured(&self) -> usize {
+        self.backpressured.len()
+    }
+
+    /// Total backpressure occurrences so far.
+    pub fn backpressure_events(&self) -> u64 {
+        self.backpressure_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_memory_write_read_take() {
+        let mut m = LocalMemory::new();
+        assert!(m.is_empty());
+        m.write(0x10, Payload::F64s(vec![1.5]));
+        assert_eq!(m.read(0x10), Some(&Payload::F64s(vec![1.5])));
+        m.write(0x10, Payload::F64s(vec![2.5])); // overwrite
+        assert_eq!(m.take(0x10), Some(Payload::F64s(vec![2.5])));
+        assert_eq!(m.read(0x10), None);
+    }
+
+    #[test]
+    fn drain_range_is_sorted_and_bounded() {
+        let mut m = LocalMemory::new();
+        for a in [5u64, 3, 9, 7, 100] {
+            m.write(a, Payload::Token(a));
+        }
+        let got = m.drain_range(4, 10);
+        let addrs: Vec<u64> = got.iter().map(|&(a, _)| a).collect();
+        assert_eq!(addrs, vec![5, 7, 9]);
+        assert_eq!(m.len(), 2); // 3 and 100 remain
+    }
+
+    #[test]
+    fn accumulation_is_order_independent() {
+        let mut a = AccumMemory::new();
+        let mut b = AccumMemory::new();
+        a.accumulate(0, &[1, 2, 3]);
+        a.accumulate(0, &[10, 20, 30]);
+        b.accumulate(0, &[10, 20, 30]);
+        b.accumulate(0, &[1, 2, 3]);
+        assert_eq!(a.read(0, 3), b.read(0, 3));
+        assert_eq!(a.read(0, 3), vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn accumulation_wraps_rather_than_panics() {
+        let mut a = AccumMemory::new();
+        a.accumulate(4, &[i32::MAX]);
+        a.accumulate(4, &[1]);
+        assert_eq!(a.read(4, 1), vec![i32::MIN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_accumulation_panics() {
+        AccumMemory::new().accumulate(2, &[1]);
+    }
+
+    #[test]
+    fn counters_fire_at_target() {
+        let mut c = SyncCounters::new();
+        let id = CounterId(3);
+        assert!(!c.watch(id, 3));
+        assert!(!c.increment(id));
+        assert!(!c.increment(id));
+        assert!(c.increment(id)); // reaches 3 → fires
+        assert!(!c.has_watch(id));
+        assert_eq!(c.read(id), 3);
+        // Subsequent increments don't fire again.
+        assert!(!c.increment(id));
+    }
+
+    #[test]
+    fn watch_on_already_met_target_fires_immediately() {
+        let mut c = SyncCounters::new();
+        let id = CounterId(0);
+        c.increment(id);
+        c.increment(id);
+        assert!(c.watch(id, 2));
+        assert!(!c.has_watch(id));
+    }
+
+    #[test]
+    #[should_panic(expected = "pending watch")]
+    fn reset_under_watch_panics() {
+        let mut c = SyncCounters::new();
+        c.watch(CounterId(1), 5);
+        c.reset(CounterId(1));
+    }
+
+    #[test]
+    fn fifo_backpressure_and_drain() {
+        let mut f = MsgFifo::new(2);
+        assert!(f.push(1));
+        assert!(f.push(2));
+        assert!(!f.push(3)); // backpressured
+        assert!(!f.push(4));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.backpressured(), 2);
+        assert_eq!(f.backpressure_events(), 2);
+        // Pops release parked messages in order.
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.len(), 2); // 2 and 3
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), Some(4));
+        assert_eq!(f.pop(), None);
+        assert!(f.is_empty());
+    }
+}

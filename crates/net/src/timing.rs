@@ -1,0 +1,375 @@
+//! Timing model, calibrated to the paper's published numbers.
+//!
+//! Figure 6 breaks a single-hop (X-dimension) counted remote write into:
+//!
+//! ```text
+//! send initiated in processing slice            36 ns
+//! 2 send-side on-chip router hops               19 ns
+//! X+ link adapter (incl. torus wire, ≤4 ns)     20 ns
+//! X− link adapter on the receiving node         20 ns
+//! 3 receive-side on-chip router hops            25 ns
+//! delivery to slice memory + successful poll    42 ns
+//! --------------------------------------------------
+//! total                                        162 ns
+//! ```
+//!
+//! Figure 5 gives per-transit-node costs of **76 ns/hop in X** and
+//! **54 ns/hop in Y and Z** ("the X hops traverse more on-chip routers per
+//! node"). Both adapters plus wire account for 40 ns of a transit, so the
+//! on-chip ring crossing costs 36 ns when passing straight through in X
+//! and 14 ns in Y/Z; a dimension turn is modeled halfway between.
+//!
+//! Bandwidths come from Figure 1/6: 50.6 Gbit/s raw per link direction
+//! (36.8 Gbit/s effective data bandwidth), 124.2 Gbit/s on-chip ring.
+
+use anton_des::SimDuration;
+use anton_topo::Dim;
+
+/// Header size in bytes (§III.A: "Packets contain 32 bytes of header and
+/// 0 to 256 bytes of payload").
+pub const HEADER_BYTES: u32 = 32;
+
+/// Maximum payload bytes per packet.
+pub const MAX_PAYLOAD_BYTES: u32 = 256;
+
+/// Payloads of up to this many bytes ride inside the header for free
+/// (§III.A: "for writes of up to 8 bytes, the data can be transported
+/// directly in the header").
+pub const IN_HEADER_PAYLOAD_BYTES: u32 = 8;
+
+/// Wire encoding expansion (8b/10b-style line coding + CRC/gap,
+/// amortized per byte). Chosen so a full 256-byte-payload packet
+/// achieves approximately the paper's 36.8 Gbit/s effective data
+/// bandwidth on a 50.6 Gbit/s raw link — `256/(288×1.25) × 50.6 =
+/// 36.0 Gbit/s` — while a 28-byte payload reaches ~51% of it, matching
+/// §III.D's "50% of the maximum possible data bandwidth is achieved
+/// with 28-byte messages".
+pub const WIRE_ENCODING_FACTOR: f64 = 1.25;
+
+/// Raw link signaling rate, Gbit/s per direction (§III.A).
+pub const LINK_RAW_GBPS: f64 = 50.6;
+
+/// Effective data bandwidth per link direction, Gbit/s (§III.A).
+pub const LINK_EFFECTIVE_GBPS: f64 = 36.8;
+
+/// On-chip ring bandwidth, Gbit/s (Figure 6).
+pub const RING_GBPS: f64 = 124.2;
+
+/// All fixed latency components, in nanoseconds. Grouped in a struct so
+/// experiments can perturb them (ablations) without touching globals.
+///
+/// ```
+/// use anton_net::Timing;
+/// let t = Timing::default();
+/// // The paper's headline: one X hop, software to software.
+/// assert_eq!(t.analytic_latency([1, 0, 0], 0).as_ns_f64(), 162.0);
+/// // The 8×8×8 diameter.
+/// assert_eq!(t.analytic_latency([4, 4, 4], 0).as_ns_f64(), 822.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timing {
+    /// Packet assembly + send initiation in a processing slice (36 ns).
+    /// This is the pipeline *latency* of one send; back-to-back sends
+    /// issue faster (see `send_issue_ns`).
+    pub send_setup_ns: f64,
+    /// Core occupancy per send: the slices "have hardware support for
+    /// quickly assembling packets" (§III.A), so a Tensilica core can
+    /// issue another send well before the previous one's 36 ns pipeline
+    /// completes. Calibrated to Figure 7's near-flat Anton curve
+    /// ("sending many fine-grained messages … is nearly as efficient as
+    /// sending fewer, large messages").
+    pub send_issue_ns: f64,
+    /// Send-side traversal of 2 on-chip routers (19 ns).
+    pub send_ring_ns: f64,
+    /// One link adapter, wire delay folded in (20 ns; Figure 6 caption).
+    pub adapter_ns: f64,
+    /// Receive-side traversal of 3 on-chip routers (25 ns).
+    pub recv_ring_ns: f64,
+    /// Delivery into client memory + counter update + successful local
+    /// poll (42 ns).
+    pub deliver_poll_ns: f64,
+    /// Ring crossing for a straight-through X transit (36 ns ⇒ 76 ns/hop).
+    pub transit_ring_x_ns: f64,
+    /// Ring crossing for a straight-through Y/Z transit (14 ns ⇒ 54 ns/hop).
+    pub transit_ring_yz_ns: f64,
+    /// Ring crossing when the packet turns between dimensions. Set equal
+    /// to the Y/Z straight crossing so that Figure 5's measured 54 ns/hop
+    /// slope holds from the very first Y hop (the Y/Z/X± adapters sit
+    /// close together on the ring; only the X+→X− pass-through is long).
+    pub transit_ring_turn_ns: f64,
+    /// On-chip ring traversal for a purely local (same-node) write,
+    /// client to client. 106 ns total local latency = 36 + 28 + 42.
+    pub local_ring_ns: f64,
+    /// Extra latency for a processing slice to poll an accumulation-memory
+    /// counter across the on-chip ring (§III.B: "thus incur larger polling
+    /// latencies"; §IV.B.4 calls this overhead "much larger" than local
+    /// polls). Estimated as a ring round trip plus poll issue. (calibrated)
+    pub accum_poll_extra_ns: f64,
+    /// Portion of `deliver_poll_ns` that occupies the receiving Tensilica
+    /// core (the successful poll itself). Send setup occupies the sender's
+    /// core for `send_setup_ns`; overlap of the two on one core is what
+    /// makes bidirectional ping-pong slightly slower than unidirectional
+    /// (Figure 5).
+    pub poll_busy_ns: f64,
+    /// Cost for software to pop one message from the hardware FIFO
+    /// (pointer check, read, head-pointer advance). (calibrated)
+    pub fifo_pop_ns: f64,
+    /// Raw link rate in Gbit/s.
+    pub link_raw_gbps: f64,
+    /// On-chip ring rate in Gbit/s.
+    pub ring_gbps: f64,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            send_setup_ns: 36.0,
+            send_issue_ns: 11.0,
+            send_ring_ns: 19.0,
+            adapter_ns: 20.0,
+            recv_ring_ns: 25.0,
+            deliver_poll_ns: 42.0,
+            transit_ring_x_ns: 36.0,
+            transit_ring_yz_ns: 14.0,
+            transit_ring_turn_ns: 14.0,
+            local_ring_ns: 28.0,
+            accum_poll_extra_ns: 100.0,
+            poll_busy_ns: 12.0,
+            fifo_pop_ns: 50.0,
+            link_raw_gbps: LINK_RAW_GBPS,
+            ring_gbps: RING_GBPS,
+        }
+    }
+}
+
+impl Timing {
+    /// Bytes that actually cross a torus link for a given payload size
+    /// (small payloads ride in the header; everything expands by the
+    /// line-coding factor).
+    pub fn wire_bytes(&self, payload_bytes: u32) -> u32 {
+        assert!(payload_bytes <= MAX_PAYLOAD_BYTES, "payload too large");
+        let body = if payload_bytes <= IN_HEADER_PAYLOAD_BYTES {
+            0
+        } else {
+            payload_bytes
+        };
+        (((HEADER_BYTES + body) as f64) * WIRE_ENCODING_FACTOR).ceil() as u32
+    }
+
+    /// Time a packet occupies one torus link direction.
+    pub fn link_occupancy(&self, payload_bytes: u32) -> SimDuration {
+        SimDuration::for_bytes_at_gbps(self.wire_bytes(payload_bytes) as u64, self.link_raw_gbps)
+    }
+
+    /// Time a packet occupies a client's on-chip injection port.
+    pub fn injection_occupancy(&self, payload_bytes: u32) -> SimDuration {
+        let body = if payload_bytes <= IN_HEADER_PAYLOAD_BYTES {
+            0
+        } else {
+            payload_bytes
+        };
+        SimDuration::for_bytes_at_gbps((HEADER_BYTES + body) as u64, self.ring_gbps)
+    }
+
+    /// Incremental tail latency of a payload beyond the base (0-byte)
+    /// packet: the payload flits must arrive before the counter bumps.
+    pub fn payload_tail(&self, payload_bytes: u32) -> SimDuration {
+        let body = if payload_bytes <= IN_HEADER_PAYLOAD_BYTES {
+            0
+        } else {
+            payload_bytes
+        };
+        SimDuration::for_bytes_at_gbps(
+            (body as f64 * WIRE_ENCODING_FACTOR).ceil() as u64,
+            self.link_raw_gbps,
+        )
+    }
+
+    /// Ring-crossing latency for a transit from incoming dimension
+    /// `in_dim` to outgoing `out_dim`.
+    pub fn transit_ring(&self, in_dim: Dim, out_dim: Dim) -> SimDuration {
+        let ns = if in_dim == out_dim {
+            match in_dim {
+                Dim::X => self.transit_ring_x_ns,
+                Dim::Y | Dim::Z => self.transit_ring_yz_ns,
+            }
+        } else {
+            self.transit_ring_turn_ns
+        };
+        SimDuration::from_ns_f64(ns)
+    }
+
+    fn ns(&self, v: f64) -> SimDuration {
+        SimDuration::from_ns_f64(v)
+    }
+
+    /// Send-side fixed latency before the first link (setup + 2 router
+    /// hops).
+    pub fn send_overhead(&self) -> SimDuration {
+        self.ns(self.send_setup_ns + self.send_ring_ns)
+    }
+
+    /// Head latency across one link: both adapters (wire folded in).
+    pub fn link_head(&self) -> SimDuration {
+        self.ns(self.adapter_ns * 2.0)
+    }
+
+    /// Receive-side fixed latency after the last link (3 router hops +
+    /// delivery + poll).
+    pub fn recv_overhead(&self) -> SimDuration {
+        self.ns(self.recv_ring_ns + self.deliver_poll_ns)
+    }
+
+    /// Fixed latency of a same-node client-to-client write.
+    pub fn local_latency(&self) -> SimDuration {
+        self.ns(self.send_setup_ns + self.local_ring_ns + self.deliver_poll_ns)
+    }
+
+    /// **Analytic** uncontended end-to-end latency for a unicast write
+    /// whose route takes the given per-dimension hops `[hx, hy, hz]`.
+    /// The DES produces exactly this when nothing contends; the benches
+    /// cross-check the two.
+    pub fn analytic_latency(&self, hops: [u32; 3], payload_bytes: u32) -> SimDuration {
+        let total_hops: u32 = hops.iter().sum();
+        if total_hops == 0 {
+            return self.local_latency() + self.payload_tail_onchip(payload_bytes);
+        }
+        let mut d = self.send_overhead() + self.recv_overhead();
+        // Every hop crosses one link.
+        d += self.link_head() * total_hops as u64;
+        // Transits: hops minus the final arrival; dimension-ordered order
+        // means hx−1 straight-X transits (if more X hops follow), etc.
+        // Count straight transits per dimension and turns between
+        // dimensions actually used.
+        let dims_used: Vec<Dim> = Dim::ALL
+            .iter()
+            .copied()
+            .filter(|d| hops[d.index()] > 0)
+            .collect();
+        for (i, &dim) in dims_used.iter().enumerate() {
+            let straight = hops[dim.index()] - 1;
+            let ring = match dim {
+                Dim::X => self.transit_ring_x_ns,
+                Dim::Y | Dim::Z => self.transit_ring_yz_ns,
+            };
+            d += SimDuration::from_ns_f64(ring * straight as f64);
+            if i + 1 < dims_used.len() {
+                d += self.ns(self.transit_ring_turn_ns);
+            }
+        }
+        d + self.payload_tail(payload_bytes)
+    }
+
+    /// Tail time of a payload crossing only the on-chip ring.
+    pub fn payload_tail_onchip(&self, payload_bytes: u32) -> SimDuration {
+        let body = if payload_bytes <= IN_HEADER_PAYLOAD_BYTES {
+            0
+        } else {
+            payload_bytes
+        };
+        SimDuration::for_bytes_at_gbps(body as u64, self.ring_gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_x_hop_is_162_ns() {
+        let t = Timing::default();
+        let d = t.analytic_latency([1, 0, 0], 0);
+        assert_eq!(d, SimDuration::from_ns(162));
+    }
+
+    #[test]
+    fn local_write_is_106_ns() {
+        let t = Timing::default();
+        assert_eq!(t.analytic_latency([0, 0, 0], 0), SimDuration::from_ns(106));
+    }
+
+    #[test]
+    fn per_hop_increments_match_figure5() {
+        let t = Timing::default();
+        // Each extra X hop adds 76 ns.
+        for hx in 1..4 {
+            let a = t.analytic_latency([hx, 0, 0], 0);
+            let b = t.analytic_latency([hx + 1, 0, 0], 0);
+            assert_eq!(b - a, SimDuration::from_ns(76), "hx={hx}");
+        }
+        // Each extra Y or Z hop adds 54 ns (beyond the first in that dim).
+        let a = t.analytic_latency([4, 1, 0], 0);
+        let b = t.analytic_latency([4, 2, 0], 0);
+        assert_eq!(b - a, SimDuration::from_ns(54));
+        let c = t.analytic_latency([4, 4, 1], 0);
+        let d = t.analytic_latency([4, 4, 2], 0);
+        assert_eq!(d - c, SimDuration::from_ns(54));
+    }
+
+    #[test]
+    fn max_distance_in_8x8x8_is_under_a_microsecond() {
+        // Figure 5: 12 hops ≈ 5× the single-hop latency.
+        let t = Timing::default();
+        let d12 = t.analytic_latency([4, 4, 4], 0);
+        let d1 = t.analytic_latency([1, 0, 0], 0);
+        let ratio = d12.as_ns_f64() / d1.as_ns_f64();
+        assert!((4.5..5.5).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn wire_bytes_and_effective_bandwidth() {
+        let t = Timing::default();
+        // Full packet approaches the paper's 36.8 Gbit/s effective rate.
+        let occ = t.link_occupancy(256);
+        let eff = 256.0 * 8.0 / occ.as_ns_f64(); // Gbit/s
+        assert!((eff - LINK_EFFECTIVE_GBPS).abs() < 1.0, "eff={eff}");
+        // The half-bandwidth message size is ~28 bytes (§III.D).
+        let eff28 = 28.0 * 8.0 / t.link_occupancy(28).as_ns_f64();
+        let frac = eff28 / LINK_EFFECTIVE_GBPS;
+        assert!((0.4..0.6).contains(&frac), "28-byte fraction {frac}");
+        // ≤8-byte payloads ride in the header: same occupancy as 0 B.
+        assert_eq!(t.link_occupancy(8), t.link_occupancy(0));
+        assert_eq!(t.payload_tail(4), SimDuration::ZERO);
+        assert!(t.link_occupancy(9) > t.link_occupancy(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload too large")]
+    fn oversized_payload_rejected() {
+        Timing::default().wire_bytes(257);
+    }
+
+    #[test]
+    fn payload_tail_grows_latency() {
+        let t = Timing::default();
+        let d0 = t.analytic_latency([1, 0, 0], 0);
+        let d256 = t.analytic_latency([1, 0, 0], 256);
+        let delta = (d256 - d0).as_ns_f64();
+        // 256 B × 1.25 encoding at 50.6 Gbit/s ≈ 50.6 ns.
+        assert!((delta - 50.6).abs() < 1.0, "delta={delta}");
+    }
+
+    #[test]
+    fn turns_cost_like_yz_straight_crossings() {
+        let t = Timing::default();
+        let turn = t.transit_ring(Dim::X, Dim::Y).as_ns_f64();
+        let x = t.transit_ring(Dim::X, Dim::X).as_ns_f64();
+        let yz = t.transit_ring(Dim::Y, Dim::Y).as_ns_f64();
+        assert_eq!(turn, yz);
+        assert!(turn < x);
+    }
+
+    #[test]
+    fn y_and_z_hops_add_54_even_at_turns() {
+        let t = Timing::default();
+        // The Figure 5 sweep: 4 X hops, then add Y hops one at a time.
+        let base = t.analytic_latency([4, 0, 0], 0);
+        let one_y = t.analytic_latency([4, 1, 0], 0);
+        assert_eq!(one_y - base, SimDuration::from_ns(54));
+        // And the full 12-hop diameter lands at 162 + 3·76 + 8·54 = 822.
+        assert_eq!(
+            t.analytic_latency([4, 4, 4], 0),
+            SimDuration::from_ns(822)
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Node programs and the simulation world.
+//!
+//! Application logic (the MD schedule, microbenchmarks, collectives) is
+//! expressed as a [`NodeProgram`] — one instance per node, reacting to
+//! counter fires, FIFO messages, and timers, and acting through [`Ctx`]
+//! (send packets, read memories, set timers, model compute time). This is
+//! exactly the event-driven shape of Anton's Tensilica-core software:
+//! poll a counter, process, push results onward.
+
+use crate::fabric::{Ev, Fabric, ProgEvent};
+use crate::packet::{ClientAddr, ClientKind, CounterId, Packet, Payload};
+use anton_des::{
+    Activity, Engine, EventHandler, RunOutcome, Scheduler, SimDuration, SimTime, TrackId,
+};
+use anton_topo::{NodeId, TorusDims};
+
+/// Per-node application logic.
+pub trait NodeProgram {
+    /// React to a program event on this node. `node` is this program's
+    /// node id; `ctx` provides the machine interface.
+    fn on_event(&mut self, node: NodeId, pe: ProgEvent, ctx: &mut Ctx<'_, '_>);
+}
+
+/// The machine interface handed to node programs.
+pub struct Ctx<'a, 'b> {
+    fabric: &'a mut Fabric,
+    sched: &'a mut Scheduler<Ev>,
+    _marker: std::marker::PhantomData<&'b ()>,
+}
+
+impl<'a, 'b> Ctx<'a, 'b> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Machine dimensions.
+    pub fn dims(&self) -> TorusDims {
+        self.fabric.dims()
+    }
+
+    /// Immutable access to the fabric (stats, timing, memories).
+    pub fn fabric(&self) -> &Fabric {
+        self.fabric
+    }
+
+    /// Mutable access for pattern (re)registration mid-run (bond-program
+    /// regeneration reprograms multicast tables).
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        self.fabric
+    }
+
+    /// Send a packet now.
+    pub fn send(&mut self, pkt: Packet) {
+        let now = self.sched.now();
+        self.fabric.send(pkt, now, self.sched);
+    }
+
+    /// Watch a counter: a `CounterReached` event fires when it hits
+    /// `target` (immediately if already met).
+    pub fn watch_counter(&mut self, addr: ClientAddr, id: CounterId, target: u64) {
+        let now = self.sched.now();
+        self.fabric.counter_watch(addr, id, target, now, self.sched);
+    }
+
+    /// Read a counter's current value.
+    pub fn read_counter(&self, addr: ClientAddr, id: CounterId) -> u64 {
+        self.fabric.counter_read(addr, id)
+    }
+
+    /// Reset a counter for the next phase.
+    pub fn reset_counter(&mut self, addr: ClientAddr, id: CounterId) {
+        self.fabric.counter_reset(addr, id);
+    }
+
+    /// Read local memory.
+    pub fn mem_read(&self, addr: ClientAddr, a: u64) -> Option<&Payload> {
+        self.fabric.mem_read(addr, a)
+    }
+
+    /// Consume local memory.
+    pub fn mem_take(&mut self, addr: ClientAddr, a: u64) -> Option<Payload> {
+        self.fabric.mem_take(addr, a)
+    }
+
+    /// Local (non-network) store into a client memory.
+    pub fn mem_write(&mut self, addr: ClientAddr, a: u64, p: Payload) {
+        self.fabric.mem_write(addr, a, p);
+    }
+
+    /// Drain an address range of local memory, sorted by address.
+    pub fn mem_drain_range(&mut self, addr: ClientAddr, lo: u64, hi: u64) -> Vec<(u64, Payload)> {
+        self.fabric.mem_drain_range(addr, lo, hi)
+    }
+
+    /// Read accumulation-memory words.
+    pub fn accum_read(&self, addr: ClientAddr, a: u64, n: usize) -> Vec<i32> {
+        self.fabric.accum_read(addr, a, n)
+    }
+
+    /// Zero accumulation-memory words.
+    pub fn accum_clear(&mut self, addr: ClientAddr, a: u64, n: usize) {
+        self.fabric.accum_clear(addr, a, n);
+    }
+
+    /// Arrange a `Timer { tag }` event for `client` after `delay`.
+    pub fn set_timer(&mut self, node: NodeId, client: ClientKind, delay: SimDuration, tag: u64) {
+        self.sched.after(
+            delay,
+            Ev::Prog { node, pe: ProgEvent::Timer { client, tag } },
+        );
+    }
+
+    /// Model a computation of length `dur` on `client`: records a busy
+    /// interval on `track` (if tracing) and fires `Timer { tag }` when it
+    /// completes.
+    pub fn compute(
+        &mut self,
+        node: NodeId,
+        client: ClientKind,
+        track: TrackId,
+        dur: SimDuration,
+        tag: u64,
+        label: &str,
+    ) {
+        let now = self.sched.now();
+        if self.fabric.tracer.is_enabled() {
+            let l = self.fabric.tracer.intern_label(label);
+            self.fabric.tracer.record(track, Activity::Busy, now, now + dur, l);
+        }
+        self.sched.after(
+            dur,
+            Ev::Prog { node, pe: ProgEvent::Timer { client, tag } },
+        );
+    }
+
+    /// Record a stall interval (waiting for data) on a trace track.
+    pub fn record_stall(&mut self, track: TrackId, from: SimTime, label: &str) {
+        let now = self.sched.now();
+        if self.fabric.tracer.is_enabled() && now > from {
+            let l = self.fabric.tracer.intern_label(label);
+            self.fabric.tracer.record(track, Activity::Stalled, from, now, l);
+        }
+    }
+
+    /// Program a client's per-source buffer counter table.
+    pub fn set_source_counter_map(
+        &mut self,
+        addr: ClientAddr,
+        map: std::collections::HashMap<anton_topo::NodeId, crate::packet::CounterId>,
+    ) {
+        self.fabric.set_source_counter_map(addr, map);
+    }
+
+    /// Label subsequent traced link activity with a phase name.
+    pub fn set_phase(&mut self, label: &str) {
+        self.fabric.set_phase_label(label);
+    }
+}
+
+/// The complete simulated machine: fabric plus one program per node.
+pub struct SimWorld<P: NodeProgram> {
+    /// The communication fabric.
+    pub fabric: Fabric,
+    /// One program per node, indexed by node id.
+    pub programs: Vec<P>,
+}
+
+impl<P: NodeProgram> SimWorld<P> {
+    /// Build from a fabric and a program constructor invoked per node id.
+    pub fn new(fabric: Fabric, mut make: impl FnMut(NodeId) -> P) -> Self {
+        let n = fabric.dims().node_count();
+        let programs = (0..n).map(|i| make(NodeId(i))).collect();
+        SimWorld { fabric, programs }
+    }
+
+    fn dispatch(&mut self, node: NodeId, pe: ProgEvent, sched: &mut Scheduler<Ev>) {
+        let mut ctx = Ctx {
+            fabric: &mut self.fabric,
+            sched,
+            _marker: std::marker::PhantomData,
+        };
+        self.programs[node.index()].on_event(node, pe, &mut ctx);
+    }
+}
+
+impl<P: NodeProgram> EventHandler<Ev> for SimWorld<P> {
+    fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+        match event {
+            Ev::Start => {
+                for i in 0..self.programs.len() {
+                    self.dispatch(NodeId(i as u32), ProgEvent::Start, sched);
+                }
+            }
+            Ev::HopArrive { pkt, node, in_dim } => {
+                let now = sched.now();
+                self.fabric.hop_arrive(pkt, node, in_dim, now, sched);
+            }
+            Ev::Deliver { pkt, node, client } => {
+                let now = sched.now();
+                self.fabric.deliver(pkt, node, client, now, sched);
+            }
+            Ev::FifoService { node, client } => {
+                let now = sched.now();
+                self.fabric.fifo_service(node, client, now, sched);
+            }
+            Ev::Prog { node, pe } => {
+                self.dispatch(node, pe, sched);
+            }
+        }
+    }
+}
+
+/// Convenience wrapper owning the engine and the world.
+pub struct Simulation<P: NodeProgram> {
+    /// The event queue and clock.
+    pub engine: Engine<Ev>,
+    /// The machine and its programs.
+    pub world: SimWorld<P>,
+}
+
+impl<P: NodeProgram> Simulation<P> {
+    /// Build and seed the `Start` event.
+    pub fn new(fabric: Fabric, make: impl FnMut(NodeId) -> P) -> Self {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, Ev::Start);
+        Simulation {
+            engine,
+            world: SimWorld::new(fabric, make),
+        }
+    }
+
+    /// Run to quiescence.
+    pub fn run(&mut self) {
+        self.engine.run(&mut self.world);
+    }
+
+    /// Run with a horizon and event budget.
+    pub fn run_until(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
+        self.engine.run_until(&mut self.world, horizon, max_events)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+}

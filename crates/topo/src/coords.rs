@@ -1,0 +1,368 @@
+//! Torus coordinates, node identifiers, and wrap-around distance math.
+//!
+//! Anton's inter-node network is a 3D torus (paper §III.A): nodes are
+//! identified by Cartesian coordinates, and shortest-path routing is used
+//! independently along each dimension (Figure 5 caption).
+
+use std::fmt;
+
+/// One of the three torus dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dim {
+    /// The torus X axis (first in routing order).
+    X,
+    /// The torus Y axis.
+    Y,
+    /// The torus Z axis.
+    Z,
+}
+
+impl Dim {
+    /// All dimensions in routing order (dimension-ordered routing goes
+    /// X, then Y, then Z — §IV.B.3 uses the same order for the FFT).
+    pub const ALL: [Dim; 3] = [Dim::X, Dim::Y, Dim::Z];
+
+    /// Index 0/1/2 for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Dim::X => 0,
+            Dim::Y => 1,
+            Dim::Z => 2,
+        }
+    }
+}
+
+/// Direction along a dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dir {
+    /// Toward increasing coordinates (wrapping).
+    Plus,
+    /// Toward decreasing coordinates (wrapping).
+    Minus,
+}
+
+impl Dir {
+    /// The opposite direction.
+    #[inline]
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::Plus => Dir::Minus,
+            Dir::Minus => Dir::Plus,
+        }
+    }
+}
+
+/// One of the six torus link directions leaving a node (X+, X−, …, Z−).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkDir {
+    /// Axis of the link.
+    pub dim: Dim,
+    /// Direction along that axis.
+    pub dir: Dir,
+}
+
+impl LinkDir {
+    /// All six link directions, in a fixed display order.
+    pub const ALL: [LinkDir; 6] = [
+        LinkDir { dim: Dim::X, dir: Dir::Plus },
+        LinkDir { dim: Dim::X, dir: Dir::Minus },
+        LinkDir { dim: Dim::Y, dir: Dir::Plus },
+        LinkDir { dim: Dim::Y, dir: Dir::Minus },
+        LinkDir { dim: Dim::Z, dir: Dir::Plus },
+        LinkDir { dim: Dim::Z, dir: Dir::Minus },
+    ];
+
+    /// Dense index 0..6 for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.dim.index() * 2 + matches!(self.dir, Dir::Minus) as usize
+    }
+
+    /// Inverse of [`LinkDir::index`].
+    #[inline]
+    pub fn from_index(i: usize) -> LinkDir {
+        LinkDir::ALL[match i {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            3 => 3,
+            4 => 4,
+            5 => 5,
+            _ => panic!("link index out of range: {i}"),
+        }]
+    }
+
+    /// The link direction as seen from the receiving node.
+    #[inline]
+    pub fn reverse(self) -> LinkDir {
+        LinkDir {
+            dim: self.dim,
+            dir: self.dir.opposite(),
+        }
+    }
+}
+
+impl fmt::Display for LinkDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = match self.dim {
+            Dim::X => 'X',
+            Dim::Y => 'Y',
+            Dim::Z => 'Z',
+        };
+        let s = match self.dir {
+            Dir::Plus => '+',
+            Dir::Minus => '-',
+        };
+        write!(f, "{d}{s}")
+    }
+}
+
+/// Torus dimensions (number of nodes along each axis). Each axis must have
+/// at least one node; typical Anton configurations are 4×4×4 through
+/// 8×8×16 (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TorusDims {
+    /// Nodes along X.
+    pub nx: u32,
+    /// Nodes along Y.
+    pub ny: u32,
+    /// Nodes along Z.
+    pub nz: u32,
+}
+
+impl TorusDims {
+    /// Construct, validating that every axis is nonzero.
+    pub fn new(nx: u32, ny: u32, nz: u32) -> TorusDims {
+        assert!(nx > 0 && ny > 0 && nz > 0, "torus axes must be nonzero");
+        TorusDims { nx, ny, nz }
+    }
+
+    /// The 512-node 8×8×8 machine used for most of the paper's results.
+    pub fn anton_512() -> TorusDims {
+        TorusDims::new(8, 8, 8)
+    }
+
+    /// Total node count.
+    #[inline]
+    pub fn node_count(self) -> u32 {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Axis length along `dim`.
+    #[inline]
+    pub fn len(self, dim: Dim) -> u32 {
+        match dim {
+            Dim::X => self.nx,
+            Dim::Y => self.ny,
+            Dim::Z => self.nz,
+        }
+    }
+
+    /// Maximum shortest-path hop count between any two nodes
+    /// (`floor(nx/2) + floor(ny/2) + floor(nz/2)`; 12 for 8×8×8, matching
+    /// Figure 5's caption).
+    pub fn max_hops(self) -> u32 {
+        self.nx / 2 + self.ny / 2 + self.nz / 2
+    }
+
+    /// Iterate over all coordinates in node-id order.
+    pub fn iter_coords(self) -> impl Iterator<Item = Coord> {
+        let TorusDims { nx, ny, nz } = self;
+        (0..nz).flat_map(move |z| {
+            (0..ny).flat_map(move |y| (0..nx).map(move |x| Coord { x, y, z }))
+        })
+    }
+}
+
+/// Node coordinates within the torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Coord {
+    /// X coordinate, `0..nx`.
+    pub x: u32,
+    /// Y coordinate, `0..ny`.
+    pub y: u32,
+    /// Z coordinate, `0..nz`.
+    pub z: u32,
+}
+
+impl Coord {
+    /// Construct (validation happens against dims at use sites).
+    pub fn new(x: u32, y: u32, z: u32) -> Coord {
+        Coord { x, y, z }
+    }
+
+    /// Component along `dim`.
+    #[inline]
+    pub fn get(self, dim: Dim) -> u32 {
+        match dim {
+            Dim::X => self.x,
+            Dim::Y => self.y,
+            Dim::Z => self.z,
+        }
+    }
+
+    /// Replace the component along `dim`.
+    #[inline]
+    pub fn with(self, dim: Dim, v: u32) -> Coord {
+        let mut c = self;
+        match dim {
+            Dim::X => c.x = v,
+            Dim::Y => c.y = v,
+            Dim::Z => c.z = v,
+        }
+        c
+    }
+
+    /// Dense node id: `x + nx*(y + ny*z)`.
+    #[inline]
+    pub fn node_id(self, dims: TorusDims) -> NodeId {
+        debug_assert!(self.x < dims.nx && self.y < dims.ny && self.z < dims.nz);
+        NodeId(self.x + dims.nx * (self.y + dims.ny * self.z))
+    }
+
+    /// The neighbor one hop along `link`, with wraparound.
+    pub fn step(self, link: LinkDir, dims: TorusDims) -> Coord {
+        let n = dims.len(link.dim);
+        let v = self.get(link.dim);
+        let v2 = match link.dir {
+            Dir::Plus => (v + 1) % n,
+            Dir::Minus => (v + n - 1) % n,
+        };
+        self.with(link.dim, v2)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+/// Dense node identifier (see [`Coord::node_id`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Inverse of [`Coord::node_id`].
+    pub fn coord(self, dims: TorusDims) -> Coord {
+        let id = self.0;
+        debug_assert!(id < dims.node_count());
+        Coord {
+            x: id % dims.nx,
+            y: (id / dims.nx) % dims.ny,
+            z: id / (dims.nx * dims.ny),
+        }
+    }
+
+    /// Dense index as usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Minimal wrap distance and preferred direction from coordinate `a` to
+/// `b` along an axis of length `n`. Ties (exactly half way around an even
+/// ring) resolve to `Plus`, a fixed deterministic choice.
+pub fn wrap_step(a: u32, b: u32, n: u32) -> (u32, Dir) {
+    debug_assert!(a < n && b < n);
+    let fwd = (b + n - a) % n;
+    let bwd = n - fwd;
+    if fwd == 0 {
+        (0, Dir::Plus)
+    } else if fwd <= bwd {
+        (fwd, Dir::Plus)
+    } else {
+        (bwd, Dir::Minus)
+    }
+}
+
+/// Shortest-path hop count between two coordinates.
+pub fn hop_count(a: Coord, b: Coord, dims: TorusDims) -> u32 {
+    Dim::ALL
+        .iter()
+        .map(|&d| wrap_step(a.get(d), b.get(d), dims.len(d)).0)
+        .sum()
+}
+
+/// Per-dimension hop counts between two coordinates `(x, y, z)`.
+pub fn hops_by_dim(a: Coord, b: Coord, dims: TorusDims) -> [u32; 3] {
+    let mut out = [0; 3];
+    for &d in &Dim::ALL {
+        out[d.index()] = wrap_step(a.get(d), b.get(d), dims.len(d)).0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips() {
+        let dims = TorusDims::new(8, 8, 8);
+        for c in dims.iter_coords() {
+            assert_eq!(c.node_id(dims).coord(dims), c);
+        }
+        assert_eq!(dims.iter_coords().count(), 512);
+    }
+
+    #[test]
+    fn wrap_step_basics() {
+        assert_eq!(wrap_step(0, 3, 8), (3, Dir::Plus));
+        assert_eq!(wrap_step(0, 5, 8), (3, Dir::Minus));
+        assert_eq!(wrap_step(0, 4, 8), (4, Dir::Plus)); // tie → Plus
+        assert_eq!(wrap_step(7, 0, 8), (1, Dir::Plus)); // wraps forward
+        assert_eq!(wrap_step(2, 2, 8), (0, Dir::Plus));
+    }
+
+    #[test]
+    fn max_hops_matches_paper() {
+        assert_eq!(TorusDims::anton_512().max_hops(), 12);
+        assert_eq!(TorusDims::new(8, 8, 16).max_hops(), 16);
+        assert_eq!(TorusDims::new(4, 4, 4).max_hops(), 6);
+    }
+
+    #[test]
+    fn step_wraps_both_directions() {
+        let dims = TorusDims::new(8, 8, 8);
+        let c = Coord::new(7, 0, 3);
+        assert_eq!(
+            c.step(LinkDir { dim: Dim::X, dir: Dir::Plus }, dims),
+            Coord::new(0, 0, 3)
+        );
+        assert_eq!(
+            c.step(LinkDir { dim: Dim::Y, dir: Dir::Minus }, dims),
+            Coord::new(7, 7, 3)
+        );
+    }
+
+    #[test]
+    fn hop_count_symmetric_examples() {
+        let dims = TorusDims::new(8, 8, 8);
+        let a = Coord::new(0, 0, 0);
+        let b = Coord::new(4, 4, 4); // all-corner farthest point
+        assert_eq!(hop_count(a, b, dims), 12);
+        assert_eq!(hop_count(b, a, dims), 12);
+        assert_eq!(hops_by_dim(a, b, dims), [4, 4, 4]);
+    }
+
+    #[test]
+    fn link_dir_index_round_trips() {
+        for (i, &l) in LinkDir::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+            assert_eq!(LinkDir::from_index(i), l);
+            assert_eq!(l.reverse().reverse(), l);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            format!("{}", LinkDir { dim: Dim::Z, dir: Dir::Minus }),
+            "Z-"
+        );
+        assert_eq!(format!("{}", Coord::new(1, 2, 3)), "(1,2,3)");
+    }
+}

@@ -1,0 +1,21 @@
+//! # anton-topo — 3D torus topology
+//!
+//! Coordinates, node ids, dimension-ordered shortest-path routing,
+//! neighbor enumeration, and multicast-tree construction for Anton's
+//! inter-node torus network (paper §III.A).
+//!
+//! Everything in this crate is pure combinatorics — no simulated time —
+//! and heavily property-tested, because routing and multicast correctness
+//! underpin every experiment in the reproduction.
+
+#![warn(missing_docs)]
+
+pub mod coords;
+pub mod multicast;
+pub mod neighbors;
+pub mod route;
+
+pub use coords::{hop_count, hops_by_dim, wrap_step, Coord, Dim, Dir, LinkDir, NodeId, TorusDims};
+pub use multicast::{MulticastPattern, PatternEntry, MAX_PATTERNS_PER_NODE};
+pub use neighbors::{face_neighbors, moore_neighbors, offset};
+pub use route::Route;

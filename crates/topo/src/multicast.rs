@@ -1,0 +1,289 @@
+//! Multicast patterns.
+//!
+//! Anton's network "supports a powerful multicast mechanism that allows a
+//! single packet to be sent to an arbitrary set of local or remote
+//! destination clients. When a multicast packet is injected into the
+//! network or arrives at a node, a table lookup is used to determine the
+//! set of local clients and outgoing network links to which the packet
+//! should be forwarded. Up to 256 multicast patterns per node can be
+//! precomputed" (§III.A).
+//!
+//! We build patterns as the union of dimension-ordered unicast routes from
+//! the source to every destination. Because the route between any pair is
+//! unique and deterministic, the union is a tree rooted at the source, so
+//! each node receives each multicast packet exactly once — the property
+//! the hardware tables rely on.
+
+use crate::coords::{Coord, LinkDir, NodeId, TorusDims};
+use crate::route::Route;
+use std::collections::BTreeMap;
+
+/// Hardware limit on precomputed multicast patterns per node (§III.A).
+pub const MAX_PATTERNS_PER_NODE: usize = 256;
+
+/// Per-node forwarding entry of a multicast pattern.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternEntry {
+    /// Outgoing torus links on which to forward the packet.
+    pub forward: Vec<LinkDir>,
+    /// Whether this node delivers the packet to a local client.
+    pub deliver: bool,
+}
+
+/// A multicast tree rooted at `source` covering `destinations`.
+///
+/// ```
+/// use anton_topo::{Coord, MulticastPattern, TorusDims};
+/// let dims = TorusDims::anton_512();
+/// let src = Coord::new(0, 0, 0);
+/// let dests: Vec<Coord> = (1..=4).map(|x| Coord::new(x, 0, 0)).collect();
+/// let p = MulticastPattern::build(src, &dests, dims);
+/// // A chain of 4 destinations costs 4 link traversals (unicasts: 10).
+/// assert_eq!(p.total_link_traversals(), 4);
+/// assert_eq!(p.delivery_set().len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MulticastPattern {
+    source: Coord,
+    dims: TorusDims,
+    /// Entries keyed by node id; nodes not present neither forward nor
+    /// deliver (they would never see the packet).
+    entries: BTreeMap<NodeId, PatternEntry>,
+}
+
+impl MulticastPattern {
+    /// Build the tree for `source` → each of `destinations` (local delivery
+    /// at the source is allowed: a destination equal to the source gets a
+    /// `deliver` mark with no network hop).
+    pub fn build(source: Coord, destinations: &[Coord], dims: TorusDims) -> MulticastPattern {
+        let mut entries: BTreeMap<NodeId, PatternEntry> = BTreeMap::new();
+        for &dst in destinations {
+            let route = Route::compute(source, dst, dims);
+            let mut cur = source;
+            for &step in route.steps() {
+                let entry = entries.entry(cur.node_id(dims)).or_default();
+                if !entry.forward.contains(&step) {
+                    entry.forward.push(step);
+                }
+                cur = cur.step(step, dims);
+            }
+            entries.entry(dst.node_id(dims)).or_default().deliver = true;
+        }
+        // Fixed forwarding order for determinism.
+        for e in entries.values_mut() {
+            e.forward.sort_by_key(|l| l.index());
+        }
+        MulticastPattern {
+            source,
+            dims,
+            entries,
+        }
+    }
+
+    /// Broadcast to every node along one ring of the torus passing through
+    /// `source` (used by the dimension-ordered all-reduce, §IV.B.4).
+    pub fn line_broadcast(
+        source: Coord,
+        dim: crate::coords::Dim,
+        dims: TorusDims,
+        include_self: bool,
+    ) -> MulticastPattern {
+        let n = dims.len(dim);
+        let dests: Vec<Coord> = (0..n)
+            .filter(|&v| include_self || v != source.get(dim))
+            .map(|v| source.with(dim, v))
+            .collect();
+        MulticastPattern::build(source, &dests, dims)
+    }
+
+    /// The source node.
+    pub fn source(&self) -> Coord {
+        self.source
+    }
+
+    /// Torus dimensions the pattern was built for.
+    pub fn dims(&self) -> TorusDims {
+        self.dims
+    }
+
+    /// The entry for `node`, if the packet ever visits it.
+    pub fn entry(&self, node: NodeId) -> Option<&PatternEntry> {
+        self.entries.get(&node)
+    }
+
+    /// All (node, entry) pairs in id order.
+    pub fn entries(&self) -> impl Iterator<Item = (NodeId, &PatternEntry)> {
+        self.entries.iter().map(|(&n, e)| (n, e))
+    }
+
+    /// Nodes marked for local delivery.
+    pub fn delivery_set(&self) -> Vec<NodeId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.deliver)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Total number of link traversals the multicast performs (tree edges).
+    pub fn total_link_traversals(&self) -> usize {
+        self.entries.values().map(|e| e.forward.len()).sum()
+    }
+
+    /// Maximum hop depth of the tree (latency-determining path length).
+    pub fn max_depth(&self) -> u32 {
+        self.delivery_set()
+            .iter()
+            .map(|&n| crate::coords::hop_count(self.source, n.coord(self.dims), self.dims))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Simulate delivery: walk the tree and return every node that receives
+    /// the packet, with its hop distance. Used by tests and by the
+    /// analytical (non-DES) latency paths.
+    pub fn walk(&self) -> Vec<(NodeId, u32)> {
+        let mut out = Vec::new();
+        let mut stack = vec![(self.source, 0u32)];
+        while let Some((cur, depth)) = stack.pop() {
+            let id = cur.node_id(self.dims);
+            if let Some(entry) = self.entries.get(&id) {
+                if entry.deliver {
+                    out.push((id, depth));
+                }
+                for &l in &entry.forward {
+                    stack.push((cur.step(l, self.dims), depth + 1));
+                }
+            }
+        }
+        out.sort_by_key(|&(n, _)| n);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::Dim;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singleton_pattern_is_the_unicast_route() {
+        let dims = TorusDims::new(8, 8, 8);
+        let src = Coord::new(0, 0, 0);
+        let dst = Coord::new(3, 0, 0);
+        let p = MulticastPattern::build(src, &[dst], dims);
+        assert_eq!(p.delivery_set(), vec![dst.node_id(dims)]);
+        assert_eq!(p.total_link_traversals(), 3);
+        assert_eq!(p.max_depth(), 3);
+    }
+
+    #[test]
+    fn self_delivery_needs_no_links() {
+        let dims = TorusDims::new(4, 4, 4);
+        let src = Coord::new(1, 1, 1);
+        let p = MulticastPattern::build(src, &[src], dims);
+        assert_eq!(p.delivery_set(), vec![src.node_id(dims)]);
+        assert_eq!(p.total_link_traversals(), 0);
+    }
+
+    #[test]
+    fn line_broadcast_covers_the_ring() {
+        let dims = TorusDims::new(8, 8, 8);
+        let src = Coord::new(2, 5, 6);
+        let p = MulticastPattern::line_broadcast(src, Dim::X, dims, false);
+        let mut expected: Vec<NodeId> = (0..8)
+            .filter(|&x| x != 2)
+            .map(|x| Coord::new(x, 5, 6).node_id(dims))
+            .collect();
+        expected.sort();
+        let mut got = p.delivery_set();
+        got.sort();
+        assert_eq!(got, expected);
+        // Shortest-path both ways: max depth is half the ring.
+        assert_eq!(p.max_depth(), 4);
+        // Tree property: 7 deliveries but only 8 link traversals at most
+        // (4 one way including the tie at distance 4, 3 the other way).
+        assert_eq!(p.total_link_traversals(), 7);
+    }
+
+    #[test]
+    fn multicast_saves_traversals_vs_unicast() {
+        // Paper: positions are multicast to as many as 17 HTIS units;
+        // the tree shares prefix links that repeated unicasts would re-send.
+        let dims = TorusDims::new(8, 8, 8);
+        let src = Coord::new(0, 0, 0);
+        let dests: Vec<Coord> = (1..=4).map(|x| Coord::new(x, 0, 0)).collect();
+        let p = MulticastPattern::build(src, &dests, dims);
+        let unicast_total: u32 = dests
+            .iter()
+            .map(|&d| crate::coords::hop_count(src, d, dims))
+            .sum();
+        assert_eq!(unicast_total, 10);
+        assert_eq!(p.total_link_traversals(), 4); // a single chain
+    }
+
+    proptest! {
+        /// Every destination receives the packet exactly once, at its
+        /// shortest-path hop distance, and non-destinations never deliver.
+        #[test]
+        fn walk_delivers_exactly_once(
+            nx in 1u32..9, ny in 1u32..9, nz in 1u32..9,
+            seed in 0u64..1_000_000,
+        ) {
+            let dims = TorusDims::new(nx, ny, nz);
+            let n = dims.node_count() as u64;
+            let src = NodeId((seed % n) as u32).coord(dims);
+            // Derive a pseudo-random destination set from the seed.
+            let mut dests = Vec::new();
+            let mut s = seed;
+            for _ in 0..(1 + seed % 9) {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let d = NodeId(((s >> 33) % n) as u32).coord(dims);
+                if !dests.contains(&d) {
+                    dests.push(d);
+                }
+            }
+            let p = MulticastPattern::build(src, &dests, dims);
+            let walked = p.walk();
+            // Exactly once per destination:
+            let mut expect: Vec<NodeId> = dests.iter().map(|c| c.node_id(dims)).collect();
+            expect.sort();
+            expect.dedup();
+            let got: Vec<NodeId> = walked.iter().map(|&(id, _)| id).collect();
+            prop_assert_eq!(&got, &expect);
+            // At shortest-path depth:
+            for (id, depth) in walked {
+                prop_assert_eq!(
+                    depth,
+                    crate::coords::hop_count(src, id.coord(dims), dims)
+                );
+            }
+        }
+
+        /// The tree never uses more link traversals than repeated unicasts.
+        #[test]
+        fn tree_no_worse_than_unicasts(
+            nx in 2u32..9, ny in 2u32..9, nz in 2u32..9,
+            seed in 0u64..1_000_000,
+        ) {
+            let dims = TorusDims::new(nx, ny, nz);
+            let n = dims.node_count() as u64;
+            let src = NodeId((seed % n) as u32).coord(dims);
+            let mut dests = Vec::new();
+            let mut s = seed;
+            for _ in 0..8 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(99);
+                dests.push(NodeId(((s >> 31) % n) as u32).coord(dims));
+            }
+            dests.sort();
+            dests.dedup();
+            let p = MulticastPattern::build(src, &dests, dims);
+            let unicast: u32 = dests
+                .iter()
+                .map(|&d| crate::coords::hop_count(src, d, dims))
+                .sum();
+            prop_assert!(p.total_link_traversals() as u32 <= unicast);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Neighbor enumeration.
+//!
+//! MD on Anton exchanges data with spatial neighbors: the six face
+//! neighbors (direct torus links) and, for migration and staged exchange
+//! comparisons, all 26 surrounding boxes (§IV.B.5: "multicasting a counted
+//! remote write to all 26 nearest neighbors").
+
+use crate::coords::{Coord, LinkDir, TorusDims};
+
+/// The six face neighbors (one per torus link), with the link that reaches
+/// each. On tori with an axis of length 1 or 2 some neighbors coincide;
+/// the list is deduplicated by coordinate, keeping the first link.
+pub fn face_neighbors(c: Coord, dims: TorusDims) -> Vec<(LinkDir, Coord)> {
+    let mut out: Vec<(LinkDir, Coord)> = Vec::with_capacity(6);
+    for &l in &LinkDir::ALL {
+        let n = c.step(l, dims);
+        if n != c && !out.iter().any(|&(_, existing)| existing == n) {
+            out.push((l, n));
+        }
+    }
+    out
+}
+
+/// All distinct boxes in the 3×3×3 neighborhood of `c`, excluding `c`
+/// itself — up to 26 on a large torus, fewer when axes are short enough
+/// for wraparound to alias offsets.
+pub fn moore_neighbors(c: Coord, dims: TorusDims) -> Vec<Coord> {
+    let mut out = Vec::with_capacity(26);
+    for dz in [-1i64, 0, 1] {
+        for dy in [-1i64, 0, 1] {
+            for dx in [-1i64, 0, 1] {
+                if dx == 0 && dy == 0 && dz == 0 {
+                    continue;
+                }
+                let n = offset(c, [dx, dy, dz], dims);
+                if n != c && !out.contains(&n) {
+                    out.push(n);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Apply a (dx, dy, dz) offset with wraparound.
+pub fn offset(c: Coord, d: [i64; 3], dims: TorusDims) -> Coord {
+    let wrap = |v: u32, dv: i64, n: u32| -> u32 {
+        ((v as i64 + dv).rem_euclid(n as i64)) as u32
+    };
+    Coord {
+        x: wrap(c.x, d[0], dims.nx),
+        y: wrap(c.y, d[1], dims.ny),
+        z: wrap(c.z, d[2], dims.nz),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn large_torus_has_26_moore_neighbors() {
+        let dims = TorusDims::new(8, 8, 8);
+        let n = moore_neighbors(Coord::new(3, 3, 3), dims);
+        assert_eq!(n.len(), 26);
+        // Wraparound case at the corner:
+        let n = moore_neighbors(Coord::new(0, 0, 0), dims);
+        assert_eq!(n.len(), 26);
+        assert!(n.contains(&Coord::new(7, 7, 7)));
+    }
+
+    #[test]
+    fn face_neighbors_on_full_torus() {
+        let dims = TorusDims::new(8, 8, 8);
+        let n = face_neighbors(Coord::new(0, 0, 0), dims);
+        assert_eq!(n.len(), 6);
+        assert!(n.iter().any(|&(_, c)| c == Coord::new(7, 0, 0)));
+        assert!(n.iter().any(|&(_, c)| c == Coord::new(1, 0, 0)));
+    }
+
+    #[test]
+    fn short_axes_deduplicate() {
+        // A 2-long axis: X+ and X− reach the same node.
+        let dims = TorusDims::new(2, 8, 8);
+        let n = face_neighbors(Coord::new(0, 0, 0), dims);
+        assert_eq!(n.len(), 5);
+        // A 1-long axis: no X neighbor at all.
+        let dims = TorusDims::new(1, 8, 8);
+        let n = face_neighbors(Coord::new(0, 0, 0), dims);
+        assert_eq!(n.len(), 4);
+    }
+
+    #[test]
+    fn offset_wraps() {
+        let dims = TorusDims::new(8, 8, 8);
+        assert_eq!(
+            offset(Coord::new(0, 0, 0), [-1, -1, -1], dims),
+            Coord::new(7, 7, 7)
+        );
+        assert_eq!(
+            offset(Coord::new(7, 7, 7), [1, 1, 1], dims),
+            Coord::new(0, 0, 0)
+        );
+    }
+
+    proptest! {
+        /// Moore neighborhoods are symmetric: if b is a neighbor of a,
+        /// then a is a neighbor of b.
+        #[test]
+        fn moore_symmetry(
+            nx in 1u32..9, ny in 1u32..9, nz in 1u32..9,
+            seed in 0u64..100_000,
+        ) {
+            let dims = TorusDims::new(nx, ny, nz);
+            let n = dims.node_count() as u64;
+            let a = crate::coords::NodeId((seed % n) as u32).coord(dims);
+            for b in moore_neighbors(a, dims) {
+                prop_assert!(moore_neighbors(b, dims).contains(&a));
+            }
+        }
+
+        /// Every Moore neighbor is within 1 wrap-step per dimension.
+        #[test]
+        fn moore_within_one_step(
+            nx in 1u32..9, ny in 1u32..9, nz in 1u32..9,
+            seed in 0u64..100_000,
+        ) {
+            let dims = TorusDims::new(nx, ny, nz);
+            let n = dims.node_count() as u64;
+            let a = crate::coords::NodeId((seed % n) as u32).coord(dims);
+            for b in moore_neighbors(a, dims) {
+                let h = crate::coords::hops_by_dim(a, b, dims);
+                prop_assert!(h.iter().all(|&d| d <= 1), "hops {h:?}");
+            }
+        }
+    }
+}

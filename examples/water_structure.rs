@@ -1,0 +1,71 @@
+//! Physics sanity demo: equilibrate a small water box with the
+//! reference engine and show the oxygen–oxygen radial distribution
+//! function developing liquid-water structure (first peak near 2.8 Å) —
+//! evidence that the MD substrate under the Anton mapping is the real
+//! thing, not a traffic generator.
+//!
+//! ```sh
+//! cargo run --release --example water_structure
+//! ```
+
+use anton::md::observables::Rdf;
+use anton::md::{MdParams, ReferenceEngine, SystemBuilder, Thermostat, Vec3};
+
+fn main() {
+    let sys = SystemBuilder::tiny(375, 23.0, 4242).build(); // 125 waters
+    let mut params = MdParams::new(6.0, [16; 3]);
+    params.dt = 0.5;
+    params.thermostat = Some(Thermostat { target: 300.0, tau: 25.0, interval: 1 });
+    let mut eng = ReferenceEngine::new(sys, params);
+
+    println!("equilibrating 125 flexible waters at 300 K...");
+    for step in 0..600 {
+        eng.step();
+        if step % 150 == 149 {
+            println!(
+                "  step {:>4}: T = {:>5.0} K",
+                step + 1,
+                eng.temperature()
+            );
+        }
+    }
+
+    // Accumulate the O–O RDF over a short production window.
+    let mut rdf = Rdf::new(8.0, 64);
+    for _ in 0..40 {
+        for _ in 0..5 {
+            eng.step();
+        }
+        let oxygens: Vec<Vec3> = eng
+            .sys
+            .atoms
+            .iter()
+            .filter(|a| a.mass > 10.0) // oxygens (waters' heavy site)
+            .map(|a| a.pos)
+            .collect();
+        rdf.accumulate(&oxygens, &eng.sys.pbox);
+    }
+
+    println!("\nO-O radial distribution function:");
+    let g = rdf.normalized();
+    let mut peak_r = 0.0;
+    let mut peak_g = 0.0;
+    for (i, &(r, v)) in g.iter().enumerate() {
+        if r > 2.0 && r < 3.5 && v > peak_g {
+            peak_g = v;
+            peak_r = r;
+        }
+        if r > 2.2 && i % 4 == 0 {
+            let bar = "#".repeat((v * 12.0).min(60.0) as usize);
+            println!("  r = {r:>5.2} A  g = {v:>5.2}  {bar}");
+        }
+    }
+    println!(
+        "\nfirst O-O peak: g({peak_r:.2} A) = {peak_g:.2}  (liquid water: ~2.8 A, g ~ 2-3)"
+    );
+    assert!(
+        (2.4..3.4).contains(&peak_r),
+        "first peak location {peak_r}"
+    );
+    assert!(peak_g > 1.3, "peak height {peak_g}");
+}

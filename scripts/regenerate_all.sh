@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+# Fast ones first; the MD-at-scale runs take minutes each.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=(
+  fig5_latency_vs_hops
+  fig6_breakdown
+  fig7_message_granularity
+  fig8_staged_vs_direct
+  table1_survey
+  table2_allreduce
+  bandwidth_half_point
+  ablation_sync_mechanism
+  ablation_multicast
+  accuracy_sweep
+)
+SLOW=(
+  table3_critical_path
+  ablation_priority_queue
+  ablation_latency_sensitivity
+  scaling_sweep
+  fig13_activity_trace
+  fig12_migration_interval
+  fig11_bond_regen
+)
+
+mkdir -p target/experiments
+for bin in "${FAST[@]}" "${SLOW[@]}"; do
+  echo "==> $bin"
+  cargo run --release -q -p anton-bench --bin "$bin" \
+    | tee "target/experiments/$bin.txt"
+done
+echo "all outputs in target/experiments/"

@@ -1,0 +1,27 @@
+//! # anton — umbrella crate for the Anton SC10 reproduction
+//!
+//! Re-exports the full workspace: a deterministic packet-level simulator
+//! of the Anton machine's communication architecture (Dror et al.,
+//! "Exploiting 162-Nanosecond End-to-End Communication Latency on
+//! Anton", SC 2010), the molecular-dynamics application mapped onto it,
+//! the comparison-platform models, and the experiment harness that
+//! regenerates every table and figure in the paper.
+//!
+//! Start with [`core::AntonMdEngine`] (the machine + MD schedule),
+//! [`net::Fabric`] (the communication fabric), or the runnable examples:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! cargo run --release --example md_on_anton
+//! cargo run --release --example latency_explorer
+//! ```
+
+pub use anton_baseline as baseline;
+pub use anton_bench as bench;
+pub use anton_collectives as collectives;
+pub use anton_core as core;
+pub use anton_des as des;
+pub use anton_fft as fft;
+pub use anton_md as md;
+pub use anton_net as net;
+pub use anton_topo as topo;

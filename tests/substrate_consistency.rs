@@ -1,0 +1,105 @@
+//! Cross-crate consistency: the distributed substrates must agree with
+//! their serial references when composed through the full stack.
+
+use anton::fft::{distributed_fft3d, fft3d, Complex, Direction, GridMap};
+use anton::md::longrange::{long_range_forces, LongRangeParams};
+use anton::md::{PeriodicBox, SystemBuilder, Vec3};
+use anton::topo::TorusDims;
+
+/// The FFT the Anton engine runs per-node, pass by pass, equals the
+/// serial 3D FFT — on the paper's 32³/8×8×8 configuration.
+#[test]
+fn distributed_fft_matches_serial_at_paper_scale() {
+    let map = GridMap::new([32, 32, 32], TorusDims::anton_512());
+    let n = 32 * 32 * 32;
+    let data: Vec<Complex> = (0..n)
+        .map(|i| Complex::new((i as f64 * 0.0137).sin(), 0.0))
+        .collect();
+    let mut serial = data.clone();
+    fft3d(&mut serial, 32, 32, 32, Direction::Forward);
+    let mut dist = data.clone();
+    distributed_fft3d(&map, &mut dist, Direction::Forward);
+    for (a, b) in dist.iter().zip(&serial) {
+        assert!((*a - *b).abs() < 1e-9);
+    }
+}
+
+/// The long-range solver is translation-invariant (up to grid snapping):
+/// shifting all atoms by one full grid cell shifts nothing physical.
+#[test]
+fn long_range_energy_is_translation_invariant() {
+    let sys = SystemBuilder::tiny(90, 16.0, 55).build();
+    let positions: Vec<Vec3> = sys.atoms.iter().map(|a| a.pos).collect();
+    let params = LongRangeParams::new([32; 3], 1.6);
+    let mut f1 = vec![Vec3::ZERO; positions.len()];
+    let e1 = long_range_forces(&sys, &positions, &params, &mut f1).energy;
+    // Shift by exactly one grid cell (16/32 = 0.5 Å) in each axis.
+    let shifted: Vec<Vec3> = positions
+        .iter()
+        .map(|&p| sys.pbox.wrap(p + Vec3::splat(0.5)))
+        .collect();
+    let mut f2 = vec![Vec3::ZERO; positions.len()];
+    let e2 = long_range_forces(&sys, &shifted, &params, &mut f2).energy;
+    assert!(
+        (e1 - e2).abs() < 1e-6 * e1.abs().max(1.0),
+        "e1={e1} e2={e2}"
+    );
+    for (a, b) in f1.iter().zip(&f2) {
+        assert!((*a - *b).norm() < 1e-6 * (b.norm() + 1.0));
+    }
+}
+
+/// NT decomposition coverage at paper scale composes with the periodic
+/// box: the machine-wide pair count over home boxes equals the serial
+/// cell-list pair count.
+#[test]
+fn nt_pair_counts_match_serial_cell_list() {
+    use anton::core::Decomposition;
+    let sys = SystemBuilder::tiny(600, 31.0, 77).build();
+    let dims = TorusDims::new(4, 4, 4);
+    let cutoff = 6.0;
+    let decomp = Decomposition::new(dims, PeriodicBox::cubic(31.0), cutoff);
+    let positions: Vec<Vec3> = sys.atoms.iter().map(|a| a.pos).collect();
+    let owners = decomp.assign_atoms(&positions);
+
+    // Serial count of within-cutoff pairs.
+    let mut serial = 0u64;
+    for i in 0..positions.len() {
+        for j in (i + 1)..positions.len() {
+            if sys.pbox.distance(positions[i], positions[j]) < cutoff {
+                serial += 1;
+            }
+        }
+    }
+    // Distributed count: each node counts pairs of its assigned box
+    // pairs.
+    let mut atoms_of = vec![Vec::new(); dims.node_count() as usize];
+    for (i, &o) in owners.iter().enumerate() {
+        atoms_of[o.index()].push(i);
+    }
+    let mut distributed = 0u64;
+    for c in dims.iter_coords() {
+        for (a, b) in decomp.task_pairs(c) {
+            let la = &atoms_of[a.node_id(dims).index()];
+            let lb = &atoms_of[b.node_id(dims).index()];
+            if a == b {
+                for x in 0..la.len() {
+                    for y in (x + 1)..la.len() {
+                        if sys.pbox.distance(positions[la[x]], positions[la[y]]) < cutoff {
+                            distributed += 1;
+                        }
+                    }
+                }
+            } else {
+                for &x in la {
+                    for &y in lb {
+                        if sys.pbox.distance(positions[x], positions[y]) < cutoff {
+                            distributed += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(distributed, serial);
+}
