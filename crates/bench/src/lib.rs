@@ -12,7 +12,7 @@ pub mod microbench;
 pub mod report;
 
 pub use microbench::{
-    multicast_vs_unicast, neighbor_exchange, one_way_latency, one_way_latency_local,
-    split_transfer_time,
-    streaming_bandwidth_gbps, ExchangeOutcome, ExchangeStyle,
+    multicast_vs_unicast, neighbor_exchange, one_way_latency, one_way_latency_faulty,
+    one_way_latency_local, split_transfer_time, streaming_bandwidth_gbps, ExchangeOutcome,
+    ExchangeStyle,
 };

@@ -3,8 +3,8 @@
 
 use anton_des::{SimDuration, SimTime};
 use anton_net::{
-    ClientAddr, ClientKind, CounterId, Ctx, Fabric, NodeProgram, Packet, PatternId, Payload,
-    ProgEvent, Simulation, MAX_PAYLOAD_BYTES,
+    ClientAddr, ClientKind, CounterId, Ctx, Fabric, FaultPlan, NodeProgram, Packet, PatternId,
+    Payload, ProgEvent, Simulation, MAX_PAYLOAD_BYTES,
 };
 use anton_topo::{Coord, MulticastPattern, NodeId, TorusDims};
 use std::cell::RefCell;
@@ -26,6 +26,10 @@ struct PingPong {
     /// (stream, count) completed; finish time per stream.
     finished: Rc<RefCell<Vec<Option<SimTime>>>>,
     remaining: [u32; 2],
+    /// Pings the responder still expects; it stops re-arming its watch
+    /// after the last one so a finished run quiesces with no counter
+    /// armed (the run guard reads a leftover watch as a stall).
+    pings_to_answer: [u32; 2],
 }
 
 impl PingPong {
@@ -64,9 +68,15 @@ impl NodeProgram for PingPong {
                         self.finished.borrow_mut()[s] = Some(ctx.now());
                         return;
                     }
+                    ctx.reset_counter(slice0(node), counter);
+                    ctx.watch_counter(slice0(node), counter, 1);
+                } else {
+                    self.pings_to_answer[s] -= 1;
+                    ctx.reset_counter(slice0(node), counter);
+                    if self.pings_to_answer[s] > 0 {
+                        ctx.watch_counter(slice0(node), counter, 1);
+                    }
                 }
-                ctx.reset_counter(slice0(node), counter);
-                ctx.watch_counter(slice0(node), counter, 1);
                 self.send_ping(s, node, peer, ctx);
             }
             _ => unreachable!(),
@@ -84,22 +94,44 @@ pub fn one_way_latency(
     bidirectional: bool,
     iters: u32,
 ) -> SimDuration {
+    one_way_latency_faulty(dims, src, dst, payload_bytes, bidirectional, iters, FaultPlan::none())
+        .expect("fault-free ping-pong completes")
+}
+
+/// [`one_way_latency`] under a fault-injection plan: the measured mean
+/// includes retransmission delays. Returns `None` if a ping was lost
+/// beyond the retransmit budget (the ping-pong then stalls and is
+/// diagnosed by the run guard rather than hanging).
+#[allow(clippy::too_many_arguments)]
+pub fn one_way_latency_faulty(
+    dims: TorusDims,
+    src: Coord,
+    dst: Coord,
+    payload_bytes: u32,
+    bidirectional: bool,
+    iters: u32,
+    fault: FaultPlan,
+) -> Option<SimDuration> {
     assert!(iters >= 1);
     let finished = Rc::new(RefCell::new(vec![None; 2]));
     let f2 = finished.clone();
     let (a, b) = (src.node_id(dims), dst.node_id(dims));
-    let mut sim = Simulation::new(Fabric::new(dims), move |_| PingPong {
+    let fabric = Fabric::with_faults(dims, anton_net::Timing::default(), fault);
+    let mut sim = Simulation::new(fabric, move |_| PingPong {
         peer_of: [(a, b), (b, a)],
         payload_bytes,
         bidirectional,
         finished: f2.clone(),
         remaining: [iters, iters],
+        pings_to_answer: [iters, iters],
     });
-    sim.run();
+    if !sim.run_guarded(SimTime(u64::MAX / 2), 100_000_000).is_completed() {
+        return None;
+    }
     let done = finished.borrow();
-    let t = done[0].expect("stream 0 completes");
+    let t = done[0]?;
     // Each iteration is a full round trip: 2 one-way messages.
-    SimDuration::from_ps((t - SimTime::ZERO).as_ps() / (2 * iters as u64))
+    Some(SimDuration::from_ps((t - SimTime::ZERO).as_ps() / (2 * iters as u64)))
 }
 
 /// The 0-hop case of Figure 5: ping-pong between two slices on the same

@@ -2,8 +2,8 @@
 
 use anton_des::{Rng, SimDuration, SimTime};
 use anton_net::{
-    ClientAddr, ClientKind, CounterId, Ctx, Fabric, NodeProgram, Packet, PatternId, Payload,
-    ProgEvent, Simulation,
+    ClientAddr, ClientKind, CounterId, Ctx, Fabric, FaultPlan, NodeProgram, Packet, PatternId,
+    Payload, ProgEvent, Simulation,
 };
 use anton_topo::{Coord, Dim, MulticastPattern, NodeId, TorusDims};
 use std::cell::RefCell;
@@ -376,13 +376,27 @@ pub fn run_all_reduce(
     params: CollectiveParams,
     inputs: &[Vec<f64>],
 ) -> AllReduceOutcome {
+    run_all_reduce_faulty(dims, algorithm, params, inputs, FaultPlan::none())
+        .expect("fault-free all-reduce completes")
+}
+
+/// [`run_all_reduce`] under a fault-injection plan. Returns `None` if the
+/// collective stalled (a packet was lost beyond the retransmit budget —
+/// the stall diagnosis lives on the fabric's error log and watchdog).
+pub fn run_all_reduce_faulty(
+    dims: TorusDims,
+    algorithm: Algorithm,
+    params: CollectiveParams,
+    inputs: &[Vec<f64>],
+    fault: FaultPlan,
+) -> Option<AllReduceOutcome> {
     let n = dims.node_count() as usize;
     assert_eq!(inputs.len(), n, "one input vector per node");
     let values = inputs[0].len();
     assert!(inputs.iter().all(|v| v.len() == values));
     let payload_bytes = (values * 8) as u32;
 
-    let mut fabric = Fabric::new(dims);
+    let mut fabric = Fabric::with_faults(dims, anton_net::Timing::default(), fault);
     if algorithm == Algorithm::DimensionOrdered {
         for &dim in &Dim::ALL {
             if dims.len(dim) <= 1 {
@@ -417,22 +431,24 @@ pub fn run_all_reduce(
         bit: 0,
         done: d2.clone(),
     });
-    sim.run();
+    if !sim.run_guarded(SimTime(u64::MAX / 2), 100_000_000).is_completed() {
+        return None;
+    }
 
     let done = done.borrow();
     let mut latest = SimTime::ZERO;
     let mut results = Vec::with_capacity(n);
     for entry in done.iter() {
-        let (t, v) = entry.as_ref().expect("every node must complete");
+        let (t, v) = entry.as_ref()?;
         latest = latest.max(*t);
         results.push(v.clone());
     }
-    AllReduceOutcome {
+    Some(AllReduceOutcome {
         latency: latest - SimTime::ZERO,
         results,
         packets_sent: sim.world.fabric.stats.packets_sent,
         link_traversals: sim.world.fabric.stats.link_traversals,
-    }
+    })
 }
 
 /// Deterministic pseudo-random inputs for tests and benches.

@@ -4,10 +4,10 @@
 
 use crate::program::MdNode;
 use crate::state::{AntonConfig, MachineState, StepTiming};
-use anton_des::{RunOutcome, SimDuration, SimTime, Tracer, TrackId};
+use anton_des::{SimDuration, SimTime, Tracer, TrackId};
 use anton_md::integrate::verlet_first_half;
 use anton_md::{ChemicalSystem, Vec3};
-use anton_net::{Fabric, NetStats, Simulation};
+use anton_net::{Fabric, NetStats, RunReport, Simulation, StallReport};
 use anton_topo::TorusDims;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -78,11 +78,24 @@ impl AntonMdEngine {
         self.state.borrow().step_count
     }
 
-    /// Advance one time step; returns its timing record.
+    /// Advance one time step; returns its timing record. Panics with the
+    /// watchdog's diagnosis if the step stalls (lost packets under an
+    /// aggressive fault plan); use [`AntonMdEngine::try_step`] to handle
+    /// stalls programmatically.
     pub fn step(&mut self) -> StepTiming {
-        let timing = self.run_des_step(false);
+        match self.try_step() {
+            Ok(t) => t,
+            Err(stall) => panic!("MD step stalled:\n{stall}"),
+        }
+    }
+
+    /// Advance one time step, reporting a stall instead of panicking.
+    /// After an `Err` the machine state is mid-step and must not be
+    /// stepped further; the report names every stuck counter.
+    pub fn try_step(&mut self) -> Result<StepTiming, StallReport> {
+        let timing = self.try_run_des_step(false)?;
         self.timings.push(timing.clone());
-        timing
+        Ok(timing)
     }
 
     /// Instantaneous temperature, K.
@@ -103,6 +116,13 @@ impl AntonMdEngine {
     }
 
     fn run_des_step(&mut self, bootstrap: bool) -> StepTiming {
+        match self.try_run_des_step(bootstrap) {
+            Ok(t) => t,
+            Err(stall) => panic!("DES step stalled:\n{stall}"),
+        }
+    }
+
+    fn try_run_des_step(&mut self, bootstrap: bool) -> Result<StepTiming, StallReport> {
         // ---- host-side pre-step ----
         let (thermostat, _long_range, migration) = {
             let mut st = self.state.borrow_mut();
@@ -173,7 +193,11 @@ impl AntonMdEngine {
         // ---- build the fabric for this step ----
         let mut fabric = {
             let st = self.state.borrow();
-            let mut fabric = Fabric::with_timing(self.dims, st.config.timing.clone());
+            let mut fabric = Fabric::with_faults(
+                self.dims,
+                st.config.timing.clone(),
+                st.config.fault.clone(),
+            );
             st.patterns.register(&mut fabric, thermostat, migration);
             fabric
         };
@@ -189,8 +213,13 @@ impl AntonMdEngine {
         // ---- run the DES ----
         let state = self.state.clone();
         let mut sim = Simulation::new(fabric, move |_| MdNode::new(state.clone()));
-        let outcome = sim.run_until(SimTime(u64::MAX / 2), 500_000_000);
-        assert_eq!(outcome, RunOutcome::Drained, "step did not quiesce");
+        match sim.run_guarded(SimTime(u64::MAX / 2), 500_000_000) {
+            RunReport::Completed(_) => {}
+            RunReport::Stalled(stall) => {
+                self.last_stats = Some(sim.world.fabric.stats.clone());
+                return Err(stall);
+            }
+        }
 
         // ---- host-side post-step ----
         let mut st = self.state.borrow_mut();
@@ -271,7 +300,7 @@ impl AntonMdEngine {
                 Tracer::disabled(),
             ));
         }
-        timing
+        Ok(timing)
     }
 
     /// Measure the FFT-based convolution in isolation (the Table 3 row
@@ -327,14 +356,19 @@ impl AntonMdEngine {
         }
         let fabric = {
             let st = self.state.borrow();
-            let mut fabric = Fabric::with_timing(self.dims, st.config.timing.clone());
+            let mut fabric = Fabric::with_faults(
+                self.dims,
+                st.config.timing.clone(),
+                st.config.fault.clone(),
+            );
             st.patterns.register(&mut fabric, false, false);
             fabric
         };
         let state = self.state.clone();
         let mut sim = Simulation::new(fabric, move |_| MdNode::new(state.clone()));
-        let outcome = sim.run_until(SimTime(u64::MAX / 2), 500_000_000);
-        assert_eq!(outcome, RunOutcome::Drained, "convolution did not quiesce");
+        if let RunReport::Stalled(stall) = sim.run_guarded(SimTime(u64::MAX / 2), 500_000_000) {
+            panic!("FFT convolution stalled:\n{stall}");
+        }
         let st = self.state.borrow();
         assert_eq!(st.scratch.nodes_done, self.dims.node_count(), "all nodes finish");
         sim.now() - SimTime::ZERO

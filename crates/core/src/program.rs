@@ -320,10 +320,12 @@ impl MdNode {
             kind: PacketKind::Write,
             addr: 0xE000,
             payload_bytes: 0,
+            crc: anton_net::payload_crc(&Payload::Empty),
             payload: Payload::Empty,
             counter: Some(C_MIGSYNC),
             in_order: true,
             tag: 0,
+            route: None,
         };
         ctx.send(pkt);
     }

@@ -45,6 +45,9 @@ pub struct AntonConfig {
     /// Maximum atoms packed into one force-return packet (16 × 12 B =
     /// 192 B payload).
     pub force_pack: usize,
+    /// Fault-injection plan for the fabric ([`anton_net::FaultPlan::none`]
+    /// by default — bit-identical to a fault-free fabric).
+    pub fault: anton_net::FaultPlan,
 }
 
 impl AntonConfig {
@@ -60,6 +63,7 @@ impl AntonConfig {
             timing: anton_net::Timing::default(),
             priority_queue: true,
             force_pack: 16,
+            fault: anton_net::FaultPlan::none(),
         }
     }
 }

@@ -1,0 +1,223 @@
+//! # criterion (offline shim)
+//!
+//! The build environment has no crates.io access, so this crate is a
+//! **minimal stand-in** for the subset of the
+//! [Criterion](https://docs.rs/criterion) API used by the workspace's
+//! `benches/`: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, and `Bencher::iter`.
+//!
+//! Statistics are deliberately simple: each benchmark runs a short warmup,
+//! then `sample_size` timed samples of an adaptively chosen batch size, and
+//! prints mean and min per-iteration wall time. That is enough to spot
+//! order-of-magnitude regressions and to keep the benches compiling and
+//! runnable offline; it makes no claim to Criterion's statistical rigor.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches also use
+/// `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 20,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: &str, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// A bare parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (Criterion's default is 100;
+    /// the shim default is 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra; exists for API parity).
+    pub fn finish(&mut self) {}
+
+    fn run_one(&mut self, label: &str, mut run: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        run(&mut b);
+        match b.report() {
+            Some((mean, min)) => println!(
+                "{label:<40} mean {:>12}  min {:>12}  ({} samples)",
+                fmt_duration(mean),
+                fmt_duration(min),
+                self.sample_size,
+            ),
+            None => println!("{label:<40} (no measurement: iter was never called)"),
+        }
+    }
+}
+
+/// Collects timed samples of the closure under test.
+pub struct Bencher {
+    /// Per-iteration durations of each sample.
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then recording `sample_size`
+    /// samples of a batch size chosen so each sample takes ≳1 ms.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and batch-size calibration: grow the batch until one
+        // batch costs at least ~1 ms (or a cap, for very slow routines).
+        let mut batch: u64 = 1;
+        let target = Duration::from_millis(1);
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = t0.elapsed();
+            if took >= target || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / batch as u32);
+        }
+    }
+
+    fn report(&self) -> Option<(Duration, Duration)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = *self.samples.iter().min().expect("nonempty");
+        Some((mean, min))
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Define a benchmark group: `criterion_group!(benches, fn_a, fn_b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define the bench harness entry point: `criterion_main!(benches)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; skip the
+            // (slow) measurement loop there, as Criterion itself does.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim-self-test");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -16,20 +16,26 @@
 //! dimension-ordered routes over FIFO links), so the in-order header flag
 //! is honored by construction.
 
+use crate::fault::{self, FabricError, FaultPlan, TransientFault, WatchdogReport};
 use crate::memory::{AccumMemory, LocalMemory, MsgFifo, SyncCounters};
 use crate::packet::{
     ClientAddr, ClientKind, CounterId, Destination, Packet, PacketKind, PatternId, Payload,
-    COUNTER_BY_SOURCE,
+    SourceRoute, COUNTER_BY_SOURCE,
 };
 use crate::timing::Timing;
 use anton_des::{Activity, Scheduler, SimDuration, SimTime, Tracer, TrackId};
-use anton_topo::{Coord, Dim, LinkDir, MulticastPattern, NodeId, Route, TorusDims};
+use anton_topo::{Coord, Dim, LinkDir, LinkMask, MulticastPattern, NodeId, Route, TorusDims};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Capacity (in messages) of each slice's hardware message FIFO. The paper
 /// doesn't publish the size; migration bursts are tens of messages, so 64
 /// exercises backpressure only under deliberately abusive tests.
 pub const FIFO_CAPACITY: usize = 64;
+
+/// Cap on the fabric's recoverable-error log: counters keep exact totals,
+/// the log keeps the first occurrences for diagnosis.
+pub const ERROR_LOG_CAP: usize = 64;
 
 /// Events produced and consumed by the fabric (plus program dispatches).
 #[derive(Debug)]
@@ -68,6 +74,16 @@ pub enum Ev {
         node: NodeId,
         /// The program event.
         pe: ProgEvent,
+    },
+    /// A watchdog deadline armed by [`crate::world::Ctx::watch_counter_deadline`]
+    /// expired; check whether the watch is still pending.
+    WatchdogCheck {
+        /// Client owning the watched counter.
+        addr: ClientAddr,
+        /// The watched counter.
+        counter: CounterId,
+        /// The value the watch waits for.
+        target: u64,
     },
 }
 
@@ -115,7 +131,7 @@ struct ClientState {
 }
 
 /// Aggregate traffic statistics.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct NetStats {
     /// Packets injected by clients (a multicast counts once).
     pub packets_sent: u64,
@@ -130,12 +146,50 @@ pub struct NetStats {
     pub sent_by_node: Vec<u64>,
     /// Per-node delivery counts.
     pub delivered_by_node: Vec<u64>,
+    /// Transient drops injected by the fault plan (recovered by
+    /// retransmission unless the budget ran out).
+    pub faults_dropped: u64,
+    /// Transient corruptions injected (caught by the link CRC and
+    /// nacked).
+    pub faults_corrupted: u64,
+    /// Link-layer retransmissions performed (the retransmit-budget
+    /// spend).
+    pub retransmits: u64,
+    /// Traversals that exhausted the retransmit budget; their packets are
+    /// lost.
+    pub retry_budget_exhausted: u64,
+    /// Packets dropped at injection because no surviving route existed.
+    pub packets_unreachable: u64,
+    /// Packets lost in flight (dead link mid-route or budget exhaustion).
+    pub packets_lost: u64,
+    /// Packets discarded or degraded at delivery (bad accumulation
+    /// payload, FIFO to a FIFO-less client, missing source-counter
+    /// mapping, end-to-end CRC mismatch).
+    pub delivery_errors: u64,
 }
 
 /// The simulated communication fabric of one Anton machine.
 pub struct Fabric {
     dims: TorusDims,
     timing: Timing,
+    /// The fault-injection plan in force ([`FaultPlan::none`] by default).
+    fault: FaultPlan,
+    /// Link-layer transmission sequence number per unidirectional link
+    /// (advanced per attempt; feeds the deterministic fault decisions).
+    link_tx_seq: Vec<u64>,
+    /// Permanent death time per unidirectional link, from the plan.
+    link_dead_at: Vec<Option<SimTime>>,
+    /// Mask of links whose permanent failure has already struck, used to
+    /// route around them. `None` when the plan has no permanent failures
+    /// (the routing fast path).
+    route_mask: Option<LinkMask>,
+    /// Permanent failures not yet applied to `route_mask`, sorted by
+    /// activation time descending (pop from the back as time advances).
+    pending_deaths: Vec<(SimTime, usize)>,
+    /// Recoverable errors, capped at [`ERROR_LOG_CAP`].
+    errors: Vec<FabricError>,
+    /// Expired watchdog deadlines (see [`crate::world::Ctx::watch_counter_deadline`]).
+    watchdog_reports: Vec<WatchdogReport>,
     /// Busy-until per unidirectional link, indexed `node*6 + link`.
     link_busy: Vec<SimTime>,
     /// Busy-until per client injection port, indexed `node*7 + client`.
@@ -172,6 +226,11 @@ impl Fabric {
 
     /// Build with explicit timing (ablations perturb constants).
     pub fn with_timing(dims: TorusDims, timing: Timing) -> Fabric {
+        Fabric::with_faults(dims, timing, FaultPlan::none())
+    }
+
+    /// Build with explicit timing and a fault-injection plan.
+    pub fn with_faults(dims: TorusDims, timing: Timing, fault: FaultPlan) -> Fabric {
         let n = dims.node_count() as usize;
         let mut clients: Vec<ClientState> = Vec::with_capacity(n * 7);
         for _ in 0..n {
@@ -187,9 +246,35 @@ impl Fabric {
         for (i, l) in LinkDir::ALL.iter().enumerate() {
             tracer.name_track(TrackId(i as u16), format!("{l} links"));
         }
+        let link_dead_at = fault.link_death_times(dims);
+        let (route_mask, pending_deaths) = if fault.has_permanent() {
+            let mut mask = LinkMask::none(dims);
+            let mut pending: Vec<(SimTime, usize)> = Vec::new();
+            for (idx, t) in link_dead_at.iter().enumerate() {
+                if let Some(t) = t {
+                    if *t == SimTime::ZERO {
+                        let node = NodeId((idx / 6) as u32).coord(dims);
+                        mask.kill_link(node, LinkDir::from_index(idx % 6));
+                    } else {
+                        pending.push((*t, idx));
+                    }
+                }
+            }
+            pending.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));
+            (Some(mask), pending)
+        } else {
+            (None, Vec::new())
+        };
         Fabric {
             dims,
             timing,
+            fault,
+            link_tx_seq: vec![0; n * 6],
+            link_dead_at,
+            route_mask,
+            pending_deaths,
+            errors: Vec::new(),
+            watchdog_reports: Vec::new(),
             link_busy: vec![SimTime::ZERO; n * 6],
             inject_busy: vec![SimTime::ZERO; n * 7],
             core_busy: vec![SimTime::ZERO; n * 7],
@@ -260,16 +345,77 @@ impl Fabric {
         }
     }
 
+    /// Reserve a unidirectional link for one traversal, folding in the
+    /// link-layer reliability protocol: every attempt the fault plan
+    /// drops or corrupts charges the link for its wasted wire time plus
+    /// the recovery delay (ack timeout with exponential backoff for
+    /// silent drops, nack turnaround for CRC-caught corruption). Returns
+    /// the start time of the successful attempt, or `None` when the
+    /// packet is lost (dead link, or retransmit budget exhausted). With
+    /// [`FaultPlan::none`] no draws happen and the timing is identical to
+    /// a fabric without the fault layer.
     fn reserve_link(
         &mut self,
         node: NodeId,
         link: LinkDir,
         ready: SimTime,
         payload_bytes: u32,
-    ) -> SimTime {
+    ) -> Option<SimTime> {
         let idx = node.index() * 6 + link.index();
-        let start = ready.max(self.link_busy[idx]);
+        let dead_at = self.link_dead_at[idx];
         let occ = self.timing.link_occupancy(payload_bytes);
+        let mut start = ready.max(self.link_busy[idx]);
+        if matches!(dead_at, Some(d) if start >= d) {
+            self.record_error(FabricError::DeadLink { node, link });
+            self.stats.packets_lost += 1;
+            return None;
+        }
+        if self.fault.has_transients() {
+            let retry = self.fault.retry;
+            let mut failed: u32 = 0;
+            loop {
+                let seq = self.link_tx_seq[idx];
+                self.link_tx_seq[idx] += 1;
+                let Some(f) = self.fault.transient_fault(idx, seq) else {
+                    break;
+                };
+                let penalty = match f {
+                    TransientFault::Drop => {
+                        self.stats.faults_dropped += 1;
+                        retry.drop_penalty(failed)
+                    }
+                    TransientFault::Corrupt => {
+                        self.stats.faults_corrupted += 1;
+                        retry.nack_penalty()
+                    }
+                };
+                if failed >= retry.max_retries {
+                    // Budget exhausted: the wire time of the failed
+                    // attempts still occupied the link.
+                    self.link_busy[idx] = start + occ;
+                    self.stats.retry_budget_exhausted += 1;
+                    self.stats.packets_lost += 1;
+                    self.record_error(FabricError::RetryBudgetExhausted {
+                        node,
+                        link,
+                        attempts: failed + 1,
+                    });
+                    return None;
+                }
+                self.stats.retransmits += 1;
+                start = start + occ + penalty;
+                failed += 1;
+                if let Some(d) = dead_at {
+                    if start >= d {
+                        // The link died mid-retransmit-sequence.
+                        self.link_busy[idx] = d;
+                        self.record_error(FabricError::DeadLink { node, link });
+                        self.stats.packets_lost += 1;
+                        return None;
+                    }
+                }
+            }
+        }
         self.link_busy[idx] = start + occ;
         self.stats.link_traversals += 1;
         if self.tracer.is_enabled() {
@@ -281,13 +427,52 @@ impl Fabric {
                 self.current_label,
             );
         }
-        start
+        Some(start)
+    }
+
+    /// Apply permanent failures whose activation time has passed to the
+    /// routing mask (no-op unless the plan schedules any).
+    fn advance_deaths(&mut self, now: SimTime) {
+        while let Some(&(t, idx)) = self.pending_deaths.last() {
+            if t > now {
+                break;
+            }
+            self.pending_deaths.pop();
+            if let Some(mask) = &mut self.route_mask {
+                let node = NodeId((idx / 6) as u32).coord(self.dims);
+                mask.kill_link(node, LinkDir::from_index(idx % 6));
+            }
+        }
+    }
+
+    /// Log a recoverable error (capped at [`ERROR_LOG_CAP`]; the stats
+    /// counters keep exact totals).
+    fn record_error(&mut self, e: FabricError) {
+        if self.errors.len() < ERROR_LOG_CAP {
+            self.errors.push(e);
+        }
+    }
+
+    /// Recoverable errors recorded so far (first [`ERROR_LOG_CAP`]).
+    pub fn errors(&self) -> &[FabricError] {
+        &self.errors
+    }
+
+    /// Expired watchdog deadlines recorded so far.
+    pub fn watchdog_reports(&self) -> &[WatchdogReport] {
+        &self.watchdog_reports
+    }
+
+    /// The fault plan in force.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
     }
 
     /// Send a packet. `now` is the time software issues the send. All
     /// downstream progress is scheduled on `sched`.
-    pub fn send(&mut self, pkt: Packet, now: SimTime, sched: &mut Scheduler<Ev>) {
+    pub fn send(&mut self, mut pkt: Packet, now: SimTime, sched: &mut Scheduler<Ev>) {
         assert!(pkt.src.client.can_send(), "client cannot send packets");
+        self.advance_deaths(now);
         let src_node = pkt.src.node;
         self.stats.packets_sent += 1;
         self.stats.sent_by_node[src_node.index()] += 1;
@@ -322,10 +507,47 @@ impl Fabric {
                 } else {
                     let src_c = src_node.coord(self.dims);
                     let dst_c = dst.node.coord(self.dims);
-                    let link = Route::next_link_from(src_c, dst_c, self.dims)
-                        .expect("distinct nodes have a route");
+                    // When permanent failures are active, compute a full
+                    // source route around the dead links at injection (a
+                    // per-hop detour could livelock); otherwise keep the
+                    // fault-free per-hop dimension-ordered decision.
+                    let link = match &self.route_mask {
+                        Some(mask) if mask.any_dead() => {
+                            match Route::compute_avoiding(src_c, dst_c, self.dims, mask) {
+                                Ok(route) => {
+                                    let steps = route.steps().to_vec();
+                                    let first = steps[0];
+                                    pkt.route =
+                                        Some(SourceRoute { steps: Arc::new(steps), next: 1 });
+                                    first
+                                }
+                                Err(_) => {
+                                    self.stats.packets_unreachable += 1;
+                                    self.record_error(FabricError::Unreachable {
+                                        src: src_node,
+                                        dst: dst.node,
+                                    });
+                                    return;
+                                }
+                            }
+                        }
+                        _ => match Route::next_link_from(src_c, dst_c, self.dims) {
+                            Some(l) => l,
+                            None => {
+                                self.stats.packets_unreachable += 1;
+                                self.record_error(FabricError::NoRoute {
+                                    node: src_node,
+                                    dst: dst.node,
+                                });
+                                return;
+                            }
+                        },
+                    };
                     let ready = inj_start + SimDuration::from_ns_f64(self.timing.send_ring_ns);
-                    let start = self.reserve_link(src_node, link, ready, pkt.payload_bytes);
+                    let Some(start) = self.reserve_link(src_node, link, ready, pkt.payload_bytes)
+                    else {
+                        return; // lost; reserve_link recorded why
+                    };
                     let next = src_c.step(link, self.dims).node_id(self.dims);
                     sched.at(
                         start + self.timing.link_head(),
@@ -334,10 +556,14 @@ impl Fabric {
                 }
             }
             Destination::Multicast { pattern, client } => {
-                let entry = self.patterns[src_node.index()]
-                    .get(&pattern)
-                    .unwrap_or_else(|| panic!("pattern {} unknown at source", pattern.0))
-                    .clone();
+                // Multicast trees are burned into hardware tables and do
+                // NOT reroute around failures: a dead branch silently
+                // loses that subtree (reserve_link records the loss).
+                let Some(entry) = self.patterns[src_node.index()].get(&pattern).cloned() else {
+                    self.stats.packets_unreachable += 1;
+                    self.record_error(FabricError::PatternUnknown { pattern, node: src_node });
+                    return;
+                };
                 if entry.deliver {
                     let done = t0
                         + self.timing.local_latency()
@@ -350,7 +576,10 @@ impl Fabric {
                 let src_c = src_node.coord(self.dims);
                 let ready = inj_start + SimDuration::from_ns_f64(self.timing.send_ring_ns);
                 for l in entry.forward {
-                    let start = self.reserve_link(src_node, l, ready, pkt.payload_bytes);
+                    let Some(start) = self.reserve_link(src_node, l, ready, pkt.payload_bytes)
+                    else {
+                        continue; // this branch's subtree is lost
+                    };
                     let next = src_c.step(l, self.dims).node_id(self.dims);
                     sched.at(
                         start + self.timing.link_head(),
@@ -364,7 +593,7 @@ impl Fabric {
     /// Handle a packet head arriving at `node`.
     pub fn hop_arrive(
         &mut self,
-        pkt: Packet,
+        mut pkt: Packet,
         node: NodeId,
         in_dim: Dim,
         now: SimTime,
@@ -380,10 +609,38 @@ impl Fabric {
                 } else {
                     let cur = node.coord(self.dims);
                     let dst_c = dst.node.coord(self.dims);
-                    let link = Route::next_link_from(cur, dst_c, self.dims)
-                        .expect("not yet at destination");
+                    // Source-routed packets follow their precomputed
+                    // detour; everything else routes per hop.
+                    let link = if let Some(sr) = &mut pkt.route {
+                        match sr.steps.get(sr.next as usize).copied() {
+                            Some(l) => {
+                                sr.next += 1;
+                                l
+                            }
+                            None => {
+                                // Route exhausted before reaching dst —
+                                // only possible if tables changed
+                                // mid-flight; count the packet lost.
+                                self.stats.packets_lost += 1;
+                                self.record_error(FabricError::NoRoute { node, dst: dst.node });
+                                return;
+                            }
+                        }
+                    } else {
+                        match Route::next_link_from(cur, dst_c, self.dims) {
+                            Some(l) => l,
+                            None => {
+                                self.stats.packets_lost += 1;
+                                self.record_error(FabricError::NoRoute { node, dst: dst.node });
+                                return;
+                            }
+                        }
+                    };
                     let ready = now + self.timing.transit_ring(in_dim, link.dim);
-                    let start = self.reserve_link(node, link, ready, pkt.payload_bytes);
+                    let Some(start) = self.reserve_link(node, link, ready, pkt.payload_bytes)
+                    else {
+                        return; // lost mid-flight; reserve_link recorded why
+                    };
                     let next = cur.step(link, self.dims).node_id(self.dims);
                     sched.at(
                         start + self.timing.link_head(),
@@ -392,10 +649,11 @@ impl Fabric {
                 }
             }
             Destination::Multicast { pattern, client } => {
-                let entry = self.patterns[node.index()]
-                    .get(&pattern)
-                    .unwrap_or_else(|| panic!("pattern {} unknown at node {}", pattern.0, node.0))
-                    .clone();
+                let Some(entry) = self.patterns[node.index()].get(&pattern).cloned() else {
+                    self.stats.packets_lost += 1;
+                    self.record_error(FabricError::PatternUnknown { pattern, node });
+                    return;
+                };
                 if entry.deliver {
                     let done = now
                         + self.timing.recv_overhead()
@@ -405,7 +663,9 @@ impl Fabric {
                 let cur = node.coord(self.dims);
                 for l in entry.forward {
                     let ready = now + self.timing.transit_ring(in_dim, l.dim);
-                    let start = self.reserve_link(node, l, ready, pkt.payload_bytes);
+                    let Some(start) = self.reserve_link(node, l, ready, pkt.payload_bytes) else {
+                        continue; // this branch's subtree is lost
+                    };
                     let next = cur.step(l, self.dims).node_id(self.dims);
                     sched.at(
                         start + self.timing.link_head(),
@@ -427,6 +687,15 @@ impl Fabric {
         now: SimTime,
         sched: &mut Scheduler<Ev>,
     ) {
+        // End-to-end payload integrity: the CRC computed at construction
+        // must survive the trip. The link layer retransmits corrupted
+        // packets, so a mismatch here means memory corruption beyond the
+        // fault model — discard rather than apply bad data.
+        if pkt.crc != fault::payload_crc(&pkt.payload) {
+            self.stats.delivery_errors += 1;
+            self.record_error(FabricError::CorruptDelivery { node, client });
+            return;
+        }
         self.stats.packets_delivered += 1;
         self.stats.payload_bytes_delivered += pkt.payload_bytes as u64;
         self.stats.delivered_by_node[node.index()] += 1;
@@ -445,14 +714,19 @@ impl Fabric {
                 match &pkt.payload {
                     Payload::I32s(vs) => self.clients[ci].accum.accumulate(pkt.addr, vs),
                     Payload::Empty => {}
-                    other => panic!("accumulation payload must be I32s, got {other:?}"),
+                    _other => {
+                        self.stats.delivery_errors += 1;
+                        self.record_error(FabricError::BadAccumPayload { node, client });
+                        return;
+                    }
                 }
             }
             PacketKind::Fifo => {
-                let fifo = self.clients[ci]
-                    .fifo
-                    .as_mut()
-                    .expect("FIFO packets must target a processing slice");
+                let Some(fifo) = self.clients[ci].fifo.as_mut() else {
+                    self.stats.delivery_errors += 1;
+                    self.record_error(FabricError::FifoToNonSlice { node, client });
+                    return;
+                };
                 fifo.push(pkt);
                 if !self.clients[ci].fifo_service_pending {
                     self.clients[ci].fifo_service_pending = true;
@@ -467,12 +741,20 @@ impl Fabric {
         }
         let counter = match counter {
             Some(c) if c == COUNTER_BY_SOURCE => {
-                Some(*self.clients[ci].source_counters.get(&pkt_src).unwrap_or_else(|| {
-                    panic!(
-                        "COUNTER_BY_SOURCE packet from node {} but no buffer mapping at node {}",
-                        pkt_src.0, node.0
-                    )
-                }))
+                match self.clients[ci].source_counters.get(&pkt_src) {
+                    Some(&mapped) => Some(mapped),
+                    None => {
+                        // The write landed, but no counter can be bumped:
+                        // the program's buffer table is missing an entry.
+                        // The resulting stall is the watchdog's to report.
+                        self.stats.delivery_errors += 1;
+                        self.record_error(FabricError::MissingSourceCounter {
+                            node,
+                            src: pkt_src,
+                        });
+                        None
+                    }
+                }
             }
             other => other,
         };
@@ -622,6 +904,46 @@ impl Fabric {
                 },
             );
         }
+    }
+
+    /// Watchdog deadline expiry: if the watch armed alongside this
+    /// deadline is still pending, record a report naming the stuck
+    /// counter (the simulation keeps running — a later arrival may still
+    /// satisfy the watch).
+    pub fn watchdog_check(
+        &mut self,
+        addr: ClientAddr,
+        id: CounterId,
+        target: u64,
+        now: SimTime,
+    ) {
+        let counters = &self.clients[client_index(addr.node, addr.client)].counters;
+        let current = counters.read(id);
+        if counters.has_watch(id) && current < target {
+            self.watchdog_reports.push(WatchdogReport {
+                node: addr.node,
+                client: addr.client,
+                counter: id,
+                target,
+                current,
+                at: now,
+            });
+        }
+    }
+
+    /// All still-pending counter watches across the machine, as
+    /// `(node, client, counter, target, current)` — the quiescence
+    /// detector's evidence when a run drains without completing.
+    pub fn stuck_watches(&self) -> Vec<(NodeId, ClientKind, CounterId, u64, u64)> {
+        let mut out = Vec::new();
+        for (ci, st) in self.clients.iter().enumerate() {
+            for (id, target) in st.counters.pending_watches() {
+                let node = NodeId((ci / 7) as u32);
+                let client = ClientKind::ALL[ci % 7];
+                out.push((node, client, id, target, st.counters.read(id)));
+            }
+        }
+        out
     }
 
     /// Program the per-source buffer counter table of a client (the HTIS

@@ -13,19 +13,26 @@
 #![warn(missing_docs)]
 
 pub mod fabric;
+pub mod fault;
 pub mod memory;
 pub mod packet;
 pub mod timing;
 pub mod world;
 
-pub use fabric::{Ev, Fabric, NetStats, ProgEvent, FIFO_CAPACITY};
+pub use fabric::{Ev, Fabric, NetStats, ProgEvent, ERROR_LOG_CAP, FIFO_CAPACITY};
+pub use fault::{
+    crc32, payload_crc, Crc32, FabricError, FaultPlan, FaultTarget, PermanentFault, RetryPolicy,
+    TransientFault, WatchdogReport,
+};
 pub use memory::{AccumMemory, LocalMemory, MsgFifo, SyncCounters};
 pub use packet::{
     ClientAddr, ClientKind, CounterId, Destination, Packet, PacketKind, PatternId, Payload,
-    COUNTERS_PER_CLIENT, COUNTER_BY_SOURCE,
+    SourceRoute, COUNTERS_PER_CLIENT, COUNTER_BY_SOURCE,
 };
 pub use timing::{
     Timing, HEADER_BYTES, IN_HEADER_PAYLOAD_BYTES, LINK_EFFECTIVE_GBPS, LINK_RAW_GBPS,
     MAX_PAYLOAD_BYTES, RING_GBPS, WIRE_ENCODING_FACTOR,
 };
-pub use world::{Ctx, NodeProgram, SimWorld, Simulation};
+pub use world::{
+    Ctx, NodeProgram, RunReport, SimWorld, Simulation, StallReport, StuckWatch,
+};

@@ -203,6 +203,16 @@ impl SyncCounters {
     pub fn has_watch(&self, id: CounterId) -> bool {
         self.watches[id.0 as usize].is_some()
     }
+
+    /// All pending watches as `(counter, target)` pairs — the stall
+    /// watchdog's view of what this client is still waiting for.
+    pub fn pending_watches(&self) -> Vec<(CounterId, u64)> {
+        self.watches
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.map(|t| (CounterId(i as u16), t)))
+            .collect()
+    }
 }
 
 /// The hardware-managed circular message FIFO in each processing slice's

@@ -196,6 +196,26 @@ pub struct Packet {
     pub in_order: bool,
     /// Application tag dispatched back to the receiving node program.
     pub tag: u64,
+    /// End-to-end payload integrity checksum, computed at construction
+    /// ([`crate::fault::payload_crc`]) and verified on delivery. The link
+    /// layer additionally CRCs every traversal; this one catches anything
+    /// that slips through.
+    pub crc: u32,
+    /// Source route installed by the fabric when permanent link failures
+    /// are active: the precomputed surviving path and the index of the
+    /// next step to take. `None` routes dimension-ordered per hop, as the
+    /// healthy hardware does.
+    pub route: Option<SourceRoute>,
+}
+
+/// A packet-carried route around permanently dead links (fault runs
+/// only; healthy fabrics never set this).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceRoute {
+    /// The full step sequence, shared between clones of the packet.
+    pub steps: std::sync::Arc<Vec<anton_topo::LinkDir>>,
+    /// Index of the next step to take.
+    pub next: u32,
 }
 
 impl Packet {
@@ -209,10 +229,12 @@ impl Packet {
             kind: PacketKind::Write,
             addr,
             payload_bytes: bytes,
+            crc: crate::fault::payload_crc(&payload),
             payload,
             counter: None,
             in_order: false,
             tag: 0,
+            route: None,
         }
     }
 
@@ -231,10 +253,12 @@ impl Packet {
             kind: PacketKind::Accumulate,
             addr,
             payload_bytes: bytes,
+            crc: crate::fault::payload_crc(&payload),
             payload,
             counter: None,
             in_order: false,
             tag: 0,
+            route: None,
         }
     }
 
@@ -248,10 +272,12 @@ impl Packet {
             kind: PacketKind::Fifo,
             addr: 0,
             payload_bytes: bytes,
+            crc: crate::fault::payload_crc(&payload),
             payload,
             counter: None,
             in_order: false,
             tag: 0,
+            route: None,
         }
     }
 

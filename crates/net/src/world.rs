@@ -8,11 +8,13 @@
 //! poll a counter, process, push results onward.
 
 use crate::fabric::{Ev, Fabric, ProgEvent};
+use crate::fault::WatchdogReport;
 use crate::packet::{ClientAddr, ClientKind, CounterId, Packet, Payload};
 use anton_des::{
     Activity, Engine, EventHandler, RunOutcome, Scheduler, SimDuration, SimTime, TrackId,
 };
 use anton_topo::{NodeId, TorusDims};
+use std::fmt;
 
 /// Per-node application logic.
 pub trait NodeProgram {
@@ -61,6 +63,23 @@ impl<'a, 'b> Ctx<'a, 'b> {
     pub fn watch_counter(&mut self, addr: ClientAddr, id: CounterId, target: u64) {
         let now = self.sched.now();
         self.fabric.counter_watch(addr, id, target, now, self.sched);
+    }
+
+    /// Watch a counter with a stall deadline: like [`Ctx::watch_counter`],
+    /// plus a watchdog check `deadline` from now. If the watch is still
+    /// pending when the deadline strikes (e.g. the counted packet was
+    /// lost), a [`WatchdogReport`] naming the stuck counter is recorded on
+    /// the fabric; the simulation continues either way.
+    pub fn watch_counter_deadline(
+        &mut self,
+        addr: ClientAddr,
+        id: CounterId,
+        target: u64,
+        deadline: SimDuration,
+    ) {
+        self.watch_counter(addr, id, target);
+        self.sched
+            .after(deadline, Ev::WatchdogCheck { addr, counter: id, target });
     }
 
     /// Read a counter's current value.
@@ -207,6 +226,96 @@ impl<P: NodeProgram> EventHandler<Ev> for SimWorld<P> {
             Ev::Prog { node, pe } => {
                 self.dispatch(node, pe, sched);
             }
+            Ev::WatchdogCheck { addr, counter, target } => {
+                let now = sched.now();
+                self.fabric.watchdog_check(addr, counter, target, now);
+            }
+        }
+    }
+}
+
+/// One still-pending counter watch at the end of a guarded run: evidence
+/// of who is stuck waiting for what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckWatch {
+    /// Node owning the stuck counter.
+    pub node: NodeId,
+    /// Client owning the stuck counter.
+    pub client: ClientKind,
+    /// The watched counter.
+    pub counter: CounterId,
+    /// The value the watch waits for.
+    pub target: u64,
+    /// The value it reached.
+    pub current: u64,
+}
+
+impl fmt::Display for StuckWatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node {} {:?} counter {} stuck at {}/{}",
+            self.node.0, self.client, self.counter.0, self.current, self.target
+        )
+    }
+}
+
+/// Diagnosis of a run that failed to complete: why the engine stopped,
+/// when, which watches were still pending (the quiescence detector), and
+/// every watchdog deadline that expired along the way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallReport {
+    /// How the engine stopped (drained-but-stuck, horizon, or budget).
+    pub outcome: RunOutcome,
+    /// Simulated time when it stopped.
+    pub at: SimTime,
+    /// Watches still pending — the programs that never got their data.
+    pub stuck: Vec<StuckWatch>,
+    /// Watchdog deadlines that expired during the run.
+    pub watchdog: Vec<WatchdogReport>,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "simulation stalled ({:?} at {}): {} stuck watch(es), {} watchdog report(s)",
+            self.outcome,
+            self.at,
+            self.stuck.len(),
+            self.watchdog.len()
+        )?;
+        for s in &self.stuck {
+            writeln!(f, "  stuck: {s}")?;
+        }
+        for w in &self.watchdog {
+            writeln!(f, "  {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of [`Simulation::run_guarded`]: either the run completed (all
+/// watches satisfied before quiescence) or it stalled with a diagnosis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunReport {
+    /// The run completed; no watch was left pending.
+    Completed(RunOutcome),
+    /// The run did not complete; here is why.
+    Stalled(StallReport),
+}
+
+impl RunReport {
+    /// Whether the run completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunReport::Completed(_))
+    }
+
+    /// The stall diagnosis, if the run stalled.
+    pub fn stall(&self) -> Option<&StallReport> {
+        match self {
+            RunReport::Completed(_) => None,
+            RunReport::Stalled(s) => Some(s),
         }
     }
 }
@@ -238,6 +347,40 @@ impl<P: NodeProgram> Simulation<P> {
     /// Run with a horizon and event budget.
     pub fn run_until(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
         self.engine.run_until(&mut self.world, horizon, max_events)
+    }
+
+    /// Run with a horizon and event budget, then diagnose: a run counts
+    /// as completed only if the event queue drained with *no* counter
+    /// watch left pending. Anything else — queue drained but programs
+    /// still waiting (a lost packet starved them), horizon reached,
+    /// budget exhausted — yields a [`StallReport`] naming every stuck
+    /// counter and expired watchdog deadline instead of hanging or
+    /// panicking.
+    pub fn run_guarded(&mut self, horizon: SimTime, max_events: u64) -> RunReport {
+        let outcome = self.run_until(horizon, max_events);
+        let stuck: Vec<StuckWatch> = self
+            .world
+            .fabric
+            .stuck_watches()
+            .into_iter()
+            .map(|(node, client, counter, target, current)| StuckWatch {
+                node,
+                client,
+                counter,
+                target,
+                current,
+            })
+            .collect();
+        if outcome == RunOutcome::Drained && stuck.is_empty() {
+            RunReport::Completed(outcome)
+        } else {
+            RunReport::Stalled(StallReport {
+                outcome,
+                at: self.now(),
+                stuck,
+                watchdog: self.world.fabric.watchdog_reports().to_vec(),
+            })
+        }
     }
 
     /// Current simulated time.

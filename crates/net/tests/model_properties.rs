@@ -2,8 +2,8 @@
 //! the fabric's guard rails.
 
 use anton_net::{
-    ClientAddr, ClientKind, CounterId, Ctx, Fabric, NodeProgram, Packet, PatternId, Payload,
-    ProgEvent, Simulation, Timing,
+    ClientAddr, ClientKind, CounterId, Ctx, Fabric, FabricError, NodeProgram, Packet, PatternId,
+    Payload, ProgEvent, Simulation, Timing,
 };
 use anton_topo::{Coord, MulticastPattern, NodeId, TorusDims};
 use proptest::prelude::*;
@@ -86,10 +86,12 @@ impl NodeProgram for BadProgram {
                     kind: anton_net::PacketKind::Write,
                     addr: 0,
                     payload_bytes: 0,
+                    crc: anton_net::payload_crc(&Payload::Empty),
                     payload: Payload::Empty,
                     counter: None,
                     in_order: false,
                     tag: 0,
+                    route: None,
                 };
                 ctx.send(pkt);
             }
@@ -115,10 +117,11 @@ impl NodeProgram for BadProgram {
     }
 }
 
-fn run_bad(mode: u8) {
+fn run_bad(mode: u8) -> Simulation<BadProgram> {
     let dims = TorusDims::new(2, 1, 1);
     let mut sim = Simulation::new(Fabric::new(dims), move |_| BadProgram { mode });
     sim.run();
+    sim
 }
 
 #[test]
@@ -133,16 +136,34 @@ fn accumulation_memory_cannot_send() {
     run_bad(1);
 }
 
+/// A COUNTER_BY_SOURCE packet with no buffer table is recorded as a
+/// recoverable error on the hot deliver path, not a panic: the write
+/// lands, no counter bumps, and the stall is the watchdog's to report.
 #[test]
-#[should_panic(expected = "no buffer mapping")]
-fn by_source_counter_requires_a_mapping() {
-    run_bad(2);
+fn by_source_counter_without_mapping_is_recorded() {
+    let sim = run_bad(2);
+    let fabric = &sim.world.fabric;
+    assert_eq!(fabric.stats.delivery_errors, 1);
+    assert!(matches!(
+        fabric.errors(),
+        [FabricError::MissingSourceCounter { node: NodeId(1), src: NodeId(0) }]
+    ));
+    // The write itself was applied.
+    assert_eq!(fabric.stats.packets_delivered, 1);
 }
 
+/// A multicast referencing an unregistered pattern is dropped at the
+/// source with a recorded error, not a panic.
 #[test]
-#[should_panic(expected = "unknown at source")]
-fn unregistered_multicast_pattern_panics() {
-    run_bad(3);
+fn unregistered_multicast_pattern_is_recorded() {
+    let sim = run_bad(3);
+    let fabric = &sim.world.fabric;
+    assert_eq!(fabric.stats.packets_unreachable, 1);
+    assert_eq!(fabric.stats.packets_delivered, 0);
+    assert!(matches!(
+        fabric.errors(),
+        [FabricError::PatternUnknown { pattern: PatternId(99), node: NodeId(0) }]
+    ));
 }
 
 #[test]

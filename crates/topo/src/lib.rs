@@ -18,4 +18,4 @@ pub mod route;
 pub use coords::{hop_count, hops_by_dim, wrap_step, Coord, Dim, Dir, LinkDir, NodeId, TorusDims};
 pub use multicast::{MulticastPattern, PatternEntry, MAX_PATTERNS_PER_NODE};
 pub use neighbors::{face_neighbors, moore_neighbors, offset};
-pub use route::Route;
+pub use route::{LinkMask, Route, RouteError};

@@ -5,8 +5,116 @@
 //! each torus dimension"). Dimension-ordered routing on a torus with two
 //! virtual channels is deadlock-free; we model the route itself here and
 //! let `anton-net` handle channel occupancy.
+//!
+//! For fault experiments, [`Route::compute_avoiding`] routes around a
+//! [`LinkMask`] of permanently dead links: it first tries dimension-ordered
+//! routing with a per-ring way choice (short way if alive, else the long
+//! way around), then falls back to a deterministic breadth-first search
+//! over the surviving links, and reports [`RouteError::Unreachable`] when
+//! no path exists instead of panicking.
+
+use std::collections::VecDeque;
+use std::fmt;
 
 use crate::coords::{hop_count, wrap_step, Coord, Dim, LinkDir, TorusDims};
+
+/// Set of permanently failed unidirectional links, indexed by
+/// `node_id * 6 + link_dir` exactly like the network model's per-link
+/// tables. An empty mask is the fault-free fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkMask {
+    dims: TorusDims,
+    dead: Vec<bool>,
+    dead_count: usize,
+}
+
+impl LinkMask {
+    /// A mask with every link alive.
+    pub fn none(dims: TorusDims) -> LinkMask {
+        LinkMask {
+            dims,
+            dead: vec![false; dims.node_count() as usize * 6],
+            dead_count: 0,
+        }
+    }
+
+    /// The torus this mask describes.
+    pub fn dims(&self) -> TorusDims {
+        self.dims
+    }
+
+    #[inline]
+    fn idx(&self, node: Coord, link: LinkDir) -> usize {
+        node.node_id(self.dims).index() * 6 + link.index()
+    }
+
+    /// Kill one unidirectional link (traffic leaving `node` via `link`).
+    pub fn kill_link(&mut self, node: Coord, link: LinkDir) {
+        let i = self.idx(node, link);
+        if !self.dead[i] {
+            self.dead[i] = true;
+            self.dead_count += 1;
+        }
+    }
+
+    /// Kill a physical cable: both directions between `node` and its
+    /// neighbor along `link`.
+    pub fn kill_cable(&mut self, node: Coord, link: LinkDir) {
+        self.kill_link(node, link);
+        let neighbor = node.step(link, self.dims);
+        self.kill_link(neighbor, link.reverse());
+    }
+
+    /// Kill every link touching `node` (all six outgoing and all six
+    /// incoming), isolating it from the fabric.
+    pub fn kill_node(&mut self, node: Coord) {
+        for &l in &LinkDir::ALL {
+            self.kill_cable(node, l);
+        }
+    }
+
+    /// Is the unidirectional link leaving `node` via `link` dead?
+    #[inline]
+    pub fn is_dead(&self, node: Coord, link: LinkDir) -> bool {
+        self.dead[self.idx(node, link)]
+    }
+
+    /// Does the mask contain any dead link at all? Routing takes the
+    /// fault-free fast path when this is false.
+    #[inline]
+    pub fn any_dead(&self) -> bool {
+        self.dead_count > 0
+    }
+
+    /// Number of dead unidirectional links.
+    pub fn dead_links(&self) -> usize {
+        self.dead_count
+    }
+}
+
+/// Routing failure in the presence of permanent link faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No path of surviving links connects `src` to `dst`.
+    Unreachable {
+        /// Route source.
+        src: Coord,
+        /// Route destination.
+        dst: Coord,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Unreachable { src, dst } => {
+                write!(f, "no surviving path from {src} to {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// A fully materialized route: the sequence of link directions taken.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +182,135 @@ impl Route {
         }
         None
     }
+
+    /// Compute a route from `src` to `dst` that avoids every dead link in
+    /// `mask`.
+    ///
+    /// With an all-alive mask this returns exactly [`Route::compute`]'s
+    /// route (the fault-free path is bit-identical, so an empty mask is
+    /// zero-cost for determinism). Otherwise it first tries
+    /// dimension-ordered routing where each ring may take the long way
+    /// around a dead segment, and falls back to a deterministic BFS over
+    /// surviving links when dimension order alone cannot get through.
+    pub fn compute_avoiding(
+        src: Coord,
+        dst: Coord,
+        dims: TorusDims,
+        mask: &LinkMask,
+    ) -> Result<Route, RouteError> {
+        if !mask.any_dead() {
+            return Ok(Route::compute(src, dst, dims));
+        }
+        if let Some(steps) = dimension_ordered_avoiding(src, dst, dims, mask) {
+            return Ok(Route { src, dst, steps });
+        }
+        match bfs_avoiding(src, dst, dims, mask) {
+            Some(steps) => Ok(Route { src, dst, steps }),
+            None => Err(RouteError::Unreachable { src, dst }),
+        }
+    }
+}
+
+/// Dimension-ordered routing with a per-ring way choice: along each axis
+/// take the short way if all its links survive, else the long way around;
+/// `None` if some axis is blocked both ways.
+fn dimension_ordered_avoiding(
+    src: Coord,
+    dst: Coord,
+    dims: TorusDims,
+    mask: &LinkMask,
+) -> Option<Vec<LinkDir>> {
+    let mut steps = Vec::new();
+    let mut cur = src;
+    for &dim in &Dim::ALL {
+        let len = dims.len(dim);
+        let (n_short, dir_short) = wrap_step(cur.get(dim), dst.get(dim), len);
+        if n_short == 0 {
+            continue;
+        }
+        // Try the short way first, then the long way around the ring.
+        let candidates = [
+            (n_short, dir_short),
+            (len - n_short, dir_short.opposite()),
+        ];
+        let mut advanced = false;
+        for &(n, dir) in &candidates {
+            let link = LinkDir { dim, dir };
+            let mut probe = cur;
+            let mut alive = true;
+            for _ in 0..n {
+                if mask.is_dead(probe, link) {
+                    alive = false;
+                    break;
+                }
+                probe = probe.step(link, dims);
+            }
+            if alive {
+                for _ in 0..n {
+                    steps.push(link);
+                    cur = cur.step(link, dims);
+                }
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return None;
+        }
+    }
+    debug_assert_eq!(cur, dst);
+    Some(steps)
+}
+
+/// Deterministic breadth-first search over surviving links. Neighbors are
+/// expanded in `LinkDir::ALL` order and nodes dequeued FIFO, so the result
+/// is a shortest surviving path and identical run over run.
+fn bfs_avoiding(
+    src: Coord,
+    dst: Coord,
+    dims: TorusDims,
+    mask: &LinkMask,
+) -> Option<Vec<LinkDir>> {
+    if src == dst {
+        return Some(Vec::new());
+    }
+    let n = dims.node_count() as usize;
+    // parent[v] = link taken *into* v, or None if unvisited (src is its
+    // own marker via `visited`).
+    let mut parent: Vec<Option<LinkDir>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    visited[src.node_id(dims).index()] = true;
+    queue.push_back(src);
+    while let Some(cur) = queue.pop_front() {
+        for &link in &LinkDir::ALL {
+            if mask.is_dead(cur, link) {
+                continue;
+            }
+            let next = cur.step(link, dims);
+            let ni = next.node_id(dims).index();
+            if visited[ni] {
+                continue;
+            }
+            visited[ni] = true;
+            parent[ni] = Some(link);
+            if next == dst {
+                // Reconstruct by walking parents back to src.
+                let mut steps = Vec::new();
+                let mut node = next;
+                while node != src {
+                    let link = parent[node.node_id(dims).index()]
+                        .expect("visited non-src node has a parent link");
+                    steps.push(link);
+                    node = node.step(link.reverse(), dims);
+                }
+                steps.reverse();
+                return Some(steps);
+            }
+            queue.push_back(next);
+        }
+    }
+    None
 }
 
 /// Convenience: hop count via route computation must equal the closed-form
@@ -85,6 +322,7 @@ pub fn route_hops(src: Coord, dst: Coord, dims: TorusDims) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coords::Dir;
     use proptest::prelude::*;
 
     #[test]
@@ -155,6 +393,141 @@ mod tests {
             let a = crate::coords::NodeId((seed % n) as u32).coord(dims);
             let b = crate::coords::NodeId(((seed * 31) % n) as u32).coord(dims);
             prop_assert!(hop_count(a, b, dims) <= dims.max_hops());
+        }
+    }
+
+    /// Walk a route's steps from src checking every link survives `mask`.
+    fn assert_route_valid(r: &Route, dims: TorusDims, mask: &LinkMask) {
+        let mut cur = r.src();
+        for &s in r.steps() {
+            assert!(!mask.is_dead(cur, s), "route crosses dead link {s} at {cur}");
+            cur = cur.step(s, dims);
+        }
+        assert_eq!(cur, r.dst(), "route must end at its destination");
+    }
+
+    #[test]
+    fn empty_mask_reproduces_fault_free_route() {
+        let dims = TorusDims::new(8, 8, 8);
+        let mask = LinkMask::none(dims);
+        for (a, b) in [
+            (Coord::new(0, 0, 0), Coord::new(2, 3, 1)),
+            (Coord::new(7, 0, 0), Coord::new(1, 0, 0)),
+            (Coord::new(3, 3, 3), Coord::new(3, 3, 3)),
+        ] {
+            let plain = Route::compute(a, b, dims);
+            let avoided = Route::compute_avoiding(a, b, dims, &mask).unwrap();
+            assert_eq!(plain, avoided, "empty mask must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn dead_link_takes_the_long_way_around() {
+        let dims = TorusDims::new(8, 8, 8);
+        let src = Coord::new(0, 0, 0);
+        let dst = Coord::new(2, 0, 0);
+        let mut mask = LinkMask::none(dims);
+        // Kill the first X+ hop out of the source; short way is blocked.
+        mask.kill_cable(src, LinkDir { dim: Dim::X, dir: Dir::Plus });
+        let r = Route::compute_avoiding(src, dst, dims, &mask).unwrap();
+        assert_route_valid(&r, dims, &mask);
+        // Long way around the 8-ring: 6 X− hops.
+        assert_eq!(r.hops(), 6);
+        assert!(r.steps().iter().all(|s| s.dim == Dim::X && s.dir == Dir::Minus));
+    }
+
+    #[test]
+    fn blocked_ring_falls_back_to_bfs_detour() {
+        let dims = TorusDims::new(4, 4, 4);
+        let src = Coord::new(0, 0, 0);
+        let dst = Coord::new(1, 0, 0);
+        let mut mask = LinkMask::none(dims);
+        // Sever the entire x-ring at y=0, z=0 in both directions: the only
+        // way from (0,0,0) to (1,0,0) is to leave the ring (e.g. via Y).
+        for x in 0..4 {
+            mask.kill_cable(Coord::new(x, 0, 0), LinkDir { dim: Dim::X, dir: Dir::Plus });
+        }
+        let r = Route::compute_avoiding(src, dst, dims, &mask).unwrap();
+        assert_route_valid(&r, dims, &mask);
+        // BFS shortest detour: step off the ring, across, and back = 3 hops.
+        assert_eq!(r.hops(), 3);
+    }
+
+    #[test]
+    fn isolated_node_is_unreachable_not_a_panic() {
+        let dims = TorusDims::new(4, 4, 4);
+        let dead = Coord::new(2, 2, 2);
+        let mut mask = LinkMask::none(dims);
+        mask.kill_node(dead);
+        let err = Route::compute_avoiding(Coord::new(0, 0, 0), dead, dims, &mask).unwrap_err();
+        assert_eq!(err, RouteError::Unreachable { src: Coord::new(0, 0, 0), dst: dead });
+        // Routes between other nodes still work around the hole.
+        let r = Route::compute_avoiding(
+            Coord::new(1, 2, 2),
+            Coord::new(3, 2, 2),
+            dims,
+            &mask,
+        )
+        .unwrap();
+        assert_route_valid(&r, dims, &mask);
+    }
+
+    #[test]
+    fn kill_cable_kills_both_directions() {
+        let dims = TorusDims::new(8, 8, 8);
+        let mut mask = LinkMask::none(dims);
+        let node = Coord::new(1, 2, 3);
+        let link = LinkDir { dim: Dim::Y, dir: Dir::Minus };
+        mask.kill_cable(node, link);
+        assert!(mask.is_dead(node, link));
+        assert!(mask.is_dead(node.step(link, dims), link.reverse()));
+        assert_eq!(mask.dead_links(), 2);
+        assert!(mask.any_dead());
+    }
+
+    proptest! {
+        /// With random cable kills, `compute_avoiding` either returns a
+        /// route that crosses only live links and ends at the destination,
+        /// or a well-formed Unreachable error — never a panic.
+        #[test]
+        fn avoiding_routes_are_valid_or_unreachable(
+            seed in 0u64..10_000,
+            kills in 0usize..40,
+        ) {
+            let dims = TorusDims::new(4, 4, 4);
+            let n = dims.node_count() as u64;
+            let mut mask = LinkMask::none(dims);
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for _ in 0..kills {
+                let node = crate::coords::NodeId((next() % n) as u32).coord(dims);
+                let link = LinkDir::from_index((next() % 6) as usize);
+                mask.kill_cable(node, link);
+            }
+            let a = crate::coords::NodeId((next() % n) as u32).coord(dims);
+            let b = crate::coords::NodeId((next() % n) as u32).coord(dims);
+            match Route::compute_avoiding(a, b, dims, &mask) {
+                Ok(r) => {
+                    prop_assert_eq!(r.src(), a);
+                    prop_assert_eq!(r.dst(), b);
+                    let mut cur = a;
+                    for &s in r.steps() {
+                        prop_assert!(!mask.is_dead(cur, s));
+                        cur = cur.step(s, dims);
+                    }
+                    prop_assert_eq!(cur, b);
+                }
+                Err(RouteError::Unreachable { src, dst }) => {
+                    prop_assert_eq!(src, a);
+                    prop_assert_eq!(dst, b);
+                    prop_assert!(mask.any_dead(), "fault-free fabric is connected");
+                }
+            }
         }
     }
 }
