@@ -63,10 +63,14 @@ fn main() {
         let mut config = AntonConfig::new(md);
         config.fault = plan(rate);
         let mut eng = AntonMdEngine::new(sys, config, md_dims);
+        // `stats_total` is cumulative over every DES run (the bootstrap
+        // force evaluation included); diff against a snapshot so the
+        // reported retransmits cover exactly the swept step.
+        let after_bootstrap = eng.stats_total.clone();
         let (md_us, retransmits) = match eng.try_step() {
             Ok(t) => {
-                let s = eng.last_stats.as_ref().expect("stats recorded");
-                (Some(t.total.as_us_f64()), s.retransmits)
+                let step_stats = eng.stats_total.diff(&after_bootstrap);
+                (Some(t.total.as_us_f64()), step_stats.retransmits)
             }
             Err(stall) => {
                 println!("  MD step stalled at rate {rate}:\n{stall}");

@@ -35,35 +35,15 @@ fn main() {
         );
         // Per-track utilization summary (the paper's observation: links
         // are busy much of the step; cores spend significant time
-        // waiting for data).
-        for (track, name) in [
-            (0u16, "X+ links"),
-            (1, "X- links"),
-            (2, "Y+ links"),
-            (3, "Y- links"),
-            (4, "Z+ links"),
-            (5, "Z- links"),
-            (6, "TS cores"),
-            (7, "GC cores"),
-            (8, "HTIS units"),
-        ] {
-            let busy = tracer.busy_time(
-                anton_des::TrackId(track),
-                SimTime::ZERO,
-                SimTime::ZERO + t.total,
-            );
-            // Aggregated over 512 units (or 512×4 slices etc.); report
-            // mean utilization per unit.
-            let units = match track {
-                0..=5 => 512.0,
-                6 | 7 => 2048.0,
-                _ => 512.0,
-            };
-            println!(
-                "    {:>10}: {:>6.1}% mean utilization",
-                name,
-                busy.as_us_f64() / units / t.total.as_us_f64() * 100.0
-            );
+        // waiting for data). Tracks, names, and unit counts all come
+        // from the tracer's own label table — nothing hardcoded here.
+        let tracks: Vec<(anton_des::TrackId, String)> = tracer
+            .tracks()
+            .map(|(id, name)| (id, name.to_string()))
+            .collect();
+        for (track, name) in tracks {
+            let util = tracer.utilization(track, SimTime::ZERO, SimTime::ZERO + t.total);
+            println!("    {name:>10}: {:>6.1}% mean utilization", util * 100.0);
         }
         println!();
         if label == "long-range step" {

@@ -1,37 +1,76 @@
 //! Figure 6: the component-by-component breakdown of the 162 ns
-//! single-hop counted-remote-write latency, cross-checked against the
-//! end-to-end DES measurement.
+//! single-hop counted-remote-write latency — regenerated from *measured*
+//! packet lifecycles captured by the flight recorder, then cross-checked
+//! against the closed-form timing model.
 
-use anton_bench::one_way_latency;
+use anton_bench::one_way_latency_recorded;
 use anton_bench::report::section;
 use anton_net::Timing;
+use anton_obs::{fold_lifecycles, BreakdownSummary, Stage};
 use anton_topo::{Coord, TorusDims};
 
 fn main() {
     let t = Timing::default();
     section("Figure 6: single-hop (X) counted remote write latency breakdown");
-    let rows = [
-        ("write packet send initiated in processing slice", t.send_setup_ns),
-        ("2 send-side on-chip router hops", t.send_ring_ns),
-        ("X+ link adapter (incl. torus wire)", t.adapter_ns),
-        ("X- link adapter", t.adapter_ns),
-        ("3 receive-side on-chip router hops", t.recv_ring_ns),
-        ("delivery to slice memory + successful poll", t.deliver_poll_ns),
-    ];
-    let mut total = 0.0;
-    for (label, ns) in rows {
-        println!("{label:>48}: {ns:>5.0} ns");
-        total += ns;
-    }
-    println!("{:>48}: {total:>5.0} ns", "TOTAL (paper: 162 ns)");
 
+    // Record a unidirectional single-hop ping-pong; every one-way
+    // transfer is one packet lifecycle in the recorder.
     let dims = TorusDims::anton_512();
-    let measured = one_way_latency(dims, Coord::new(0, 0, 0), Coord::new(1, 0, 0), 0, false, 8);
+    let (measured, rec) =
+        one_way_latency_recorded(dims, Coord::new(0, 0, 0), Coord::new(1, 0, 0), 0, false, 8);
+    let rec = rec.borrow();
+    let (lifecycles, fold) = fold_lifecycles(rec.events());
+    let summary = BreakdownSummary::from_lifecycles(&lifecycles);
+
+    // The paper's six rows, folded into the recorder's five stages.
+    let analytic: [(Stage, &str, f64); 5] = [
+        (
+            Stage::SenderOverhead,
+            "write packet send initiated in processing slice",
+            t.send_setup_ns,
+        ),
+        (Stage::Injection, "2 send-side on-chip router hops", t.send_ring_ns),
+        (
+            Stage::RouterWire,
+            "X+ and X- link adapters (incl. torus wire)",
+            2.0 * t.adapter_ns,
+        ),
+        (
+            Stage::Delivery,
+            "3 receive-side router hops + delivery to memory + poll",
+            t.recv_ring_ns + t.deliver_poll_ns,
+        ),
+        (Stage::Sync, "counter visibility past delivery", 0.0),
+    ];
+
+    println!(
+        "{} packet lifecycles recorded ({} incomplete, {} multicast skipped)\n",
+        summary.packets, fold.incomplete, fold.multicast
+    );
+    println!("{:>56}  {:>8}  {:>8}", "stage", "measured", "analytic");
+    let mut total = 0.0;
+    for (stage, label, ns) in analytic {
+        let m = summary.mean_ns(stage);
+        println!("{label:>56}: {m:>5.0} ns  {ns:>5.0} ns");
+        total += ns;
+        assert!(
+            (m - ns).abs() <= 0.01 * ns.max(1.0),
+            "stage '{}': measured {m} ns vs analytic {ns} ns",
+            stage.name()
+        );
+    }
+    let mean_e2e = summary.mean_end_to_end_ns();
+    println!("{:>56}: {mean_e2e:>5.0} ns  {total:>5.0} ns", "TOTAL (paper: 162 ns)");
+
+    // Measured-vs-analytic agreement, within 1% (acceptance criterion).
+    let rel = (mean_e2e - total).abs() / total;
+    assert!(rel < 0.01, "measured {mean_e2e} ns vs analytic {total} ns ({:.2}%)", rel * 100.0);
+    assert_eq!(measured.as_ns_f64().round() as u64, total.round() as u64);
+
     println!(
         "\nend-to-end DES measurement of the same transfer: {:.0} ns",
         measured.as_ns_f64()
     );
-    assert_eq!(measured.as_ns_f64().round() as u64, total.round() as u64);
     println!("bandwidth context: off-chip link {} Gbit/s raw ({} Gbit/s effective data), on-chip ring {} Gbit/s",
         anton_net::LINK_RAW_GBPS, anton_net::LINK_EFFECTIVE_GBPS, anton_net::RING_GBPS);
 }

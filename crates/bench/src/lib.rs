@@ -13,6 +13,7 @@ pub mod report;
 
 pub use microbench::{
     multicast_vs_unicast, neighbor_exchange, one_way_latency, one_way_latency_faulty,
-    one_way_latency_local, split_transfer_time, streaming_bandwidth_gbps, ExchangeOutcome,
+    one_way_latency_local, one_way_latency_recorded, split_transfer_time,
+    streaming_bandwidth_gbps, ExchangeOutcome,
     ExchangeStyle,
 };

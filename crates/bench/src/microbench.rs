@@ -112,11 +112,55 @@ pub fn one_way_latency_faulty(
     iters: u32,
     fault: FaultPlan,
 ) -> Option<SimDuration> {
+    ping_pong_run(dims, src, dst, payload_bytes, bidirectional, iters, fault, None)
+}
+
+/// [`one_way_latency`] with a packet flight recorder installed on the
+/// fabric: returns the measured latency plus the recorder holding every
+/// packet lifecycle of the run. Recording must not perturb timing — the
+/// returned latency is bit-identical to the unrecorded run.
+pub fn one_way_latency_recorded(
+    dims: TorusDims,
+    src: Coord,
+    dst: Coord,
+    payload_bytes: u32,
+    bidirectional: bool,
+    iters: u32,
+) -> (SimDuration, anton_obs::SharedFlightRecorder) {
+    let rec = anton_obs::FlightRecorder::new().into_shared();
+    let lat = ping_pong_run(
+        dims,
+        src,
+        dst,
+        payload_bytes,
+        bidirectional,
+        iters,
+        FaultPlan::none(),
+        Some(Box::new(rec.clone())),
+    )
+    .expect("fault-free ping-pong completes");
+    (lat, rec)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ping_pong_run(
+    dims: TorusDims,
+    src: Coord,
+    dst: Coord,
+    payload_bytes: u32,
+    bidirectional: bool,
+    iters: u32,
+    fault: FaultPlan,
+    recorder: Option<Box<dyn anton_obs::Recorder>>,
+) -> Option<SimDuration> {
     assert!(iters >= 1);
     let finished = Rc::new(RefCell::new(vec![None; 2]));
     let f2 = finished.clone();
     let (a, b) = (src.node_id(dims), dst.node_id(dims));
-    let fabric = Fabric::with_faults(dims, anton_net::Timing::default(), fault);
+    let mut fabric = Fabric::with_faults(dims, anton_net::Timing::default(), fault);
+    if let Some(rec) = recorder {
+        fabric.set_recorder(rec);
+    }
     let mut sim = Simulation::new(fabric, move |_| PingPong {
         peer_of: [(a, b), (b, a)],
         payload_bytes,
@@ -647,6 +691,20 @@ mod tests {
         let dims = TorusDims::anton_512();
         let d = one_way_latency(dims, Coord::new(0, 0, 0), Coord::new(1, 0, 0), 0, false, 4);
         assert_eq!(d, SimDuration::from_ns(162));
+    }
+
+    #[test]
+    fn recorder_does_not_perturb_timing() {
+        // Observer effect guard: installing the flight recorder must not
+        // change simulated time by a single picosecond, and the disabled
+        // path must still reproduce the paper's 162 ns.
+        let dims = TorusDims::anton_512();
+        let plain = one_way_latency(dims, Coord::new(0, 0, 0), Coord::new(1, 0, 0), 0, false, 4);
+        let (recorded, rec) =
+            one_way_latency_recorded(dims, Coord::new(0, 0, 0), Coord::new(1, 0, 0), 0, false, 4);
+        assert_eq!(plain, recorded);
+        assert_eq!(plain, SimDuration::from_ns(162));
+        assert!(!rec.borrow().is_empty(), "recorder captured events");
     }
 
     #[test]

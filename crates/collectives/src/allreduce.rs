@@ -390,6 +390,32 @@ pub fn run_all_reduce_faulty(
     inputs: &[Vec<f64>],
     fault: FaultPlan,
 ) -> Option<AllReduceOutcome> {
+    run_all_reduce_inner(dims, algorithm, params, inputs, fault, None)
+}
+
+/// Fault-free all-reduce with a packet-lifecycle recorder installed on
+/// the fabric — every inject, link reservation, hop, delivery, and
+/// counter update of the collective lands in the recorder (pass a
+/// [`anton_obs::SharedFlightRecorder`] clone to keep a read handle).
+pub fn run_all_reduce_recorded(
+    dims: TorusDims,
+    algorithm: Algorithm,
+    params: CollectiveParams,
+    inputs: &[Vec<f64>],
+    recorder: Box<dyn anton_obs::Recorder>,
+) -> AllReduceOutcome {
+    run_all_reduce_inner(dims, algorithm, params, inputs, FaultPlan::none(), Some(recorder))
+        .expect("fault-free all-reduce completes")
+}
+
+fn run_all_reduce_inner(
+    dims: TorusDims,
+    algorithm: Algorithm,
+    params: CollectiveParams,
+    inputs: &[Vec<f64>],
+    fault: FaultPlan,
+    recorder: Option<Box<dyn anton_obs::Recorder>>,
+) -> Option<AllReduceOutcome> {
     let n = dims.node_count() as usize;
     assert_eq!(inputs.len(), n, "one input vector per node");
     let values = inputs[0].len();
@@ -397,6 +423,9 @@ pub fn run_all_reduce_faulty(
     let payload_bytes = (values * 8) as u32;
 
     let mut fabric = Fabric::with_faults(dims, anton_net::Timing::default(), fault);
+    if let Some(rec) = recorder {
+        fabric.set_recorder(rec);
+    }
     if algorithm == Algorithm::DimensionOrdered {
         for &dim in &Dim::ALL {
             if dims.len(dim) <= 1 {

@@ -8,6 +8,7 @@ use anton_des::{SimDuration, SimTime, Tracer, TrackId};
 use anton_md::integrate::verlet_first_half;
 use anton_md::{ChemicalSystem, Vec3};
 use anton_net::{Fabric, NetStats, RunReport, Simulation, StallReport};
+use anton_obs::{FlightRecorder, MetricsRegistry, SharedFlightRecorder};
 use anton_topo::TorusDims;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -25,6 +26,12 @@ pub struct AntonMdEngine {
     pub last_trace: Option<Tracer>,
     /// Traffic statistics of the last step.
     pub last_stats: Option<NetStats>,
+    /// Traffic statistics accumulated over every DES run so far
+    /// (bootstrap included). Snapshot it before a window of steps and
+    /// call [`NetStats::diff`] afterwards for per-window numbers.
+    pub stats_total: NetStats,
+    /// Flight recorder to install on the next step's fabric.
+    record_next: Option<SharedFlightRecorder>,
     /// Total potential energy components of the last force evaluation.
     pub last_energies: Energies,
 }
@@ -62,6 +69,8 @@ impl AntonMdEngine {
             trace_next: false,
             last_trace: None,
             last_stats: None,
+            stats_total: NetStats::default(),
+            record_next: None,
             last_energies: Energies::default(),
         };
         eng.run_des_step(true);
@@ -71,6 +80,38 @@ impl AntonMdEngine {
     /// Capture a Figure 13-style activity trace on the next step.
     pub fn trace_next_step(&mut self) {
         self.trace_next = true;
+    }
+
+    /// Record every packet lifecycle of the next step into a flight
+    /// recorder; returns the shared handle to inspect (or export) after
+    /// the step completes. Recording one step of a large system can
+    /// produce millions of events — use
+    /// [`AntonMdEngine::record_next_step_with`] to bound or sample.
+    pub fn record_next_step(&mut self) -> SharedFlightRecorder {
+        self.record_next_step_with(FlightRecorder::new())
+    }
+
+    /// Like [`AntonMdEngine::record_next_step`] but with a
+    /// pre-configured recorder (ring-buffer capacity, sampling).
+    pub fn record_next_step_with(&mut self, rec: FlightRecorder) -> SharedFlightRecorder {
+        let shared = rec.into_shared();
+        self.record_next = Some(shared.clone());
+        shared
+    }
+
+    /// Export cumulative traffic statistics, step counters, and the
+    /// latest energies into a metrics registry (`net.*`, `md.*` keys).
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        self.stats_total.record_metrics(reg);
+        reg.set_counter("md.steps", self.steps());
+        reg.set_gauge("md.energy.bonded", self.last_energies.bonded);
+        reg.set_gauge("md.energy.lj", self.last_energies.lj);
+        reg.set_gauge("md.energy.coulomb_real", self.last_energies.coulomb_real);
+        reg.set_gauge("md.energy.long_range", self.last_energies.long_range);
+        reg.set_gauge("md.energy.potential", self.last_energies.potential());
+        for t in &self.timings {
+            reg.observe("md.step_total", t.total);
+        }
     }
 
     /// Number of completed MD steps.
@@ -203,12 +244,21 @@ impl AntonMdEngine {
         };
         if self.trace_next {
             fabric.enable_tracing();
+            let n = self.dims.node_count() as u64;
+            // 4 Tensilica slices and 4 geometry-core pipelines per node;
+            // one HTIS per node.
             fabric.tracer.name_track(TrackId(6), "TS cores");
+            fabric.tracer.set_track_units(TrackId(6), n * 4);
             fabric.tracer.name_track(TrackId(7), "GC cores");
+            fabric.tracer.set_track_units(TrackId(7), n * 4);
             fabric.tracer.name_track(TrackId(8), "HTIS units");
+            fabric.tracer.set_track_units(TrackId(8), n);
             self.trace_next = false;
         }
         let tracing = fabric.tracer.is_enabled();
+        if let Some(rec) = self.record_next.take() {
+            fabric.set_recorder(Box::new(rec));
+        }
 
         // ---- run the DES ----
         let state = self.state.clone();
@@ -216,7 +266,9 @@ impl AntonMdEngine {
         match sim.run_guarded(SimTime(u64::MAX / 2), 500_000_000) {
             RunReport::Completed(_) => {}
             RunReport::Stalled(stall) => {
-                self.last_stats = Some(sim.world.fabric.stats.clone());
+                let stats = sim.world.fabric.stats.clone();
+                self.stats_total.merge(&stats);
+                self.last_stats = Some(stats);
                 return Err(stall);
             }
         }
@@ -293,7 +345,9 @@ impl AntonMdEngine {
         };
         drop(st);
 
-        self.last_stats = Some(sim.world.fabric.stats.clone());
+        let stats = sim.world.fabric.stats.clone();
+        self.stats_total.merge(&stats);
+        self.last_stats = Some(stats);
         if tracing {
             self.last_trace = Some(std::mem::replace(
                 &mut sim.world.fabric.tracer,

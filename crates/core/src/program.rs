@@ -312,6 +312,7 @@ impl MdNode {
         // cannot overtake the migration messages.
         let dims_coord = node.coord(ctx.dims());
         let pkt = Packet {
+            uid: 0,
             src: slice(node, 0),
             dest: anton_net::Destination::Multicast {
                 pattern: self.state.borrow().patterns.mig_id(dims_coord),

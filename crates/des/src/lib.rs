@@ -38,7 +38,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Engine, EventHandler, RunOutcome, Scheduler};
+pub use engine::{Engine, EventHandler, NopProbe, Probe, RunOutcome, Scheduler};
 pub use rng::Rng;
 pub use stats::{Histogram, Summary};
 pub use time::{SimDuration, SimTime};

@@ -39,11 +39,28 @@ pub struct Interval {
     pub label: u16,
 }
 
+impl Interval {
+    /// The portion of this interval inside `[from, to)`, or `None` if it
+    /// falls outside (or clips to zero length). Every windowed query
+    /// goes through this, so intervals that straddle the window boundary
+    /// contribute only their in-window portion — never their full
+    /// length.
+    #[inline]
+    pub fn clip(&self, from: SimTime, to: SimTime) -> Option<(SimTime, SimTime)> {
+        let s = self.start.max(from);
+        let e = self.end.min(to);
+        (e > s).then_some((s, e))
+    }
+}
+
 /// Interval recorder.
 #[derive(Debug, Default)]
 pub struct Tracer {
     intervals: Vec<Interval>,
     track_names: BTreeMap<TrackId, String>,
+    /// Units aggregated per track (e.g. 512 links on the "X links"
+    /// track); divides utilization. Missing means 1.
+    track_units: BTreeMap<TrackId, u64>,
     labels: Vec<String>,
     enabled: bool,
 }
@@ -70,6 +87,34 @@ impl Tracer {
     /// Register a human-readable name for a track.
     pub fn name_track(&mut self, track: TrackId, name: impl Into<String>) {
         self.track_names.insert(track, name.into());
+    }
+
+    /// Register how many hardware units a track aggregates (e.g. 512
+    /// torus links). Utilization divides by this; unset tracks count as
+    /// a single unit.
+    pub fn set_track_units(&mut self, track: TrackId, units: u64) {
+        assert!(units > 0, "a track aggregates at least one unit");
+        self.track_units.insert(track, units);
+    }
+
+    /// Units aggregated by `track` (1 if never set).
+    pub fn track_units(&self, track: TrackId) -> u64 {
+        self.track_units.get(&track).copied().unwrap_or(1)
+    }
+
+    /// The named tracks, in id order, with their names.
+    pub fn tracks(&self) -> impl Iterator<Item = (TrackId, &str)> {
+        self.track_names.iter().map(|(t, n)| (*t, n.as_str()))
+    }
+
+    /// A track's registered name, if any.
+    pub fn track_name(&self, track: TrackId) -> Option<&str> {
+        self.track_names.get(&track).map(String::as_str)
+    }
+
+    /// The interned label table, in id order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
     }
 
     /// Intern a label string, returning its id.
@@ -136,13 +181,43 @@ impl Tracer {
             if iv.track != track || iv.activity != activity {
                 continue;
             }
-            let s = iv.start.max(from);
-            let e = iv.end.min(to);
-            if e > s {
+            if let Some((s, e)) = iv.clip(from, to) {
                 total += e - s;
             }
         }
         total
+    }
+
+    /// Mean busy fraction of `track` over `[from, to)`: clipped busy
+    /// time divided by the window span times the track's unit count.
+    /// Intervals straddling the window edges contribute only their
+    /// in-window portion.
+    pub fn utilization(&self, track: TrackId, from: SimTime, to: SimTime) -> f64 {
+        assert!(to > from, "empty utilization window");
+        let busy = self.busy_time(track, from, to).as_ps() as f64;
+        let span = (to - from).as_ps() as f64;
+        busy / (span * self.track_units(track) as f64)
+    }
+
+    /// Busy time on `track` within `[from, to)` broken down by phase
+    /// label, in label-id order (clipped like
+    /// [`Tracer::busy_time`]). Labels with no busy time are omitted.
+    pub fn busy_by_label(
+        &self,
+        track: TrackId,
+        from: SimTime,
+        to: SimTime,
+    ) -> Vec<(u16, SimDuration)> {
+        let mut by_label: BTreeMap<u16, SimDuration> = BTreeMap::new();
+        for iv in &self.intervals {
+            if iv.track != track || iv.activity != Activity::Busy {
+                continue;
+            }
+            if let Some((s, e)) = iv.clip(from, to) {
+                *by_label.entry(iv.label).or_insert(SimDuration::ZERO) += e - s;
+            }
+        }
+        by_label.into_iter().collect()
     }
 
     /// Emit a CSV of all intervals: `track,name,activity,start_ns,end_ns,label`.
@@ -195,11 +270,9 @@ impl Tracer {
                 if iv.track != track {
                     continue;
                 }
-                let s = iv.start.max(from);
-                let e = iv.end.min(to);
-                if e <= s {
+                let Some((s, e)) = iv.clip(from, to) else {
                     continue;
-                }
+                };
                 let c0 = ((s.as_ps() - from.as_ps()) as f64 / cell) as usize;
                 let c1 = (((e.as_ps() - from.as_ps()) as f64 / cell).ceil() as usize).min(cols);
                 for c in row.iter_mut().take(c1).skip(c0.min(cols)) {
@@ -246,6 +319,67 @@ mod tests {
         assert_eq!(
             tr.stalled_time(TrackId(0), t(0), t(100)),
             SimDuration::from_ns(20)
+        );
+    }
+
+    /// Regression for window-straddling intervals: an interval larger
+    /// than the query window must contribute exactly the window span,
+    /// not its full length — in busy time, utilization, and the
+    /// per-label breakdown alike.
+    #[test]
+    fn straddling_interval_clips_to_window() {
+        let mut tr = Tracer::enabled();
+        let lbl = tr.intern_label("send");
+        // 100 ns interval; query a 20 ns window strictly inside it.
+        tr.record(TrackId(0), Activity::Busy, t(0), t(100), lbl);
+        assert_eq!(tr.busy_time(TrackId(0), t(40), t(60)), SimDuration::from_ns(20));
+        assert_eq!(tr.utilization(TrackId(0), t(40), t(60)), 1.0);
+        assert_eq!(tr.busy_by_label(TrackId(0), t(40), t(60)), vec![(lbl, SimDuration::from_ns(20))]);
+        // Window overlapping only the tail.
+        assert_eq!(tr.busy_time(TrackId(0), t(90), t(200)), SimDuration::from_ns(10));
+        // Window entirely outside.
+        assert_eq!(tr.busy_time(TrackId(0), t(200), t(300)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn utilization_divides_by_track_units() {
+        let mut tr = Tracer::enabled();
+        let lbl = tr.intern_label("x");
+        tr.set_track_units(TrackId(2), 4);
+        // Two of four units busy for the whole window → 50%.
+        tr.record(TrackId(2), Activity::Busy, t(0), t(10), lbl);
+        tr.record(TrackId(2), Activity::Busy, t(0), t(10), lbl);
+        assert_eq!(tr.utilization(TrackId(2), t(0), t(10)), 0.5);
+        assert_eq!(tr.track_units(TrackId(2)), 4);
+        assert_eq!(tr.track_units(TrackId(9)), 1);
+    }
+
+    #[test]
+    fn tracks_and_labels_are_enumerable() {
+        let mut tr = Tracer::enabled();
+        tr.name_track(TrackId(1), "cores");
+        tr.name_track(TrackId(0), "links");
+        let names: Vec<_> = tr.tracks().collect();
+        assert_eq!(names, vec![(TrackId(0), "links"), (TrackId(1), "cores")]);
+        assert_eq!(tr.track_name(TrackId(1)), Some("cores"));
+        assert_eq!(tr.track_name(TrackId(7)), None);
+        tr.intern_label("a");
+        tr.intern_label("b");
+        assert_eq!(tr.labels(), &["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn busy_by_label_splits_phases() {
+        let mut tr = Tracer::enabled();
+        let send = tr.intern_label("position send");
+        let fft = tr.intern_label("FFT");
+        tr.record(TrackId(0), Activity::Busy, t(0), t(30), send);
+        tr.record(TrackId(0), Activity::Busy, t(30), t(40), fft);
+        tr.record(TrackId(0), Activity::Stalled, t(40), t(90), fft);
+        let by = tr.busy_by_label(TrackId(0), t(0), t(100));
+        assert_eq!(
+            by,
+            vec![(send, SimDuration::from_ns(30)), (fft, SimDuration::from_ns(10))]
         );
     }
 

@@ -234,6 +234,24 @@ impl ReferenceEngine {
     pub fn temperature(&self) -> f64 {
         instantaneous_temperature(&self.sys)
     }
+
+    /// Export the engine's current observables into a metrics registry
+    /// under `md.ref.*` — the same keys, modulo prefix, as
+    /// `AntonMdEngine::export_metrics`, so a reference run and a
+    /// simulated-machine run can be diffed in one snapshot.
+    pub fn export_metrics(&mut self, reg: &mut anton_obs::MetricsRegistry) {
+        if self.current.is_none() {
+            self.current = Some(self.evaluate_forces());
+        }
+        let cur = self.current.as_ref().expect("populated");
+        reg.set_counter("md.ref.steps", self.step_count);
+        reg.set_gauge("md.ref.energy.bonded", cur.e_bonded);
+        reg.set_gauge("md.ref.energy.lj", cur.e_lj);
+        reg.set_gauge("md.ref.energy.coulomb_real", cur.e_coulomb_real);
+        reg.set_gauge("md.ref.energy.long_range", cur.e_long_range);
+        reg.set_gauge("md.ref.energy.potential", cur.potential());
+        reg.set_gauge("md.ref.temperature", self.temperature());
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +277,23 @@ mod tests {
         let ke = total_kinetic(&eng.sys).max(1.0);
         let drift = (e1 - e0).abs() / ke;
         assert!(drift < 0.05, "e0={e0} e1={e1} drift={drift}");
+    }
+
+    #[test]
+    fn export_metrics_publishes_energies() {
+        let sys = SystemBuilder::tiny(60, 12.5, 78).build();
+        let mut eng = ReferenceEngine::new(sys, MdParams::nve(5.0, [16; 3]));
+        eng.step();
+        let mut reg = anton_obs::MetricsRegistry::new();
+        eng.export_metrics(&mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("md.ref.steps"), Some(1.0));
+        let pot = snap.get("md.ref.energy.potential").expect("potential exported");
+        let parts = ["bonded", "lj", "coulomb_real", "long_range"]
+            .iter()
+            .map(|k| snap.get(&format!("md.ref.energy.{k}")).expect("component"))
+            .sum::<f64>();
+        assert!((pot - parts).abs() < 1e-9);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::packet::{
 };
 use crate::timing::Timing;
 use anton_des::{Activity, Scheduler, SimDuration, SimTime, Tracer, TrackId};
+use anton_obs::{FlightRecorder, MetricsRegistry, PacketId, Recorder, SharedFlightRecorder};
 use anton_topo::{Coord, Dim, LinkDir, LinkMask, MulticastPattern, NodeId, Route, TorusDims};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -168,6 +169,101 @@ pub struct NetStats {
     pub delivery_errors: u64,
 }
 
+impl NetStats {
+    /// Per-counter delta `self − baseline`: what this phase added on top
+    /// of a snapshot taken earlier in the same run. Counters are
+    /// cumulative and monotone, so a later snapshot minus an earlier one
+    /// is exact; per-node vectors shorter in the baseline are treated as
+    /// zeros (a fabric never shrinks).
+    pub fn diff(&self, baseline: &NetStats) -> NetStats {
+        let sub = |a: u64, b: u64| {
+            debug_assert!(a >= b, "NetStats::diff against a later snapshot");
+            a.saturating_sub(b)
+        };
+        let sub_vec = |a: &[u64], b: &[u64]| {
+            a.iter()
+                .enumerate()
+                .map(|(i, &v)| sub(v, b.get(i).copied().unwrap_or(0)))
+                .collect()
+        };
+        NetStats {
+            packets_sent: sub(self.packets_sent, baseline.packets_sent),
+            packets_delivered: sub(self.packets_delivered, baseline.packets_delivered),
+            payload_bytes_delivered: sub(
+                self.payload_bytes_delivered,
+                baseline.payload_bytes_delivered,
+            ),
+            link_traversals: sub(self.link_traversals, baseline.link_traversals),
+            sent_by_node: sub_vec(&self.sent_by_node, &baseline.sent_by_node),
+            delivered_by_node: sub_vec(&self.delivered_by_node, &baseline.delivered_by_node),
+            faults_dropped: sub(self.faults_dropped, baseline.faults_dropped),
+            faults_corrupted: sub(self.faults_corrupted, baseline.faults_corrupted),
+            retransmits: sub(self.retransmits, baseline.retransmits),
+            retry_budget_exhausted: sub(
+                self.retry_budget_exhausted,
+                baseline.retry_budget_exhausted,
+            ),
+            packets_unreachable: sub(self.packets_unreachable, baseline.packets_unreachable),
+            packets_lost: sub(self.packets_lost, baseline.packets_lost),
+            delivery_errors: sub(self.delivery_errors, baseline.delivery_errors),
+        }
+    }
+
+    /// Fold another stats block into this one (accumulating totals
+    /// across the per-step fabrics of a multi-step run). Per-node
+    /// vectors grow to the longer of the two.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.packets_sent += other.packets_sent;
+        self.packets_delivered += other.packets_delivered;
+        self.payload_bytes_delivered += other.payload_bytes_delivered;
+        self.link_traversals += other.link_traversals;
+        if self.sent_by_node.len() < other.sent_by_node.len() {
+            self.sent_by_node.resize(other.sent_by_node.len(), 0);
+        }
+        for (s, o) in self.sent_by_node.iter_mut().zip(&other.sent_by_node) {
+            *s += o;
+        }
+        if self.delivered_by_node.len() < other.delivered_by_node.len() {
+            self.delivered_by_node.resize(other.delivered_by_node.len(), 0);
+        }
+        for (s, o) in self.delivered_by_node.iter_mut().zip(&other.delivered_by_node) {
+            *s += o;
+        }
+        self.faults_dropped += other.faults_dropped;
+        self.faults_corrupted += other.faults_corrupted;
+        self.retransmits += other.retransmits;
+        self.retry_budget_exhausted += other.retry_budget_exhausted;
+        self.packets_unreachable += other.packets_unreachable;
+        self.packets_lost += other.packets_lost;
+        self.delivery_errors += other.delivery_errors;
+    }
+
+    /// Publish every counter into a metrics registry under `net.*`
+    /// (per-node vectors export as machine-wide max/total, not one
+    /// metric per node).
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.set_counter("net.packets_sent", self.packets_sent);
+        reg.set_counter("net.packets_delivered", self.packets_delivered);
+        reg.set_counter("net.payload_bytes_delivered", self.payload_bytes_delivered);
+        reg.set_counter("net.link_traversals", self.link_traversals);
+        reg.set_counter("net.faults_dropped", self.faults_dropped);
+        reg.set_counter("net.faults_corrupted", self.faults_corrupted);
+        reg.set_counter("net.retransmits", self.retransmits);
+        reg.set_counter("net.retry_budget_exhausted", self.retry_budget_exhausted);
+        reg.set_counter("net.packets_unreachable", self.packets_unreachable);
+        reg.set_counter("net.packets_lost", self.packets_lost);
+        reg.set_counter("net.delivery_errors", self.delivery_errors);
+        reg.set_gauge(
+            "net.max_sent_by_node",
+            self.sent_by_node.iter().copied().max().unwrap_or(0) as f64,
+        );
+        reg.set_gauge(
+            "net.max_delivered_by_node",
+            self.delivered_by_node.iter().copied().max().unwrap_or(0) as f64,
+        );
+    }
+}
+
 /// The simulated communication fabric of one Anton machine.
 pub struct Fabric {
     dims: TorusDims,
@@ -204,8 +300,16 @@ pub struct Fabric {
     pub stats: NetStats,
     /// Activity tracer (tracks 0–5 are the six link directions).
     pub tracer: Tracer,
-    /// Label applied to link-activity intervals; set via [`Ctx::set_phase`].
+    /// Label applied to link-activity intervals; set via
+    /// [`crate::world::Ctx::set_phase`].
     current_label: u16,
+    /// Packet-lifecycle recorder. `None` (the default) skips every hook
+    /// behind a single branch — instrumentation is zero-cost when
+    /// disabled, which the microbench guard verifies.
+    recorder: Option<Box<dyn Recorder>>,
+    /// Next flight-recorder packet id, assigned densely in injection
+    /// order (deterministic, so ids are stable across identical runs).
+    next_uid: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -287,16 +391,51 @@ impl Fabric {
             },
             tracer,
             current_label: 0,
+            recorder: None,
+            next_uid: 0,
         }
     }
 
     /// Enable activity tracing (disabled by default; costs memory).
     pub fn enable_tracing(&mut self) {
         let mut tracer = Tracer::enabled();
+        let units = self.dims.node_count() as u64;
         for (i, l) in LinkDir::ALL.iter().enumerate() {
             tracer.name_track(TrackId(i as u16), format!("{l} links"));
+            tracer.set_track_units(TrackId(i as u16), units);
         }
         self.tracer = tracer;
+    }
+
+    /// Install an arbitrary packet-lifecycle recorder. Replaces any
+    /// recorder already installed.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Remove the installed recorder, restoring the zero-cost path.
+    pub fn clear_recorder(&mut self) {
+        self.recorder = None;
+    }
+
+    /// Whether a recorder is installed.
+    pub fn has_recorder(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Install a fresh [`FlightRecorder`] and return the shared handle:
+    /// the fabric feeds it during the run, the caller reads the events
+    /// afterwards through the same handle.
+    pub fn attach_flight_recorder(&mut self) -> SharedFlightRecorder {
+        self.attach_flight_recorder_with(FlightRecorder::new())
+    }
+
+    /// Like [`Fabric::attach_flight_recorder`] but with a caller-built
+    /// recorder (ring-buffered, sampled, …).
+    pub fn attach_flight_recorder_with(&mut self, rec: FlightRecorder) -> SharedFlightRecorder {
+        let shared = rec.into_shared();
+        self.recorder = Some(Box::new(shared.clone()));
+        shared
     }
 
     /// Machine dimensions.
@@ -356,6 +495,7 @@ impl Fabric {
     /// a fabric without the fault layer.
     fn reserve_link(
         &mut self,
+        uid: u64,
         node: NodeId,
         link: LinkDir,
         ready: SimTime,
@@ -403,6 +543,9 @@ impl Fabric {
                     return None;
                 }
                 self.stats.retransmits += 1;
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.on_retransmit(PacketId(uid), node, link, failed + 1, start);
+                }
                 start = start + occ + penalty;
                 failed += 1;
                 if let Some(d) = dead_at {
@@ -426,6 +569,9 @@ impl Fabric {
                 start + occ,
                 self.current_label,
             );
+        }
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.on_link_reserve(PacketId(uid), node, link, ready, start, start + occ);
         }
         Some(start)
     }
@@ -474,6 +620,8 @@ impl Fabric {
         assert!(pkt.src.client.can_send(), "client cannot send packets");
         self.advance_deaths(now);
         let src_node = pkt.src.node;
+        pkt.uid = self.next_uid;
+        self.next_uid += 1;
         self.stats.packets_sent += 1;
         self.stats.sent_by_node[src_node.index()] += 1;
 
@@ -496,7 +644,24 @@ impl Fabric {
         match pkt.dest {
             Destination::Unicast(dst) => {
                 if dst.node == src_node {
-                    // Local client-to-client write over the ring only.
+                    // Local client-to-client write over the ring only. The
+                    // recorder sees all injection anchors collapsed to the
+                    // issue time: a local trip never crosses the injection
+                    // port, so the whole ring transit attributes to the
+                    // delivery stage and stage sums still telescope.
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.on_inject(
+                            PacketId(pkt.uid),
+                            src_node,
+                            pkt.src.client.index() as u8,
+                            Some(dst.node),
+                            now,
+                            now,
+                            now,
+                            now,
+                            pkt.payload_bytes,
+                        );
+                    }
                     let done = t0
                         + self.timing.local_latency()
                         + self.timing.payload_tail_onchip(pkt.payload_bytes);
@@ -544,10 +709,27 @@ impl Fabric {
                         },
                     };
                     let ready = inj_start + SimDuration::from_ns_f64(self.timing.send_ring_ns);
-                    let Some(start) = self.reserve_link(src_node, link, ready, pkt.payload_bytes)
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.on_inject(
+                            PacketId(pkt.uid),
+                            src_node,
+                            pkt.src.client.index() as u8,
+                            Some(dst.node),
+                            now,
+                            inj_ready,
+                            inj_start,
+                            ready,
+                            pkt.payload_bytes,
+                        );
+                    }
+                    let Some(start) =
+                        self.reserve_link(pkt.uid, src_node, link, ready, pkt.payload_bytes)
                     else {
                         return; // lost; reserve_link recorded why
                     };
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.on_hop_exit(PacketId(pkt.uid), src_node, start);
+                    }
                     let next = src_c.step(link, self.dims).node_id(self.dims);
                     sched.at(
                         start + self.timing.link_head(),
@@ -575,8 +757,24 @@ impl Fabric {
                 }
                 let src_c = src_node.coord(self.dims);
                 let ready = inj_start + SimDuration::from_ns_f64(self.timing.send_ring_ns);
+                if let Some(rec) = self.recorder.as_mut() {
+                    // Multicast: destination unknown at injection (`None`);
+                    // the copies' deliveries all carry this packet's id.
+                    rec.on_inject(
+                        PacketId(pkt.uid),
+                        src_node,
+                        pkt.src.client.index() as u8,
+                        None,
+                        now,
+                        inj_ready,
+                        inj_start,
+                        ready,
+                        pkt.payload_bytes,
+                    );
+                }
                 for l in entry.forward {
-                    let Some(start) = self.reserve_link(src_node, l, ready, pkt.payload_bytes)
+                    let Some(start) =
+                        self.reserve_link(pkt.uid, src_node, l, ready, pkt.payload_bytes)
                     else {
                         continue; // this branch's subtree is lost
                     };
@@ -599,6 +797,9 @@ impl Fabric {
         now: SimTime,
         sched: &mut Scheduler<Ev>,
     ) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.on_hop_enter(PacketId(pkt.uid), node, now);
+        }
         match pkt.dest {
             Destination::Unicast(dst) => {
                 if dst.node == node {
@@ -637,10 +838,14 @@ impl Fabric {
                         }
                     };
                     let ready = now + self.timing.transit_ring(in_dim, link.dim);
-                    let Some(start) = self.reserve_link(node, link, ready, pkt.payload_bytes)
+                    let Some(start) =
+                        self.reserve_link(pkt.uid, node, link, ready, pkt.payload_bytes)
                     else {
                         return; // lost mid-flight; reserve_link recorded why
                     };
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.on_hop_exit(PacketId(pkt.uid), node, start);
+                    }
                     let next = cur.step(link, self.dims).node_id(self.dims);
                     sched.at(
                         start + self.timing.link_head(),
@@ -663,7 +868,9 @@ impl Fabric {
                 let cur = node.coord(self.dims);
                 for l in entry.forward {
                     let ready = now + self.timing.transit_ring(in_dim, l.dim);
-                    let Some(start) = self.reserve_link(node, l, ready, pkt.payload_bytes) else {
+                    let Some(start) =
+                        self.reserve_link(pkt.uid, node, l, ready, pkt.payload_bytes)
+                    else {
                         continue; // this branch's subtree is lost
                     };
                     let next = cur.step(l, self.dims).node_id(self.dims);
@@ -699,9 +906,13 @@ impl Fabric {
         self.stats.packets_delivered += 1;
         self.stats.payload_bytes_delivered += pkt.payload_bytes as u64;
         self.stats.delivered_by_node[node.index()] += 1;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.on_deliver(PacketId(pkt.uid), node, client.index() as u8, now);
+        }
         let ci = client_index(node, client);
         let counter = pkt.counter;
         let pkt_src = pkt.src.node;
+        let uid = pkt.uid;
         match pkt.kind {
             PacketKind::Write => {
                 self.clients[ci].mem.write(pkt.addr, pkt.payload);
@@ -759,6 +970,7 @@ impl Fabric {
             other => other,
         };
         if let Some(cid) = counter {
+            let mut fire_at = None;
             if self.clients[ci].counters.increment(cid) {
                 // A watch fired. Slices and the HTIS poll their own
                 // counters locally (cost already inside deliver_poll);
@@ -778,6 +990,7 @@ impl Fabric {
                 } else {
                     SimDuration::from_ns_f64(self.timing.accum_poll_extra_ns)
                 };
+                fire_at = Some(visible + extra);
                 sched.at(
                     visible + extra,
                     Ev::Prog {
@@ -785,6 +998,9 @@ impl Fabric {
                         pe: ProgEvent::CounterReached { client, counter: cid },
                     },
                 );
+            }
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.on_counter_update(PacketId(uid), node, client.index() as u8, cid.0, now, fire_at);
             }
         }
     }
@@ -957,9 +1173,39 @@ impl Fabric {
         self.clients[client_index(addr.node, addr.client)].source_counters = map;
     }
 
-    /// Mark the phase label applied to subsequently traced link activity.
-    pub fn set_phase_label(&mut self, label: &str) {
+    /// Mark the phase label applied to subsequently traced link activity
+    /// and stamp a phase mark into the flight recorder (if one is
+    /// installed).
+    pub fn set_phase_label(&mut self, label: &str, now: SimTime) {
         self.current_label = self.tracer.intern_label(label);
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.on_phase(label, now);
+        }
+    }
+
+    /// Publish the fabric's instrumentation into a metrics registry:
+    /// every [`NetStats`] counter under `net.*`, plus machine-wide
+    /// client-memory aggregates under `mem.*` (FIFO occupancy high
+    /// watermark and backpressure, synchronization-counter increments
+    /// and watch fires).
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        self.stats.record_metrics(reg);
+        let mut hw = 0usize;
+        let mut backpressure = 0u64;
+        let mut incs = 0u64;
+        let mut fires = 0u64;
+        for st in &self.clients {
+            if let Some(f) = &st.fifo {
+                hw = hw.max(f.high_watermark());
+                backpressure += f.backpressure_events();
+            }
+            incs += st.counters.total_increments();
+            fires += st.counters.watches_fired();
+        }
+        reg.set_gauge("mem.fifo_high_watermark", hw as f64);
+        reg.set_counter("mem.fifo_backpressure_events", backpressure);
+        reg.set_counter("mem.counter_increments", incs);
+        reg.set_counter("mem.counter_watch_fires", fires);
     }
 
     /// FIFO backpressure events observed so far on a slice (diagnostics).

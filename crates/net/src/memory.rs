@@ -133,6 +133,11 @@ pub struct SyncCounters {
     counts: [u64; COUNTERS_PER_CLIENT],
     /// Outstanding watch per counter: fire when count reaches the target.
     watches: [Option<u64>; COUNTERS_PER_CLIENT],
+    /// Lifetime increments across the whole bank (resets don't clear it)
+    /// — the synchronization-traffic volume this client absorbed.
+    total_increments: u64,
+    /// Watches that fired across the whole bank.
+    watches_fired: u64,
 }
 
 impl Default for SyncCounters {
@@ -140,6 +145,8 @@ impl Default for SyncCounters {
         SyncCounters {
             counts: [0; COUNTERS_PER_CLIENT],
             watches: [None; COUNTERS_PER_CLIENT],
+            total_increments: 0,
+            watches_fired: 0,
         }
     }
 }
@@ -172,13 +179,25 @@ impl SyncCounters {
     pub fn increment(&mut self, id: CounterId) -> bool {
         let i = id.0 as usize;
         self.counts[i] += 1;
+        self.total_increments += 1;
         if let Some(target) = self.watches[i] {
             if self.counts[i] >= target {
                 self.watches[i] = None;
+                self.watches_fired += 1;
                 return true;
             }
         }
         false
+    }
+
+    /// Lifetime increments across the bank (unaffected by resets).
+    pub fn total_increments(&self) -> u64 {
+        self.total_increments
+    }
+
+    /// Lifetime watch fires across the bank.
+    pub fn watches_fired(&self) -> u64 {
+        self.watches_fired
     }
 
     /// Register a watch: notify when the counter reaches `target`.
@@ -227,6 +246,9 @@ pub struct MsgFifo<T> {
     backpressured: std::collections::VecDeque<T>,
     /// Total count of messages that ever hit backpressure (diagnostic).
     backpressure_events: u64,
+    /// Deepest the visible queue ever got — how close software draining
+    /// came to the backpressure cliff.
+    high_watermark: usize,
 }
 
 impl<T> MsgFifo<T> {
@@ -238,6 +260,7 @@ impl<T> MsgFifo<T> {
             capacity,
             backpressured: std::collections::VecDeque::new(),
             backpressure_events: 0,
+            high_watermark: 0,
         }
     }
 
@@ -247,6 +270,7 @@ impl<T> MsgFifo<T> {
     pub fn push(&mut self, msg: T) -> bool {
         if self.queue.len() < self.capacity {
             self.queue.push_back(msg);
+            self.high_watermark = self.high_watermark.max(self.queue.len());
             true
         } else {
             self.backpressured.push_back(msg);
@@ -285,6 +309,11 @@ impl<T> MsgFifo<T> {
     /// Total backpressure occurrences so far.
     pub fn backpressure_events(&self) -> u64 {
         self.backpressure_events
+    }
+
+    /// Deepest the visible queue ever got (occupancy high watermark).
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
     }
 }
 
@@ -371,6 +400,31 @@ mod tests {
         let mut c = SyncCounters::new();
         c.watch(CounterId(1), 5);
         c.reset(CounterId(1));
+    }
+
+    #[test]
+    fn counters_track_lifetime_totals() {
+        let mut c = SyncCounters::new();
+        c.watch(CounterId(0), 2);
+        c.increment(CounterId(0));
+        c.increment(CounterId(0)); // fires
+        c.increment(CounterId(1));
+        c.reset(CounterId(0));
+        assert_eq!(c.total_increments(), 3); // reset doesn't clear totals
+        assert_eq!(c.watches_fired(), 1);
+    }
+
+    #[test]
+    fn fifo_high_watermark_tracks_peak_depth() {
+        let mut f = MsgFifo::new(4);
+        f.push(1);
+        f.push(2);
+        f.push(3);
+        f.pop();
+        f.pop();
+        f.push(4);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.high_watermark(), 3);
     }
 
     #[test]

@@ -172,6 +172,11 @@ pub enum Destination {
 /// A network packet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Packet {
+    /// Flight-recorder identity, assigned densely by the fabric at
+    /// injection (constructors leave it 0). Multicast copies keep their
+    /// original's id, which is how the recorder correlates a tree's
+    /// deliveries.
+    pub uid: u64,
     /// Sending client.
     pub src: ClientAddr,
     /// Where the packet goes.
@@ -224,6 +229,7 @@ impl Packet {
         let bytes = payload.natural_bytes();
         assert!(bytes <= MAX_PAYLOAD_BYTES, "payload exceeds 256 bytes");
         Packet {
+            uid: 0,
             src,
             dest: Destination::Unicast(dst),
             kind: PacketKind::Write,
@@ -248,6 +254,7 @@ impl Packet {
         let bytes = payload.natural_bytes();
         assert!(bytes <= MAX_PAYLOAD_BYTES, "payload exceeds 256 bytes");
         Packet {
+            uid: 0,
             src,
             dest: Destination::Unicast(dst),
             kind: PacketKind::Accumulate,
@@ -267,6 +274,7 @@ impl Packet {
         let bytes = payload.natural_bytes();
         assert!(bytes <= MAX_PAYLOAD_BYTES, "payload exceeds 256 bytes");
         Packet {
+            uid: 0,
             src,
             dest: Destination::Unicast(dst),
             kind: PacketKind::Fifo,

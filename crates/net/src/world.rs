@@ -173,7 +173,8 @@ impl<'a, 'b> Ctx<'a, 'b> {
 
     /// Label subsequent traced link activity with a phase name.
     pub fn set_phase(&mut self, label: &str) {
-        self.fabric.set_phase_label(label);
+        let now = self.sched.now();
+        self.fabric.set_phase_label(label, now);
     }
 }
 
@@ -347,6 +348,20 @@ impl<P: NodeProgram> Simulation<P> {
     /// Run with a horizon and event budget.
     pub fn run_until(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
         self.engine.run_until(&mut self.world, horizon, max_events)
+    }
+
+    /// [`Simulation::run_until`] with an engine-level instrumentation
+    /// probe (see [`anton_des::Probe`]): the probe observes every
+    /// processed event's time and the queue depth, feeding event-rate
+    /// and queue-occupancy metrics without touching the fabric model.
+    pub fn run_until_probed<Pr: anton_des::Probe>(
+        &mut self,
+        horizon: SimTime,
+        max_events: u64,
+        probe: &mut Pr,
+    ) -> RunOutcome {
+        self.engine
+            .run_until_probed(&mut self.world, horizon, max_events, probe)
     }
 
     /// Run with a horizon and event budget, then diagnose: a run counts

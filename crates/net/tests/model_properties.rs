@@ -81,6 +81,7 @@ impl NodeProgram for BadProgram {
             // hardware.
             1 => {
                 let pkt = Packet {
+                    uid: 0,
                     src: ClientAddr::new(node, ClientKind::Accum(0)),
                     dest: anton_net::Destination::Unicast(me),
                     kind: anton_net::PacketKind::Write,

@@ -1,0 +1,233 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! The output is the JSON-object form of the [trace event format]
+//! (`{"traceEvents": [...]}`), loadable directly in Perfetto
+//! (<https://ui.perfetto.dev>) or `about:tracing`. Simulated picosecond
+//! timestamps map to the format's microsecond `ts` field as fractional
+//! values, so a 162 ns flight shows up as a 0.162 µs slice.
+//!
+//! The builder is deliberately low-level — named slices, instants, and
+//! counters on numbered process/thread rows — so both the packet flight
+//! recorder (one row per packet, one slice per Figure 6 stage) and the
+//! `des::trace` activity tracer (one row per hardware track, one slice
+//! per busy/stall interval) export through the same path. Output is
+//! byte-stable for a given simulation: rows emit in insertion order and
+//! floats format deterministically, which the same-seed determinism test
+//! locks in.
+//!
+//! [trace event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::breakdown::{PacketLifecycle, Stage};
+use crate::json::escape;
+use anton_des::SimTime;
+use std::fmt::Write as _;
+
+/// Builds a Chrome `trace_event` JSON document incrementally.
+#[derive(Debug, Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<String>,
+}
+
+/// Format a picosecond timestamp as the trace format's microsecond `ts`.
+fn ts_us(t: SimTime) -> String {
+    // Emit as an exact decimal (ps = µs * 1e6), avoiding float noise.
+    let us = t.as_ps() / 1_000_000;
+    let frac = t.as_ps() % 1_000_000;
+    if frac == 0 {
+        format!("{us}")
+    } else {
+        format!("{us}.{frac:06}").trim_end_matches('0').to_owned()
+    }
+}
+
+fn dur_us(from: SimTime, to: SimTime) -> String {
+    ts_us(SimTime::from_ps(to.as_ps().saturating_sub(from.as_ps())))
+}
+
+impl ChromeTraceBuilder {
+    /// An empty trace.
+    pub fn new() -> ChromeTraceBuilder {
+        ChromeTraceBuilder::default()
+    }
+
+    /// Name a process row (`"M"` metadata event).
+    pub fn name_process(&mut self, pid: u64, name: &str) {
+        self.events.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":{}}}}}"#,
+            escape(name)
+        ));
+    }
+
+    /// Name a thread row within a process (`"M"` metadata event).
+    pub fn name_thread(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":{}}}}}"#,
+            escape(name)
+        ));
+    }
+
+    /// Add a complete slice (`"X"` event) spanning `[start, end]`.
+    pub fn add_slice(&mut self, pid: u64, tid: u64, cat: &str, name: &str, start: SimTime, end: SimTime) {
+        self.events.push(format!(
+            r#"{{"name":{},"cat":{},"ph":"X","ts":{},"dur":{},"pid":{pid},"tid":{tid}}}"#,
+            escape(name),
+            escape(cat),
+            ts_us(start),
+            dur_us(start, end),
+        ));
+    }
+
+    /// Add an instant marker (`"i"` event, process scope).
+    pub fn add_instant(&mut self, pid: u64, tid: u64, cat: &str, name: &str, at: SimTime) {
+        self.events.push(format!(
+            r#"{{"name":{},"cat":{},"ph":"i","s":"p","ts":{},"pid":{pid},"tid":{tid}}}"#,
+            escape(name),
+            escape(cat),
+            ts_us(at),
+        ));
+    }
+
+    /// Add a counter sample (`"C"` event) — renders as a track graph.
+    pub fn add_counter(&mut self, pid: u64, name: &str, at: SimTime, value: f64) {
+        let v = if value == value.trunc() { format!("{}", value as i64) } else { format!("{value:?}") };
+        self.events.push(format!(
+            r#"{{"name":{},"ph":"C","ts":{},"pid":{pid},"args":{{"value":{v}}}}}"#,
+            escape(name),
+            ts_us(at),
+        ));
+    }
+
+    /// Add one packet lifecycle as a thread row: one slice per non-empty
+    /// Figure 6 stage, plus instant markers for retransmits folded in by
+    /// the caller if desired. `pid` groups packets (e.g. by source node).
+    pub fn add_lifecycle(&mut self, pid: u64, lc: &PacketLifecycle) {
+        let tid = lc.pkt.0;
+        self.name_thread(pid, tid, &format!("pkt {} {}->{}", lc.pkt.0, lc.src.0, lc.dst.0));
+        let head_at_dst = lc.hop_enters.last().copied().unwrap_or(lc.wire_ready);
+        let anchors = [
+            (Stage::SenderOverhead, lc.issued, lc.inj_ready),
+            (Stage::Injection, lc.inj_ready, lc.wire_ready),
+            (Stage::RouterWire, lc.wire_ready, head_at_dst),
+            (Stage::Delivery, head_at_dst, lc.delivered),
+            (Stage::Sync, lc.delivered, lc.fired.unwrap_or(lc.delivered)),
+        ];
+        for (stage, start, end) in anchors {
+            if end > start {
+                self.add_slice(pid, tid, "packet", stage.name(), start, end);
+            }
+        }
+        for (i, hop) in lc.hop_enters.iter().enumerate() {
+            self.add_instant(pid, tid, "packet", &format!("hop {}", i + 1), *hop);
+        }
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finish into the JSON document.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            out.push_str(ev);
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Render lifecycles as a flat CSV summary (one row per packet, one
+/// column per Figure 6 stage) — the spreadsheet-friendly counterpart of
+/// the Chrome trace.
+pub fn lifecycles_csv(lifecycles: &[PacketLifecycle]) -> String {
+    let mut out = String::from(
+        "packet,src,dst,hops,retransmits,payload_bytes,issued_ns,\
+         sender_ns,injection_ns,router_wire_ns,delivery_ns,sync_ns,end_to_end_ns\n",
+    );
+    for lc in lifecycles {
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{}",
+            lc.pkt.0,
+            lc.src.0,
+            lc.dst.0,
+            lc.hops(),
+            lc.retransmits,
+            lc.payload_bytes,
+            lc.issued.as_ns_f64(),
+        );
+        for stage in Stage::ALL {
+            let _ = write!(out, ",{}", lc.stage(stage).as_ns_f64());
+        }
+        let _ = writeln!(out, ",{}", lc.end_to_end().as_ns_f64());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json;
+    use anton_topo::NodeId;
+
+    fn lifecycle() -> PacketLifecycle {
+        PacketLifecycle {
+            pkt: crate::PacketId(7),
+            src: NodeId(0),
+            dst: NodeId(1),
+            issued: SimTime::from_ns(0),
+            inj_ready: SimTime::from_ns(36),
+            wire_ready: SimTime::from_ns(55),
+            hop_enters: vec![SimTime::from_ns(95)],
+            delivered: SimTime::from_ns(162),
+            fired: None,
+            retransmits: 0,
+            payload_bytes: 32,
+        }
+    }
+
+    #[test]
+    fn trace_json_is_valid() {
+        let mut b = ChromeTraceBuilder::new();
+        b.name_process(0, "fabric \"node\" 0");
+        b.add_lifecycle(0, &lifecycle());
+        b.add_counter(0, "fifo depth", SimTime::from_ns(10), 3.0);
+        let json = b.finish();
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"router + wire\""));
+        // 95 ns head arrival → ts 0.095 µs, trailing zeros trimmed.
+        assert!(json.contains("\"ts\":0.095"), "{json}");
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        validate_json(&ChromeTraceBuilder::new().finish()).unwrap();
+    }
+
+    #[test]
+    fn ts_formats_exact_decimal() {
+        assert_eq!(ts_us(SimTime::from_ns(162)), "0.162");
+        assert_eq!(ts_us(SimTime::from_us(3)), "3");
+        assert_eq!(ts_us(SimTime::from_ps(1_234_567)), "1.234567");
+    }
+
+    #[test]
+    fn csv_rows_telescope() {
+        let csv = lifecycles_csv(&[lifecycle()]);
+        let row = csv.lines().nth(1).unwrap();
+        let cols: Vec<f64> = row.split(',').skip(7).map(|c| c.parse().unwrap()).collect();
+        let sum: f64 = cols[..5].iter().sum();
+        assert_eq!(sum, cols[5]); // stage columns sum to end_to_end
+        assert_eq!(cols[5], 162.0);
+    }
+}

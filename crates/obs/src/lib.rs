@@ -1,0 +1,43 @@
+//! # anton-obs — unified instrumentation for the simulated machine
+//!
+//! The paper's headline number is a *decomposed* one: Figure 6 splits the
+//! 162 ns end-to-end latency into sender overhead, injection, per-hop
+//! router/wire time, delivery, and synchronization, and §IV.C's on-chip
+//! logic analyzer (Figure 13) is how the authors saw where time went.
+//! This crate is the software analogue of that measurement
+//! infrastructure, layered *under* the network model so every nanosecond
+//! of a simulation is attributable and exportable:
+//!
+//! - [`Recorder`] — the hook trait the fabric calls on every packet
+//!   lifecycle event (inject, link reserve, retransmit, hop enter/exit,
+//!   deliver, counter update). Every method has a no-op default body, so
+//!   the disabled path costs one branch and implementors override only
+//!   what they need.
+//! - [`FlightRecorder`] — a [`Recorder`] that keeps the full event
+//!   stream (optionally ring-buffered and/or sampled) for offline
+//!   analysis.
+//! - [`breakdown`] — folds recorded lifecycles into the paper's Figure 6
+//!   stages; stage durations telescope, so they sum *exactly* to the
+//!   measured end-to-end latency.
+//! - [`MetricsRegistry`] — named counters, gauges, and log-bucketed
+//!   latency histograms (p50/p99/max), snapshottable and diffable per MD
+//!   phase.
+//! - [`chrome_trace`] — Chrome `trace_event` JSON export, loadable in
+//!   Perfetto or `about:tracing`, plus CSV/JSON summaries and a
+//!   dependency-free JSON validator for CI smoke tests.
+
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod chrome_trace;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+
+pub use breakdown::{fold_lifecycles, BreakdownSummary, FoldStats, PacketLifecycle, Stage};
+pub use chrome_trace::{lifecycles_csv, ChromeTraceBuilder};
+pub use json::validate_json;
+pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{
+    FlightEvent, FlightRecorder, NopRecorder, PacketId, Recorder, SharedFlightRecorder,
+};

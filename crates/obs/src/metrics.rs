@@ -1,0 +1,366 @@
+//! Named counters, gauges, and log-bucketed latency histograms.
+//!
+//! The registry subsumes the ad-hoc aggregation previously scattered
+//! across `NetStats`-style structs: producers register monotonically
+//! increasing **counters** (packets sent, retransmits), point-in-time
+//! **gauges** (FIFO high watermark, energy), and **histograms** of
+//! simulated durations (end-to-end latency with p50/p99/max). A
+//! [`MetricsSnapshot`] flattens everything to a sorted name → value map,
+//! and two snapshots diff, which is how per-MD-phase deltas are reported
+//! without resetting the live registry.
+//!
+//! Everything iterates in `BTreeMap` order, so exports are byte-stable
+//! for a given simulation — the determinism tests rely on it.
+
+use anton_des::SimDuration;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of log2 buckets: durations are bucketed by the bit-length of
+/// their picosecond count, so bucket `i` holds values in
+/// `[2^(i-1), 2^i)` ps (bucket 0 holds exactly 0).
+const BUCKETS: usize = 65;
+
+/// A histogram of simulated durations with logarithmic (power-of-two)
+/// buckets. Quantiles are approximate — resolved to the bucket, then
+/// interpolated linearly inside it — but min, max, count, and sum are
+/// exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_ps: u128,
+    min_ps: u64,
+    max_ps: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ps: 0,
+            min_ps: u64::MAX,
+            max_ps: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(ps: u64) -> usize {
+        (64 - ps.leading_zeros()) as usize
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let ps = d.as_ps();
+        self.buckets[Self::bucket_of(ps)] += 1;
+        self.count += 1;
+        self.sum_ps += ps as u128;
+        self.min_ps = self.min_ps.min(ps);
+        self.max_ps = self.max_ps.max(ps);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean in nanoseconds (`None` when empty).
+    pub fn mean_ns(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(self.sum_ps as f64 / self.count as f64 / 1e3)
+    }
+
+    /// Exact minimum (`None` when empty).
+    pub fn min(&self) -> Option<SimDuration> {
+        (self.count > 0).then(|| SimDuration::from_ps(self.min_ps))
+    }
+
+    /// Exact maximum (`None` when empty).
+    pub fn max(&self) -> Option<SimDuration> {
+        (self.count > 0).then(|| SimDuration::from_ps(self.max_ps))
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the containing bucket is
+    /// exact, the position inside it linearly interpolated. Clamped to
+    /// the exact min/max so `quantile(0)`/`quantile(1)` are exact.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the q-th sample, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                let est = est.clamp(self.min_ps as f64, self.max_ps as f64);
+                return Some(SimDuration::from_ps(est.round() as u64));
+            }
+            seen += n;
+        }
+        Some(SimDuration::from_ps(self.max_ps))
+    }
+
+    /// Median (approximate; see [`LogHistogram::quantile`]).
+    pub fn p50(&self) -> Option<SimDuration> {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile (approximate; see [`LogHistogram::quantile`]).
+    pub fn p99(&self) -> Option<SimDuration> {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        if other.count > 0 {
+            self.min_ps = self.min_ps.min(other.min_ps);
+            self.max_ps = self.max_ps.max(other.max_ps);
+        }
+    }
+}
+
+/// A registry of named metrics. Names are free-form dotted paths
+/// (`"net.packets_sent"`, `"lat.ping_pong"`); iteration and export are
+/// in sorted name order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to a counter, creating it at zero first.
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Overwrite a counter with an externally tracked total.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_owned(), value);
+    }
+
+    /// Set a gauge to a point-in-time value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Record a duration sample into a histogram, creating it if needed.
+    pub fn observe(&mut self, name: &str, d: SimDuration) {
+        self.histograms.entry(name.to_owned()).or_default().record(d);
+    }
+
+    /// A counter's current value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's current value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram, if any sample was recorded under this name.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Flatten the registry into a snapshot. Histograms expand to
+    /// `name.count`, `name.mean_ns`, `name.p50_ns`, `name.p99_ns`,
+    /// `name.max_ns`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut values = BTreeMap::new();
+        for (k, v) in &self.counters {
+            values.insert(k.clone(), *v as f64);
+        }
+        for (k, v) in &self.gauges {
+            values.insert(k.clone(), *v);
+        }
+        for (k, h) in &self.histograms {
+            values.insert(format!("{k}.count"), h.count() as f64);
+            if let Some(m) = h.mean_ns() {
+                values.insert(format!("{k}.mean_ns"), m);
+            }
+            if let Some(p) = h.p50() {
+                values.insert(format!("{k}.p50_ns"), p.as_ns_f64());
+            }
+            if let Some(p) = h.p99() {
+                values.insert(format!("{k}.p99_ns"), p.as_ns_f64());
+            }
+            if let Some(p) = h.max() {
+                values.insert(format!("{k}.max_ns"), p.as_ns_f64());
+            }
+        }
+        MetricsSnapshot { values }
+    }
+}
+
+/// A flattened, immutable view of a [`MetricsRegistry`] at one instant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    values: BTreeMap<String, f64>,
+}
+
+impl MetricsSnapshot {
+    /// The flattened name → value map, in sorted name order.
+    pub fn values(&self) -> &BTreeMap<String, f64> {
+        &self.values
+    }
+
+    /// One value by flattened name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Per-key delta `self − baseline`. Keys only in `self` keep their
+    /// value; keys only in `baseline` appear negated, so the diff always
+    /// answers "what did this phase add".
+    pub fn diff(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut values = BTreeMap::new();
+        for (k, v) in &self.values {
+            values.insert(k.clone(), v - baseline.values.get(k).copied().unwrap_or(0.0));
+        }
+        for (k, v) in &baseline.values {
+            values.entry(k.clone()).or_insert(-v);
+        }
+        MetricsSnapshot { values }
+    }
+
+    /// Render as a JSON object, keys sorted, values in `{:?}` float form
+    /// (shortest round-trip representation — byte-stable per input).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n  {}: {}", crate::json::escape(k), fmt_f64(*v));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Render as two-column CSV (`metric,value`), keys sorted.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (k, v) in &self.values {
+            let _ = writeln!(out, "{k},{}", fmt_f64(*v));
+        }
+        out
+    }
+}
+
+/// Format a float so it is valid JSON (no NaN/inf; integral values get a
+/// trailing `.0`-free integer form).
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_owned();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_exact_aggregates() {
+        let mut h = LogHistogram::new();
+        for ns in [100u64, 200, 300] {
+            h.record(SimDuration::from_ns(ns));
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean_ns(), Some(200.0));
+        assert_eq!(h.min(), Some(SimDuration::from_ns(100)));
+        assert_eq!(h.max(), Some(SimDuration::from_ns(300)));
+    }
+
+    #[test]
+    fn histogram_quantiles_bracketed() {
+        let mut h = LogHistogram::new();
+        for ns in 1..=1000u64 {
+            h.record(SimDuration::from_ns(ns));
+        }
+        let p50 = h.p50().unwrap().as_ns_f64();
+        // Log buckets: p50 must land in the same power-of-two band as 500.
+        assert!((256.0..1000.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99().unwrap().as_ns_f64();
+        assert!((512.0..=1000.0).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), Some(SimDuration::from_ns(1000)));
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for ns in [5u64, 10, 80] {
+            a.record(SimDuration::from_ns(ns));
+            c.record(SimDuration::from_ns(ns));
+        }
+        for ns in [3u64, 700] {
+            b.record(SimDuration::from_ns(ns));
+            c.record(SimDuration::from_ns(ns));
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn snapshot_diff_is_per_phase_delta() {
+        let mut m = MetricsRegistry::new();
+        m.inc("net.sent", 10);
+        let before = m.snapshot();
+        m.inc("net.sent", 7);
+        m.inc("net.retransmits", 2);
+        let after = m.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.get("net.sent"), Some(7.0));
+        assert_eq!(d.get("net.retransmits"), Some(2.0));
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_stable() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a.count", 3);
+        m.set_gauge("b.watermark", 7.5);
+        m.observe("lat", SimDuration::from_ns(162));
+        let s1 = m.snapshot().to_json();
+        let s2 = m.snapshot().to_json();
+        assert_eq!(s1, s2);
+        crate::json::validate_json(&s1).expect("snapshot JSON must parse");
+        assert!(s1.contains("\"lat.p99_ns\""));
+    }
+}

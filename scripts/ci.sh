@@ -6,3 +6,11 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps -p anton-obs
+
+# Observability smoke: the trace exporter must produce well-formed,
+# Perfetto-loadable JSON (it validates its own output before writing).
+cargo run -q --release -p anton-bench --bin trace_export
+test -s target/obs/trace.json
+test -s target/obs/summary.csv
+test -s target/obs/metrics.json

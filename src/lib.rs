@@ -24,4 +24,5 @@ pub use anton_des as des;
 pub use anton_fft as fft;
 pub use anton_md as md;
 pub use anton_net as net;
+pub use anton_obs as obs;
 pub use anton_topo as topo;
