@@ -1,0 +1,117 @@
+//! Perf-regression harness CLI: run the canonical suite into a
+//! schema-versioned JSON report and diff reports against the committed
+//! baseline with a percentage threshold.
+//!
+//! ```text
+//! bench_regress emit [--full] [--out PATH]        run suite, write JSON
+//! bench_regress diff BASELINE CURRENT [--threshold PCT]
+//! bench_regress check BASELINE [--full] [--threshold PCT]
+//! ```
+//!
+//! `diff`/`check` exit non-zero if any metric regressed past the
+//! threshold (default 10%). All metrics are simulated time — lower is
+//! better, and drift means a model change, not host noise.
+
+use anton_bench::suite::run_suite;
+use anton_obs::BenchReport;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_regress emit [--full] [--out PATH]\n\
+       \x20      bench_regress diff BASELINE CURRENT [--threshold PCT]\n\
+       \x20      bench_regress check BASELINE [--full] [--threshold PCT]"
+    );
+    ExitCode::from(2)
+}
+
+fn read_report(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    BenchReport::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn diff_reports(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> ExitCode {
+    let diff = match current.diff(baseline, threshold) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_regress: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", diff.table());
+    if diff.has_regressions() {
+        eprintln!(
+            "bench_regress: {} metric(s) regressed more than {threshold}%",
+            diff.regression_count()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_regress: no regressions past {threshold}%");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut full = false;
+    let mut out: Option<String> = None;
+    let mut threshold = 10.0;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return usage(),
+            },
+            "--threshold" => match it.next().and_then(|t| t.parse().ok()) {
+                Some(t) => threshold = t,
+                None => return usage(),
+            },
+            _ => positional.push(a.clone()),
+        }
+    }
+
+    match positional.first().map(String::as_str) {
+        Some("emit") if positional.len() == 1 => {
+            let report = run_suite(full);
+            let json = report.to_json();
+            match out {
+                Some(path) => {
+                    if let Some(dir) = std::path::Path::new(&path).parent() {
+                        let _ = std::fs::create_dir_all(dir);
+                    }
+                    if let Err(e) = std::fs::write(&path, &json) {
+                        eprintln!("bench_regress: {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {path}");
+                }
+                None => println!("{json}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Some("diff") if positional.len() == 3 => {
+            let (base, cur) = (&positional[1], &positional[2]);
+            match (read_report(base), read_report(cur)) {
+                (Ok(b), Ok(c)) => diff_reports(&b, &c, threshold),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("bench_regress: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("check") if positional.len() == 2 => match read_report(&positional[1]) {
+            Ok(baseline) => {
+                let current = run_suite(full);
+                diff_reports(&baseline, &current, threshold)
+            }
+            Err(e) => {
+                eprintln!("bench_regress: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

@@ -10,10 +10,11 @@
 
 pub mod microbench;
 pub mod report;
+pub mod suite;
 
 pub use microbench::{
     multicast_vs_unicast, neighbor_exchange, one_way_latency, one_way_latency_faulty,
-    one_way_latency_local, one_way_latency_recorded, split_transfer_time,
+    one_way_latency_local, one_way_latency_recorded, one_way_latency_timed, split_transfer_time,
     streaming_bandwidth_gbps, ExchangeOutcome,
     ExchangeStyle,
 };

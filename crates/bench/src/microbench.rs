@@ -112,7 +112,17 @@ pub fn one_way_latency_faulty(
     iters: u32,
     fault: FaultPlan,
 ) -> Option<SimDuration> {
-    ping_pong_run(dims, src, dst, payload_bytes, bidirectional, iters, fault, None)
+    ping_pong_run(
+        dims,
+        src,
+        dst,
+        payload_bytes,
+        bidirectional,
+        iters,
+        anton_net::Timing::default(),
+        fault,
+        None,
+    )
 }
 
 /// [`one_way_latency`] with a packet flight recorder installed on the
@@ -127,6 +137,32 @@ pub fn one_way_latency_recorded(
     bidirectional: bool,
     iters: u32,
 ) -> (SimDuration, anton_obs::SharedFlightRecorder) {
+    one_way_latency_timed(
+        dims,
+        src,
+        dst,
+        payload_bytes,
+        bidirectional,
+        iters,
+        anton_net::Timing::default(),
+    )
+}
+
+/// [`one_way_latency_recorded`] under a caller-supplied [`Timing`]
+/// model — the knob the causal what-if harness turns to compare a
+/// retimed prediction against an actual perturbed re-run.
+///
+/// [`Timing`]: anton_net::Timing
+#[allow(clippy::too_many_arguments)]
+pub fn one_way_latency_timed(
+    dims: TorusDims,
+    src: Coord,
+    dst: Coord,
+    payload_bytes: u32,
+    bidirectional: bool,
+    iters: u32,
+    timing: anton_net::Timing,
+) -> (SimDuration, anton_obs::SharedFlightRecorder) {
     let rec = anton_obs::FlightRecorder::new().into_shared();
     let lat = ping_pong_run(
         dims,
@@ -135,6 +171,7 @@ pub fn one_way_latency_recorded(
         payload_bytes,
         bidirectional,
         iters,
+        timing,
         FaultPlan::none(),
         Some(Box::new(rec.clone())),
     )
@@ -150,6 +187,7 @@ fn ping_pong_run(
     payload_bytes: u32,
     bidirectional: bool,
     iters: u32,
+    timing: anton_net::Timing,
     fault: FaultPlan,
     recorder: Option<Box<dyn anton_obs::Recorder>>,
 ) -> Option<SimDuration> {
@@ -157,7 +195,7 @@ fn ping_pong_run(
     let finished = Rc::new(RefCell::new(vec![None; 2]));
     let f2 = finished.clone();
     let (a, b) = (src.node_id(dims), dst.node_id(dims));
-    let mut fabric = Fabric::with_faults(dims, anton_net::Timing::default(), fault);
+    let mut fabric = Fabric::with_faults(dims, timing, fault);
     if let Some(rec) = recorder {
         fabric.set_recorder(rec);
     }

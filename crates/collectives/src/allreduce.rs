@@ -408,11 +408,48 @@ pub fn run_all_reduce_recorded(
         .expect("fault-free all-reduce completes")
 }
 
+/// Fault-free all-reduce under a caller-supplied [`Timing`] model, with
+/// an optional recorder — the knob the causal what-if harness turns to
+/// compare a retimed prediction against an actual perturbed re-run.
+///
+/// [`Timing`]: anton_net::Timing
+pub fn run_all_reduce_timed(
+    dims: TorusDims,
+    algorithm: Algorithm,
+    params: CollectiveParams,
+    inputs: &[Vec<f64>],
+    timing: anton_net::Timing,
+    recorder: Option<Box<dyn anton_obs::Recorder>>,
+) -> AllReduceOutcome {
+    run_all_reduce_with(dims, algorithm, params, inputs, timing, FaultPlan::none(), recorder)
+        .expect("fault-free all-reduce completes")
+}
+
 fn run_all_reduce_inner(
     dims: TorusDims,
     algorithm: Algorithm,
     params: CollectiveParams,
     inputs: &[Vec<f64>],
+    fault: FaultPlan,
+    recorder: Option<Box<dyn anton_obs::Recorder>>,
+) -> Option<AllReduceOutcome> {
+    run_all_reduce_with(
+        dims,
+        algorithm,
+        params,
+        inputs,
+        anton_net::Timing::default(),
+        fault,
+        recorder,
+    )
+}
+
+fn run_all_reduce_with(
+    dims: TorusDims,
+    algorithm: Algorithm,
+    params: CollectiveParams,
+    inputs: &[Vec<f64>],
+    timing: anton_net::Timing,
     fault: FaultPlan,
     recorder: Option<Box<dyn anton_obs::Recorder>>,
 ) -> Option<AllReduceOutcome> {
@@ -422,7 +459,7 @@ fn run_all_reduce_inner(
     assert!(inputs.iter().all(|v| v.len() == values));
     let payload_bytes = (values * 8) as u32;
 
-    let mut fabric = Fabric::with_faults(dims, anton_net::Timing::default(), fault);
+    let mut fabric = Fabric::with_faults(dims, timing, fault);
     if let Some(rec) = recorder {
         fabric.set_recorder(rec);
     }

@@ -23,7 +23,8 @@ pub mod allreduce;
 pub mod analysis;
 
 pub use allreduce::{
-    random_inputs, run_all_reduce, run_all_reduce_faulty, run_all_reduce_recorded, Algorithm,
+    random_inputs, run_all_reduce, run_all_reduce_faulty, run_all_reduce_recorded,
+    run_all_reduce_timed, Algorithm,
     AllReduceOutcome,
     CollectiveParams,
 };

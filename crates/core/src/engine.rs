@@ -119,6 +119,13 @@ impl AntonMdEngine {
         self.state.borrow().step_count
     }
 
+    /// The fabric timing model the engine's steps run under — what a
+    /// causal-graph builder needs to reconstruct injection-port
+    /// occupancy from a recorded step.
+    pub fn timing(&self) -> anton_net::Timing {
+        self.state.borrow().config.timing.clone()
+    }
+
     /// Advance one time step; returns its timing record. Panics with the
     /// watchdog's diagnosis if the step stalls (lost packets under an
     /// aggressive fault plan); use [`AntonMdEngine::try_step`] to handle

@@ -199,6 +199,58 @@ impl Tracer {
         busy / (span * self.track_units(track) as f64)
     }
 
+    /// Time-binned busy fractions of `track` over `[from, to)`: the
+    /// window is split into `nbins` equal bins and each returns its
+    /// clipped busy time divided by the bin span times the track's
+    /// unit count — the utilization time series congestion telemetry
+    /// plots. Intervals straddling bin edges are split between bins,
+    /// so the bins sum to [`Tracer::busy_time`] exactly.
+    pub fn utilization_bins(
+        &self,
+        track: TrackId,
+        from: SimTime,
+        to: SimTime,
+        nbins: usize,
+    ) -> Vec<f64> {
+        assert!(to > from, "empty utilization window");
+        assert!(nbins > 0, "need at least one bin");
+        let span_ps = (to - from).as_ps();
+        let units = self.track_units(track) as f64;
+        // Bin b covers [edge(b), edge(b+1)) relative to `from`; the
+        // floored edges tile the window exactly.
+        let edge = |b: usize| b as u64 * span_ps / nbins as u64;
+        let mut busy = vec![0u64; nbins];
+        for iv in &self.intervals {
+            if iv.track != track || iv.activity != Activity::Busy {
+                continue;
+            }
+            if let Some((s, e)) = iv.clip(from, to) {
+                let (s, e) = ((s - from).as_ps(), (e - from).as_ps());
+                // Conservative candidate range (±1 bin for edge
+                // rounding); out-of-overlap candidates contribute 0.
+                let first = ((s * nbins as u64 / span_ps) as usize).saturating_sub(1);
+                let last =
+                    (((e.saturating_sub(1)) * nbins as u64 / span_ps) as usize + 1).min(nbins - 1);
+                for (b, slot) in busy.iter_mut().enumerate().take(last + 1).skip(first) {
+                    let lo = edge(b).max(s);
+                    let hi = edge(b + 1).min(e);
+                    *slot += hi.saturating_sub(lo);
+                }
+            }
+        }
+        busy.iter()
+            .enumerate()
+            .map(|(b, &v)| {
+                let bin_span = (edge(b + 1) - edge(b)) as f64;
+                if bin_span == 0.0 {
+                    0.0
+                } else {
+                    v as f64 / (bin_span * units)
+                }
+            })
+            .collect()
+    }
+
     /// Busy time on `track` within `[from, to)` broken down by phase
     /// label, in label-id order (clipped like
     /// [`Tracer::busy_time`]). Labels with no busy time are omitted.
@@ -339,6 +391,44 @@ mod tests {
         assert_eq!(tr.busy_time(TrackId(0), t(90), t(200)), SimDuration::from_ns(10));
         // Window entirely outside.
         assert_eq!(tr.busy_time(TrackId(0), t(200), t(300)), SimDuration::ZERO);
+    }
+
+    /// Binned utilization splits straddling intervals between bins and
+    /// conserves total busy time exactly, including when the window
+    /// span does not divide evenly by the bin count.
+    #[test]
+    fn utilization_bins_conserve_busy_time() {
+        let mut tr = Tracer::enabled();
+        let lbl = tr.intern_label("x");
+        // [10, 30) busy, then [50, 60): 30 ns total in [0, 100).
+        tr.record(TrackId(0), Activity::Busy, t(10), t(30), lbl);
+        tr.record(TrackId(0), Activity::Busy, t(50), t(60), lbl);
+        // 4 bins of 25 ns: [0,25) holds 15 ns, [25,50) 5 ns, [50,75) 10 ns.
+        let bins = tr.utilization_bins(TrackId(0), t(0), t(100), 4);
+        assert_eq!(bins, vec![0.6, 0.2, 0.4, 0.0]);
+        // Bins weighted by span sum to busy_time exactly.
+        let busy = tr.busy_time(TrackId(0), t(0), t(100));
+        let recon: f64 = bins.iter().map(|u| u * 25_000.0).sum();
+        assert_eq!(recon, busy.as_ps() as f64);
+        // Uneven split (100 ns into 3 bins) still conserves the total.
+        let bins3 = tr.utilization_bins(TrackId(0), t(0), t(100), 3);
+        let span = 100_000u64;
+        let recon3: f64 = bins3
+            .iter()
+            .enumerate()
+            .map(|(b, u)| {
+                let w = ((b as u64 + 1) * span / 3 - b as u64 * span / 3) as f64;
+                u * w
+            })
+            .sum();
+        assert!((recon3 - busy.as_ps() as f64).abs() < 1e-6);
+        // A single bin reproduces plain utilization.
+        let one = tr.utilization_bins(TrackId(0), t(0), t(100), 1);
+        assert_eq!(one, vec![tr.utilization(TrackId(0), t(0), t(100))]);
+        // Track units divide each bin, same as utilization().
+        tr.set_track_units(TrackId(0), 2);
+        let halved = tr.utilization_bins(TrackId(0), t(0), t(100), 4);
+        assert_eq!(halved, vec![0.3, 0.1, 0.2, 0.0]);
     }
 
     #[test]

@@ -172,14 +172,21 @@ pub struct NetStats {
 impl NetStats {
     /// Per-counter delta `self − baseline`: what this phase added on top
     /// of a snapshot taken earlier in the same run. Counters are
-    /// cumulative and monotone, so a later snapshot minus an earlier one
-    /// is exact; per-node vectors shorter in the baseline are treated as
-    /// zeros (a fabric never shrinks).
+    /// cumulative and monotone within one fabric, so a later snapshot
+    /// minus an earlier one is exact; per-node vectors shorter in the
+    /// baseline are treated as zeros (a fabric never shrinks).
+    ///
+    /// Saturation semantics: if a counter in `self` is *smaller* than
+    /// in `baseline` — the counter was reset between the snapshots
+    /// (fresh per-step fabric, restarted run) — the delta saturates to
+    /// zero instead of panicking or wrapping. A reset makes the true
+    /// delta unknowable from the two snapshots alone; zero is the
+    /// conservative reading ("nothing attributable to this phase"),
+    /// and callers that need exact per-phase deltas across fabric
+    /// boundaries should snapshot per fabric and [`NetStats::merge`]
+    /// instead.
     pub fn diff(&self, baseline: &NetStats) -> NetStats {
-        let sub = |a: u64, b: u64| {
-            debug_assert!(a >= b, "NetStats::diff against a later snapshot");
-            a.saturating_sub(b)
-        };
+        let sub = |a: u64, b: u64| a.saturating_sub(b);
         let sub_vec = |a: &[u64], b: &[u64]| {
             a.iter()
                 .enumerate()

@@ -180,3 +180,29 @@ fn duplicate_pattern_registration_panics() {
     fabric.register_pattern(PatternId(0), &p);
     fabric.register_pattern(PatternId(0), &p);
 }
+
+/// `NetStats::diff` saturates (to zero) instead of panicking or
+/// wrapping when a counter was reset between the two snapshots — the
+/// documented semantics for diffing across per-step fabric boundaries.
+#[test]
+fn netstats_diff_saturates_on_counter_reset() {
+    let older = anton_net::NetStats {
+        packets_sent: 100,
+        payload_bytes_delivered: 4096,
+        sent_by_node: vec![60, 40],
+        ..Default::default()
+    };
+    let fresh = anton_net::NetStats {
+        packets_sent: 7,          // reset + 7 new sends
+        sent_by_node: vec![7],    // fresh fabric, fewer nodes
+        ..Default::default()
+    };
+    let d = fresh.diff(&older);
+    assert_eq!(d.packets_sent, 0, "reset counter saturates to zero");
+    assert_eq!(d.payload_bytes_delivered, 0);
+    assert_eq!(d.sent_by_node, vec![0]);
+    // The normal direction stays exact.
+    let d2 = older.diff(&fresh);
+    assert_eq!(d2.packets_sent, 93);
+    assert_eq!(d2.sent_by_node, vec![53, 40]);
+}

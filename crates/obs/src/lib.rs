@@ -25,19 +25,38 @@
 //! - [`chrome_trace`] — Chrome `trace_event` JSON export, loadable in
 //!   Perfetto or `about:tracing`, plus CSV/JSON summaries and a
 //!   dependency-free JSON validator for CI smoke tests.
+//! - [`causal`] — reconstructs the causal event DAG from a recorded
+//!   stream and extracts the *measured* critical path, per-node slack,
+//!   and per-stage blame that telescopes exactly to the makespan.
+//! - [`mod@retime`] — what-if replay of the causal DAG under perturbed lags
+//!   (hop latency ±10%, one slow link) without re-running the
+//!   simulation.
+//! - [`congestion`] — time-binned per-link/per-router utilization and
+//!   queue telemetry, exportable as CSV, Chrome counter tracks, and an
+//!   ASCII heatmap.
+//! - [`regress`] — schema-versioned benchmark reports and
+//!   threshold-based regression diffing for `scripts/bench_regress.sh`.
 
 #![warn(missing_docs)]
 
 pub mod breakdown;
+pub mod causal;
 pub mod chrome_trace;
+pub mod congestion;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod regress;
+pub mod retime;
 
 pub use breakdown::{fold_lifecycles, BreakdownSummary, FoldStats, PacketLifecycle, Stage};
+pub use causal::{Blame, CEdge, CNode, CausalGraph, CriticalPath, EdgeKind, NodeKind};
 pub use chrome_trace::{lifecycles_csv, ChromeTraceBuilder};
+pub use congestion::{CongestionMap, LinkLoad, RouterLoad};
 pub use json::validate_json;
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{
     FlightEvent, FlightRecorder, NopRecorder, PacketId, Recorder, SharedFlightRecorder,
 };
+pub use regress::{BenchReport, RegressFinding, RegressReport, BENCH_SCHEMA_VERSION};
+pub use retime::{retime, Perturbation, Retimed};

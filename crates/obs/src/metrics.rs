@@ -91,13 +91,25 @@ impl LogHistogram {
     }
 
     /// Approximate quantile `q` in `[0, 1]`: the containing bucket is
-    /// exact, the position inside it linearly interpolated. Clamped to
-    /// the exact min/max so `quantile(0)`/`quantile(1)` are exact.
+    /// exact, the position inside it estimated by the midpoint rule
+    /// (the j-th of n samples in a bucket sits at fraction
+    /// `(j - 0.5) / n` of the bucket span, so a single-sample or
+    /// single-bucket histogram reports the bucket midpoint rather than
+    /// its top edge). The estimate is clamped to the exact recorded
+    /// min/max, so `quantile(0)`/`quantile(1)` are exact and a
+    /// one-sample histogram returns the sample itself.
     pub fn quantile(&self, q: f64) -> Option<SimDuration> {
         if self.count == 0 {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
+        // The extremes are tracked exactly — no interpolation.
+        if q == 0.0 {
+            return Some(SimDuration::from_ps(self.min_ps));
+        }
+        if q == 1.0 {
+            return Some(SimDuration::from_ps(self.max_ps));
+        }
         // Rank of the q-th sample, 1-based.
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
@@ -106,9 +118,18 @@ impl LogHistogram {
                 continue;
             }
             if seen + n >= rank {
+                // Bucket i covers [2^(i-1), 2^i - 1]; the top bucket
+                // (i = 64) saturates at u64::MAX instead of shifting
+                // out of range.
                 let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
-                let hi = if i == 0 { 0 } else { (1u64 << i) - 1 };
-                let frac = (rank - seen) as f64 / n as f64;
+                let hi = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                let frac = ((rank - seen) as f64 - 0.5) / n as f64;
                 let est = lo as f64 + frac * (hi - lo) as f64;
                 let est = est.clamp(self.min_ps as f64, self.max_ps as f64);
                 return Some(SimDuration::from_ps(est.round() as u64));
@@ -280,7 +301,7 @@ impl MetricsSnapshot {
 
 /// Format a float so it is valid JSON (no NaN/inf; integral values get a
 /// trailing `.0`-free integer form).
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if !v.is_finite() {
         return "null".to_owned();
     }
@@ -319,6 +340,62 @@ mod tests {
         let p99 = h.p99().unwrap().as_ns_f64();
         assert!((512.0..=1000.0).contains(&p99), "p99 = {p99}");
         assert_eq!(h.quantile(1.0), Some(SimDuration::from_ns(1000)));
+    }
+
+    #[test]
+    fn histogram_single_sample_quantiles_are_the_sample() {
+        // Regression: at bucket boundaries the interpolation used to
+        // return the bucket's top edge (or overflow on the top
+        // bucket); a one-sample histogram must report a sane in-bucket
+        // value for every quantile — with exact min/max clamping, the
+        // sample itself.
+        let mut h = LogHistogram::new();
+        h.record(SimDuration::from_ns(600));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert_eq!(v, SimDuration::from_ns(600), "q={q} must be the sample");
+        }
+    }
+
+    #[test]
+    fn histogram_single_bucket_quantiles_stay_in_bucket() {
+        // Three samples in one power-of-two bucket [512, 1023] ns:
+        // every quantile must land inside the bucket, between the
+        // recorded min and max, and be monotone in q.
+        let mut h = LogHistogram::new();
+        for ns in [600u64, 700, 800] {
+            h.record(SimDuration::from_ns(ns));
+        }
+        let p50 = h.p50().unwrap();
+        let p99 = h.p99().unwrap();
+        assert!(p50 >= SimDuration::from_ns(600) && p50 <= SimDuration::from_ns(800));
+        assert!(p99 >= p50 && p99 <= SimDuration::from_ns(800));
+        assert_eq!(h.quantile(0.0), Some(SimDuration::from_ns(600)));
+        assert_eq!(h.quantile(1.0), Some(SimDuration::from_ns(800)));
+    }
+
+    #[test]
+    fn histogram_top_bucket_does_not_overflow() {
+        // Durations with the top bit set land in bucket 64, whose
+        // upper edge used to be computed as `1 << 64` — an overflow.
+        let mut h = LogHistogram::new();
+        h.record(SimDuration::from_ps(u64::MAX));
+        h.record(SimDuration::from_ps(1 << 63));
+        for q in [0.5, 0.99] {
+            let v = h.quantile(q).unwrap().as_ps();
+            assert!(v >= 1 << 63, "q={q} stays in the top bucket");
+        }
+        assert_eq!(h.quantile(1.0), Some(SimDuration::from_ps(u64::MAX)));
+    }
+
+    #[test]
+    fn histogram_zero_sample_bucket_zero() {
+        // Bucket 0 holds only the zero duration; its lo == hi == 0 and
+        // quantiles must not produce NaN.
+        let mut h = LogHistogram::new();
+        h.record(SimDuration::ZERO);
+        assert_eq!(h.p50(), Some(SimDuration::ZERO));
+        assert_eq!(h.p99(), Some(SimDuration::ZERO));
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! Schema-versioned benchmark reports and threshold-based regression
+//! diffing — the data model behind `scripts/bench_regress.sh`.
+//!
+//! A [`BenchReport`] is a flat map of metric name → value (latencies in
+//! nanoseconds or microseconds, the name says which) with a schema
+//! version and a label. It serializes to a small, stable JSON document
+//! (`BENCH_pr3.json` is the committed baseline) and parses back without
+//! any external dependency. [`BenchReport::diff`] compares a current
+//! run against a baseline with a percentage threshold: all suite
+//! metrics are lower-is-better, so only increases beyond the threshold
+//! count as regressions. Metrics present only in the baseline are
+//! reported but do not fail the diff — that is what lets the quick CI
+//! suite check against the committed full-suite baseline.
+
+use crate::json::{escape, validate_json};
+use crate::metrics::fmt_f64;
+use std::collections::BTreeMap;
+
+/// Version of the `BENCH_*.json` schema this crate writes and reads.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One benchmark run: named scalar results plus identifying metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`] when written by this
+    /// crate).
+    pub schema: u32,
+    /// Free-form label of the run (suite name, PR tag).
+    pub label: String,
+    /// Metric name → value, sorted by name. Lower is better for every
+    /// suite metric.
+    pub values: BTreeMap<String, f64>,
+}
+
+impl BenchReport {
+    /// An empty report with the current schema version.
+    pub fn new(label: &str) -> BenchReport {
+        BenchReport {
+            schema: BENCH_SCHEMA_VERSION,
+            label: label.to_owned(),
+            values: BTreeMap::new(),
+        }
+    }
+
+    /// Record one metric (overwrites a previous value of that name).
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_owned(), value);
+    }
+
+    /// Look up one metric.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Serialize to the stable JSON document (validated before being
+    /// returned, so it is always well-formed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", self.schema));
+        out.push_str(&format!("  \"label\": {},\n", escape(&self.label)));
+        out.push_str("  \"values\": {");
+        let mut first = true;
+        for (name, value) in &self.values {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    {}: {}", escape(name), fmt_f64(*value)));
+        }
+        out.push_str("\n  }\n}\n");
+        validate_json(&out).expect("bench report JSON is well-formed by construction");
+        out
+    }
+
+    /// Parse a report written by [`BenchReport::to_json`] (or edited by
+    /// hand, as long as it keeps the flat shape: top-level `schema`,
+    /// `label`, and a `values` object of numbers).
+    pub fn parse(s: &str) -> Result<BenchReport, String> {
+        validate_json(s).map_err(|e| format!("not valid JSON: {e:?}"))?;
+        let mut p = Lex { s: s.as_bytes(), i: 0 };
+        let mut report = BenchReport { schema: 0, label: String::new(), values: BTreeMap::new() };
+        let mut saw_schema = false;
+        p.expect(b'{')?;
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "schema" => {
+                    report.schema = p.number()? as u32;
+                    saw_schema = true;
+                }
+                "label" => report.label = p.string()?,
+                "values" => {
+                    p.expect(b'{')?;
+                    if p.peek() == Some(b'}') {
+                        p.expect(b'}')?;
+                    } else {
+                        loop {
+                            let name = p.string()?;
+                            p.expect(b':')?;
+                            report.values.insert(name, p.number()?);
+                            if !p.comma_or(b'}')? {
+                                break;
+                            }
+                        }
+                    }
+                }
+                other => return Err(format!("unexpected key {other:?}")),
+            }
+            if !p.comma_or(b'}')? {
+                break;
+            }
+        }
+        if !saw_schema {
+            return Err("missing \"schema\"".to_owned());
+        }
+        if report.schema != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "schema version {} unsupported (this build reads {})",
+                report.schema, BENCH_SCHEMA_VERSION
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Compare this (current) run against a `baseline`. A metric
+    /// regresses when it grew more than `threshold_pct` percent over
+    /// the baseline; it must exist in both reports to be compared, and
+    /// at least one metric must be comparable.
+    pub fn diff(&self, baseline: &BenchReport, threshold_pct: f64) -> Result<RegressReport, String> {
+        let mut findings = Vec::new();
+        let mut missing_in_current = Vec::new();
+        for (name, &base) in &baseline.values {
+            match self.get(name) {
+                None => missing_in_current.push(name.clone()),
+                Some(cur) => {
+                    let delta_pct = if base == 0.0 {
+                        if cur == 0.0 {
+                            0.0
+                        } else {
+                            f64::INFINITY
+                        }
+                    } else {
+                        100.0 * (cur - base) / base
+                    };
+                    findings.push(RegressFinding {
+                        name: name.clone(),
+                        baseline: base,
+                        current: cur,
+                        delta_pct,
+                        regressed: delta_pct > threshold_pct,
+                    });
+                }
+            }
+        }
+        if findings.is_empty() {
+            return Err("no metric exists in both reports".to_owned());
+        }
+        let new_in_current = self
+            .values
+            .keys()
+            .filter(|k| !baseline.values.contains_key(*k))
+            .cloned()
+            .collect();
+        Ok(RegressReport { findings, missing_in_current, new_in_current, threshold_pct })
+    }
+}
+
+/// One compared metric of a [`RegressReport`].
+#[derive(Debug, Clone)]
+pub struct RegressFinding {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Percentage change versus the baseline (positive = slower).
+    pub delta_pct: f64,
+    /// Whether the change exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// The result of diffing a current [`BenchReport`] against a baseline.
+#[derive(Debug, Clone)]
+pub struct RegressReport {
+    /// All metrics present in both reports, baseline order.
+    pub findings: Vec<RegressFinding>,
+    /// Baseline metrics the current run did not produce (quick suite
+    /// versus full baseline) — informational, not failures.
+    pub missing_in_current: Vec<String>,
+    /// Current metrics with no baseline yet — informational.
+    pub new_in_current: Vec<String>,
+    /// The threshold the diff was taken at, in percent.
+    pub threshold_pct: f64,
+}
+
+impl RegressReport {
+    /// Whether any metric regressed beyond the threshold.
+    pub fn has_regressions(&self) -> bool {
+        self.findings.iter().any(|f| f.regressed)
+    }
+
+    /// Number of regressed metrics.
+    pub fn regression_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.regressed).count()
+    }
+
+    /// A fixed-width text table of the comparison.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "{:<34} {:>12} {:>12} {:>9}  verdict (threshold {:.1}%)\n",
+            "metric", "baseline", "current", "delta", self.threshold_pct
+        );
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{:<34} {:>12.3} {:>12.3} {:>+8.2}%  {}\n",
+                f.name,
+                f.baseline,
+                f.current,
+                f.delta_pct,
+                if f.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        for name in &self.missing_in_current {
+            out.push_str(&format!("{name:<34} (baseline only — skipped)\n"));
+        }
+        for name in &self.new_in_current {
+            out.push_str(&format!("{name:<34} (new — no baseline)\n"));
+        }
+        out
+    }
+}
+
+/// A minimal lexer for the flat report shape; well-formedness was
+/// already checked by [`validate_json`], so errors here mean the
+/// document is valid JSON of the wrong *shape*.
+struct Lex<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Lex<'_> {
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.ws();
+        if self.s.get(self.i) == Some(&b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.i))
+        }
+    }
+
+    /// Consume `,` (returning true) or the given closer (false).
+    fn comma_or(&mut self, close: u8) -> Result<bool, String> {
+        self.ws();
+        match self.s.get(self.i) {
+            Some(b',') => {
+                self.i += 1;
+                Ok(true)
+            }
+            Some(&b) if b == close => {
+                self.i += 1;
+                Ok(false)
+            }
+            _ => Err(format!("expected ',' or {:?} at byte {}", close as char, self.i)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&b) = self.s.get(self.i) {
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.s.get(self.i).ok_or("truncated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.i += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => out.push(b as char),
+            }
+        }
+        Err("unterminated string".to_owned())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.ws();
+        let start = self.i;
+        while let Some(&b) = self.s.get(self.i) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("expected a number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("test");
+        r.set("one_way_1hop_ns", 162.0);
+        r.set("allreduce_512_us", 1.77);
+        r
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let json = r.to_json();
+        validate_json(&json).expect("well-formed");
+        let back = BenchReport::parse(&json).expect("parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let json = sample().to_json().replace("\"schema\": 1", "\"schema\": 99");
+        let err = BenchReport::parse(&json).unwrap_err();
+        assert!(err.contains("schema version 99"), "{err}");
+    }
+
+    #[test]
+    fn diff_flags_only_threshold_crossings() {
+        let base = sample();
+        let mut cur = sample();
+        cur.set("one_way_1hop_ns", 190.0); // +17.3%
+        cur.set("allreduce_512_us", 1.80); // +1.7%
+        let d = cur.diff(&base, 10.0).expect("comparable");
+        assert!(d.has_regressions());
+        assert_eq!(d.regression_count(), 1);
+        let reg = d.findings.iter().find(|f| f.regressed).unwrap();
+        assert_eq!(reg.name, "one_way_1hop_ns");
+        assert!(d.table().contains("REGRESSED"));
+        // Improvements never fail.
+        let mut fast = sample();
+        fast.set("one_way_1hop_ns", 100.0);
+        assert!(!fast.diff(&base, 10.0).unwrap().has_regressions());
+    }
+
+    #[test]
+    fn baseline_only_keys_are_skipped_not_failed() {
+        let mut base = sample();
+        base.set("dhfr_step_us", 21.0); // full-suite metric
+        let cur = sample(); // quick suite: no DHFR key
+        let d = cur.diff(&base, 10.0).expect("comparable");
+        assert!(!d.has_regressions());
+        assert_eq!(d.missing_in_current, vec!["dhfr_step_us".to_owned()]);
+        assert!(d.table().contains("baseline only"));
+    }
+
+    #[test]
+    fn disjoint_reports_are_an_error() {
+        let mut other = BenchReport::new("other");
+        other.set("unrelated", 1.0);
+        assert!(sample().diff(&other, 10.0).is_err());
+    }
+}

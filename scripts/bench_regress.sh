@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Perf-regression harness: run the canonical bench suite and diff it
+# against the committed baseline (BENCH_pr3.json). All metrics are
+# *simulated* durations — bit-deterministic, so any drift is a model
+# change, not host noise. Exits non-zero on a regression past the
+# threshold.
+#
+# Usage:
+#   scripts/bench_regress.sh             # quick suite vs baseline
+#   FULL=1 scripts/bench_regress.sh      # adds the DHFR step (~minutes)
+#   THRESHOLD=5 scripts/bench_regress.sh # tighten the gate to 5%
+#
+# To refresh the baseline after an intentional model change:
+#   cargo run --release -p anton-bench --bin bench_regress -- \
+#     emit --full --out BENCH_pr3.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=${BASELINE:-BENCH_pr3.json}
+THRESHOLD=${THRESHOLD:-10}
+CURRENT=target/obs/BENCH_current.json
+
+FLAGS=()
+if [[ "${FULL:-0}" != 0 ]]; then
+  FLAGS+=(--full)
+fi
+
+cargo run -q --release -p anton-bench --bin bench_regress -- \
+  emit "${FLAGS[@]+"${FLAGS[@]}"}" --out "$CURRENT"
+cargo run -q --release -p anton-bench --bin bench_regress -- \
+  diff "$BASELINE" "$CURRENT" --threshold "$THRESHOLD"

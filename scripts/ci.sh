@@ -14,3 +14,13 @@ cargo run -q --release -p anton-bench --bin trace_export
 test -s target/obs/trace.json
 test -s target/obs/summary.csv
 test -s target/obs/metrics.json
+
+# Congestion telemetry smoke: exports must materialize and the map must
+# agree with the activity tracer (asserted inside the binary).
+cargo run -q --release -p anton-bench --bin congestion_heatmap > /dev/null
+test -s target/obs/congestion.csv
+test -s target/obs/congestion_trace.json
+
+# Perf-regression gate: the quick canonical suite must stay within 10%
+# of the committed baseline (fails the build otherwise).
+scripts/bench_regress.sh
