@@ -131,15 +131,20 @@ impl DesmondModel {
     /// A range-limited step.
     pub fn range_limited_step(&self) -> DesmondStep {
         let comm = self.range_limited_comm_us();
-        DesmondStep { communication_us: comm, total_us: comm + self.compute_us(false) }
+        DesmondStep {
+            communication_us: comm,
+            total_us: comm + self.compute_us(false),
+        }
     }
 
     /// A long-range step (adds the FFT convolution and thermostat).
     pub fn long_range_step(&self) -> DesmondStep {
-        let comm = self.range_limited_comm_us()
-            + self.fft_convolution_us()
-            + self.thermostat_comm_us();
-        DesmondStep { communication_us: comm, total_us: comm + self.compute_us(true) }
+        let comm =
+            self.range_limited_comm_us() + self.fft_convolution_us() + self.thermostat_comm_us();
+        DesmondStep {
+            communication_us: comm,
+            total_us: comm + self.compute_us(true),
+        }
     }
 
     /// Average step (long-range every other step, as in Table 3).

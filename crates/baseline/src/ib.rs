@@ -93,7 +93,10 @@ mod tests {
         // cluster measured 35.5 µs. Our model should land in that
         // region (it's 9 rounds of ~1.3 µs plus contention the model
         // folds into the constants).
-        let ib = IbModel { per_message_us: 2.8, ..Default::default() };
+        let ib = IbModel {
+            per_message_us: 2.8,
+            ..Default::default()
+        };
         let t = ib.allreduce_us(512, 32);
         assert!((25.0..45.0).contains(&t), "{t}");
         // And the default (uncongested) model is strictly cheaper.

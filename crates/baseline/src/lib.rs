@@ -15,6 +15,6 @@ pub use desmond::{DesmondModel, DesmondStep};
 pub use ib::IbModel;
 pub use survey::{
     HalfBandwidthEntry, SurveyEntry, ANTON_HALF_BANDWIDTH_BYTES, ANTON_LATENCY_US,
-    BGL_TREE_ALLREDUCE_512_US, HALF_BANDWIDTH_SURVEY, LATENCY_SURVEY,
-    MEASURED_IB_ALLREDUCE_512_US, PAPER_TABLE2, PAPER_TABLE3,
+    BGL_TREE_ALLREDUCE_512_US, HALF_BANDWIDTH_SURVEY, LATENCY_SURVEY, MEASURED_IB_ALLREDUCE_512_US,
+    PAPER_TABLE2, PAPER_TABLE3,
 };

@@ -20,21 +20,96 @@ pub struct SurveyEntry {
 
 /// Table 1 (excluding Anton itself, which the simulator measures).
 pub const LATENCY_SURVEY: &[SurveyEntry] = &[
-    SurveyEntry { machine: "Altix 3700 BX2", latency_us: 1.25, year: 2006, reference: "[18]" },
-    SurveyEntry { machine: "QsNetII", latency_us: 1.28, year: 2005, reference: "[8]" },
-    SurveyEntry { machine: "Columbia", latency_us: 1.6, year: 2005, reference: "[10]" },
-    SurveyEntry { machine: "Sun Fire", latency_us: 1.7, year: 2002, reference: "[42]" },
-    SurveyEntry { machine: "EV7", latency_us: 1.7, year: 2002, reference: "[26]" },
-    SurveyEntry { machine: "J-Machine", latency_us: 1.8, year: 1993, reference: "[32]" },
-    SurveyEntry { machine: "QsNET", latency_us: 1.9, year: 2001, reference: "[33]" },
-    SurveyEntry { machine: "Roadrunner (InfiniBand)", latency_us: 2.16, year: 2008, reference: "[7]" },
-    SurveyEntry { machine: "Cray T3E", latency_us: 2.75, year: 1996, reference: "[37]" },
-    SurveyEntry { machine: "Blue Gene/P", latency_us: 2.75, year: 2008, reference: "[3]" },
-    SurveyEntry { machine: "Blue Gene/L", latency_us: 2.8, year: 2005, reference: "[25]" },
-    SurveyEntry { machine: "ASC Purple", latency_us: 4.4, year: 2005, reference: "[25]" },
-    SurveyEntry { machine: "Cray XT4", latency_us: 4.5, year: 2007, reference: "[2]" },
-    SurveyEntry { machine: "Red Storm", latency_us: 6.9, year: 2005, reference: "[25]" },
-    SurveyEntry { machine: "SR8000", latency_us: 9.9, year: 2001, reference: "[45]" },
+    SurveyEntry {
+        machine: "Altix 3700 BX2",
+        latency_us: 1.25,
+        year: 2006,
+        reference: "[18]",
+    },
+    SurveyEntry {
+        machine: "QsNetII",
+        latency_us: 1.28,
+        year: 2005,
+        reference: "[8]",
+    },
+    SurveyEntry {
+        machine: "Columbia",
+        latency_us: 1.6,
+        year: 2005,
+        reference: "[10]",
+    },
+    SurveyEntry {
+        machine: "Sun Fire",
+        latency_us: 1.7,
+        year: 2002,
+        reference: "[42]",
+    },
+    SurveyEntry {
+        machine: "EV7",
+        latency_us: 1.7,
+        year: 2002,
+        reference: "[26]",
+    },
+    SurveyEntry {
+        machine: "J-Machine",
+        latency_us: 1.8,
+        year: 1993,
+        reference: "[32]",
+    },
+    SurveyEntry {
+        machine: "QsNET",
+        latency_us: 1.9,
+        year: 2001,
+        reference: "[33]",
+    },
+    SurveyEntry {
+        machine: "Roadrunner (InfiniBand)",
+        latency_us: 2.16,
+        year: 2008,
+        reference: "[7]",
+    },
+    SurveyEntry {
+        machine: "Cray T3E",
+        latency_us: 2.75,
+        year: 1996,
+        reference: "[37]",
+    },
+    SurveyEntry {
+        machine: "Blue Gene/P",
+        latency_us: 2.75,
+        year: 2008,
+        reference: "[3]",
+    },
+    SurveyEntry {
+        machine: "Blue Gene/L",
+        latency_us: 2.8,
+        year: 2005,
+        reference: "[25]",
+    },
+    SurveyEntry {
+        machine: "ASC Purple",
+        latency_us: 4.4,
+        year: 2005,
+        reference: "[25]",
+    },
+    SurveyEntry {
+        machine: "Cray XT4",
+        latency_us: 4.5,
+        year: 2007,
+        reference: "[2]",
+    },
+    SurveyEntry {
+        machine: "Red Storm",
+        latency_us: 6.9,
+        year: 2005,
+        reference: "[25]",
+    },
+    SurveyEntry {
+        machine: "SR8000",
+        latency_us: 9.9,
+        year: 2001,
+        reference: "[45]",
+    },
 ];
 
 /// The paper's reported Anton figure (our simulator must reproduce it).
@@ -54,9 +129,18 @@ pub struct HalfBandwidthEntry {
 /// 28-byte messages on Anton, compared with 1.4-, 16-, and 39-kilobyte
 /// messages on Blue Gene/L, Red Storm, and ASC Purple".
 pub const HALF_BANDWIDTH_SURVEY: &[HalfBandwidthEntry] = &[
-    HalfBandwidthEntry { machine: "Blue Gene/L", half_bandwidth_bytes: 1_400 },
-    HalfBandwidthEntry { machine: "Red Storm", half_bandwidth_bytes: 16_000 },
-    HalfBandwidthEntry { machine: "ASC Purple", half_bandwidth_bytes: 39_000 },
+    HalfBandwidthEntry {
+        machine: "Blue Gene/L",
+        half_bandwidth_bytes: 1_400,
+    },
+    HalfBandwidthEntry {
+        machine: "Red Storm",
+        half_bandwidth_bytes: 16_000,
+    },
+    HalfBandwidthEntry {
+        machine: "ASC Purple",
+        half_bandwidth_bytes: 39_000,
+    },
 ];
 
 /// Anton's half-bandwidth message size per the paper.

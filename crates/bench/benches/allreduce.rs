@@ -11,7 +11,12 @@ fn bench(c: &mut Criterion) {
     // paper's 1.77 µs, and dimension-ordered beats butterfly.
     let dims = TorusDims::anton_512();
     let inputs = random_inputs(dims, 4, 42);
-    let d = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+    let d = run_all_reduce(
+        dims,
+        Algorithm::DimensionOrdered,
+        Default::default(),
+        &inputs,
+    );
     let b = run_all_reduce(dims, Algorithm::Butterfly, Default::default(), &inputs);
     let us = d.latency.as_us_f64();
     assert!((1.2..2.3).contains(&us), "{us}");
@@ -26,7 +31,12 @@ fn bench(c: &mut Criterion) {
             &inputs,
             |bch, inputs| {
                 bch.iter(|| {
-                    run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), inputs)
+                    run_all_reduce(
+                        dims,
+                        Algorithm::DimensionOrdered,
+                        Default::default(),
+                        inputs,
+                    )
                 });
             },
         );
@@ -34,9 +44,7 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("butterfly", dims.node_count()),
             &inputs,
             |bch, inputs| {
-                bch.iter(|| {
-                    run_all_reduce(dims, Algorithm::Butterfly, Default::default(), inputs)
-                });
+                bch.iter(|| run_all_reduce(dims, Algorithm::Butterfly, Default::default(), inputs));
             },
         );
     }

@@ -26,7 +26,13 @@ fn bench(c: &mut Criterion) {
             .map(|i| Complex::real((i % 97) as f64 / 97.0))
             .collect();
         b.iter(|| {
-            fft3d(std::hint::black_box(&mut data), 32, 32, 32, Direction::Forward);
+            fft3d(
+                std::hint::black_box(&mut data),
+                32,
+                32,
+                32,
+                Direction::Forward,
+            );
         });
     });
 

@@ -10,7 +10,10 @@ fn bench(c: &mut Criterion) {
     let dims = TorusDims::anton_512();
     let t1 = split_transfer_time(dims, 1, 2048, 1);
     let t64 = split_transfer_time(dims, 1, 2048, 64);
-    assert!(t64.as_ns_f64() / t1.as_ns_f64() < 2.0, "Anton must stay near-flat");
+    assert!(
+        t64.as_ns_f64() / t1.as_ns_f64() < 2.0,
+        "Anton must stay near-flat"
+    );
 
     let mut group = c.benchmark_group("fig7_split_transfer");
     group.sample_size(20);

@@ -9,7 +9,10 @@ fn bench(c: &mut Criterion) {
     let dims = TorusDims::new(4, 4, 4);
     let direct = neighbor_exchange(dims, ExchangeStyle::Direct, 1472);
     let staged = neighbor_exchange(dims, ExchangeStyle::Staged, 1472);
-    assert!(direct.completion < staged.completion, "direct wins on Anton");
+    assert!(
+        direct.completion < staged.completion,
+        "direct wins on Anton"
+    );
 
     let mut group = c.benchmark_group("fig8_neighbor_exchange");
     group.sample_size(10);

@@ -30,7 +30,14 @@ fn main() {
     println!("Fault-rate ablation (drop rate r, corrupt rate r/2, retry budget 8)");
     println!(
         "{:>8} {:>12} {:>8} {:>13} {:>8} {:>13} {:>8} {:>12}",
-        "rate", "pingpong ns", "vs base", "allreduce us", "vs base", "md step us", "vs base", "retransmits"
+        "rate",
+        "pingpong ns",
+        "vs base",
+        "allreduce us",
+        "vs base",
+        "md step us",
+        "vs base",
+        "retransmits"
     );
 
     let dims512 = TorusDims::anton_512();
@@ -88,9 +95,13 @@ fn main() {
             ));
         }
         let (b_ping, b_ar, b_md) = base.unwrap();
-        let fmt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "stall".into());
+        let fmt = |v: Option<f64>| {
+            v.map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "stall".into())
+        };
         let ratio = |v: Option<f64>, b: f64| {
-            v.map(|x| format!("{:.3}x", x / b)).unwrap_or_else(|| "-".into())
+            v.map(|x| format!("{:.3}x", x / b))
+                .unwrap_or_else(|| "-".into())
         };
         println!(
             "{:>8} {:>12} {:>8} {:>13} {:>8} {:>13} {:>8} {:>12}",

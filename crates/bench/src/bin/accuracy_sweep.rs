@@ -45,7 +45,10 @@ fn total_electrostatic(sys: &ChemicalSystem, sigma: f64, grid: usize, cutoff: f6
     let real = range_limited_forces_naive(
         sys,
         &positions,
-        PairParams { cutoff, ewald_sigma: Some(sigma) },
+        PairParams {
+            cutoff,
+            ewald_sigma: Some(sigma),
+        },
         &mut f,
     );
     let lr = long_range_forces(
@@ -92,10 +95,7 @@ fn main() {
         let rel = (e - exact).abs() / exact.abs();
         println!("{:>8} {:>16.4} {:>9.3}%", grid, e, rel * 100.0);
         if grid >= 64 {
-            assert!(
-                rel <= last_err * 1.5,
-                "error must not grow with resolution"
-            );
+            assert!(rel <= last_err * 1.5, "error must not grow with resolution");
         }
         last_err = rel;
     }

@@ -77,7 +77,9 @@ fn main() {
     fabric.set_recorder(Box::new(rec.clone()));
     let p2 = plan.clone();
     let mut sim = Simulation::new(fabric, move |_| Shower { plan: p2.clone() });
-    assert!(sim.run_guarded(SimTime(u64::MAX / 2), 10_000_000).is_completed());
+    assert!(sim
+        .run_guarded(SimTime(u64::MAX / 2), 10_000_000)
+        .is_completed());
     let end = sim.now();
 
     // ---- build the congestion map from the recorded lifecycles ----

@@ -75,7 +75,13 @@ fn main() {
             }
             // Advance the trajectory horizon to the next checkpoint.
             if regen {
-                advance(&mut eng, &groups, &diffusion, checkpoint - REGEN_LAG_STEPS, &mut rng);
+                advance(
+                    &mut eng,
+                    &groups,
+                    &diffusion,
+                    checkpoint - REGEN_LAG_STEPS,
+                    &mut rng,
+                );
                 eng.state.borrow_mut().regenerate_bond_program();
                 advance(&mut eng, &groups, &diffusion, REGEN_LAG_STEPS, &mut rng);
             } else {
@@ -165,7 +171,13 @@ fn molecule_groups(eng: &AntonMdEngine) -> (Vec<Vec<usize>>, Vec<f64>) {
     groups.sort_by_key(|g| g[0]);
     let diffusion = groups
         .iter()
-        .map(|g| if g.len() > 3 { PROTEIN_DIFFUSION } else { WATER_DIFFUSION })
+        .map(|g| {
+            if g.len() > 3 {
+                PROTEIN_DIFFUSION
+            } else {
+                WATER_DIFFUSION
+            }
+        })
         .collect();
     (groups, diffusion)
 }

@@ -52,12 +52,19 @@ fn main() {
         }
         println!(
             "{:>9} {:>12.2} {:>14.2} {:>16.2} {:>14}",
-            interval, 0.3 + 0.08 * interval as f64, avg, mig_span, migrated
+            interval,
+            0.3 + 0.08 * interval as f64,
+            avg,
+            mig_span,
+            migrated
         );
     }
     println!(
         "\nimprovement from interval 1 -> 8: {:.0}% (paper: 19%)",
         (first - last) / first * 100.0
     );
-    assert!(last < first, "longer intervals must amortize migration cost");
+    assert!(
+        last < first,
+        "longer intervals must amortize migration cost"
+    );
 }

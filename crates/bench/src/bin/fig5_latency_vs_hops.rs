@@ -24,7 +24,11 @@ fn main() {
         "hops", "0B uni", "0B bidir", "256B uni", "256B bidir"
     );
     for hops in 0..=12u32 {
-        let dst = if hops == 0 { Coord::new(0, 0, 0) } else { dest_for_hops(hops) };
+        let dst = if hops == 0 {
+            Coord::new(0, 0, 0)
+        } else {
+            dest_for_hops(hops)
+        };
         let mut row = Vec::new();
         for payload in [0u32, 256] {
             for bidir in [false, true] {

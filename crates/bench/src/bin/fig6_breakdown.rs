@@ -29,7 +29,11 @@ fn main() {
             "write packet send initiated in processing slice",
             t.send_setup_ns,
         ),
-        (Stage::Injection, "2 send-side on-chip router hops", t.send_ring_ns),
+        (
+            Stage::Injection,
+            "2 send-side on-chip router hops",
+            t.send_ring_ns,
+        ),
         (
             Stage::RouterWire,
             "X+ and X- link adapters (incl. torus wire)",
@@ -60,11 +64,18 @@ fn main() {
         );
     }
     let mean_e2e = summary.mean_end_to_end_ns();
-    println!("{:>56}: {mean_e2e:>5.0} ns  {total:>5.0} ns", "TOTAL (paper: 162 ns)");
+    println!(
+        "{:>56}: {mean_e2e:>5.0} ns  {total:>5.0} ns",
+        "TOTAL (paper: 162 ns)"
+    );
 
     // Measured-vs-analytic agreement, within 1% (acceptance criterion).
     let rel = (mean_e2e - total).abs() / total;
-    assert!(rel < 0.01, "measured {mean_e2e} ns vs analytic {total} ns ({:.2}%)", rel * 100.0);
+    assert!(
+        rel < 0.01,
+        "measured {mean_e2e} ns vs analytic {total} ns ({:.2}%)",
+        rel * 100.0
+    );
     assert_eq!(measured.as_ns_f64().round() as u64, total.round() as u64);
 
     println!(

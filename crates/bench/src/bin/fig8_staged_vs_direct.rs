@@ -39,9 +39,8 @@ fn main() {
     // (3 rounds vs 1) — and the message overhead wins on a cluster.
     let ib = IbModel::default();
     let v = block as u64;
-    let ib_direct = ib.alpha_us
-        + 25.0 * ib.per_message_us
-        + 26.0 * v as f64 / (ib.bandwidth_gbs * 1e3);
+    let ib_direct =
+        ib.alpha_us + 25.0 * ib.per_message_us + 26.0 * v as f64 / (ib.bandwidth_gbs * 1e3);
     let ib_staged: f64 = (0..3)
         .map(|stage| {
             let bytes = v * 3u64.pow(stage);

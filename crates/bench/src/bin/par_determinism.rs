@@ -1,0 +1,127 @@
+//! Determinism cross-check for the parallel DES engine.
+//!
+//! Runs a fixed workload mix — an 8×8×8 dimension-ordered all-reduce,
+//! an MD neighbor-exchange skeleton, and a flight-recorded token relay —
+//! on the sharded parallel simulation with `ANTON_THREADS` workers, and
+//! writes an FNV-1a fingerprint of every observable (latencies, bitwise
+//! results, merged statistics, and the merged flight-event trace) to
+//! `target/obs/par_fingerprint.txt`.
+//!
+//! The file's content is a pure function of the *simulation*, never of
+//! the thread count: CI runs this binary under `ANTON_THREADS=1` and
+//! `ANTON_THREADS=4` and fails on any byte of difference.
+
+use anton_collectives::{random_inputs, run_all_reduce_par, Algorithm};
+use anton_core::{run_md_exchange_par, MdExchangeParams};
+use anton_des::SimTime;
+use anton_net::{
+    threads_from_env, ClientAddr, ClientKind, CounterId, Ctx, Fabric, FaultPlan, NodeProgram,
+    Packet, ParSimulation, Payload, ProgEvent,
+};
+use anton_obs::Fingerprint;
+use anton_topo::{NodeId, TorusDims};
+
+const C_TOK: CounterId = CounterId(7);
+
+/// Token relay: every node forwards to the next id, three rounds.
+struct Relay {
+    left: u32,
+}
+
+impl Relay {
+    fn arm_and_send(&mut self, node: NodeId, ctx: &mut Ctx<'_, '_>) {
+        let me = ClientAddr::new(node, ClientKind::Slice(0));
+        ctx.watch_counter(me, C_TOK, 1);
+        let next = NodeId((node.0 + 1) % ctx.dims().node_count());
+        let pkt = Packet::write(
+            me,
+            ClientAddr::new(next, ClientKind::Slice(0)),
+            0x1000,
+            Payload::F64s(vec![node.0 as f64]),
+        )
+        .with_payload_bytes(8)
+        .with_counter(C_TOK);
+        ctx.send(pkt);
+    }
+}
+
+impl NodeProgram for Relay {
+    fn on_event(&mut self, node: NodeId, pe: ProgEvent, ctx: &mut Ctx<'_, '_>) {
+        match pe {
+            ProgEvent::Start => self.arm_and_send(node, ctx),
+            ProgEvent::CounterReached { .. } => {
+                let me = ClientAddr::new(node, ClientKind::Slice(0));
+                let _ = ctx.mem_take(me, 0x1000);
+                ctx.reset_counter(me, C_TOK);
+                self.left -= 1;
+                if self.left > 0 {
+                    self.arm_and_send(node, ctx);
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn main() {
+    let threads = threads_from_env();
+    let mut fp = Fingerprint::new();
+
+    // 1. All-reduce on the speedup-bench machine.
+    let dims = TorusDims::new(8, 8, 8);
+    let inputs = random_inputs(dims, 4, 42);
+    let out = run_all_reduce_par(
+        dims,
+        Algorithm::DimensionOrdered,
+        Default::default(),
+        &inputs,
+        threads,
+    );
+    fp.update(&out.latency);
+    fp.update(&out.results);
+    fp.update(&out.packets_sent);
+    fp.update(&out.link_traversals);
+
+    // 2. MD neighbor-exchange skeleton.
+    let md = run_md_exchange_par(
+        TorusDims::new(4, 4, 4),
+        MdExchangeParams {
+            steps: 5,
+            ..Default::default()
+        },
+        threads,
+    );
+    fp.update(&md.makespan);
+    fp.update(&md.checksums);
+    fp.update(&md.stats);
+    fp.update(&md.events);
+
+    // 3. Flight-recorded relay: the merged trace itself is hashed.
+    let rdims = TorusDims::new(4, 4, 4);
+    let mut sim = ParSimulation::new(
+        threads,
+        move || Fabric::with_faults(rdims, anton_net::Timing::default(), FaultPlan::none()),
+        |_| Relay { left: 3 },
+    );
+    sim.attach_flight_recorders();
+    assert!(sim
+        .run_guarded(SimTime(u64::MAX / 2), 10_000_000)
+        .is_completed());
+    fp.update(&sim.now());
+    fp.update(&sim.merged_stats());
+    for ev in sim.merged_flight_events() {
+        fp.update(&ev);
+    }
+
+    let hex = fp.hex();
+    std::fs::create_dir_all("target/obs").expect("create target/obs");
+    // No thread count in the file: its bytes must be identical at every
+    // ANTON_THREADS setting.
+    let content = format!(
+        "workloads: allreduce-8x8x8-dimord, md-exchange-4x4x4, relay-4x4x4-recorded\n\
+         fingerprint: {hex}\n"
+    );
+    std::fs::write("target/obs/par_fingerprint.txt", &content)
+        .expect("write target/obs/par_fingerprint.txt");
+    println!("par_determinism: threads={threads} fingerprint={hex}");
+}

@@ -1,0 +1,141 @@
+//! Wall-clock speedup of the sharded parallel DES engine.
+//!
+//! Runs the PR-4 acceptance workload — an 8×8×8 dimension-ordered
+//! all-reduce batch plus an MD neighbor-exchange skeleton — at 1, 2,
+//! and 8 worker threads, asserts the simulated observables are
+//! bit-identical across thread counts (fingerprinted), prints the
+//! wall-clock table, and emits the *simulated* metrics (which are
+//! deterministic, unlike wall time) to `BENCH_pr4.json`.
+//!
+//! The ≥2× speedup assertion at 8 threads only arms when the host
+//! actually has ≥8 cores; otherwise it downgrades to a warning so CI
+//! containers with small CPU quotas don't flake.
+
+use anton_collectives::{random_inputs, run_all_reduce_par, Algorithm, AllReduceOutcome};
+use anton_core::{run_md_exchange_par, MdExchangeOutcome, MdExchangeParams};
+use anton_obs::{BenchReport, Fingerprint};
+use anton_topo::TorusDims;
+use std::time::Instant;
+
+const ALLREDUCE_REPS: u32 = 6;
+const MD_STEPS: u32 = 30;
+
+fn dims() -> TorusDims {
+    TorusDims::new(8, 8, 8)
+}
+
+struct RunResult {
+    wall_s: f64,
+    fingerprint: String,
+    allreduce: AllReduceOutcome,
+    md: MdExchangeOutcome,
+}
+
+fn run_workload(threads: usize) -> RunResult {
+    let inputs = random_inputs(dims(), 4, 42);
+    let start = Instant::now();
+    let mut allreduce = None;
+    for _ in 0..ALLREDUCE_REPS {
+        allreduce = Some(run_all_reduce_par(
+            dims(),
+            Algorithm::DimensionOrdered,
+            Default::default(),
+            &inputs,
+            threads,
+        ));
+    }
+    let md = run_md_exchange_par(
+        dims(),
+        MdExchangeParams {
+            steps: MD_STEPS,
+            ..Default::default()
+        },
+        threads,
+    );
+    let wall_s = start.elapsed().as_secs_f64();
+    let allreduce = allreduce.expect("at least one rep");
+
+    let mut fp = Fingerprint::new();
+    fp.update(&allreduce.latency);
+    fp.update(&allreduce.results);
+    fp.update(&allreduce.packets_sent);
+    fp.update(&allreduce.link_traversals);
+    fp.update(&md.makespan);
+    fp.update(&md.checksums);
+    fp.update(&md.stats);
+    fp.update(&md.events);
+    RunResult {
+        wall_s,
+        fingerprint: fp.hex(),
+        allreduce,
+        md,
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "par_speedup: 8x8x8 all-reduce x{ALLREDUCE_REPS} + {MD_STEPS}-step MD exchange \
+         ({cores} host cores)"
+    );
+    println!(
+        "{:>8} {:>10} {:>9}  fingerprint",
+        "threads", "wall [s]", "speedup"
+    );
+
+    let mut results = Vec::new();
+    for &threads in &[1usize, 2, 8] {
+        let r = run_workload(threads);
+        let speedup = results
+            .first()
+            .map(|(_, base): &(usize, RunResult)| base.wall_s / r.wall_s)
+            .unwrap_or(1.0);
+        println!(
+            "{threads:>8} {:>10.3} {speedup:>8.2}x  {}",
+            r.wall_s, r.fingerprint
+        );
+        results.push((threads, r));
+    }
+
+    // Bit-identity across thread counts is non-negotiable.
+    let base_fp = &results[0].1.fingerprint;
+    for (threads, r) in &results {
+        assert_eq!(
+            &r.fingerprint, base_fp,
+            "thread count {threads} changed the simulation"
+        );
+    }
+
+    let speedup8 = results[0].1.wall_s / results[2].1.wall_s;
+    if cores >= 8 {
+        assert!(
+            speedup8 >= 2.0,
+            "8-thread speedup {speedup8:.2}x is below the 2x acceptance bar"
+        );
+        println!("par_speedup: 8-thread speedup {speedup8:.2}x (>= 2x bar met)");
+    } else {
+        println!(
+            "par_speedup: host has only {cores} cores; 8-thread speedup \
+             {speedup8:.2}x reported without asserting the 2x bar"
+        );
+    }
+
+    // Simulated metrics only — deterministic, so the emitted report is
+    // byte-stable and safe to commit next to the bench_regress baseline.
+    let base = &results[0].1;
+    let mut report = BenchReport::new("pr4 parallel-engine workload");
+    report.set(
+        "par_allreduce_888_dimord_us",
+        base.allreduce.latency.as_us_f64(),
+    );
+    report.set("par_allreduce_packets", base.allreduce.packets_sent as f64);
+    report.set(
+        "par_md_exchange_makespan_us",
+        (base.md.makespan - anton_des::SimTime::ZERO).as_us_f64(),
+    );
+    report.set("par_md_exchange_events", base.md.events as f64);
+    std::fs::write("BENCH_pr4.json", report.to_json()).expect("write BENCH_pr4.json");
+    println!("par_speedup: wrote BENCH_pr4.json");
+}

@@ -9,12 +9,14 @@ use anton_topo::{Coord, TorusDims};
 
 fn main() {
     let dims = TorusDims::anton_512();
-    let measured =
-        one_way_latency(dims, Coord::new(0, 0, 0), Coord::new(1, 0, 0), 0, false, 8);
+    let measured = one_way_latency(dims, Coord::new(0, 0, 0), Coord::new(1, 0, 0), 0, false, 8);
     let measured_us = measured.as_us_f64();
 
     section("Table 1: published software-to-software ping-pong latencies");
-    println!("{:>26} {:>12} {:>6} {:>6}", "machine", "latency (us)", "year", "ref");
+    println!(
+        "{:>26} {:>12} {:>6} {:>6}",
+        "machine", "latency (us)", "year", "ref"
+    );
     println!(
         "{:>26} {:>12.3} {:>6} {:>6}   <- measured on this simulator",
         "Anton", measured_us, 2009, "here"
@@ -25,9 +27,7 @@ fn main() {
             e.machine, e.latency_us, e.year, e.reference
         );
     }
-    println!(
-        "\npaper value for Anton: {ANTON_LATENCY_US} us; simulator: {measured_us:.3} us"
-    );
+    println!("\npaper value for Anton: {ANTON_LATENCY_US} us; simulator: {measured_us:.3} us");
     assert!((measured_us - ANTON_LATENCY_US).abs() < 0.001);
     let next_best = LATENCY_SURVEY[0];
     println!(

@@ -56,7 +56,12 @@ fn main() {
     section("Algorithm ablation (512 nodes, 32 B)");
     let dims = TorusDims::anton_512();
     let inputs = random_inputs(dims, 4, 42);
-    let d = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+    let d = run_all_reduce(
+        dims,
+        Algorithm::DimensionOrdered,
+        Default::default(),
+        &inputs,
+    );
     let b = run_all_reduce(dims, Algorithm::Butterfly, Default::default(), &inputs);
     let dc = anton_collectives::dimension_ordered_cost(dims);
     let bc = anton_collectives::butterfly_cost(dims);

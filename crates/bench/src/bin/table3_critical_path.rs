@@ -39,7 +39,11 @@ fn main() {
             "  step {}: total {:.1} us ({})",
             eng.steps(),
             t.total.as_us_f64(),
-            if t.long_range { "long-range" } else { "range-limited" }
+            if t.long_range {
+                "long-range"
+            } else {
+                "range-limited"
+            }
         );
         if t.long_range {
             lr.push(t);
@@ -61,7 +65,9 @@ fn main() {
             timing.injection_occupancy(b)
         })
     };
-    graph.check_consistency().expect("recorded step graph is exact");
+    graph
+        .check_consistency()
+        .expect("recorded step graph is exact");
 
     let avg_us = |v: &[anton_core::StepTiming], f: fn(&anton_core::StepTiming) -> f64| {
         v.iter().map(f).sum::<f64>() / v.len() as f64
@@ -92,11 +98,41 @@ fn main() {
         "", "Anton sim", "paper", "Desmond mdl", "paper", "comm vs", "total vs"
     );
     let rows = [
-        ("Average time step", avg_comm, avg_total, d_avg.communication_us, d_avg.total_us),
-        ("Range-limited time step", rl_comm, rl_total, d_rl.communication_us, d_rl.total_us),
-        ("Long-range time step", lr_comm, lr_total, d_lr.communication_us, d_lr.total_us),
-        ("FFT-based convolution", fft_span, fft_span, d_fft, d_fft + 60.0),
-        ("Thermostat", reduce_span, reduce_span + 0.4, d_th, d_th + 21.0),
+        (
+            "Average time step",
+            avg_comm,
+            avg_total,
+            d_avg.communication_us,
+            d_avg.total_us,
+        ),
+        (
+            "Range-limited time step",
+            rl_comm,
+            rl_total,
+            d_rl.communication_us,
+            d_rl.total_us,
+        ),
+        (
+            "Long-range time step",
+            lr_comm,
+            lr_total,
+            d_lr.communication_us,
+            d_lr.total_us,
+        ),
+        (
+            "FFT-based convolution",
+            fft_span,
+            fft_span,
+            d_fft,
+            d_fft + 60.0,
+        ),
+        (
+            "Thermostat",
+            reduce_span,
+            reduce_span + 0.4,
+            d_th,
+            d_th + 21.0,
+        ),
     ];
     for ((label, a_comm, a_total, d_comm, d_total), &(_, pac, pat, pdc, pdt)) in
         rows.iter().zip(PAPER_TABLE3)
@@ -127,7 +163,11 @@ fn main() {
     println!(
         "recorded step: {:.1} us total ({}); measured critical path spans {:.1} us\n",
         total_us,
-        if t5.long_range { "long-range" } else { "range-limited" },
+        if t5.long_range {
+            "long-range"
+        } else {
+            "range-limited"
+        },
         span_us
     );
     print!("{}", blame.table());
@@ -175,6 +215,9 @@ fn main() {
         s.packets_sent / n,
         s.packets_delivered / n
     );
-    assert!(ratio > 15.0, "Anton must beat the cluster by >15x, got {ratio:.1}");
+    assert!(
+        ratio > 15.0,
+        "Anton must beat the cluster by >15x, got {ratio:.1}"
+    );
     assert!((5.0..20.0).contains(&avg_comm), "avg comm {avg_comm}");
 }

@@ -33,7 +33,11 @@ fn main() {
     reg.set_counter("pingpong.packets", lives.len() as u64);
     reg.set_gauge("pingpong.one_way_ns", lat.as_ns_f64());
     let pp_summary = BreakdownSummary::from_lifecycles(&lives);
-    println!("ping-pong: {} lifecycles, {:.0} ns one-way", lives.len(), lat.as_ns_f64());
+    println!(
+        "ping-pong: {} lifecycles, {:.0} ns one-way",
+        lives.len(),
+        lat.as_ns_f64()
+    );
     print!("{}", pp_summary.table());
 
     // ---- workload 2: a small all-reduce with counter synchronization ----

@@ -34,10 +34,15 @@ struct PingPong {
 
 impl PingPong {
     fn send_ping(&self, stream: usize, from: NodeId, to: NodeId, ctx: &mut Ctx<'_, '_>) {
-        let pkt = Packet::write(slice0(from), slice0(to), 0x100 + stream as u64, Payload::Empty)
-            .with_payload_bytes(self.payload_bytes)
-            .with_counter(CounterId(stream as u16))
-            .with_tag(stream as u64);
+        let pkt = Packet::write(
+            slice0(from),
+            slice0(to),
+            0x100 + stream as u64,
+            Payload::Empty,
+        )
+        .with_payload_bytes(self.payload_bytes)
+        .with_counter(CounterId(stream as u16))
+        .with_tag(stream as u64);
         ctx.send(pkt);
     }
 }
@@ -94,8 +99,16 @@ pub fn one_way_latency(
     bidirectional: bool,
     iters: u32,
 ) -> SimDuration {
-    one_way_latency_faulty(dims, src, dst, payload_bytes, bidirectional, iters, FaultPlan::none())
-        .expect("fault-free ping-pong completes")
+    one_way_latency_faulty(
+        dims,
+        src,
+        dst,
+        payload_bytes,
+        bidirectional,
+        iters,
+        FaultPlan::none(),
+    )
+    .expect("fault-free ping-pong completes")
 }
 
 /// [`one_way_latency`] under a fault-injection plan: the measured mean
@@ -189,7 +202,7 @@ fn ping_pong_run(
     iters: u32,
     timing: anton_net::Timing,
     fault: FaultPlan,
-    recorder: Option<Box<dyn anton_obs::Recorder>>,
+    recorder: Option<Box<dyn anton_obs::Recorder + Send>>,
 ) -> Option<SimDuration> {
     assert!(iters >= 1);
     let finished = Rc::new(RefCell::new(vec![None; 2]));
@@ -207,13 +220,18 @@ fn ping_pong_run(
         remaining: [iters, iters],
         pings_to_answer: [iters, iters],
     });
-    if !sim.run_guarded(SimTime(u64::MAX / 2), 100_000_000).is_completed() {
+    if !sim
+        .run_guarded(SimTime(u64::MAX / 2), 100_000_000)
+        .is_completed()
+    {
         return None;
     }
     let done = finished.borrow();
     let t = done[0]?;
     // Each iteration is a full round trip: 2 one-way messages.
-    Some(SimDuration::from_ps((t - SimTime::ZERO).as_ps() / (2 * iters as u64)))
+    Some(SimDuration::from_ps(
+        (t - SimTime::ZERO).as_ps() / (2 * iters as u64),
+    ))
 }
 
 /// The 0-hop case of Figure 5: ping-pong between two slices on the same
@@ -337,9 +355,7 @@ impl NodeProgram for SplitTransfer {
             ProgEvent::Start => {
                 if node == self.dst {
                     let msg_bytes = self.total_bytes / self.k;
-                    let packets: u64 = (0..self.k)
-                        .map(|_| packetize(msg_bytes).len() as u64)
-                        .sum();
+                    let packets: u64 = (0..self.k).map(|_| packetize(msg_bytes).len() as u64).sum();
                     ctx.watch_counter(slice0(self.dst), CounterId(0), packets);
                 }
                 if node == self.src {
@@ -483,11 +499,7 @@ impl NodeProgram for Exchange {
                 ExchangeStyle::Staged => {
                     let targets = Self::staged_targets(dims, me, 0);
                     let per = packetize(self.stage_bytes(0)).len() as u64;
-                    ctx.watch_counter(
-                        slice0(node),
-                        CounterId(1),
-                        targets.len() as u64 * per,
-                    );
+                    ctx.watch_counter(slice0(node), CounterId(1), targets.len() as u64 * per);
                     for t in targets {
                         self.send_block(node, t, self.stage_bytes(0), CounterId(1), ctx);
                     }
@@ -643,11 +655,7 @@ pub fn multicast_vs_unicast(
             match pe {
                 ProgEvent::Start => {
                     if self.dests.contains(&node) {
-                        ctx.watch_counter(
-                            ClientAddr::new(node, ClientKind::Htis),
-                            CounterId(0),
-                            1,
-                        );
+                        ctx.watch_counter(ClientAddr::new(node, ClientKind::Htis), CounterId(0), 1);
                     }
                     if node == self.src {
                         if self.multicast {
@@ -713,7 +721,10 @@ pub fn multicast_vs_unicast(
             .map(|t| t.expect("delivered"))
             .max()
             .expect("nonempty");
-        (latest - SimTime::ZERO, sim.world.fabric.stats.link_traversals)
+        (
+            latest - SimTime::ZERO,
+            sim.world.fabric.stats.link_traversals,
+        )
     };
     let (t_multi, trav_multi) = run(true);
     let (t_uni, trav_uni) = run(false);
@@ -751,7 +762,10 @@ mod tests {
         let uni = one_way_latency(dims, Coord::new(0, 0, 0), Coord::new(2, 0, 0), 0, false, 8);
         let bi = one_way_latency(dims, Coord::new(0, 0, 0), Coord::new(2, 0, 0), 0, true, 8);
         assert!(bi >= uni, "bi {bi} vs uni {uni}");
-        assert!(bi.as_ns_f64() < uni.as_ns_f64() * 1.3, "bi {bi} vs uni {uni}");
+        assert!(
+            bi.as_ns_f64() < uni.as_ns_f64() * 1.3,
+            "bi {bi} vs uni {uni}"
+        );
     }
 
     #[test]
@@ -795,8 +809,7 @@ mod tests {
             .into_iter()
             .take(17)
             .collect();
-        let (t_multi, t_uni, trav_multi, trav_uni) =
-            multicast_vs_unicast(dims, src, &dests, 28);
+        let (t_multi, t_uni, trav_multi, trav_uni) = multicast_vs_unicast(dims, src, &dests, 28);
         assert!(t_multi <= t_uni, "{t_multi} vs {t_uni}");
         assert!(trav_multi < trav_uni, "{trav_multi} vs {trav_uni}");
     }

@@ -38,8 +38,14 @@ pub fn run_suite(full: bool) -> BenchReport {
     report.set("one_way_1hop_ns", hop.as_ns_f64());
     let diam = one_way_latency(dims, Coord::new(0, 0, 0), Coord::new(4, 4, 4), 0, false, 4);
     report.set("one_way_diameter_ns", diam.as_ns_f64());
-    let full_payload =
-        one_way_latency(dims, Coord::new(0, 0, 0), Coord::new(1, 0, 0), 256, false, 4);
+    let full_payload = one_way_latency(
+        dims,
+        Coord::new(0, 0, 0),
+        Coord::new(1, 0, 0),
+        256,
+        false,
+        4,
+    );
     report.set("one_way_1hop_256b_ns", full_payload.as_ns_f64());
 
     // Figure 6 stage means from recorded packet lifecycles.
@@ -58,7 +64,12 @@ pub fn run_suite(full: bool) -> BenchReport {
     // All-reduce: the machine-wide dimension-ordered collective (the
     // paper's ~2 us global sum) and a small butterfly.
     let inputs = random_inputs(dims, 1, 7);
-    let out = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+    let out = run_all_reduce(
+        dims,
+        Algorithm::DimensionOrdered,
+        Default::default(),
+        &inputs,
+    );
     report.set("allreduce_512_dimord_us", out.latency.as_us_f64());
     let small_dims = TorusDims::new(2, 2, 2);
     let small_inputs = random_inputs(small_dims, 4, 7);

@@ -62,7 +62,11 @@ fn retimer_predicts_hop_scaling_on_one_way_latency() {
         );
         // The perturbation must actually move the makespan, or the 1%
         // bound is vacuous.
-        assert_ne!(actual, recorded_end(&g), "hop x{scale} must change the makespan");
+        assert_ne!(
+            actual,
+            recorded_end(&g),
+            "hop x{scale} must change the makespan"
+        );
     }
 }
 
@@ -115,8 +119,15 @@ fn retimer_predicts_hop_scaling_on_all_reduce() {
 fn slow_link_moves_only_the_paths_that_cross_it() {
     let dims = TorusDims::anton_512();
     let base = Timing::default();
-    let (_, rec) =
-        one_way_latency_timed(dims, Coord::new(0, 0, 0), Coord::new(1, 0, 0), 0, false, 4, base.clone());
+    let (_, rec) = one_way_latency_timed(
+        dims,
+        Coord::new(0, 0, 0),
+        Coord::new(1, 0, 0),
+        0,
+        false,
+        4,
+        base.clone(),
+    );
     let g = graph_of(dims, &rec, &base);
     let end = recorded_end(&g);
 

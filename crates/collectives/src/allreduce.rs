@@ -2,12 +2,10 @@
 
 use anton_des::{Rng, SimDuration, SimTime};
 use anton_net::{
-    ClientAddr, ClientKind, CounterId, Ctx, Fabric, FaultPlan, NodeProgram, Packet, PatternId,
-    Payload, ProgEvent, Simulation,
+    ClientAddr, ClientKind, CounterId, Ctx, Fabric, FaultPlan, NodeProgram, Packet, ParSimulation,
+    PatternId, Payload, ProgEvent, Simulation,
 };
 use anton_topo::{Coord, Dim, MulticastPattern, NodeId, TorusDims};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// Which all-reduce algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,7 +35,10 @@ pub struct CollectiveParams {
 
 impl Default for CollectiveParams {
     fn default() -> Self {
-        CollectiveParams { reduce_ns_per_value: 4.5, round_overhead_ns: 10.0 }
+        CollectiveParams {
+            reduce_ns_per_value: 4.5,
+            round_overhead_ns: 10.0,
+        }
     }
 }
 
@@ -71,9 +72,6 @@ fn pattern_id(dim: Dim, coord: u32) -> PatternId {
     PatternId((dim.index() as u16) * 32 + coord as u16)
 }
 
-/// Shared completion record.
-type Done = Rc<RefCell<Vec<Option<(SimTime, Vec<f64>)>>>>;
-
 struct AllReduceNode {
     algorithm: Algorithm,
     params: CollectiveParams,
@@ -84,7 +82,10 @@ struct AllReduceNode {
     round: usize,
     /// Butterfly: bit position within the current dimension.
     bit: u32,
-    done: Done,
+    /// Completion record: when the last local share landed, and the
+    /// final value. Per-program (not shared) so the node program is
+    /// `Send` and runs unchanged on the sharded parallel simulation.
+    done_at: Option<(SimTime, Vec<f64>)>,
 }
 
 impl AllReduceNode {
@@ -336,10 +337,8 @@ impl NodeProgram for AllReduceNode {
                 if counter == SHARE_COUNTER {
                     // One of the three share deliveries. All three slices
                     // must have it; record completion at the last one.
-                    let mut done = self.done.borrow_mut();
-                    let entry = &mut done[node.index()];
-                    match entry {
-                        None => *entry = Some((ctx.now(), self.value.clone())),
+                    match &mut self.done_at {
+                        e @ None => *e = Some((ctx.now(), self.value.clone())),
                         Some((t, _)) => *t = (*t).max(ctx.now()),
                     }
                 } else {
@@ -402,10 +401,17 @@ pub fn run_all_reduce_recorded(
     algorithm: Algorithm,
     params: CollectiveParams,
     inputs: &[Vec<f64>],
-    recorder: Box<dyn anton_obs::Recorder>,
+    recorder: Box<dyn anton_obs::Recorder + Send>,
 ) -> AllReduceOutcome {
-    run_all_reduce_inner(dims, algorithm, params, inputs, FaultPlan::none(), Some(recorder))
-        .expect("fault-free all-reduce completes")
+    run_all_reduce_inner(
+        dims,
+        algorithm,
+        params,
+        inputs,
+        FaultPlan::none(),
+        Some(recorder),
+    )
+    .expect("fault-free all-reduce completes")
 }
 
 /// Fault-free all-reduce under a caller-supplied [`Timing`] model, with
@@ -419,10 +425,18 @@ pub fn run_all_reduce_timed(
     params: CollectiveParams,
     inputs: &[Vec<f64>],
     timing: anton_net::Timing,
-    recorder: Option<Box<dyn anton_obs::Recorder>>,
+    recorder: Option<Box<dyn anton_obs::Recorder + Send>>,
 ) -> AllReduceOutcome {
-    run_all_reduce_with(dims, algorithm, params, inputs, timing, FaultPlan::none(), recorder)
-        .expect("fault-free all-reduce completes")
+    run_all_reduce_with(
+        dims,
+        algorithm,
+        params,
+        inputs,
+        timing,
+        FaultPlan::none(),
+        recorder,
+    )
+    .expect("fault-free all-reduce completes")
 }
 
 fn run_all_reduce_inner(
@@ -431,7 +445,7 @@ fn run_all_reduce_inner(
     params: CollectiveParams,
     inputs: &[Vec<f64>],
     fault: FaultPlan,
-    recorder: Option<Box<dyn anton_obs::Recorder>>,
+    recorder: Option<Box<dyn anton_obs::Recorder + Send>>,
 ) -> Option<AllReduceOutcome> {
     run_all_reduce_with(
         dims,
@@ -444,25 +458,17 @@ fn run_all_reduce_inner(
     )
 }
 
-fn run_all_reduce_with(
+/// Build the fabric an all-reduce runs on: timing + fault plan, and for
+/// the dimension-ordered algorithm every line-broadcast multicast
+/// pattern pre-registered. Factored out so the sequential and the
+/// sharded-parallel paths construct bit-identical machines.
+fn build_allreduce_fabric(
     dims: TorusDims,
-    algorithm: Algorithm,
-    params: CollectiveParams,
-    inputs: &[Vec<f64>],
     timing: anton_net::Timing,
-    fault: FaultPlan,
-    recorder: Option<Box<dyn anton_obs::Recorder>>,
-) -> Option<AllReduceOutcome> {
-    let n = dims.node_count() as usize;
-    assert_eq!(inputs.len(), n, "one input vector per node");
-    let values = inputs[0].len();
-    assert!(inputs.iter().all(|v| v.len() == values));
-    let payload_bytes = (values * 8) as u32;
-
-    let mut fabric = Fabric::with_faults(dims, timing, fault);
-    if let Some(rec) = recorder {
-        fabric.set_recorder(rec);
-    }
+    fault: &FaultPlan,
+    algorithm: Algorithm,
+) -> Fabric {
+    let mut fabric = Fabric::with_faults(dims, timing, fault.clone());
     if algorithm == Algorithm::DimensionOrdered {
         for &dim in &Dim::ALL {
             if dims.len(dim) <= 1 {
@@ -484,37 +490,112 @@ fn run_all_reduce_with(
             }
         }
     }
+    fabric
+}
 
-    let done: Done = Rc::new(RefCell::new(vec![None; n]));
-    let d2 = done.clone();
+/// Validate inputs and make the per-node program constructor.
+fn make_programs(
+    dims: TorusDims,
+    algorithm: Algorithm,
+    params: CollectiveParams,
+    inputs: &[Vec<f64>],
+) -> impl FnMut(NodeId) -> AllReduceNode {
+    let n = dims.node_count() as usize;
+    assert_eq!(inputs.len(), n, "one input vector per node");
+    let values = inputs[0].len();
+    assert!(inputs.iter().all(|v| v.len() == values));
+    let payload_bytes = (values * 8) as u32;
     let inputs = inputs.to_vec();
-    let mut sim = Simulation::new(fabric, move |node| AllReduceNode {
+    move |node| AllReduceNode {
         algorithm,
         params,
         value: inputs[node.index()].clone(),
         payload_bytes,
         round: 0,
         bit: 0,
-        done: d2.clone(),
-    });
-    if !sim.run_guarded(SimTime(u64::MAX / 2), 100_000_000).is_completed() {
-        return None;
+        done_at: None,
     }
+}
 
-    let done = done.borrow();
+/// Fold per-node completion records into the outcome (None ⇒ stalled).
+fn collect_outcome<'a>(
+    records: impl Iterator<Item = &'a AllReduceNode>,
+    packets_sent: u64,
+    link_traversals: u64,
+) -> Option<AllReduceOutcome> {
     let mut latest = SimTime::ZERO;
-    let mut results = Vec::with_capacity(n);
-    for entry in done.iter() {
-        let (t, v) = entry.as_ref()?;
+    let mut results = Vec::new();
+    for prog in records {
+        let (t, v) = prog.done_at.as_ref()?;
         latest = latest.max(*t);
         results.push(v.clone());
     }
     Some(AllReduceOutcome {
         latency: latest - SimTime::ZERO,
         results,
-        packets_sent: sim.world.fabric.stats.packets_sent,
-        link_traversals: sim.world.fabric.stats.link_traversals,
+        packets_sent,
+        link_traversals,
     })
+}
+
+fn run_all_reduce_with(
+    dims: TorusDims,
+    algorithm: Algorithm,
+    params: CollectiveParams,
+    inputs: &[Vec<f64>],
+    timing: anton_net::Timing,
+    fault: FaultPlan,
+    recorder: Option<Box<dyn anton_obs::Recorder + Send>>,
+) -> Option<AllReduceOutcome> {
+    let mut fabric = build_allreduce_fabric(dims, timing, &fault, algorithm);
+    if let Some(rec) = recorder {
+        fabric.set_recorder(rec);
+    }
+    let mut sim = Simulation::new(fabric, make_programs(dims, algorithm, params, inputs));
+    if !sim
+        .run_guarded(SimTime(u64::MAX / 2), 100_000_000)
+        .is_completed()
+    {
+        return None;
+    }
+    collect_outcome(
+        sim.world.programs.iter(),
+        sim.world.fabric.stats.packets_sent,
+        sim.world.fabric.stats.link_traversals,
+    )
+}
+
+/// [`run_all_reduce`] on the sharded parallel engine: the torus is cut
+/// into slabs, each advanced by one of `threads` workers in conservative
+/// lookahead windows. Produces bit-identical latency, results, and
+/// traffic statistics at any thread count — and identical to
+/// [`run_all_reduce`] itself (asserted in `tests/par_allreduce.rs`).
+pub fn run_all_reduce_par(
+    dims: TorusDims,
+    algorithm: Algorithm,
+    params: CollectiveParams,
+    inputs: &[Vec<f64>],
+    threads: usize,
+) -> AllReduceOutcome {
+    let fault = FaultPlan::none();
+    let timing = anton_net::Timing::default();
+    let mut sim = ParSimulation::new(
+        threads,
+        || build_allreduce_fabric(dims, timing.clone(), &fault, algorithm),
+        make_programs(dims, algorithm, params, inputs),
+    );
+    assert!(
+        sim.run_guarded(SimTime(u64::MAX / 2), 100_000_000)
+            .is_completed(),
+        "fault-free all-reduce completes"
+    );
+    let stats = sim.merged_stats();
+    collect_outcome(
+        (0..dims.node_count()).map(|i| sim.program(NodeId(i))),
+        stats.packets_sent,
+        stats.link_traversals,
+    )
+    .expect("completed run recorded every node")
 }
 
 /// Deterministic pseudo-random inputs for tests and benches.
@@ -543,7 +624,12 @@ mod tests {
     fn dimension_ordered_computes_the_sum_on_all_nodes() {
         let dims = TorusDims::new(4, 4, 4);
         let inputs = random_inputs(dims, 4, 99);
-        let out = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+        let out = run_all_reduce(
+            dims,
+            Algorithm::DimensionOrdered,
+            Default::default(),
+            &inputs,
+        );
         let want = expected_sum(&inputs);
         for r in &out.results {
             for (a, b) in r.iter().zip(&want) {
@@ -560,7 +646,12 @@ mod tests {
     fn butterfly_computes_the_same_sum() {
         let dims = TorusDims::new(4, 4, 4);
         let inputs = random_inputs(dims, 4, 100);
-        let d = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+        let d = run_all_reduce(
+            dims,
+            Algorithm::DimensionOrdered,
+            Default::default(),
+            &inputs,
+        );
         let b = run_all_reduce(dims, Algorithm::Butterfly, Default::default(), &inputs);
         for (x, y) in d.results[0].iter().zip(&b.results[0]) {
             assert!((x - y).abs() < 1e-9 * x.abs().max(1.0));
@@ -574,7 +665,12 @@ mod tests {
     fn zero_byte_reduction_is_a_barrier() {
         let dims = TorusDims::new(4, 4, 4);
         let inputs = vec![Vec::new(); 64];
-        let out = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+        let out = run_all_reduce(
+            dims,
+            Algorithm::DimensionOrdered,
+            Default::default(),
+            &inputs,
+        );
         assert!(out.results.iter().all(|r| r.is_empty()));
         // A 64-node barrier lands under a microsecond (Table 2: 0.96 µs).
         let us = out.latency.as_us_f64();
@@ -585,7 +681,12 @@ mod tests {
     fn table2_scale_512_nodes() {
         let dims = TorusDims::anton_512();
         let inputs = random_inputs(dims, 4, 7); // 32-byte reduction
-        let out = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+        let out = run_all_reduce(
+            dims,
+            Algorithm::DimensionOrdered,
+            Default::default(),
+            &inputs,
+        );
         let us = out.latency.as_us_f64();
         // Paper: 1.77 µs. Accept the band 1.2–2.3 µs.
         assert!((1.2..2.3).contains(&us), "512-node 32 B all-reduce {us} µs");
@@ -599,7 +700,12 @@ mod tests {
     fn dimension_ordered_beats_butterfly_in_latency() {
         let dims = TorusDims::anton_512();
         let inputs = random_inputs(dims, 4, 8);
-        let d = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+        let d = run_all_reduce(
+            dims,
+            Algorithm::DimensionOrdered,
+            Default::default(),
+            &inputs,
+        );
         let b = run_all_reduce(dims, Algorithm::Butterfly, Default::default(), &inputs);
         assert!(
             d.latency < b.latency,
@@ -621,8 +727,12 @@ mod tests {
         let mut last = SimDuration::ZERO;
         for dims in sizes {
             let inputs = random_inputs(dims, 4, 3);
-            let out =
-                run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+            let out = run_all_reduce(
+                dims,
+                Algorithm::DimensionOrdered,
+                Default::default(),
+                &inputs,
+            );
             assert!(
                 out.latency >= last,
                 "latency should be monotone in machine size: {:?} gave {}",
@@ -637,8 +747,18 @@ mod tests {
     fn determinism() {
         let dims = TorusDims::new(4, 4, 4);
         let inputs = random_inputs(dims, 2, 5);
-        let a = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
-        let b = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+        let a = run_all_reduce(
+            dims,
+            Algorithm::DimensionOrdered,
+            Default::default(),
+            &inputs,
+        );
+        let b = run_all_reduce(
+            dims,
+            Algorithm::DimensionOrdered,
+            Default::default(),
+            &inputs,
+        );
         assert_eq!(a.latency, b.latency);
         assert_eq!(a.results, b.results);
         assert_eq!(a.packets_sent, b.packets_sent);
@@ -653,7 +773,12 @@ mod degenerate_tests {
     fn single_node_machine() {
         let dims = TorusDims::new(1, 1, 1);
         let inputs = vec![vec![3.5, -1.0]];
-        let out = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+        let out = run_all_reduce(
+            dims,
+            Algorithm::DimensionOrdered,
+            Default::default(),
+            &inputs,
+        );
         assert_eq!(out.results[0], vec![3.5, -1.0]);
         // Still pays the local share writes, so latency is nonzero but
         // well under a microsecond.
@@ -665,10 +790,13 @@ mod degenerate_tests {
         // 8×1×1: only the X round runs.
         let dims = TorusDims::new(8, 1, 1);
         let inputs = random_inputs(dims, 2, 17);
-        let out = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
-        let want: Vec<f64> = (0..2)
-            .map(|i| inputs.iter().map(|v| v[i]).sum())
-            .collect();
+        let out = run_all_reduce(
+            dims,
+            Algorithm::DimensionOrdered,
+            Default::default(),
+            &inputs,
+        );
+        let want: Vec<f64> = (0..2).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
         for r in &out.results {
             for (a, b) in r.iter().zip(&want) {
                 assert!((a - b).abs() < 1e-9 * b.abs().max(1.0));
@@ -689,10 +817,13 @@ mod degenerate_tests {
         // 32 values = 256 bytes: one full packet per contribution.
         let dims = TorusDims::new(4, 4, 4);
         let inputs = random_inputs(dims, 32, 23);
-        let out = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
-        let want: Vec<f64> = (0..32)
-            .map(|i| inputs.iter().map(|v| v[i]).sum())
-            .collect();
+        let out = run_all_reduce(
+            dims,
+            Algorithm::DimensionOrdered,
+            Default::default(),
+            &inputs,
+        );
+        let want: Vec<f64> = (0..32).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
         for (a, b) in out.results[0].iter().zip(&want) {
             assert!((a - b).abs() < 1e-9 * b.abs().max(1.0));
         }
@@ -711,7 +842,12 @@ mod degenerate_tests {
         // Table 2's 8×8×16 row: the long Z dimension dominates.
         let dims = TorusDims::new(8, 8, 16);
         let inputs = random_inputs(dims, 4, 29);
-        let out = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+        let out = run_all_reduce(
+            dims,
+            Algorithm::DimensionOrdered,
+            Default::default(),
+            &inputs,
+        );
         let us = out.latency.as_us_f64();
         assert!((1.5..2.5).contains(&us), "{us}");
     }
@@ -725,7 +861,12 @@ mod ring_tests {
     fn ring_computes_the_same_sum() {
         let dims = TorusDims::new(2, 2, 2);
         let inputs = random_inputs(dims, 3, 41);
-        let d = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+        let d = run_all_reduce(
+            dims,
+            Algorithm::DimensionOrdered,
+            Default::default(),
+            &inputs,
+        );
         let r = run_all_reduce(dims, Algorithm::Ring, Default::default(), &inputs);
         for (x, y) in d.results[0].iter().zip(&r.results[0]) {
             assert!((x - y).abs() < 1e-9 * x.abs().max(1.0));
@@ -741,7 +882,12 @@ mod ring_tests {
         // in its most extreme form.
         let dims = TorusDims::new(4, 4, 4);
         let inputs = random_inputs(dims, 4, 43);
-        let d = run_all_reduce(dims, Algorithm::DimensionOrdered, Default::default(), &inputs);
+        let d = run_all_reduce(
+            dims,
+            Algorithm::DimensionOrdered,
+            Default::default(),
+            &inputs,
+        );
         let r = run_all_reduce(dims, Algorithm::Ring, Default::default(), &inputs);
         assert!(
             r.latency.as_us_f64() > 5.0 * d.latency.as_us_f64(),

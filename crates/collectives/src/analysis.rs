@@ -34,7 +34,10 @@ pub fn butterfly_cost(dims: TorusDims) -> HopCost {
         rounds += n.trailing_zeros();
         hops += n - 1; // 1 + 2 + 4 + … + n/2
     }
-    HopCost { rounds, critical_hops: hops }
+    HopCost {
+        rounds,
+        critical_hops: hops,
+    }
 }
 
 #[cfg(test)]
@@ -45,9 +48,21 @@ mod tests {
     fn paper_numbers_for_8x8x8() {
         let dims = TorusDims::anton_512();
         let do_cost = dimension_ordered_cost(dims);
-        assert_eq!(do_cost, HopCost { rounds: 3, critical_hops: 12 }); // 3N/2 = 12
+        assert_eq!(
+            do_cost,
+            HopCost {
+                rounds: 3,
+                critical_hops: 12
+            }
+        ); // 3N/2 = 12
         let bf = butterfly_cost(dims);
-        assert_eq!(bf, HopCost { rounds: 9, critical_hops: 21 }); // 3log₂8, 3(N−1)
+        assert_eq!(
+            bf,
+            HopCost {
+                rounds: 9,
+                critical_hops: 21
+            }
+        ); // 3log₂8, 3(N−1)
     }
 
     #[test]

@@ -27,8 +27,13 @@ fn main() {
         let t = eng.step();
         println!(
             "step {}: total {} comm {} compute {} lr={} fft={} reduce={}",
-            i + 1, t.total, t.communication(), t.critical_compute(),
-            t.long_range, t.fft_span, t.reduce_span,
+            i + 1,
+            t.total,
+            t.communication(),
+            t.critical_compute(),
+            t.long_range,
+            t.fft_span,
+            t.reduce_span,
         );
         let s = eng.last_stats.as_ref().unwrap();
         println!(
@@ -41,8 +46,12 @@ fn main() {
             let st = eng.state.borrow();
             println!(
                 "  hpos fire {:?} us, force fire {:?} us",
-                st.scratch.ts_hpos.map(|(a, b)| (a as f64 / 1e6, b as f64 / 1e6)),
-                st.scratch.ts_force.map(|(a, b)| (a as f64 / 1e6, b as f64 / 1e6)),
+                st.scratch
+                    .ts_hpos
+                    .map(|(a, b)| (a as f64 / 1e6, b as f64 / 1e6)),
+                st.scratch
+                    .ts_force
+                    .map(|(a, b)| (a as f64 / 1e6, b as f64 / 1e6)),
             );
         }
         if let Some(tr) = &eng.last_trace {
@@ -57,7 +66,9 @@ fn main() {
             for (label, (a, b)) in spans {
                 println!(
                     "    {:>22}: {:9.3} -> {:9.3} us",
-                    label, a as f64 / 1e6, b as f64 / 1e6
+                    label,
+                    a as f64 / 1e6,
+                    b as f64 / 1e6
                 );
             }
         }

@@ -127,11 +127,7 @@ impl BondProgram {
 
     /// Mean network hops from each atom's current owner to its bond
     /// destinations — the staleness metric behind Figure 11.
-    pub fn mean_destination_hops(
-        &self,
-        owners: &[NodeId],
-        decomp: &Decomposition,
-    ) -> f64 {
+    pub fn mean_destination_hops(&self, owners: &[NodeId], decomp: &Decomposition) -> f64 {
         let mut total = 0u64;
         let mut count = 0u64;
         for (atom, dests) in self.atom_destinations.iter().enumerate() {
@@ -177,8 +173,7 @@ mod tests {
 
     fn setup() -> (anton_md::ChemicalSystem, Decomposition) {
         let sys = SystemBuilder::tiny(300, 24.0, 44).build();
-        let decomp =
-            Decomposition::new(TorusDims::new(4, 4, 4), PeriodicBox::cubic(24.0), 5.0);
+        let decomp = Decomposition::new(TorusDims::new(4, 4, 4), PeriodicBox::cubic(24.0), 5.0);
         (sys, decomp)
     }
 

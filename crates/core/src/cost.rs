@@ -116,9 +116,7 @@ impl CostModel {
 
     /// Migration bookkeeping for `atoms` moved through this node.
     pub fn migrate(&self, atoms: u64) -> SimDuration {
-        SimDuration::from_ns_f64(
-            self.migrate_overhead_ns + self.migrate_ns_per_atom * atoms as f64,
-        )
+        SimDuration::from_ns_f64(self.migrate_overhead_ns + self.migrate_ns_per_atom * atoms as f64)
     }
 }
 

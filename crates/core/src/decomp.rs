@@ -63,7 +63,13 @@ impl Decomposition {
         let reach = |edge: f64| -> i64 { (cutoff / edge).floor() as i64 + 1 };
         let zr = reach(h.z);
         let rxy = reach(h.x.min(h.y));
-        Decomposition { dims, pbox, cutoff, zr, rxy }
+        Decomposition {
+            dims,
+            pbox,
+            cutoff,
+            zr,
+            rxy,
+        }
     }
 
     fn box_lengths_of(dims: TorusDims, pbox: PeriodicBox) -> Vec3 {
@@ -123,7 +129,11 @@ impl Decomposition {
                 let cm = c.rem_euclid(full);
                 let lm = l.rem_euclid(full);
                 let um = u.rem_euclid(full);
-                if lm <= um { cm >= lm && cm <= um } else { cm >= lm || cm <= um }
+                if lm <= um {
+                    cm >= lm && cm <= um
+                } else {
+                    cm >= lm || cm <= um
+                }
             } else {
                 c >= l && c <= u
             };
@@ -272,11 +282,7 @@ mod tests {
     use anton_des::Rng;
 
     fn dhfr_decomp() -> Decomposition {
-        Decomposition::new(
-            TorusDims::anton_512(),
-            PeriodicBox::cubic(62.23),
-            9.5,
-        )
+        Decomposition::new(TorusDims::anton_512(), PeriodicBox::cubic(62.23), 9.5)
     }
 
     #[test]
@@ -296,7 +302,10 @@ mod tests {
     #[test]
     fn strict_owner_maps_boxes() {
         let d = dhfr_decomp();
-        assert_eq!(d.strict_owner(Vec3::new(0.1, 0.1, 0.1)), Coord::new(0, 0, 0));
+        assert_eq!(
+            d.strict_owner(Vec3::new(0.1, 0.1, 0.1)),
+            Coord::new(0, 0, 0)
+        );
         assert_eq!(
             d.strict_owner(Vec3::new(62.0, 62.0, 62.0)),
             Coord::new(7, 7, 7)
@@ -429,12 +438,13 @@ mod tests {
 
     #[test]
     fn slice_partition_is_balanced() {
-        let counts = (0..46)
-            .map(Decomposition::slice_of_local_index)
-            .fold([0u32; 4], |mut acc, s| {
-                acc[s as usize] += 1;
-                acc
-            });
+        let counts =
+            (0..46)
+                .map(Decomposition::slice_of_local_index)
+                .fold([0u32; 4], |mut acc, s| {
+                    acc[s as usize] += 1;
+                    acc
+                });
         let max = counts.iter().max().unwrap();
         let min = counts.iter().min().unwrap();
         assert!(max - min <= 1, "{counts:?}");

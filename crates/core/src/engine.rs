@@ -160,7 +160,8 @@ impl AntonMdEngine {
     /// Figure 11 staleness metric.
     pub fn bond_staleness_hops(&self) -> f64 {
         let st = self.state.borrow();
-        st.bond_program.mean_destination_hops(&st.owners, &st.decomp)
+        st.bond_program
+            .mean_destination_hops(&st.owners, &st.decomp)
     }
 
     fn run_des_step(&mut self, bootstrap: bool) -> StepTiming {
@@ -241,11 +242,8 @@ impl AntonMdEngine {
         // ---- build the fabric for this step ----
         let mut fabric = {
             let st = self.state.borrow();
-            let mut fabric = Fabric::with_faults(
-                self.dims,
-                st.config.timing.clone(),
-                st.config.fault.clone(),
-            );
+            let mut fabric =
+                Fabric::with_faults(self.dims, st.config.timing.clone(), st.config.fault.clone());
             st.patterns.register(&mut fabric, thermostat, migration);
             fabric
         };
@@ -310,27 +308,26 @@ impl AntonMdEngine {
         // Barostat: the globally reduced virial arrived with the
         // thermostat reduction; apply the Berendsen box rescale and
         // rebuild the spatial bookkeeping (the box geometry changed).
-        if let (Some(ba), Some((_, virial))) =
-            (st.config.md.barostat, st.scratch.reduced)
-        {
+        if let (Some(ba), Some((_, virial))) = (st.config.md.barostat, st.scratch.reduced) {
             if !bootstrap && st.step_count.is_multiple_of(ba.interval as u64) {
                 let p = anton_md::integrate::instantaneous_pressure(&st.sys, virial);
                 let dt = st.config.md.dt;
                 anton_md::integrate::berendsen_pressure_rescale(
-                    &mut st.sys, p, ba.target, ba.tau, ba.kappa, dt,
+                    &mut st.sys,
+                    p,
+                    ba.target,
+                    ba.tau,
+                    ba.kappa,
+                    dt,
                 );
                 let import_radius = st.config.md.cutoff + 2.0 * st.config.margin;
                 let old_reach = (st.decomp.plate_reach(), st.decomp.tower_reach());
-                st.decomp = crate::decomp::Decomposition::new(
-                    self.dims,
-                    st.sys.pbox,
-                    import_radius,
-                );
+                st.decomp =
+                    crate::decomp::Decomposition::new(self.dims, st.sys.pbox, import_radius);
                 if (st.decomp.plate_reach(), st.decomp.tower_reach()) != old_reach {
                     // The import geometry changed: rebuild the multicast
                     // pattern families too.
-                    st.patterns =
-                        crate::patterns::MdPatterns::allocate(&st.decomp, &st.grid_map);
+                    st.patterns = crate::patterns::MdPatterns::allocate(&st.decomp, &st.grid_map);
                 }
                 st.apply_migration(); // re-own atoms under the new box
             }
@@ -379,10 +376,8 @@ impl AntonMdEngine {
             st.compute_time = vec![SimDuration::ZERO; n_nodes];
             // Host-side spread (the physics the HTIS units would have
             // produced), quantized through the same fixed-point codec.
-            let spread =
-                anton_md::grid::SpreadParams::for_ewald_sigma(st.config.md.ewald_sigma);
-            let mut grid =
-                anton_md::grid::ScalarGrid::zeros(st.config.md.grid, st.sys.pbox);
+            let spread = anton_md::grid::SpreadParams::for_ewald_sigma(st.config.md.ewald_sigma);
+            let mut grid = anton_md::grid::ScalarGrid::zeros(st.config.md.grid, st.sys.pbox);
             let positions: Vec<Vec3> = st.sys.atoms.iter().map(|a| a.pos).collect();
             let charges: Vec<f64> = st.sys.atoms.iter().map(|a| a.charge).collect();
             anton_md::grid::spread_charges(&mut grid, &positions, &charges, spread);
@@ -405,10 +400,7 @@ impl AntonMdEngine {
                                 grid.data[idx],
                                 anton_md::fixed::CHARGE_SCALE,
                             );
-                            vals.push(anton_md::fixed::decode(
-                                q,
-                                anton_md::fixed::CHARGE_SCALE,
-                            ));
+                            vals.push(anton_md::fixed::decode(q, anton_md::fixed::CHARGE_SCALE));
                         }
                     }
                 }
@@ -417,11 +409,8 @@ impl AntonMdEngine {
         }
         let fabric = {
             let st = self.state.borrow();
-            let mut fabric = Fabric::with_faults(
-                self.dims,
-                st.config.timing.clone(),
-                st.config.fault.clone(),
-            );
+            let mut fabric =
+                Fabric::with_faults(self.dims, st.config.timing.clone(), st.config.fault.clone());
             st.patterns.register(&mut fabric, false, false);
             fabric
         };
@@ -431,7 +420,11 @@ impl AntonMdEngine {
             panic!("FFT convolution stalled:\n{stall}");
         }
         let st = self.state.borrow();
-        assert_eq!(st.scratch.nodes_done, self.dims.node_count(), "all nodes finish");
+        assert_eq!(
+            st.scratch.nodes_done,
+            self.dims.node_count(),
+            "all nodes finish"
+        );
         sim.now() - SimTime::ZERO
     }
 

@@ -100,11 +100,7 @@ pub fn halo_rows(
     // Per axis, a mask of reachable target-brick-local indices, unioned
     // over every offset alias (on short axes the +1 and −1 neighbor can
     // be the same node, reachable through both faces).
-    let mut masks: [Vec<bool>; 3] = [
-        vec![false; b[0]],
-        vec![false; b[1]],
-        vec![false; b[2]],
-    ];
+    let mut masks: [Vec<bool>; 3] = [vec![false; b[0]], vec![false; b[1]], vec![false; b[2]]];
     let mut any = true;
     for axis in 0..3 {
         let n = machine[axis] as i64;

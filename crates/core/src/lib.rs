@@ -16,6 +16,7 @@ pub mod cost;
 pub mod decomp;
 pub mod engine;
 pub mod fftplan;
+pub mod parstep;
 pub mod patterns;
 pub mod program;
 pub mod state;
@@ -24,5 +25,8 @@ pub use bondprog::{BondProgram, NodeTerms};
 pub use cost::CostModel;
 pub use decomp::{wrap_signed, Decomposition};
 pub use engine::{AntonMdEngine, Energies};
+pub use parstep::{
+    run_md_exchange, run_md_exchange_par, MdExchangeNode, MdExchangeOutcome, MdExchangeParams,
+};
 pub use program::{MdNode, TRACK_GC, TRACK_HTIS, TRACK_TS};
 pub use state::{AntonConfig, EpochPlan, MachineState, StepTiming};

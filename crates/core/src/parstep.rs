@@ -1,0 +1,317 @@
+//! A `Send`-able MD time-step skeleton for the parallel engine.
+//!
+//! The full per-node MD program ([`MdNode`](crate::program::MdNode))
+//! shares one `Rc<RefCell<MachineState>>` across all nodes, which pins
+//! it to the sequential simulation. This module distills the *shape* of
+//! an MD step that matters for parallel-engine benchmarking — the
+//! position-export / force-return neighbor exchange of Figure 2, with
+//! its counted remote writes and per-step compute phase — into a
+//! self-contained program whose only state is per-node, so it runs
+//! unchanged (and bit-identically) on [`ParSimulation`].
+//!
+//! Per step, every node:
+//!
+//! 1. multicasts nothing — it sends one counted remote write to each of
+//!    its six torus neighbors (±x, ±y, ±z), carrying a position payload;
+//! 2. waits on a synchronization counter for the six inbound writes
+//!    (communication–synchronization fusion, §IV.A);
+//! 3. folds the received values and models the pairwise-force compute
+//!    time on the Tensilica cores;
+//! 4. starts the next step.
+//!
+//! All payload values are pure functions of `(node, step, direction)`,
+//! so every run — sequential or sharded, any thread count — produces
+//! identical folds and identical completion times.
+
+use anton_des::{SimDuration, SimTime};
+use anton_net::{
+    ClientAddr, ClientKind, CounterId, Ctx, Fabric, FaultPlan, NetStats, NodeProgram, Packet,
+    ParSimulation, Payload, ProgEvent, Simulation,
+};
+use anton_topo::{Dim, NodeId, TorusDims};
+
+/// Counter the six neighbor writes of each step land on.
+const C_EXCH: CounterId = CounterId(30);
+/// Receive-buffer base address; one slot per inbound direction.
+const A_EXCH: u64 = 0x0600_0000;
+const A_DIR_STRIDE: u64 = 0x100;
+
+/// Workload parameters for the exchange skeleton.
+#[derive(Debug, Clone, Copy)]
+pub struct MdExchangeParams {
+    /// Number of simulated time steps.
+    pub steps: u32,
+    /// f64 values per neighbor message (32 B = 4 values matches the
+    /// paper's fine-grained message regime).
+    pub values_per_msg: usize,
+    /// Modeled per-step force-computation time, ns.
+    pub compute_ns: f64,
+}
+
+impl Default for MdExchangeParams {
+    fn default() -> Self {
+        MdExchangeParams {
+            steps: 10,
+            values_per_msg: 4,
+            compute_ns: 250.0,
+        }
+    }
+}
+
+/// Result of an exchange run.
+#[derive(Debug, Clone)]
+pub struct MdExchangeOutcome {
+    /// Time at which the last node finished its last step.
+    pub makespan: SimTime,
+    /// Per-node checksum of every folded value (order-fixed, so it is
+    /// bitwise identical across runs and thread counts).
+    pub checksums: Vec<f64>,
+    /// Machine-wide fabric statistics.
+    pub stats: NetStats,
+    /// Total DES events processed.
+    pub events: u64,
+}
+
+/// The six (dim, direction) neighbor slots in fixed order.
+fn directions() -> [(Dim, i32); 6] {
+    [
+        (Dim::ALL[0], -1),
+        (Dim::ALL[0], 1),
+        (Dim::ALL[1], -1),
+        (Dim::ALL[1], 1),
+        (Dim::ALL[2], -1),
+        (Dim::ALL[2], 1),
+    ]
+}
+
+fn neighbor(node: NodeId, dims: TorusDims, dim: Dim, dir: i32) -> NodeId {
+    let me = node.coord(dims);
+    let n = dims.len(dim);
+    let c = (me.get(dim) as i64 + dir as i64).rem_euclid(n as i64) as u32;
+    me.with(dim, c).node_id(dims)
+}
+
+/// Deterministic stand-in for a position payload.
+fn payload_values(node: NodeId, step: u32, slot: usize, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (node.0 as f64) + 0.001 * step as f64 + 0.0001 * (slot * n + i) as f64)
+        .collect()
+}
+
+/// One node of the exchange skeleton. Plain owned state — `Send`.
+pub struct MdExchangeNode {
+    params: MdExchangeParams,
+    step: u32,
+    checksum: f64,
+    /// Set when the final step's fold completes.
+    pub finished_at: Option<SimTime>,
+}
+
+impl MdExchangeNode {
+    fn start_step(&mut self, node: NodeId, ctx: &mut Ctx<'_, '_>) {
+        let dims = ctx.dims();
+        let me = ClientAddr::new(node, ClientKind::Slice(0));
+        ctx.watch_counter(me, C_EXCH, 6);
+        for (slot, (dim, dir)) in directions().into_iter().enumerate() {
+            let peer = neighbor(node, dims, dim, dir);
+            // The receiver files us under the *inbound* slot: the packet
+            // we send in direction (dim, +1) arrives from its (dim, −1)
+            // side, i.e. slot with the direction flipped.
+            let inbound = slot ^ 1;
+            let vs = payload_values(node, self.step, slot, self.params.values_per_msg);
+            let pkt = Packet::write(
+                me,
+                ClientAddr::new(peer, ClientKind::Slice(0)),
+                A_EXCH + inbound as u64 * A_DIR_STRIDE,
+                Payload::F64s(vs),
+            )
+            .with_payload_bytes((self.params.values_per_msg * 8) as u32)
+            .with_counter(C_EXCH);
+            ctx.send(pkt);
+        }
+    }
+
+    fn finish_step(&mut self, node: NodeId, ctx: &mut Ctx<'_, '_>) {
+        let me = ClientAddr::new(node, ClientKind::Slice(0));
+        // Fold inbound contributions in fixed slot order.
+        for slot in 0..6 {
+            match ctx.mem_take(me, A_EXCH + slot as u64 * A_DIR_STRIDE) {
+                Some(Payload::F64s(vs)) => {
+                    for v in vs {
+                        self.checksum += v;
+                    }
+                }
+                other => panic!("missing neighbor write in slot {slot}: {other:?}"),
+            }
+        }
+        ctx.reset_counter(me, C_EXCH);
+        let cost = SimDuration::from_ns_f64(self.params.compute_ns);
+        ctx.set_timer(node, ClientKind::Slice(0), cost, self.step as u64);
+    }
+}
+
+impl NodeProgram for MdExchangeNode {
+    fn on_event(&mut self, node: NodeId, pe: ProgEvent, ctx: &mut Ctx<'_, '_>) {
+        match pe {
+            ProgEvent::Start => self.start_step(node, ctx),
+            ProgEvent::CounterReached { .. } => self.finish_step(node, ctx),
+            ProgEvent::Timer { .. } => {
+                self.step += 1;
+                if self.step < self.params.steps {
+                    self.start_step(node, ctx);
+                } else {
+                    self.finished_at = Some(ctx.now());
+                }
+            }
+            ProgEvent::FifoMessage { .. } => {
+                unreachable!("exchange skeleton uses no FIFO traffic")
+            }
+        }
+    }
+}
+
+fn make_node(params: MdExchangeParams) -> impl FnMut(NodeId) -> MdExchangeNode {
+    move |_| MdExchangeNode {
+        params,
+        step: 0,
+        checksum: 0.0,
+        finished_at: None,
+    }
+}
+
+fn outcome(
+    nodes: impl Iterator<Item = (SimTime, f64)>,
+    stats: NetStats,
+    events: u64,
+) -> MdExchangeOutcome {
+    let mut makespan = SimTime::ZERO;
+    let mut checksums = Vec::new();
+    for (t, c) in nodes {
+        makespan = makespan.max(t);
+        checksums.push(c);
+    }
+    MdExchangeOutcome {
+        makespan,
+        checksums,
+        stats,
+        events,
+    }
+}
+
+/// Run the exchange workload sequentially (the reference executor).
+pub fn run_md_exchange(dims: TorusDims, params: MdExchangeParams) -> MdExchangeOutcome {
+    let fabric = Fabric::with_faults(dims, anton_net::Timing::default(), FaultPlan::none());
+    let mut sim = Simulation::new(fabric, make_node(params));
+    assert!(
+        sim.run_guarded(SimTime(u64::MAX / 2), 1_000_000_000)
+            .is_completed(),
+        "exchange workload completes"
+    );
+    let events = sim.events_processed();
+    outcome(
+        sim.world
+            .programs
+            .iter()
+            .map(|p| (p.finished_at.expect("completed"), p.checksum)),
+        sim.world.fabric.stats.clone(),
+        events,
+    )
+}
+
+/// Run the exchange workload on the sharded parallel engine with
+/// `threads` workers. Bit-identical to [`run_md_exchange`] at any
+/// thread count.
+pub fn run_md_exchange_par(
+    dims: TorusDims,
+    params: MdExchangeParams,
+    threads: usize,
+) -> MdExchangeOutcome {
+    let mut sim = ParSimulation::new(
+        threads,
+        move || Fabric::with_faults(dims, anton_net::Timing::default(), FaultPlan::none()),
+        make_node(params),
+    );
+    assert!(
+        sim.run_guarded(SimTime(u64::MAX / 2), 1_000_000_000)
+            .is_completed(),
+        "exchange workload completes"
+    );
+    let events = sim.events_processed();
+    outcome(
+        (0..dims.node_count()).map(|i| {
+            let p = sim.program(NodeId(i));
+            (p.finished_at.expect("completed"), p.checksum)
+        }),
+        sim.merged_stats(),
+        events,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree_exactly() {
+        let dims = TorusDims::new(4, 4, 4);
+        let params = MdExchangeParams {
+            steps: 3,
+            ..Default::default()
+        };
+        let seq = run_md_exchange(dims, params);
+        for threads in [1, 2, 4] {
+            let par = run_md_exchange_par(dims, params, threads);
+            assert_eq!(par.makespan, seq.makespan, "{threads} threads");
+            assert_eq!(par.checksums, seq.checksums);
+            assert_eq!(par.stats.packets_sent, seq.stats.packets_sent);
+            assert_eq!(par.stats.link_traversals, seq.stats.link_traversals);
+        }
+    }
+
+    #[test]
+    fn checksums_match_the_analytic_fold() {
+        // Every node receives, per step, the six slot payloads its
+        // neighbors emitted; totals are a pure function of the schedule.
+        let dims = TorusDims::new(2, 2, 2);
+        let params = MdExchangeParams {
+            steps: 2,
+            values_per_msg: 2,
+            compute_ns: 100.0,
+        };
+        let out = run_md_exchange(dims, params);
+        let mut want = vec![0.0f64; dims.node_count() as usize];
+        for step in 0..params.steps {
+            for node in 0..dims.node_count() {
+                for (slot, (dim, dir)) in directions().into_iter().enumerate() {
+                    let peer = neighbor(NodeId(node), dims, dim, dir);
+                    for v in payload_values(peer, step, slot ^ 1, params.values_per_msg) {
+                        want[node as usize] += v;
+                    }
+                }
+            }
+        }
+        for (got, want) in out.checksums.iter().zip(&want) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn makespan_scales_with_steps() {
+        let dims = TorusDims::new(2, 2, 2);
+        let one = run_md_exchange(
+            dims,
+            MdExchangeParams {
+                steps: 1,
+                ..Default::default()
+            },
+        );
+        let five = run_md_exchange(
+            dims,
+            MdExchangeParams {
+                steps: 5,
+                ..Default::default()
+            },
+        );
+        assert!(five.makespan > one.makespan);
+    }
+}

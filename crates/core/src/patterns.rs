@@ -22,7 +22,10 @@ struct Colorer {
 
 impl Colorer {
     fn new(n_nodes: usize) -> Colorer {
-        Colorer { used: vec![Vec::new(); n_nodes], max_color: 0 }
+        Colorer {
+            used: vec![Vec::new(); n_nodes],
+            max_color: 0,
+        }
     }
 
     fn assign(&mut self, tree: &MulticastPattern) -> PatternId {

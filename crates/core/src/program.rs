@@ -169,7 +169,10 @@ impl MdNode {
         // the packet's source node by the buffer table.
         let me = node.coord(dims);
         let sources = st.decomp.source_boxes(me);
-        assert!(16 + sources.len() <= 62, "too many HTIS buffers for counters");
+        assert!(
+            16 + sources.len() <= 62,
+            "too many HTIS buffers for counters"
+        );
         let capacity = plan.capacity as u64;
         let mut buffer_map = std::collections::HashMap::new();
         for (i, &src) in sources.iter().enumerate() {
@@ -192,10 +195,7 @@ impl MdNode {
                 remaining[b] += 1;
             }
         }
-        let return_hops: Vec<u32> = sources
-            .iter()
-            .map(|&s| hop_count(me, s, dims))
-            .collect();
+        let return_hops: Vec<u32> = sources.iter().map(|&s| hop_count(me, s, dims)).collect();
         self.htis = Some(HtisState {
             ready: vec![false; sources.len()],
             imported: vec![Vec::new(); sources.len()],
@@ -231,10 +231,7 @@ impl MdNode {
                 C_CHARGE,
                 fftplan::charge_targets(map, st.spread_reach_points)[node.index()],
             );
-            for (stage, dim) in [Dim::X, Dim::Y, Dim::Z, Dim::Y, Dim::X]
-                .iter()
-                .enumerate()
-            {
+            for (stage, dim) in [Dim::X, Dim::Y, Dim::Z, Dim::Y, Dim::X].iter().enumerate() {
                 let targets = fftplan::pencil_targets(map, *dim);
                 for s in 0..4u8 {
                     ctx.watch_counter(
@@ -250,7 +247,11 @@ impl MdNode {
                 C_BRICKPOT,
                 (brick[0] * brick[1] * brick[2]) as u64,
             );
-            ctx.watch_counter(htis(node), C_POT, fftplan::potential_targets(map)[node.index()]);
+            ctx.watch_counter(
+                htis(node),
+                C_POT,
+                fftplan::potential_targets(map)[node.index()],
+            );
         }
         if migration {
             let neighbors = anton_topo::moore_neighbors(node.coord(dims), dims);
@@ -282,7 +283,14 @@ impl MdNode {
                     ctx.compute(node, ClientKind::Slice(s), TRACK_TS, d, tag, "integrate");
                 } else {
                     // Busy interval only; no follow-up event needed.
-                    ctx.compute(node, ClientKind::Slice(s), TRACK_TS, d, u64::MAX, "integrate");
+                    ctx.compute(
+                        node,
+                        ClientKind::Slice(s),
+                        TRACK_TS,
+                        d,
+                        u64::MAX,
+                        "integrate",
+                    );
                 }
             }
             self.add_compute(node, d);
@@ -299,9 +307,7 @@ impl MdNode {
         for (atom, new_owner) in &leavers {
             let st = self.state.borrow();
             let a = &st.sys.atoms[*atom as usize];
-            let payload = Payload::F64s(vec![
-                a.pos.x, a.pos.y, a.pos.z, a.vel.x, a.vel.y, a.vel.z,
-            ]);
+            let payload = Payload::F64s(vec![a.pos.x, a.pos.y, a.pos.z, a.vel.x, a.vel.y, a.vel.z]);
             drop(st);
             let pkt = Packet::fifo(slice(node, 0), slice(*new_owner, 0), payload)
                 .with_tag(*atom as u64)
@@ -333,13 +339,24 @@ impl MdNode {
 
     fn migration_synced(&mut self, node: NodeId, ctx: &mut Ctx<'_, '_>) {
         let mut st = self.state.borrow_mut();
-        st.scratch.migration_last_sync =
-            Some(st.scratch.migration_last_sync.unwrap_or(0).max(ctx.now().as_ps()));
+        st.scratch.migration_last_sync = Some(
+            st.scratch
+                .migration_last_sync
+                .unwrap_or(0)
+                .max(ctx.now().as_ps()),
+        );
         let received = st.scratch.mig_received[node.index()] as u64;
         let d = st.config.cost.migrate(received);
         drop(st);
         self.add_compute(node, d);
-        ctx.compute(node, ClientKind::Slice(0), TRACK_TS, d, TAG_MIG_DONE, "migration");
+        ctx.compute(
+            node,
+            ClientKind::Slice(0),
+            TRACK_TS,
+            d,
+            TAG_MIG_DONE,
+            "migration",
+        );
     }
 
     // ---------------- position distribution ----------------
@@ -498,7 +515,9 @@ impl MdNode {
                 let (a, b) = h.task_pairs[p];
                 h.return_hops[a].max(h.return_hops[b])
             };
-            (0..h.pending.len()).max_by_key(|&i| key(h.pending[i])).expect("nonempty")
+            (0..h.pending.len())
+                .max_by_key(|&i| key(h.pending[i]))
+                .expect("nonempty")
         } else {
             0
         };
@@ -571,7 +590,14 @@ impl MdNode {
         drop(st);
         self.add_compute(node, cost);
         ctx.set_phase("range-limited");
-        ctx.compute(node, ClientKind::Htis, TRACK_HTIS, cost, TAG_HTIS_DONE, "range-limited");
+        ctx.compute(
+            node,
+            ClientKind::Htis,
+            TRACK_HTIS,
+            cost,
+            TAG_HTIS_DONE,
+            "range-limited",
+        );
     }
 
     /// A pair finished in the pipelines: release completed buffers'
@@ -684,7 +710,12 @@ impl MdNode {
             }
             let a = st.sys.angles[t as usize];
             let pos = [fetch(a.i), fetch(a.j), fetch(a.k_atom)];
-            let local = anton_md::Angle { i: 0, j: 1, k_atom: 2, ..a };
+            let local = anton_md::Angle {
+                i: 0,
+                j: 1,
+                k_atom: 2,
+                ..a
+            };
             let mut f = [Vec3::ZERO; 3];
             e_bonded += anton_md::bonded::angle_force(&local, &pos, &pbox, &mut f);
             *forces.entry(a.i as u32).or_default() += f[0];
@@ -698,7 +729,13 @@ impl MdNode {
             }
             let dh = st.sys.dihedrals[t as usize];
             let pos = [fetch(dh.i), fetch(dh.j), fetch(dh.k_atom), fetch(dh.l)];
-            let local = anton_md::Dihedral { i: 0, j: 1, k_atom: 2, l: 3, ..dh };
+            let local = anton_md::Dihedral {
+                i: 0,
+                j: 1,
+                k_atom: 2,
+                l: 3,
+                ..dh
+            };
             let mut f = [Vec3::ZERO; 4];
             e_bonded += anton_md::bonded::dihedral_force(&local, &pos, &pbox, &mut f);
             *forces.entry(dh.i as u32).or_default() += f[0];
@@ -768,7 +805,14 @@ impl MdNode {
         let cost = st.config.cost.spread(atoms, pts);
         drop(st);
         self.add_compute(node, cost);
-        ctx.compute(node, ClientKind::Htis, TRACK_HTIS, cost, TAG_SPREAD_DONE, "charge spread");
+        ctx.compute(
+            node,
+            ClientKind::Htis,
+            TRACK_HTIS,
+            cost,
+            TAG_SPREAD_DONE,
+            "charge spread",
+        );
     }
 
     fn spread_send(&mut self, node: NodeId, ctx: &mut Ctx<'_, '_>) {
@@ -812,14 +856,13 @@ impl MdNode {
                     let idx = g[0] + map.grid[0] * (g[1] + map.grid[1] * g[2]);
                     vals.push(fixed::encode(grid.data[idx], fixed::CHARGE_SCALE));
                 }
-                let addr = (fftplan::brick_local_index(&map, [origin[0] + x0, origin[1] + y, origin[2] + z]) as u64) * 4;
-                let pkt = Packet::accumulate(
-                    htis(node),
-                    accum1(dst.node_id(map.dims)),
-                    addr,
-                    vals,
-                )
-                .with_counter(C_CHARGE);
+                let addr = (fftplan::brick_local_index(
+                    &map,
+                    [origin[0] + x0, origin[1] + y, origin[2] + z],
+                ) as u64)
+                    * 4;
+                let pkt = Packet::accumulate(htis(node), accum1(dst.node_id(map.dims)), addr, vals)
+                    .with_counter(C_CHARGE);
                 if first_send {
                     let mut stm = self.state.borrow_mut();
                     let t = ctx.now().as_ps();
@@ -849,16 +892,19 @@ impl MdNode {
         st.scratch.brick_charges[node.index()] = decoded;
         drop(st);
         self.add_compute(node, cost);
-        ctx.compute(node, ClientKind::Slice(0), TRACK_TS, cost, TAG_CHARGE_READ, "FFT");
+        ctx.compute(
+            node,
+            ClientKind::Slice(0),
+            TRACK_TS,
+            cost,
+            TAG_CHARGE_READ,
+            "FFT",
+        );
     }
 
     /// Map a grid point to its (owner, slice, counter-stage) for the
     /// given gather stage.
-    fn fft_dest(
-        map: &anton_fft::GridMap,
-        stage: usize,
-        g: [usize; 3],
-    ) -> (NodeId, u8) {
+    fn fft_dest(map: &anton_fft::GridMap, stage: usize, g: [usize; 3]) -> (NodeId, u8) {
         let layout_dim = [Dim::X, Dim::Y, Dim::Z, Dim::Y, Dim::X][stage];
         let owner = match stage {
             0..=4 => anton_fft::point_owner(map, Layout::Pencil(layout_dim), g),
@@ -945,7 +991,11 @@ impl MdNode {
         let st = self.state.borrow();
         let map = st.grid_map;
         let dim = [Dim::X, Dim::Y, Dim::Z, Dim::Y, Dim::X][stage];
-        let dir = if stage <= 2 { Direction::Forward } else { Direction::Inverse };
+        let dir = if stage <= 2 {
+            Direction::Forward
+        } else {
+            Direction::Inverse
+        };
         let n = map.grid[dim.index()];
         let (du, dv) = anton_fft::transverse(dim);
         // This slice's lines.
@@ -1026,7 +1076,10 @@ impl MdNode {
         let st = self.state.borrow();
         let map = st.grid_map;
         let me = node.coord(st.decomp.dims);
-        let cost = st.config.cost.accum_read((map.brick().iter().product::<usize>()) as u64);
+        let cost = st
+            .config
+            .cost
+            .accum_read((map.brick().iter().product::<usize>()) as u64);
         drop(st);
         let pts = Self::brick_points(&map, me);
         let mut brick = Vec::with_capacity(pts.len());
@@ -1041,7 +1094,14 @@ impl MdNode {
         st.scratch.potential_brick[node.index()] = brick;
         drop(st);
         self.add_compute(node, cost);
-        ctx.compute(node, ClientKind::Slice(0), TRACK_TS, cost, TAG_POTCAST, "FFT");
+        ctx.compute(
+            node,
+            ClientKind::Slice(0),
+            TRACK_TS,
+            cost,
+            TAG_POTCAST,
+            "FFT",
+        );
     }
 
     fn potential_multicast(&mut self, node: NodeId, ctx: &mut Ctx<'_, '_>) {
@@ -1082,7 +1142,11 @@ impl MdNode {
         for (stage, dim) in [Dim::X, Dim::Y, Dim::Z, Dim::Y, Dim::X].iter().enumerate() {
             let targets = fftplan::pencil_targets(&map, *dim);
             for s in 0..4u8 {
-                ctx.watch_counter(slice(node, s), c_fft(stage), targets[node.index()][s as usize]);
+                ctx.watch_counter(
+                    slice(node, s),
+                    c_fft(stage),
+                    targets[node.index()][s as usize],
+                );
             }
         }
         let brick = map.brick();
@@ -1091,7 +1155,11 @@ impl MdNode {
             C_BRICKPOT,
             (brick[0] * brick[1] * brick[2]) as u64,
         );
-        ctx.watch_counter(htis(node), C_POT, fftplan::potential_targets(&map)[node.index()]);
+        ctx.watch_counter(
+            htis(node),
+            C_POT,
+            fftplan::potential_targets(&map)[node.index()],
+        );
         drop(st);
         self.charge_scatter(node, ctx);
     }
@@ -1128,8 +1196,7 @@ impl MdNode {
                         Some(Payload::F64s(vals)) => {
                             for (x, &v) in vals.iter().enumerate() {
                                 let g = [origin[0] + x, origin[1] + y, origin[2] + z];
-                                let idx =
-                                    g[0] + map.grid[0] * (g[1] + map.grid[1] * g[2]);
+                                let idx = g[0] + map.grid[0] * (g[1] + map.grid[1] * g[2]);
                                 grid.data[idx] = v;
                             }
                         }
@@ -1139,7 +1206,10 @@ impl MdNode {
             }
         }
         let atoms = st.node_atoms(node).to_vec();
-        let positions: Vec<Vec3> = atoms.iter().map(|&a| st.sys.atoms[a as usize].pos).collect();
+        let positions: Vec<Vec3> = atoms
+            .iter()
+            .map(|&a| st.sys.atoms[a as usize].pos)
+            .collect();
         let charges: Vec<f64> = atoms
             .iter()
             .map(|&a| st.sys.atoms[a as usize].charge)
@@ -1153,16 +1223,15 @@ impl MdNode {
 
         let mut lr_forces = vec![Vec3::ZERO; atoms.len()];
         anton_md::grid::interpolate_forces(
-            &grid, &positions, &charges, spread, COULOMB, &mut lr_forces,
+            &grid,
+            &positions,
+            &charges,
+            spread,
+            COULOMB,
+            &mut lr_forces,
         );
         let phi = anton_md::grid::interpolate_potential(&grid, &positions, spread);
-        let mut e = 0.5
-            * COULOMB
-            * charges
-                .iter()
-                .zip(&phi)
-                .map(|(&q, &p)| q * p)
-                .sum::<f64>();
+        let mut e = 0.5 * COULOMB * charges.iter().zip(&phi).map(|(&q, &p)| q * p).sum::<f64>();
         // Self-energy for this node's atoms.
         let q_sq: f64 = charges.iter().map(|&q| q * q).sum();
         e -= COULOMB * q_sq / ((2.0 * std::f64::consts::PI).sqrt() * sigma);
@@ -1174,7 +1243,14 @@ impl MdNode {
         drop(st);
         FFT_INTERP.with(|o| o.borrow_mut().insert(node, lr_forces));
         self.add_compute(node, cost);
-        ctx.compute(node, ClientKind::Htis, TRACK_HTIS, cost, TAG_INTERP_DONE, "interpolation");
+        ctx.compute(
+            node,
+            ClientKind::Htis,
+            TRACK_HTIS,
+            cost,
+            TAG_INTERP_DONE,
+            "interpolation",
+        );
     }
 
     fn interp_send(&mut self, node: NodeId, ctx: &mut Ctx<'_, '_>) {
@@ -1208,7 +1284,14 @@ impl MdNode {
         let cost = st.config.cost.accum_read(capacity);
         drop(st);
         self.add_compute(node, cost);
-        ctx.compute(node, ClientKind::Slice(0), TRACK_TS, cost, TAG_ACCUM_READ, "force read");
+        ctx.compute(
+            node,
+            ClientKind::Slice(0),
+            TRACK_TS,
+            cost,
+            TAG_ACCUM_READ,
+            "force read",
+        );
     }
 
     fn decode_and_integrate(&mut self, node: NodeId, ctx: &mut Ctx<'_, '_>) {
@@ -1298,7 +1381,14 @@ impl MdNode {
         self.ar_virial = virial;
         self.ar_round = 0;
         self.add_compute(node, cost);
-        ctx.compute(node, ClientKind::Slice(0), TRACK_TS, cost, TAG_AR, "kinetic energy");
+        ctx.compute(
+            node,
+            ClientKind::Slice(0),
+            TRACK_TS,
+            cost,
+            TAG_AR,
+            "kinetic energy",
+        );
     }
 
     // ---------------- thermostat all-reduce (dimension-ordered) ----------------
@@ -1433,8 +1523,7 @@ fn apply_kernel_line(
         if k_sq == 0.0 {
             line[w] = Complex::ZERO;
         } else {
-            let kern =
-                4.0 * std::f64::consts::PI / k_sq * (-0.5 * residual * k_sq).exp();
+            let kern = 4.0 * std::f64::consts::PI / k_sq * (-0.5 * residual * k_sq).exp();
             line[w] = line[w].scale(kern);
         }
     }

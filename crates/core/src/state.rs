@@ -566,7 +566,9 @@ mod tests {
         assert_eq!(moved, 1);
         assert_eq!(
             st.owners[atom],
-            st.decomp.strict_owner(Vec3::new(20.9, 20.9, 20.9)).node_id(st.decomp.dims)
+            st.decomp
+                .strict_owner(Vec3::new(20.9, 20.9, 20.9))
+                .node_id(st.decomp.dims)
         );
         // Slots consistent after rebuild.
         for (node, list) in st.local_atoms.iter().enumerate() {

@@ -12,8 +12,17 @@ fn npt_params() -> MdParams {
     let mut md = MdParams::new(4.5, [16; 3]);
     md.dt = 0.5;
     md.long_range_interval = 2;
-    md.thermostat = Some(Thermostat { target: 300.0, tau: 100.0, interval: 2 });
-    md.barostat = Some(Barostat { target: ATM, tau: 200.0, kappa: 20.0, interval: 2 });
+    md.thermostat = Some(Thermostat {
+        target: 300.0,
+        tau: 100.0,
+        interval: 2,
+    });
+    md.barostat = Some(Barostat {
+        target: ATM,
+        tau: 200.0,
+        kappa: 20.0,
+        interval: 2,
+    });
     md
 }
 

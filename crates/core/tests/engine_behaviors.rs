@@ -28,10 +28,7 @@ fn activity_trace_captures_all_unit_classes() {
     // Links, Tensilica cores, geometry cores, and HTIS all show busy time.
     for track in [0u16, 6, 7, 8] {
         let busy = tracer.busy_time(TrackId(track), SimTime::ZERO, end);
-        assert!(
-            busy.as_ns_f64() > 0.0,
-            "track {track} recorded no activity"
-        );
+        assert!(busy.as_ns_f64() > 0.0, "track {track} recorded no activity");
     }
     // The CSV renders.
     let csv = tracer.to_csv();

@@ -50,15 +50,13 @@ fn bootstrap_forces_match_the_reference_engine() {
         want.e_lj
     );
     assert!(
-        (e.coulomb_real - want.e_coulomb_real).abs()
-            < 1e-6 * want.e_coulomb_real.abs().max(1.0),
+        (e.coulomb_real - want.e_coulomb_real).abs() < 1e-6 * want.e_coulomb_real.abs().max(1.0),
         "coulomb {} vs {}",
         e.coulomb_real,
         want.e_coulomb_real
     );
     assert!(
-        (e.long_range - want.e_long_range).abs()
-            < 1e-3 * want.e_long_range.abs().max(1.0),
+        (e.long_range - want.e_long_range).abs() < 1e-3 * want.e_long_range.abs().max(1.0),
         "long range {} vs {}",
         e.long_range,
         want.e_long_range
@@ -93,7 +91,11 @@ fn short_trajectories_track_the_reference() {
 #[test]
 fn thermostat_step_applies_the_same_rescaling() {
     let (sys, mut md) = small_setup();
-    md.thermostat = Some(anton_md::Thermostat { target: 290.0, tau: 100.0, interval: 2 });
+    md.thermostat = Some(anton_md::Thermostat {
+        target: 290.0,
+        tau: 100.0,
+        interval: 2,
+    });
     let config = AntonConfig::new(md.clone());
     let mut anton = AntonMdEngine::new(sys.clone(), config, TorusDims::new(2, 2, 2));
     let mut reference = ReferenceEngine::new(sys, md);

@@ -47,12 +47,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A function name plus a parameter value.
     pub fn new(function: &str, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { label: format!("{function}/{parameter}") }
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
     }
 
     /// A bare parameter value.
     pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -99,7 +103,10 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 
     fn run_one(&mut self, label: &str, mut run: impl FnMut(&mut Bencher)) {
-        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
         run(&mut b);
         match b.report() {
             Some((mean, min)) => println!(

@@ -84,6 +84,23 @@ impl<E> Scheduler<E> {
     pub fn now_event(&mut self, event: E) {
         self.at(self.now, event);
     }
+
+    /// A scheduler positioned at `now` with an empty pending list. Used
+    /// by the executors ([`Engine`] builds one per event inline; the
+    /// parallel engine in [`crate::par`] builds one per event per shard).
+    pub(crate) fn fresh(now: SimTime) -> Scheduler<E> {
+        Scheduler {
+            now,
+            next_seq: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Consume the scheduler, yielding the pending events in the exact
+    /// order the handler scheduled them (`seq` order == push order).
+    pub(crate) fn into_pending(self) -> impl Iterator<Item = (SimTime, E)> {
+        self.pending.into_iter().map(|s| (s.at, s.event))
+    }
 }
 
 /// World types react to events through this trait.
@@ -274,7 +291,10 @@ mod tests {
         eng.schedule_at(SimTime::from_ns(30), Ev::Ping(3));
         eng.schedule_at(SimTime::from_ns(10), Ev::Ping(1));
         eng.schedule_at(SimTime::from_ns(20), Ev::Ping(2));
-        let mut w = Recorder { seen: vec![], chain: 0 };
+        let mut w = Recorder {
+            seen: vec![],
+            chain: 0,
+        };
         eng.run(&mut w);
         let times: Vec<u64> = w.seen.iter().map(|(t, _)| *t).collect();
         assert_eq!(times, vec![10_000, 20_000, 30_000]);
@@ -287,7 +307,10 @@ mod tests {
         eng.schedule_at(t, Ev::Ping(100));
         eng.schedule_at(t, Ev::Ping(200));
         eng.schedule_at(t, Ev::Stop);
-        let mut w = Recorder { seen: vec![], chain: 0 };
+        let mut w = Recorder {
+            seen: vec![],
+            chain: 0,
+        };
         eng.run(&mut w);
         assert_eq!(
             w.seen.iter().map(|(_, e)| e.clone()).collect::<Vec<_>>(),
@@ -299,7 +322,10 @@ mod tests {
     fn handlers_can_chain_events() {
         let mut eng = Engine::new();
         eng.schedule_at(SimTime::ZERO, Ev::Ping(0));
-        let mut w = Recorder { seen: vec![], chain: 5 };
+        let mut w = Recorder {
+            seen: vec![],
+            chain: 5,
+        };
         eng.run(&mut w);
         assert_eq!(w.seen.len(), 6); // Ping(0)..Ping(5)
         assert_eq!(eng.now(), SimTime::from_ns(50));
@@ -310,7 +336,10 @@ mod tests {
     fn horizon_stops_the_run() {
         let mut eng = Engine::new();
         eng.schedule_at(SimTime::ZERO, Ev::Ping(0));
-        let mut w = Recorder { seen: vec![], chain: 1000 };
+        let mut w = Recorder {
+            seen: vec![],
+            chain: 1000,
+        };
         let out = eng.run_until(&mut w, SimTime::from_ns(25), u64::MAX);
         assert_eq!(out, RunOutcome::HorizonReached);
         // Events at 0, 10, 20 ns fired; 30 ns is pending.
@@ -322,7 +351,10 @@ mod tests {
     fn budget_stops_the_run() {
         let mut eng = Engine::new();
         eng.schedule_at(SimTime::ZERO, Ev::Ping(0));
-        let mut w = Recorder { seen: vec![], chain: 1000 };
+        let mut w = Recorder {
+            seen: vec![],
+            chain: 1000,
+        };
         let out = eng.run_until(&mut w, SimTime(u64::MAX), 4);
         assert_eq!(out, RunOutcome::BudgetExhausted);
         assert_eq!(w.seen.len(), 4);
@@ -333,7 +365,10 @@ mod tests {
     fn scheduling_in_the_past_panics() {
         let mut eng = Engine::new();
         eng.schedule_at(SimTime::from_ns(10), Ev::Stop);
-        let mut w = Recorder { seen: vec![], chain: 0 };
+        let mut w = Recorder {
+            seen: vec![],
+            chain: 0,
+        };
         eng.run(&mut w);
         eng.schedule_at(SimTime::from_ns(5), Ev::Stop);
     }
@@ -356,8 +391,14 @@ mod tests {
         let run = |probed: bool| {
             let mut eng = Engine::new();
             eng.schedule_at(SimTime::ZERO, Ev::Ping(0));
-            let mut w = Recorder { seen: vec![], chain: 9 };
-            let mut p = CountProbe { events: 0, max_pending: 0 };
+            let mut w = Recorder {
+                seen: vec![],
+                chain: 9,
+            };
+            let mut p = CountProbe {
+                events: 0,
+                max_pending: 0,
+            };
             let out = if probed {
                 eng.run_until_probed(&mut w, SimTime(u64::MAX), u64::MAX, &mut p)
             } else {
@@ -372,6 +413,94 @@ mod tests {
         assert_eq!(counted, seen_p.len() as u64);
     }
 
+    /// `now_event` calls made while handling an event at time T fire at
+    /// T, *after* every event already queued for T that was scheduled
+    /// earlier — the tie-break the parallel engine must reproduce.
+    #[test]
+    fn now_event_fires_after_earlier_same_time_events() {
+        struct Chainer {
+            seen: Vec<Ev>,
+        }
+        impl EventHandler<Ev> for Chainer {
+            fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+                if event == Ev::Ping(0) {
+                    // Queued behind Ping(1)/Ping(2), which were scheduled
+                    // for this same instant before this handler ran.
+                    sched.now_event(Ev::Ping(99));
+                }
+                self.seen.push(event);
+            }
+        }
+        let mut eng = Engine::new();
+        let t = SimTime::from_ns(7);
+        eng.schedule_at(t, Ev::Ping(0));
+        eng.schedule_at(t, Ev::Ping(1));
+        eng.schedule_at(t, Ev::Ping(2));
+        let mut w = Chainer { seen: vec![] };
+        eng.run(&mut w);
+        assert_eq!(
+            w.seen,
+            vec![Ev::Ping(0), Ev::Ping(1), Ev::Ping(2), Ev::Ping(99)]
+        );
+        assert_eq!(eng.now(), t);
+    }
+
+    /// A `now_event` scheduled by a handler firing exactly at the horizon
+    /// still executes: horizon semantics are "events stamped at the
+    /// horizon fire", including same-timestamp chains.
+    #[test]
+    fn now_event_chain_at_horizon_still_fires() {
+        struct AtHorizon {
+            fired: Vec<Ev>,
+        }
+        impl EventHandler<Ev> for AtHorizon {
+            fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+                if event == Ev::Ping(0) {
+                    sched.now_event(Ev::Stop);
+                }
+                self.fired.push(event);
+            }
+        }
+        let horizon = SimTime::from_ns(25);
+        let mut eng = Engine::new();
+        eng.schedule_at(horizon, Ev::Ping(0));
+        // An event strictly beyond the horizon stays pending.
+        eng.schedule_at(SimTime::from_ns(26), Ev::Ping(1));
+        let mut w = AtHorizon { fired: vec![] };
+        let out = eng.run_until(&mut w, horizon, u64::MAX);
+        assert_eq!(out, RunOutcome::HorizonReached);
+        assert_eq!(w.fired, vec![Ev::Ping(0), Ev::Stop]);
+        assert_eq!(eng.pending(), 1);
+    }
+
+    /// Deep same-timestamp chains execute FIFO: each `now_event` goes to
+    /// the back of the current instant's queue.
+    #[test]
+    fn same_timestamp_chains_are_fifo() {
+        struct Deep {
+            seen: Vec<u32>,
+        }
+        impl EventHandler<Ev> for Deep {
+            fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+                if let Ev::Ping(n) = event {
+                    self.seen.push(n);
+                    if n < 5 {
+                        sched.now_event(Ev::Ping(n + 10));
+                        sched.now_event(Ev::Ping(n + 1));
+                    }
+                }
+            }
+        }
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::ZERO, Ev::Ping(0));
+        let mut w = Deep { seen: vec![] };
+        eng.run(&mut w);
+        // Breadth-first through the instant: 0 spawns (10, 1); 10 is
+        // inert; 1 spawns (11, 2); and so on.
+        assert_eq!(w.seen, vec![0, 10, 1, 11, 2, 12, 3, 13, 4, 14, 5]);
+        assert_eq!(eng.now(), SimTime::ZERO);
+    }
+
     /// Two identical runs produce identical event sequences (determinism).
     #[test]
     fn determinism() {
@@ -379,7 +508,10 @@ mod tests {
             let mut eng = Engine::new();
             eng.schedule_at(SimTime::ZERO, Ev::Ping(0));
             eng.schedule_at(SimTime::ZERO, Ev::Ping(7));
-            let mut w = Recorder { seen: vec![], chain: 9 };
+            let mut w = Recorder {
+                seen: vec![],
+                chain: 9,
+            };
             eng.run(&mut w);
             w.seen
         };

@@ -5,9 +5,13 @@
 //! utilities (streaming stats, histograms, an activity tracer standing in
 //! for Anton's on-chip logic analyzer) and a fixed, reproducible PRNG.
 //!
-//! The kernel is deliberately single-threaded: figure regeneration must be
-//! bit-identical across runs, and the simulated machine — not the host — is
-//! the parallel system under study.
+//! Determinism is the load-bearing property: figure regeneration must be
+//! bit-identical across runs. The classic [`Engine`] drains one global
+//! queue on one core; [`par::ParEngine`] shards the queue and executes
+//! conservatively in parallel — exploiting the paper's own observation
+//! that a fixed minimum link latency bounds how soon one region of the
+//! machine can affect another — while producing bit-identical results at
+//! any thread count (see the [`par`] module docs for the argument).
 //!
 //! ```
 //! use anton_des::{Engine, EventHandler, Scheduler, SimDuration, SimTime};
@@ -33,12 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, EventHandler, NopProbe, Probe, RunOutcome, Scheduler};
+pub use par::{Executor, ParEngine, ShardMap};
 pub use rng::Rng;
 pub use stats::{Histogram, Summary};
 pub use time::{SimDuration, SimTime};

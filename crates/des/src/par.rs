@@ -1,0 +1,864 @@
+//! Conservative parallel discrete-event execution over sharded queues.
+//!
+//! ## Model
+//!
+//! The event space is partitioned into **shards** by a caller-supplied
+//! [`ShardMap`] (the network layer maps torus regions to shards). Each
+//! shard owns its own priority queue and its own world state; a handler
+//! running on shard *s* may schedule events for any shard, but every
+//! **cross-shard** event must be scheduled at least [`ShardMap::lookahead`]
+//! after the current time. That bound is exactly the paper's premise
+//! turned inward: Anton's fixed, known minimum link latency means a node
+//! cannot affect a remote node sooner than the wire allows — so a shard
+//! cannot affect another shard sooner than the minimum cross-shard event
+//! latency, and events closer than that are causally independent.
+//!
+//! Execution proceeds in **windows**. With `T` the global minimum pending
+//! event time and `L` the lookahead, every shard may safely execute all
+//! of its events in `[T, T + L)` without hearing from its neighbors:
+//! any cross-shard event generated inside the window lands at or after
+//! `T + L` (asserted at runtime). Cross-shard events are staged in
+//! outboxes and exchanged at window boundaries.
+//!
+//! ## Determinism
+//!
+//! Every event carries a **birth key** `(birth_time, origin_shard, seq)`
+//! assigned when it is scheduled: `birth_time` is the simulated time of
+//! the scheduling handler, `origin_shard` the shard that scheduled it
+//! (0 for pre-run seeds), and `seq` a per-shard schedule counter. Events
+//! execute in `(time, birth_key)` order, a total order independent of
+//! thread interleaving. Because shard worlds are disjoint, a shard's
+//! execution depends only on its own event sequence — which the window
+//! protocol makes identical whatever the worker count — so an N-thread
+//! run is bit-identical to the 1-thread run, which in turn executes in
+//! the *global* `(time, birth_key)` order like the sequential
+//! [`Engine`](crate::Engine) does (with the shard-aware tie-break).
+
+use crate::engine::{EventHandler, RunOutcome, Scheduler};
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as MemOrd};
+use std::sync::Mutex;
+
+/// Partition of the event space, plus the causality bound that makes
+/// conservative windows safe.
+pub trait ShardMap<E>: Sync {
+    /// Number of shards. Fixed for the life of a run — and, crucially,
+    /// independent of the worker-thread count, so the event partition
+    /// (and therefore every birth key) is identical at any thread count.
+    fn shard_count(&self) -> usize;
+
+    /// The shard that executes `event`.
+    fn shard_of(&self, event: &E) -> usize;
+
+    /// Minimum delay of any cross-shard event: a handler executing at
+    /// time `t` may only schedule events for *other* shards at or after
+    /// `t + lookahead()`. Violations panic at schedule time.
+    fn lookahead(&self) -> SimDuration;
+}
+
+/// Common executor interface over the sequential [`Engine`](crate::Engine)
+/// (`W = world`) and the parallel [`ParEngine`] (`W = [world per shard]`).
+pub trait Executor<E, W: ?Sized> {
+    /// Run until the queue drains, `horizon` passes, or `max_events`
+    /// events have executed. Events stamped exactly at the horizon fire.
+    fn run_until_on(&mut self, world: &mut W, horizon: SimTime, max_events: u64) -> RunOutcome;
+
+    /// Time of the last event processed.
+    fn now(&self) -> SimTime;
+
+    /// Total events processed so far.
+    fn events_processed(&self) -> u64;
+
+    /// Events currently pending.
+    fn pending(&self) -> usize;
+}
+
+impl<E, W: EventHandler<E>> Executor<E, W> for crate::Engine<E> {
+    fn run_until_on(&mut self, world: &mut W, horizon: SimTime, max_events: u64) -> RunOutcome {
+        self.run_until(world, horizon, max_events)
+    }
+
+    fn now(&self) -> SimTime {
+        crate::Engine::now(self)
+    }
+
+    fn events_processed(&self) -> u64 {
+        crate::Engine::events_processed(self)
+    }
+
+    fn pending(&self) -> usize {
+        crate::Engine::pending(self)
+    }
+}
+
+/// The deterministic total-order tie-break: where and when an event was
+/// born. Seeds use origin 0; events scheduled by shard `s` use `s + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct BirthKey {
+    time: SimTime,
+    origin: u32,
+    seq: u64,
+}
+
+/// A scheduled event: fires at `at`; ties in time break by birth key.
+struct ParScheduled<E> {
+    at: SimTime,
+    birth: BirthKey,
+    event: E,
+}
+
+impl<E> PartialEq for ParScheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.birth == other.birth
+    }
+}
+impl<E> Eq for ParScheduled<E> {}
+impl<E> PartialOrd for ParScheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for ParScheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap inverted: earliest (at, birth) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.birth.cmp(&self.birth))
+    }
+}
+
+/// One shard's queue plus its deterministic counters.
+struct Shard<E> {
+    queue: BinaryHeap<ParScheduled<E>>,
+    /// Per-shard schedule counter feeding birth keys.
+    birth_seq: u64,
+    /// Time of the last event this shard executed.
+    last_at: SimTime,
+}
+
+impl<E> Shard<E> {
+    fn new() -> Shard<E> {
+        Shard {
+            queue: BinaryHeap::new(),
+            birth_seq: 0,
+            last_at: SimTime::ZERO,
+        }
+    }
+
+    fn head_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|h| h.at)
+    }
+}
+
+/// The conservative parallel event engine: one queue per shard, windowed
+/// execution, deterministic at any worker count. See the module docs for
+/// the protocol and the determinism argument.
+pub struct ParEngine<E, M> {
+    map: M,
+    threads: usize,
+    shards: Vec<Shard<E>>,
+    /// Seeds (pre-run scheduled events) number from a single counter.
+    seed_seq: u64,
+    events_processed: u64,
+    now: SimTime,
+}
+
+impl<E: Send, M: ShardMap<E>> ParEngine<E, M> {
+    /// Build an engine over `map`'s shards, executing with `threads`
+    /// workers (clamped to the shard count; 1 runs the sequential
+    /// global-order reference executor).
+    pub fn new(map: M, threads: usize) -> ParEngine<E, M> {
+        let n = map.shard_count();
+        assert!(n > 0, "shard map must define at least one shard");
+        assert!(
+            n == 1 || map.lookahead() > SimDuration::ZERO,
+            "multi-shard execution requires a positive lookahead"
+        );
+        ParEngine {
+            map,
+            threads: threads.max(1),
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            seed_seq: 0,
+            events_processed: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The shard map in force.
+    pub fn map(&self) -> &M {
+        &self.map
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker threads the run methods will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Time of the last event processed (max across shards).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Events currently pending across all shards.
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Seed an event at absolute time `at`, routed by the shard map.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let shard = self.map.shard_of(&event);
+        self.schedule_at_shard(shard, at, event);
+    }
+
+    /// Seed an event on an explicit shard (for broadcast-style kickoff
+    /// events whose shard the map cannot derive from the value alone).
+    pub fn schedule_at_shard(&mut self, shard: usize, at: SimTime, event: E) {
+        assert!(at >= self.now, "causality violation");
+        let birth = BirthKey {
+            time: self.now,
+            origin: 0,
+            seq: self.seed_seq,
+        };
+        self.seed_seq += 1;
+        self.shards[shard]
+            .queue
+            .push(ParScheduled { at, birth, event });
+    }
+
+    /// Run until every shard's queue drains. Panics if the run stops for
+    /// any other reason.
+    pub fn run<W: EventHandler<E> + Send>(&mut self, worlds: &mut [W]) {
+        match self.run_until(worlds, SimTime(u64::MAX), u64::MAX) {
+            RunOutcome::Drained => {}
+            other => unreachable!("unbounded run ended with {other:?}"),
+        }
+    }
+
+    /// Run until drained, past `horizon`, or `max_events` processed.
+    /// Events stamped exactly at the horizon fire (same boundary rule as
+    /// [`Engine::run_until`](crate::Engine::run_until)). The event budget
+    /// is checked at window boundaries — deterministically, at the same
+    /// points whatever the thread count.
+    ///
+    /// `worlds` holds one world per shard; worlds must be disjoint (no
+    /// shared mutable state) for the determinism guarantee to hold.
+    pub fn run_until<W: EventHandler<E> + Send>(
+        &mut self,
+        worlds: &mut [W],
+        horizon: SimTime,
+        max_events: u64,
+    ) -> RunOutcome {
+        assert_eq!(
+            worlds.len(),
+            self.shards.len(),
+            "one world per shard required"
+        );
+        let nworkers = self.threads.min(self.shards.len());
+        let outcome = if nworkers <= 1 {
+            self.run_merged(worlds, horizon, max_events)
+        } else {
+            self.run_windowed(worlds, horizon, max_events, nworkers)
+        };
+        self.now = self
+            .shards
+            .iter()
+            .map(|s| s.last_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        outcome
+    }
+
+    /// Exclusive end of the window starting at `t`: one lookahead out,
+    /// clamped so events exactly at the horizon still fire.
+    fn window_end(t: SimTime, look: SimDuration, horizon: SimTime) -> SimTime {
+        let by_look = t.0.saturating_add(look.0.max(1));
+        SimTime(by_look.min(horizon.0.saturating_add(1)))
+    }
+
+    /// The 1-thread reference executor: global `(time, birth)` order
+    /// across all shards, window-granular horizon/budget checks. This is
+    /// the "sequential engine" the windowed executor must match
+    /// bit-for-bit.
+    fn run_merged<W: EventHandler<E>>(
+        &mut self,
+        worlds: &mut [W],
+        horizon: SimTime,
+        max_events: u64,
+    ) -> RunOutcome {
+        let look = if self.shards.len() == 1 {
+            SimDuration(u64::MAX)
+        } else {
+            self.map.lookahead()
+        };
+        loop {
+            let Some(t) = self.shards.iter().filter_map(|s| s.head_time()).min() else {
+                return RunOutcome::Drained;
+            };
+            if t > horizon {
+                return RunOutcome::HorizonReached;
+            }
+            if self.events_processed >= max_events {
+                return RunOutcome::BudgetExhausted;
+            }
+            let w_end = Self::window_end(t, look, horizon);
+            // Global minimum (at, birth) head below the window end.
+            while let Some(sidx) = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.queue.peek().map(|h| ((h.at, h.birth), i)))
+                .filter(|((at, _), _)| *at < w_end)
+                .min()
+                .map(|(_, i)| i)
+            {
+                let ev = self.shards[sidx].queue.pop().expect("peeked");
+                self.shards[sidx].last_at = ev.at;
+                let born = ev.at;
+                let mut sched = Scheduler::fresh(born);
+                worlds[sidx].handle(ev.event, &mut sched);
+                self.events_processed += 1;
+                for (at, event) in sched.into_pending() {
+                    let birth = BirthKey {
+                        time: born,
+                        origin: sidx as u32 + 1,
+                        seq: self.shards[sidx].birth_seq,
+                    };
+                    self.shards[sidx].birth_seq += 1;
+                    let dst = self.map.shard_of(&event);
+                    if dst != sidx {
+                        assert!(
+                            at >= born + look,
+                            "lookahead violation: shard {sidx} scheduled a \
+                             cross-shard event at {at}, less than {look} after {born}"
+                        );
+                    }
+                    self.shards[dst]
+                        .queue
+                        .push(ParScheduled { at, birth, event });
+                }
+            }
+        }
+    }
+
+    /// The windowed multi-worker executor. Shards are block-partitioned
+    /// across persistent scoped workers; two spin-barrier crossings per
+    /// window (import+reduce, execute).
+    fn run_windowed<W: EventHandler<E> + Send>(
+        &mut self,
+        worlds: &mut [W],
+        horizon: SimTime,
+        max_events: u64,
+        nworkers: usize,
+    ) -> RunOutcome {
+        let nshards = self.shards.len();
+        let look = self.map.lookahead();
+        let already = self.events_processed;
+
+        // Block partition: worker w owns shards [bounds[w], bounds[w+1]).
+        let bounds: Vec<usize> = (0..=nworkers).map(|w| w * nshards / nworkers).collect();
+
+        let coord = Coordination::<E> {
+            nshards,
+            barrier: SpinBarrier::new(nworkers),
+            poison: AtomicBool::new(false),
+            heads: (0..nworkers).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            executed: (0..nworkers).map(|_| AtomicU64::new(0)).collect(),
+            outboxes: (0..nshards)
+                .map(|_| (0..nshards).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+        };
+
+        let shards = std::mem::take(&mut self.shards);
+        let map = &self.map;
+
+        // Carve (shards, worlds) into per-worker chunks.
+        let mut shard_chunks: Vec<Vec<Shard<E>>> = Vec::with_capacity(nworkers);
+        {
+            let mut rest = shards;
+            for w in (0..nworkers).rev() {
+                shard_chunks.push(rest.split_off(bounds[w]));
+            }
+            shard_chunks.reverse();
+        }
+
+        let (outcome, shards_back, total_executed) = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nworkers);
+            let mut world_rest = worlds;
+            for (w, chunk) in shard_chunks.into_iter().enumerate() {
+                let (mine, rest) = world_rest.split_at_mut(bounds[w + 1] - bounds[w]);
+                world_rest = rest;
+                let co = &coord;
+                let first_shard = bounds[w];
+                handles.push(scope.spawn(move || {
+                    worker_loop(
+                        w,
+                        first_shard,
+                        chunk,
+                        mine,
+                        map,
+                        look,
+                        horizon,
+                        max_events,
+                        co,
+                    )
+                }));
+            }
+            let mut outcome = None;
+            let mut shards_back: Vec<Shard<E>> = Vec::with_capacity(nshards);
+            let mut total = 0u64;
+            for h in handles {
+                let (out, chunk, executed) = h.join().expect("parallel DES worker panicked");
+                // Every worker reaches the identical decision; keep one.
+                outcome.get_or_insert(out);
+                debug_assert_eq!(outcome, Some(out));
+                shards_back.extend(chunk);
+                total += executed;
+            }
+            (outcome.expect("at least one worker"), shards_back, total)
+        });
+
+        self.shards = shards_back;
+        self.events_processed = already + total_executed;
+        outcome
+    }
+}
+
+impl<E: Send, M: ShardMap<E>, W: EventHandler<E> + Send> Executor<E, [W]> for ParEngine<E, M> {
+    fn run_until_on(&mut self, worlds: &mut [W], horizon: SimTime, max_events: u64) -> RunOutcome {
+        self.run_until(worlds, horizon, max_events)
+    }
+
+    fn now(&self) -> SimTime {
+        ParEngine::now(self)
+    }
+
+    fn events_processed(&self) -> u64 {
+        ParEngine::events_processed(self)
+    }
+
+    fn pending(&self) -> usize {
+        ParEngine::pending(self)
+    }
+}
+
+/// Shared state coordinating the workers of one windowed run.
+struct Coordination<E> {
+    nshards: usize,
+    barrier: SpinBarrier,
+    poison: AtomicBool,
+    /// Per-worker minimum pending event time (`u64::MAX` = drained).
+    heads: Vec<AtomicU64>,
+    /// Per-worker cumulative executed-event count.
+    executed: Vec<AtomicU64>,
+    /// `outboxes[src][dst]`: cross-shard events staged during a window,
+    /// drained by `dst`'s worker at the next boundary. Lock contention is
+    /// two short critical sections per cell per window.
+    outboxes: Vec<Vec<Mutex<Vec<ParScheduled<E>>>>>,
+}
+
+/// One worker: owns a contiguous block of shards (and their worlds) for
+/// the whole run. Returns the run outcome, the shard block (queues and
+/// counters survive for a later resume), and its executed-event count.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<E: Send, W: EventHandler<E>, M: ShardMap<E>>(
+    widx: usize,
+    first_shard: usize,
+    mut shards: Vec<Shard<E>>,
+    worlds: &mut [W],
+    map: &M,
+    look: SimDuration,
+    horizon: SimTime,
+    max_events: u64,
+    co: &Coordination<E>,
+) -> (RunOutcome, Vec<Shard<E>>, u64) {
+    // If this worker panics (handler bug, lookahead violation), poison
+    // the barrier so the others panic out instead of spinning forever.
+    let _guard = PoisonGuard(&co.poison);
+    let mut executed_total: u64 = 0;
+    let mut prev_w_end = SimTime::ZERO;
+    let outcome = loop {
+        // Phase 1: import cross-shard events staged in the previous
+        // window, then publish this block's minimum head and event count.
+        for (i, shard) in shards.iter_mut().enumerate() {
+            let dst = first_shard + i;
+            for src in 0..co.nshards {
+                let mut staged = co.outboxes[src][dst].lock().expect("outbox poisoned");
+                for item in staged.drain(..) {
+                    debug_assert!(
+                        item.at >= prev_w_end,
+                        "conservative window violated by an import at {}",
+                        item.at
+                    );
+                    shard.queue.push(item);
+                }
+            }
+        }
+        let local_min = shards
+            .iter()
+            .filter_map(|s| s.head_time())
+            .min()
+            .map_or(u64::MAX, |t| t.0);
+        co.heads[widx].store(local_min, MemOrd::SeqCst);
+        co.executed[widx].store(executed_total, MemOrd::SeqCst);
+        co.barrier.wait(&co.poison);
+
+        // Phase 2: every worker independently computes the identical
+        // window decision from the published snapshot.
+        let t = co
+            .heads
+            .iter()
+            .map(|h| h.load(MemOrd::SeqCst))
+            .min()
+            .expect("at least one worker");
+        let total: u64 = co.executed.iter().map(|h| h.load(MemOrd::SeqCst)).sum();
+        if t == u64::MAX {
+            break RunOutcome::Drained;
+        }
+        if t > horizon.0 {
+            break RunOutcome::HorizonReached;
+        }
+        if total >= max_events {
+            break RunOutcome::BudgetExhausted;
+        }
+        let w_end = ParEngine::<E, M>::window_end(SimTime(t), look, horizon);
+
+        // Phase 3: execute every owned event inside [t, w_end), staging
+        // cross-shard events into the outboxes.
+        for (i, shard) in shards.iter_mut().enumerate() {
+            let sidx = first_shard + i;
+            while shard.head_time().is_some_and(|h| h < w_end) {
+                let ev = shard.queue.pop().expect("peeked");
+                shard.last_at = ev.at;
+                let born = ev.at;
+                let mut sched = Scheduler::fresh(born);
+                worlds[i].handle(ev.event, &mut sched);
+                executed_total += 1;
+                for (at, event) in sched.into_pending() {
+                    let birth = BirthKey {
+                        time: born,
+                        origin: sidx as u32 + 1,
+                        seq: shard.birth_seq,
+                    };
+                    shard.birth_seq += 1;
+                    let dst = map.shard_of(&event);
+                    let item = ParScheduled { at, birth, event };
+                    if dst == sidx {
+                        shard.queue.push(item);
+                    } else {
+                        assert!(
+                            at >= born + look,
+                            "lookahead violation: shard {sidx} scheduled a \
+                             cross-shard event at {at}, less than {look} after {born}"
+                        );
+                        co.outboxes[sidx][dst]
+                            .lock()
+                            .expect("outbox poisoned")
+                            .push(item);
+                    }
+                }
+            }
+        }
+        prev_w_end = w_end;
+        co.barrier.wait(&co.poison);
+    };
+    (outcome, shards, executed_total)
+}
+
+/// A reusable spin barrier (std's `Barrier` parks threads; windows are
+/// microseconds apart, so spinning is the right trade). Poison-aware:
+/// when a sibling panics, waiters panic out instead of hanging.
+struct SpinBarrier {
+    total: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> SpinBarrier {
+        SpinBarrier {
+            total,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self, poison: &AtomicBool) {
+        let gen = self.generation.load(MemOrd::SeqCst);
+        if self.arrived.fetch_add(1, MemOrd::SeqCst) + 1 == self.total {
+            self.arrived.store(0, MemOrd::SeqCst);
+            self.generation.fetch_add(1, MemOrd::SeqCst);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(MemOrd::SeqCst) == gen {
+                if poison.load(MemOrd::SeqCst) {
+                    panic!("parallel DES worker aborted: a sibling worker panicked");
+                }
+                // Spin briefly for the common in-cache handoff, then
+                // yield: with more workers than cores a pure spin burns
+                // whole scheduler quanta waiting for a descheduled peer.
+                spins += 1;
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Sets the poison flag if dropped during a panic unwind.
+struct PoisonGuard<'a>(&'a AtomicBool);
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, MemOrd::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy sharded machine: `nshards` counters passing tokens. Local
+    /// hops may be arbitrarily fast; ring hops to the next shard respect
+    /// the lookahead.
+    const LOOK: SimDuration = SimDuration::from_ns(50);
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Token {
+        shard: usize,
+        hops_left: u32,
+        tag: u64,
+    }
+
+    struct RingMap {
+        n: usize,
+    }
+
+    impl ShardMap<Token> for RingMap {
+        fn shard_count(&self) -> usize {
+            self.n
+        }
+        fn shard_of(&self, ev: &Token) -> usize {
+            ev.shard
+        }
+        fn lookahead(&self) -> SimDuration {
+            LOOK
+        }
+    }
+
+    /// Per-shard world: records (time, tag) pairs; forwards tokens.
+    struct RingWorld {
+        shard: usize,
+        nshards: usize,
+        log: Vec<(u64, u64)>,
+    }
+
+    impl EventHandler<Token> for RingWorld {
+        fn handle(&mut self, ev: Token, sched: &mut Scheduler<Token>) {
+            assert_eq!(ev.shard, self.shard, "event routed to the wrong shard");
+            self.log.push((sched.now().as_ps(), ev.tag));
+            if ev.hops_left == 0 {
+                return;
+            }
+            // A fast local bounce (well under the lookahead) ...
+            sched.after(
+                SimDuration::from_ps(7),
+                Token {
+                    shard: self.shard,
+                    hops_left: 0,
+                    tag: ev.tag * 1000 + 1,
+                },
+            );
+            // ... and a ring hop to the next shard at exactly the bound.
+            sched.after(
+                LOOK,
+                Token {
+                    shard: (self.shard + 1) % self.nshards,
+                    hops_left: ev.hops_left - 1,
+                    tag: ev.tag + 1,
+                },
+            );
+        }
+    }
+
+    fn run_ring(threads: usize, nshards: usize, tokens: u32) -> (Vec<Vec<(u64, u64)>>, u64) {
+        let mut eng = ParEngine::new(RingMap { n: nshards }, threads);
+        let mut worlds: Vec<RingWorld> = (0..nshards)
+            .map(|s| RingWorld {
+                shard: s,
+                nshards,
+                log: Vec::new(),
+            })
+            .collect();
+        for k in 0..tokens {
+            eng.schedule_at(
+                SimTime::from_ns(k as u64),
+                Token {
+                    shard: (k as usize) % nshards,
+                    hops_left: 20,
+                    tag: 10_000 * k as u64,
+                },
+            );
+        }
+        eng.run(&mut worlds);
+        (
+            worlds.into_iter().map(|w| w.log).collect(),
+            eng.events_processed(),
+        )
+    }
+
+    #[test]
+    fn thread_counts_agree_bit_for_bit() {
+        let (seq, n1) = run_ring(1, 4, 6);
+        for threads in [2, 3, 4, 8] {
+            let (par, np) = run_ring(threads, 4, 6);
+            assert_eq!(seq, par, "{threads}-thread run diverged");
+            assert_eq!(n1, np);
+        }
+    }
+
+    #[test]
+    fn horizon_and_budget_stop_consistently() {
+        let run = |threads: usize, horizon: SimTime, budget: u64| {
+            let nshards = 3;
+            let mut eng = ParEngine::new(RingMap { n: nshards }, threads);
+            let mut worlds: Vec<RingWorld> = (0..nshards)
+                .map(|s| RingWorld {
+                    shard: s,
+                    nshards,
+                    log: Vec::new(),
+                })
+                .collect();
+            eng.schedule_at(
+                SimTime::ZERO,
+                Token {
+                    shard: 0,
+                    hops_left: 30,
+                    tag: 0,
+                },
+            );
+            let out = eng.run_until(&mut worlds, horizon, budget);
+            let logs: Vec<_> = worlds.into_iter().map(|w| w.log).collect();
+            (out, logs, eng.events_processed(), eng.pending())
+        };
+        // An event scheduled exactly at the horizon fires in both
+        // executors (50 ns hops: the token lands at multiples of 50 ns).
+        let h = SimTime::from_ns(150);
+        let a = run(1, h, u64::MAX);
+        let b = run(4, h, u64::MAX);
+        assert_eq!(a, b);
+        assert_eq!(a.0, RunOutcome::HorizonReached);
+        assert!(a.1.iter().flatten().any(|&(t, _)| t == h.as_ps()));
+        // Budget exhaustion is window-granular but thread-count-invariant.
+        let c = run(1, SimTime(u64::MAX), 9);
+        let d = run(4, SimTime(u64::MAX), 9);
+        assert_eq!(c, d);
+        assert_eq!(c.0, RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn drained_run_reports_now_and_counts() {
+        let nshards = 2;
+        let mut eng = ParEngine::new(RingMap { n: nshards }, 2);
+        let mut worlds: Vec<RingWorld> = (0..nshards)
+            .map(|s| RingWorld {
+                shard: s,
+                nshards,
+                log: Vec::new(),
+            })
+            .collect();
+        eng.schedule_at(
+            SimTime::ZERO,
+            Token {
+                shard: 0,
+                hops_left: 4,
+                tag: 0,
+            },
+        );
+        eng.run(&mut worlds);
+        // 5 ring arrivals + 4 local bounces (the last arrival has
+        // hops_left == 0 and spawns nothing).
+        assert_eq!(eng.events_processed(), 9);
+        assert_eq!(eng.pending(), 0);
+        // Last event: the final ring arrival at 4×50 ns (the last bounce
+        // fires earlier, at 3×50 ns + 7 ps).
+        assert_eq!(eng.now(), SimTime(4 * 50_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn undeclared_cross_shard_event_panics() {
+        struct Cheater;
+        impl EventHandler<Token> for Cheater {
+            fn handle(&mut self, ev: Token, sched: &mut Scheduler<Token>) {
+                if ev.hops_left > 0 {
+                    // Cross-shard with a delay below the declared bound.
+                    sched.after(
+                        SimDuration::from_ns(1),
+                        Token {
+                            shard: 1,
+                            hops_left: 0,
+                            tag: 0,
+                        },
+                    );
+                }
+            }
+        }
+        let mut eng = ParEngine::new(RingMap { n: 2 }, 1);
+        let mut worlds = vec![Cheater, Cheater];
+        eng.schedule_at(
+            SimTime::ZERO,
+            Token {
+                shard: 0,
+                hops_left: 1,
+                tag: 0,
+            },
+        );
+        eng.run(&mut worlds);
+    }
+
+    #[test]
+    fn executor_trait_unifies_engines() {
+        fn drive<X: Executor<Token, [RingWorld]> + ?Sized>(
+            x: &mut X,
+            worlds: &mut [RingWorld],
+        ) -> RunOutcome {
+            x.run_until_on(worlds, SimTime(u64::MAX), u64::MAX)
+        }
+        let mut eng = ParEngine::new(RingMap { n: 2 }, 2);
+        let mut worlds: Vec<RingWorld> = (0..2)
+            .map(|s| RingWorld {
+                shard: s,
+                nshards: 2,
+                log: Vec::new(),
+            })
+            .collect();
+        eng.schedule_at(
+            SimTime::ZERO,
+            Token {
+                shard: 0,
+                hops_left: 3,
+                tag: 0,
+            },
+        );
+        assert_eq!(drive(&mut eng, &mut worlds), RunOutcome::Drained);
+        assert_eq!(Executor::<Token, [RingWorld]>::pending(&eng), 0);
+    }
+}

@@ -365,7 +365,10 @@ mod tests {
         tr.record(TrackId(0), Activity::Busy, t(50), t(60), lbl);
         tr.record(TrackId(1), Activity::Busy, t(0), t(100), lbl);
         // Window [20, 55): 10 ns of the first + 5 ns of the second.
-        assert_eq!(tr.busy_time(TrackId(0), t(20), t(55)), SimDuration::from_ns(15));
+        assert_eq!(
+            tr.busy_time(TrackId(0), t(20), t(55)),
+            SimDuration::from_ns(15)
+        );
         // Other activity kind on same track counts separately.
         tr.record(TrackId(0), Activity::Stalled, t(30), t(50), lbl);
         assert_eq!(
@@ -384,11 +387,20 @@ mod tests {
         let lbl = tr.intern_label("send");
         // 100 ns interval; query a 20 ns window strictly inside it.
         tr.record(TrackId(0), Activity::Busy, t(0), t(100), lbl);
-        assert_eq!(tr.busy_time(TrackId(0), t(40), t(60)), SimDuration::from_ns(20));
+        assert_eq!(
+            tr.busy_time(TrackId(0), t(40), t(60)),
+            SimDuration::from_ns(20)
+        );
         assert_eq!(tr.utilization(TrackId(0), t(40), t(60)), 1.0);
-        assert_eq!(tr.busy_by_label(TrackId(0), t(40), t(60)), vec![(lbl, SimDuration::from_ns(20))]);
+        assert_eq!(
+            tr.busy_by_label(TrackId(0), t(40), t(60)),
+            vec![(lbl, SimDuration::from_ns(20))]
+        );
         // Window overlapping only the tail.
-        assert_eq!(tr.busy_time(TrackId(0), t(90), t(200)), SimDuration::from_ns(10));
+        assert_eq!(
+            tr.busy_time(TrackId(0), t(90), t(200)),
+            SimDuration::from_ns(10)
+        );
         // Window entirely outside.
         assert_eq!(tr.busy_time(TrackId(0), t(200), t(300)), SimDuration::ZERO);
     }
@@ -469,7 +481,10 @@ mod tests {
         let by = tr.busy_by_label(TrackId(0), t(0), t(100));
         assert_eq!(
             by,
-            vec![(send, SimDuration::from_ns(30)), (fft, SimDuration::from_ns(10))]
+            vec![
+                (send, SimDuration::from_ns(30)),
+                (fft, SimDuration::from_ns(10))
+            ]
         );
     }
 

@@ -33,13 +33,19 @@ impl Complex {
     /// `e^{iθ}`.
     #[inline]
     pub fn cis(theta: f64) -> Complex {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude.
@@ -57,7 +63,10 @@ impl Complex {
     /// Scale by a real factor.
     #[inline]
     pub fn scale(self, s: f64) -> Complex {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 

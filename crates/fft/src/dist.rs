@@ -16,9 +16,9 @@
 //! point operations per line).
 
 use crate::complex::Complex;
-use crate::fft1d::{Direction, Fft1d};
 #[cfg(test)]
 use crate::fft1d::fft3d;
+use crate::fft1d::{Direction, Fft1d};
 use anton_topo::{Coord, Dim, NodeId, TorusDims};
 use std::collections::BTreeMap;
 
@@ -147,11 +147,7 @@ pub fn point_owner(map: &GridMap, layout: Layout, g: [usize; 3]) -> NodeId {
 
 /// One repartition step: for each (src, dst) node pair, the number of
 /// grid points that move. Points already on the right node don't move.
-pub fn transfer_counts(
-    map: &GridMap,
-    from: Layout,
-    to: Layout,
-) -> BTreeMap<(NodeId, NodeId), u32> {
+pub fn transfer_counts(map: &GridMap, from: Layout, to: Layout) -> BTreeMap<(NodeId, NodeId), u32> {
     let mut counts = BTreeMap::new();
     for gz in 0..map.grid[2] {
         for gy in 0..map.grid[1] {
@@ -269,7 +265,10 @@ mod tests {
                 }
             }
             // 32×32 = 1024 lines over 512 nodes = exactly 2 each.
-            assert!(per_node.iter().all(|&c| c == 2), "dim {dim:?}: {per_node:?}");
+            assert!(
+                per_node.iter().all(|&c| c == 2),
+                "dim {dim:?}: {per_node:?}"
+            );
         }
     }
 

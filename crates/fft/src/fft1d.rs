@@ -38,7 +38,11 @@ impl Fft1d {
             .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
             .map(|i| if n == 1 { 0 } else { i })
             .collect();
-        Fft1d { n, twiddles, bitrev }
+        Fft1d {
+            n,
+            twiddles,
+            bitrev,
+        }
     }
 
     /// Transform length.
@@ -111,13 +115,7 @@ pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
 
 /// 3D in-place FFT over a dense row-major `[nz][ny][nx]` grid. Serial
 /// reference implementation; the distributed plan must match it exactly.
-pub fn fft3d(
-    data: &mut [Complex],
-    nx: usize,
-    ny: usize,
-    nz: usize,
-    dir: Direction,
-) {
+pub fn fft3d(data: &mut [Complex], nx: usize, ny: usize, nz: usize, dir: Direction) {
     assert_eq!(data.len(), nx * ny * nz);
     let px = Fft1d::new(nx);
     let py = Fft1d::new(ny);

@@ -8,12 +8,7 @@ use crate::system::{Angle, Bond, Dihedral};
 use crate::vec3::Vec3;
 
 /// Harmonic bond E = k (r − r0)². Returns energy; accumulates forces.
-pub fn bond_force(
-    b: &Bond,
-    pos: &[Vec3],
-    pbox: &PeriodicBox,
-    forces: &mut [Vec3],
-) -> f64 {
+pub fn bond_force(b: &Bond, pos: &[Vec3], pbox: &PeriodicBox, forces: &mut [Vec3]) -> f64 {
     let d = pbox.min_image(pos[b.i], pos[b.j]); // j − i
     let r = d.norm();
     debug_assert!(r > 1e-9, "bonded atoms coincide");
@@ -27,12 +22,7 @@ pub fn bond_force(
 }
 
 /// Harmonic angle E = k (θ − θ0)² over atoms i–j–k (j is the vertex).
-pub fn angle_force(
-    a: &Angle,
-    pos: &[Vec3],
-    pbox: &PeriodicBox,
-    forces: &mut [Vec3],
-) -> f64 {
+pub fn angle_force(a: &Angle, pos: &[Vec3], pbox: &PeriodicBox, forces: &mut [Vec3]) -> f64 {
     let rij = pbox.min_image(pos[a.j], pos[a.i]); // i − j
     let rkj = pbox.min_image(pos[a.j], pos[a.k_atom]); // k − j
     let (ni, nk) = (rij.norm(), rkj.norm());
@@ -53,12 +43,7 @@ pub fn angle_force(
 }
 
 /// Periodic dihedral E = k (1 + cos(n φ − φ0)) over atoms i–j–k–l.
-pub fn dihedral_force(
-    d: &Dihedral,
-    pos: &[Vec3],
-    pbox: &PeriodicBox,
-    forces: &mut [Vec3],
-) -> f64 {
+pub fn dihedral_force(d: &Dihedral, pos: &[Vec3], pbox: &PeriodicBox, forces: &mut [Vec3]) -> f64 {
     // Standard torsion geometry (see e.g. Allen & Tildesley).
     let b1 = pbox.min_image(pos[d.i], pos[d.j]); // j − i
     let b2 = pbox.min_image(pos[d.j], pos[d.k_atom]); // k − j
@@ -135,7 +120,12 @@ mod tests {
     #[test]
     fn bond_at_rest_length_has_zero_force_and_energy() {
         let pbox = PeriodicBox::cubic(BOX);
-        let b = Bond { i: 0, j: 1, r0: 1.5, k: 300.0 };
+        let b = Bond {
+            i: 0,
+            j: 1,
+            r0: 1.5,
+            k: 300.0,
+        };
         let pos = vec![Vec3::ZERO, Vec3::new(1.5, 0.0, 0.0)];
         let mut f = vec![Vec3::ZERO; 2];
         let e = bond_force(&b, &pos, &pbox, &mut f);
@@ -146,7 +136,12 @@ mod tests {
     #[test]
     fn stretched_bond_pulls_back() {
         let pbox = PeriodicBox::cubic(BOX);
-        let b = Bond { i: 0, j: 1, r0: 1.0, k: 100.0 };
+        let b = Bond {
+            i: 0,
+            j: 1,
+            r0: 1.0,
+            k: 100.0,
+        };
         let pos = vec![Vec3::ZERO, Vec3::new(1.2, 0.0, 0.0)];
         let mut f = vec![Vec3::ZERO; 2];
         let e = bond_force(&b, &pos, &pbox, &mut f);
@@ -158,7 +153,12 @@ mod tests {
     #[test]
     fn bond_across_periodic_boundary() {
         let pbox = PeriodicBox::cubic(10.0);
-        let b = Bond { i: 0, j: 1, r0: 1.0, k: 100.0 };
+        let b = Bond {
+            i: 0,
+            j: 1,
+            r0: 1.0,
+            k: 100.0,
+        };
         // 0.5 and 9.7: min-image distance 0.8, not 9.2.
         let pos = vec![Vec3::new(0.5, 5.0, 5.0), Vec3::new(9.7, 5.0, 5.0)];
         let mut f = vec![Vec3::ZERO; 2];
@@ -169,7 +169,13 @@ mod tests {
     #[test]
     fn angle_at_equilibrium_is_zero() {
         let pbox = PeriodicBox::cubic(BOX);
-        let a = Angle { i: 0, j: 1, k_atom: 2, theta0: std::f64::consts::FRAC_PI_2, k: 50.0 };
+        let a = Angle {
+            i: 0,
+            j: 1,
+            k_atom: 2,
+            theta0: std::f64::consts::FRAC_PI_2,
+            k: 50.0,
+        };
         let pos = vec![
             Vec3::new(1.0, 0.0, 0.0),
             Vec3::ZERO,

@@ -76,10 +76,7 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         let want = expected_msd(WATER_DIFFUSION, t);
-        assert!(
-            (msd - want).abs() / want < 0.05,
-            "msd={msd} want={want}"
-        );
+        assert!((msd - want).abs() / want < 0.05, "msd={msd} want={want}");
     }
 
     #[test]

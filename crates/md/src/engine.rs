@@ -70,7 +70,11 @@ impl MdParams {
             ewald_sigma: cutoff / 3.5,
             grid,
             long_range_interval: 2,
-            thermostat: Some(Thermostat { target: 300.0, tau: 500.0, interval: 2 }),
+            thermostat: Some(Thermostat {
+                target: 300.0,
+                tau: 500.0,
+                interval: 2,
+            }),
             barostat: None,
         }
     }
@@ -133,7 +137,13 @@ pub struct ReferenceEngine {
 impl ReferenceEngine {
     /// Build (does not evaluate forces yet).
     pub fn new(sys: ChemicalSystem, params: MdParams) -> ReferenceEngine {
-        ReferenceEngine { sys, params, step_count: 0, lr_cache: None, current: None }
+        ReferenceEngine {
+            sys,
+            params,
+            step_count: 0,
+            lr_cache: None,
+            current: None,
+        }
     }
 
     /// Steps completed.
@@ -163,7 +173,9 @@ impl ReferenceEngine {
             },
             &mut forces,
         );
-        let fresh = self.step_count.is_multiple_of(self.params.long_range_interval as u64)
+        let fresh = self
+            .step_count
+            .is_multiple_of(self.params.long_range_interval as u64)
             || self.lr_cache.is_none();
         let e_long_range = if fresh {
             let mut lr_forces = vec![Vec3::ZERO; n];
@@ -214,7 +226,12 @@ impl ReferenceEngine {
             if self.step_count.is_multiple_of(ba.interval as u64) {
                 let p = crate::integrate::instantaneous_pressure(&self.sys, new.virial);
                 crate::integrate::berendsen_pressure_rescale(
-                    &mut self.sys, p, ba.target, ba.tau, ba.kappa, dt,
+                    &mut self.sys,
+                    p,
+                    ba.target,
+                    ba.tau,
+                    ba.kappa,
+                    dt,
                 );
             }
         }
@@ -288,7 +305,9 @@ mod tests {
         eng.export_metrics(&mut reg);
         let snap = reg.snapshot();
         assert_eq!(snap.get("md.ref.steps"), Some(1.0));
-        let pot = snap.get("md.ref.energy.potential").expect("potential exported");
+        let pot = snap
+            .get("md.ref.energy.potential")
+            .expect("potential exported");
         let parts = ["bonded", "lj", "coulomb_real", "long_range"]
             .iter()
             .map(|k| snap.get(&format!("md.ref.energy.{k}")).expect("component"))
@@ -320,7 +339,11 @@ mod tests {
         params.dt = 0.5;
         // Tight coupling: the freshly generated lattice releases potential
         // energy as it relaxes, which the thermostat must drain.
-        params.thermostat = Some(Thermostat { target: 300.0, tau: 10.0, interval: 1 });
+        params.thermostat = Some(Thermostat {
+            target: 300.0,
+            tau: 10.0,
+            interval: 1,
+        });
         let mut eng = ReferenceEngine::new(sys, params);
         for _ in 0..600 {
             eng.step();
@@ -346,7 +369,11 @@ mod tests {
         let sys = SystemBuilder::tiny(150, 17.0, 91).build();
         let mut params = MdParams::new(6.0, [16; 3]);
         params.dt = 0.5;
-        params.thermostat = Some(Thermostat { target: 300.0, tau: 20.0, interval: 1 });
+        params.thermostat = Some(Thermostat {
+            target: 300.0,
+            tau: 20.0,
+            interval: 1,
+        });
         // Target well below the (large, positive) initial lattice
         // pressure: the box must expand.
         params.barostat = Some(Barostat {

@@ -46,7 +46,11 @@ pub struct ScalarGrid {
 impl ScalarGrid {
     /// A zeroed grid.
     pub fn zeros(n: [usize; 3], pbox: PeriodicBox) -> ScalarGrid {
-        ScalarGrid { n, pbox, data: vec![0.0; n[0] * n[1] * n[2]] }
+        ScalarGrid {
+            n,
+            pbox,
+            data: vec![0.0; n[0] * n[1] * n[2]],
+        }
     }
 
     /// Grid spacing per axis, Å.
@@ -77,12 +81,7 @@ impl ScalarGrid {
 
 /// Visit the grid points within the spread support of `pos`, calling
 /// `f(linear_index, displacement_from_pos)` for each. Periodic wrap.
-fn for_support(
-    grid: &ScalarGrid,
-    pos: Vec3,
-    params: SpreadParams,
-    mut f: impl FnMut(usize, Vec3),
-) {
+fn for_support(grid: &ScalarGrid, pos: Vec3, params: SpreadParams, mut f: impl FnMut(usize, Vec3)) {
     let h = grid.spacing();
     let r = params.sigma_s * params.support_sigmas;
     let p = grid.pbox.wrap(pos);
@@ -130,7 +129,11 @@ pub fn spread_charges(
     let norm = (2.0 * std::f64::consts::PI * s2).powf(-1.5);
     // Split borrow: data is modified through raw index while geometry is
     // read-only; clone the immutable geometry handle.
-    let geom = ScalarGrid { n: grid.n, pbox: grid.pbox, data: Vec::new() };
+    let geom = ScalarGrid {
+        n: grid.n,
+        pbox: grid.pbox,
+        data: Vec::new(),
+    };
     for (&p, &q) in positions.iter().zip(charges) {
         if q == 0.0 {
             continue;
@@ -196,7 +199,10 @@ mod tests {
         let pbox = PeriodicBox::cubic(20.0);
         let grid = ScalarGrid::zeros([32, 32, 32], pbox);
         // h = 0.625; σ_s must comfortably resolve: σ_s = 1.5.
-        let params = SpreadParams { sigma_s: 1.5, support_sigmas: 3.5 };
+        let params = SpreadParams {
+            sigma_s: 1.5,
+            support_sigmas: 3.5,
+        };
         (grid, params)
     }
 
@@ -252,7 +258,10 @@ mod tests {
         // wrap seam and test in the middle.
         let pbox = PeriodicBox::cubic(20.0);
         let mut grid = ScalarGrid::zeros([40, 40, 40], pbox);
-        let params = SpreadParams { sigma_s: 1.2, support_sigmas: 3.5 };
+        let params = SpreadParams {
+            sigma_s: 1.2,
+            support_sigmas: 3.5,
+        };
         let a = 0.7;
         let h = grid.spacing();
         for z in 0..40 {
@@ -274,7 +283,11 @@ mod tests {
             &mut forces,
         );
         // Truncation biases the gradient by ~3%; assert within 5%.
-        assert!((forces[0].x + q * a).abs() < 0.05 * (q * a), "{:?}", forces[0]);
+        assert!(
+            (forces[0].x + q * a).abs() < 0.05 * (q * a),
+            "{:?}",
+            forces[0]
+        );
         assert!(forces[0].y.abs() < 1e-3);
         assert!(forces[0].z.abs() < 1e-3);
     }
@@ -284,7 +297,11 @@ mod tests {
         let (mut grid, params) = setup();
         let p0 = Vec3::new(10.0, 10.0, 10.0);
         spread_charges(&mut grid, &[p0], &[1.0], params);
-        let probes = vec![p0, p0 + Vec3::new(2.0, 0.0, 0.0), p0 + Vec3::new(4.0, 0.0, 0.0)];
+        let probes = vec![
+            p0,
+            p0 + Vec3::new(2.0, 0.0, 0.0),
+            p0 + Vec3::new(4.0, 0.0, 0.0),
+        ];
         let phi = interpolate_potential(&grid, &probes, params);
         assert!(phi[0] > phi[1] && phi[1] > phi[2], "{phi:?}");
     }

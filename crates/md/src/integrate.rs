@@ -165,9 +165,8 @@ mod tests {
             total_kinetic(sys) + 0.5 * k * x * x
         };
         let e0 = energy(&sys);
-        let force = |sys: &ChemicalSystem| {
-            vec![Vec3::new(-k * (sys.atoms[0].pos.x - 50.0), 0.0, 0.0)]
-        };
+        let force =
+            |sys: &ChemicalSystem| vec![Vec3::new(-k * (sys.atoms[0].pos.x - 50.0), 0.0, 0.0)];
         let mut f = force(&sys);
         for _ in 0..2000 {
             verlet_first_half(&mut sys, &f, dt);
@@ -187,10 +186,7 @@ mod tests {
             berendsen_rescale(&mut sys, target, 100.0, 1.0);
         }
         let t = instantaneous_temperature(&sys);
-        assert!(
-            (t - target).abs() / target < 0.02,
-            "t={t} target={target}"
-        );
+        assert!((t - target).abs() / target < 0.02, "t={t} target={target}");
     }
 
     #[test]

@@ -18,12 +18,12 @@ pub mod grid;
 pub mod integrate;
 pub mod longrange;
 pub mod observables;
-pub mod xyz;
 pub mod pair;
 pub mod pbc;
 pub mod system;
 pub mod units;
 pub mod vec3;
+pub mod xyz;
 
 pub use engine::{Barostat, ForceReport, MdParams, ReferenceEngine, Thermostat};
 pub use pbc::PeriodicBox;

@@ -14,7 +14,9 @@
 //! - excluded (1-2, 1-3) pairs: the reciprocal part implicitly includes
 //!   them, so `q_i q_j erf(r/(√2σ))/r` is subtracted explicitly.
 
-use crate::grid::{interpolate_forces, interpolate_potential, spread_charges, ScalarGrid, SpreadParams};
+use crate::grid::{
+    interpolate_forces, interpolate_potential, spread_charges, ScalarGrid, SpreadParams,
+};
 use crate::pair::erf;
 use crate::system::ChemicalSystem;
 use crate::units::COULOMB;
@@ -72,13 +74,8 @@ pub fn long_range_forces(
 
     // 5. Energy: ½ Σ q_i φ(r_i), φ interpolated with the same Gaussian.
     let phi = interpolate_potential(&potential_grid, positions, params.spread);
-    let mut energy: f64 = 0.5
-        * COULOMB
-        * charges
-            .iter()
-            .zip(&phi)
-            .map(|(&q, &p)| q * p)
-            .sum::<f64>();
+    let mut energy: f64 =
+        0.5 * COULOMB * charges.iter().zip(&phi).map(|(&q, &p)| q * p).sum::<f64>();
 
     // 6. Force interpolation (HTIS work on Anton).
     interpolate_forces(
@@ -120,7 +117,10 @@ pub fn long_range_forces(
         }
     }
 
-    LongRangeResult { energy, potential: potential_grid }
+    LongRangeResult {
+        energy,
+        potential: potential_grid,
+    }
 }
 
 /// Fourier-space Poisson solve: φ̂(k) = ρ̂(k) · 4π/k² · e^{−(σ²−2σ_s²)k²/2}.
@@ -135,8 +135,8 @@ pub fn convolve_poisson(rho: &ScalarGrid, params: &LongRangeParams) -> ScalarGri
     let l = rho.pbox.lengths;
     let two_pi = 2.0 * std::f64::consts::PI;
     let kf = [two_pi / l.x, two_pi / l.y, two_pi / l.z];
-    let residual = params.sigma * params.sigma
-        - 2.0 * params.spread.sigma_s * params.spread.sigma_s;
+    let residual =
+        params.sigma * params.sigma - 2.0 * params.spread.sigma_s * params.spread.sigma_s;
     assert!(
         residual >= -1e-12,
         "spreading width too large: σ_s must be ≤ σ/√2"
@@ -159,8 +159,8 @@ pub fn convolve_poisson(rho: &ScalarGrid, params: &LongRangeParams) -> ScalarGri
                 if k_sq == 0.0 {
                     f[i] = Complex::ZERO;
                 } else {
-                    let g = 4.0 * std::f64::consts::PI / k_sq
-                        * (-0.5 * residual.max(0.0) * k_sq).exp();
+                    let g =
+                        4.0 * std::f64::consts::PI / k_sq * (-0.5 * residual.max(0.0) * k_sq).exp();
                     f[i] = f[i].scale(g);
                 }
             }
@@ -214,7 +214,10 @@ mod tests {
         let real = range_limited_forces_naive(
             sys,
             &positions,
-            PairParams { cutoff, ewald_sigma: Some(sigma) },
+            PairParams {
+                cutoff,
+                ewald_sigma: Some(sigma),
+            },
             &mut f,
         );
         let lr = long_range_forces(
@@ -243,10 +246,7 @@ mod tests {
             for y in 0..n {
                 for x in 0..n {
                     let q = if (x + y + z) % 2 == 0 { 1.0 } else { -1.0 };
-                    pts.push((
-                        Vec3::new(x as f64 * a, y as f64 * a, z as f64 * a),
-                        q,
-                    ));
+                    pts.push((Vec3::new(x as f64 * a, y as f64 * a, z as f64 * a), q));
                 }
             }
         }
@@ -342,7 +342,12 @@ mod tests {
                 (Vec3::new(13.0, 12.0, 12.0), -1.0),
             ],
         );
-        sys.bonds.push(crate::system::Bond { i: 0, j: 1, r0: 1.0, k: 100.0 });
+        sys.bonds.push(crate::system::Bond {
+            i: 0,
+            j: 1,
+            r0: 1.0,
+            k: 100.0,
+        });
         sys.rebuild_exclusions();
         let e = total_electrostatic(&sys, 2.0, 64, 10.0);
         // A ±1 dipole of extent 1 Å in a 24 Å periodic box: image energy

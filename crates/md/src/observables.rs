@@ -20,7 +20,13 @@ impl Rdf {
     /// Histogram out to `r_max` with `nbins` bins.
     pub fn new(r_max: f64, nbins: usize) -> Rdf {
         assert!(r_max > 0.0 && nbins > 0);
-        Rdf { r_max, bins: vec![0.0; nbins], samples: 0, atoms: 0, volume: 0.0 }
+        Rdf {
+            r_max,
+            bins: vec![0.0; nbins],
+            samples: 0,
+            atoms: 0,
+            volume: 0.0,
+        }
     }
 
     /// Accumulate one snapshot (all unordered pairs among `positions`).
@@ -55,8 +61,7 @@ impl Rdf {
             .map(|(i, &count)| {
                 let r_lo = i as f64 * dr;
                 let r_hi = r_lo + dr;
-                let shell = 4.0 / 3.0 * std::f64::consts::PI
-                    * (r_hi.powi(3) - r_lo.powi(3));
+                let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
                 let ideal = density * shell;
                 ((r_lo + r_hi) / 2.0, count / norm_atoms / ideal)
             })

@@ -42,7 +42,10 @@ impl PairParams {
     /// Cutoff with a splitting width tuned so erfc at the cutoff is tiny
     /// (r_c = 3.5 σ ⇒ erfc(2.47) ≈ 5×10⁻⁴).
     pub fn with_cutoff(cutoff: f64) -> PairParams {
-        PairParams { cutoff, ewald_sigma: Some(cutoff / 3.5) }
+        PairParams {
+            cutoff,
+            ewald_sigma: Some(cutoff / 3.5),
+        }
     }
 }
 
@@ -312,7 +315,12 @@ mod tests {
             let g = (e(r + h) - e(r - h)) / (2.0 * h);
             let (_, _, f) = pair_interaction(Vec3::new(r, 0.0, 0.0), qi, qj, 1.0, 0.0, s);
             // The A&S erfc approximation (≤1.5e-7) bounds the match.
-            assert!((f.x + g).abs() < 1e-4 * g.abs().max(1.0), "r={r}: f={} -g={}", f.x, -g);
+            assert!(
+                (f.x + g).abs() < 1e-4 * g.abs().max(1.0),
+                "r={r}: f={} -g={}",
+                f.x,
+                -g
+            );
         }
     }
 
@@ -334,7 +342,12 @@ mod tests {
         let mut f2 = vec![Vec3::ZERO; pos.len()];
         let e1 = range_limited_forces(&sys, &pos, params, &mut f1);
         let e2 = range_limited_forces_naive(&sys, &pos, params, &mut f2);
-        assert!((e1.lj - e2.lj).abs() < 1e-9 * e2.lj.abs().max(1.0), "{} vs {}", e1.lj, e2.lj);
+        assert!(
+            (e1.lj - e2.lj).abs() < 1e-9 * e2.lj.abs().max(1.0),
+            "{} vs {}",
+            e1.lj,
+            e2.lj
+        );
         assert!((e1.coulomb_real - e2.coulomb_real).abs() < 1e-9 * e2.coulomb_real.abs().max(1.0));
         assert!((e1.virial - e2.virial).abs() < 1e-8 * e2.virial.abs().max(1.0));
         for (a, b) in f1.iter().zip(&f2) {

@@ -17,8 +17,13 @@ pub struct PeriodicBox {
 impl PeriodicBox {
     /// Construct; all edge lengths must be positive.
     pub fn new(lx: f64, ly: f64, lz: f64) -> PeriodicBox {
-        assert!(lx > 0.0 && ly > 0.0 && lz > 0.0, "box edges must be positive");
-        PeriodicBox { lengths: Vec3::new(lx, ly, lz) }
+        assert!(
+            lx > 0.0 && ly > 0.0 && lz > 0.0,
+            "box edges must be positive"
+        );
+        PeriodicBox {
+            lengths: Vec3::new(lx, ly, lz),
+        }
     }
 
     /// A cube.

@@ -338,8 +338,7 @@ fn build_protein_chains(sys: &mut ChemicalSystem, n_atoms: usize, rng: &mut Rng)
             lj_epsilon: 0.1,
         });
         // Start a new chain at length limits or spatial discontinuities.
-        let broke = chain_pos >= chain_len
-            || (k > 0 && (pos - sites[k - 1]).norm() > break_dist);
+        let broke = chain_pos >= chain_len || (k > 0 && (pos - sites[k - 1]).norm() > break_dist);
         if broke || k == 0 {
             // Neutralize the finished chain's charge remainder.
             if idx > chain_start {
@@ -355,7 +354,12 @@ fn build_protein_chains(sys: &mut ChemicalSystem, n_atoms: usize, rng: &mut Rng)
         }
         if chain_pos >= 1 {
             let r0 = (sites[k] - sites[k - 1]).norm();
-            sys.bonds.push(Bond { i: idx - 1, j: idx, r0, k: 300.0 });
+            sys.bonds.push(Bond {
+                i: idx - 1,
+                j: idx,
+                r0,
+                k: 300.0,
+            });
         }
         if chain_pos >= 2 {
             // Rest angle = the actual lattice angle at generation time.
@@ -410,9 +414,9 @@ fn build_waters(sys: &mut ChemicalSystem, n_waters: usize, rng: &mut Rng) {
     let spacing = edge / cells as f64;
     let existing: Vec<Vec3> = sys.atoms.iter().map(|a| a.pos).collect();
     let min_dist = 2.4; // Å clearance from protein atoms
-    // Collect every admissible site first, then take an evenly strided
-    // subset — filling in lattice order would leave the top of the box
-    // empty and wreck the home-box load balance the timing model needs.
+                        // Collect every admissible site first, then take an evenly strided
+                        // subset — filling in lattice order would leave the top of the box
+                        // empty and wreck the home-box load balance the timing model needs.
     let mut candidates = Vec::new();
     for cz in 0..cells {
         for cy in 0..cells {
@@ -484,8 +488,18 @@ fn add_water(sys: &mut ChemicalSystem, o_pos: Vec3, rng: &mut Rng) {
             lj_epsilon: 0.0,
         });
     }
-    sys.bonds.push(Bond { i: o, j: o + 1, r0: WATER_OH, k: 450.0 });
-    sys.bonds.push(Bond { i: o, j: o + 2, r0: WATER_OH, k: 450.0 });
+    sys.bonds.push(Bond {
+        i: o,
+        j: o + 1,
+        r0: WATER_OH,
+        k: 450.0,
+    });
+    sys.bonds.push(Bond {
+        i: o,
+        j: o + 2,
+        r0: WATER_OH,
+        k: 450.0,
+    });
     sys.angles.push(Angle {
         i: o + 1,
         j: o,

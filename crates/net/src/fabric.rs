@@ -231,9 +231,14 @@ impl NetStats {
             *s += o;
         }
         if self.delivered_by_node.len() < other.delivered_by_node.len() {
-            self.delivered_by_node.resize(other.delivered_by_node.len(), 0);
+            self.delivered_by_node
+                .resize(other.delivered_by_node.len(), 0);
         }
-        for (s, o) in self.delivered_by_node.iter_mut().zip(&other.delivered_by_node) {
+        for (s, o) in self
+            .delivered_by_node
+            .iter_mut()
+            .zip(&other.delivered_by_node)
+        {
             *s += o;
         }
         self.faults_dropped += other.faults_dropped;
@@ -312,11 +317,23 @@ pub struct Fabric {
     current_label: u16,
     /// Packet-lifecycle recorder. `None` (the default) skips every hook
     /// behind a single branch — instrumentation is zero-cost when
-    /// disabled, which the microbench guard verifies.
-    recorder: Option<Box<dyn Recorder>>,
+    /// disabled, which the microbench guard verifies. `Send` so a fabric
+    /// can live inside a parallel-DES shard.
+    recorder: Option<Box<dyn Recorder + Send>>,
     /// Next flight-recorder packet id, assigned densely in injection
     /// order (deterministic, so ids are stable across identical runs).
     next_uid: u64,
+    /// When set, packet uids are scoped per source node
+    /// (`node_index << 40 | per-node counter`) instead of drawn from the
+    /// global dense counter. The parallel simulation enables this: each
+    /// shard only observes its own nodes' sends, so a global counter
+    /// would diverge between shardings — node-scoped ids depend only on
+    /// the sending node's own deterministic history. Plain sequential
+    /// runs keep the dense ids (sampling `every`-th packet and existing
+    /// traces rely on them).
+    uid_node_scoped: bool,
+    /// Per-node uid counters for the node-scoped mode.
+    next_uid_by_node: Vec<u64>,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -400,7 +417,22 @@ impl Fabric {
             current_label: 0,
             recorder: None,
             next_uid: 0,
+            uid_node_scoped: false,
+            next_uid_by_node: Vec::new(),
         }
+    }
+
+    /// Switch packet-uid assignment to node-scoped ids
+    /// (`node_index << 40 | counter`). Used by the parallel simulation,
+    /// where uids must be derivable from per-node history alone; call
+    /// before any packet is sent.
+    pub fn enable_node_scoped_uids(&mut self) {
+        assert_eq!(
+            self.next_uid, 0,
+            "uid mode must be chosen before the first send"
+        );
+        self.uid_node_scoped = true;
+        self.next_uid_by_node = vec![0; self.dims.node_count() as usize];
     }
 
     /// Enable activity tracing (disabled by default; costs memory).
@@ -416,7 +448,7 @@ impl Fabric {
 
     /// Install an arbitrary packet-lifecycle recorder. Replaces any
     /// recorder already installed.
-    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder + Send>) {
         self.recorder = Some(recorder);
     }
 
@@ -627,8 +659,16 @@ impl Fabric {
         assert!(pkt.src.client.can_send(), "client cannot send packets");
         self.advance_deaths(now);
         let src_node = pkt.src.node;
-        pkt.uid = self.next_uid;
-        self.next_uid += 1;
+        pkt.uid = if self.uid_node_scoped {
+            let c = &mut self.next_uid_by_node[src_node.index()];
+            let uid = ((src_node.index() as u64) << 40) | *c;
+            *c += 1;
+            uid
+        } else {
+            let uid = self.next_uid;
+            self.next_uid += 1;
+            uid
+        };
         self.stats.packets_sent += 1;
         self.stats.sent_by_node[src_node.index()] += 1;
 
@@ -674,7 +714,11 @@ impl Fabric {
                         + self.timing.payload_tail_onchip(pkt.payload_bytes);
                     sched.at(
                         done,
-                        Ev::Deliver { node: dst.node, client: dst.client, pkt },
+                        Ev::Deliver {
+                            node: dst.node,
+                            client: dst.client,
+                            pkt,
+                        },
                     );
                 } else {
                     let src_c = src_node.coord(self.dims);
@@ -689,8 +733,10 @@ impl Fabric {
                                 Ok(route) => {
                                     let steps = route.steps().to_vec();
                                     let first = steps[0];
-                                    pkt.route =
-                                        Some(SourceRoute { steps: Arc::new(steps), next: 1 });
+                                    pkt.route = Some(SourceRoute {
+                                        steps: Arc::new(steps),
+                                        next: 1,
+                                    });
                                     first
                                 }
                                 Err(_) => {
@@ -740,7 +786,11 @@ impl Fabric {
                     let next = src_c.step(link, self.dims).node_id(self.dims);
                     sched.at(
                         start + self.timing.link_head(),
-                        Ev::HopArrive { pkt, node: next, in_dim: link.dim },
+                        Ev::HopArrive {
+                            pkt,
+                            node: next,
+                            in_dim: link.dim,
+                        },
                     );
                 }
             }
@@ -750,7 +800,10 @@ impl Fabric {
                 // loses that subtree (reserve_link records the loss).
                 let Some(entry) = self.patterns[src_node.index()].get(&pattern).cloned() else {
                     self.stats.packets_unreachable += 1;
-                    self.record_error(FabricError::PatternUnknown { pattern, node: src_node });
+                    self.record_error(FabricError::PatternUnknown {
+                        pattern,
+                        node: src_node,
+                    });
                     return;
                 };
                 if entry.deliver {
@@ -759,7 +812,11 @@ impl Fabric {
                         + self.timing.payload_tail_onchip(pkt.payload_bytes);
                     sched.at(
                         done,
-                        Ev::Deliver { node: src_node, client, pkt: pkt.clone() },
+                        Ev::Deliver {
+                            node: src_node,
+                            client,
+                            pkt: pkt.clone(),
+                        },
                     );
                 }
                 let src_c = src_node.coord(self.dims);
@@ -788,7 +845,11 @@ impl Fabric {
                     let next = src_c.step(l, self.dims).node_id(self.dims);
                     sched.at(
                         start + self.timing.link_head(),
-                        Ev::HopArrive { pkt: pkt.clone(), node: next, in_dim: l.dim },
+                        Ev::HopArrive {
+                            pkt: pkt.clone(),
+                            node: next,
+                            in_dim: l.dim,
+                        },
                     );
                 }
             }
@@ -813,7 +874,14 @@ impl Fabric {
                     let done = now
                         + self.timing.recv_overhead()
                         + self.timing.payload_tail(pkt.payload_bytes);
-                    sched.at(done, Ev::Deliver { node, client: dst.client, pkt });
+                    sched.at(
+                        done,
+                        Ev::Deliver {
+                            node,
+                            client: dst.client,
+                            pkt,
+                        },
+                    );
                 } else {
                     let cur = node.coord(self.dims);
                     let dst_c = dst.node.coord(self.dims);
@@ -830,7 +898,10 @@ impl Fabric {
                                 // only possible if tables changed
                                 // mid-flight; count the packet lost.
                                 self.stats.packets_lost += 1;
-                                self.record_error(FabricError::NoRoute { node, dst: dst.node });
+                                self.record_error(FabricError::NoRoute {
+                                    node,
+                                    dst: dst.node,
+                                });
                                 return;
                             }
                         }
@@ -839,7 +910,10 @@ impl Fabric {
                             Some(l) => l,
                             None => {
                                 self.stats.packets_lost += 1;
-                                self.record_error(FabricError::NoRoute { node, dst: dst.node });
+                                self.record_error(FabricError::NoRoute {
+                                    node,
+                                    dst: dst.node,
+                                });
                                 return;
                             }
                         }
@@ -856,7 +930,11 @@ impl Fabric {
                     let next = cur.step(link, self.dims).node_id(self.dims);
                     sched.at(
                         start + self.timing.link_head(),
-                        Ev::HopArrive { pkt, node: next, in_dim: link.dim },
+                        Ev::HopArrive {
+                            pkt,
+                            node: next,
+                            in_dim: link.dim,
+                        },
                     );
                 }
             }
@@ -870,20 +948,30 @@ impl Fabric {
                     let done = now
                         + self.timing.recv_overhead()
                         + self.timing.payload_tail(pkt.payload_bytes);
-                    sched.at(done, Ev::Deliver { node, client, pkt: pkt.clone() });
+                    sched.at(
+                        done,
+                        Ev::Deliver {
+                            node,
+                            client,
+                            pkt: pkt.clone(),
+                        },
+                    );
                 }
                 let cur = node.coord(self.dims);
                 for l in entry.forward {
                     let ready = now + self.timing.transit_ring(in_dim, l.dim);
-                    let Some(start) =
-                        self.reserve_link(pkt.uid, node, l, ready, pkt.payload_bytes)
+                    let Some(start) = self.reserve_link(pkt.uid, node, l, ready, pkt.payload_bytes)
                     else {
                         continue; // this branch's subtree is lost
                     };
                     let next = cur.step(l, self.dims).node_id(self.dims);
                     sched.at(
                         start + self.timing.link_head(),
-                        Ev::HopArrive { pkt: pkt.clone(), node: next, in_dim: l.dim },
+                        Ev::HopArrive {
+                            pkt: pkt.clone(),
+                            node: next,
+                            in_dim: l.dim,
+                        },
                     );
                 }
             }
@@ -966,10 +1054,7 @@ impl Fabric {
                         // the program's buffer table is missing an entry.
                         // The resulting stall is the watchdog's to report.
                         self.stats.delivery_errors += 1;
-                        self.record_error(FabricError::MissingSourceCounter {
-                            node,
-                            src: pkt_src,
-                        });
+                        self.record_error(FabricError::MissingSourceCounter { node, src: pkt_src });
                         None
                     }
                 }
@@ -1002,12 +1087,22 @@ impl Fabric {
                     visible + extra,
                     Ev::Prog {
                         node,
-                        pe: ProgEvent::CounterReached { client, counter: cid },
+                        pe: ProgEvent::CounterReached {
+                            client,
+                            counter: cid,
+                        },
                     },
                 );
             }
             if let Some(rec) = self.recorder.as_mut() {
-                rec.on_counter_update(PacketId(uid), node, client.index() as u8, cid.0, now, fire_at);
+                rec.on_counter_update(
+                    PacketId(uid),
+                    node,
+                    client.index() as u8,
+                    cid.0,
+                    now,
+                    fire_at,
+                );
             }
         }
     }
@@ -1041,7 +1136,10 @@ impl Fabric {
                 self.clients[ci].fifo_service_pending = more;
                 sched.at(
                     done,
-                    Ev::Prog { node, pe: ProgEvent::FifoMessage { client, pkt } },
+                    Ev::Prog {
+                        node,
+                        pe: ProgEvent::FifoMessage { client, pkt },
+                    },
                 );
                 if more {
                     sched.at(done, Ev::FifoService { node, client });
@@ -1057,18 +1155,24 @@ impl Fabric {
 
     /// Read a client's local memory cell.
     pub fn mem_read(&self, addr: ClientAddr, a: u64) -> Option<&Payload> {
-        self.clients[client_index(addr.node, addr.client)].mem.read(a)
+        self.clients[client_index(addr.node, addr.client)]
+            .mem
+            .read(a)
     }
 
     /// Take (consume) a client's local memory cell.
     pub fn mem_take(&mut self, addr: ClientAddr, a: u64) -> Option<Payload> {
-        self.clients[client_index(addr.node, addr.client)].mem.take(a)
+        self.clients[client_index(addr.node, addr.client)]
+            .mem
+            .take(a)
     }
 
     /// Write a client's local memory directly (software-local store, no
     /// network traffic).
     pub fn mem_write(&mut self, addr: ClientAddr, a: u64, p: Payload) {
-        self.clients[client_index(addr.node, addr.client)].mem.write(a, p);
+        self.clients[client_index(addr.node, addr.client)]
+            .mem
+            .write(a, p);
     }
 
     /// Drain a range of a client's local memory.
@@ -1081,22 +1185,30 @@ impl Fabric {
     /// Read `n` 4-byte words from an accumulation memory.
     pub fn accum_read(&self, addr: ClientAddr, a: u64, n: usize) -> Vec<i32> {
         assert!(matches!(addr.client, ClientKind::Accum(_)));
-        self.clients[client_index(addr.node, addr.client)].accum.read(a, n)
+        self.clients[client_index(addr.node, addr.client)]
+            .accum
+            .read(a, n)
     }
 
     /// Zero `n` words of an accumulation memory.
     pub fn accum_clear(&mut self, addr: ClientAddr, a: u64, n: usize) {
-        self.clients[client_index(addr.node, addr.client)].accum.clear(a, n);
+        self.clients[client_index(addr.node, addr.client)]
+            .accum
+            .clear(a, n);
     }
 
     /// Current value of a synchronization counter.
     pub fn counter_read(&self, addr: ClientAddr, id: CounterId) -> u64 {
-        self.clients[client_index(addr.node, addr.client)].counters.read(id)
+        self.clients[client_index(addr.node, addr.client)]
+            .counters
+            .read(id)
     }
 
     /// Reset a counter to zero.
     pub fn counter_reset(&mut self, addr: ClientAddr, id: CounterId) {
-        self.clients[client_index(addr.node, addr.client)].counters.reset(id);
+        self.clients[client_index(addr.node, addr.client)]
+            .counters
+            .reset(id);
     }
 
     /// Register a watch; if the target is already met, the `CounterReached`
@@ -1123,7 +1235,10 @@ impl Fabric {
                 now + extra,
                 Ev::Prog {
                     node: addr.node,
-                    pe: ProgEvent::CounterReached { client: addr.client, counter: id },
+                    pe: ProgEvent::CounterReached {
+                        client: addr.client,
+                        counter: id,
+                    },
                 },
             );
         }
@@ -1133,13 +1248,7 @@ impl Fabric {
     /// deadline is still pending, record a report naming the stuck
     /// counter (the simulation keeps running — a later arrival may still
     /// satisfy the watch).
-    pub fn watchdog_check(
-        &mut self,
-        addr: ClientAddr,
-        id: CounterId,
-        target: u64,
-        now: SimTime,
-    ) {
+    pub fn watchdog_check(&mut self, addr: ClientAddr, id: CounterId, target: u64, now: SimTime) {
         let counters = &self.clients[client_index(addr.node, addr.client)].counters;
         let current = counters.read(id);
         if counters.has_watch(id) && current < target {

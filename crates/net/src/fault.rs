@@ -153,7 +153,10 @@ impl FaultPlan {
 
     /// A transient-fault plan with the given seed (builder entry point).
     pub fn seeded(seed: u64) -> FaultPlan {
-        FaultPlan { seed, ..FaultPlan::none() }
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
     }
 
     /// Set the per-traversal drop rate (builder style).
@@ -166,7 +169,10 @@ impl FaultPlan {
 
     /// Set the per-traversal corruption rate (builder style).
     pub fn with_corrupt_rate(mut self, p: f64) -> FaultPlan {
-        assert!((0.0..=1.0).contains(&p), "corrupt rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "corrupt rate must be a probability"
+        );
         self.corrupt_rate = p;
         self.check_rates();
         self
@@ -187,19 +193,28 @@ impl FaultPlan {
 
     /// Schedule a permanent unidirectional-link failure at `at`.
     pub fn fail_link_at(mut self, node: Coord, link: LinkDir, at: SimTime) -> FaultPlan {
-        self.permanent.push(PermanentFault { at, target: FaultTarget::Link { node, link } });
+        self.permanent.push(PermanentFault {
+            at,
+            target: FaultTarget::Link { node, link },
+        });
         self
     }
 
     /// Schedule a permanent cable failure (both directions) at `at`.
     pub fn fail_cable_at(mut self, node: Coord, link: LinkDir, at: SimTime) -> FaultPlan {
-        self.permanent.push(PermanentFault { at, target: FaultTarget::Cable { node, link } });
+        self.permanent.push(PermanentFault {
+            at,
+            target: FaultTarget::Cable { node, link },
+        });
         self
     }
 
     /// Schedule a permanent whole-node failure at `at`.
     pub fn fail_node_at(mut self, node: Coord, at: SimTime) -> FaultPlan {
-        self.permanent.push(PermanentFault { at, target: FaultTarget::Node { node } });
+        self.permanent.push(PermanentFault {
+            at,
+            target: FaultTarget::Node { node },
+        });
         self
     }
 
@@ -280,9 +295,8 @@ impl FaultPlan {
 /// SplitMix64-style avalanche of `(seed, link, seq)` to a uniform value
 /// in `[0, 1)`.
 fn hash_unit(seed: u64, link: u64, seq: u64) -> f64 {
-    let mut z = seed
-        ^ link.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ seq.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    let mut z =
+        seed ^ link.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seq.wrapping_mul(0xD1B5_4A32_D192_ED03);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
@@ -440,9 +454,17 @@ impl fmt::Display for FabricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FabricError::Unreachable { src, dst } => {
-                write!(f, "no surviving route from node {} to node {}", src.0, dst.0)
+                write!(
+                    f,
+                    "no surviving route from node {} to node {}",
+                    src.0, dst.0
+                )
             }
-            FabricError::RetryBudgetExhausted { node, link, attempts } => write!(
+            FabricError::RetryBudgetExhausted {
+                node,
+                link,
+                attempts,
+            } => write!(
                 f,
                 "retry budget exhausted after {attempts} attempts on link {link} of node {}",
                 node.0
@@ -451,16 +473,32 @@ impl fmt::Display for FabricError {
                 write!(f, "packet lost on dead link {link} of node {}", node.0)
             }
             FabricError::PatternUnknown { pattern, node } => {
-                write!(f, "multicast pattern {} unknown at node {}", pattern.0, node.0)
+                write!(
+                    f,
+                    "multicast pattern {} unknown at node {}",
+                    pattern.0, node.0
+                )
             }
             FabricError::NoRoute { node, dst } => {
-                write!(f, "routing stalled at node {} toward node {}", node.0, dst.0)
+                write!(
+                    f,
+                    "routing stalled at node {} toward node {}",
+                    node.0, dst.0
+                )
             }
             FabricError::BadAccumPayload { node, client } => {
-                write!(f, "non-I32s accumulation payload at node {} {client:?}", node.0)
+                write!(
+                    f,
+                    "non-I32s accumulation payload at node {} {client:?}",
+                    node.0
+                )
             }
             FabricError::FifoToNonSlice { node, client } => {
-                write!(f, "FIFO packet for client without FIFO at node {} {client:?}", node.0)
+                write!(
+                    f,
+                    "FIFO packet for client without FIFO at node {} {client:?}",
+                    node.0
+                )
             }
             FabricError::MissingSourceCounter { node, src } => write!(
                 f,
@@ -468,7 +506,11 @@ impl fmt::Display for FabricError {
                 node.0, src.0
             ),
             FabricError::CorruptDelivery { node, client } => {
-                write!(f, "payload CRC mismatch delivering to node {} {client:?}", node.0)
+                write!(
+                    f,
+                    "payload CRC mismatch delivering to node {} {client:?}",
+                    node.0
+                )
             }
         }
     }
@@ -497,12 +539,7 @@ impl fmt::Display for WatchdogReport {
         write!(
             f,
             "watchdog: counter {} of node {} {:?} stuck at {}/{} (deadline {})",
-            self.counter.0,
-            self.node.0,
-            self.client,
-            self.current,
-            self.target,
-            self.at
+            self.counter.0, self.node.0, self.client, self.current, self.target, self.at
         )
     }
 }
@@ -540,7 +577,9 @@ mod tests {
 
     #[test]
     fn fault_rates_are_roughly_honored() {
-        let p = FaultPlan::seeded(42).with_drop_rate(0.1).with_corrupt_rate(0.05);
+        let p = FaultPlan::seeded(42)
+            .with_drop_rate(0.1)
+            .with_corrupt_rate(0.05);
         let mut drops = 0;
         let mut corrupts = 0;
         let n = 20_000u64;
@@ -570,23 +609,45 @@ mod tests {
         let dims = TorusDims::new(4, 4, 4);
         let t = SimTime(1000);
         let plan = FaultPlan::none()
-            .fail_cable_at(Coord::new(0, 0, 0), LinkDir { dim: Dim::X, dir: Dir::Plus }, t)
+            .fail_cable_at(
+                Coord::new(0, 0, 0),
+                LinkDir {
+                    dim: Dim::X,
+                    dir: Dir::Plus,
+                },
+                t,
+            )
             .fail_node_at(Coord::new(2, 2, 2), SimTime(2000));
         let death = plan.link_death_times(dims);
         let idx = |c: Coord, l: LinkDir| c.node_id(dims).index() * 6 + l.index();
         assert_eq!(
-            death[idx(Coord::new(0, 0, 0), LinkDir { dim: Dim::X, dir: Dir::Plus })],
+            death[idx(
+                Coord::new(0, 0, 0),
+                LinkDir {
+                    dim: Dim::X,
+                    dir: Dir::Plus
+                }
+            )],
             Some(t)
         );
         assert_eq!(
-            death[idx(Coord::new(1, 0, 0), LinkDir { dim: Dim::X, dir: Dir::Minus })],
+            death[idx(
+                Coord::new(1, 0, 0),
+                LinkDir {
+                    dim: Dim::X,
+                    dir: Dir::Minus
+                }
+            )],
             Some(t)
         );
         // All 12 links touching the dead node die.
         let dead = Coord::new(2, 2, 2);
         for &l in &LinkDir::ALL {
             assert_eq!(death[idx(dead, l)], Some(SimTime(2000)));
-            assert_eq!(death[idx(dead.step(l, dims), l.reverse())], Some(SimTime(2000)));
+            assert_eq!(
+                death[idx(dead.step(l, dims), l.reverse())],
+                Some(SimTime(2000))
+            );
         }
         // Masks respect activation times.
         assert!(!plan.mask_at(dims, SimTime(999)).any_dead());

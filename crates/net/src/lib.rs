@@ -16,6 +16,7 @@ pub mod fabric;
 pub mod fault;
 pub mod memory;
 pub mod packet;
+pub mod par;
 pub mod timing;
 pub mod world;
 
@@ -29,10 +30,11 @@ pub use packet::{
     ClientAddr, ClientKind, CounterId, Destination, Packet, PacketKind, PatternId, Payload,
     SourceRoute, COUNTERS_PER_CLIENT, COUNTER_BY_SOURCE,
 };
+pub use par::{
+    merge_flight_events, threads_from_env, EvShardMap, NodeShardWorld, ParSimulation, ShardPlan,
+};
 pub use timing::{
     Timing, HEADER_BYTES, IN_HEADER_PAYLOAD_BYTES, LINK_EFFECTIVE_GBPS, LINK_RAW_GBPS,
     MAX_PAYLOAD_BYTES, RING_GBPS, WIRE_ENCODING_FACTOR,
 };
-pub use world::{
-    Ctx, NodeProgram, RunReport, SimWorld, Simulation, StallReport, StuckWatch,
-};
+pub use world::{Ctx, NodeProgram, RunReport, SimWorld, Simulation, StallReport, StuckWatch};

@@ -87,7 +87,10 @@ impl AccumMemory {
     /// Add `values` starting at word address `addr/4` (addr must be
     /// 4-byte aligned).
     pub fn accumulate(&mut self, addr: u64, values: &[i32]) {
-        assert!(addr.is_multiple_of(4), "accumulation address must be 4-byte aligned");
+        assert!(
+            addr.is_multiple_of(4),
+            "accumulation address must be 4-byte aligned"
+        );
         let base = addr / 4;
         for (i, &v) in values.iter().enumerate() {
             let w = self.words.entry(base + i as u64).or_insert(0);
@@ -98,7 +101,10 @@ impl AccumMemory {
     /// Plain write (non-accumulating store), used to clear buffers between
     /// time steps.
     pub fn write(&mut self, addr: u64, values: &[i32]) {
-        assert!(addr.is_multiple_of(4), "accumulation address must be 4-byte aligned");
+        assert!(
+            addr.is_multiple_of(4),
+            "accumulation address must be 4-byte aligned"
+        );
         let base = addr / 4;
         for (i, &v) in values.iter().enumerate() {
             self.words.insert(base + i as u64, v);

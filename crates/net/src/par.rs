@@ -1,0 +1,508 @@
+//! Parallel simulation of the fabric: torus regions as DES shards.
+//!
+//! ## Sharding
+//!
+//! The torus is sliced into slabs along one axis ([`ShardPlan`]); every
+//! fabric event names the node it executes on, so the shard map routes it
+//! to the slab owning that node. The conservative lookahead comes from
+//! the timing model ([`Timing::conservative_lookahead`]): the only events
+//! that cross nodes — and therefore possibly shards — are `HopArrive`s,
+//! and every one of them is scheduled at least one link crossing
+//! (adapters + cheapest ring transit, 54 ns by default) in the future.
+//! Deliveries, FIFO service, program dispatches, and watchdog checks are
+//! all node-local. The parallel engine asserts this bound at runtime.
+//!
+//! ## Shard worlds
+//!
+//! Each shard owns a **full fabric replica** built by the same
+//! constructor closure (identical dims, timing, fault plan, multicast
+//! tables) but is *authoritative only for its own nodes*: an event for
+//! node `n` executes exclusively on `n`'s owning shard, so each node's
+//! link/port/core/memory state is touched by exactly one replica, and a
+//! replica's non-owned state simply stays at its initial value. Per-link
+//! fault draws are keyed on per-link attempt sequence numbers, which
+//! advance only on the owning replica — so a sharded run draws the same
+//! faults the sequential run does. Statistics, recorded flight events,
+//! trace intervals, error logs, and watchdog reports are merged across
+//! replicas in deterministic shard order after the run.
+//!
+//! Packet uids are node-scoped in this mode
+//! ([`Fabric::enable_node_scoped_uids`]): a uid must be derivable from
+//! the sending node's own history, or different shardings would label
+//! packets differently.
+//!
+//! ## Determinism
+//!
+//! [`ParSimulation`] runs bit-identically at any thread count, and its
+//! merged statistics equal a sequential [`Simulation`] of the same
+//! machine (asserted in `tests/par_sim.rs` and in the CI determinism
+//! cross-check). The shard *count* is part of the plan, not derived from
+//! the thread count, precisely so that thread count never influences
+//! event partitioning.
+
+use crate::fabric::{Ev, Fabric, NetStats, ProgEvent};
+use crate::timing::Timing;
+use crate::world::{Ctx, NodeProgram, RunReport, SimWorld, StallReport, StuckWatch};
+use anton_des::par::{ParEngine, ShardMap};
+use anton_des::{EventHandler, RunOutcome, Scheduler, SimDuration, SimTime, Tracer};
+use anton_obs::{FlightEvent, SharedFlightRecorder};
+use anton_topo::{Dim, NodeId, TorusDims};
+
+/// How the torus is sliced into shards: slabs perpendicular to one axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    dims: TorusDims,
+    axis: Dim,
+    nshards: usize,
+}
+
+impl ShardPlan {
+    /// Slab the torus along its longest axis into `nshards` slabs
+    /// (clamped to the axis length; ties prefer Z, whose slabs are
+    /// contiguous in node-id order).
+    pub fn new(dims: TorusDims, nshards: usize) -> ShardPlan {
+        let axis = *Dim::ALL
+            .iter()
+            .max_by_key(|d| (dims.len(**d), d.index()))
+            .expect("three dims");
+        let nshards = nshards.clamp(1, dims.len(axis) as usize);
+        ShardPlan {
+            dims,
+            axis,
+            nshards,
+        }
+    }
+
+    /// The default plan: one shard per plane of the longest axis (8 for
+    /// an 8×8×8 machine), overridable via the `ANTON_SHARDS` env var.
+    /// The shard count is part of the *simulation configuration* — it
+    /// must not depend on the worker-thread count, or different thread
+    /// counts would partition events differently.
+    pub fn auto(dims: TorusDims) -> ShardPlan {
+        let default = Dim::ALL.iter().map(|&d| dims.len(d)).max().unwrap() as usize;
+        let n = std::env::var("ANTON_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(default);
+        ShardPlan::new(dims, n)
+    }
+
+    /// Machine dimensions.
+    pub fn dims(&self) -> TorusDims {
+        self.dims
+    }
+
+    /// The slab axis.
+    pub fn axis(&self) -> Dim {
+        self.axis
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.nshards
+    }
+
+    /// The shard owning `node`.
+    pub fn shard_of_node(&self, node: NodeId) -> usize {
+        let c = node.coord(self.dims).get(self.axis) as usize;
+        c * self.nshards / self.dims.len(self.axis) as usize
+    }
+}
+
+/// Worker-thread count for parallel runs: the `ANTON_THREADS` env var,
+/// defaulting to 1 (sequential reference execution). Thread count never
+/// affects simulated results — only wall-clock time.
+pub fn threads_from_env() -> usize {
+    std::env::var("ANTON_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// The shard map for fabric events: route to the named node's slab.
+pub struct EvShardMap {
+    plan: ShardPlan,
+    lookahead: SimDuration,
+}
+
+impl EvShardMap {
+    /// Build from a plan and the timing model whose
+    /// [`Timing::conservative_lookahead`] bounds cross-node events.
+    pub fn new(plan: ShardPlan, timing: &Timing) -> EvShardMap {
+        EvShardMap {
+            plan,
+            lookahead: timing.conservative_lookahead(),
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+}
+
+impl ShardMap<Ev> for EvShardMap {
+    fn shard_count(&self) -> usize {
+        self.plan.shard_count()
+    }
+
+    fn shard_of(&self, event: &Ev) -> usize {
+        match event {
+            // Start is seeded once per shard (schedule_at_shard); it
+            // never flows through shard routing.
+            Ev::Start => unreachable!("Ev::Start is seeded per shard"),
+            Ev::HopArrive { node, .. }
+            | Ev::Deliver { node, .. }
+            | Ev::FifoService { node, .. }
+            | Ev::Prog { node, .. } => self.plan.shard_of_node(*node),
+            Ev::WatchdogCheck { addr, .. } => self.plan.shard_of_node(addr.node),
+        }
+    }
+
+    fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+}
+
+/// One shard's slice of the machine: a full fabric replica
+/// (authoritative for this shard's nodes only) plus one program per
+/// node (only the owned ones ever run).
+pub struct NodeShardWorld<P: NodeProgram> {
+    shard: usize,
+    plan: ShardPlan,
+    /// This shard's fabric replica.
+    pub fabric: Fabric,
+    /// One program per node id; non-owned entries stay untouched.
+    pub programs: Vec<P>,
+}
+
+impl<P: NodeProgram> NodeShardWorld<P> {
+    /// Whether this shard owns `node`.
+    pub fn owns(&self, node: NodeId) -> bool {
+        self.plan.shard_of_node(node) == self.shard
+    }
+
+    fn dispatch(&mut self, node: NodeId, pe: ProgEvent, sched: &mut Scheduler<Ev>) {
+        debug_assert!(self.owns(node), "program event routed to the wrong shard");
+        let mut ctx = Ctx::new(&mut self.fabric, sched);
+        self.programs[node.index()].on_event(node, pe, &mut ctx);
+    }
+}
+
+impl<P: NodeProgram> EventHandler<Ev> for NodeShardWorld<P> {
+    fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+        match event {
+            Ev::Start => {
+                // Each shard's Start dispatches only its own nodes, in
+                // node-id order (the same relative order the sequential
+                // world uses).
+                for i in 0..self.programs.len() {
+                    let node = NodeId(i as u32);
+                    if self.owns(node) {
+                        self.dispatch(node, ProgEvent::Start, sched);
+                    }
+                }
+            }
+            Ev::HopArrive { pkt, node, in_dim } => {
+                debug_assert!(self.owns(node));
+                let now = sched.now();
+                self.fabric.hop_arrive(pkt, node, in_dim, now, sched);
+            }
+            Ev::Deliver { pkt, node, client } => {
+                debug_assert!(self.owns(node));
+                let now = sched.now();
+                self.fabric.deliver(pkt, node, client, now, sched);
+            }
+            Ev::FifoService { node, client } => {
+                debug_assert!(self.owns(node));
+                let now = sched.now();
+                self.fabric.fifo_service(node, client, now, sched);
+            }
+            Ev::Prog { node, pe } => {
+                self.dispatch(node, pe, sched);
+            }
+            Ev::WatchdogCheck {
+                addr,
+                counter,
+                target,
+            } => {
+                debug_assert!(self.owns(addr.node));
+                let now = sched.now();
+                self.fabric.watchdog_check(addr, counter, target, now);
+            }
+        }
+    }
+}
+
+/// The parallel counterpart of [`Simulation`]: a sharded machine driven
+/// by [`ParEngine`]. Same event model, same results, N-way wall-clock
+/// parallelism.
+///
+/// [`Simulation`]: crate::world::Simulation
+pub struct ParSimulation<P: NodeProgram> {
+    engine: ParEngine<Ev, EvShardMap>,
+    worlds: Vec<NodeShardWorld<P>>,
+    recorders: Vec<SharedFlightRecorder>,
+}
+
+impl<P: NodeProgram + Send> ParSimulation<P> {
+    /// Build a sharded machine. `build_fabric` is called once per shard
+    /// and must construct *identical* fabrics (same dims, timing, fault
+    /// plan, and pre-registered multicast patterns — register patterns
+    /// inside the closure, not afterwards); `make` is called per shard
+    /// per node and must be a pure function of the node id. `threads`
+    /// picks the worker count (1 = sequential reference execution).
+    ///
+    /// Mid-run mutation of *other* nodes' fabric state through
+    /// [`Ctx::fabric_mut`] (e.g. re-registering a multicast pattern
+    /// mid-run) is not supported in the sharded mode: a replica's
+    /// pattern tables are only consulted for owned nodes, so pre-run
+    /// registration via `build_fabric` is the supported path.
+    pub fn new(
+        threads: usize,
+        mut build_fabric: impl FnMut() -> Fabric,
+        mut make: impl FnMut(NodeId) -> P,
+    ) -> ParSimulation<P> {
+        let probe = build_fabric();
+        let dims = probe.dims();
+        let plan = ShardPlan::auto(dims);
+        let map = EvShardMap::new(plan, probe.timing());
+        drop(probe);
+        let mut engine = ParEngine::new(map, threads);
+        let n = dims.node_count();
+        let mut worlds = Vec::with_capacity(plan.shard_count());
+        for shard in 0..plan.shard_count() {
+            let mut fabric = build_fabric();
+            assert_eq!(fabric.dims(), dims, "build_fabric must be deterministic");
+            fabric.enable_node_scoped_uids();
+            let programs = (0..n).map(|i| make(NodeId(i))).collect();
+            worlds.push(NodeShardWorld {
+                shard,
+                plan,
+                fabric,
+                programs,
+            });
+            engine.schedule_at_shard(shard, SimTime::ZERO, Ev::Start);
+        }
+        ParSimulation {
+            engine,
+            worlds,
+            recorders: Vec::new(),
+        }
+    }
+
+    /// Install one [`FlightRecorder`](anton_obs::FlightRecorder) per
+    /// shard (call before running). Recorded events are merged
+    /// deterministically by [`ParSimulation::merged_flight_events`].
+    pub fn attach_flight_recorders(&mut self) {
+        self.recorders = self
+            .worlds
+            .iter_mut()
+            .map(|w| w.fabric.attach_flight_recorder())
+            .collect();
+    }
+
+    /// Enable activity tracing on every shard replica.
+    pub fn enable_tracing(&mut self) {
+        for w in &mut self.worlds {
+            w.fabric.enable_tracing();
+        }
+    }
+
+    /// The shard plan in force.
+    pub fn plan(&self) -> &ShardPlan {
+        self.engine.map().plan()
+    }
+
+    /// The per-shard worlds (fabric replicas and programs).
+    pub fn worlds(&self) -> &[NodeShardWorld<P>] {
+        &self.worlds
+    }
+
+    /// The program instance that actually ran for `node` (the one on the
+    /// owning shard — the other replicas' instances never saw an event).
+    pub fn program(&self, node: NodeId) -> &P {
+        let shard = self.plan().shard_of_node(node);
+        &self.worlds[shard].programs[node.index()]
+    }
+
+    /// Run to quiescence.
+    pub fn run(&mut self) {
+        self.engine.run(&mut self.worlds);
+    }
+
+    /// Run with a horizon and event budget. Same boundary semantics as
+    /// the sequential engine (horizon-stamped events fire); the budget
+    /// is enforced at window granularity, identically at every thread
+    /// count.
+    pub fn run_until(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
+        self.engine.run_until(&mut self.worlds, horizon, max_events)
+    }
+
+    /// Run with a horizon and budget, then diagnose stalls exactly like
+    /// [`Simulation::run_guarded`]: completed only if the queues drained
+    /// with no counter watch pending anywhere.
+    ///
+    /// [`Simulation::run_guarded`]: crate::world::Simulation::run_guarded
+    pub fn run_guarded(&mut self, horizon: SimTime, max_events: u64) -> RunReport {
+        let outcome = self.run_until(horizon, max_events);
+        let stuck = self.stuck_watches();
+        if outcome == RunOutcome::Drained && stuck.is_empty() {
+            RunReport::Completed(outcome)
+        } else {
+            RunReport::Stalled(StallReport {
+                outcome,
+                at: self.now(),
+                stuck,
+                watchdog: self.merged_watchdog_reports(),
+            })
+        }
+    }
+
+    /// Time of the last event processed.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Total events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.events_processed()
+    }
+
+    /// Machine-wide statistics: the shard replicas' counters summed in
+    /// shard order. Each event executes on exactly one replica, so the
+    /// sum equals the sequential run's single-fabric totals.
+    pub fn merged_stats(&self) -> NetStats {
+        let mut total = NetStats {
+            sent_by_node: vec![0; self.plan().dims().node_count() as usize],
+            delivered_by_node: vec![0; self.plan().dims().node_count() as usize],
+            ..Default::default()
+        };
+        for w in &self.worlds {
+            total.merge(&w.fabric.stats);
+        }
+        total
+    }
+
+    /// All recorded flight events, merged across shards into one
+    /// chronological stream: a stable k-way merge keyed on
+    /// `(event time, shard index)`, so the result is deterministic and
+    /// respects both time order and (within a timestamp) a fixed shard
+    /// order. Requires [`ParSimulation::attach_flight_recorders`].
+    pub fn merged_flight_events(&self) -> Vec<FlightEvent> {
+        let per_shard: Vec<Vec<FlightEvent>> = self
+            .recorders
+            .iter()
+            .map(|r| r.borrow().events().cloned().collect())
+            .collect();
+        merge_flight_events(per_shard)
+    }
+
+    /// One tracer holding every shard's activity intervals, labels
+    /// re-interned in deterministic shard order. Track names and units
+    /// are taken from shard 0 (identical on every replica).
+    pub fn merged_tracer(&self) -> Tracer {
+        let mut merged = Tracer::enabled();
+        if let Some(first) = self.worlds.first() {
+            for (track, name) in first.fabric.tracer.tracks() {
+                merged.name_track(track, name);
+                merged.set_track_units(track, first.fabric.tracer.track_units(track));
+            }
+        }
+        for w in &self.worlds {
+            let t = &w.fabric.tracer;
+            for iv in t.intervals() {
+                let label = merged.intern_label(t.label(iv.label));
+                merged.record(iv.track, iv.activity, iv.start, iv.end, label);
+            }
+        }
+        merged
+    }
+
+    /// Still-pending counter watches across all shards, in node order
+    /// (watches only ever exist on a node's owning replica).
+    pub fn stuck_watches(&self) -> Vec<StuckWatch> {
+        let mut out: Vec<StuckWatch> = self
+            .worlds
+            .iter()
+            .flat_map(|w| w.fabric.stuck_watches())
+            .map(|(node, client, counter, target, current)| StuckWatch {
+                node,
+                client,
+                counter,
+                target,
+                current,
+            })
+            .collect();
+        out.sort_by_key(|s| (s.node.index(), s.client.index(), s.counter.0));
+        out
+    }
+
+    /// Watchdog reports concatenated in shard order.
+    pub fn merged_watchdog_reports(&self) -> Vec<crate::fault::WatchdogReport> {
+        self.worlds
+            .iter()
+            .flat_map(|w| w.fabric.watchdog_reports().iter().cloned())
+            .collect()
+    }
+
+    /// Recoverable errors concatenated in shard order (each replica's
+    /// log is capped independently, so ordering *across* shards is by
+    /// shard, not time — use for diagnosis, not cross-run comparison).
+    pub fn merged_errors(&self) -> Vec<crate::fault::FabricError> {
+        self.worlds
+            .iter()
+            .flat_map(|w| w.fabric.errors().iter().cloned())
+            .collect()
+    }
+}
+
+/// Stable k-way merge of per-shard flight-event streams by
+/// `(time, shard)`. Each shard's stream is already time-ordered (the
+/// recorder appends in that shard's execution order), so a linear merge
+/// suffices.
+pub fn merge_flight_events(per_shard: Vec<Vec<FlightEvent>>) -> Vec<FlightEvent> {
+    let total: usize = per_shard.iter().map(|v| v.len()).sum();
+    let mut iters: Vec<std::iter::Peekable<std::vec::IntoIter<FlightEvent>>> = per_shard
+        .into_iter()
+        .map(|v| v.into_iter().peekable())
+        .collect();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<(SimTime, usize)> = None;
+        for (s, it) in iters.iter_mut().enumerate() {
+            if let Some(ev) = it.peek() {
+                let key = (ev.at(), s);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        match best {
+            Some((_, s)) => out.push(iters[s].next().expect("peeked")),
+            None => break,
+        }
+    }
+    out
+}
+
+/// A convenience mirror of [`SimWorld`]-based sequential runs for tests:
+/// build the same machine sequentially from the same closures.
+///
+/// [`SimWorld`]: crate::world::SimWorld
+pub fn sequential_reference<P: NodeProgram>(
+    mut build_fabric: impl FnMut() -> Fabric,
+    make: impl FnMut(NodeId) -> P,
+) -> crate::world::Simulation<P> {
+    crate::world::Simulation::new(build_fabric(), make)
+}
+
+// Compile-time guarantee: shard worlds can cross thread boundaries.
+fn _assert_send<T: Send>() {}
+#[allow(dead_code)]
+fn _shard_world_is_send<P: NodeProgram + Send>() {
+    _assert_send::<NodeShardWorld<P>>();
+    let _ = _assert_send::<SimWorld<P>>;
+}

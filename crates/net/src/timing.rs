@@ -260,6 +260,26 @@ impl Timing {
         d + self.payload_tail(payload_bytes)
     }
 
+    /// Conservative parallel-execution lookahead: a lower bound on the
+    /// delay of **any** event that crosses a torus link, i.e. the minimum
+    /// time by which one node can affect a *different* node. This is the
+    /// paper's fixed-latency property turned into simulator leverage: the
+    /// fastest possible link crossing is both adapters ([`link_head`],
+    /// 40 ns by default) plus the cheapest ring crossing a transit can
+    /// take (the Y/Z straight or turn crossing, 14 ns) — 54 ns. Every
+    /// fabric event that hops between nodes (`HopArrive`) is scheduled at
+    /// least this far in the future, so shards of the torus can advance
+    /// independently inside windows of this width ([`anton_des::par`]).
+    ///
+    /// [`link_head`]: Timing::link_head
+    pub fn conservative_lookahead(&self) -> SimDuration {
+        let min_ring = self
+            .transit_ring_x_ns
+            .min(self.transit_ring_yz_ns)
+            .min(self.transit_ring_turn_ns);
+        self.link_head() + SimDuration::from_ns_f64(min_ring)
+    }
+
     /// Tail time of a payload crossing only the on-chip ring.
     pub fn payload_tail_onchip(&self, payload_bytes: u32) -> SimDuration {
         let body = if payload_bytes <= IN_HEADER_PAYLOAD_BYTES {
@@ -359,6 +379,24 @@ mod tests {
         assert!(turn < x);
     }
 
+    /// The parallel-execution lookahead is the cheapest link crossing:
+    /// 2×20 ns adapters + the 14 ns Y/Z ring crossing. It must never
+    /// exceed the cheapest analytic hop increment, or the conservative
+    /// windows would be unsound.
+    #[test]
+    fn conservative_lookahead_bounds_every_hop() {
+        let t = Timing::default();
+        let look = t.conservative_lookahead();
+        assert_eq!(look, SimDuration::from_ns(54));
+        // Cheapest observable per-hop latency increments (Figure 5).
+        let y_inc = t.analytic_latency([4, 2, 0], 0) - t.analytic_latency([4, 1, 0], 0);
+        let x_inc = t.analytic_latency([2, 0, 0], 0) - t.analytic_latency([1, 0, 0], 0);
+        assert!(look <= y_inc);
+        assert!(look <= x_inc);
+        // And even the *first* hop's wire portion alone is ≥ the bound.
+        assert!(t.link_head() + t.transit_ring(Dim::Y, Dim::Y) >= look);
+    }
+
     #[test]
     fn y_and_z_hops_add_54_even_at_turns() {
         let t = Timing::default();
@@ -367,9 +405,6 @@ mod tests {
         let one_y = t.analytic_latency([4, 1, 0], 0);
         assert_eq!(one_y - base, SimDuration::from_ns(54));
         // And the full 12-hop diameter lands at 162 + 3·76 + 8·54 = 822.
-        assert_eq!(
-            t.analytic_latency([4, 4, 4], 0),
-            SimDuration::from_ns(822)
-        );
+        assert_eq!(t.analytic_latency([4, 4, 4], 0), SimDuration::from_ns(822));
     }
 }

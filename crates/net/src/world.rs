@@ -31,6 +31,16 @@ pub struct Ctx<'a, 'b> {
 }
 
 impl<'a, 'b> Ctx<'a, 'b> {
+    /// Assemble a context around a fabric and scheduler (used by the
+    /// sequential [`SimWorld`] and the sharded worlds in [`crate::par`]).
+    pub(crate) fn new(fabric: &'a mut Fabric, sched: &'a mut Scheduler<Ev>) -> Ctx<'a, 'b> {
+        Ctx {
+            fabric,
+            sched,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.sched.now()
@@ -78,8 +88,14 @@ impl<'a, 'b> Ctx<'a, 'b> {
         deadline: SimDuration,
     ) {
         self.watch_counter(addr, id, target);
-        self.sched
-            .after(deadline, Ev::WatchdogCheck { addr, counter: id, target });
+        self.sched.after(
+            deadline,
+            Ev::WatchdogCheck {
+                addr,
+                counter: id,
+                target,
+            },
+        );
     }
 
     /// Read a counter's current value.
@@ -126,7 +142,10 @@ impl<'a, 'b> Ctx<'a, 'b> {
     pub fn set_timer(&mut self, node: NodeId, client: ClientKind, delay: SimDuration, tag: u64) {
         self.sched.after(
             delay,
-            Ev::Prog { node, pe: ProgEvent::Timer { client, tag } },
+            Ev::Prog {
+                node,
+                pe: ProgEvent::Timer { client, tag },
+            },
         );
     }
 
@@ -145,11 +164,16 @@ impl<'a, 'b> Ctx<'a, 'b> {
         let now = self.sched.now();
         if self.fabric.tracer.is_enabled() {
             let l = self.fabric.tracer.intern_label(label);
-            self.fabric.tracer.record(track, Activity::Busy, now, now + dur, l);
+            self.fabric
+                .tracer
+                .record(track, Activity::Busy, now, now + dur, l);
         }
         self.sched.after(
             dur,
-            Ev::Prog { node, pe: ProgEvent::Timer { client, tag } },
+            Ev::Prog {
+                node,
+                pe: ProgEvent::Timer { client, tag },
+            },
         );
     }
 
@@ -158,7 +182,9 @@ impl<'a, 'b> Ctx<'a, 'b> {
         let now = self.sched.now();
         if self.fabric.tracer.is_enabled() && now > from {
             let l = self.fabric.tracer.intern_label(label);
-            self.fabric.tracer.record(track, Activity::Stalled, from, now, l);
+            self.fabric
+                .tracer
+                .record(track, Activity::Stalled, from, now, l);
         }
     }
 
@@ -227,7 +253,11 @@ impl<P: NodeProgram> EventHandler<Ev> for SimWorld<P> {
             Ev::Prog { node, pe } => {
                 self.dispatch(node, pe, sched);
             }
-            Ev::WatchdogCheck { addr, counter, target } => {
+            Ev::WatchdogCheck {
+                addr,
+                counter,
+                target,
+            } => {
                 let now = sched.now();
                 self.fabric.watchdog_check(addr, counter, target, now);
             }
@@ -401,5 +431,10 @@ impl<P: NodeProgram> Simulation<P> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.events_processed()
     }
 }

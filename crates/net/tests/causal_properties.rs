@@ -44,13 +44,19 @@ impl NodeProgram for PlannedTraffic {
     }
 }
 
-fn run_planned(dims: TorusDims, plan: Rc<Vec<(u32, u32, u32)>>, fault: FaultPlan) -> SharedFlightRecorder {
+fn run_planned(
+    dims: TorusDims,
+    plan: Rc<Vec<(u32, u32, u32)>>,
+    fault: FaultPlan,
+) -> SharedFlightRecorder {
     let rec = FlightRecorder::new().into_shared();
     let mut fabric = Fabric::with_faults(dims, Timing::default(), fault);
     fabric.set_recorder(Box::new(rec.clone()));
     let p2 = plan.clone();
     let mut sim = Simulation::new(fabric, move |_| PlannedTraffic { plan: p2.clone() });
-    assert!(sim.run_guarded(SimTime(u64::MAX / 2), 10_000_000).is_completed());
+    assert!(sim
+        .run_guarded(SimTime(u64::MAX / 2), 10_000_000)
+        .is_completed());
     rec
 }
 

@@ -30,14 +30,10 @@ impl NodeProgram for OneWay {
                     ctx.watch_counter(slice0(self.dst), CounterId(0), 1);
                 }
                 if node == self.src {
-                    let pkt = Packet::write(
-                        slice0(self.src),
-                        slice0(self.dst),
-                        0x100,
-                        Payload::Empty,
-                    )
-                    .with_payload_bytes(self.payload_bytes)
-                    .with_counter(CounterId(0));
+                    let pkt =
+                        Packet::write(slice0(self.src), slice0(self.dst), 0x100, Payload::Empty)
+                            .with_payload_bytes(self.payload_bytes)
+                            .with_counter(CounterId(0));
                     ctx.send(pkt);
                 }
             }
@@ -146,11 +142,7 @@ impl NodeProgram for Gather {
         match pe {
             ProgEvent::Start => {
                 if node == self.target {
-                    ctx.watch_counter(
-                        slice0(self.target),
-                        CounterId(7),
-                        self.senders.len() as u64,
-                    );
+                    ctx.watch_counter(slice0(self.target), CounterId(7), self.senders.len() as u64);
                 }
                 if let Some(i) = self.senders.iter().position(|&s| s == node) {
                     let pkt = Packet::write(
@@ -198,7 +190,10 @@ fn counter_fires_exactly_at_target_from_multiple_sources() {
     let worst = timing.analytic_latency([4, 1, 0], 24); // (0,0,0)→(4,4,4) is [4,4,4]
     let far = timing.analytic_latency([4, 4, 4], 24);
     assert!(t >= SimTime::ZERO + (worst - SimDuration::ZERO));
-    assert!(t >= SimTime::ZERO + (far - SimDuration::ZERO), "t={t} far={far}");
+    assert!(
+        t >= SimTime::ZERO + (far - SimDuration::ZERO),
+        "t={t} far={far}"
+    );
     // All four payloads landed at distinct addresses.
     let mem_count = (0..4)
         .filter(|i| {
@@ -267,10 +262,7 @@ fn multicast_delivers_to_every_member_once() {
     let mut got = arrivals.borrow().clone();
     got.sort_by_key(|&(n, _)| n);
     assert_eq!(got.len(), 7);
-    assert_eq!(
-        got.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
-        members
-    );
+    assert_eq!(got.iter().map(|&(n, _)| n).collect::<Vec<_>>(), members);
     // One injection, one packet per tree edge: 7 link traversals, not
     // 1+2+3+4+3+2+1 = 16 as unicasts would need.
     assert_eq!(sim.world.fabric.stats.packets_sent, 1);
@@ -368,19 +360,18 @@ struct FifoTest {
 impl NodeProgram for FifoTest {
     fn on_event(&mut self, node: NodeId, pe: ProgEvent, ctx: &mut Ctx<'_, '_>) {
         match pe {
-            ProgEvent::Start
-                if node == self.src => {
-                    for i in 0..self.n {
-                        let pkt = Packet::fifo(
-                            slice0(node),
-                            slice0(self.dst),
-                            Payload::Bytes(vec![i as u8; 16]),
-                        )
-                        .with_tag(i as u64)
-                        .with_in_order();
-                        ctx.send(pkt);
-                    }
+            ProgEvent::Start if node == self.src => {
+                for i in 0..self.n {
+                    let pkt = Packet::fifo(
+                        slice0(node),
+                        slice0(self.dst),
+                        Payload::Bytes(vec![i as u8; 16]),
+                    )
+                    .with_tag(i as u64)
+                    .with_in_order();
+                    ctx.send(pkt);
                 }
+            }
             ProgEvent::FifoMessage { pkt, .. } => {
                 assert_eq!(node, self.dst);
                 self.got.borrow_mut().push((pkt.tag, ctx.now()));
@@ -520,19 +511,15 @@ struct Flood {
 impl NodeProgram for Flood {
     fn on_event(&mut self, node: NodeId, pe: ProgEvent, ctx: &mut Ctx<'_, '_>) {
         match pe {
-            ProgEvent::Start
-                if node == self.src => {
-                    for i in 0..self.n {
-                        let pkt = Packet::fifo(
-                            slice0(node),
-                            slice0(self.dst),
-                            Payload::Bytes(vec![0; 8]),
-                        )
-                        .with_tag(i)
-                        .with_in_order();
-                        ctx.send(pkt);
-                    }
+            ProgEvent::Start if node == self.src => {
+                for i in 0..self.n {
+                    let pkt =
+                        Packet::fifo(slice0(node), slice0(self.dst), Payload::Bytes(vec![0; 8]))
+                            .with_tag(i)
+                            .with_in_order();
+                    ctx.send(pkt);
                 }
+            }
             ProgEvent::FifoMessage { pkt, .. } => {
                 self.got.borrow_mut().push(pkt.tag);
             }
@@ -560,9 +547,7 @@ fn fifo_backpressure_preserves_order_and_loses_nothing() {
     assert_eq!(tags.len(), n as usize, "lossless under backpressure");
     assert_eq!(tags, (0..n).collect::<Vec<_>>(), "in order");
     assert!(
-        sim.world
-            .fabric
-            .fifo_backpressure_events(slice0(dst)) > 0,
+        sim.world.fabric.fifo_backpressure_events(slice0(dst)) > 0,
         "the FIFO must actually have filled"
     );
 }
@@ -589,10 +574,7 @@ impl NodeProgram for BySource {
                             2,
                         );
                     }
-                    ctx.set_source_counter_map(
-                        ClientAddr::new(node, ClientKind::Htis),
-                        map,
-                    );
+                    ctx.set_source_counter_map(ClientAddr::new(node, ClientKind::Htis), map);
                 }
                 if self.senders.contains(&node) {
                     for k in 0..2u64 {

@@ -4,8 +4,8 @@
 
 use anton_des::{SimDuration, SimTime};
 use anton_net::{
-    ClientAddr, ClientKind, CounterId, Ctx, FabricError, Fabric, FaultPlan, NetStats,
-    NodeProgram, Packet, Payload, ProgEvent, RetryPolicy, RunReport, Simulation,
+    ClientAddr, ClientKind, CounterId, Ctx, Fabric, FabricError, FaultPlan, NetStats, NodeProgram,
+    Packet, Payload, ProgEvent, RetryPolicy, RunReport, Simulation,
 };
 use anton_topo::{Coord, Dim, Dir, LinkDir, NodeId, TorusDims};
 use proptest::prelude::*;
@@ -55,7 +55,11 @@ fn run_counted(
     deadline_ns: Option<f64>,
 ) -> (RunReport, SimTime, NetStats, Simulation<CountedWrites>) {
     let fabric = Fabric::with_faults(dims, anton_net::Timing::default(), fault);
-    let mut sim = Simulation::new(fabric, move |_| CountedWrites { n, dst, deadline_ns });
+    let mut sim = Simulation::new(fabric, move |_| CountedWrites {
+        n,
+        dst,
+        deadline_ns,
+    });
     let report = sim.run_guarded(SimTime(u64::MAX / 2), 10_000_000);
     let now = sim.now();
     let stats = sim.world.fabric.stats.clone();
@@ -78,12 +82,23 @@ fn drop_rate_degrades_latency_and_recovers_all_packets() {
     let dims = TorusDims::new(4, 1, 1);
     let n = 200;
     let (r0, t0, s0, _) = run_counted(dims, FaultPlan::none(), n, NodeId(2), None);
-    let plan = FaultPlan::seeded(7).with_drop_rate(0.05).with_corrupt_rate(0.02);
+    let plan = FaultPlan::seeded(7)
+        .with_drop_rate(0.05)
+        .with_corrupt_rate(0.02);
     let (r1, t1, s1, _) = run_counted(dims, plan, n, NodeId(2), None);
     assert!(r0.is_completed());
-    assert!(r1.is_completed(), "retransmission must recover every packet");
-    assert_eq!(s1.packets_delivered, n as u64, "no packet may be lost at 5%/2%");
-    assert!(s1.faults_dropped > 0 && s1.faults_corrupted > 0, "faults must fire");
+    assert!(
+        r1.is_completed(),
+        "retransmission must recover every packet"
+    );
+    assert_eq!(
+        s1.packets_delivered, n as u64,
+        "no packet may be lost at 5%/2%"
+    );
+    assert!(
+        s1.faults_dropped > 0 && s1.faults_corrupted > 0,
+        "faults must fire"
+    );
     assert_eq!(s1.retransmits, s1.faults_dropped + s1.faults_corrupted);
     assert!(t1 > t0, "retransmissions must cost simulated time");
     assert_eq!(s0.packets_delivered, s1.packets_delivered);
@@ -109,13 +124,18 @@ fn same_seed_reproduces_the_run_and_different_seed_differs() {
 fn lost_packet_triggers_watchdog_and_stall_report() {
     let dims = TorusDims::new(4, 1, 1);
     // Every traversal fails and the budget is tiny: all packets are lost.
-    let plan = FaultPlan::seeded(3).with_drop_rate(1.0).with_retry(RetryPolicy {
-        max_retries: 2,
-        ..RetryPolicy::default()
-    });
+    let plan = FaultPlan::seeded(3)
+        .with_drop_rate(1.0)
+        .with_retry(RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::default()
+        });
     let dst = NodeId(2);
     let (report, now, stats, sim) = run_counted(dims, plan, 4, dst, Some(10_000.0));
-    assert!(now < SimTime(u64::MAX / 4), "run must terminate in bounded sim time");
+    assert!(
+        now < SimTime(u64::MAX / 4),
+        "run must terminate in bounded sim time"
+    );
     assert_eq!(stats.packets_delivered, 0);
     assert_eq!(stats.packets_lost, 4);
     assert!(stats.retry_budget_exhausted > 0);
@@ -130,7 +150,10 @@ fn lost_packet_triggers_watchdog_and_stall_report() {
     // same counter, at the 10 µs deadline.
     assert_eq!(stall.watchdog.len(), 1);
     let wd = &stall.watchdog[0];
-    assert_eq!((wd.node, wd.counter, wd.current, wd.target), (dst, CounterId(0), 0, 4));
+    assert_eq!(
+        (wd.node, wd.counter, wd.current, wd.target),
+        (dst, CounterId(0), 0, 4)
+    );
     assert_eq!(wd.at, SimTime::ZERO + SimDuration::from_ns_f64(10_000.0));
     // The error log explains *why*: retry budgets ran out.
     assert!(sim
@@ -147,7 +170,10 @@ fn permanent_cable_failure_detours_and_completes() {
     let (r0, t0, _, _) = run_counted(dims, FaultPlan::none(), 10, NodeId(1), None);
     // Kill the direct 0 -> 1 cable before any traffic: the route must go
     // the long way around the X ring (3 hops instead of 1).
-    let xp = LinkDir { dim: Dim::X, dir: Dir::Plus };
+    let xp = LinkDir {
+        dim: Dim::X,
+        dir: Dir::Plus,
+    };
     let plan = FaultPlan::none().fail_cable_at(Coord::new(0, 0, 0), xp, SimTime::ZERO);
     let (r1, t1, s1, _) = run_counted(dims, plan, 10, NodeId(1), None);
     assert!(r0.is_completed() && r1.is_completed());
@@ -181,7 +207,10 @@ fn mid_run_link_death_loses_packets_in_flight() {
     let dims = TorusDims::new(4, 1, 1);
     // The 0 -> 1 link dies at 1 µs; a long stream through it loses
     // whatever had not yet cleared the link and reroutes the rest.
-    let xp = LinkDir { dim: Dim::X, dir: Dir::Plus };
+    let xp = LinkDir {
+        dim: Dim::X,
+        dir: Dir::Plus,
+    };
     let plan = FaultPlan::none().fail_link_at(Coord::new(0, 0, 0), xp, SimTime(1_000_000));
     let (report, _, stats, _) = run_counted(dims, plan, 100, NodeId(1), None);
     assert_eq!(
@@ -189,7 +218,10 @@ fn mid_run_link_death_loses_packets_in_flight() {
         100,
         "every packet is accounted for"
     );
-    assert!(stats.packets_delivered > 0, "early packets beat the failure");
+    assert!(
+        stats.packets_delivered > 0,
+        "early packets beat the failure"
+    );
     assert!(
         stats.packets_lost + stats.packets_unreachable > 0,
         "late packets hit the dead link"

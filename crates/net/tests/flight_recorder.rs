@@ -7,9 +7,7 @@ use anton_net::{
     ClientAddr, ClientKind, Ctx, Fabric, FaultPlan, NodeProgram, Packet, Payload, ProgEvent,
     Simulation, Timing,
 };
-use anton_obs::{
-    fold_lifecycles, ChromeTraceBuilder, FlightRecorder, SharedFlightRecorder, Stage,
-};
+use anton_obs::{fold_lifecycles, ChromeTraceBuilder, FlightRecorder, SharedFlightRecorder, Stage};
 use anton_topo::{NodeId, TorusDims};
 use proptest::prelude::*;
 use std::rc::Rc;
@@ -56,10 +54,16 @@ fn run_planned(
     }
     let p2 = plan.clone();
     let mut sim = Simulation::new(fabric, move |_| PlannedTraffic { plan: p2.clone() });
-    assert!(sim.run_guarded(SimTime(u64::MAX / 2), 10_000_000).is_completed());
+    assert!(sim
+        .run_guarded(SimTime(u64::MAX / 2), 10_000_000)
+        .is_completed());
     let mut reg = anton_obs::MetricsRegistry::new();
     sim.world.fabric.export_metrics(&mut reg);
-    (sim.now(), sim.world.fabric.stats.clone(), reg.snapshot().to_json())
+    (
+        sim.now(),
+        sim.world.fabric.stats.clone(),
+        reg.snapshot().to_json(),
+    )
 }
 
 /// Derive a traffic plan from raw random words: (src, dst,

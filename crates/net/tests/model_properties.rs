@@ -147,7 +147,10 @@ fn by_source_counter_without_mapping_is_recorded() {
     assert_eq!(fabric.stats.delivery_errors, 1);
     assert!(matches!(
         fabric.errors(),
-        [FabricError::MissingSourceCounter { node: NodeId(1), src: NodeId(0) }]
+        [FabricError::MissingSourceCounter {
+            node: NodeId(1),
+            src: NodeId(0)
+        }]
     ));
     // The write itself was applied.
     assert_eq!(fabric.stats.packets_delivered, 1);
@@ -163,7 +166,10 @@ fn unregistered_multicast_pattern_is_recorded() {
     assert_eq!(fabric.stats.packets_delivered, 0);
     assert!(matches!(
         fabric.errors(),
-        [FabricError::PatternUnknown { pattern: PatternId(99), node: NodeId(0) }]
+        [FabricError::PatternUnknown {
+            pattern: PatternId(99),
+            node: NodeId(0)
+        }]
     ));
 }
 
@@ -172,11 +178,7 @@ fn unregistered_multicast_pattern_is_recorded() {
 fn duplicate_pattern_registration_panics() {
     let dims = TorusDims::new(4, 1, 1);
     let mut fabric = Fabric::new(dims);
-    let p = MulticastPattern::build(
-        Coord::new(0, 0, 0),
-        &[Coord::new(1, 0, 0)],
-        dims,
-    );
+    let p = MulticastPattern::build(Coord::new(0, 0, 0), &[Coord::new(1, 0, 0)], dims);
     fabric.register_pattern(PatternId(0), &p);
     fabric.register_pattern(PatternId(0), &p);
 }
@@ -193,8 +195,8 @@ fn netstats_diff_saturates_on_counter_reset() {
         ..Default::default()
     };
     let fresh = anton_net::NetStats {
-        packets_sent: 7,          // reset + 7 new sends
-        sent_by_node: vec![7],    // fresh fabric, fewer nodes
+        packets_sent: 7,       // reset + 7 new sends
+        sent_by_node: vec![7], // fresh fabric, fewer nodes
         ..Default::default()
     };
     let d = fresh.diff(&older);

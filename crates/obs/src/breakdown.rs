@@ -163,7 +163,13 @@ where
         let p = partials.entry(pkt).or_default();
         match ev {
             FlightEvent::Inject {
-                node, dst, at, inj_ready, wire_ready, payload_bytes, ..
+                node,
+                dst,
+                at,
+                inj_ready,
+                wire_ready,
+                payload_bytes,
+                ..
             } => {
                 p.inject = Some((*node, *dst, *at, *inj_ready, *wire_ready, *payload_bytes));
             }
@@ -177,7 +183,9 @@ where
                     p.fired = Some(p.fired.map_or(*f, |old: SimTime| old.min(*f)));
                 }
             }
-            FlightEvent::LinkReserve { .. } | FlightEvent::HopExit { .. } | FlightEvent::Phase { .. } => {}
+            FlightEvent::LinkReserve { .. }
+            | FlightEvent::HopExit { .. }
+            | FlightEvent::Phase { .. } => {}
         }
     }
 
@@ -237,7 +245,11 @@ impl BreakdownSummary {
             }
             end_to_end += lc.end_to_end();
         }
-        BreakdownSummary { packets: lifecycles.len() as u64, totals, end_to_end }
+        BreakdownSummary {
+            packets: lifecycles.len() as u64,
+            totals,
+            end_to_end,
+        }
     }
 
     /// Mean duration of one stage in nanoseconds (0 when empty).
@@ -262,9 +274,19 @@ impl BreakdownSummary {
         use std::fmt::Write as _;
         let mut out = String::new();
         for stage in Stage::ALL {
-            let _ = writeln!(out, "  {:<16} {:>8.2} ns", stage.name(), self.mean_ns(stage));
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>8.2} ns",
+                stage.name(),
+                self.mean_ns(stage)
+            );
         }
-        let _ = writeln!(out, "  {:<16} {:>8.2} ns", "end-to-end", self.mean_end_to_end_ns());
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>8.2} ns",
+            "end-to-end",
+            self.mean_end_to_end_ns()
+        );
         out
     }
 }
@@ -286,15 +308,35 @@ mod tests {
         let pkt = PacketId(0);
         // send issue 0, setup 36, ring 19 → wire at 55; head after 40 ns
         // link+adapter → 95; deliver 25+42 later → 162.
-        r.on_inject(pkt, NodeId(0), 0, Some(NodeId(1)), t(0), t(36), t(36), t(55), 32);
-        let xp = anton_topo::LinkDir { dim: anton_topo::Dim::X, dir: anton_topo::Dir::Plus };
+        r.on_inject(
+            pkt,
+            NodeId(0),
+            0,
+            Some(NodeId(1)),
+            t(0),
+            t(36),
+            t(36),
+            t(55),
+            32,
+        );
+        let xp = anton_topo::LinkDir {
+            dim: anton_topo::Dim::X,
+            dir: anton_topo::Dir::Plus,
+        };
         r.on_link_reserve(pkt, NodeId(0), xp, t(55), t(55), t(97));
         r.on_hop_enter(pkt, NodeId(1), t(95));
         r.on_deliver(pkt, NodeId(1), 0, t(162));
         r.on_counter_update(pkt, NodeId(1), 0, 63, t(162), Some(t(162)));
 
         let (lcs, stats) = fold_lifecycles(r.events());
-        assert_eq!(stats, FoldStats { complete: 1, incomplete: 0, multicast: 0 });
+        assert_eq!(
+            stats,
+            FoldStats {
+                complete: 1,
+                incomplete: 0,
+                multicast: 0
+            }
+        );
         let lc = &lcs[0];
         assert_eq!(lc.stage(Stage::SenderOverhead), SimDuration::from_ns(36));
         assert_eq!(lc.stage(Stage::Injection), SimDuration::from_ns(19));
@@ -316,7 +358,17 @@ mod tests {
     fn local_write_attributes_to_delivery() {
         let mut r = FlightRecorder::new();
         let pkt = PacketId(1);
-        r.on_inject(pkt, NodeId(3), 0, Some(NodeId(3)), t(10), t(10), t(10), t(10), 32);
+        r.on_inject(
+            pkt,
+            NodeId(3),
+            0,
+            Some(NodeId(3)),
+            t(10),
+            t(10),
+            t(10),
+            t(10),
+            32,
+        );
         r.on_deliver(pkt, NodeId(3), 1, t(116));
         let (lcs, _) = fold_lifecycles(r.events());
         let lc = &lcs[0];
@@ -331,13 +383,40 @@ mod tests {
     fn incomplete_and_multicast_are_skipped() {
         let mut r = FlightRecorder::new();
         // In flight: injected, never delivered.
-        r.on_inject(PacketId(0), NodeId(0), 0, Some(NodeId(1)), t(0), t(36), t(36), t(55), 32);
+        r.on_inject(
+            PacketId(0),
+            NodeId(0),
+            0,
+            Some(NodeId(1)),
+            t(0),
+            t(36),
+            t(36),
+            t(55),
+            32,
+        );
         // Multicast: dst unknown at inject, two delivers.
-        r.on_inject(PacketId(1), NodeId(0), 0, None, t(0), t(36), t(36), t(55), 32);
+        r.on_inject(
+            PacketId(1),
+            NodeId(0),
+            0,
+            None,
+            t(0),
+            t(36),
+            t(36),
+            t(55),
+            32,
+        );
         r.on_deliver(PacketId(1), NodeId(1), 0, t(162));
         r.on_deliver(PacketId(1), NodeId(2), 0, t(238));
         let (lcs, stats) = fold_lifecycles(r.events());
         assert!(lcs.is_empty());
-        assert_eq!(stats, FoldStats { complete: 0, incomplete: 1, multicast: 1 });
+        assert_eq!(
+            stats,
+            FoldStats {
+                complete: 0,
+                incomplete: 1,
+                multicast: 1
+            }
+        );
     }
 }

@@ -290,9 +290,19 @@ impl Blame {
             } else {
                 100.0 * d.as_ps() as f64 / total.as_ps() as f64
             };
-            out.push_str(&format!("{:<16} {:>10.2} {:>7.2}%\n", kind.label(), d.as_ns_f64(), pct));
+            out.push_str(&format!(
+                "{:<16} {:>10.2} {:>7.2}%\n",
+                kind.label(),
+                d.as_ns_f64(),
+                pct
+            ));
         }
-        out.push_str(&format!("{:<16} {:>10.2} {:>7.2}%\n", "total", total.as_ns_f64(), 100.0));
+        out.push_str(&format!(
+            "{:<16} {:>10.2} {:>7.2}%\n",
+            "total",
+            total.as_ns_f64(),
+            100.0
+        ));
         out
     }
 }
@@ -350,9 +360,22 @@ fn lag(a: SimTime, b: SimTime) -> SimDuration {
 }
 
 impl Builder {
-    fn add_node(&mut self, kind: NodeKind, pkt: PacketId, node: NodeId, aux: u8, time: SimTime) -> u32 {
+    fn add_node(
+        &mut self,
+        kind: NodeKind,
+        pkt: PacketId,
+        node: NodeId,
+        aux: u8,
+        time: SimTime,
+    ) -> u32 {
         let idx = self.g.nodes.len() as u32;
-        self.g.nodes.push(CNode { kind, pkt, node, aux, time });
+        self.g.nodes.push(CNode {
+            kind,
+            pkt,
+            node,
+            aux,
+            time,
+        });
         self.g.first_in.push(NONE);
         idx
     }
@@ -360,7 +383,13 @@ impl Builder {
     fn add_edge(&mut self, src: u32, dst: u32, kind: EdgeKind, lag: SimDuration) {
         debug_assert!(src < dst, "stream order must be topological");
         let idx = self.g.edges.len() as u32;
-        self.g.edges.push(CEdge { src, dst, kind, lag, next_in: self.g.first_in[dst as usize] });
+        self.g.edges.push(CEdge {
+            src,
+            dst,
+            kind,
+            lag,
+            next_in: self.g.first_in[dst as usize],
+        });
         self.g.first_in[dst as usize] = idx;
     }
 
@@ -483,7 +512,12 @@ impl CausalGraph {
                     let local = dst == Some(node);
                     let issue = b.add_node(NodeKind::Issue, pkt, node, client, at);
                     if let Some((fire, fire_ps)) = b.find_fire(node.0, client, at.as_ps()) {
-                        b.add_edge(fire, issue, EdgeKind::Program, lag(at, SimTime::from_ps(fire_ps)));
+                        b.add_edge(
+                            fire,
+                            issue,
+                            EdgeKind::Program,
+                            lag(at, SimTime::from_ps(fire_ps)),
+                        );
                     }
                     b.issue_of.insert(pkt.0, issue);
 
@@ -510,9 +544,15 @@ impl CausalGraph {
                     b.add_edge(port, wire, EdgeKind::SendRing, lag(wire_ready, inj_start));
                     b.wire_of.insert(pkt.0, wire);
                 }
-                FlightEvent::LinkReserve { pkt, node, link, ready, start, end } => {
-                    let ls =
-                        b.add_node(NodeKind::LinkStart, pkt, node, link.index() as u8, start);
+                FlightEvent::LinkReserve {
+                    pkt,
+                    node,
+                    link,
+                    ready,
+                    start,
+                    end,
+                } => {
+                    let ls = b.add_node(NodeKind::LinkStart, pkt, node, link.index() as u8, start);
                     // Readiness edge: first hop from the sender's
                     // WireReady, transit hops from the HopEnter.
                     if let Some(&hop) = b.hop_of.get(&(pkt.0, node.0)) {
@@ -524,7 +564,8 @@ impl CausalGraph {
                     }
                     // Resource edge: the previous traversal of this
                     // link direction holds it for its occupancy.
-                    if let Some(&(prev, p_start, p_end)) = b.last_link.get(&(node.0, link.index() as u8))
+                    if let Some(&(prev, p_start, p_end)) =
+                        b.last_link.get(&(node.0, link.index() as u8))
                     {
                         b.add_edge(
                             prev,
@@ -539,13 +580,20 @@ impl CausalGraph {
                         EdgeKind::Residual
                     };
                     b.seal(ls, residual);
-                    b.last_link
-                        .insert((node.0, link.index() as u8), (ls, start.as_ps(), end.as_ps()));
+                    b.last_link.insert(
+                        (node.0, link.index() as u8),
+                        (ls, start.as_ps(), end.as_ps()),
+                    );
                     let arrive = node.coord(dims).step(link, dims).node_id(dims);
-                    b.pending_wire.insert((pkt.0, arrive.0), (ls, start.as_ps()));
+                    b.pending_wire
+                        .insert((pkt.0, arrive.0), (ls, start.as_ps()));
                 }
-                FlightEvent::Retransmit { pkt, node, link, .. } => {
-                    *b.retrans.entry((pkt.0, node.0, link.index() as u8)).or_insert(0) += 1;
+                FlightEvent::Retransmit {
+                    pkt, node, link, ..
+                } => {
+                    *b.retrans
+                        .entry((pkt.0, node.0, link.index() as u8))
+                        .or_insert(0) += 1;
                 }
                 FlightEvent::HopEnter { pkt, node, at } => {
                     let hop = b.add_node(NodeKind::HopEnter, pkt, node, 0, at);
@@ -557,7 +605,12 @@ impl CausalGraph {
                 FlightEvent::HopExit { .. } => {
                     // Redundant with the next LinkReserve's start.
                 }
-                FlightEvent::Deliver { pkt, node, client, at } => {
+                FlightEvent::Deliver {
+                    pkt,
+                    node,
+                    client,
+                    at,
+                } => {
                     let del = b.add_node(NodeKind::Deliver, pkt, node, client, at);
                     if let Some(&hop) = b.hop_of.get(&(pkt.0, node.0)) {
                         let hop_time = b.g.nodes[hop as usize].time;
@@ -570,7 +623,14 @@ impl CausalGraph {
                     }
                     b.deliver_of.insert((pkt.0, node.0), del);
                 }
-                FlightEvent::CounterUpdate { pkt, node, client, counter, at, fire_at } => {
+                FlightEvent::CounterUpdate {
+                    pkt,
+                    node,
+                    client,
+                    counter,
+                    at,
+                    fire_at,
+                } => {
                     let deliver = b.deliver_of.get(&(pkt.0, node.0)).copied();
                     match fire_at {
                         None => {
@@ -595,9 +655,14 @@ impl CausalGraph {
                                 }
                             }
                             let fire_ps = fire_time.as_ps();
-                            b.fires_exact.entry((node.0, client, fire_ps)).or_insert(fire);
+                            b.fires_exact
+                                .entry((node.0, client, fire_ps))
+                                .or_insert(fire);
                             b.fires_node.entry((node.0, fire_ps)).or_insert(fire);
-                            b.fires_by_node.entry(node.0).or_default().push((fire_ps, fire));
+                            b.fires_by_node
+                                .entry(node.0)
+                                .or_default()
+                                .push((fire_ps, fire));
                         }
                     }
                 }
@@ -636,7 +701,10 @@ impl CausalGraph {
 
     /// In-edges of a node.
     pub fn preds(&self, node: u32) -> impl Iterator<Item = (u32, &CEdge)> {
-        PredIter { g: self, e: self.first_in[node as usize] }
+        PredIter {
+            g: self,
+            e: self.first_in[node as usize],
+        }
     }
 
     /// Whether a node has no causal predecessor (its time is an input,
@@ -681,10 +749,7 @@ impl CausalGraph {
             if reach > self.nodes[e.dst as usize].time {
                 return Err(format!(
                     "edge {i} ({:?}) overshoots: {} + {} > {}",
-                    e.kind,
-                    self.nodes[e.src as usize].time,
-                    e.lag,
-                    self.nodes[e.dst as usize].time
+                    e.kind, self.nodes[e.src as usize].time, e.lag, self.nodes[e.dst as usize].time
                 ));
             }
         }
@@ -745,7 +810,12 @@ impl CausalGraph {
         edges.reverse();
         let start = self.nodes[nodes[0] as usize].time;
         let end = self.nodes[terminal as usize].time;
-        Some(CriticalPath { nodes, edges, start, end })
+        Some(CriticalPath {
+            nodes,
+            edges,
+            start,
+            end,
+        })
     }
 
     /// Per-node slack relative to the terminal: how much later each
@@ -861,8 +931,25 @@ mod tests {
         // The node program on the destination reacts to the fire at
         // 162 ns with a reply send.
         let mut r = FlightRecorder::new();
-        r.on_inject(PacketId(1), NodeId(1), 0, Some(NodeId(0)), ns(162), ns(198), ns(198), ns(217), 0);
-        r.on_link_reserve(PacketId(1), NodeId(1), LinkDir::from_index(1), ns(217), ns(217), ns(219));
+        r.on_inject(
+            PacketId(1),
+            NodeId(1),
+            0,
+            Some(NodeId(0)),
+            ns(162),
+            ns(198),
+            ns(198),
+            ns(217),
+            0,
+        );
+        r.on_link_reserve(
+            PacketId(1),
+            NodeId(1),
+            LinkDir::from_index(1),
+            ns(217),
+            ns(217),
+            ns(219),
+        );
         r.on_hop_enter(PacketId(1), NodeId(0), ns(257));
         r.on_deliver(PacketId(1), NodeId(0), 0, ns(324));
         events.extend(r.take_events());
@@ -871,10 +958,17 @@ mod tests {
         g.check_consistency().expect("exact");
         let path = g.critical_path().expect("non-empty");
         assert_eq!(path.end, ns(324));
-        assert_eq!(path.start, ns(0), "path crosses the program edge back to the first send");
+        assert_eq!(
+            path.start,
+            ns(0),
+            "path crosses the program edge back to the first send"
+        );
         let blame = Blame::from_path(&g, &path);
         assert_eq!(blame.total(), SimDuration::from_ns(324));
-        assert!(path.edges.iter().any(|&e| g.edges()[e as usize].kind == EdgeKind::Program));
+        assert!(path
+            .edges
+            .iter()
+            .any(|&e| g.edges()[e as usize].kind == EdgeKind::Program));
     }
 
     #[test]
@@ -885,8 +979,28 @@ mod tests {
         // — a residual edge (carrying the full 5 ns gap from the
         // binding predecessor, subsuming the parallel port-wait edge)
         // restores exactness.
-        r.on_inject(PacketId(0), NodeId(0), 0, Some(NodeId(1)), ns(0), ns(36), ns(36), ns(55), 0);
-        r.on_inject(PacketId(1), NodeId(0), 0, Some(NodeId(1)), ns(0), ns(36), ns(41), ns(60), 0);
+        r.on_inject(
+            PacketId(0),
+            NodeId(0),
+            0,
+            Some(NodeId(1)),
+            ns(0),
+            ns(36),
+            ns(36),
+            ns(55),
+            0,
+        );
+        r.on_inject(
+            PacketId(1),
+            NodeId(0),
+            0,
+            Some(NodeId(1)),
+            ns(0),
+            ns(36),
+            ns(41),
+            ns(60),
+            0,
+        );
         let events = r.take_events();
         let g = CausalGraph::build(dims(), &events, |_| SimDuration::from_ns(2));
         g.check_consistency().expect("exact with residual");
@@ -906,8 +1020,25 @@ mod tests {
             .enumerate()
         {
             let pkt = PacketId(i as u64);
-            r.on_inject(pkt, NodeId(*src), 0, Some(NodeId(0)), ns(0), ns(36), ns(36), ns(55), 0);
-            r.on_link_reserve(pkt, NodeId(*src), LinkDir::from_index(*link), ns(55), ns(55), ns(57));
+            r.on_inject(
+                pkt,
+                NodeId(*src),
+                0,
+                Some(NodeId(0)),
+                ns(0),
+                ns(36),
+                ns(36),
+                ns(55),
+                0,
+            );
+            r.on_link_reserve(
+                pkt,
+                NodeId(*src),
+                LinkDir::from_index(*link),
+                ns(55),
+                ns(55),
+                ns(57),
+            );
             r.on_hop_enter(pkt, NodeId(0), ns(95));
             r.on_deliver(pkt, NodeId(0), 0, ns(*t));
             r.on_counter_update(pkt, NodeId(0), 0, 3, ns(*t), (i == 2).then_some(ns(*t)));
@@ -924,7 +1055,11 @@ mod tests {
         kinds.sort();
         assert_eq!(
             kinds,
-            vec![EdgeKind::SyncVisibility, EdgeKind::SyncArrive, EdgeKind::SyncArrive],
+            vec![
+                EdgeKind::SyncVisibility,
+                EdgeKind::SyncArrive,
+                EdgeKind::SyncArrive
+            ],
             "the fire depends on its binding arrival and both counted ones"
         );
     }

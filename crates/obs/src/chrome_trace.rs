@@ -67,7 +67,15 @@ impl ChromeTraceBuilder {
     }
 
     /// Add a complete slice (`"X"` event) spanning `[start, end]`.
-    pub fn add_slice(&mut self, pid: u64, tid: u64, cat: &str, name: &str, start: SimTime, end: SimTime) {
+    pub fn add_slice(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        cat: &str,
+        name: &str,
+        start: SimTime,
+        end: SimTime,
+    ) {
         self.events.push(format!(
             r#"{{"name":{},"cat":{},"ph":"X","ts":{},"dur":{},"pid":{pid},"tid":{tid}}}"#,
             escape(name),
@@ -89,7 +97,11 @@ impl ChromeTraceBuilder {
 
     /// Add a counter sample (`"C"` event) — renders as a track graph.
     pub fn add_counter(&mut self, pid: u64, name: &str, at: SimTime, value: f64) {
-        let v = if value == value.trunc() { format!("{}", value as i64) } else { format!("{value:?}") };
+        let v = if value == value.trunc() {
+            format!("{}", value as i64)
+        } else {
+            format!("{value:?}")
+        };
         self.events.push(format!(
             r#"{{"name":{},"ph":"C","ts":{},"pid":{pid},"args":{{"value":{v}}}}}"#,
             escape(name),
@@ -102,7 +114,11 @@ impl ChromeTraceBuilder {
     /// the caller if desired. `pid` groups packets (e.g. by source node).
     pub fn add_lifecycle(&mut self, pid: u64, lc: &PacketLifecycle) {
         let tid = lc.pkt.0;
-        self.name_thread(pid, tid, &format!("pkt {} {}->{}", lc.pkt.0, lc.src.0, lc.dst.0));
+        self.name_thread(
+            pid,
+            tid,
+            &format!("pkt {} {}->{}", lc.pkt.0, lc.src.0, lc.dst.0),
+        );
         let head_at_dst = lc.hop_enters.last().copied().unwrap_or(lc.wire_ready);
         let anchors = [
             (Stage::SenderOverhead, lc.issued, lc.inj_ready),

@@ -97,7 +97,14 @@ impl CongestionMap {
         let mut horizon = 0u64;
         for ev in events {
             match *ev {
-                FlightEvent::LinkReserve { pkt, node, link, ready, start, end } => {
+                FlightEvent::LinkReserve {
+                    pkt,
+                    node,
+                    link,
+                    ready,
+                    start,
+                    end,
+                } => {
                     reserves.push((
                         node.0,
                         link.index() as u8,
@@ -113,7 +120,8 @@ impl CongestionMap {
                 FlightEvent::HopEnter { pkt, node, at } => {
                     hop_open.insert((pkt.0, node.0), (at.as_ps(), at.as_ps()));
                 }
-                FlightEvent::HopExit { pkt, node, at } | FlightEvent::Deliver { pkt, node, at, .. } => {
+                FlightEvent::HopExit { pkt, node, at }
+                | FlightEvent::Deliver { pkt, node, at, .. } => {
                     if let Some(open) = hop_open.get_mut(&(pkt.0, node.0)) {
                         open.1 = open.1.max(at.as_ps());
                         horizon = horizon.max(at.as_ps());
@@ -164,7 +172,12 @@ impl CongestionMap {
             deposit(&mut load.occupancy_ps, bin_ps, enter, exit);
         }
 
-        CongestionMap { bin, nbins, links, routers }
+        CongestionMap {
+            bin,
+            nbins,
+            links,
+            routers,
+        }
     }
 
     /// The bin width.
@@ -204,9 +217,15 @@ impl CongestionMap {
     /// The `n` links with the most total busy time, busiest first
     /// (ties: lower node/link first).
     pub fn hottest_links(&self, n: usize) -> Vec<((NodeId, LinkDir), SimDuration)> {
-        let mut all: Vec<((NodeId, LinkDir), SimDuration)> =
-            self.links().map(|(key, load)| (key, load.busy_total())).collect();
-        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0 .0.cmp(&b.0 .0 .0)).then(a.0 .1.cmp(&b.0 .1)));
+        let mut all: Vec<((NodeId, LinkDir), SimDuration)> = self
+            .links()
+            .map(|(key, load)| (key, load.busy_total()))
+            .collect();
+        all.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(a.0 .0 .0.cmp(&b.0 .0 .0))
+                .then(a.0 .1.cmp(&b.0 .1))
+        });
         all.truncate(n);
         all
     }
@@ -337,16 +356,36 @@ mod tests {
     #[test]
     fn busy_and_queue_are_conserved() {
         let mut r = FlightRecorder::new();
-        r.on_link_reserve(PacketId(0), NodeId(0), LinkDir::from_index(0), ns(0), ns(0), ns(30));
-        r.on_link_reserve(PacketId(1), NodeId(0), LinkDir::from_index(0), ns(10), ns(30), ns(60));
+        r.on_link_reserve(
+            PacketId(0),
+            NodeId(0),
+            LinkDir::from_index(0),
+            ns(0),
+            ns(0),
+            ns(30),
+        );
+        r.on_link_reserve(
+            PacketId(1),
+            NodeId(0),
+            LinkDir::from_index(0),
+            ns(10),
+            ns(30),
+            ns(60),
+        );
         let events = r.take_events();
         let map = CongestionMap::build(&events, SimDuration::from_ns(25));
         let (_, load) = map.links().next().expect("one link");
         assert_eq!(load.busy_total(), SimDuration::from_ns(60));
         assert_eq!(load.queue_total(), SimDuration::from_ns(20));
         assert_eq!(load.max_queue, 2);
-        assert_eq!(map.busy_for_direction(LinkDir::from_index(0)), SimDuration::from_ns(60));
-        assert_eq!(map.busy_for_direction(LinkDir::from_index(2)), SimDuration::ZERO);
+        assert_eq!(
+            map.busy_for_direction(LinkDir::from_index(0)),
+            SimDuration::from_ns(60)
+        );
+        assert_eq!(
+            map.busy_for_direction(LinkDir::from_index(2)),
+            SimDuration::ZERO
+        );
         // Bin 0 holds 25 ns of busy, bin 1 the next 25, bin 2 the rest.
         assert_eq!(load.busy_ps[0], 25_000);
         assert_eq!(load.busy_ps[1], 25_000);
@@ -357,7 +396,14 @@ mod tests {
     fn router_occupancy_spans_enter_to_exit() {
         let mut r = FlightRecorder::new();
         r.on_hop_enter(PacketId(0), NodeId(5), ns(100));
-        r.on_link_reserve(PacketId(0), NodeId(5), LinkDir::from_index(2), ns(114), ns(120), ns(150));
+        r.on_link_reserve(
+            PacketId(0),
+            NodeId(5),
+            LinkDir::from_index(2),
+            ns(114),
+            ns(120),
+            ns(150),
+        );
         let events = r.take_events();
         let map = CongestionMap::build(&events, SimDuration::from_ns(1000));
         let (node, load) = map.routers().next().expect("one router");
@@ -370,7 +416,14 @@ mod tests {
     #[test]
     fn exports_are_well_formed() {
         let mut r = FlightRecorder::new();
-        r.on_link_reserve(PacketId(0), NodeId(3), LinkDir::from_index(5), ns(5), ns(7), ns(9));
+        r.on_link_reserve(
+            PacketId(0),
+            NodeId(3),
+            LinkDir::from_index(5),
+            ns(5),
+            ns(7),
+            ns(9),
+        );
         let events = r.take_events();
         let map = CongestionMap::build(&events, SimDuration::from_ns(2));
         let csv = map.to_csv();

@@ -1,0 +1,111 @@
+//! Run fingerprinting: a tiny, dependency-free content hash used to
+//! assert that two runs produced *bit-identical* observable output.
+//!
+//! The parallel DES engine promises that an N-thread run matches the
+//! sequential run exactly — same `NetStats`, same flight-recorder
+//! lifecycles, same causal DAG. The CI cross-check enforces that promise
+//! by hashing each run's exported state with [`Fingerprint`] and
+//! comparing the hex digests; tests do the same in-process.
+//!
+//! FNV-1a (64-bit) is used deliberately: it is not cryptographic, but it
+//! is stable across platforms and Rust versions, trivially auditable,
+//! and any single-bit difference in the input changes the digest —
+//! exactly what an equality check needs.
+
+use std::fmt::{Debug, Write as _};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// An incremental FNV-1a hasher over anything `Debug`-formattable.
+///
+/// Hashing the `Debug` rendering (rather than raw memory) makes the
+/// digest independent of padding and layout while still covering every
+/// field of the structures the workspace derives `Debug` for.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    h: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+impl Fingerprint {
+    /// A fresh hasher.
+    pub fn new() -> Fingerprint {
+        Fingerprint { h: FNV_OFFSET }
+    }
+
+    /// Fold raw bytes into the digest.
+    pub fn update_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Fold a value's `Debug` rendering into the digest.
+    pub fn update<T: Debug + ?Sized>(&mut self, value: &T) -> &mut Self {
+        let mut s = String::new();
+        write!(s, "{value:?}").expect("Debug formatting failed");
+        self.update_bytes(s.as_bytes())
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+
+    /// The current digest as a fixed-width hex string (what the CI
+    /// cross-check writes to disk and diffs).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut f = Fingerprint::new();
+        f.update_bytes(b"foo").update_bytes(b"bar");
+        assert_eq!(f.finish(), fnv1a64(b"foobar"));
+        assert_eq!(f.hex(), format!("{:016x}", fnv1a64(b"foobar")));
+    }
+
+    #[test]
+    fn debug_values_hash_stably() {
+        let mut a = Fingerprint::new();
+        a.update(&(1u32, "x", [3u8, 4]));
+        let mut b = Fingerprint::new();
+        b.update(&(1u32, "x", [3u8, 4]));
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fingerprint::new();
+        c.update(&(1u32, "x", [3u8, 5]));
+        assert_ne!(a.finish(), c.finish());
+    }
+}

@@ -29,7 +29,11 @@ pub fn escape(s: &str) -> String {
 /// characters, leading zeros, and bare NaN/Infinity). Returns the byte
 /// offset and a message on the first error.
 pub fn validate_json(input: &str) -> Result<(), JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     p.value()?;
     p.skip_ws();
@@ -66,7 +70,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> JsonError {
-        JsonError { offset: self.pos, message: msg.to_owned() }
+        JsonError {
+            offset: self.pos,
+            message: msg.to_owned(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {

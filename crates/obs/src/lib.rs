@@ -36,6 +36,8 @@
 //!   ASCII heatmap.
 //! - [`regress`] — schema-versioned benchmark reports and
 //!   threshold-based regression diffing for `scripts/bench_regress.sh`.
+//! - [`fingerprint`] — stable FNV-1a digests of exported run state,
+//!   backing the sequential-vs-parallel bit-identity cross-checks.
 
 #![warn(missing_docs)]
 
@@ -43,6 +45,7 @@ pub mod breakdown;
 pub mod causal;
 pub mod chrome_trace;
 pub mod congestion;
+pub mod fingerprint;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
@@ -53,6 +56,7 @@ pub use breakdown::{fold_lifecycles, BreakdownSummary, FoldStats, PacketLifecycl
 pub use causal::{Blame, CEdge, CNode, CausalGraph, CriticalPath, EdgeKind, NodeKind};
 pub use chrome_trace::{lifecycles_csv, ChromeTraceBuilder};
 pub use congestion::{CongestionMap, LinkLoad, RouterLoad};
+pub use fingerprint::{fnv1a64, Fingerprint};
 pub use json::validate_json;
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{

@@ -196,7 +196,10 @@ impl MetricsRegistry {
 
     /// Record a duration sample into a histogram, creating it if needed.
     pub fn observe(&mut self, name: &str, d: SimDuration) {
-        self.histograms.entry(name.to_owned()).or_default().record(d);
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(d);
     }
 
     /// A counter's current value (0 if never touched).
@@ -267,7 +270,10 @@ impl MetricsSnapshot {
     pub fn diff(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
         let mut values = BTreeMap::new();
         for (k, v) in &self.values {
-            values.insert(k.clone(), v - baseline.values.get(k).copied().unwrap_or(0.0));
+            values.insert(
+                k.clone(),
+                v - baseline.values.get(k).copied().unwrap_or(0.0),
+            );
         }
         for (k, v) in &baseline.values {
             values.entry(k.clone()).or_insert(-v);

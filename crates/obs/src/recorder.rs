@@ -13,9 +13,8 @@
 
 use anton_des::SimTime;
 use anton_topo::{LinkDir, NodeId};
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Identifies one injected packet. Assigned densely by the fabric at
 /// injection, in deterministic injection order; multicast copies share
@@ -202,7 +201,15 @@ pub trait Recorder {
     }
 
     /// A link-layer retransmission happened.
-    fn on_retransmit(&mut self, pkt: PacketId, node: NodeId, link: LinkDir, attempt: u32, at: SimTime) {}
+    fn on_retransmit(
+        &mut self,
+        pkt: PacketId,
+        node: NodeId,
+        link: LinkDir,
+        attempt: u32,
+        at: SimTime,
+    ) {
+    }
 
     /// A packet head arrived at a node.
     fn on_hop_enter(&mut self, pkt: PacketId, node: NodeId, at: SimTime) {}
@@ -300,7 +307,7 @@ impl FlightRecorder {
     /// Wrap in the shared handle the fabric's `Box<dyn Recorder>` slot
     /// accepts while the caller keeps access for analysis after the run.
     pub fn into_shared(self) -> SharedFlightRecorder {
-        Rc::new(RefCell::new(self))
+        SharedFlightRecorder(Arc::new(Mutex::new(self)))
     }
 
     #[inline]
@@ -382,13 +389,33 @@ impl Recorder for FlightRecorder {
         end: SimTime,
     ) {
         if self.keeps(pkt) {
-            self.push(FlightEvent::LinkReserve { pkt, node, link, ready, start, end });
+            self.push(FlightEvent::LinkReserve {
+                pkt,
+                node,
+                link,
+                ready,
+                start,
+                end,
+            });
         }
     }
 
-    fn on_retransmit(&mut self, pkt: PacketId, node: NodeId, link: LinkDir, attempt: u32, at: SimTime) {
+    fn on_retransmit(
+        &mut self,
+        pkt: PacketId,
+        node: NodeId,
+        link: LinkDir,
+        attempt: u32,
+        at: SimTime,
+    ) {
         if self.keeps(pkt) {
-            self.push(FlightEvent::Retransmit { pkt, node, link, attempt, at });
+            self.push(FlightEvent::Retransmit {
+                pkt,
+                node,
+                link,
+                attempt,
+                at,
+            });
         }
     }
 
@@ -406,7 +433,12 @@ impl Recorder for FlightRecorder {
 
     fn on_deliver(&mut self, pkt: PacketId, node: NodeId, client: u8, at: SimTime) {
         if self.keeps(pkt) {
-            self.push(FlightEvent::Deliver { pkt, node, client, at });
+            self.push(FlightEvent::Deliver {
+                pkt,
+                node,
+                client,
+                at,
+            });
         }
     }
 
@@ -420,20 +452,50 @@ impl Recorder for FlightRecorder {
         fire_at: Option<SimTime>,
     ) {
         if self.keeps(pkt) {
-            self.push(FlightEvent::CounterUpdate { pkt, node, client, counter, at, fire_at });
+            self.push(FlightEvent::CounterUpdate {
+                pkt,
+                node,
+                client,
+                counter,
+                at,
+                fire_at,
+            });
         }
     }
 
     fn on_phase(&mut self, label: &str, at: SimTime) {
-        self.push(FlightEvent::Phase { label: label.to_owned(), at });
+        self.push(FlightEvent::Phase {
+            label: label.to_owned(),
+            at,
+        });
     }
 }
 
 /// The shape the fabric's recorder slot usually holds: the fabric owns a
 /// `Box<dyn Recorder>` wrapping this handle while the test or tool keeps
-/// a clone to inspect after the run. Single-threaded by design — the DES
-/// engine itself is.
-pub type SharedFlightRecorder = Rc<RefCell<FlightRecorder>>;
+/// a clone to inspect after the run. Backed by `Arc<Mutex<…>>` so a
+/// recorder-carrying fabric is `Send` and can live inside a parallel-DES
+/// shard; in the common single-threaded case the mutex is uncontended
+/// (each shard's fabric has its own recorder — merged deterministically
+/// afterwards — so there is no cross-thread locking during a run either).
+#[derive(Clone)]
+pub struct SharedFlightRecorder(Arc<Mutex<FlightRecorder>>);
+
+impl SharedFlightRecorder {
+    /// Lock and read the recorder (panics if a writer panicked mid-push).
+    ///
+    /// Named for source compatibility with the `Rc<RefCell<…>>` shape
+    /// this type previously aliased.
+    #[allow(clippy::should_implement_trait)]
+    pub fn borrow(&self) -> MutexGuard<'_, FlightRecorder> {
+        self.0.lock().expect("flight recorder poisoned")
+    }
+
+    /// Lock the recorder for mutation (draining events, clearing).
+    pub fn borrow_mut(&self) -> MutexGuard<'_, FlightRecorder> {
+        self.0.lock().expect("flight recorder poisoned")
+    }
+}
 
 impl Recorder for SharedFlightRecorder {
     fn on_inject(
@@ -448,8 +510,17 @@ impl Recorder for SharedFlightRecorder {
         wire_ready: SimTime,
         payload_bytes: u32,
     ) {
-        self.borrow_mut()
-            .on_inject(pkt, node, client, dst, at, inj_ready, inj_start, wire_ready, payload_bytes);
+        self.borrow_mut().on_inject(
+            pkt,
+            node,
+            client,
+            dst,
+            at,
+            inj_ready,
+            inj_start,
+            wire_ready,
+            payload_bytes,
+        );
     }
 
     fn on_link_reserve(
@@ -461,11 +532,20 @@ impl Recorder for SharedFlightRecorder {
         start: SimTime,
         end: SimTime,
     ) {
-        self.borrow_mut().on_link_reserve(pkt, node, link, ready, start, end);
+        self.borrow_mut()
+            .on_link_reserve(pkt, node, link, ready, start, end);
     }
 
-    fn on_retransmit(&mut self, pkt: PacketId, node: NodeId, link: LinkDir, attempt: u32, at: SimTime) {
-        self.borrow_mut().on_retransmit(pkt, node, link, attempt, at);
+    fn on_retransmit(
+        &mut self,
+        pkt: PacketId,
+        node: NodeId,
+        link: LinkDir,
+        attempt: u32,
+        at: SimTime,
+    ) {
+        self.borrow_mut()
+            .on_retransmit(pkt, node, link, attempt, at);
     }
 
     fn on_hop_enter(&mut self, pkt: PacketId, node: NodeId, at: SimTime) {
@@ -489,7 +569,8 @@ impl Recorder for SharedFlightRecorder {
         at: SimTime,
         fire_at: Option<SimTime>,
     ) {
-        self.borrow_mut().on_counter_update(pkt, node, client, counter, at, fire_at);
+        self.borrow_mut()
+            .on_counter_update(pkt, node, client, counter, at, fire_at);
     }
 
     fn on_phase(&mut self, label: &str, at: SimTime) {

@@ -77,8 +77,15 @@ impl BenchReport {
     /// `label`, and a `values` object of numbers).
     pub fn parse(s: &str) -> Result<BenchReport, String> {
         validate_json(s).map_err(|e| format!("not valid JSON: {e:?}"))?;
-        let mut p = Lex { s: s.as_bytes(), i: 0 };
-        let mut report = BenchReport { schema: 0, label: String::new(), values: BTreeMap::new() };
+        let mut p = Lex {
+            s: s.as_bytes(),
+            i: 0,
+        };
+        let mut report = BenchReport {
+            schema: 0,
+            label: String::new(),
+            values: BTreeMap::new(),
+        };
         let mut saw_schema = false;
         p.expect(b'{')?;
         loop {
@@ -127,7 +134,11 @@ impl BenchReport {
     /// regresses when it grew more than `threshold_pct` percent over
     /// the baseline; it must exist in both reports to be compared, and
     /// at least one metric must be comparable.
-    pub fn diff(&self, baseline: &BenchReport, threshold_pct: f64) -> Result<RegressReport, String> {
+    pub fn diff(
+        &self,
+        baseline: &BenchReport,
+        threshold_pct: f64,
+    ) -> Result<RegressReport, String> {
         let mut findings = Vec::new();
         let mut missing_in_current = Vec::new();
         for (name, &base) in &baseline.values {
@@ -162,7 +173,12 @@ impl BenchReport {
             .filter(|k| !baseline.values.contains_key(*k))
             .cloned()
             .collect();
-        Ok(RegressReport { findings, missing_in_current, new_in_current, threshold_pct })
+        Ok(RegressReport {
+            findings,
+            missing_in_current,
+            new_in_current,
+            threshold_pct,
+        })
     }
 }
 
@@ -274,7 +290,10 @@ impl Lex<'_> {
                 self.i += 1;
                 Ok(false)
             }
-            _ => Err(format!("expected ',' or {:?} at byte {}", close as char, self.i)),
+            _ => Err(format!(
+                "expected ',' or {:?} at byte {}",
+                close as char, self.i
+            )),
         }
     }
 
@@ -358,7 +377,9 @@ mod tests {
 
     #[test]
     fn schema_mismatch_is_rejected() {
-        let json = sample().to_json().replace("\"schema\": 1", "\"schema\": 99");
+        let json = sample()
+            .to_json()
+            .replace("\"schema\": 1", "\"schema\": 99");
         let err = BenchReport::parse(&json).unwrap_err();
         assert!(err.contains("schema version 99"), "{err}");
     }

@@ -34,7 +34,10 @@ pub struct Perturbation {
 
 impl Default for Perturbation {
     fn default() -> Self {
-        Perturbation { kind_scale: [1.0; EdgeKind::COUNT], link_scale: Vec::new() }
+        Perturbation {
+            kind_scale: [1.0; EdgeKind::COUNT],
+            link_scale: Vec::new(),
+        }
     }
 }
 
@@ -48,7 +51,10 @@ impl Perturbation {
     /// [`EdgeKind::Wire`] by 1.1 models "every hop 10% slower";
     /// scaling [`EdgeKind::LinkWait`] models a bandwidth change.
     pub fn scale(mut self, kind: EdgeKind, factor: f64) -> Perturbation {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be finite and >= 0");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and >= 0"
+        );
         self.kind_scale[kind.index()] *= factor;
         self
     }
@@ -56,7 +62,10 @@ impl Perturbation {
     /// Slow down (or speed up) one physical link direction: scales the
     /// [`EdgeKind::Wire`] lag of traversals leaving `node` on `link`.
     pub fn slow_link(mut self, node: NodeId, link: LinkDir, factor: f64) -> Perturbation {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be finite and >= 0");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and >= 0"
+        );
         self.link_scale.push((node.0, link.index() as u8, factor));
         self
     }
@@ -133,7 +142,11 @@ pub fn retime(g: &CausalGraph, p: &Perturbation) -> Retimed {
         }
     }
     let end = terminal.map(|t| times[t as usize]).unwrap_or(SimTime::ZERO);
-    Retimed { times, terminal, end }
+    Retimed {
+        times,
+        terminal,
+        end,
+    }
 }
 
 #[cfg(test)]
@@ -149,13 +162,32 @@ mod tests {
     fn one_hop_graph() -> CausalGraph {
         let mut r = FlightRecorder::new();
         let pkt = PacketId(0);
-        r.on_inject(pkt, NodeId(0), 0, Some(NodeId(1)), ns(0), ns(36), ns(36), ns(55), 0);
-        r.on_link_reserve(pkt, NodeId(0), LinkDir::from_index(0), ns(55), ns(55), ns(57));
+        r.on_inject(
+            pkt,
+            NodeId(0),
+            0,
+            Some(NodeId(1)),
+            ns(0),
+            ns(36),
+            ns(36),
+            ns(55),
+            0,
+        );
+        r.on_link_reserve(
+            pkt,
+            NodeId(0),
+            LinkDir::from_index(0),
+            ns(55),
+            ns(55),
+            ns(57),
+        );
         r.on_hop_enter(pkt, NodeId(1), ns(95));
         r.on_deliver(pkt, NodeId(1), 0, ns(162));
         r.on_counter_update(pkt, NodeId(1), 0, 7, ns(162), Some(ns(162)));
         let events = r.take_events();
-        CausalGraph::build(TorusDims::new(4, 4, 4), &events, |_| SimDuration::from_ns(2))
+        CausalGraph::build(TorusDims::new(4, 4, 4), &events, |_| {
+            SimDuration::from_ns(2)
+        })
     }
 
     #[test]
@@ -175,10 +207,16 @@ mod tests {
         let rt = retime(&g, &Perturbation::none().scale(EdgeKind::Wire, 1.1));
         assert_eq!(rt.end, SimTime::from_ps(ns(166).as_ps()));
         // Slowing an unrelated link changes nothing.
-        let rt = retime(&g, &Perturbation::none().slow_link(NodeId(9), LinkDir::from_index(2), 4.0));
+        let rt = retime(
+            &g,
+            &Perturbation::none().slow_link(NodeId(9), LinkDir::from_index(2), 4.0),
+        );
         assert_eq!(rt.end, ns(162));
         // Slowing the traversed link doubles its 40 ns wire lag.
-        let rt = retime(&g, &Perturbation::none().slow_link(NodeId(0), LinkDir::from_index(0), 2.0));
+        let rt = retime(
+            &g,
+            &Perturbation::none().slow_link(NodeId(0), LinkDir::from_index(0), 2.0),
+        );
         assert_eq!(rt.end, ns(202));
     }
 }

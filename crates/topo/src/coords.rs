@@ -65,12 +65,30 @@ pub struct LinkDir {
 impl LinkDir {
     /// All six link directions, in a fixed display order.
     pub const ALL: [LinkDir; 6] = [
-        LinkDir { dim: Dim::X, dir: Dir::Plus },
-        LinkDir { dim: Dim::X, dir: Dir::Minus },
-        LinkDir { dim: Dim::Y, dir: Dir::Plus },
-        LinkDir { dim: Dim::Y, dir: Dir::Minus },
-        LinkDir { dim: Dim::Z, dir: Dir::Plus },
-        LinkDir { dim: Dim::Z, dir: Dir::Minus },
+        LinkDir {
+            dim: Dim::X,
+            dir: Dir::Plus,
+        },
+        LinkDir {
+            dim: Dim::X,
+            dir: Dir::Minus,
+        },
+        LinkDir {
+            dim: Dim::Y,
+            dir: Dir::Plus,
+        },
+        LinkDir {
+            dim: Dim::Y,
+            dir: Dir::Minus,
+        },
+        LinkDir {
+            dim: Dim::Z,
+            dir: Dir::Plus,
+        },
+        LinkDir {
+            dim: Dim::Z,
+            dir: Dir::Minus,
+        },
     ];
 
     /// Dense index 0..6 for table lookups.
@@ -169,9 +187,8 @@ impl TorusDims {
     /// Iterate over all coordinates in node-id order.
     pub fn iter_coords(self) -> impl Iterator<Item = Coord> {
         let TorusDims { nx, ny, nz } = self;
-        (0..nz).flat_map(move |z| {
-            (0..ny).flat_map(move |y| (0..nx).map(move |x| Coord { x, y, z }))
-        })
+        (0..nz)
+            .flat_map(move |z| (0..ny).flat_map(move |y| (0..nx).map(move |x| Coord { x, y, z })))
     }
 }
 
@@ -329,11 +346,23 @@ mod tests {
         let dims = TorusDims::new(8, 8, 8);
         let c = Coord::new(7, 0, 3);
         assert_eq!(
-            c.step(LinkDir { dim: Dim::X, dir: Dir::Plus }, dims),
+            c.step(
+                LinkDir {
+                    dim: Dim::X,
+                    dir: Dir::Plus
+                },
+                dims
+            ),
             Coord::new(0, 0, 3)
         );
         assert_eq!(
-            c.step(LinkDir { dim: Dim::Y, dir: Dir::Minus }, dims),
+            c.step(
+                LinkDir {
+                    dim: Dim::Y,
+                    dir: Dir::Minus
+                },
+                dims
+            ),
             Coord::new(7, 7, 3)
         );
     }
@@ -360,7 +389,13 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(
-            format!("{}", LinkDir { dim: Dim::Z, dir: Dir::Minus }),
+            format!(
+                "{}",
+                LinkDir {
+                    dim: Dim::Z,
+                    dir: Dir::Minus
+                }
+            ),
             "Z-"
         );
         assert_eq!(format!("{}", Coord::new(1, 2, 3)), "(1,2,3)");

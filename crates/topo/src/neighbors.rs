@@ -44,9 +44,7 @@ pub fn moore_neighbors(c: Coord, dims: TorusDims) -> Vec<Coord> {
 
 /// Apply a (dx, dy, dz) offset with wraparound.
 pub fn offset(c: Coord, d: [i64; 3], dims: TorusDims) -> Coord {
-    let wrap = |v: u32, dv: i64, n: u32| -> u32 {
-        ((v as i64 + dv).rem_euclid(n as i64)) as u32
-    };
+    let wrap = |v: u32, dv: i64, n: u32| -> u32 { ((v as i64 + dv).rem_euclid(n as i64)) as u32 };
     Coord {
         x: wrap(c.x, d[0], dims.nx),
         y: wrap(c.y, d[1], dims.ny),

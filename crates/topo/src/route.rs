@@ -229,10 +229,7 @@ fn dimension_ordered_avoiding(
             continue;
         }
         // Try the short way first, then the long way around the ring.
-        let candidates = [
-            (n_short, dir_short),
-            (len - n_short, dir_short.opposite()),
-        ];
+        let candidates = [(n_short, dir_short), (len - n_short, dir_short.opposite())];
         let mut advanced = false;
         for &(n, dir) in &candidates {
             let link = LinkDir { dim, dir };
@@ -265,12 +262,7 @@ fn dimension_ordered_avoiding(
 /// Deterministic breadth-first search over surviving links. Neighbors are
 /// expanded in `LinkDir::ALL` order and nodes dequeued FIFO, so the result
 /// is a shortest surviving path and identical run over run.
-fn bfs_avoiding(
-    src: Coord,
-    dst: Coord,
-    dims: TorusDims,
-    mask: &LinkMask,
-) -> Option<Vec<LinkDir>> {
+fn bfs_avoiding(src: Coord, dst: Coord, dims: TorusDims, mask: &LinkMask) -> Option<Vec<LinkDir>> {
     if src == dst {
         return Some(Vec::new());
     }
@@ -400,7 +392,10 @@ mod tests {
     fn assert_route_valid(r: &Route, dims: TorusDims, mask: &LinkMask) {
         let mut cur = r.src();
         for &s in r.steps() {
-            assert!(!mask.is_dead(cur, s), "route crosses dead link {s} at {cur}");
+            assert!(
+                !mask.is_dead(cur, s),
+                "route crosses dead link {s} at {cur}"
+            );
             cur = cur.step(s, dims);
         }
         assert_eq!(cur, r.dst(), "route must end at its destination");
@@ -428,12 +423,21 @@ mod tests {
         let dst = Coord::new(2, 0, 0);
         let mut mask = LinkMask::none(dims);
         // Kill the first X+ hop out of the source; short way is blocked.
-        mask.kill_cable(src, LinkDir { dim: Dim::X, dir: Dir::Plus });
+        mask.kill_cable(
+            src,
+            LinkDir {
+                dim: Dim::X,
+                dir: Dir::Plus,
+            },
+        );
         let r = Route::compute_avoiding(src, dst, dims, &mask).unwrap();
         assert_route_valid(&r, dims, &mask);
         // Long way around the 8-ring: 6 X− hops.
         assert_eq!(r.hops(), 6);
-        assert!(r.steps().iter().all(|s| s.dim == Dim::X && s.dir == Dir::Minus));
+        assert!(r
+            .steps()
+            .iter()
+            .all(|s| s.dim == Dim::X && s.dir == Dir::Minus));
     }
 
     #[test]
@@ -445,7 +449,13 @@ mod tests {
         // Sever the entire x-ring at y=0, z=0 in both directions: the only
         // way from (0,0,0) to (1,0,0) is to leave the ring (e.g. via Y).
         for x in 0..4 {
-            mask.kill_cable(Coord::new(x, 0, 0), LinkDir { dim: Dim::X, dir: Dir::Plus });
+            mask.kill_cable(
+                Coord::new(x, 0, 0),
+                LinkDir {
+                    dim: Dim::X,
+                    dir: Dir::Plus,
+                },
+            );
         }
         let r = Route::compute_avoiding(src, dst, dims, &mask).unwrap();
         assert_route_valid(&r, dims, &mask);
@@ -460,15 +470,16 @@ mod tests {
         let mut mask = LinkMask::none(dims);
         mask.kill_node(dead);
         let err = Route::compute_avoiding(Coord::new(0, 0, 0), dead, dims, &mask).unwrap_err();
-        assert_eq!(err, RouteError::Unreachable { src: Coord::new(0, 0, 0), dst: dead });
+        assert_eq!(
+            err,
+            RouteError::Unreachable {
+                src: Coord::new(0, 0, 0),
+                dst: dead
+            }
+        );
         // Routes between other nodes still work around the hole.
-        let r = Route::compute_avoiding(
-            Coord::new(1, 2, 2),
-            Coord::new(3, 2, 2),
-            dims,
-            &mask,
-        )
-        .unwrap();
+        let r =
+            Route::compute_avoiding(Coord::new(1, 2, 2), Coord::new(3, 2, 2), dims, &mask).unwrap();
         assert_route_valid(&r, dims, &mask);
     }
 
@@ -477,7 +488,10 @@ mod tests {
         let dims = TorusDims::new(8, 8, 8);
         let mut mask = LinkMask::none(dims);
         let node = Coord::new(1, 2, 3);
-        let link = LinkDir { dim: Dim::Y, dir: Dir::Minus };
+        let link = LinkDir {
+            dim: Dim::Y,
+            dir: Dir::Minus,
+        };
         mask.kill_cable(node, link);
         assert!(mask.is_dead(node, link));
         assert!(mask.is_dead(node.step(link, dims), link.reverse()));

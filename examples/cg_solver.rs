@@ -108,10 +108,8 @@ impl CgNode {
                 };
                 let mut face = Vec::with_capacity(B * B);
                 for half in 0..2u64 {
-                    let addr = 0x2000
-                        + parity as u64 * 0x800
-                        + link.index() as u64 * 0x100
-                        + half * 0x80;
+                    let addr =
+                        0x2000 + parity as u64 * 0x800 + link.index() as u64 * 0x100 + half * 0x80;
                     match ctx.mem_read(slice0(node), addr) {
                         Some(Payload::F64s(v)) => face.extend_from_slice(v),
                         other => panic!("missing p halo: {other:?}"),
@@ -156,7 +154,14 @@ impl CgNode {
         }
         // Model the stencil arithmetic on a geometry core.
         let cost = SimDuration::from_ns_f64(0.6 * (B * B * B) as f64);
-        ctx.compute(node, ClientKind::Slice(0), anton::core::TRACK_GC, cost, 1, "cg");
+        ctx.compute(
+            node,
+            ClientKind::Slice(0),
+            anton::core::TRACK_GC,
+            cost,
+            1,
+            "cg",
+        );
     }
 
     /// Dimension-ordered all-reduce of [p·Ap, r·r] (16 B payload),
@@ -180,10 +185,7 @@ impl CgNode {
         let pkt = Packet::write(
             ClientAddr::new(node, s),
             ClientAddr::new(node, s),
-            0x5000
-                + parity * 0x2000
-                + self.ar_round as u64 * 0x400
-                + me.get(dim) as u64 * 16,
+            0x5000 + parity * 0x2000 + self.ar_round as u64 * 0x400 + me.get(dim) as u64 * 16,
             Payload::F64s(self.ar_value.to_vec()),
         )
         .with_counter(counter)
@@ -198,10 +200,7 @@ impl CgNode {
         let parity = (self.halo_round % 2) as u64;
         let mut sum = [0.0; 2];
         for c in 0..dims.len(dim) {
-            let addr = 0x5000
-                + parity * 0x2000
-                + self.ar_round as u64 * 0x400
-                + c as u64 * 16;
+            let addr = 0x5000 + parity * 0x2000 + self.ar_round as u64 * 0x400 + c as u64 * 16;
             match ctx.mem_take(ClientAddr::new(node, s), addr) {
                 Some(Payload::F64s(v)) => {
                     sum[0] += v[0];
@@ -282,8 +281,7 @@ impl CgNode {
         let parity = (self.halo_round % 2) as u64;
         let mut sum = 0.0;
         for c in 0..dims.len(dim) {
-            let addr =
-                0xA000 + parity * 0x2000 + rnd as u64 * 0x400 + c as u64 * 16;
+            let addr = 0xA000 + parity * 0x2000 + rnd as u64 * 0x400 + c as u64 * 16;
             match ctx.mem_take(ClientAddr::new(node, s), addr) {
                 Some(Payload::F64s(v)) => sum += v[0],
                 other => panic!("missing second reduce: {other:?}"),
@@ -299,7 +297,11 @@ impl CgNode {
 
     fn finish_iteration(&mut self, node: NodeId, ctx: &mut Ctx<'_, '_>) {
         let [r_r_new, r_r_old] = self.ar_value;
-        let beta = if r_r_old.abs() > 1e-300 { r_r_new / r_r_old } else { 0.0 };
+        let beta = if r_r_old.abs() > 1e-300 {
+            r_r_new / r_r_old
+        } else {
+            0.0
+        };
         let mut g = self.shared.borrow_mut();
         let ni = node.index();
         for z in 1..=B {
@@ -339,10 +341,7 @@ fn drop_face_send(
         let pkt = Packet::write(
             slice0(node),
             slice0(nb.node_id(dims)),
-            0x2000
-                + parity as u64 * 0x800
-                + from.index() as u64 * 0x100
-                + half as u64 * 0x80,
+            0x2000 + parity as u64 * 0x800 + from.index() as u64 * 0x100 + half as u64 * 0x80,
             Payload::F64s(chunk.to_vec()),
         )
         .with_counter(CounterId(parity));
@@ -424,9 +423,7 @@ fn main() {
     let us = (finish - SimTime::ZERO).as_us_f64();
     println!(
         "CG on the simulated machine: {} iterations over {}^3 points/node × {} nodes",
-        ITERS,
-        B,
-        n
+        ITERS, B, n
     );
     println!(
         "  wall (simulated): {us:.2} us  ({:.0} ns/iteration incl. halo + 2 all-reduces)",

@@ -22,14 +22,19 @@ fn main() {
         "system: {} atoms on a {}x{}x{} machine",
         builder.total_atoms, dims.nx, dims.ny, dims.nz
     );
-    let mut md = MdParams::new(if full { 9.5 } else { 6.0 }, if full { [32; 3] } else { [16; 3] });
+    let mut md = MdParams::new(
+        if full { 9.5 } else { 6.0 },
+        if full { [32; 3] } else { [16; 3] },
+    );
     md.dt = 1.0;
     let config = AntonConfig::new(md);
     let sys = builder.build();
     let mut engine = AntonMdEngine::new(sys, config, TorusDims::new(dims.nx, dims.ny, dims.nz));
 
-    println!("\n{:>5} {:>10} {:>10} {:>10} {:>8} {:>14} {:>9}",
-        "step", "total us", "comm us", "compute", "T (K)", "kind", "migrated");
+    println!(
+        "\n{:>5} {:>10} {:>10} {:>10} {:>8} {:>14} {:>9}",
+        "step", "total us", "comm us", "compute", "T (K)", "kind", "migrated"
+    );
     for _ in 0..8 {
         let t = engine.step();
         let kind = match (t.long_range, t.migration) {

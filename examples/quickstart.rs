@@ -36,7 +36,11 @@ fn main() {
             t.total.as_us_f64(),
             t.communication().as_us_f64(),
             engine.temperature(),
-            if t.long_range { "  [long-range step]" } else { "" },
+            if t.long_range {
+                "  [long-range step]"
+            } else {
+                ""
+            },
         );
     }
     let e = engine.last_energies;

@@ -207,7 +207,14 @@ impl JacobiNode {
             g.sweep[node.index()] += 1;
         }
         let cost = SimDuration::from_ns_f64(UPDATE_NS * (B * B * B) as f64);
-        ctx.compute(node, ClientKind::Slice(0), anton::core::TRACK_GC, cost, 1, "jacobi");
+        ctx.compute(
+            node,
+            ClientKind::Slice(0),
+            anton::core::TRACK_GC,
+            cost,
+            1,
+            "jacobi",
+        );
     }
 }
 
@@ -285,15 +292,17 @@ fn main() {
                     let gx = c.x as usize * B + x - 1;
                     let gy = c.y as usize * B + y - 1;
                     let gz = c.z as usize * B + z - 1;
-                    let s = serial
-                        [gx + dims.nx as usize * B * (gy + dims.ny as usize * B * gz)];
+                    let s = serial[gx + dims.nx as usize * B * (gy + dims.ny as usize * B * gz)];
                     worst = worst.max((cells[idx(x, y, z)] - s).abs());
                 }
             }
         }
     }
     println!("  max |distributed - serial| after {SWEEPS} sweeps: {worst:.2e}");
-    assert!(worst < 1e-9, "distributed Jacobi must match the serial solve");
+    assert!(
+        worst < 1e-9,
+        "distributed Jacobi must match the serial solve"
+    );
     println!("  distributed result matches the serial reference. ✓");
 }
 
@@ -322,13 +331,14 @@ fn serial_reference(dims: TorusDims) -> Vec<f64> {
         for z in 0..nz as i64 {
             for y in 0..ny as i64 {
                 for x in 0..nx as i64 {
-                    next[x as usize + nx * (y as usize + ny * z as usize)] = (at(&cur, x - 1, y, z)
-                        + at(&cur, x + 1, y, z)
-                        + at(&cur, x, y - 1, z)
-                        + at(&cur, x, y + 1, z)
-                        + at(&cur, x, y, z - 1)
-                        + at(&cur, x, y, z + 1))
-                        / 6.0;
+                    next[x as usize + nx * (y as usize + ny * z as usize)] =
+                        (at(&cur, x - 1, y, z)
+                            + at(&cur, x + 1, y, z)
+                            + at(&cur, x, y - 1, z)
+                            + at(&cur, x, y + 1, z)
+                            + at(&cur, x, y, z - 1)
+                            + at(&cur, x, y, z + 1))
+                            / 6.0;
                 }
             }
         }

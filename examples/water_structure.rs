@@ -15,18 +15,18 @@ fn main() {
     let sys = SystemBuilder::tiny(375, 23.0, 4242).build(); // 125 waters
     let mut params = MdParams::new(6.0, [16; 3]);
     params.dt = 0.5;
-    params.thermostat = Some(Thermostat { target: 300.0, tau: 25.0, interval: 1 });
+    params.thermostat = Some(Thermostat {
+        target: 300.0,
+        tau: 25.0,
+        interval: 1,
+    });
     let mut eng = ReferenceEngine::new(sys, params);
 
     println!("equilibrating 125 flexible waters at 300 K...");
     for step in 0..600 {
         eng.step();
         if step % 150 == 149 {
-            println!(
-                "  step {:>4}: T = {:>5.0} K",
-                step + 1,
-                eng.temperature()
-            );
+            println!("  step {:>4}: T = {:>5.0} K", step + 1, eng.temperature());
         }
     }
 
@@ -60,12 +60,7 @@ fn main() {
             println!("  r = {r:>5.2} A  g = {v:>5.2}  {bar}");
         }
     }
-    println!(
-        "\nfirst O-O peak: g({peak_r:.2} A) = {peak_g:.2}  (liquid water: ~2.8 A, g ~ 2-3)"
-    );
-    assert!(
-        (2.4..3.4).contains(&peak_r),
-        "first peak location {peak_r}"
-    );
+    println!("\nfirst O-O peak: g({peak_r:.2} A) = {peak_g:.2}  (liquid water: ~2.8 A, g ~ 2-3)");
+    assert!((2.4..3.4).contains(&peak_r), "first peak location {peak_r}");
     assert!(peak_g > 1.3, "peak height {peak_g}");
 }

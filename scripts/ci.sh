@@ -3,6 +3,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all -- --check
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
@@ -20,6 +21,26 @@ test -s target/obs/metrics.json
 cargo run -q --release -p anton-bench --bin congestion_heatmap > /dev/null
 test -s target/obs/congestion.csv
 test -s target/obs/congestion_trace.json
+
+# Parallel-engine determinism cross-check: the same workload mix run
+# sequentially and with 4 worker threads must fingerprint identically,
+# byte for byte.
+ANTON_THREADS=1 cargo run -q --release -p anton-bench --bin par_determinism
+cp target/obs/par_fingerprint.txt target/obs/par_fingerprint_t1.txt
+ANTON_THREADS=4 cargo run -q --release -p anton-bench --bin par_determinism
+if ! diff -u target/obs/par_fingerprint_t1.txt target/obs/par_fingerprint.txt; then
+  echo "ci: parallel engine is not thread-count deterministic" >&2
+  exit 1
+fi
+
+# Speedup harness smoke: asserts bit-identity at 1/2/8 threads inside
+# the binary (the 2x wall-clock bar only arms on >= 8-core hosts) and
+# regenerates BENCH_pr4.json, which must match the committed copy.
+cargo run -q --release -p anton-bench --bin par_speedup
+git diff --exit-code BENCH_pr4.json || {
+  echo "ci: BENCH_pr4.json drifted from the committed copy" >&2
+  exit 1
+}
 
 # Perf-regression gate: the quick canonical suite must stay within 10%
 # of the committed baseline (fails the build otherwise).
