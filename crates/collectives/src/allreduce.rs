@@ -577,6 +577,32 @@ pub fn run_all_reduce_par(
     inputs: &[Vec<f64>],
     threads: usize,
 ) -> AllReduceOutcome {
+    run_all_reduce_par_inner(dims, algorithm, params, inputs, threads, false).0
+}
+
+/// [`run_all_reduce_par`] with runtime profiling enabled: also returns
+/// the engine's [`ParProfile`] (worker phase accounting, per-shard event
+/// counts, cross-shard traffic). The simulated outcome is bit-identical
+/// to the unprofiled run.
+pub fn run_all_reduce_par_profiled(
+    dims: TorusDims,
+    algorithm: Algorithm,
+    params: CollectiveParams,
+    inputs: &[Vec<f64>],
+    threads: usize,
+) -> (AllReduceOutcome, anton_des::ParProfile) {
+    let (out, prof) = run_all_reduce_par_inner(dims, algorithm, params, inputs, threads, true);
+    (out, prof.expect("profiling was enabled"))
+}
+
+fn run_all_reduce_par_inner(
+    dims: TorusDims,
+    algorithm: Algorithm,
+    params: CollectiveParams,
+    inputs: &[Vec<f64>],
+    threads: usize,
+    profile: bool,
+) -> (AllReduceOutcome, Option<anton_des::ParProfile>) {
     let fault = FaultPlan::none();
     let timing = anton_net::Timing::default();
     let mut sim = ParSimulation::new(
@@ -584,18 +610,22 @@ pub fn run_all_reduce_par(
         || build_allreduce_fabric(dims, timing.clone(), &fault, algorithm),
         make_programs(dims, algorithm, params, inputs),
     );
+    if profile {
+        sim.enable_runtime_profiling();
+    }
     assert!(
         sim.run_guarded(SimTime(u64::MAX / 2), 100_000_000)
             .is_completed(),
         "fault-free all-reduce completes"
     );
     let stats = sim.merged_stats();
-    collect_outcome(
+    let out = collect_outcome(
         (0..dims.node_count()).map(|i| sim.program(NodeId(i))),
         stats.packets_sent,
         stats.link_traversals,
     )
-    .expect("completed run recorded every node")
+    .expect("completed run recorded every node");
+    (out, sim.take_runtime_profile())
 }
 
 /// Deterministic pseudo-random inputs for tests and benches.

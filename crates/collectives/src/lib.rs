@@ -24,6 +24,7 @@ pub mod analysis;
 
 pub use allreduce::{
     random_inputs, run_all_reduce, run_all_reduce_faulty, run_all_reduce_par,
-    run_all_reduce_recorded, run_all_reduce_timed, Algorithm, AllReduceOutcome, CollectiveParams,
+    run_all_reduce_par_profiled, run_all_reduce_recorded, run_all_reduce_timed, Algorithm,
+    AllReduceOutcome, CollectiveParams,
 };
 pub use analysis::{butterfly_cost, dimension_ordered_cost, HopCost};

@@ -226,25 +226,50 @@ pub fn run_md_exchange_par(
     params: MdExchangeParams,
     threads: usize,
 ) -> MdExchangeOutcome {
+    run_md_exchange_par_inner(dims, params, threads, false).0
+}
+
+/// [`run_md_exchange_par`] with runtime profiling enabled: also returns
+/// the engine's [`ParProfile`](anton_des::ParProfile). The simulated
+/// outcome is bit-identical to the unprofiled run.
+pub fn run_md_exchange_par_profiled(
+    dims: TorusDims,
+    params: MdExchangeParams,
+    threads: usize,
+) -> (MdExchangeOutcome, anton_des::ParProfile) {
+    let (out, prof) = run_md_exchange_par_inner(dims, params, threads, true);
+    (out, prof.expect("profiling was enabled"))
+}
+
+fn run_md_exchange_par_inner(
+    dims: TorusDims,
+    params: MdExchangeParams,
+    threads: usize,
+    profile: bool,
+) -> (MdExchangeOutcome, Option<anton_des::ParProfile>) {
     let mut sim = ParSimulation::new(
         threads,
         move || Fabric::with_faults(dims, anton_net::Timing::default(), FaultPlan::none()),
         make_node(params),
     );
+    if profile {
+        sim.enable_runtime_profiling();
+    }
     assert!(
         sim.run_guarded(SimTime(u64::MAX / 2), 1_000_000_000)
             .is_completed(),
         "exchange workload completes"
     );
     let events = sim.events_processed();
-    outcome(
+    let out = outcome(
         (0..dims.node_count()).map(|i| {
             let p = sim.program(NodeId(i));
             (p.finished_at.expect("completed"), p.checksum)
         }),
         sim.merged_stats(),
         events,
-    )
+    );
+    (out, sim.take_runtime_profile())
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@
 
 pub mod engine;
 pub mod par;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -45,6 +46,10 @@ pub mod trace;
 
 pub use engine::{Engine, EventHandler, NopProbe, Probe, RunOutcome, Scheduler};
 pub use par::{Executor, ParEngine, ShardMap};
+pub use profile::{
+    Heartbeat, ParProfile, StderrTelemetry, TelemetryConfig, TelemetrySink, WindowSample,
+    WorkerProfile, DEFAULT_SAMPLE_CAP,
+};
 pub use rng::Rng;
 pub use stats::{Histogram, Summary};
 pub use time::{SimDuration, SimTime};

@@ -35,11 +35,15 @@
 //! [`Engine`](crate::Engine) does (with the shard-aware tie-break).
 
 use crate::engine::{EventHandler, RunOutcome, Scheduler};
+use crate::profile::{
+    Heartbeat, ParProfile, TelemetryConfig, WindowSample, WorkerProfile, DEFAULT_SAMPLE_CAP,
+};
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as MemOrd};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Partition of the event space, plus the causality bound that makes
 /// conservative windows safe.
@@ -164,6 +168,12 @@ pub struct ParEngine<E, M> {
     seed_seq: u64,
     events_processed: u64,
     now: SimTime,
+    /// `Some(sample_cap)` when runtime profiling is enabled.
+    profiling: Option<usize>,
+    /// Accumulated profile across `run_until` calls (profiling enabled).
+    profile: Option<ParProfile>,
+    /// Live heartbeat configuration, if any.
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl<E: Send, M: ShardMap<E>> ParEngine<E, M> {
@@ -184,7 +194,51 @@ impl<E: Send, M: ShardMap<E>> ParEngine<E, M> {
             seed_seq: 0,
             events_processed: 0,
             now: SimTime::ZERO,
+            profiling: None,
+            profile: None,
+            telemetry: None,
         }
+    }
+
+    /// Enable runtime profiling with the default per-worker window-sample
+    /// cap. Profiling captures wall-clock phase accounting per worker and
+    /// deterministic event/window/traffic counts per shard; it never
+    /// touches event ordering, so simulated results are bit-identical
+    /// with profiling on or off.
+    pub fn enable_profiling(&mut self) {
+        self.enable_profiling_with_cap(DEFAULT_SAMPLE_CAP);
+    }
+
+    /// Enable runtime profiling, retaining at most `sample_cap` window
+    /// samples per worker (`0` keeps summary counters only).
+    pub fn enable_profiling_with_cap(&mut self, sample_cap: usize) {
+        self.profiling = Some(sample_cap);
+    }
+
+    /// The accumulated runtime profile, if profiling was enabled before
+    /// a run.
+    pub fn profile(&self) -> Option<&ParProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Take the accumulated profile, leaving the accumulator empty for
+    /// subsequent runs.
+    pub fn take_profile(&mut self) -> Option<ParProfile> {
+        self.profile.take()
+    }
+
+    /// Stream live [`Heartbeat`]s during runs: at window boundaries, once
+    /// at least `period` of wall time has passed since the previous beat,
+    /// a snapshot (window rate, events/s, per-shard occupancy, ETA) is
+    /// handed to `sink`. Telemetry reads coordination state the protocol
+    /// already publishes — it cannot perturb simulated results.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.telemetry = Some(cfg);
+    }
+
+    /// Disable live telemetry.
+    pub fn disable_telemetry(&mut self) {
+        self.telemetry = None;
     }
 
     /// The shard map in force.
@@ -267,11 +321,22 @@ impl<E: Send, M: ShardMap<E>> ParEngine<E, M> {
             "one world per shard required"
         );
         let nworkers = self.threads.min(self.shards.len());
+        let t0 = Instant::now();
+        let mut run_prof = self
+            .profiling
+            .map(|cap| ParProfile::new(nworkers, self.shards.len(), cap));
         let outcome = if nworkers <= 1 {
-            self.run_merged(worlds, horizon, max_events)
+            self.run_merged(worlds, horizon, max_events, &mut run_prof, t0)
         } else {
-            self.run_windowed(worlds, horizon, max_events, nworkers)
+            self.run_windowed(worlds, horizon, max_events, nworkers, &mut run_prof, t0)
         };
+        if let Some(mut p) = run_prof {
+            p.wall_ns = elapsed_ns(t0);
+            match &mut self.profile {
+                None => self.profile = Some(p),
+                Some(acc) => acc.absorb(&p),
+            }
+        }
         self.now = self
             .shards
             .iter()
@@ -291,29 +356,50 @@ impl<E: Send, M: ShardMap<E>> ParEngine<E, M> {
     /// The 1-thread reference executor: global `(time, birth)` order
     /// across all shards, window-granular horizon/budget checks. This is
     /// the "sequential engine" the windowed executor must match
-    /// bit-for-bit.
+    /// bit-for-bit. Profiling and telemetry hooks fire at window
+    /// boundaries only, exactly like the windowed executor's.
     fn run_merged<W: EventHandler<E>>(
         &mut self,
         worlds: &mut [W],
         horizon: SimTime,
         max_events: u64,
+        run_prof: &mut Option<ParProfile>,
+        t0: Instant,
     ) -> RunOutcome {
         let look = if self.shards.len() == 1 {
             SimDuration(u64::MAX)
         } else {
             self.map.lookahead()
         };
-        loop {
+        let loop_start = run_prof.is_some().then(|| elapsed_ns(t0));
+        let mut wp = run_prof.as_ref().map(|_| WorkerProfile {
+            worker: 0,
+            first_shard: 0,
+            shards: self.shards.len(),
+            ..Default::default()
+        });
+        let already = self.events_processed;
+        let mut beat = self.telemetry.clone().map(|cfg| BeatState::new(cfg, t0));
+        let outcome = loop {
             let Some(t) = self.shards.iter().filter_map(|s| s.head_time()).min() else {
-                return RunOutcome::Drained;
+                break RunOutcome::Drained;
             };
             if t > horizon {
-                return RunOutcome::HorizonReached;
+                break RunOutcome::HorizonReached;
             }
             if self.events_processed >= max_events {
-                return RunOutcome::BudgetExhausted;
+                break RunOutcome::BudgetExhausted;
+            }
+            if let Some(b) = beat.as_mut() {
+                let windows = wp.as_ref().map_or(b.windows_seen, |w| w.windows);
+                b.maybe_emit(t, windows, self.events_processed - already, horizon, || {
+                    self.shards.iter().map(|s| s.queue.len() as u64).collect()
+                });
+                b.windows_seen += 1;
             }
             let w_end = Self::window_end(t, look, horizon);
+            let exec_start = wp.is_some().then(|| elapsed_ns(t0));
+            let mut window_events = 0u64;
             // Global minimum (at, birth) head below the window end.
             while let Some(sidx) = self
                 .shards
@@ -330,6 +416,10 @@ impl<E: Send, M: ShardMap<E>> ParEngine<E, M> {
                 let mut sched = Scheduler::fresh(born);
                 worlds[sidx].handle(ev.event, &mut sched);
                 self.events_processed += 1;
+                window_events += 1;
+                if let Some(p) = run_prof.as_mut() {
+                    p.shard_events[sidx] += 1;
+                }
                 for (at, event) in sched.into_pending() {
                     let birth = BirthKey {
                         time: born,
@@ -344,13 +434,48 @@ impl<E: Send, M: ShardMap<E>> ParEngine<E, M> {
                             "lookahead violation: shard {sidx} scheduled a \
                              cross-shard event at {at}, less than {look} after {born}"
                         );
+                        if let Some(p) = run_prof.as_mut() {
+                            p.traffic[sidx * p.shards + dst] += 1;
+                        }
                     }
                     self.shards[dst]
                         .queue
                         .push(ParScheduled { at, birth, event });
                 }
             }
+            if let (Some(w), Some(start)) = (wp.as_mut(), exec_start) {
+                let exec_ns = elapsed_ns(t0).saturating_sub(start);
+                w.busy_ns += exec_ns;
+                w.windows += 1;
+                w.active_windows += u64::from(window_events > 0);
+                w.events += window_events;
+                let cap = run_prof.as_ref().map_or(0, |p| p.sample_cap);
+                if w.samples.len() < cap {
+                    w.samples.push(WindowSample {
+                        window: w.windows - 1,
+                        start_ns: start,
+                        exec_ns,
+                        events: window_events,
+                        sim_ps: t.as_ps(),
+                    });
+                }
+            }
+        };
+        if let (Some(p), Some(mut w), Some(start)) = (run_prof.as_mut(), wp, loop_start) {
+            w.loop_ns = elapsed_ns(t0).saturating_sub(start);
+            p.windows = w.windows;
+            p.events = w.events;
+            // All shards execute on the single worker; attribute its
+            // busy time to shards by their event share (exact per-shard
+            // wall spans are only meaningful with one worker per block).
+            if w.events > 0 {
+                for (s, &ev) in p.shard_events.clone().iter().enumerate() {
+                    p.shard_busy_ns[s] = (w.busy_ns as u128 * ev as u128 / w.events as u128) as u64;
+                }
+            }
+            p.workers.push(w);
         }
+        outcome
     }
 
     /// The windowed multi-worker executor. Shards are block-partitioned
@@ -362,6 +487,8 @@ impl<E: Send, M: ShardMap<E>> ParEngine<E, M> {
         horizon: SimTime,
         max_events: u64,
         nworkers: usize,
+        run_prof: &mut Option<ParProfile>,
+        t0: Instant,
     ) -> RunOutcome {
         let nshards = self.shards.len();
         let look = self.map.lookahead();
@@ -379,8 +506,12 @@ impl<E: Send, M: ShardMap<E>> ParEngine<E, M> {
             outboxes: (0..nshards)
                 .map(|_| (0..nshards).map(|_| Mutex::new(Vec::new())).collect())
                 .collect(),
+            pending: (0..nshards).map(|_| AtomicU64::new(0)).collect(),
+            track_pending: self.telemetry.is_some(),
         };
 
+        let prof_cap = run_prof.as_ref().map(|p| p.sample_cap);
+        let telemetry = self.telemetry.clone();
         let shards = std::mem::take(&mut self.shards);
         let map = &self.map;
 
@@ -402,6 +533,12 @@ impl<E: Send, M: ShardMap<E>> ParEngine<E, M> {
                 world_rest = rest;
                 let co = &coord;
                 let first_shard = bounds[w];
+                let opts = WorkerOpts {
+                    prof_cap,
+                    t0,
+                    // Worker 0 owns the heartbeat; others stay silent.
+                    telemetry: if w == 0 { telemetry.clone() } else { None },
+                };
                 handles.push(scope.spawn(move || {
                     worker_loop(
                         w,
@@ -413,17 +550,36 @@ impl<E: Send, M: ShardMap<E>> ParEngine<E, M> {
                         horizon,
                         max_events,
                         co,
+                        opts,
                     )
                 }));
             }
             let mut outcome = None;
             let mut shards_back: Vec<Shard<E>> = Vec::with_capacity(nshards);
             let mut total = 0u64;
+            // Join in spawn order, so worker profiles merge in worker
+            // order — the deterministic merge the profile docs promise.
             for h in handles {
-                let (out, chunk, executed) = h.join().expect("parallel DES worker panicked");
+                let (out, chunk, executed, wout) = h.join().expect("parallel DES worker panicked");
                 // Every worker reaches the identical decision; keep one.
                 outcome.get_or_insert(out);
                 debug_assert_eq!(outcome, Some(out));
+                if let (Some(p), Some(wo)) = (run_prof.as_mut(), wout) {
+                    let first = wo.wp.first_shard;
+                    for (i, &ev) in wo.shard_events.iter().enumerate() {
+                        p.shard_events[first + i] += ev;
+                    }
+                    for (i, &b) in wo.shard_busy_ns.iter().enumerate() {
+                        p.shard_busy_ns[first + i] += b;
+                    }
+                    for (i, &tr) in wo.traffic.iter().enumerate() {
+                        p.traffic[(first + i / nshards) * nshards + i % nshards] += tr;
+                    }
+                    // Every worker participates in every window.
+                    p.windows = p.windows.max(wo.wp.windows);
+                    p.events += wo.wp.events;
+                    p.workers.push(wo.wp);
+                }
                 shards_back.extend(chunk);
                 total += executed;
             }
@@ -434,6 +590,112 @@ impl<E: Send, M: ShardMap<E>> ParEngine<E, M> {
         self.events_processed = already + total_executed;
         outcome
     }
+}
+
+/// Monotonic wall nanoseconds since `t0`, saturating at `u64::MAX`.
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Heartbeat throttle: tracks the last emission and computes rates over
+/// the interval since. Shared by the merged executor (main thread) and
+/// worker 0 of the windowed executor.
+struct BeatState {
+    cfg: TelemetryConfig,
+    t0: Instant,
+    last_emit_ns: u64,
+    last_events: u64,
+    last_windows: u64,
+    /// Simulated time of the first window, anchoring progress/ETA.
+    first_sim: Option<u64>,
+    /// Window counter used when profiling is off.
+    windows_seen: u64,
+}
+
+impl BeatState {
+    fn new(cfg: TelemetryConfig, t0: Instant) -> BeatState {
+        BeatState {
+            cfg,
+            t0,
+            last_emit_ns: 0,
+            last_events: 0,
+            last_windows: 0,
+            first_sim: None,
+            windows_seen: 0,
+        }
+    }
+
+    /// Emit a heartbeat if at least one period elapsed since the last.
+    /// `pending` is only invoked on emission, keeping the steady-state
+    /// cost to one `Instant` read per window.
+    fn maybe_emit(
+        &mut self,
+        t: SimTime,
+        windows: u64,
+        events: u64,
+        horizon: SimTime,
+        pending: impl FnOnce() -> Vec<u64>,
+    ) {
+        if self.first_sim.is_none() {
+            self.first_sim = Some(t.0);
+        }
+        let now_ns = elapsed_ns(self.t0);
+        if now_ns.saturating_sub(self.last_emit_ns) < self.cfg.period.as_nanos() as u64 {
+            return;
+        }
+        let dt = now_ns.saturating_sub(self.last_emit_ns).max(1) as f64 / 1e9;
+        let first = self.first_sim.unwrap_or(t.0);
+        // Unbounded runs pass a sentinel horizon (at or beyond
+        // u64::MAX / 2): suppress progress and ETA for those.
+        let finite = horizon.0 < u64::MAX / 2;
+        let progress = finite.then(|| {
+            let span = horizon.0.saturating_sub(first).max(1) as f64;
+            (t.0.saturating_sub(first) as f64 / span).min(1.0)
+        });
+        let eta_sec = (finite && t.0 > first && now_ns > 0)
+            .then(|| {
+                let sim_per_sec = (t.0 - first) as f64 / (now_ns as f64 / 1e9);
+                horizon.0.saturating_sub(t.0) as f64 / sim_per_sec
+            })
+            .filter(|e| e.is_finite());
+        let beat = Heartbeat {
+            wall_ms: now_ns as f64 / 1e6,
+            sim_ps: t.0,
+            windows,
+            events,
+            events_per_sec: events.saturating_sub(self.last_events) as f64 / dt,
+            windows_per_sec: windows.saturating_sub(self.last_windows) as f64 / dt,
+            shard_pending: pending(),
+            progress,
+            eta_sec,
+        };
+        self.cfg.sink.emit(&beat);
+        self.last_emit_ns = now_ns;
+        self.last_events = events;
+        self.last_windows = windows;
+    }
+}
+
+/// Per-worker run options: profiling sample cap (None = profiling off),
+/// the run's wall-clock epoch, and the telemetry config (worker 0 only).
+struct WorkerOpts {
+    prof_cap: Option<usize>,
+    t0: Instant,
+    telemetry: Option<TelemetryConfig>,
+}
+
+/// Profiling output one worker carries back to the engine at join time.
+/// Shard-indexed vectors use *local* indices (0 = the worker's first
+/// owned shard); the engine re-bases them when merging.
+struct WorkerOut {
+    wp: WorkerProfile,
+    /// Events executed per owned shard.
+    shard_events: Vec<u64>,
+    /// Wall busy time per owned shard.
+    shard_busy_ns: Vec<u64>,
+    /// Cross-shard traffic rows for owned shards, row-major
+    /// `local_src * nshards + dst`.
+    traffic: Vec<u64>,
 }
 
 impl<E: Send, M: ShardMap<E>, W: EventHandler<E> + Send> Executor<E, [W]> for ParEngine<E, M> {
@@ -467,11 +729,23 @@ struct Coordination<E> {
     /// drained by `dst`'s worker at the next boundary. Lock contention is
     /// two short critical sections per cell per window.
     outboxes: Vec<Vec<Mutex<Vec<ParScheduled<E>>>>>,
+    /// Per-shard pending-queue depth, published in phase 1 when
+    /// `track_pending` is set so worker 0's heartbeat can report
+    /// occupancy without touching other workers' queues.
+    pending: Vec<AtomicU64>,
+    /// Whether workers publish `pending` (telemetry enabled).
+    track_pending: bool,
 }
 
 /// One worker: owns a contiguous block of shards (and their worlds) for
 /// the whole run. Returns the run outcome, the shard block (queues and
-/// counters survive for a later resume), and its executed-event count.
+/// counters survive for a later resume), its executed-event count, and
+/// its profiling output when profiling is on.
+///
+/// Profiling cost discipline: `Instant` reads happen per *phase* per
+/// window (import end, barrier exits, per-shard execute spans), never per
+/// event; per-event profiling work is limited to local integer
+/// increments behind an `Option` branch.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop<E: Send, W: EventHandler<E>, M: ShardMap<E>>(
     widx: usize,
@@ -483,15 +757,36 @@ fn worker_loop<E: Send, W: EventHandler<E>, M: ShardMap<E>>(
     horizon: SimTime,
     max_events: u64,
     co: &Coordination<E>,
-) -> (RunOutcome, Vec<Shard<E>>, u64) {
+    opts: WorkerOpts,
+) -> (RunOutcome, Vec<Shard<E>>, u64, Option<WorkerOut>) {
     // If this worker panics (handler bug, lookahead violation), poison
     // the barrier so the others panic out instead of spinning forever.
     let _guard = PoisonGuard(&co.poison);
+    let t0 = opts.t0;
+    let loop_start = opts.prof_cap.map(|_| elapsed_ns(t0));
+    let mut out = opts.prof_cap.map(|cap| {
+        (
+            WorkerOut {
+                wp: WorkerProfile {
+                    worker: widx,
+                    first_shard,
+                    shards: shards.len(),
+                    ..Default::default()
+                },
+                shard_events: vec![0; shards.len()],
+                shard_busy_ns: vec![0; shards.len()],
+                traffic: vec![0; shards.len() * co.nshards],
+            },
+            cap,
+        )
+    });
+    let mut beat = opts.telemetry.map(|cfg| BeatState::new(cfg, t0));
     let mut executed_total: u64 = 0;
     let mut prev_w_end = SimTime::ZERO;
     let outcome = loop {
         // Phase 1: import cross-shard events staged in the previous
         // window, then publish this block's minimum head and event count.
+        let phase_start = out.is_some().then(|| elapsed_ns(t0));
         for (i, shard) in shards.iter_mut().enumerate() {
             let dst = first_shard + i;
             for src in 0..co.nshards {
@@ -506,6 +801,11 @@ fn worker_loop<E: Send, W: EventHandler<E>, M: ShardMap<E>>(
                 }
             }
         }
+        if co.track_pending {
+            for (i, shard) in shards.iter().enumerate() {
+                co.pending[first_shard + i].store(shard.queue.len() as u64, MemOrd::Relaxed);
+            }
+        }
         let local_min = shards
             .iter()
             .filter_map(|s| s.head_time())
@@ -513,7 +813,12 @@ fn worker_loop<E: Send, W: EventHandler<E>, M: ShardMap<E>>(
             .map_or(u64::MAX, |t| t.0);
         co.heads[widx].store(local_min, MemOrd::SeqCst);
         co.executed[widx].store(executed_total, MemOrd::SeqCst);
+        let merge_end = out.is_some().then(|| elapsed_ns(t0));
         co.barrier.wait(&co.poison);
+        if let (Some((o, _)), Some(ps), Some(me)) = (out.as_mut(), phase_start, merge_end) {
+            o.wp.merge_ns += me.saturating_sub(ps);
+            o.wp.barrier_publish_ns += elapsed_ns(t0).saturating_sub(me);
+        }
 
         // Phase 2: every worker independently computes the identical
         // window decision from the published snapshot.
@@ -533,12 +838,23 @@ fn worker_loop<E: Send, W: EventHandler<E>, M: ShardMap<E>>(
         if total >= max_events {
             break RunOutcome::BudgetExhausted;
         }
+        if let Some(b) = beat.as_mut() {
+            let windows = out.as_ref().map_or(b.windows_seen, |(o, _)| o.wp.windows);
+            b.maybe_emit(SimTime(t), windows, total, horizon, || {
+                co.pending.iter().map(|p| p.load(MemOrd::Relaxed)).collect()
+            });
+            b.windows_seen += 1;
+        }
         let w_end = ParEngine::<E, M>::window_end(SimTime(t), look, horizon);
 
         // Phase 3: execute every owned event inside [t, w_end), staging
         // cross-shard events into the outboxes.
+        let exec_start = out.is_some().then(|| elapsed_ns(t0));
+        let mut window_events = 0u64;
         for (i, shard) in shards.iter_mut().enumerate() {
             let sidx = first_shard + i;
+            let shard_start = out.is_some().then(|| elapsed_ns(t0));
+            let mut shard_executed = 0u64;
             while shard.head_time().is_some_and(|h| h < w_end) {
                 let ev = shard.queue.pop().expect("peeked");
                 shard.last_at = ev.at;
@@ -546,6 +862,7 @@ fn worker_loop<E: Send, W: EventHandler<E>, M: ShardMap<E>>(
                 let mut sched = Scheduler::fresh(born);
                 worlds[i].handle(ev.event, &mut sched);
                 executed_total += 1;
+                shard_executed += 1;
                 for (at, event) in sched.into_pending() {
                     let birth = BirthKey {
                         time: born,
@@ -563,6 +880,9 @@ fn worker_loop<E: Send, W: EventHandler<E>, M: ShardMap<E>>(
                             "lookahead violation: shard {sidx} scheduled a \
                              cross-shard event at {at}, less than {look} after {born}"
                         );
+                        if let Some((o, _)) = out.as_mut() {
+                            o.traffic[i * co.nshards + dst] += 1;
+                        }
                         co.outboxes[sidx][dst]
                             .lock()
                             .expect("outbox poisoned")
@@ -570,11 +890,39 @@ fn worker_loop<E: Send, W: EventHandler<E>, M: ShardMap<E>>(
                     }
                 }
             }
+            if let (Some((o, _)), Some(ss)) = (out.as_mut(), shard_start) {
+                o.shard_events[i] += shard_executed;
+                o.shard_busy_ns[i] += elapsed_ns(t0).saturating_sub(ss);
+            }
+            window_events += shard_executed;
+        }
+        let exec_end = out.is_some().then(|| elapsed_ns(t0));
+        if let (Some((o, cap)), Some(es), Some(ee)) = (out.as_mut(), exec_start, exec_end) {
+            let exec_ns = ee.saturating_sub(es);
+            o.wp.busy_ns += exec_ns;
+            o.wp.windows += 1;
+            o.wp.active_windows += u64::from(window_events > 0);
+            o.wp.events += window_events;
+            if o.wp.samples.len() < *cap {
+                o.wp.samples.push(WindowSample {
+                    window: o.wp.windows - 1,
+                    start_ns: es,
+                    exec_ns,
+                    events: window_events,
+                    sim_ps: t,
+                });
+            }
         }
         prev_w_end = w_end;
         co.barrier.wait(&co.poison);
+        if let (Some((o, _)), Some(ee)) = (out.as_mut(), exec_end) {
+            o.wp.barrier_window_ns += elapsed_ns(t0).saturating_sub(ee);
+        }
     };
-    (outcome, shards, executed_total)
+    if let (Some((o, _)), Some(start)) = (out.as_mut(), loop_start) {
+        o.wp.loop_ns = elapsed_ns(t0).saturating_sub(start);
+    }
+    (outcome, shards, executed_total, out.map(|(o, _)| o))
 }
 
 /// A reusable spin barrier (std's `Barrier` parks threads; windows are
@@ -832,6 +1180,140 @@ mod tests {
             },
         );
         eng.run(&mut worlds);
+    }
+
+    fn run_ring_profiled(
+        threads: usize,
+        nshards: usize,
+        tokens: u32,
+    ) -> (Vec<Vec<(u64, u64)>>, ParProfile) {
+        let mut eng = ParEngine::new(RingMap { n: nshards }, threads);
+        eng.enable_profiling();
+        let mut worlds: Vec<RingWorld> = (0..nshards)
+            .map(|s| RingWorld {
+                shard: s,
+                nshards,
+                log: Vec::new(),
+            })
+            .collect();
+        for k in 0..tokens {
+            eng.schedule_at(
+                SimTime::from_ns(k as u64),
+                Token {
+                    shard: (k as usize) % nshards,
+                    hops_left: 20,
+                    tag: 10_000 * k as u64,
+                },
+            );
+        }
+        eng.run(&mut worlds);
+        let prof = eng.take_profile().expect("profiling was enabled");
+        (worlds.into_iter().map(|w| w.log).collect(), prof)
+    }
+
+    #[test]
+    fn profiling_perturbs_nothing_and_event_counts_are_thread_invariant() {
+        // Profiling on must not change the simulated results...
+        let (plain, _) = run_ring(1, 4, 6);
+        let (seq, p1) = run_ring_profiled(1, 4, 6);
+        assert_eq!(plain, seq, "profiling changed the simulation");
+        // ...and the event-level profile fields are deterministic:
+        // identical at any thread count, like every simulated observable.
+        for threads in [2, 4] {
+            let (par, pn) = run_ring_profiled(threads, 4, 6);
+            assert_eq!(seq, par, "{threads}-thread profiled run diverged");
+            assert_eq!(p1.windows, pn.windows, "window count diverged");
+            assert_eq!(p1.events, pn.events);
+            assert_eq!(p1.shard_events, pn.shard_events);
+            assert_eq!(p1.traffic, pn.traffic);
+            assert_eq!(pn.threads, threads.min(4));
+            assert_eq!(pn.workers.len(), threads.min(4));
+        }
+        // Basic shape: events tally, workers account for all shards.
+        assert_eq!(p1.events, p1.shard_events.iter().sum::<u64>());
+        assert_eq!(p1.cross_shard_events(), p1.traffic.iter().sum::<u64>());
+        for s in 0..4 {
+            assert_eq!(p1.traffic_between(s, s), 0, "diagonal must be empty");
+        }
+    }
+
+    #[test]
+    fn worker_phase_accounting_telescopes_to_loop_time() {
+        let (_, prof) = run_ring_profiled(4, 4, 8);
+        assert_eq!(prof.workers.len(), 4);
+        for w in &prof.workers {
+            // The named phases are disjoint sub-spans of the loop, so
+            // busy + merge + barriers never exceeds loop time, and the
+            // residual accessor closes the sum exactly.
+            let named = w.busy_ns + w.merge_ns + w.barrier_publish_ns + w.barrier_window_ns;
+            assert!(named <= w.loop_ns, "phases exceed loop: {w:?}");
+            assert_eq!(named + w.windowing_ns(), w.loop_ns);
+            assert_eq!(w.windows, prof.windows);
+        }
+        // Every worker's loop fits inside the run's wall clock.
+        for w in &prof.workers {
+            assert!(w.loop_ns <= prof.wall_ns);
+        }
+    }
+
+    #[test]
+    fn telemetry_heartbeats_stream_during_runs() {
+        use std::sync::{Arc, Mutex};
+        #[derive(Default)]
+        struct Capture(Mutex<Vec<Heartbeat>>);
+        impl crate::profile::TelemetrySink for Capture {
+            fn emit(&self, beat: &Heartbeat) {
+                self.0.lock().unwrap().push(beat.clone());
+            }
+        }
+        let run = |threads: usize| {
+            let nshards = 3;
+            let sink = Arc::new(Capture::default());
+            let mut eng = ParEngine::new(RingMap { n: nshards }, threads);
+            eng.enable_telemetry(TelemetryConfig {
+                period: std::time::Duration::ZERO,
+                sink: sink.clone(),
+            });
+            let mut worlds: Vec<RingWorld> = (0..nshards)
+                .map(|s| RingWorld {
+                    shard: s,
+                    nshards,
+                    log: Vec::new(),
+                })
+                .collect();
+            eng.schedule_at(
+                SimTime::ZERO,
+                Token {
+                    shard: 0,
+                    hops_left: 30,
+                    tag: 0,
+                },
+            );
+            let out = eng.run_until(&mut worlds, SimTime::from_ns(1400), u64::MAX);
+            assert_eq!(out, RunOutcome::HorizonReached);
+            let beats = sink.0.lock().unwrap().clone();
+            (beats, worlds.into_iter().map(|w| w.log).collect::<Vec<_>>())
+        };
+        let (beats1, log1) = run(1);
+        let (beats3, log3) = run(3);
+        assert_eq!(log1, log3, "telemetry perturbed the simulation");
+        for beats in [&beats1, &beats3] {
+            // Zero period: a beat per window boundary.
+            assert!(!beats.is_empty(), "no heartbeats with a zero period");
+            for b in beats {
+                assert_eq!(b.shard_pending.len(), 3);
+                let line = b.to_json_line();
+                assert!(line.starts_with("{\"type\":\"heartbeat\""));
+                // Finite horizon: progress must be reported and sane.
+                let p = b.progress.expect("finite horizon implies progress");
+                assert!((0.0..=1.0).contains(&p), "progress {p} out of range");
+            }
+            // Simulated time and event counts advance monotonically.
+            for pair in beats.windows(2) {
+                assert!(pair[1].sim_ps >= pair[0].sim_ps);
+                assert!(pair[1].events >= pair[0].events);
+            }
+        }
     }
 
     #[test]

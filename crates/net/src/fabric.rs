@@ -477,6 +477,27 @@ impl Fabric {
         shared
     }
 
+    /// Install a [`FlightRecorder`] the fabric itself owns: every hook
+    /// call is a direct push with no `Arc<Mutex<…>>` round trip, so
+    /// per-shard recording in parallel runs stays lock-free. Read the
+    /// captured events back through [`Fabric::flight_recorder`].
+    pub fn attach_owned_flight_recorder(&mut self) {
+        self.attach_owned_flight_recorder_with(FlightRecorder::new());
+    }
+
+    /// Like [`Fabric::attach_owned_flight_recorder`] but with a
+    /// caller-built recorder (ring-buffered, sampled, …).
+    pub fn attach_owned_flight_recorder_with(&mut self, rec: FlightRecorder) {
+        self.recorder = Some(Box::new(rec));
+    }
+
+    /// The installed recorder's [`FlightRecorder`] view, when the
+    /// recorder owns one (owned recorders report themselves; shared
+    /// mutex handles do not — keep their handle instead).
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_deref().and_then(|r| r.as_flight())
+    }
+
     /// Machine dimensions.
     pub fn dims(&self) -> TorusDims {
         self.dims

@@ -44,9 +44,78 @@ use crate::fabric::{Ev, Fabric, NetStats, ProgEvent};
 use crate::timing::Timing;
 use crate::world::{Ctx, NodeProgram, RunReport, SimWorld, StallReport, StuckWatch};
 use anton_des::par::{ParEngine, ShardMap};
-use anton_des::{EventHandler, RunOutcome, Scheduler, SimDuration, SimTime, Tracer};
-use anton_obs::{FlightEvent, SharedFlightRecorder};
+use anton_des::{
+    EventHandler, ParProfile, RunOutcome, Scheduler, SimDuration, SimTime, StderrTelemetry,
+    TelemetryConfig, Tracer,
+};
+use anton_obs::FlightEvent;
 use anton_topo::{Dim, NodeId, TorusDims};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Parse a worker/shard count from an env-var value: `Ok(None)` when the
+/// variable is unset, `Ok(Some(n))` for a positive integer, `Err(raw)`
+/// when set but invalid (`"0"`, `"abc"`, …). Pure so the parsing is unit
+/// testable without racing on the process environment.
+fn parse_env_count(raw: Option<&str>) -> Result<Option<usize>, String> {
+    match raw {
+        None => Ok(None),
+        Some(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(s.to_owned()),
+        },
+    }
+}
+
+/// Resolve a raw env-var value to a count, falling back to `fallback`
+/// on an unset or invalid value. An invalid value (silently accepting it
+/// would mask a typo'd `ANTON_SHARDS=abc` forever) warns on stderr —
+/// once per variable per process, so loops over simulations don't spam.
+fn resolve_count(var: &str, raw: Option<&str>, fallback: usize, warned: &AtomicBool) -> usize {
+    match parse_env_count(raw) {
+        Ok(Some(n)) => n,
+        Ok(None) => fallback,
+        Err(bad) => {
+            if !warned.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: ignoring invalid {var}={bad:?} \
+                     (expected a positive integer); using {fallback}"
+                );
+            }
+            fallback
+        }
+    }
+}
+
+/// [`resolve_count`] over the live process environment.
+fn env_count(var: &str, fallback: usize, warned: &AtomicBool) -> usize {
+    let raw = std::env::var(var).ok();
+    resolve_count(var, raw.as_deref(), fallback, warned)
+}
+
+static SHARDS_WARNED: AtomicBool = AtomicBool::new(false);
+static THREADS_WARNED: AtomicBool = AtomicBool::new(false);
+static TELEMETRY_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// Live-telemetry heartbeat period from `ANTON_TELEMETRY_MS`: unset (or
+/// invalid, with a once-per-process warning) disables telemetry; `0`
+/// emits at every window boundary.
+fn telemetry_period_from_env() -> Option<Duration> {
+    let raw = std::env::var("ANTON_TELEMETRY_MS").ok()?;
+    match raw.trim().parse::<u64>() {
+        Ok(ms) => Some(Duration::from_millis(ms)),
+        Err(_) => {
+            if !TELEMETRY_WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: ignoring invalid ANTON_TELEMETRY_MS={raw:?} \
+                     (expected milliseconds); telemetry stays off"
+                );
+            }
+            None
+        }
+    }
+}
 
 /// How the torus is sliced into shards: slabs perpendicular to one axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,18 +143,14 @@ impl ShardPlan {
     }
 
     /// The default plan: one shard per plane of the longest axis (8 for
-    /// an 8×8×8 machine), overridable via the `ANTON_SHARDS` env var.
+    /// an 8×8×8 machine), overridable via the `ANTON_SHARDS` env var
+    /// (invalid values warn once on stderr and fall back to the default).
     /// The shard count is part of the *simulation configuration* — it
     /// must not depend on the worker-thread count, or different thread
     /// counts would partition events differently.
     pub fn auto(dims: TorusDims) -> ShardPlan {
         let default = Dim::ALL.iter().map(|&d| dims.len(d)).max().unwrap() as usize;
-        let n = std::env::var("ANTON_SHARDS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or(default);
-        ShardPlan::new(dims, n)
+        ShardPlan::new(dims, env_count("ANTON_SHARDS", default, &SHARDS_WARNED))
     }
 
     /// Machine dimensions.
@@ -111,14 +176,11 @@ impl ShardPlan {
 }
 
 /// Worker-thread count for parallel runs: the `ANTON_THREADS` env var,
-/// defaulting to 1 (sequential reference execution). Thread count never
-/// affects simulated results — only wall-clock time.
+/// defaulting to 1 (sequential reference execution); invalid values warn
+/// once on stderr and fall back to 1. Thread count never affects
+/// simulated results — only wall-clock time.
 pub fn threads_from_env() -> usize {
-    std::env::var("ANTON_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(1)
+    env_count("ANTON_THREADS", 1, &THREADS_WARNED)
 }
 
 /// The shard map for fabric events: route to the named node's slab.
@@ -244,7 +306,6 @@ impl<P: NodeProgram> EventHandler<Ev> for NodeShardWorld<P> {
 pub struct ParSimulation<P: NodeProgram> {
     engine: ParEngine<Ev, EvShardMap>,
     worlds: Vec<NodeShardWorld<P>>,
-    recorders: Vec<SharedFlightRecorder>,
 }
 
 impl<P: NodeProgram + Send> ParSimulation<P> {
@@ -286,22 +347,51 @@ impl<P: NodeProgram + Send> ParSimulation<P> {
             });
             engine.schedule_at_shard(shard, SimTime::ZERO, Ev::Start);
         }
-        ParSimulation {
-            engine,
-            worlds,
-            recorders: Vec::new(),
+        if let Some(period) = telemetry_period_from_env() {
+            engine.enable_telemetry(TelemetryConfig {
+                period,
+                sink: Arc::new(StderrTelemetry),
+            });
         }
+        ParSimulation { engine, worlds }
     }
 
     /// Install one [`FlightRecorder`](anton_obs::FlightRecorder) per
-    /// shard (call before running). Recorded events are merged
-    /// deterministically by [`ParSimulation::merged_flight_events`].
+    /// shard (call before running). Each shard's fabric *owns* its
+    /// recorder — every hook is a direct push, with no shared-mutex
+    /// round trip on the hot path — and the streams are merged
+    /// deterministically in shard order by
+    /// [`ParSimulation::merged_flight_events`] after the run.
     pub fn attach_flight_recorders(&mut self) {
-        self.recorders = self
-            .worlds
-            .iter_mut()
-            .map(|w| w.fabric.attach_flight_recorder())
-            .collect();
+        for w in &mut self.worlds {
+            w.fabric.attach_owned_flight_recorder();
+        }
+    }
+
+    /// Enable runtime profiling on the underlying [`ParEngine`]:
+    /// per-worker phase accounting, per-shard event counts, and the
+    /// cross-shard traffic matrix, readable after a run through
+    /// [`ParSimulation::runtime_profile`]. Profiling never changes
+    /// simulated results (asserted by fingerprint tests).
+    pub fn enable_runtime_profiling(&mut self) {
+        self.engine.enable_profiling();
+    }
+
+    /// The accumulated runtime profile, if profiling was enabled.
+    pub fn runtime_profile(&self) -> Option<&ParProfile> {
+        self.engine.profile()
+    }
+
+    /// Take the accumulated runtime profile, resetting the accumulator.
+    pub fn take_runtime_profile(&mut self) -> Option<ParProfile> {
+        self.engine.take_profile()
+    }
+
+    /// Stream live heartbeats to `cfg`'s sink during runs (also
+    /// switched on automatically by the `ANTON_TELEMETRY_MS` env var,
+    /// which streams JSON lines to stderr).
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.engine.enable_telemetry(cfg);
     }
 
     /// Enable activity tracing on every shard replica.
@@ -393,9 +483,14 @@ impl<P: NodeProgram + Send> ParSimulation<P> {
     /// order. Requires [`ParSimulation::attach_flight_recorders`].
     pub fn merged_flight_events(&self) -> Vec<FlightEvent> {
         let per_shard: Vec<Vec<FlightEvent>> = self
-            .recorders
+            .worlds
             .iter()
-            .map(|r| r.borrow().events().cloned().collect())
+            .map(|w| {
+                w.fabric
+                    .flight_recorder()
+                    .map(|r| r.events().cloned().collect())
+                    .unwrap_or_default()
+            })
             .collect();
         merge_flight_events(per_shard)
     }
@@ -505,4 +600,42 @@ fn _assert_send<T: Send>() {}
 fn _shard_world_is_send<P: NodeProgram + Send>() {
     _assert_send::<NodeShardWorld<P>>();
     let _ = _assert_send::<SimWorld<P>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_env_count_accepts_positive_integers() {
+        assert_eq!(parse_env_count(None), Ok(None));
+        assert_eq!(parse_env_count(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_env_count(Some("8")), Ok(Some(8)));
+        assert_eq!(parse_env_count(Some(" 16 ")), Ok(Some(16)));
+    }
+
+    #[test]
+    fn parse_env_count_rejects_zero_and_garbage() {
+        assert_eq!(parse_env_count(Some("0")), Err("0".to_owned()));
+        assert_eq!(parse_env_count(Some("abc")), Err("abc".to_owned()));
+        assert_eq!(parse_env_count(Some("-3")), Err("-3".to_owned()));
+        assert_eq!(parse_env_count(Some("4.5")), Err("4.5".to_owned()));
+        assert_eq!(parse_env_count(Some("")), Err("".to_owned()));
+    }
+
+    #[test]
+    fn resolve_count_falls_back_and_warns_once() {
+        let warned = AtomicBool::new(false);
+        // Valid: used as-is, no warning flagged.
+        assert_eq!(resolve_count("T", Some("3"), 1, &warned), 3);
+        assert!(!warned.load(Ordering::Relaxed));
+        // Unset: fallback, still no warning.
+        assert_eq!(resolve_count("T", None, 7, &warned), 7);
+        assert!(!warned.load(Ordering::Relaxed));
+        // Invalid: fallback, warning flag trips exactly once.
+        assert_eq!(resolve_count("T", Some("0"), 7, &warned), 7);
+        assert!(warned.load(Ordering::Relaxed));
+        assert_eq!(resolve_count("T", Some("junk"), 7, &warned), 7);
+        assert!(warned.load(Ordering::Relaxed));
+    }
 }

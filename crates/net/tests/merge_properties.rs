@@ -1,0 +1,151 @@
+//! Shard-order independence of the parallel runtime's reductions.
+//!
+//! The parallel executor merges per-shard [`NetStats`] and per-shard
+//! [`MetricsRegistry`] instances in deterministic shard order, but the
+//! *result* must not depend on that order (or on how workers group
+//! shards): both merges have to be commutative and associative, so any
+//! worker/shard partition reduces to the same machine-wide totals. The
+//! properties are checked over randomized inputs and all orderings of a
+//! three-shard merge — every way two workers could have pre-reduced a
+//! subset before the final fold.
+
+use anton_des::SimDuration;
+use anton_net::NetStats;
+use anton_obs::{MetricsRegistry, MetricsSnapshot};
+use proptest::prelude::*;
+
+/// Build a `NetStats` from 13 scalar counters and two per-node vectors.
+fn stats(scalars: &[u64], sent: &[u64], delivered: &[u64]) -> NetStats {
+    NetStats {
+        packets_sent: scalars[0],
+        packets_delivered: scalars[1],
+        payload_bytes_delivered: scalars[2],
+        link_traversals: scalars[3],
+        sent_by_node: sent.to_vec(),
+        delivered_by_node: delivered.to_vec(),
+        faults_dropped: scalars[4],
+        faults_corrupted: scalars[5],
+        retransmits: scalars[6],
+        retry_budget_exhausted: scalars[7],
+        packets_unreachable: scalars[8],
+        packets_lost: scalars[9],
+        delivery_errors: scalars[10],
+    }
+}
+
+/// Build a small registry whose key set and values derive from `spec`:
+/// counters `c0..`, gauges `g0..`, one histogram fed every sample.
+/// Varying lengths give partially overlapping key sets across shards.
+fn registry(counters: &[u64], gauges: &[u64], samples: &[u64]) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    for (i, v) in counters.iter().enumerate() {
+        m.inc(&format!("c{i}"), *v);
+    }
+    for (i, v) in gauges.iter().enumerate() {
+        m.set_gauge(&format!("g{i}"), *v as f64);
+    }
+    for ns in samples {
+        m.observe("lat", SimDuration::from_ns(*ns));
+    }
+    m
+}
+
+fn merged_stats(order: &[&NetStats]) -> NetStats {
+    let mut acc = NetStats::default();
+    for s in order {
+        acc.merge(s);
+    }
+    acc
+}
+
+fn merged_snapshot(order: &[&MetricsRegistry]) -> MetricsSnapshot {
+    let mut acc = MetricsRegistry::new();
+    for m in order {
+        acc.merge(m);
+    }
+    acc.snapshot()
+}
+
+proptest! {
+    /// `NetStats::merge` is commutative and associative: every
+    /// permutation of three shard blocks — and every pre-reduction of a
+    /// pair before the final fold — yields identical totals.
+    #[test]
+    fn net_stats_merge_is_order_independent(
+        sa in prop::collection::vec(0u64..1_000_000, 11..12),
+        sb in prop::collection::vec(0u64..1_000_000, 11..12),
+        sc in prop::collection::vec(0u64..1_000_000, 11..12),
+        va in prop::collection::vec(0u64..1000, 0..5),
+        vb in prop::collection::vec(0u64..1000, 0..5),
+        vc in prop::collection::vec(0u64..1000, 0..5),
+    ) {
+        let a = stats(&sa, &va, &vb);
+        let b = stats(&sb, &vb, &vc);
+        let c = stats(&sc, &vc, &va);
+        let base = merged_stats(&[&a, &b, &c]);
+        // Commutativity: all six shard orders agree.
+        for order in [
+            [&a, &c, &b], [&b, &a, &c], [&b, &c, &a], [&c, &a, &b], [&c, &b, &a],
+        ] {
+            prop_assert_eq!(&merged_stats(&order), &base);
+        }
+        // Associativity: a worker pre-reducing (b, c) before the final
+        // fold changes nothing.
+        let mut bc = NetStats::default();
+        bc.merge(&b);
+        bc.merge(&c);
+        let mut assoc = a.clone();
+        assoc.merge(&bc);
+        prop_assert_eq!(&assoc, &base);
+    }
+
+    /// `MetricsRegistry::merge` (counters add, gauges max, histograms
+    /// pool) is order-independent down to the flattened snapshot, even
+    /// with partially overlapping key sets.
+    #[test]
+    fn metrics_merge_is_order_independent(
+        ca in prop::collection::vec(0u64..1000, 0..4),
+        cb in prop::collection::vec(0u64..1000, 0..4),
+        cc in prop::collection::vec(0u64..1000, 0..4),
+        ga in prop::collection::vec(0u64..1000, 0..3),
+        gb in prop::collection::vec(0u64..1000, 0..3),
+        gc in prop::collection::vec(0u64..1000, 0..3),
+        ha in prop::collection::vec(1u64..100_000, 0..6),
+        hb in prop::collection::vec(1u64..100_000, 0..6),
+        hc in prop::collection::vec(1u64..100_000, 0..6),
+    ) {
+        let a = registry(&ca, &ga, &ha);
+        let b = registry(&cb, &gb, &hb);
+        let c = registry(&cc, &gc, &hc);
+        let base = merged_snapshot(&[&a, &b, &c]);
+        for order in [
+            [&a, &c, &b], [&b, &a, &c], [&b, &c, &a], [&c, &a, &b], [&c, &b, &a],
+        ] {
+            prop_assert_eq!(&merged_snapshot(&order), &base);
+        }
+        // Associativity via pre-reduced (b, c).
+        let mut bc = MetricsRegistry::new();
+        bc.merge(&b);
+        bc.merge(&c);
+        let mut assoc = a.clone();
+        assoc.merge(&bc);
+        prop_assert_eq!(&assoc.snapshot(), &base);
+    }
+
+    /// Merging an empty registry is the identity — shards that ran no
+    /// events contribute nothing.
+    #[test]
+    fn metrics_merge_empty_is_identity(
+        ca in prop::collection::vec(0u64..1000, 0..4),
+        ha in prop::collection::vec(1u64..100_000, 0..6),
+    ) {
+        let a = registry(&ca, &[7, 9], &ha);
+        let before = a.snapshot();
+        let mut merged = a.clone();
+        merged.merge(&MetricsRegistry::new());
+        prop_assert_eq!(&merged.snapshot(), &before);
+        let mut from_empty = MetricsRegistry::new();
+        from_empty.merge(&a);
+        prop_assert_eq!(&from_empty.snapshot(), &before);
+    }
+}

@@ -34,6 +34,10 @@
 //! - [`congestion`] — time-binned per-link/per-router utilization and
 //!   queue telemetry, exportable as CSV, Chrome counter tracks, and an
 //!   ASCII heatmap.
+//! - [`runtime`] — the same exact-accounting discipline pointed at the
+//!   *parallel runtime itself*: speedup attribution whose components
+//!   telescope to the measured gap, deterministic lookahead/imbalance
+//!   summaries, and Chrome-trace worker lanes for `des::par` profiles.
 //! - [`regress`] — schema-versioned benchmark reports and
 //!   threshold-based regression diffing for `scripts/bench_regress.sh`.
 //! - [`fingerprint`] — stable FNV-1a digests of exported run state,
@@ -51,6 +55,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod regress;
 pub mod retime;
+pub mod runtime;
 
 pub use breakdown::{fold_lifecycles, BreakdownSummary, FoldStats, PacketLifecycle, Stage};
 pub use causal::{Blame, CEdge, CNode, CausalGraph, CriticalPath, EdgeKind, NodeKind};
@@ -64,3 +69,4 @@ pub use recorder::{
 };
 pub use regress::{BenchReport, RegressFinding, RegressReport, BENCH_SCHEMA_VERSION};
 pub use retime::{retime, Perturbation, Retimed};
+pub use runtime::{profile_chrome_trace, RuntimeSummary, SpeedupAttribution};

@@ -217,6 +217,28 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// Merge another registry into this one, the per-shard reduction
+    /// used when parallel workers each keep a private registry: counters
+    /// add, gauges keep the maximum (they are high-watermark style), and
+    /// histograms pool their samples. The result is independent of merge
+    /// order and grouping — commutative and associative — which the
+    /// shard-permutation property tests assert, so any deterministic
+    /// shard order yields the same merged snapshot.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges
+                .entry(k.clone())
+                .and_modify(|g| *g = g.max(*v))
+                .or_insert(*v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
     /// Flatten the registry into a snapshot. Histograms expand to
     /// `name.count`, `name.mean_ns`, `name.p50_ns`, `name.p99_ns`,
     /// `name.max_ns`.
@@ -419,6 +441,26 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_maxes_gauges_pools_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.inc("net.sent", 10);
+        a.set_gauge("fifo.hwm", 3.0);
+        a.observe("lat", SimDuration::from_ns(100));
+        let mut b = MetricsRegistry::new();
+        b.inc("net.sent", 5);
+        b.inc("net.retransmits", 1);
+        b.set_gauge("fifo.hwm", 7.0);
+        b.observe("lat", SimDuration::from_ns(300));
+        a.merge(&b);
+        assert_eq!(a.counter("net.sent"), 15);
+        assert_eq!(a.counter("net.retransmits"), 1);
+        assert_eq!(a.gauge("fifo.hwm"), Some(7.0));
+        let h = a.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(SimDuration::from_ns(300)));
     }
 
     #[test]

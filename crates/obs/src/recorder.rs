@@ -235,6 +235,17 @@ pub trait Recorder {
 
     /// The traffic phase label changed.
     fn on_phase(&mut self, label: &str, at: SimTime) {}
+
+    /// Read access to the underlying [`FlightRecorder`], when this
+    /// recorder directly owns one. Lets a host that installed an owned
+    /// recorder behind a `Box<dyn Recorder>` read the captured events
+    /// back without dynamic downcasting — the lock-free alternative to
+    /// routing every hook through a [`SharedFlightRecorder`] mutex.
+    /// Wrappers that cannot hand out a plain reference (e.g. the shared
+    /// mutex handle) keep the default `None`.
+    fn as_flight(&self) -> Option<&FlightRecorder> {
+        None
+    }
 }
 
 /// A recorder that drops everything (the explicit spelling of the
@@ -468,6 +479,10 @@ impl Recorder for FlightRecorder {
             label: label.to_owned(),
             at,
         });
+    }
+
+    fn as_flight(&self) -> Option<&FlightRecorder> {
+        Some(self)
     }
 }
 

@@ -42,6 +42,18 @@ git diff --exit-code BENCH_pr4.json || {
   exit 1
 }
 
+# Runtime-observatory smoke: profiling must be invisible (fingerprints
+# bit-identical on/off and across 1 vs 4 threads, asserted inside the
+# binary), the speedup attribution must telescope, and the regenerated
+# BENCH_pr5.json — deterministic event-level metrics only, never wall
+# clock — must match the committed copy.
+cargo run -q --release -p anton-bench --bin par_profile
+test -s target/obs/par_runtime_trace.json
+git diff --exit-code BENCH_pr5.json || {
+  echo "ci: BENCH_pr5.json drifted from the committed copy" >&2
+  exit 1
+}
+
 # Perf-regression gate: the quick canonical suite must stay within 10%
 # of the committed baseline (fails the build otherwise).
 scripts/bench_regress.sh
