@@ -21,6 +21,7 @@
 
 pub mod allreduce;
 pub mod analysis;
+pub mod recovering;
 
 pub use allreduce::{
     random_inputs, run_all_reduce, run_all_reduce_faulty, run_all_reduce_par,
@@ -28,3 +29,6 @@ pub use allreduce::{
     AllReduceOutcome, CollectiveParams,
 };
 pub use analysis::{butterfly_cost, dimension_ordered_cost, HopCost};
+pub use recovering::{
+    run_all_reduce_recovering, run_all_reduce_recovering_par, RecoveringOutcome, RecoveringParams,
+};

@@ -140,7 +140,7 @@ impl AntonMdEngine {
     /// Advance one time step, reporting a stall instead of panicking.
     /// After an `Err` the machine state is mid-step and must not be
     /// stepped further; the report names every stuck counter.
-    pub fn try_step(&mut self) -> Result<StepTiming, StallReport> {
+    pub fn try_step(&mut self) -> Result<StepTiming, Box<StallReport>> {
         let timing = self.try_run_des_step(false)?;
         self.timings.push(timing.clone());
         Ok(timing)
@@ -171,7 +171,7 @@ impl AntonMdEngine {
         }
     }
 
-    fn try_run_des_step(&mut self, bootstrap: bool) -> Result<StepTiming, StallReport> {
+    fn try_run_des_step(&mut self, bootstrap: bool) -> Result<StepTiming, Box<StallReport>> {
         // ---- host-side pre-step ----
         let (thermostat, _long_range, migration) = {
             let mut st = self.state.borrow_mut();
@@ -274,7 +274,7 @@ impl AntonMdEngine {
                 let stats = sim.world.fabric.stats.clone();
                 self.stats_total.merge(&stats);
                 self.last_stats = Some(stats);
-                return Err(stall);
+                return Err(Box::new(stall));
             }
         }
 

@@ -333,6 +333,8 @@ impl MdNode {
             in_order: true,
             tag: 0,
             route: None,
+            order_seq: None,
+            reinjects: 0,
         };
         ctx.send(pkt);
     }

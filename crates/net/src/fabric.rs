@@ -22,11 +22,14 @@ use crate::packet::{
     ClientAddr, ClientKind, CounterId, Destination, Packet, PacketKind, PatternId, Payload,
     SourceRoute, COUNTER_BY_SOURCE,
 };
+use crate::recovery::{FailureVerdict, RecoveryConfig, RecoveryStats};
 use crate::timing::Timing;
 use anton_des::{Activity, Scheduler, SimDuration, SimTime, Tracer, TrackId};
-use anton_obs::{FlightRecorder, MetricsRegistry, PacketId, Recorder, SharedFlightRecorder};
+use anton_obs::{
+    FlightRecorder, MetricsRegistry, PacketId, Recorder, SharedFlightRecorder, VerdictCause,
+};
 use anton_topo::{Coord, Dim, LinkDir, LinkMask, MulticastPattern, NodeId, Route, TorusDims};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Capacity (in messages) of each slice's hardware message FIFO. The paper
@@ -86,6 +89,17 @@ pub enum Ev {
         /// The value the watch waits for.
         target: u64,
     },
+    /// A stranded packet re-enters the network at `node` after a
+    /// recovery backoff, its route recomputed around detected failures
+    /// (runtime fault recovery only). Node-local: the event fires on the
+    /// shard owning `node`, so it is exempt from the cross-shard
+    /// lookahead bound.
+    Reinject {
+        /// The stranded packet.
+        pkt: Packet,
+        /// The node it was stranded at.
+        node: NodeId,
+    },
 }
 
 /// Callbacks into node programs.
@@ -116,6 +130,18 @@ pub enum ProgEvent {
     },
 }
 
+/// In-order reassembly channel for one source client (runtime fault
+/// recovery only): rerouted packets can overtake on disjoint paths, so
+/// the destination applies them in sequence order, parking early
+/// arrivals.
+#[derive(Debug, Default)]
+struct InOrderChannel {
+    /// Next sequence number to apply.
+    next: u64,
+    /// Packets that arrived ahead of `next`, keyed by sequence.
+    held: BTreeMap<u64, Packet>,
+}
+
 /// Per-client simulated state.
 #[derive(Debug, Default)]
 struct ClientState {
@@ -129,6 +155,14 @@ struct ClientState {
     /// Per-source-node counter mapping for COUNTER_BY_SOURCE packets
     /// (the HTIS buffer table).
     source_counters: HashMap<anton_topo::NodeId, CounterId>,
+    /// `(source node, uid)` pairs already applied — the counted-write
+    /// duplicate check of the recovery protocol (at-least-once
+    /// transport, exactly-once effect). Only populated when recovery is
+    /// enabled.
+    seen: HashSet<(NodeId, u64)>,
+    /// In-order reassembly channels, keyed by source client (recovery
+    /// runs only).
+    inorder: HashMap<ClientAddr, InOrderChannel>,
 }
 
 /// Aggregate traffic statistics.
@@ -334,6 +368,27 @@ pub struct Fabric {
     uid_node_scoped: bool,
     /// Per-node uid counters for the node-scoped mode.
     next_uid_by_node: Vec<u64>,
+    /// Runtime fault-recovery policy ([`RecoveryConfig::disabled`] by
+    /// default, which keeps every path bit-identical to the
+    /// pre-recovery fabric).
+    recovery: RecoveryConfig,
+    /// Recovery counters, kept separate from [`NetStats`] so the
+    /// determinism fingerprints of recovery-disabled runs are unchanged.
+    recovery_stats: RecoveryStats,
+    /// Per-node bitmask (bit = `LinkDir::index`) of *this node's own*
+    /// outgoing links condemned by a failure detector. Strictly
+    /// node-local knowledge: a verdict is produced only by events at the
+    /// owning node and consulted only when routing at that node, which
+    /// is what keeps sequential and sharded-parallel runs bit-identical
+    /// (a shard never observes another shard's verdicts, and neither do
+    /// we).
+    detected_links: Vec<u8>,
+    /// Failure-detector verdicts in detection order (diagnosis; also
+    /// surfaced as flight-recorder events).
+    verdicts: Vec<FailureVerdict>,
+    /// Per-(source client, destination client) next in-order sequence
+    /// number, assigned at injection (recovery runs only).
+    order_tx_seq: HashMap<(ClientAddr, ClientAddr), u64>,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -344,6 +399,31 @@ struct NodePatternEntry {
 
 fn client_index(node: NodeId, client: ClientKind) -> usize {
     node.index() * 7 + client.index()
+}
+
+/// Why a link traversal failed (the caller turns this into either the
+/// pre-recovery loss bookkeeping or the runtime-recovery path).
+#[derive(Debug, Clone, Copy)]
+enum LinkFail {
+    /// The link was permanently dead when the attempt would have
+    /// started.
+    Dead {
+        /// When the (blocked) attempt would have started.
+        at: SimTime,
+    },
+    /// The retransmit budget exhausted.
+    Budget {
+        /// Start of the final failed attempt.
+        start: SimTime,
+        /// End of the final failed attempt's wire time (= when the
+        /// sender gives up; the retry-budget detector's verdict time).
+        end: SimTime,
+        /// Total attempts made.
+        attempts: u32,
+        /// Ack ambiguity: the final attempt's data crossed and only the
+        /// ack was lost (seeded draw; always false without recovery).
+        crossed: bool,
+    },
 }
 
 impl Fabric {
@@ -359,6 +439,17 @@ impl Fabric {
 
     /// Build with explicit timing and a fault-injection plan.
     pub fn with_faults(dims: TorusDims, timing: Timing, fault: FaultPlan) -> Fabric {
+        Fabric::with_recovery(dims, timing, fault, RecoveryConfig::disabled())
+    }
+
+    /// Build with explicit timing, a fault-injection plan, and a runtime
+    /// fault-recovery policy (DESIGN.md §12).
+    pub fn with_recovery(
+        dims: TorusDims,
+        timing: Timing,
+        fault: FaultPlan,
+        recovery: RecoveryConfig,
+    ) -> Fabric {
         let n = dims.node_count() as usize;
         let mut clients: Vec<ClientState> = Vec::with_capacity(n * 7);
         for _ in 0..n {
@@ -419,7 +510,28 @@ impl Fabric {
             next_uid: 0,
             uid_node_scoped: false,
             next_uid_by_node: Vec::new(),
+            recovery,
+            recovery_stats: RecoveryStats::default(),
+            detected_links: vec![0; n],
+            verdicts: Vec::new(),
+            order_tx_seq: HashMap::new(),
         }
+    }
+
+    /// The runtime fault-recovery policy in force.
+    pub fn recovery_config(&self) -> &RecoveryConfig {
+        &self.recovery
+    }
+
+    /// Recovery-subsystem counters (all zero unless recovery is
+    /// enabled).
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery_stats
+    }
+
+    /// Failure-detector verdicts issued so far, in detection order.
+    pub fn verdicts(&self) -> &[FailureVerdict] {
+        &self.verdicts
     }
 
     /// Switch packet-uid assignment to node-scoped ids
@@ -549,8 +661,11 @@ impl Fabric {
     /// drops or corrupts charges the link for its wasted wire time plus
     /// the recovery delay (ack timeout with exponential backoff for
     /// silent drops, nack turnaround for CRC-caught corruption). Returns
-    /// the start time of the successful attempt, or `None` when the
-    /// packet is lost (dead link, or retransmit budget exhausted). With
+    /// the start time of the successful attempt, or a [`LinkFail`]
+    /// describing why the traversal failed (dead link, or retransmit
+    /// budget exhausted) — the caller decides between counting the
+    /// packet lost (the pre-recovery behavior, via
+    /// [`Fabric::record_link_loss`]) and the runtime-recovery path. With
     /// [`FaultPlan::none`] no draws happen and the timing is identical to
     /// a fabric without the fault layer.
     fn reserve_link(
@@ -560,15 +675,13 @@ impl Fabric {
         link: LinkDir,
         ready: SimTime,
         payload_bytes: u32,
-    ) -> Option<SimTime> {
+    ) -> Result<SimTime, LinkFail> {
         let idx = node.index() * 6 + link.index();
         let dead_at = self.link_dead_at[idx];
         let occ = self.timing.link_occupancy(payload_bytes);
         let mut start = ready.max(self.link_busy[idx]);
         if matches!(dead_at, Some(d) if start >= d) {
-            self.record_error(FabricError::DeadLink { node, link });
-            self.stats.packets_lost += 1;
-            return None;
+            return Err(LinkFail::Dead { at: start });
         }
         if self.fault.has_transients() {
             let retry = self.fault.retry;
@@ -594,13 +707,16 @@ impl Fabric {
                     // attempts still occupied the link.
                     self.link_busy[idx] = start + occ;
                     self.stats.retry_budget_exhausted += 1;
-                    self.stats.packets_lost += 1;
-                    self.record_error(FabricError::RetryBudgetExhausted {
-                        node,
-                        link,
+                    // Ack ambiguity (recovery only): did the final
+                    // attempt's data cross with just the ack lost? A
+                    // pure seeded draw — false whenever recovery is off.
+                    let crossed = self.recovery.final_attempt_crossed(idx as u64, uid);
+                    return Err(LinkFail::Budget {
+                        start,
+                        end: start + occ,
                         attempts: failed + 1,
+                        crossed,
                     });
-                    return None;
                 }
                 self.stats.retransmits += 1;
                 if let Some(rec) = self.recorder.as_mut() {
@@ -612,9 +728,7 @@ impl Fabric {
                     if start >= d {
                         // The link died mid-retransmit-sequence.
                         self.link_busy[idx] = d;
-                        self.record_error(FabricError::DeadLink { node, link });
-                        self.stats.packets_lost += 1;
-                        return None;
+                        return Err(LinkFail::Dead { at: start });
                     }
                 }
             }
@@ -633,7 +747,266 @@ impl Fabric {
         if let Some(rec) = self.recorder.as_mut() {
             rec.on_link_reserve(PacketId(uid), node, link, ready, start, start + occ);
         }
-        Some(start)
+        Ok(start)
+    }
+
+    /// Record a failed traversal as a packet loss — exactly the
+    /// pre-recovery bookkeeping. Multicast branches always take this
+    /// path (hardware pattern tables do not reroute); unicast packets
+    /// take it when recovery is disabled or the re-injection budget is
+    /// spent.
+    fn record_link_loss(&mut self, node: NodeId, link: LinkDir, fail: &LinkFail) {
+        match *fail {
+            LinkFail::Dead { .. } => {
+                self.record_error(FabricError::DeadLink { node, link });
+            }
+            LinkFail::Budget { attempts, .. } => {
+                self.record_error(FabricError::RetryBudgetExhausted {
+                    node,
+                    link,
+                    attempts,
+                });
+            }
+        }
+        self.stats.packets_lost += 1;
+    }
+
+    /// Failure detection: promote a failed traversal to a `LinkDown`
+    /// verdict. Retransmit-budget exhaustion is its own evidence (the
+    /// protocol gave up at a known time); a silently dead link is
+    /// noticed by the heartbeat/idle deadline after the attempt started.
+    fn detect(&self, fail: &LinkFail) -> (VerdictCause, SimTime) {
+        match *fail {
+            LinkFail::Dead { at } => (
+                VerdictCause::Heartbeat,
+                at + SimDuration::from_ns_f64(self.recovery.heartbeat_timeout_ns),
+            ),
+            LinkFail::Budget { end, .. } => (VerdictCause::RetryBudget, end),
+        }
+    }
+
+    /// Issue a `LinkDown` verdict for `node`'s outgoing `link` (idempotent
+    /// per link); when it is the node's sixth condemned link, escalate to
+    /// a `NodeDown` verdict.
+    fn record_verdict(&mut self, node: NodeId, link: LinkDir, cause: VerdictCause, at: SimTime) {
+        let bit = 1u8 << link.index();
+        let det = &mut self.detected_links[node.index()];
+        if *det & bit != 0 {
+            return;
+        }
+        *det |= bit;
+        let all_down = *det == 0b0011_1111;
+        self.recovery_stats.link_verdicts += 1;
+        self.verdicts.push(FailureVerdict {
+            node,
+            link: Some(link),
+            cause,
+            at,
+        });
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.on_link_down(node, link, cause, at);
+        }
+        if all_down {
+            self.recovery_stats.node_verdicts += 1;
+            self.verdicts.push(FailureVerdict {
+                node,
+                link: None,
+                cause,
+                at,
+            });
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.on_node_down(node, at);
+            }
+        }
+    }
+
+    /// The routing mask as seen *from `node`*: the globally-known plan
+    /// mask (replica-identical by construction) plus this node's own
+    /// detected links. `LinkMask` is updated incrementally — the plan
+    /// mask is cloned and at most six `kill_link` calls are applied, not
+    /// rebuilt from the fault plan.
+    fn local_mask(&self, node: NodeId) -> LinkMask {
+        let mut mask = match &self.route_mask {
+            Some(m) => m.clone(),
+            None => LinkMask::none(self.dims),
+        };
+        let det = self.detected_links[node.index()];
+        if det != 0 {
+            let coord = node.coord(self.dims);
+            for l in LinkDir::ALL {
+                if det & (1 << l.index()) != 0 {
+                    mask.kill_link(coord, l);
+                }
+            }
+        }
+        mask
+    }
+
+    /// A multicast branch failed its traversal: issue the detector
+    /// verdict (when recovery is on) but always count the subtree lost —
+    /// multicast trees are burned into hardware tables and do not
+    /// reroute.
+    fn link_failed_multicast(&mut self, node: NodeId, link: LinkDir, fail: &LinkFail) {
+        if self.recovery.enabled {
+            let (cause, at) = self.detect(fail);
+            self.record_verdict(node, link, cause, at);
+        }
+        self.record_link_loss(node, link, fail);
+    }
+
+    /// A unicast packet failed its traversal at `node`. Without recovery
+    /// this is exactly the pre-recovery loss; with recovery the fabric
+    /// issues the detector verdict, forks the ack-ambiguity duplicate
+    /// when the final attempt's data crossed, and re-injects the
+    /// stranded packet after a seeded exponential backoff until its
+    /// budget runs out.
+    fn link_failed_unicast(
+        &mut self,
+        mut pkt: Packet,
+        node: NodeId,
+        link: LinkDir,
+        fail: LinkFail,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        if !self.recovery.enabled {
+            self.record_link_loss(node, link, &fail);
+            return;
+        }
+        let (cause, detect_at) = self.detect(&fail);
+        self.record_verdict(node, link, cause, detect_at);
+
+        if let LinkFail::Budget {
+            start,
+            crossed: true,
+            ..
+        } = fail
+        {
+            // The data crossed; only the ack was lost. The duplicate
+            // continues downstream on the normal timeline and the
+            // counted-write check suppresses whichever copy arrives
+            // second. Same arrival arithmetic as a successful traversal,
+            // so the conservative cross-shard lookahead bound holds.
+            self.recovery_stats.duplicate_forks += 1;
+            let next = node
+                .coord(self.dims)
+                .step(link, self.dims)
+                .node_id(self.dims);
+            sched.at(
+                start + self.timing.link_head(),
+                Ev::HopArrive {
+                    pkt: pkt.clone(),
+                    node: next,
+                    in_dim: link.dim,
+                },
+            );
+        }
+
+        if pkt.reinjects >= self.recovery.max_reinjects {
+            self.record_link_loss(node, link, &fail);
+            self.recovery_stats.packets_lost_unrecovered += 1;
+            return;
+        }
+        pkt.reinjects += 1;
+        pkt.route = None; // recomputed around the verdict at re-injection
+        let attempt = pkt.reinjects;
+        let when = detect_at + self.recovery.backoff_delay(pkt.uid, attempt);
+        self.recovery_stats.reinjections += 1;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.on_reinject(PacketId(pkt.uid), node, attempt, when);
+        }
+        sched.at(when, Ev::Reinject { pkt, node });
+    }
+
+    /// Handle [`Ev::Reinject`]: a stranded packet re-enters the network
+    /// at `node` with a route recomputed from the plan mask plus this
+    /// node's own verdicts.
+    pub fn reinject(
+        &mut self,
+        mut pkt: Packet,
+        node: NodeId,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        self.advance_deaths(now);
+        let Destination::Unicast(dst) = pkt.dest else {
+            return; // multicast never re-injects
+        };
+        if dst.node == node {
+            let done =
+                now + self.timing.recv_overhead() + self.timing.payload_tail(pkt.payload_bytes);
+            sched.at(
+                done,
+                Ev::Deliver {
+                    node,
+                    client: dst.client,
+                    pkt,
+                },
+            );
+            return;
+        }
+        let cur = node.coord(self.dims);
+        let dst_c = dst.node.coord(self.dims);
+        let det = self.detected_links[node.index()];
+        let plan_dead = self.route_mask.as_ref().is_some_and(|m| m.any_dead());
+        let link = if det != 0 || plan_dead {
+            let mask = self.local_mask(node);
+            match Route::compute_avoiding(cur, dst_c, self.dims, &mask) {
+                Ok(route) => {
+                    let steps = route.steps().to_vec();
+                    let first = steps[0];
+                    pkt.route = Some(SourceRoute {
+                        steps: Arc::new(steps),
+                        next: 1,
+                    });
+                    first
+                }
+                Err(_) => {
+                    // No surviving route from here with local knowledge.
+                    self.stats.packets_lost += 1;
+                    self.record_error(FabricError::NoRoute {
+                        node,
+                        dst: dst.node,
+                    });
+                    self.recovery_stats.packets_lost_unrecovered += 1;
+                    return;
+                }
+            }
+        } else {
+            match Route::next_link_from(cur, dst_c, self.dims) {
+                Some(l) => l,
+                None => {
+                    self.stats.packets_lost += 1;
+                    self.record_error(FabricError::NoRoute {
+                        node,
+                        dst: dst.node,
+                    });
+                    self.recovery_stats.packets_lost_unrecovered += 1;
+                    return;
+                }
+            }
+        };
+        // The re-entering packet is buffered in the node's receive
+        // adapter: charge one router transit before it is wire-ready
+        // (which also keeps the downstream hop arrival outside the
+        // conservative cross-shard lookahead window).
+        let ready = now + self.timing.transit_ring(link.dim, link.dim);
+        match self.reserve_link(pkt.uid, node, link, ready, pkt.payload_bytes) {
+            Ok(start) => {
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.on_hop_exit(PacketId(pkt.uid), node, start);
+                }
+                let next = cur.step(link, self.dims).node_id(self.dims);
+                sched.at(
+                    start + self.timing.link_head(),
+                    Ev::HopArrive {
+                        pkt,
+                        node: next,
+                        in_dim: link.dim,
+                    },
+                );
+            }
+            Err(fail) => self.link_failed_unicast(pkt, node, link, fail, sched),
+        }
     }
 
     /// Apply permanent failures whose activation time has passed to the
@@ -693,6 +1066,17 @@ impl Fabric {
         self.stats.packets_sent += 1;
         self.stats.sent_by_node[src_node.index()] += 1;
 
+        // Recovery: rerouted packets can overtake on disjoint paths, so
+        // in-order traffic is sequenced at injection and reassembled at
+        // the destination.
+        if self.recovery.enabled && pkt.in_order {
+            if let Destination::Unicast(dst) = pkt.dest {
+                let seq = self.order_tx_seq.entry((pkt.src, dst)).or_insert(0);
+                pkt.order_seq = Some(*seq);
+                *seq += 1;
+            }
+        }
+
         // The sending Tensilica core is occupied briefly per send (the
         // full send_setup is pipeline latency, not occupancy).
         let ci = client_index(src_node, pkt.src.client);
@@ -748,39 +1132,70 @@ impl Fabric {
                     // source route around the dead links at injection (a
                     // per-hop detour could livelock); otherwise keep the
                     // fault-free per-hop dimension-ordered decision.
-                    let link = match &self.route_mask {
-                        Some(mask) if mask.any_dead() => {
-                            match Route::compute_avoiding(src_c, dst_c, self.dims, mask) {
-                                Ok(route) => {
-                                    let steps = route.steps().to_vec();
-                                    let first = steps[0];
-                                    pkt.route = Some(SourceRoute {
-                                        steps: Arc::new(steps),
-                                        next: 1,
-                                    });
-                                    first
-                                }
-                                Err(_) => {
-                                    self.stats.packets_unreachable += 1;
-                                    self.record_error(FabricError::Unreachable {
-                                        src: src_node,
-                                        dst: dst.node,
-                                    });
-                                    return;
-                                }
+                    // Runtime verdicts about *this node's own* links
+                    // fold into the mask — strictly local knowledge, so
+                    // sequential and sharded runs route identically.
+                    let det = if self.recovery.enabled {
+                        self.detected_links[src_node.index()]
+                    } else {
+                        0
+                    };
+                    let link = if det != 0 {
+                        let mask = self.local_mask(src_node);
+                        match Route::compute_avoiding(src_c, dst_c, self.dims, &mask) {
+                            Ok(route) => {
+                                let steps = route.steps().to_vec();
+                                let first = steps[0];
+                                pkt.route = Some(SourceRoute {
+                                    steps: Arc::new(steps),
+                                    next: 1,
+                                });
+                                first
                             }
-                        }
-                        _ => match Route::next_link_from(src_c, dst_c, self.dims) {
-                            Some(l) => l,
-                            None => {
+                            Err(_) => {
                                 self.stats.packets_unreachable += 1;
-                                self.record_error(FabricError::NoRoute {
-                                    node: src_node,
+                                self.record_error(FabricError::Unreachable {
+                                    src: src_node,
                                     dst: dst.node,
                                 });
                                 return;
                             }
-                        },
+                        }
+                    } else {
+                        match &self.route_mask {
+                            Some(mask) if mask.any_dead() => {
+                                match Route::compute_avoiding(src_c, dst_c, self.dims, mask) {
+                                    Ok(route) => {
+                                        let steps = route.steps().to_vec();
+                                        let first = steps[0];
+                                        pkt.route = Some(SourceRoute {
+                                            steps: Arc::new(steps),
+                                            next: 1,
+                                        });
+                                        first
+                                    }
+                                    Err(_) => {
+                                        self.stats.packets_unreachable += 1;
+                                        self.record_error(FabricError::Unreachable {
+                                            src: src_node,
+                                            dst: dst.node,
+                                        });
+                                        return;
+                                    }
+                                }
+                            }
+                            _ => match Route::next_link_from(src_c, dst_c, self.dims) {
+                                Some(l) => l,
+                                None => {
+                                    self.stats.packets_unreachable += 1;
+                                    self.record_error(FabricError::NoRoute {
+                                        node: src_node,
+                                        dst: dst.node,
+                                    });
+                                    return;
+                                }
+                            },
+                        }
                     };
                     let ready = inj_start + SimDuration::from_ns_f64(self.timing.send_ring_ns);
                     if let Some(rec) = self.recorder.as_mut() {
@@ -796,10 +1211,20 @@ impl Fabric {
                             pkt.payload_bytes,
                         );
                     }
-                    let Some(start) =
-                        self.reserve_link(pkt.uid, src_node, link, ready, pkt.payload_bytes)
-                    else {
-                        return; // lost; reserve_link recorded why
+                    let start = match self.reserve_link(
+                        pkt.uid,
+                        src_node,
+                        link,
+                        ready,
+                        pkt.payload_bytes,
+                    ) {
+                        Ok(start) => start,
+                        Err(fail) => {
+                            // Lost at the first hop; with recovery this
+                            // becomes a verdict + re-injection instead.
+                            self.link_failed_unicast(pkt, src_node, link, fail, sched);
+                            return;
+                        }
                     };
                     if let Some(rec) = self.recorder.as_mut() {
                         rec.on_hop_exit(PacketId(pkt.uid), src_node, start);
@@ -858,11 +1283,16 @@ impl Fabric {
                     );
                 }
                 for l in entry.forward {
-                    let Some(start) =
-                        self.reserve_link(pkt.uid, src_node, l, ready, pkt.payload_bytes)
-                    else {
-                        continue; // this branch's subtree is lost
-                    };
+                    let start =
+                        match self.reserve_link(pkt.uid, src_node, l, ready, pkt.payload_bytes) {
+                            Ok(start) => start,
+                            Err(fail) => {
+                                // This branch's subtree is lost (the
+                                // detector still learns from it).
+                                self.link_failed_multicast(src_node, l, &fail);
+                                continue;
+                            }
+                        };
                     let next = src_c.step(l, self.dims).node_id(self.dims);
                     sched.at(
                         start + self.timing.link_head(),
@@ -926,6 +1356,32 @@ impl Fabric {
                                 return;
                             }
                         }
+                    } else if self.recovery.enabled && self.detected_links[node.index()] != 0 {
+                        // This router has condemned some of its own
+                        // links: detour around them from here (and pin
+                        // the rest of the path so a later hop cannot
+                        // route back into the detour).
+                        let mask = self.local_mask(node);
+                        match Route::compute_avoiding(cur, dst_c, self.dims, &mask) {
+                            Ok(route) => {
+                                let steps = route.steps().to_vec();
+                                let first = steps[0];
+                                pkt.route = Some(SourceRoute {
+                                    steps: Arc::new(steps),
+                                    next: 1,
+                                });
+                                first
+                            }
+                            Err(_) => {
+                                self.stats.packets_lost += 1;
+                                self.record_error(FabricError::NoRoute {
+                                    node,
+                                    dst: dst.node,
+                                });
+                                self.recovery_stats.packets_lost_unrecovered += 1;
+                                return;
+                            }
+                        }
                     } else {
                         match Route::next_link_from(cur, dst_c, self.dims) {
                             Some(l) => l,
@@ -940,11 +1396,16 @@ impl Fabric {
                         }
                     };
                     let ready = now + self.timing.transit_ring(in_dim, link.dim);
-                    let Some(start) =
-                        self.reserve_link(pkt.uid, node, link, ready, pkt.payload_bytes)
-                    else {
-                        return; // lost mid-flight; reserve_link recorded why
-                    };
+                    let start =
+                        match self.reserve_link(pkt.uid, node, link, ready, pkt.payload_bytes) {
+                            Ok(start) => start,
+                            Err(fail) => {
+                                // Stranded mid-flight; with recovery the
+                                // packet re-injects from this hop.
+                                self.link_failed_unicast(pkt, node, link, fail, sched);
+                                return;
+                            }
+                        };
                     if let Some(rec) = self.recorder.as_mut() {
                         rec.on_hop_exit(PacketId(pkt.uid), node, start);
                     }
@@ -981,9 +1442,15 @@ impl Fabric {
                 let cur = node.coord(self.dims);
                 for l in entry.forward {
                     let ready = now + self.timing.transit_ring(in_dim, l.dim);
-                    let Some(start) = self.reserve_link(pkt.uid, node, l, ready, pkt.payload_bytes)
-                    else {
-                        continue; // this branch's subtree is lost
+                    let start = match self.reserve_link(pkt.uid, node, l, ready, pkt.payload_bytes)
+                    {
+                        Ok(start) => start,
+                        Err(fail) => {
+                            // This branch's subtree is lost (the
+                            // detector still learns from it).
+                            self.link_failed_multicast(node, l, &fail);
+                            continue;
+                        }
                     };
                     let next = cur.step(l, self.dims).node_id(self.dims);
                     sched.at(
@@ -1019,6 +1486,64 @@ impl Fabric {
             self.record_error(FabricError::CorruptDelivery { node, client });
             return;
         }
+        if self.recovery.enabled {
+            let ci = client_index(node, client);
+            // Exactly-once effect over at-least-once transport: the
+            // counted-write check drops any copy whose (source node,
+            // uid) was already applied — the ack-ambiguity fork, or a
+            // re-injected original whose first copy made it through.
+            if !self.clients[ci].seen.insert((pkt.src.node, pkt.uid)) {
+                self.recovery_stats.duplicates_suppressed += 1;
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.on_duplicate_suppressed(PacketId(pkt.uid), node, now);
+                }
+                return;
+            }
+            // In-order reassembly: a rerouted packet can overtake on a
+            // disjoint path; apply strictly in injection sequence,
+            // parking early arrivals until their predecessors land.
+            if let (true, Some(seq)) = (pkt.in_order, pkt.order_seq) {
+                let src = pkt.src;
+                let chan = self.clients[ci].inorder.entry(src).or_default();
+                if seq > chan.next {
+                    self.recovery_stats.inorder_holds += 1;
+                    chan.held.insert(seq, pkt);
+                    return;
+                }
+                debug_assert_eq!(seq, chan.next, "duplicate below the seen check");
+                chan.next += 1;
+                self.apply_delivery(pkt, node, client, now, sched);
+                // Drain consecutively-held successors at this instant.
+                loop {
+                    let chan = self.clients[ci]
+                        .inorder
+                        .get_mut(&src)
+                        .expect("channel created above");
+                    let next_seq = chan.next;
+                    let Some(held) = chan.held.remove(&next_seq) else {
+                        break;
+                    };
+                    chan.next += 1;
+                    self.apply_delivery(held, node, client, now, sched);
+                }
+                return;
+            }
+        }
+        self.apply_delivery(pkt, node, client, now, sched);
+    }
+
+    /// Apply a delivery that passed the CRC and (when recovery is
+    /// enabled) the duplicate/ordering gates: bump the stats, mutate the
+    /// client state, and fire counters. This is the entire pre-recovery
+    /// delivery path, unchanged.
+    fn apply_delivery(
+        &mut self,
+        pkt: Packet,
+        node: NodeId,
+        client: ClientKind,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
         self.stats.packets_delivered += 1;
         self.stats.payload_bytes_delivered += pkt.payload_bytes as u64;
         self.stats.delivered_by_node[node.index()] += 1;

@@ -294,7 +294,7 @@ impl FaultPlan {
 
 /// SplitMix64-style avalanche of `(seed, link, seq)` to a uniform value
 /// in `[0, 1)`.
-fn hash_unit(seed: u64, link: u64, seq: u64) -> f64 {
+pub(crate) fn hash_unit(seed: u64, link: u64, seq: u64) -> f64 {
     let mut z =
         seed ^ link.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seq.wrapping_mul(0xD1B5_4A32_D192_ED03);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -17,6 +17,7 @@ pub mod fault;
 pub mod memory;
 pub mod packet;
 pub mod par;
+pub mod recovery;
 pub mod timing;
 pub mod world;
 
@@ -32,6 +33,10 @@ pub use packet::{
 };
 pub use par::{
     merge_flight_events, threads_from_env, EvShardMap, NodeShardWorld, ParSimulation, ShardPlan,
+};
+pub use recovery::{
+    chaos_level_from_env, chaos_seed_from_env, FailureVerdict, RecoveryConfig, RecoveryStats,
+    CHAOS_LEVEL_MAX, CHAOS_SEED_DEFAULT,
 };
 pub use timing::{
     Timing, HEADER_BYTES, IN_HEADER_PAYLOAD_BYTES, LINK_EFFECTIVE_GBPS, LINK_RAW_GBPS,

@@ -194,10 +194,12 @@ pub struct Packet {
     /// Synchronization counter to increment on arrival, if any.
     pub counter: Option<CounterId>,
     /// §III.A: header flag selecting guaranteed in-order delivery between
-    /// fixed source–destination pairs. The simulated network (deterministic
-    /// dimension-ordered routes over FIFO links) happens to always deliver
-    /// in order, so the flag is honored trivially; it is carried for API
-    /// fidelity and asserted on in tests.
+    /// fixed source–destination pairs. On the healthy fabric
+    /// (deterministic dimension-ordered routes over FIFO links) delivery
+    /// is always in order and the flag is honored trivially; under
+    /// runtime fault recovery a rerouted packet can overtake, so the
+    /// fabric assigns [`Packet::order_seq`] and reassembles at the
+    /// destination.
     pub in_order: bool,
     /// Application tag dispatched back to the receiving node program.
     pub tag: u64,
@@ -211,6 +213,14 @@ pub struct Packet {
     /// next step to take. `None` routes dimension-ordered per hop, as the
     /// healthy hardware does.
     pub route: Option<SourceRoute>,
+    /// Per-(source client, destination client) sequence number, assigned
+    /// at injection for in-order packets when runtime fault recovery is
+    /// enabled. The destination holds packets that arrive ahead of the
+    /// sequence and applies them in order.
+    pub order_seq: Option<u64>,
+    /// Recovery re-injections consumed so far, bounded by
+    /// [`RecoveryConfig::max_reinjects`](crate::recovery::RecoveryConfig::max_reinjects).
+    pub reinjects: u32,
 }
 
 /// A packet-carried route around permanently dead links (fault runs
@@ -241,6 +251,8 @@ impl Packet {
             in_order: false,
             tag: 0,
             route: None,
+            order_seq: None,
+            reinjects: 0,
         }
     }
 
@@ -266,6 +278,8 @@ impl Packet {
             in_order: false,
             tag: 0,
             route: None,
+            order_seq: None,
+            reinjects: 0,
         }
     }
 
@@ -286,6 +300,8 @@ impl Packet {
             in_order: false,
             tag: 0,
             route: None,
+            order_seq: None,
+            reinjects: 0,
         }
     }
 

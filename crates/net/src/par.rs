@@ -218,7 +218,8 @@ impl ShardMap<Ev> for EvShardMap {
             Ev::HopArrive { node, .. }
             | Ev::Deliver { node, .. }
             | Ev::FifoService { node, .. }
-            | Ev::Prog { node, .. } => self.plan.shard_of_node(*node),
+            | Ev::Prog { node, .. }
+            | Ev::Reinject { node, .. } => self.plan.shard_of_node(*node),
             Ev::WatchdogCheck { addr, .. } => self.plan.shard_of_node(addr.node),
         }
     }
@@ -284,6 +285,11 @@ impl<P: NodeProgram> EventHandler<Ev> for NodeShardWorld<P> {
             }
             Ev::Prog { node, pe } => {
                 self.dispatch(node, pe, sched);
+            }
+            Ev::Reinject { pkt, node } => {
+                debug_assert!(self.owns(node));
+                let now = sched.now();
+                self.fabric.reinject(pkt, node, now, sched);
             }
             Ev::WatchdogCheck {
                 addr,
@@ -447,6 +453,7 @@ impl<P: NodeProgram + Send> ParSimulation<P> {
                 at: self.now(),
                 stuck,
                 watchdog: self.merged_watchdog_reports(),
+                stats: self.merged_stats(),
             })
         }
     }
@@ -551,6 +558,30 @@ impl<P: NodeProgram + Send> ParSimulation<P> {
             .iter()
             .flat_map(|w| w.fabric.errors().iter().cloned())
             .collect()
+    }
+
+    /// Recovery counters summed across shard replicas (each verdict,
+    /// reinjection, and suppression executes on exactly one replica, so
+    /// the sum equals the sequential run's totals).
+    pub fn merged_recovery_stats(&self) -> crate::recovery::RecoveryStats {
+        let mut total = crate::recovery::RecoveryStats::default();
+        for w in &self.worlds {
+            total.merge(w.fabric.recovery_stats());
+        }
+        total
+    }
+
+    /// Failure verdicts merged across shards into one deterministic
+    /// stream, ordered by `(verdict time, node, link)` — the same order
+    /// a sequential run's single log sorts into.
+    pub fn merged_verdicts(&self) -> Vec<crate::recovery::FailureVerdict> {
+        let mut out: Vec<crate::recovery::FailureVerdict> = self
+            .worlds
+            .iter()
+            .flat_map(|w| w.fabric.verdicts().iter().cloned())
+            .collect();
+        out.sort_by_key(|v| (v.at, v.node.index(), v.link.map(|l| l.index())));
+        out
     }
 }
 

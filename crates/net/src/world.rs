@@ -261,6 +261,10 @@ impl<P: NodeProgram> EventHandler<Ev> for SimWorld<P> {
                 let now = sched.now();
                 self.fabric.watchdog_check(addr, counter, target, now);
             }
+            Ev::Reinject { pkt, node } => {
+                let now = sched.now();
+                self.fabric.reinject(pkt, node, now, sched);
+            }
         }
     }
 }
@@ -304,6 +308,10 @@ pub struct StallReport {
     pub stuck: Vec<StuckWatch>,
     /// Watchdog deadlines that expired during the run.
     pub watchdog: Vec<WatchdogReport>,
+    /// Snapshot of the fabric's traffic counters at the stall: how many
+    /// packets were lost, unreachable, or budget-exhausted makes a
+    /// chaos-induced stall diagnosable from the report alone.
+    pub stats: crate::fabric::NetStats,
 }
 
 impl fmt::Display for StallReport {
@@ -322,6 +330,16 @@ impl fmt::Display for StallReport {
         for w in &self.watchdog {
             writeln!(f, "  {w}")?;
         }
+        writeln!(
+            f,
+            "  net: {} sent, {} delivered, {} lost, {} unreachable, {} retry-exhausted, {} delivery error(s)",
+            self.stats.packets_sent,
+            self.stats.packets_delivered,
+            self.stats.packets_lost,
+            self.stats.packets_unreachable,
+            self.stats.retry_budget_exhausted,
+            self.stats.delivery_errors,
+        )?;
         Ok(())
     }
 }
@@ -424,6 +442,7 @@ impl<P: NodeProgram> Simulation<P> {
                 at: self.now(),
                 stuck,
                 watchdog: self.world.fabric.watchdog_reports().to_vec(),
+                stats: self.world.fabric.stats.clone(),
             })
         }
     }

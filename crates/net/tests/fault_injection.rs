@@ -162,6 +162,16 @@ fn lost_packet_triggers_watchdog_and_stall_report() {
         .errors()
         .iter()
         .any(|e| matches!(e, FabricError::RetryBudgetExhausted { .. })));
+    // The report embeds the traffic snapshot, so a chaos-induced stall
+    // is diagnosable from the report alone — no fabric access needed.
+    assert_eq!(stall.stats, stats);
+    assert_eq!(stall.stats.packets_lost, 4);
+    assert!(stall.stats.retry_budget_exhausted > 0);
+    let shown = format!("{stall}");
+    assert!(
+        shown.contains("4 lost"),
+        "Display names the losses: {shown}"
+    );
 }
 
 #[test]

@@ -93,6 +93,8 @@ impl NodeProgram for BadProgram {
                     in_order: false,
                     tag: 0,
                     route: None,
+                    order_seq: None,
+                    reinjects: 0,
                 };
                 ctx.send(pkt);
             }

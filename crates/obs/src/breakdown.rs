@@ -185,7 +185,11 @@ where
             }
             FlightEvent::LinkReserve { .. }
             | FlightEvent::HopExit { .. }
-            | FlightEvent::Phase { .. } => {}
+            | FlightEvent::Phase { .. }
+            | FlightEvent::LinkDown { .. }
+            | FlightEvent::NodeDown { .. }
+            | FlightEvent::Reinject { .. }
+            | FlightEvent::DuplicateSuppressed { .. } => {}
         }
     }
 

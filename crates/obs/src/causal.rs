@@ -669,6 +669,13 @@ impl CausalGraph {
                 FlightEvent::Phase { ref label, at } => {
                     b.g.phases.push((label.clone(), at));
                 }
+                // Recovery events mark control-plane activity, not
+                // packet-latency causality; the critical-path graph
+                // skips them.
+                FlightEvent::LinkDown { .. }
+                | FlightEvent::NodeDown { .. }
+                | FlightEvent::Reinject { .. }
+                | FlightEvent::DuplicateSuppressed { .. } => {}
             }
         }
         b.g

@@ -66,6 +66,7 @@ pub use json::validate_json;
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{
     FlightEvent, FlightRecorder, NopRecorder, PacketId, Recorder, SharedFlightRecorder,
+    VerdictCause,
 };
 pub use regress::{BenchReport, RegressFinding, RegressReport, BENCH_SCHEMA_VERSION};
 pub use retime::{retime, Perturbation, Retimed};

@@ -22,6 +22,18 @@ use std::sync::{Arc, Mutex, MutexGuard};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PacketId(pub u64);
 
+/// Why a failure detector promoted transient loss to a permanent-failure
+/// verdict (runtime fault recovery, DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerdictCause {
+    /// The link-layer retransmit budget exhausted: the ack/retransmit
+    /// protocol gave up, which is itself the detection signal.
+    RetryBudget,
+    /// No acknowledgement within the heartbeat/idle deadline: the link
+    /// went silently dead and the sender's idle timer expired.
+    Heartbeat,
+}
+
 /// One recorded packet-lifecycle event. Field names follow the model's
 /// timeline: a send issues at `at`, finishes packet assembly at
 /// `inj_ready`, wins the injection port at `inj_start`, and is ready for
@@ -134,10 +146,54 @@ pub enum FlightEvent {
         /// When it took effect.
         at: SimTime,
     },
+    /// A failure detector promoted transient loss on one outgoing link
+    /// to a permanent `LinkDown` verdict (recovery runs only).
+    LinkDown {
+        /// Node owning the outgoing link.
+        node: NodeId,
+        /// The condemned link direction.
+        link: LinkDir,
+        /// Which detector fired.
+        cause: VerdictCause,
+        /// Simulated detection time.
+        at: SimTime,
+    },
+    /// All six outgoing links of a node were condemned: the node itself
+    /// is declared dead (recovery runs only).
+    NodeDown {
+        /// The condemned node.
+        node: NodeId,
+        /// When the last of its links was condemned.
+        at: SimTime,
+    },
+    /// A stranded packet re-entered the network after a recovery
+    /// backoff, with its route recomputed around detected failures.
+    Reinject {
+        /// The packet.
+        pkt: PacketId,
+        /// Node the packet was stranded at (the re-injection point).
+        node: NodeId,
+        /// 1-based recovery attempt number.
+        attempt: u32,
+        /// Re-injection time (detection time + seeded backoff).
+        at: SimTime,
+    },
+    /// A delivery was suppressed because the counted remote write had
+    /// already been applied (at-least-once transport, exactly-once
+    /// effect).
+    DuplicateSuppressed {
+        /// The packet (same id as the applied copy).
+        pkt: PacketId,
+        /// Delivery node.
+        node: NodeId,
+        /// When the duplicate arrived.
+        at: SimTime,
+    },
 }
 
 impl FlightEvent {
-    /// The packet this event belongs to (`None` for phase marks).
+    /// The packet this event belongs to (`None` for phase marks and
+    /// failure verdicts, which concern a link or node, not one packet).
     pub fn packet(&self) -> Option<PacketId> {
         match self {
             FlightEvent::Inject { pkt, .. }
@@ -146,8 +202,12 @@ impl FlightEvent {
             | FlightEvent::HopEnter { pkt, .. }
             | FlightEvent::HopExit { pkt, .. }
             | FlightEvent::Deliver { pkt, .. }
-            | FlightEvent::CounterUpdate { pkt, .. } => Some(*pkt),
-            FlightEvent::Phase { .. } => None,
+            | FlightEvent::CounterUpdate { pkt, .. }
+            | FlightEvent::Reinject { pkt, .. }
+            | FlightEvent::DuplicateSuppressed { pkt, .. } => Some(*pkt),
+            FlightEvent::Phase { .. }
+            | FlightEvent::LinkDown { .. }
+            | FlightEvent::NodeDown { .. } => None,
         }
     }
 
@@ -160,7 +220,11 @@ impl FlightEvent {
             | FlightEvent::HopExit { at, .. }
             | FlightEvent::Deliver { at, .. }
             | FlightEvent::CounterUpdate { at, .. }
-            | FlightEvent::Phase { at, .. } => *at,
+            | FlightEvent::Phase { at, .. }
+            | FlightEvent::LinkDown { at, .. }
+            | FlightEvent::NodeDown { at, .. }
+            | FlightEvent::Reinject { at, .. }
+            | FlightEvent::DuplicateSuppressed { at, .. } => *at,
             FlightEvent::LinkReserve { start, .. } => *start,
         }
     }
@@ -235,6 +299,19 @@ pub trait Recorder {
 
     /// The traffic phase label changed.
     fn on_phase(&mut self, label: &str, at: SimTime) {}
+
+    /// A failure detector condemned one outgoing link.
+    fn on_link_down(&mut self, node: NodeId, link: LinkDir, cause: VerdictCause, at: SimTime) {}
+
+    /// All outgoing links of a node were condemned.
+    fn on_node_down(&mut self, node: NodeId, at: SimTime) {}
+
+    /// A stranded packet re-entered the network after a recovery
+    /// backoff.
+    fn on_reinject(&mut self, pkt: PacketId, node: NodeId, attempt: u32, at: SimTime) {}
+
+    /// A duplicate delivery was suppressed by the counted-write check.
+    fn on_duplicate_suppressed(&mut self, pkt: PacketId, node: NodeId, at: SimTime) {}
 
     /// Read access to the underlying [`FlightRecorder`], when this
     /// recorder directly owns one. Lets a host that installed an owned
@@ -481,6 +558,38 @@ impl Recorder for FlightRecorder {
         });
     }
 
+    // Failure verdicts are rare and diagnostic gold: like phase marks
+    // they bypass packet sampling.
+    fn on_link_down(&mut self, node: NodeId, link: LinkDir, cause: VerdictCause, at: SimTime) {
+        self.push(FlightEvent::LinkDown {
+            node,
+            link,
+            cause,
+            at,
+        });
+    }
+
+    fn on_node_down(&mut self, node: NodeId, at: SimTime) {
+        self.push(FlightEvent::NodeDown { node, at });
+    }
+
+    fn on_reinject(&mut self, pkt: PacketId, node: NodeId, attempt: u32, at: SimTime) {
+        if self.keeps(pkt) {
+            self.push(FlightEvent::Reinject {
+                pkt,
+                node,
+                attempt,
+                at,
+            });
+        }
+    }
+
+    fn on_duplicate_suppressed(&mut self, pkt: PacketId, node: NodeId, at: SimTime) {
+        if self.keeps(pkt) {
+            self.push(FlightEvent::DuplicateSuppressed { pkt, node, at });
+        }
+    }
+
     fn as_flight(&self) -> Option<&FlightRecorder> {
         Some(self)
     }
@@ -590,6 +699,22 @@ impl Recorder for SharedFlightRecorder {
 
     fn on_phase(&mut self, label: &str, at: SimTime) {
         self.borrow_mut().on_phase(label, at);
+    }
+
+    fn on_link_down(&mut self, node: NodeId, link: LinkDir, cause: VerdictCause, at: SimTime) {
+        self.borrow_mut().on_link_down(node, link, cause, at);
+    }
+
+    fn on_node_down(&mut self, node: NodeId, at: SimTime) {
+        self.borrow_mut().on_node_down(node, at);
+    }
+
+    fn on_reinject(&mut self, pkt: PacketId, node: NodeId, attempt: u32, at: SimTime) {
+        self.borrow_mut().on_reinject(pkt, node, attempt, at);
+    }
+
+    fn on_duplicate_suppressed(&mut self, pkt: PacketId, node: NodeId, at: SimTime) {
+        self.borrow_mut().on_duplicate_suppressed(pkt, node, at);
     }
 }
 

@@ -54,6 +54,18 @@ git diff --exit-code BENCH_pr5.json || {
   exit 1
 }
 
+# Chaos smoke: 3 seeds x 2 fault levels of the recovering all-reduce,
+# every recovery invariant asserted inside the binary (no lost
+# completions, bounded degradation, bit-identical replay across
+# engines). Then the full campaign regenerates BENCH_pr6.json — the
+# degradation curve — which must match the committed copy.
+cargo run -q --release -p anton-bench --bin chaos_campaign -- --smoke
+cargo run -q --release -p anton-bench --bin chaos_campaign
+git diff --exit-code BENCH_pr6.json || {
+  echo "ci: BENCH_pr6.json drifted from the committed copy" >&2
+  exit 1
+}
+
 # Perf-regression gate: the quick canonical suite must stay within 10%
 # of the committed baseline (fails the build otherwise).
 scripts/bench_regress.sh
