@@ -1,0 +1,269 @@
+//! The always-on perf observatory CLI: collect the attribution-aware
+//! report, triage it against a named baseline from the committed
+//! trajectory index, and render the dashboard.
+//!
+//! ```text
+//! bench_observatory emit  [--quick] [--out PATH]
+//! bench_observatory check [--quick] [--baseline NAME] [--index PATH]
+//!                         [--threshold PCT] [--share-threshold PT]
+//!                         [--bench-out PATH] [--dashboard PATH]
+//!                         [--scale KIND FACTOR] [--slow-link FACTOR]
+//! bench_observatory render [--index PATH] [--out PATH]
+//! ```
+//!
+//! `check` runs every workload, diffs component-by-component against
+//! the baseline resolved from `BENCH_trajectory.json` (default `pr3`),
+//! prints the triage narrative, archives the run under
+//! `target/obs/trajectory/`, writes the dashboard HTML, and exits
+//! non-zero on any gated regression. `--bench-out` additionally writes
+//! the deterministic metric report (the committed `BENCH_pr7.json`
+//! quick profile). The `--scale`/`--slow-link` flags re-time the
+//! causal workload under a what-if perturbation, so a triage can be
+//! rehearsed on demand.
+
+use anton_bench::observatory::{collect, ObservatoryOptions};
+use anton_obs::{
+    render_dashboard, validate_html, BenchReport, DashboardInput, DiffConfig, EdgeKind,
+    ObservatoryReport, Perturbation, TrajectoryIndex,
+};
+use anton_topo::{LinkDir, NodeId};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_observatory emit  [--quick] [--out PATH]\n\
+       \x20      bench_observatory check [--quick] [--baseline NAME] [--index PATH]\n\
+       \x20                              [--threshold PCT] [--share-threshold PT]\n\
+       \x20                              [--bench-out PATH] [--dashboard PATH]\n\
+       \x20                              [--scale KIND FACTOR] [--slow-link FACTOR]\n\
+       \x20      bench_observatory render [--index PATH] [--out PATH]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    command: String,
+    quick: bool,
+    baseline: String,
+    index: String,
+    threshold: f64,
+    share_threshold: f64,
+    out: Option<String>,
+    bench_out: Option<String>,
+    dashboard: String,
+    perturb: Option<Perturbation>,
+}
+
+fn edge_kind(name: &str) -> Option<EdgeKind> {
+    EdgeKind::ALL.into_iter().find(|k| k.label() == name)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().cloned() else {
+        return Err(usage());
+    };
+    let mut args = Args {
+        command,
+        quick: false,
+        baseline: "pr3".to_owned(),
+        index: "BENCH_trajectory.json".to_owned(),
+        threshold: 10.0,
+        share_threshold: 2.0,
+        out: None,
+        bench_out: None,
+        dashboard: "target/obs/dashboard.html".to_owned(),
+        perturb: None,
+    };
+    let mut it = argv.iter().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| -> Result<String, ExitCode> {
+            it.next().cloned().ok_or_else(|| {
+                eprintln!("bench_observatory: {flag} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--baseline" => args.baseline = next("--baseline")?,
+            "--index" => args.index = next("--index")?,
+            "--threshold" => {
+                args.threshold = next("--threshold")?.parse().map_err(|_| usage())?;
+            }
+            "--share-threshold" => {
+                args.share_threshold = next("--share-threshold")?.parse().map_err(|_| usage())?;
+            }
+            "--out" => args.out = Some(next("--out")?),
+            "--bench-out" => args.bench_out = Some(next("--bench-out")?),
+            "--dashboard" => args.dashboard = next("--dashboard")?,
+            "--scale" => {
+                let kind = next("--scale")?;
+                let factor: f64 = next("--scale")?.parse().map_err(|_| usage())?;
+                let Some(kind) = edge_kind(&kind) else {
+                    eprintln!("bench_observatory: unknown edge kind {kind:?}");
+                    return Err(usage());
+                };
+                let p = args.perturb.take().unwrap_or_default();
+                args.perturb = Some(p.scale(kind, factor));
+            }
+            "--slow-link" => {
+                let factor: f64 = next("--slow-link")?.parse().map_err(|_| usage())?;
+                let p = args.perturb.take().unwrap_or_default();
+                args.perturb = Some(p.slow_link(NodeId(0), LinkDir::from_index(0), factor));
+            }
+            other => {
+                eprintln!("bench_observatory: unknown flag {other:?}");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), ExitCode> {
+    if let Some(dir) = Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, contents).map_err(|e| {
+        eprintln!("bench_observatory: {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// Archive-safe file stem for a report label.
+fn slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn render_to(
+    index: &TrajectoryIndex,
+    current: Option<&ObservatoryReport>,
+    diff: Option<&anton_obs::ObservatoryDiff>,
+    path: &str,
+) -> Result<(), ExitCode> {
+    let mut trajectory = index.load_reports(Path::new(".")).map_err(|e| {
+        eprintln!("bench_observatory: {e}");
+        ExitCode::FAILURE
+    })?;
+    if let Some(cur) = current {
+        trajectory.push(("current".to_owned(), cur.metrics.clone()));
+    }
+    let html = render_dashboard(&DashboardInput {
+        title: "anton perf observatory",
+        trajectory: &trajectory,
+        current,
+        diff,
+    });
+    validate_html(&html).expect("rendered dashboard is well-formed");
+    write_file(path, &html)?;
+    println!("bench_observatory: wrote {path} ({} bytes)", html.len());
+    Ok(())
+}
+
+fn run() -> Result<ExitCode, ExitCode> {
+    let args = parse_args()?;
+    let opts = ObservatoryOptions {
+        quick: args.quick,
+        label: "anton observatory profile".to_owned(),
+    };
+
+    match args.command.as_str() {
+        "emit" => {
+            let obs = collect(&opts, args.perturb.as_ref());
+            let json = obs.to_json();
+            match &args.out {
+                Some(path) => {
+                    write_file(path, &json)?;
+                    println!("bench_observatory: wrote {path}");
+                }
+                None => print!("{json}"),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => {
+            let index = TrajectoryIndex::load(Path::new(&args.index)).map_err(|e| {
+                eprintln!("bench_observatory: {e}");
+                ExitCode::FAILURE
+            })?;
+            let Some(entry) = index.resolve(&args.baseline) else {
+                eprintln!(
+                    "bench_observatory: baseline {:?} not in {} (have: {})",
+                    args.baseline,
+                    args.index,
+                    index
+                        .entries
+                        .iter()
+                        .map(|e| e.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return Err(ExitCode::FAILURE);
+            };
+            let text = std::fs::read_to_string(&entry.path).map_err(|e| {
+                eprintln!("bench_observatory: {}: {e}", entry.path);
+                ExitCode::FAILURE
+            })?;
+            let baseline_metrics = BenchReport::parse(&text).map_err(|e| {
+                eprintln!("bench_observatory: {}: {e}", entry.path);
+                ExitCode::FAILURE
+            })?;
+            let mut baseline = ObservatoryReport::from_metrics(baseline_metrics);
+            // Triage names the baseline as the trajectory names it.
+            baseline.label = args.baseline.clone();
+
+            let obs = collect(&opts, args.perturb.as_ref());
+            let config = DiffConfig {
+                metric_threshold_pct: args.threshold,
+                share_threshold_pt: args.share_threshold,
+                value_threshold_pct: args.threshold,
+            };
+            let diff = obs.diff(&baseline, config).map_err(|e| {
+                eprintln!("bench_observatory: {e}");
+                ExitCode::FAILURE
+            })?;
+            print!("{}", diff.triage());
+
+            let archive = format!("target/obs/trajectory/{}.json", slug(&obs.label));
+            write_file(&archive, &obs.to_json())?;
+            println!("bench_observatory: archived {archive}");
+            if let Some(path) = &args.bench_out {
+                write_file(path, &obs.metrics.to_json())?;
+                println!("bench_observatory: wrote {path}");
+            }
+            render_to(&index, Some(&obs), Some(&diff), &args.dashboard)?;
+
+            if diff.has_regressions() {
+                eprintln!(
+                    "bench_observatory: {} gated regression(s) vs '{}'",
+                    diff.regression_count(),
+                    args.baseline
+                );
+                Ok(ExitCode::FAILURE)
+            } else {
+                println!("bench_observatory: clean vs '{}'", args.baseline);
+                Ok(ExitCode::SUCCESS)
+            }
+        }
+        "render" => {
+            let index = TrajectoryIndex::load(Path::new(&args.index)).map_err(|e| {
+                eprintln!("bench_observatory: {e}");
+                ExitCode::FAILURE
+            })?;
+            let out = args.out.clone().unwrap_or_else(|| args.dashboard.clone());
+            render_to(&index, None, None, &out)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(code) => code,
+    }
+}

@@ -6,23 +6,44 @@
 //! bench_regress emit [--full] [--out PATH]        run suite, write JSON
 //! bench_regress diff BASELINE CURRENT [--threshold PCT]
 //! bench_regress check BASELINE [--full] [--threshold PCT]
+//! bench_regress check --baseline NAME [--index PATH] [--full] [--threshold PCT]
 //! ```
 //!
 //! `diff`/`check` exit non-zero if any metric regressed past the
-//! threshold (default 10%). All metrics are simulated time — lower is
-//! better, and drift means a model change, not host noise.
+//! threshold (default 10%). Regressions are direction-aware: metrics
+//! default to lower-is-better, and metrics tagged higher-is-better
+//! (efficiencies) gate on drops instead. `check --baseline` resolves a
+//! *named* baseline through the committed `BENCH_trajectory.json`
+//! index instead of hard-coding a report path.
 
 use anton_bench::suite::run_suite;
-use anton_obs::BenchReport;
+use anton_obs::{BenchReport, TrajectoryIndex};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench_regress emit [--full] [--out PATH]\n\
        \x20      bench_regress diff BASELINE CURRENT [--threshold PCT]\n\
-       \x20      bench_regress check BASELINE [--full] [--threshold PCT]"
+       \x20      bench_regress check BASELINE [--full] [--threshold PCT]\n\
+       \x20      bench_regress check --baseline NAME [--index PATH] [--full] [--threshold PCT]"
     );
     ExitCode::from(2)
+}
+
+/// Resolve a named baseline through the trajectory index.
+fn resolve_baseline(index_path: &str, name: &str) -> Result<String, String> {
+    let index = TrajectoryIndex::load(std::path::Path::new(index_path))?;
+    index.resolve(name).map(|e| e.path.clone()).ok_or_else(|| {
+        format!(
+            "baseline {name:?} not in {index_path} (have: {})",
+            index
+                .entries
+                .iter()
+                .map(|e| e.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })
 }
 
 fn read_report(path: &str) -> Result<BenchReport, String> {
@@ -56,6 +77,8 @@ fn main() -> ExitCode {
     let mut full = false;
     let mut out: Option<String> = None;
     let mut threshold = 10.0;
+    let mut baseline_name: Option<String> = None;
+    let mut index_path = "BENCH_trajectory.json".to_owned();
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -69,7 +92,33 @@ fn main() -> ExitCode {
                 Some(t) => threshold = t,
                 None => return usage(),
             },
+            "--baseline" => match it.next() {
+                Some(n) => baseline_name = Some(n.clone()),
+                None => return usage(),
+            },
+            "--index" => match it.next() {
+                Some(p) => index_path = p.clone(),
+                None => return usage(),
+            },
             _ => positional.push(a.clone()),
+        }
+    }
+
+    // A named baseline resolves to a report path through the index and
+    // then flows through the ordinary positional-path check.
+    if let Some(name) = baseline_name {
+        if positional.as_slice() != ["check"] {
+            return usage();
+        }
+        match resolve_baseline(&index_path, &name) {
+            Ok(path) => {
+                println!("bench_regress: baseline '{name}' -> {path}");
+                positional.push(path);
+            }
+            Err(e) => {
+                eprintln!("bench_regress: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 

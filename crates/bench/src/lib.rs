@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod microbench;
+pub mod observatory;
 pub mod report;
 pub mod suite;
 

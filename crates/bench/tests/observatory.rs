@@ -1,0 +1,159 @@
+//! Acceptance tests of the perf observatory: a perturbed run must
+//! triage to the *component* that regressed and the critical-path
+//! blame shift, and the committed trajectory must render into a
+//! byte-deterministic, well-formed, offline dashboard.
+
+use anton_bench::observatory::{collect, ObservatoryOptions};
+use anton_obs::{
+    render_dashboard, validate_html, DashboardInput, DiffConfig, EdgeKind, Perturbation,
+    SectionKind, TrajectoryIndex, SEC_BLAME,
+};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+fn opts() -> ObservatoryOptions {
+    ObservatoryOptions {
+        quick: true,
+        label: "observatory test".to_owned(),
+    }
+}
+
+/// The headline acceptance: artificially slowing one attribution
+/// component (delivery, 20×) must produce a triage that names the
+/// regressed component by name and reports the critical path moving
+/// off the wire onto it — not just a bare threshold breach.
+#[test]
+fn perturbed_run_triages_the_component_and_the_blame_shift() {
+    let base = collect(&opts(), None);
+    let perturb = Perturbation::none().scale(EdgeKind::Delivery, 20.0);
+    let cur = collect(&opts(), Some(&perturb));
+
+    let diff = cur.diff(&base, DiffConfig::default()).expect("comparable");
+    assert!(diff.has_regressions(), "{}", diff.table());
+    let triage = diff.triage();
+
+    // The triage names the attribution component that regressed...
+    assert!(
+        triage.contains("delivery share rose"),
+        "triage must name the regressed component:\n{triage}"
+    );
+    // ...and the critical-path blame shift, from wire onto delivery.
+    assert!(
+        triage.contains("critical path moved from wire to delivery"),
+        "triage must report the blame shift:\n{triage}"
+    );
+    // The stretched makespan also breaches the plain metric gate.
+    assert!(
+        triage.contains("metric causal_critical_end_ns regressed"),
+        "triage must flag the re-timed makespan:\n{triage}"
+    );
+
+    // The blame section itself gates, and the leader shift is machine-
+    // readable for the dashboard's shift table.
+    let blame = diff
+        .sections
+        .iter()
+        .find(|s| s.name == SEC_BLAME)
+        .expect("blame section diffed");
+    assert!(blame.gated);
+    assert_eq!(blame.kind, SectionKind::Shares);
+    assert_eq!(
+        blame.leader_shift,
+        Some(("wire".to_owned(), "delivery".to_owned()))
+    );
+    let delivery = blame
+        .components
+        .iter()
+        .find(|c| c.name == "delivery")
+        .expect("delivery component");
+    assert!(delivery.regressed && delivery.delta > 2.0);
+    // The falling wire share is an improvement, never a regression.
+    let wire = blame
+        .components
+        .iter()
+        .find(|c| c.name == "wire")
+        .expect("wire component");
+    assert!(!wire.regressed && wire.delta < 0.0);
+}
+
+/// An unperturbed run diffed against itself is clean — the observatory
+/// never cries wolf on a bit-identical profile.
+#[test]
+fn identical_runs_triage_clean() {
+    let obs = collect(&opts(), None);
+    let diff = obs.diff(&obs, DiffConfig::default()).expect("comparable");
+    assert!(!diff.has_regressions(), "{}", diff.table());
+    assert!(diff.triage().contains("no regressions past thresholds"));
+
+    // The report round-trips through its JSON form with sections.
+    let back = anton_obs::ObservatoryReport::parse(&obs.to_json()).expect("parses");
+    assert_eq!(back, obs);
+    assert_eq!(back.sections.len(), 4);
+}
+
+/// The committed `BENCH_trajectory.json` resolves every PR 3→7
+/// baseline, and the dashboard rendered from them is byte-
+/// deterministic, tag-balanced, and fully offline.
+#[test]
+fn committed_trajectory_renders_deterministically() {
+    let root = repo_root();
+    let index = TrajectoryIndex::load(&root.join("BENCH_trajectory.json")).expect("index parses");
+    for name in ["pr3", "pr4", "pr5", "pr6", "pr7"] {
+        assert!(index.resolve(name).is_some(), "baseline {name} missing");
+    }
+    let trajectory = index.load_reports(&root).expect("every baseline parses");
+    assert_eq!(trajectory.len(), 5);
+
+    let input = DashboardInput {
+        title: "anton perf observatory",
+        trajectory: &trajectory,
+        current: None,
+        diff: None,
+    };
+    let a = render_dashboard(&input);
+    let b = render_dashboard(&input);
+    assert_eq!(a, b, "dashboard must render byte-identically");
+    validate_html(&a).expect("dashboard is well-formed");
+    // Offline: no external fetches, no script.
+    assert!(!a.contains("http://") && !a.contains("https://"));
+    assert!(!a.contains("<script"));
+    // It actually shows the trajectory: every baseline is a column of
+    // the data table, and the shared metrics sparkline.
+    for name in ["pr3", "pr4", "pr5", "pr6", "pr7"] {
+        assert!(a.contains(&format!("<th>{name}</th>")), "{name} column");
+    }
+    assert!(a.contains("one_way_1hop_ns"));
+}
+
+/// The committed quick profile (`BENCH_pr7.json`) stays consistent
+/// with what a fresh quick collection produces — the same invariant
+/// the CI drift gate enforces, pinned here at metric granularity.
+#[test]
+fn committed_quick_profile_matches_a_fresh_collection() {
+    let root = repo_root();
+    let text = std::fs::read_to_string(root.join("BENCH_pr7.json")).expect("committed profile");
+    let committed = anton_obs::BenchReport::parse(&text).expect("parses");
+    let fresh = collect(
+        &ObservatoryOptions {
+            quick: true,
+            label: committed.label.clone(),
+        },
+        None,
+    );
+    assert_eq!(
+        fresh.metrics.to_json(),
+        text,
+        "committed BENCH_pr7.json drifted from a fresh quick collection"
+    );
+    // Direction metadata survives the committed round trip.
+    assert_eq!(
+        committed.direction("md_lookahead_efficiency"),
+        anton_obs::Direction::HigherIsBetter
+    );
+}

@@ -268,6 +268,31 @@ impl Blame {
         self.per_kind[kind.index()]
     }
 
+    /// Accumulate time into one kind's bucket (used by the perturbed
+    /// re-timer to build the what-if blame).
+    pub(crate) fn add(&mut self, kind: EdgeKind, d: SimDuration) {
+        self.per_kind[kind.index()] += d;
+    }
+
+    /// Share of the total per kind, in percent, keyed by
+    /// [`EdgeKind::label`] — the observatory's `blame_pct` section.
+    /// Zero-time kinds are omitted; shares sum to 100 (modulo float
+    /// rounding) whenever any time was attributed.
+    pub fn shares_pct(&self) -> std::collections::BTreeMap<String, f64> {
+        let total = self.total().as_ps() as f64;
+        let mut out = std::collections::BTreeMap::new();
+        if total <= 0.0 {
+            return out;
+        }
+        for &kind in &EdgeKind::ALL {
+            let d = self.get(kind);
+            if d > SimDuration::ZERO {
+                out.insert(kind.label().to_owned(), 100.0 * d.as_ps() as f64 / total);
+            }
+        }
+        out
+    }
+
     /// Total attributed time (equals the path span exactly).
     pub fn total(&self) -> SimDuration {
         self.per_kind.iter().copied().sum()

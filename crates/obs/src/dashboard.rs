@@ -1,0 +1,852 @@
+//! Dependency-free HTML rendering of the benchmark trajectory.
+//!
+//! [`render_dashboard`] turns the committed baseline trajectory plus
+//! the current [`ObservatoryReport`]/[`ObservatoryDiff`] into a single
+//! self-contained HTML document: stat tiles for the headline numbers,
+//! one inline-SVG sparkline per metric with a direction-aware delta
+//! badge, stacked attribution bars (critical-path blame, speedup
+//! attribution), the triage narrative, per-component shift tables, and
+//! a plain `<table>` view of every number for accessibility.
+//!
+//! The output is **byte-deterministic**: no timestamps, no randomness,
+//! all maps iterate in sorted order, and every float is formatted
+//! through fixed-width formatters. CI archives the file on every run,
+//! so two runs over the same reports must produce identical bytes —
+//! the integration tests pin this. It is also **offline**: no external
+//! scripts, styles, fonts, or images; everything is inline.
+//!
+//! Colors follow the dataviz method: categorical hues are assigned to
+//! components in a fixed canonical order (never cycled — components
+//! past the eighth slot fold into a neutral "other" gray), values and
+//! labels wear ink tokens rather than series colors, regressions are
+//! marked with a word as well as a color, and dark mode is a selected
+//! second palette behind a `prefers-color-scheme` media query.
+
+use crate::metrics::fmt_f64;
+use crate::observatory::{ObservatoryDiff, ObservatoryReport, SectionKind, SEC_BLAME};
+use crate::regress::{BenchReport, Direction};
+use std::fmt::Write as _;
+
+/// Everything the renderer consumes. All fields are borrowed; the
+/// renderer never mutates or reorders its inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct DashboardInput<'a> {
+    /// Page title.
+    pub title: &'a str,
+    /// Named baselines in trajectory (chronological) order, e.g. the
+    /// resolved entries of `BENCH_trajectory.json` plus the current
+    /// run appended last.
+    pub trajectory: &'a [(String, BenchReport)],
+    /// The current observatory report, for the attribution bars.
+    pub current: Option<&'a ObservatoryReport>,
+    /// The current-vs-baseline diff, for the triage panel.
+    pub diff: Option<&'a ObservatoryDiff>,
+}
+
+/// Categorical series slots, assigned in fixed order and never cycled.
+const CATEGORICAL: [&str; 8] = [
+    "#2a78d6", // blue
+    "#eb6834", // orange
+    "#1baf7a", // aqua
+    "#eda100", // yellow
+    "#e87ba4", // magenta
+    "#008300", // green
+    "#4a3aa7", // violet
+    "#e34948", // red
+];
+
+/// The fold color for components past the eighth slot.
+const OTHER: &str = "#898781";
+
+/// Canonical component order for color assignment: the causal-graph
+/// edge kinds in display order, then the speedup-attribution
+/// components. Unknown components sort after these by name.
+const COMPONENT_ORDER: [&str; 17] = [
+    "send-setup",
+    "port-wait",
+    "send-ring",
+    "link-wait",
+    "transit-ring",
+    "wire",
+    "delivery",
+    "sync-visibility",
+    "sync-arrive",
+    "program",
+    "retransmit",
+    "residual",
+    "merge",
+    "barrier",
+    "imbalance",
+    "windowing",
+    "exec-excess",
+];
+
+/// Headline metrics promoted to stat tiles when present, in order.
+const HERO_METRICS: [(&str, &str); 4] = [
+    ("one_way_1hop_ns", "1-hop one-way (ns)"),
+    ("one_way_diameter_ns", "diameter one-way (ns)"),
+    ("allreduce_512_dimord_us", "512-node all-reduce (µs)"),
+    ("md_lookahead_efficiency", "lookahead efficiency"),
+];
+
+fn component_rank(name: &str) -> usize {
+    COMPONENT_ORDER
+        .iter()
+        .position(|&k| k == name)
+        .unwrap_or(COMPONENT_ORDER.len())
+}
+
+/// The fixed color for a component within one section: rank every
+/// present component by canonical order (name-sorted past the known
+/// list), give the first eight the categorical slots in order, fold
+/// the rest into neutral gray.
+fn section_colors<'a>(names: impl Iterator<Item = &'a str>) -> Vec<(&'a str, &'static str)> {
+    let mut ordered: Vec<&str> = names.collect();
+    ordered.sort_by(|a, b| component_rank(a).cmp(&component_rank(b)).then(a.cmp(b)));
+    ordered
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| (n, *CATEGORICAL.get(i).unwrap_or(&OTHER)))
+        .collect()
+}
+
+/// Escape text for HTML text content and attribute values.
+pub fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Fixed-precision coordinate formatting for SVG geometry.
+fn coord(v: f64) -> String {
+    let r = format!("{v:.2}");
+    // Trim a trailing ".00" so common integer coordinates stay short.
+    r.strip_suffix(".00").map(str::to_owned).unwrap_or(r)
+}
+
+struct Html(String);
+
+impl Html {
+    fn push(&mut self, s: &str) {
+        self.0.push_str(s);
+    }
+}
+
+/// Render the dashboard document. Pure function of its input: the
+/// same input always yields the same bytes.
+pub fn render_dashboard(input: &DashboardInput<'_>) -> String {
+    let mut h = Html(String::with_capacity(64 * 1024));
+    head(&mut h, input.title);
+    let _ = writeln!(
+        h.0,
+        "<header><h1>{}</h1><p class=\"sub\">{} baseline{} on the trajectory</p></header>",
+        html_escape(input.title),
+        input.trajectory.len(),
+        if input.trajectory.len() == 1 { "" } else { "s" },
+    );
+
+    if let Some(diff) = input.diff {
+        triage_panel(&mut h, diff);
+    }
+    hero_tiles(&mut h, input.trajectory);
+    if let Some(current) = input.current {
+        attribution_bars(&mut h, current);
+        value_tables(&mut h, current);
+    }
+    sparkline_grid(&mut h, input.trajectory);
+    if let Some(diff) = input.diff {
+        shift_tables(&mut h, diff);
+    }
+    data_table(&mut h, input.trajectory);
+
+    h.push("</main></body></html>\n");
+    debug_assert!(validate_html(&h.0).is_ok());
+    h.0
+}
+
+fn head(h: &mut Html, title: &str) {
+    h.push("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    h.push("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n");
+    let _ = writeln!(h.0, "<title>{}</title>", html_escape(title));
+    h.push("<style>\n");
+    h.push(
+        ":root{--surface:#fcfcfb;--tile:#ffffff;--ink:#0b0b0b;--ink2:#52514e;--muted:#898781;\
+         --grid:#e1e0d9;--good:#006300;--bad:#d03b3b;}\n\
+         @media (prefers-color-scheme: dark){:root{--surface:#1a1a19;--tile:#222221;\
+         --ink:#ffffff;--ink2:#c3c2b7;--muted:#898781;--grid:#2c2c2a;--good:#0ca30c;\
+         --bad:#e34948;}}\n",
+    );
+    h.push(
+        "body{margin:0;background:var(--surface);color:var(--ink);\
+         font:14px/1.45 ui-sans-serif,system-ui,sans-serif;}\n\
+         main{max-width:980px;margin:0 auto;padding:16px 20px 48px;}\n\
+         header{max-width:980px;margin:0 auto;padding:20px 20px 0;}\n\
+         h1{font-size:20px;margin:0 0 2px;}h2{font-size:15px;margin:26px 0 10px;}\n\
+         .sub{color:var(--ink2);margin:0 0 8px;}\n\
+         .tiles{display:flex;flex-wrap:wrap;gap:10px;}\n\
+         .tile{background:var(--tile);border:1px solid var(--grid);border-radius:8px;\
+         padding:10px 14px;min-width:150px;}\n\
+         .tile .v{font-size:22px;font-variant-numeric:tabular-nums;}\n\
+         .tile .k{color:var(--ink2);font-size:12px;}\n\
+         .grid{display:grid;grid-template-columns:repeat(auto-fill,minmax(225px,1fr));gap:10px;}\n\
+         .spark{background:var(--tile);border:1px solid var(--grid);border-radius:8px;\
+         padding:8px 12px 4px;}\n\
+         .spark .k{color:var(--ink2);font-size:12px;overflow-wrap:anywhere;}\n\
+         .spark .v{font-variant-numeric:tabular-nums;}\n\
+         .delta{font-size:12px;font-variant-numeric:tabular-nums;}\n\
+         .delta.good{color:var(--good);}.delta.bad{color:var(--bad);}\
+         .delta.flat{color:var(--muted);}\n\
+         .legend{display:flex;flex-wrap:wrap;gap:4px 14px;margin:6px 0 0;padding:0;\
+         list-style:none;font-size:12px;color:var(--ink2);}\n\
+         .legend .swatch{display:inline-block;width:10px;height:10px;border-radius:2px;\
+         margin-right:5px;vertical-align:-1px;}\n\
+         pre.triage{background:var(--tile);border:1px solid var(--grid);border-radius:8px;\
+         padding:12px 14px;overflow-x:auto;font:12px/1.5 ui-monospace,monospace;}\n\
+         table{border-collapse:collapse;font-variant-numeric:tabular-nums;font-size:13px;}\n\
+         th,td{border-bottom:1px solid var(--grid);padding:4px 10px;text-align:right;}\n\
+         th:first-child,td:first-child{text-align:left;}\n\
+         th{color:var(--ink2);font-weight:600;}\n\
+         .flag{color:var(--bad);font-weight:600;}.ok{color:var(--ink2);}\n\
+         .up{color:var(--ink2);}\n\
+         details{margin-top:20px;}summary{cursor:pointer;color:var(--ink2);}\n",
+    );
+    h.push("</style>\n</head>\n<body>\n");
+    h.push("<main>\n");
+    // <main> opened here; header is written by the caller inside main's
+    // flow for simpler validation.
+}
+
+fn triage_panel(h: &mut Html, diff: &ObservatoryDiff) {
+    let regressed = diff.has_regressions();
+    let _ = writeln!(
+        h.0,
+        "<h2>Triage vs &#39;{}&#39; — <span class=\"{}\">{}</span></h2>",
+        html_escape(&diff.baseline_label),
+        if regressed { "flag" } else { "ok" },
+        if regressed {
+            format!("{} regression(s)", diff.regression_count())
+        } else {
+            "clean".to_owned()
+        },
+    );
+    let _ = writeln!(
+        h.0,
+        "<pre class=\"triage\">{}</pre>",
+        html_escape(&diff.triage())
+    );
+}
+
+fn hero_tiles(h: &mut Html, trajectory: &[(String, BenchReport)]) {
+    let Some((label, latest)) = trajectory.last() else {
+        return;
+    };
+    let tiles: Vec<(&str, f64)> = HERO_METRICS
+        .iter()
+        .filter_map(|&(name, title)| latest.get(name).map(|v| (title, v)))
+        .collect();
+    if tiles.is_empty() {
+        return;
+    }
+    let _ = writeln!(h.0, "<h2>Latest run ({})</h2>", html_escape(label));
+    h.push("<div class=\"tiles\">\n");
+    for (title, v) in tiles {
+        let _ = writeln!(
+            h.0,
+            "<div class=\"tile\"><div class=\"v\">{}</div><div class=\"k\">{}</div></div>",
+            html_escape(&fmt_f64(v)),
+            html_escape(title),
+        );
+    }
+    h.push("</div>\n");
+}
+
+fn attribution_bars(h: &mut Html, current: &ObservatoryReport) {
+    for (name, section) in &current.sections {
+        if section.kind != SectionKind::Shares || section.values.is_empty() {
+            continue;
+        }
+        let title = if name == SEC_BLAME {
+            "Critical-path blame".to_owned()
+        } else if name == crate::observatory::SEC_ATTRIBUTION {
+            "Speedup attribution (informational)".to_owned()
+        } else {
+            name.clone()
+        };
+        let _ = writeln!(h.0, "<h2>{}</h2>", html_escape(&title));
+        stacked_bar(
+            h,
+            name,
+            section.values.iter().map(|(k, &v)| (k.as_str(), v)),
+        );
+    }
+}
+
+/// Values-kind sections (congestion top-K, recovery counters) are
+/// absolute numbers, not shares — a stacked bar would lie about them,
+/// so they get a plain table each.
+fn value_tables(h: &mut Html, current: &ObservatoryReport) {
+    for (name, section) in &current.sections {
+        if section.kind != SectionKind::Values || section.values.is_empty() {
+            continue;
+        }
+        let title = if name == crate::observatory::SEC_CONGESTION {
+            "Link congestion (top-K busiest)"
+        } else if name == crate::observatory::SEC_RECOVERY {
+            "Fault recovery"
+        } else {
+            name.as_str()
+        };
+        let _ = writeln!(
+            h.0,
+            "<h2>{} <span class=\"up\">({})</span></h2>",
+            html_escape(title),
+            if section.gated {
+                "gated"
+            } else {
+                "informational"
+            },
+        );
+        h.push("<table>\n<thead><tr><th>component</th><th>value</th></tr></thead>\n<tbody>\n");
+        for (k, &v) in &section.values {
+            let _ = writeln!(
+                h.0,
+                "<tr><td>{}</td><td>{}</td></tr>",
+                html_escape(k),
+                html_escape(&fmt_f64(v)),
+            );
+        }
+        h.push("</tbody></table>\n");
+    }
+}
+
+/// One horizontal 100%-stacked bar with 2px surface gaps between
+/// segments, native `<title>` tooltips, and a legend (a stacked bar is
+/// a multi-series mark, so identity must not be color-alone).
+fn stacked_bar<'a>(h: &mut Html, id: &str, values: impl Iterator<Item = (&'a str, f64)>) {
+    let vals: Vec<(&str, f64)> = values.collect();
+    let total: f64 = vals.iter().map(|(_, v)| v.max(0.0)).sum();
+    if total <= 0.0 {
+        return;
+    }
+    let colors = section_colors(vals.iter().map(|(k, _)| *k));
+    let color_of = |name: &str| {
+        colors
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(OTHER)
+    };
+    const W: f64 = 940.0;
+    const H: f64 = 26.0;
+    const GAP: f64 = 2.0;
+    let _ = writeln!(
+        h.0,
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"100%\" height=\"{H}\" role=\"img\" \
+         aria-label=\"{} share breakdown\">",
+        html_escape(id)
+    );
+    let gaps = GAP * (vals.len().saturating_sub(1)) as f64;
+    let usable = W - gaps;
+    let mut x = 0.0;
+    for (k, v) in &vals {
+        let w = usable * v.max(0.0) / total;
+        let _ = writeln!(
+            h.0,
+            "<rect x=\"{}\" y=\"0\" width=\"{}\" height=\"{H}\" rx=\"3\" fill=\"{}\">\
+             <title>{}: {:.1}%</title></rect>",
+            coord(x),
+            coord(w),
+            color_of(k),
+            html_escape(k),
+            v,
+        );
+        x += w + GAP;
+    }
+    h.push("</svg>\n");
+    h.push("<ul class=\"legend\">\n");
+    for (k, v) in &vals {
+        let _ = writeln!(
+            h.0,
+            "<li><span class=\"swatch\" style=\"background:{}\"></span>{} {:.1}%</li>",
+            color_of(k),
+            html_escape(k),
+            v,
+        );
+    }
+    h.push("</ul>\n");
+}
+
+fn sparkline_grid(h: &mut Html, trajectory: &[(String, BenchReport)]) {
+    if trajectory.len() < 2 {
+        return;
+    }
+    let latest = &trajectory[trajectory.len() - 1].1;
+    // Every metric that appears in at least two trajectory points,
+    // sorted by name (BTreeMap union keeps this deterministic).
+    let mut names: Vec<&String> = trajectory
+        .iter()
+        .flat_map(|(_, r)| r.values.keys())
+        .collect();
+    names.sort();
+    names.dedup();
+    let multi: Vec<&String> = names
+        .into_iter()
+        .filter(|n| {
+            trajectory
+                .iter()
+                .filter(|(_, r)| r.get(n).is_some())
+                .count()
+                >= 2
+        })
+        .collect();
+    if multi.is_empty() {
+        return;
+    }
+    h.push("<h2>Metric trajectory</h2>\n<div class=\"grid\">\n");
+    for name in multi {
+        let points: Vec<(&str, f64)> = trajectory
+            .iter()
+            .filter_map(|(label, r)| r.get(name).map(|v| (label.as_str(), v)))
+            .collect();
+        let dir = latest.direction(name);
+        sparkline_tile(h, name, &points, dir);
+    }
+    h.push("</div>\n");
+}
+
+fn sparkline_tile(h: &mut Html, name: &str, points: &[(&str, f64)], dir: Direction) {
+    let (last_label, last) = points[points.len() - 1];
+    let prev = points[points.len() - 2].1;
+    let delta_pct = if prev == 0.0 {
+        0.0
+    } else {
+        100.0 * (last - prev) / prev
+    };
+    let (class, arrow) = if delta_pct.abs() < 0.005 {
+        ("flat", "=")
+    } else {
+        let improved = match dir {
+            Direction::LowerIsBetter => delta_pct < 0.0,
+            Direction::HigherIsBetter => delta_pct > 0.0,
+        };
+        if improved {
+            (
+                "good",
+                if delta_pct < 0.0 {
+                    "&#9662;"
+                } else {
+                    "&#9652;"
+                },
+            )
+        } else {
+            (
+                "bad",
+                if delta_pct < 0.0 {
+                    "&#9662;"
+                } else {
+                    "&#9652;"
+                },
+            )
+        }
+    };
+    h.push("<div class=\"spark\">\n");
+    let _ = writeln!(
+        h.0,
+        "<div class=\"k\">{}{}</div>\n<div class=\"v\">{} \
+         <span class=\"delta {class}\">{arrow} {delta_pct:+.2}%</span></div>",
+        html_escape(name),
+        if dir == Direction::HigherIsBetter {
+            " &#8599;"
+        } else {
+            ""
+        },
+        html_escape(&fmt_f64(last)),
+    );
+
+    const W: f64 = 200.0;
+    const H: f64 = 44.0;
+    const PAD: f64 = 5.0;
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, v) in points {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let xy = |i: usize, v: f64| {
+        let x = if points.len() == 1 {
+            W / 2.0
+        } else {
+            PAD + (W - 2.0 * PAD) * i as f64 / (points.len() - 1) as f64
+        };
+        let y = H - PAD - (H - 2.0 * PAD) * (v - lo) / span;
+        (x, y)
+    };
+    let _ = writeln!(
+        h.0,
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"100%\" height=\"{H}\" role=\"img\" \
+         aria-label=\"{} across {} baselines, latest {} at {}\">",
+        html_escape(name),
+        points.len(),
+        html_escape(&fmt_f64(last)),
+        html_escape(last_label),
+    );
+    let mut path = String::new();
+    for (i, &(_, v)) in points.iter().enumerate() {
+        let (x, y) = xy(i, v);
+        if !path.is_empty() {
+            path.push(' ');
+        }
+        let _ = write!(path, "{},{}", coord(x), coord(y));
+    }
+    let _ = writeln!(
+        h.0,
+        "<polyline points=\"{path}\" fill=\"none\" stroke=\"{}\" stroke-width=\"2\" \
+         stroke-linejoin=\"round\" stroke-linecap=\"round\"></polyline>",
+        CATEGORICAL[0],
+    );
+    for (i, &(label, v)) in points.iter().enumerate() {
+        let (x, y) = xy(i, v);
+        let _ = writeln!(
+            h.0,
+            "<circle cx=\"{}\" cy=\"{}\" r=\"3\" fill=\"{}\" stroke=\"var(--tile)\" \
+             stroke-width=\"2\"><title>{}: {}</title></circle>",
+            coord(x),
+            coord(y),
+            CATEGORICAL[0],
+            html_escape(label),
+            html_escape(&fmt_f64(v)),
+        );
+    }
+    h.push("</svg>\n</div>\n");
+}
+
+fn shift_tables(h: &mut Html, diff: &ObservatoryDiff) {
+    let sections: Vec<_> = diff
+        .sections
+        .iter()
+        .filter(|s| !s.components.is_empty())
+        .collect();
+    if sections.is_empty() {
+        return;
+    }
+    h.push("<h2>Component shifts</h2>\n");
+    for sec in sections {
+        let unit = match sec.kind {
+            SectionKind::Shares => "pt",
+            SectionKind::Values => "%",
+        };
+        let _ = writeln!(
+            h.0,
+            "<h2>{} <span class=\"up\">({}, {})</span></h2>",
+            html_escape(&sec.name),
+            sec.kind.as_str(),
+            if sec.gated { "gated" } else { "informational" },
+        );
+        if let Some((from, to)) = &sec.leader_shift {
+            let _ = writeln!(
+                h.0,
+                "<p class=\"sub\">leader moved: <strong>{}</strong> &#8594; <strong>{}</strong></p>",
+                html_escape(from),
+                html_escape(to),
+            );
+        }
+        h.push("<table>\n<thead><tr><th>component</th><th>baseline</th><th>current</th>");
+        let _ = writeln!(
+            h.0,
+            "<th>&#916; ({unit})</th><th>status</th></tr></thead>\n<tbody>"
+        );
+        for c in &sec.components {
+            let _ = writeln!(
+                h.0,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{:+.2}</td><td class=\"{}\">{}</td></tr>",
+                html_escape(&c.name),
+                html_escape(&fmt_f64(c.baseline)),
+                html_escape(&fmt_f64(c.current)),
+                c.delta,
+                if c.regressed { "flag" } else { "ok" },
+                if c.regressed { "REGRESSED" } else { "ok" },
+            );
+        }
+        h.push("</tbody></table>\n");
+    }
+}
+
+/// The accessibility fallback: every trajectory number in one plain
+/// table, no color or geometry required to read it.
+fn data_table(h: &mut Html, trajectory: &[(String, BenchReport)]) {
+    if trajectory.is_empty() {
+        return;
+    }
+    let mut names: Vec<&String> = trajectory
+        .iter()
+        .flat_map(|(_, r)| r.values.keys())
+        .collect();
+    names.sort();
+    names.dedup();
+    h.push("<details>\n<summary>Full data table</summary>\n<table>\n<thead><tr><th>metric</th>");
+    for (label, _) in trajectory {
+        let _ = write!(h.0, "<th>{}</th>", html_escape(label));
+    }
+    h.push("</tr></thead>\n<tbody>\n");
+    for name in names {
+        let _ = write!(h.0, "<tr><td>{}</td>", html_escape(name));
+        for (_, r) in trajectory {
+            match r.get(name) {
+                Some(v) => {
+                    let _ = write!(h.0, "<td>{}</td>", html_escape(&fmt_f64(v)));
+                }
+                None => h.push("<td>&#8212;</td>"),
+            }
+        }
+        h.push("</tr>\n");
+    }
+    h.push("</tbody></table>\n</details>\n");
+}
+
+/// Elements with no closing tag.
+const VOID_ELEMENTS: [&str; 14] = [
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
+];
+
+/// Structural well-formedness check for the rendered document: every
+/// `<` starts a comment, doctype, or tag; every open tag is closed in
+/// order (void and self-closing elements excepted). Quoted attribute
+/// values may contain anything. Used by the renderer's debug assert
+/// and by the CI artifact smoke test.
+pub fn validate_html(html: &str) -> Result<(), String> {
+    let b = html.as_bytes();
+    let mut stack: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        if html[i..].starts_with("<!--") {
+            match html[i..].find("-->") {
+                Some(end) => i += end + 3,
+                None => return Err("unterminated comment".to_owned()),
+            }
+            continue;
+        }
+        if b.get(i + 1) == Some(&b'!') {
+            match html[i..].find('>') {
+                Some(end) => i += end + 1,
+                None => return Err("unterminated doctype".to_owned()),
+            }
+            continue;
+        }
+        let closing = b.get(i + 1) == Some(&b'/');
+        let name_start = if closing { i + 2 } else { i + 1 };
+        if name_start >= b.len() || !b[name_start].is_ascii_alphabetic() {
+            return Err(format!("stray '<' at byte {i}"));
+        }
+        let mut j = name_start;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'-') {
+            j += 1;
+        }
+        let name = html[name_start..j].to_ascii_lowercase();
+        // Scan to the tag's '>' honoring quoted attribute values.
+        let mut quote: Option<u8> = None;
+        let self_closed;
+        loop {
+            if j >= b.len() {
+                return Err(format!("unterminated tag <{name}>"));
+            }
+            match (quote, b[j]) {
+                (Some(q), c) if c == q => quote = None,
+                (Some(_), _) => {}
+                (None, b'"') | (None, b'\'') => quote = Some(b[j]),
+                (None, b'>') => {
+                    self_closed = j > 0 && b[j - 1] == b'/';
+                    j += 1;
+                    break;
+                }
+                (None, b'<') => return Err(format!("raw '<' inside tag <{name}>")),
+                (None, _) => {}
+            }
+            j += 1;
+        }
+        if closing {
+            match stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return Err(format!("</{name}> closes <{open}> (byte {i})"));
+                }
+                None => return Err(format!("</{name}> with nothing open (byte {i})")),
+            }
+        } else if !self_closed && !VOID_ELEMENTS.contains(&name.as_str()) {
+            stack.push(name);
+        }
+        i = j;
+    }
+    if let Some(open) = stack.pop() {
+        return Err(format!("<{open}> never closed"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observatory::{DiffConfig, Section};
+    use std::collections::BTreeMap;
+
+    fn report(label: &str, pairs: &[(&str, f64)]) -> BenchReport {
+        let mut r = BenchReport::new(label);
+        for (k, v) in pairs {
+            r.set(k, *v);
+        }
+        r
+    }
+
+    fn shares(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn fixture() -> (
+        Vec<(String, BenchReport)>,
+        ObservatoryReport,
+        ObservatoryReport,
+    ) {
+        let trajectory = vec![
+            (
+                "pr3".to_owned(),
+                report("pr3", &[("one_way_1hop_ns", 162.0), ("fig6_wire_ns", 40.0)]),
+            ),
+            (
+                "pr4".to_owned(),
+                report("pr4", &[("one_way_1hop_ns", 162.0), ("fig6_wire_ns", 40.0)]),
+            ),
+            (
+                "pr7".to_owned(),
+                report(
+                    "pr7",
+                    &[("one_way_1hop_ns", 162.0), ("one_way_diameter_ns", 822.0)],
+                ),
+            ),
+        ];
+        let mut base = ObservatoryReport::new("base");
+        base.metrics.set("one_way_1hop_ns", 162.0);
+        base.set_section(
+            SEC_BLAME,
+            Section::shares(shares(&[("wire", 50.0), ("delivery", 50.0)])),
+        );
+        let mut cur = base.clone();
+        cur.set_section(
+            SEC_BLAME,
+            Section::shares(shares(&[("wire", 70.0), ("delivery", 30.0)])),
+        );
+        (trajectory, base, cur)
+    }
+
+    #[test]
+    fn rendering_is_byte_deterministic() {
+        let (trajectory, base, cur) = fixture();
+        let diff = cur.diff(&base, DiffConfig::default()).expect("comparable");
+        let input = DashboardInput {
+            title: "anton perf observatory",
+            trajectory: &trajectory,
+            current: Some(&cur),
+            diff: Some(&diff),
+        };
+        let a = render_dashboard(&input);
+        let b = render_dashboard(&input);
+        assert_eq!(a, b);
+        assert!(a.contains("Critical-path blame"));
+        assert!(a.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn rendered_document_is_balanced_and_offline() {
+        let (trajectory, base, cur) = fixture();
+        let diff = cur.diff(&base, DiffConfig::default()).expect("comparable");
+        let html = render_dashboard(&DashboardInput {
+            title: "anton perf observatory",
+            trajectory: &trajectory,
+            current: Some(&cur),
+            diff: Some(&diff),
+        });
+        validate_html(&html).expect("balanced");
+        // Self-contained: no external fetches of any kind.
+        assert!(!html.contains("http://"));
+        assert!(!html.contains("https://"));
+        assert!(!html.contains("<script"));
+    }
+
+    #[test]
+    fn metric_names_are_escaped() {
+        let trajectory = vec![
+            ("a".to_owned(), report("a", &[("evil<script>&\"name", 1.0)])),
+            ("b".to_owned(), report("b", &[("evil<script>&\"name", 2.0)])),
+        ];
+        let html = render_dashboard(&DashboardInput {
+            title: "t<&>",
+            trajectory: &trajectory,
+            current: None,
+            diff: None,
+        });
+        validate_html(&html).expect("balanced despite hostile names");
+        assert!(html.contains("evil&lt;script&gt;&amp;&quot;name"));
+        assert!(!html.contains("evil<script"));
+    }
+
+    #[test]
+    fn empty_trajectory_renders_a_valid_shell() {
+        let html = render_dashboard(&DashboardInput {
+            title: "empty",
+            trajectory: &[],
+            current: None,
+            diff: None,
+        });
+        validate_html(&html).expect("balanced");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_html("<div><span></div>").is_err());
+        assert!(validate_html("<div>").is_err());
+        assert!(validate_html("</div>").is_err());
+        assert!(validate_html("a < b").is_err());
+        assert!(validate_html("<div>ok</div>").is_ok());
+        assert!(validate_html("<br><img src=\"x\"><div a=\"5>3\"></div>").is_ok());
+        assert!(validate_html("<svg><rect x=\"0\"/></svg>").is_ok());
+    }
+
+    #[test]
+    fn categorical_slots_follow_canonical_order_and_fold_overflow() {
+        let colors = section_colors(
+            [
+                "wire",
+                "delivery",
+                "port-wait",
+                "send-setup",
+                "link-wait",
+                "transit-ring",
+                "send-ring",
+                "sync-arrive",
+                "program",
+                "residual",
+            ]
+            .into_iter(),
+        );
+        let of = |n: &str| colors.iter().find(|(k, _)| *k == n).unwrap().1;
+        // Canonical order, not insertion or value order.
+        assert_eq!(of("send-setup"), CATEGORICAL[0]);
+        assert_eq!(of("port-wait"), CATEGORICAL[1]);
+        assert_eq!(of("wire"), CATEGORICAL[5]);
+        // Components past the eighth slot fold to the neutral gray.
+        assert_eq!(of("program"), OTHER);
+        assert_eq!(of("residual"), OTHER);
+    }
+}

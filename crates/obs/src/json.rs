@@ -256,6 +256,137 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// A minimal cursor over a document that [`validate_json`] already
+/// accepted, shared by the flat-report parsers in [`regress`] and
+/// [`observatory`]: errors here mean the document is valid JSON of the
+/// wrong *shape*, never a syntax error.
+///
+/// [`regress`]: crate::regress
+/// [`observatory`]: crate::observatory
+pub(crate) struct Lex<'a> {
+    pub(crate) s: &'a [u8],
+    pub(crate) i: usize,
+}
+
+impl<'a> Lex<'a> {
+    /// A cursor at the start of `s` (validate it first).
+    pub(crate) fn new(s: &'a str) -> Lex<'a> {
+        Lex {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    pub(crate) fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    pub(crate) fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.ws();
+        if self.s.get(self.i) == Some(&b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.i))
+        }
+    }
+
+    /// Consume `,` (returning true) or the given closer (false).
+    pub(crate) fn comma_or(&mut self, close: u8) -> Result<bool, String> {
+        self.ws();
+        match self.s.get(self.i) {
+            Some(b',') => {
+                self.i += 1;
+                Ok(true)
+            }
+            Some(&b) if b == close => {
+                self.i += 1;
+                Ok(false)
+            }
+            _ => Err(format!(
+                "expected ',' or {:?} at byte {}",
+                close as char, self.i
+            )),
+        }
+    }
+
+    pub(crate) fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&b) = self.s.get(self.i) {
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.s.get(self.i).ok_or("truncated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.i += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => out.push(b as char),
+            }
+        }
+        Err("unterminated string".to_owned())
+    }
+
+    pub(crate) fn number(&mut self) -> Result<f64, String> {
+        self.ws();
+        let start = self.i;
+        while let Some(&b) = self.s.get(self.i) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("expected a number at byte {start}"))
+    }
+
+    /// A `true`/`false` literal.
+    pub(crate) fn boolean(&mut self) -> Result<bool, String> {
+        self.ws();
+        for (lit, v) in [("true", true), ("false", false)] {
+            if self.s[self.i..].starts_with(lit.as_bytes()) {
+                self.i += lit.len();
+                return Ok(v);
+            }
+        }
+        Err(format!("expected a boolean at byte {}", self.i))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,8 +38,16 @@
 //!   *parallel runtime itself*: speedup attribution whose components
 //!   telescope to the measured gap, deterministic lookahead/imbalance
 //!   summaries, and Chrome-trace worker lanes for `des::par` profiles.
-//! - [`regress`] — schema-versioned benchmark reports and
-//!   threshold-based regression diffing for `scripts/bench_regress.sh`.
+//! - [`regress`] — schema-versioned benchmark reports with per-metric
+//!   direction metadata and threshold-based regression diffing for
+//!   `scripts/bench_regress.sh`.
+//! - [`observatory`] — the continuous-benchmarking report model:
+//!   metrics *plus* attribution sections (critical-path blame shares,
+//!   congestion top-K, recovery stats), component-level diffing with a
+//!   human-readable triage, and the named-baseline trajectory index.
+//! - [`dashboard`] — a dependency-free, byte-deterministic HTML
+//!   rendering of the benchmark trajectory (inline SVG sparklines,
+//!   blame stacked bars, triage tables), published as a CI artifact.
 //! - [`fingerprint`] — stable FNV-1a digests of exported run state,
 //!   backing the sequential-vs-parallel bit-identity cross-checks.
 
@@ -49,9 +57,11 @@ pub mod breakdown;
 pub mod causal;
 pub mod chrome_trace;
 pub mod congestion;
+pub mod dashboard;
 pub mod fingerprint;
 pub mod json;
 pub mod metrics;
+pub mod observatory;
 pub mod recorder;
 pub mod regress;
 pub mod retime;
@@ -61,13 +71,19 @@ pub use breakdown::{fold_lifecycles, BreakdownSummary, FoldStats, PacketLifecycl
 pub use causal::{Blame, CEdge, CNode, CausalGraph, CriticalPath, EdgeKind, NodeKind};
 pub use chrome_trace::{lifecycles_csv, ChromeTraceBuilder};
 pub use congestion::{CongestionMap, LinkLoad, RouterLoad};
+pub use dashboard::{render_dashboard, validate_html, DashboardInput};
 pub use fingerprint::{fnv1a64, Fingerprint};
 pub use json::validate_json;
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
+pub use observatory::{
+    DiffConfig, ObservatoryDiff, ObservatoryReport, Section, SectionDiff, SectionKind,
+    TrajectoryIndex, OBSERVATORY_SCHEMA_VERSION, SEC_ATTRIBUTION, SEC_BLAME, SEC_CONGESTION,
+    SEC_RECOVERY,
+};
 pub use recorder::{
     FlightEvent, FlightRecorder, NopRecorder, PacketId, Recorder, SharedFlightRecorder,
     VerdictCause,
 };
-pub use regress::{BenchReport, RegressFinding, RegressReport, BENCH_SCHEMA_VERSION};
-pub use retime::{retime, Perturbation, Retimed};
+pub use regress::{BenchReport, Direction, RegressFinding, RegressReport, BENCH_SCHEMA_VERSION};
+pub use retime::{retime, retime_blamed, Perturbation, Retimed};
 pub use runtime::{profile_chrome_trace, RuntimeSummary, SpeedupAttribution};

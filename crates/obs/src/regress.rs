@@ -1,23 +1,64 @@
 //! Schema-versioned benchmark reports and threshold-based regression
-//! diffing — the data model behind `scripts/bench_regress.sh`.
+//! diffing — the data model behind `scripts/bench_regress.sh` and the
+//! [`observatory`](crate::observatory) triage pipeline.
 //!
 //! A [`BenchReport`] is a flat map of metric name → value (latencies in
 //! nanoseconds or microseconds, the name says which) with a schema
-//! version and a label. It serializes to a small, stable JSON document
-//! (`BENCH_pr3.json` is the committed baseline) and parses back without
-//! any external dependency. [`BenchReport::diff`] compares a current
-//! run against a baseline with a percentage threshold: all suite
-//! metrics are lower-is-better, so only increases beyond the threshold
-//! count as regressions. Metrics present only in the baseline are
-//! reported but do not fail the diff — that is what lets the quick CI
-//! suite check against the committed full-suite baseline.
+//! version, a label, and optional per-metric [`Direction`] metadata.
+//! It serializes to a small, stable JSON document (`BENCH_pr*.json`
+//! are the committed baselines) and parses back without any external
+//! dependency. [`BenchReport::diff`] compares a current run against a
+//! baseline with a percentage threshold: a lower-is-better metric
+//! regresses when it *grows* past the threshold, a higher-is-better
+//! metric (e.g. `lookahead_efficiency`, speedup ratios) when it
+//! *shrinks* past it — so improvements are never reported as
+//! regressions in either direction. Metrics present only in the
+//! baseline are reported but do not fail the diff — that is what lets
+//! the quick CI suite check against the committed full-suite baseline.
 
-use crate::json::{escape, validate_json};
+use crate::json::{escape, validate_json, Lex};
 use crate::metrics::fmt_f64;
 use std::collections::BTreeMap;
 
-/// Version of the `BENCH_*.json` schema this crate writes and reads.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+/// Version of the `BENCH_*.json` schema this crate writes. Version 1
+/// (no `directions` object, every metric lower-is-better) is still
+/// read; version 2 adds the optional per-metric direction map.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Which way a metric is supposed to move.
+///
+/// The suite's latencies are [`Direction::LowerIsBetter`] (the
+/// default); efficiency and speedup ratios are
+/// [`Direction::HigherIsBetter`] and must never be flagged as
+/// regressions when they rise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Direction {
+    /// Growth past the threshold is a regression (latencies, losses).
+    #[default]
+    LowerIsBetter,
+    /// Shrinkage past the threshold is a regression (efficiencies,
+    /// speedups, bandwidths).
+    HigherIsBetter,
+}
+
+impl Direction {
+    /// Stable serialization tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::LowerIsBetter => "lower",
+            Direction::HigherIsBetter => "higher",
+        }
+    }
+
+    /// Inverse of [`Direction::as_str`].
+    pub fn parse_str(s: &str) -> Result<Direction, String> {
+        match s {
+            "lower" => Ok(Direction::LowerIsBetter),
+            "higher" => Ok(Direction::HigherIsBetter),
+            other => Err(format!("unknown direction {other:?}")),
+        }
+    }
+}
 
 /// One benchmark run: named scalar results plus identifying metadata.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,9 +68,11 @@ pub struct BenchReport {
     pub schema: u32,
     /// Free-form label of the run (suite name, PR tag).
     pub label: String,
-    /// Metric name → value, sorted by name. Lower is better for every
-    /// suite metric.
+    /// Metric name → value, sorted by name.
     pub values: BTreeMap<String, f64>,
+    /// Metric name → direction for the metrics that deviate from the
+    /// lower-is-better default. Only non-default entries serialize.
+    pub directions: BTreeMap<String, Direction>,
 }
 
 impl BenchReport {
@@ -39,12 +82,29 @@ impl BenchReport {
             schema: BENCH_SCHEMA_VERSION,
             label: label.to_owned(),
             values: BTreeMap::new(),
+            directions: BTreeMap::new(),
         }
     }
 
     /// Record one metric (overwrites a previous value of that name).
     pub fn set(&mut self, name: &str, value: f64) {
+        debug_assert!(value.is_finite(), "metric {name} is not finite");
         self.values.insert(name.to_owned(), value);
+    }
+
+    /// Record one metric with an explicit direction.
+    pub fn set_directed(&mut self, name: &str, value: f64, direction: Direction) {
+        self.set(name, value);
+        self.set_direction(name, direction);
+    }
+
+    /// Tag one metric's direction without touching its value.
+    pub fn set_direction(&mut self, name: &str, direction: Direction) {
+        if direction == Direction::default() {
+            self.directions.remove(name);
+        } else {
+            self.directions.insert(name.to_owned(), direction);
+        }
     }
 
     /// Look up one metric.
@@ -52,39 +112,75 @@ impl BenchReport {
         self.values.get(name).copied()
     }
 
+    /// The direction of one metric (lower-is-better unless tagged).
+    pub fn direction(&self, name: &str) -> Direction {
+        self.directions.get(name).copied().unwrap_or_default()
+    }
+
     /// Serialize to the stable JSON document (validated before being
     /// returned, so it is always well-formed).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        out.push_str(&format!("  \"schema\": {},\n", self.schema));
-        out.push_str(&format!("  \"label\": {},\n", escape(&self.label)));
-        out.push_str("  \"values\": {");
+        let mut out = String::new();
+        self.write_json_into(&mut out, 0);
+        out.push('\n');
+        validate_json(&out).expect("bench report JSON is well-formed by construction");
+        out
+    }
+
+    /// Write the report object (no trailing newline) at `indent`
+    /// leading spaces per nesting level base — the embeddable form the
+    /// observatory report uses to nest a `BenchReport` verbatim.
+    pub(crate) fn write_json_into(&self, out: &mut String, indent: usize) {
+        let pad = " ".repeat(indent);
+        out.push_str("{\n");
+        out.push_str(&format!("{pad}  \"schema\": {},\n", self.schema));
+        out.push_str(&format!("{pad}  \"label\": {},\n", escape(&self.label)));
+        if !self.directions.is_empty() {
+            out.push_str(&format!("{pad}  \"directions\": {{"));
+            let mut first = true;
+            for (name, dir) in &self.directions {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "\n{pad}    {}: {}",
+                    escape(name),
+                    escape(dir.as_str())
+                ));
+            }
+            out.push_str(&format!("\n{pad}  }},\n"));
+        }
+        out.push_str(&format!("{pad}  \"values\": {{"));
         let mut first = true;
         for (name, value) in &self.values {
             if !first {
                 out.push(',');
             }
             first = false;
-            out.push_str(&format!("\n    {}: {}", escape(name), fmt_f64(*value)));
+            out.push_str(&format!("\n{pad}    {}: {}", escape(name), fmt_f64(*value)));
         }
-        out.push_str("\n  }\n}\n");
-        validate_json(&out).expect("bench report JSON is well-formed by construction");
-        out
+        out.push_str(&format!("\n{pad}  }}\n{pad}}}"));
     }
 
     /// Parse a report written by [`BenchReport::to_json`] (or edited by
     /// hand, as long as it keeps the flat shape: top-level `schema`,
-    /// `label`, and a `values` object of numbers).
+    /// `label`, optional `directions`, and a `values` object of finite
+    /// numbers).
     pub fn parse(s: &str) -> Result<BenchReport, String> {
         validate_json(s).map_err(|e| format!("not valid JSON: {e:?}"))?;
-        let mut p = Lex {
-            s: s.as_bytes(),
-            i: 0,
-        };
+        let mut p = Lex::new(s);
+        Self::parse_object(&mut p)
+    }
+
+    /// Parse the report object at the cursor (shared with the
+    /// observatory parser, which embeds a report under `"metrics"`).
+    pub(crate) fn parse_object(p: &mut Lex<'_>) -> Result<BenchReport, String> {
         let mut report = BenchReport {
             schema: 0,
             label: String::new(),
             values: BTreeMap::new(),
+            directions: BTreeMap::new(),
         };
         let mut saw_schema = false;
         p.expect(b'{')?;
@@ -97,6 +193,24 @@ impl BenchReport {
                     saw_schema = true;
                 }
                 "label" => report.label = p.string()?,
+                "directions" => {
+                    p.expect(b'{')?;
+                    if p.peek() == Some(b'}') {
+                        p.expect(b'}')?;
+                    } else {
+                        loop {
+                            let name = p.string()?;
+                            p.expect(b':')?;
+                            let dir = Direction::parse_str(&p.string()?)?;
+                            if dir != Direction::default() {
+                                report.directions.insert(name, dir);
+                            }
+                            if !p.comma_or(b'}')? {
+                                break;
+                            }
+                        }
+                    }
+                }
                 "values" => {
                     p.expect(b'{')?;
                     if p.peek() == Some(b'}') {
@@ -105,7 +219,11 @@ impl BenchReport {
                         loop {
                             let name = p.string()?;
                             p.expect(b':')?;
-                            report.values.insert(name, p.number()?);
+                            let value = p.number()?;
+                            if !value.is_finite() {
+                                return Err(format!("metric {name:?} is not finite ({value})"));
+                            }
+                            report.values.insert(name, value);
                             if !p.comma_or(b'}')? {
                                 break;
                             }
@@ -121,9 +239,9 @@ impl BenchReport {
         if !saw_schema {
             return Err("missing \"schema\"".to_owned());
         }
-        if report.schema != BENCH_SCHEMA_VERSION {
+        if report.schema == 0 || report.schema > BENCH_SCHEMA_VERSION {
             return Err(format!(
-                "schema version {} unsupported (this build reads {})",
+                "schema version {} unsupported (this build reads 1..={})",
                 report.schema, BENCH_SCHEMA_VERSION
             ));
         }
@@ -131,9 +249,12 @@ impl BenchReport {
     }
 
     /// Compare this (current) run against a `baseline`. A metric
-    /// regresses when it grew more than `threshold_pct` percent over
-    /// the baseline; it must exist in both reports to be compared, and
-    /// at least one metric must be comparable.
+    /// regresses when it moved more than `threshold_pct` percent in
+    /// its bad direction over the baseline; it must exist in both
+    /// reports to be compared, and at least one metric must be
+    /// comparable. Direction metadata comes from the current report,
+    /// falling back to the baseline's (so a schema-1 baseline still
+    /// diffs direction-aware against a schema-2 candidate).
     pub fn diff(
         &self,
         baseline: &BenchReport,
@@ -154,12 +275,22 @@ impl BenchReport {
                     } else {
                         100.0 * (cur - base) / base
                     };
+                    let direction = if self.directions.contains_key(name) {
+                        self.direction(name)
+                    } else {
+                        baseline.direction(name)
+                    };
+                    let regressed = match direction {
+                        Direction::LowerIsBetter => delta_pct > threshold_pct,
+                        Direction::HigherIsBetter => delta_pct < -threshold_pct,
+                    };
                     findings.push(RegressFinding {
                         name: name.clone(),
                         baseline: base,
                         current: cur,
                         delta_pct,
-                        regressed: delta_pct > threshold_pct,
+                        direction,
+                        regressed,
                     });
                 }
             }
@@ -191,9 +322,11 @@ pub struct RegressFinding {
     pub baseline: f64,
     /// Current value.
     pub current: f64,
-    /// Percentage change versus the baseline (positive = slower).
+    /// Percentage change versus the baseline (positive = grew).
     pub delta_pct: f64,
-    /// Whether the change exceeds the threshold.
+    /// Which way this metric is supposed to move.
+    pub direction: Direction,
+    /// Whether the change exceeds the threshold in the bad direction.
     pub regressed: bool,
 }
 
@@ -222,20 +355,26 @@ impl RegressReport {
         self.findings.iter().filter(|f| f.regressed).count()
     }
 
-    /// A fixed-width text table of the comparison.
+    /// A fixed-width text table of the comparison. Higher-is-better
+    /// metrics are marked with `^` after the name.
     pub fn table(&self) -> String {
         let mut out = format!(
             "{:<34} {:>12} {:>12} {:>9}  verdict (threshold {:.1}%)\n",
             "metric", "baseline", "current", "delta", self.threshold_pct
         );
         for f in &self.findings {
+            let marker = match f.direction {
+                Direction::LowerIsBetter => "",
+                Direction::HigherIsBetter => " ^",
+            };
             out.push_str(&format!(
-                "{:<34} {:>12.3} {:>12.3} {:>+8.2}%  {}\n",
+                "{:<34} {:>12.3} {:>12.3} {:>+8.2}%  {}{}\n",
                 f.name,
                 f.baseline,
                 f.current,
                 f.delta_pct,
-                if f.regressed { "REGRESSED" } else { "ok" }
+                if f.regressed { "REGRESSED" } else { "ok" },
+                marker,
             ));
         }
         for name in &self.missing_in_current {
@@ -245,113 +384,6 @@ impl RegressReport {
             out.push_str(&format!("{name:<34} (new — no baseline)\n"));
         }
         out
-    }
-}
-
-/// A minimal lexer for the flat report shape; well-formedness was
-/// already checked by [`validate_json`], so errors here mean the
-/// document is valid JSON of the wrong *shape*.
-struct Lex<'a> {
-    s: &'a [u8],
-    i: usize,
-}
-
-impl Lex<'_> {
-    fn ws(&mut self) {
-        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
-            self.i += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.ws();
-        self.s.get(self.i).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        self.ws();
-        if self.s.get(self.i) == Some(&b) {
-            self.i += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", b as char, self.i))
-        }
-    }
-
-    /// Consume `,` (returning true) or the given closer (false).
-    fn comma_or(&mut self, close: u8) -> Result<bool, String> {
-        self.ws();
-        match self.s.get(self.i) {
-            Some(b',') => {
-                self.i += 1;
-                Ok(true)
-            }
-            Some(&b) if b == close => {
-                self.i += 1;
-                Ok(false)
-            }
-            _ => Err(format!(
-                "expected ',' or {:?} at byte {}",
-                close as char, self.i
-            )),
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        while let Some(&b) = self.s.get(self.i) {
-            self.i += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = *self.s.get(self.i).ok_or("truncated escape")?;
-                    self.i += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .s
-                                .get(self.i..self.i + 4)
-                                .ok_or("truncated \\u escape")?;
-                            self.i += 4;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|_| "bad \\u escape")?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
-                        other => return Err(format!("bad escape \\{}", other as char)),
-                    }
-                }
-                _ => out.push(b as char),
-            }
-        }
-        Err("unterminated string".to_owned())
-    }
-
-    fn number(&mut self) -> Result<f64, String> {
-        self.ws();
-        let start = self.i;
-        while let Some(&b) = self.s.get(self.i) {
-            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.i += 1;
-            } else {
-                break;
-            }
-        }
-        std::str::from_utf8(&self.s[start..self.i])
-            .ok()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| format!("expected a number at byte {start}"))
     }
 }
 
@@ -376,12 +408,55 @@ mod tests {
     }
 
     #[test]
+    fn directions_round_trip_and_default_is_omitted() {
+        let mut r = sample();
+        r.set_directed("lookahead_efficiency", 182.45, Direction::HigherIsBetter);
+        r.set_direction("one_way_1hop_ns", Direction::LowerIsBetter);
+        let json = r.to_json();
+        // Only the non-default direction serializes.
+        assert!(
+            json.contains("\"lookahead_efficiency\": \"higher\""),
+            "{json}"
+        );
+        assert!(!json.contains("\"one_way_1hop_ns\": \"lower\""), "{json}");
+        let back = BenchReport::parse(&json).expect("parses");
+        assert_eq!(back, r);
+        assert_eq!(
+            back.direction("lookahead_efficiency"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(back.direction("one_way_1hop_ns"), Direction::LowerIsBetter);
+    }
+
+    #[test]
+    fn schema_1_documents_still_parse() {
+        let json =
+            "{\n  \"schema\": 1,\n  \"label\": \"old\",\n  \"values\": {\n    \"m\": 1.5\n  }\n}\n";
+        let r = BenchReport::parse(json).expect("schema 1 parses");
+        assert_eq!(r.schema, 1);
+        assert_eq!(r.get("m"), Some(1.5));
+        assert_eq!(r.direction("m"), Direction::LowerIsBetter);
+    }
+
+    #[test]
     fn schema_mismatch_is_rejected() {
         let json = sample()
             .to_json()
-            .replace("\"schema\": 1", "\"schema\": 99");
+            .replace("\"schema\": 2", "\"schema\": 99");
         let err = BenchReport::parse(&json).unwrap_err();
         assert!(err.contains("schema version 99"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected_at_parse() {
+        // 1e999 overflows f64 to infinity while staying valid JSON.
+        let json =
+            "{\n  \"schema\": 2,\n  \"label\": \"x\",\n  \"values\": {\n    \"m\": 1e999\n  }\n}\n";
+        let err = BenchReport::parse(json).unwrap_err();
+        assert!(err.contains("not finite"), "{err}");
+        // A bare NaN is not even valid JSON.
+        let json = "{\"schema\": 2, \"label\": \"x\", \"values\": {\"m\": NaN}}";
+        assert!(BenchReport::parse(json).is_err());
     }
 
     #[test]
@@ -400,6 +475,53 @@ mod tests {
         let mut fast = sample();
         fast.set("one_way_1hop_ns", 100.0);
         assert!(!fast.diff(&base, 10.0).unwrap().has_regressions());
+    }
+
+    #[test]
+    fn higher_is_better_inverts_the_gate() {
+        let mut base = BenchReport::new("base");
+        base.set_directed("lookahead_efficiency", 180.0, Direction::HigherIsBetter);
+        // A 20% efficiency jump is an improvement, not a regression.
+        let mut up = BenchReport::new("cur");
+        up.set_directed("lookahead_efficiency", 216.0, Direction::HigherIsBetter);
+        assert!(!up.diff(&base, 10.0).unwrap().has_regressions());
+        // A 20% drop is a regression.
+        let mut down = BenchReport::new("cur");
+        down.set_directed("lookahead_efficiency", 144.0, Direction::HigherIsBetter);
+        let d = down.diff(&base, 10.0).unwrap();
+        assert!(d.has_regressions());
+        assert!(d.table().contains("REGRESSED ^"), "{}", d.table());
+        // Direction metadata on the baseline alone (candidate untagged)
+        // still applies — a schema-1-style candidate can't flip it.
+        let mut plain = BenchReport::new("cur");
+        plain.set("lookahead_efficiency", 216.0);
+        assert!(!plain.diff(&base, 10.0).unwrap().has_regressions());
+    }
+
+    #[test]
+    fn threshold_exactly_at_boundary_is_not_a_regression() {
+        let mut base = BenchReport::new("base");
+        base.set("lat_ns", 100.0);
+        base.set_directed("eff", 100.0, Direction::HigherIsBetter);
+        let mut cur = BenchReport::new("cur");
+        cur.set("lat_ns", 110.0); // exactly +10%
+        cur.set_directed("eff", 90.0, Direction::HigherIsBetter); // exactly -10%
+        let d = cur.diff(&base, 10.0).expect("comparable");
+        assert!(!d.has_regressions(), "{}", d.table());
+        // One ulp past the boundary trips it.
+        cur.set("lat_ns", 110.1);
+        assert!(cur.diff(&base, 10.0).unwrap().has_regressions());
+    }
+
+    #[test]
+    fn candidate_only_metrics_are_informational() {
+        let base = sample();
+        let mut cur = sample();
+        cur.set("brand_new_metric_ns", 5.0);
+        let d = cur.diff(&base, 10.0).expect("comparable");
+        assert!(!d.has_regressions());
+        assert_eq!(d.new_in_current, vec!["brand_new_metric_ns".to_owned()]);
+        assert!(d.table().contains("new — no baseline"));
     }
 
     #[test]

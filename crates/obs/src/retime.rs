@@ -19,7 +19,7 @@
 //! (hop latency ±10%, one slow link) the acceptance tests cross-check
 //! predictions against actual perturbed re-runs to within 1%.
 
-use crate::causal::{CausalGraph, EdgeKind, NodeKind};
+use crate::causal::{Blame, CausalGraph, EdgeKind, NodeKind};
 use anton_des::{SimDuration, SimTime};
 use anton_topo::{LinkDir, NodeId};
 
@@ -149,6 +149,55 @@ pub fn retime(g: &CausalGraph, p: &Perturbation) -> Retimed {
     }
 }
 
+/// [`retime`] plus the perturbed critical-path blame: after the
+/// forward pass, walk the binding-edge chain back from the predicted
+/// terminal (highest perturbed reach, ties toward the earliest
+/// inserted edge — the same tie-break as
+/// [`CausalGraph::critical_path`]) and sum the *scaled* lags into
+/// per-[`EdgeKind`] buckets. The returned blame totals the predicted
+/// critical span, so diffing it against the unperturbed
+/// [`Blame`] shows where the critical path
+/// *moved* — not just how much the makespan stretched. With the
+/// identity perturbation the blame equals
+/// `Blame::from_path(g, &g.critical_path())` exactly.
+pub fn retime_blamed(g: &CausalGraph, p: &Perturbation) -> (Retimed, Blame) {
+    let rt = retime(g, p);
+    let mut blame = Blame::default();
+    if let Some(terminal) = rt.terminal {
+        let scaled = |ei: u32, e: &crate::causal::CEdge| {
+            let f = p.factor(g, ei);
+            if f == 1.0 {
+                e.lag
+            } else {
+                SimDuration::from_ps((e.lag.as_ps() as f64 * f).round() as u64)
+            }
+        };
+        let mut cur = terminal;
+        loop {
+            let mut best: Option<(u32, u32, SimTime, SimDuration)> = None;
+            for (ei, e) in g.preds(cur) {
+                let lag = scaled(ei, e);
+                let reach = rt.times[e.src as usize] + lag;
+                let better = match best {
+                    None => true,
+                    Some((bei, _, bt, _)) => reach > bt || (reach == bt && ei < bei),
+                };
+                if better {
+                    best = Some((ei, e.src, reach, lag));
+                }
+            }
+            match best {
+                None => break,
+                Some((ei, src, _, lag)) => {
+                    blame.add(g.edges()[ei as usize].kind, lag);
+                    cur = src;
+                }
+            }
+        }
+    }
+    (rt, blame)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +247,40 @@ mod tests {
             assert_eq!(rt.times[i], n.time);
         }
         assert_eq!(rt.delta_ps(&g), 0);
+    }
+
+    #[test]
+    fn identity_blame_matches_the_recorded_critical_path() {
+        let g = one_hop_graph();
+        let path = g.critical_path().expect("has a path");
+        let recorded = Blame::from_path(&g, &path);
+        let (rt, blamed) = retime_blamed(&g, &Perturbation::none());
+        assert_eq!(rt.end, path.end);
+        for kind in EdgeKind::ALL {
+            assert_eq!(blamed.get(kind), recorded.get(kind), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn slow_link_blame_shifts_toward_wire() {
+        let g = one_hop_graph();
+        let (_, base) = retime_blamed(&g, &Perturbation::none());
+        let (rt, slow) = retime_blamed(
+            &g,
+            &Perturbation::none().slow_link(NodeId(0), LinkDir::from_index(0), 3.0),
+        );
+        // The 40 ns wire lag tripled: +80 ns end to end, all of it wire.
+        assert_eq!(rt.end, ns(242));
+        assert_eq!(
+            slow.get(EdgeKind::Wire),
+            base.get(EdgeKind::Wire) + SimDuration::from_ns(80)
+        );
+        let base_shares = base.shares_pct();
+        let slow_shares = slow.shares_pct();
+        assert!(slow_shares["wire"] > base_shares["wire"]);
+        // Shares still sum to ~100.
+        let sum: f64 = slow_shares.values().sum();
+        assert!((sum - 100.0).abs() < 1e-9, "{sum}");
     }
 
     #[test]

@@ -234,9 +234,10 @@ impl RuntimeSummary {
             &format!("{prefix}_events_per_window"),
             self.events_per_window,
         );
-        report.set(
+        report.set_directed(
             &format!("{prefix}_lookahead_efficiency"),
             self.lookahead_efficiency,
+            crate::regress::Direction::HigherIsBetter,
         );
         report.set(
             &format!("{prefix}_shard_imbalance_pct"),

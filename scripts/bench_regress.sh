@@ -1,24 +1,25 @@
 #!/usr/bin/env bash
 # Perf-regression harness: run the canonical bench suite and diff it
-# against the committed baseline (BENCH_pr3.json). All metrics are
-# *simulated* durations — bit-deterministic, so any drift is a model
-# change, not host noise. Exits non-zero on a regression past the
-# threshold.
+# against a *named* baseline resolved through the committed trajectory
+# index (BENCH_trajectory.json). All metrics are *simulated* durations
+# — bit-deterministic, so any drift is a model change, not host noise.
+# Exits non-zero on a regression past the threshold.
 #
 # Usage:
-#   scripts/bench_regress.sh             # quick suite vs baseline
+#   scripts/bench_regress.sh             # quick suite vs baseline 'pr3'
+#   BASELINE=pr7 scripts/bench_regress.sh  # diff against another entry
 #   FULL=1 scripts/bench_regress.sh      # adds the DHFR step (~minutes)
 #   THRESHOLD=5 scripts/bench_regress.sh # tighten the gate to 5%
 #
-# To refresh the baseline after an intentional model change:
+# To refresh a baseline after an intentional model change, re-emit the
+# report at the path BENCH_trajectory.json maps the name to, e.g.:
 #   cargo run --release -p anton-bench --bin bench_regress -- \
 #     emit --full --out BENCH_pr3.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=${BASELINE:-BENCH_pr3.json}
+BASELINE=${BASELINE:-pr3}
 THRESHOLD=${THRESHOLD:-10}
-CURRENT=target/obs/BENCH_current.json
 
 FLAGS=()
 if [[ "${FULL:-0}" != 0 ]]; then
@@ -26,6 +27,5 @@ if [[ "${FULL:-0}" != 0 ]]; then
 fi
 
 cargo run -q --release -p anton-bench --bin bench_regress -- \
-  emit "${FLAGS[@]+"${FLAGS[@]}"}" --out "$CURRENT"
-cargo run -q --release -p anton-bench --bin bench_regress -- \
-  diff "$BASELINE" "$CURRENT" --threshold "$THRESHOLD"
+  check --baseline "$BASELINE" --index BENCH_trajectory.json \
+  "${FLAGS[@]+"${FLAGS[@]}"}" --threshold "$THRESHOLD"

@@ -66,6 +66,20 @@ git diff --exit-code BENCH_pr6.json || {
   exit 1
 }
 
+# Observatory gate: the attribution-aware check runs the quick profile,
+# triages it component-by-component against the named 'pr3' baseline
+# from BENCH_trajectory.json, regenerates the committed quick profile
+# (BENCH_pr7.json, deterministic event-level metrics only), and renders
+# the trajectory dashboard — all of which CI archives on every run.
+cargo run -q --release -p anton-bench --bin bench_observatory -- \
+  check --quick --bench-out BENCH_pr7.json
+test -s target/obs/dashboard.html
+test -s target/obs/trajectory/anton_observatory_profile.json
+git diff --exit-code BENCH_pr7.json || {
+  echo "ci: BENCH_pr7.json drifted from the committed copy" >&2
+  exit 1
+}
+
 # Perf-regression gate: the quick canonical suite must stay within 10%
-# of the committed baseline (fails the build otherwise).
+# of the committed baseline (named 'pr3' in BENCH_trajectory.json).
 scripts/bench_regress.sh
