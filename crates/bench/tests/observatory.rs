@@ -97,18 +97,18 @@ fn identical_runs_triage_clean() {
     assert_eq!(back.sections.len(), 4);
 }
 
-/// The committed `BENCH_trajectory.json` resolves every PR 3→7
+/// The committed `BENCH_trajectory.json` resolves every PR 3→8
 /// baseline, and the dashboard rendered from them is byte-
 /// deterministic, tag-balanced, and fully offline.
 #[test]
 fn committed_trajectory_renders_deterministically() {
     let root = repo_root();
     let index = TrajectoryIndex::load(&root.join("BENCH_trajectory.json")).expect("index parses");
-    for name in ["pr3", "pr4", "pr5", "pr6", "pr7"] {
+    for name in ["pr3", "pr4", "pr5", "pr6", "pr7", "pr8"] {
         assert!(index.resolve(name).is_some(), "baseline {name} missing");
     }
     let trajectory = index.load_reports(&root).expect("every baseline parses");
-    assert_eq!(trajectory.len(), 5);
+    assert_eq!(trajectory.len(), 6);
 
     let input = DashboardInput {
         title: "anton perf observatory",

@@ -26,8 +26,9 @@ pub use cost::CostModel;
 pub use decomp::{wrap_signed, Decomposition};
 pub use engine::{AntonMdEngine, Energies};
 pub use parstep::{
-    run_md_exchange, run_md_exchange_par, run_md_exchange_par_profiled, MdExchangeNode,
-    MdExchangeOutcome, MdExchangeParams,
+    run_md_exchange, run_md_exchange_par, run_md_exchange_par_profiled, run_md_exchange_recorded,
+    run_md_exchange_streamed, run_md_exchange_streamed_par, MdExchangeNode, MdExchangeOutcome,
+    MdExchangeParams,
 };
 pub use program::{MdNode, TRACK_GC, TRACK_HTIS, TRACK_TS};
 pub use state::{AntonConfig, EpochPlan, MachineState, StepTiming};

@@ -28,6 +28,7 @@ use anton_net::{
     ClientAddr, ClientKind, CounterId, Ctx, Fabric, FaultPlan, NetStats, NodeProgram, Packet,
     ParSimulation, Payload, ProgEvent, Simulation,
 };
+use anton_obs::{FlightEvent, StreamConfig, StreamFootprint, StreamSummary};
 use anton_topo::{Dim, NodeId, TorusDims};
 
 /// Counter the six neighbor writes of each step land on.
@@ -218,6 +219,125 @@ pub fn run_md_exchange(dims: TorusDims, params: MdExchangeParams) -> MdExchangeO
     )
 }
 
+/// [`run_md_exchange`] with a full flight recorder attached: also
+/// returns the raw event stream for offline analysis. The simulated
+/// outcome is bit-identical to the unrecorded run (zero observer
+/// effect), but event memory grows with traffic — use
+/// [`run_md_exchange_streamed`] at scale.
+pub fn run_md_exchange_recorded(
+    dims: TorusDims,
+    params: MdExchangeParams,
+) -> (MdExchangeOutcome, Vec<FlightEvent>) {
+    let mut fabric = Fabric::with_faults(dims, anton_net::Timing::default(), FaultPlan::none());
+    // Node-scoped uids keep packet identities comparable with the
+    // sharded engine (uid assignment never affects simulated outcomes).
+    fabric.enable_node_scoped_uids();
+    let mut sim = Simulation::new(fabric, make_node(params));
+    sim.world.fabric.attach_owned_flight_recorder();
+    assert!(
+        sim.run_guarded(SimTime(u64::MAX / 2), 1_000_000_000)
+            .is_completed(),
+        "exchange workload completes"
+    );
+    let events = sim.events_processed();
+    let flight: Vec<FlightEvent> = sim
+        .world
+        .fabric
+        .flight_recorder()
+        .expect("recorder attached")
+        .events()
+        .cloned()
+        .collect();
+    let out = outcome(
+        sim.world
+            .programs
+            .iter()
+            .map(|p| (p.finished_at.expect("completed"), p.checksum)),
+        sim.world.fabric.stats.clone(),
+        events,
+    );
+    (out, flight)
+}
+
+/// [`run_md_exchange`] under bounded-memory streaming observability:
+/// delivered packets are folded into sketches on the fly and dropped,
+/// so observability memory stays O(nodes + links) regardless of step
+/// count. Returns the finalized summary and the observer's memory
+/// footprint. The simulated outcome is bit-identical to the
+/// unobserved run.
+pub fn run_md_exchange_streamed(
+    dims: TorusDims,
+    params: MdExchangeParams,
+    cfg: StreamConfig,
+) -> (MdExchangeOutcome, StreamSummary, StreamFootprint) {
+    let mut fabric = Fabric::with_faults(dims, anton_net::Timing::default(), FaultPlan::none());
+    // Node-scoped uids keep packet identities (and so the deterministic
+    // reservoir) bit-comparable with the sharded engine.
+    fabric.enable_node_scoped_uids();
+    let mut sim = Simulation::new(fabric, make_node(params));
+    sim.world.fabric.attach_stream_observer(cfg);
+    assert!(
+        sim.run_guarded(SimTime(u64::MAX / 2), 1_000_000_000)
+            .is_completed(),
+        "exchange workload completes"
+    );
+    let events = sim.events_processed();
+    let obs = sim
+        .world
+        .fabric
+        .stream_observer()
+        .expect("observer attached");
+    let mut summary = obs.summary();
+    summary.finalize();
+    let footprint = obs.footprint();
+    let out = outcome(
+        sim.world
+            .programs
+            .iter()
+            .map(|p| (p.finished_at.expect("completed"), p.checksum)),
+        sim.world.fabric.stats.clone(),
+        events,
+    );
+    (out, summary, footprint)
+}
+
+/// [`run_md_exchange_par`] under bounded-memory streaming
+/// observability: each shard folds its own deliveries and the
+/// per-shard summaries merge bit-deterministically. Returns the
+/// finalized merged summary; it equals the sequential
+/// [`run_md_exchange_streamed`] summary exactly.
+pub fn run_md_exchange_streamed_par(
+    dims: TorusDims,
+    params: MdExchangeParams,
+    threads: usize,
+    cfg: StreamConfig,
+) -> (MdExchangeOutcome, StreamSummary) {
+    let mut sim = ParSimulation::new(
+        threads,
+        move || Fabric::with_faults(dims, anton_net::Timing::default(), FaultPlan::none()),
+        make_node(params),
+    );
+    sim.attach_stream_observers(cfg);
+    assert!(
+        sim.run_guarded(SimTime(u64::MAX / 2), 1_000_000_000)
+            .is_completed(),
+        "exchange workload completes"
+    );
+    let events = sim.events_processed();
+    let summary = sim
+        .merged_stream_summary()
+        .expect("stream observers attached");
+    let out = outcome(
+        (0..dims.node_count()).map(|i| {
+            let p = sim.program(NodeId(i));
+            (p.finished_at.expect("completed"), p.checksum)
+        }),
+        sim.merged_stats(),
+        events,
+    );
+    (out, summary)
+}
+
 /// Run the exchange workload on the sharded parallel engine with
 /// `threads` workers. Bit-identical to [`run_md_exchange`] at any
 /// thread count.
@@ -318,6 +438,37 @@ mod tests {
         for (got, want) in out.checksums.iter().zip(&want) {
             assert!((got - want).abs() < 1e-9, "{got} vs {want}");
         }
+    }
+
+    #[test]
+    fn streamed_observability_is_exact_and_shard_invariant() {
+        let dims = TorusDims::new(4, 4, 4);
+        let params = MdExchangeParams {
+            steps: 3,
+            ..Default::default()
+        };
+        let cfg = StreamConfig::default();
+        let plain = run_md_exchange(dims, params);
+        let (seq_out, seq_sum, footprint) = run_md_exchange_streamed(dims, params, cfg);
+        // Zero observer effect: the observed run is bit-identical.
+        assert_eq!(seq_out.makespan, plain.makespan);
+        assert_eq!(seq_out.checksums, plain.checksums);
+        assert_eq!(seq_out.events, plain.events);
+        // Streamed fold agrees with the offline flight-recorder fold.
+        let (_, flight) = run_md_exchange_recorded(dims, params);
+        let (lcs, stats) = anton_obs::fold_lifecycles(flight.iter());
+        let exact = anton_obs::BreakdownSummary::from_lifecycles(&lcs);
+        assert_eq!(seq_sum.breakdown(), exact);
+        assert_eq!(seq_sum.fold, stats);
+        // Sharded summaries merge to the identical summary.
+        for threads in [1, 2, 4] {
+            let (par_out, par_sum) = run_md_exchange_streamed_par(dims, params, threads, cfg);
+            assert_eq!(par_out.makespan, plain.makespan, "{threads} threads");
+            assert_eq!(par_sum, seq_sum, "{threads} threads");
+        }
+        // The observer's heap stays bounded and is accounted.
+        assert!(footprint.peak_bytes > 0);
+        assert!(footprint.peak_partials > 0);
     }
 
     #[test]

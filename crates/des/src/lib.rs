@@ -53,7 +53,7 @@ pub use profile::{
 pub use rng::Rng;
 pub use stats::{Histogram, Summary};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Activity, Interval, Tracer, TrackId};
+pub use trace::{Activity, BinnedUtilization, Interval, Tracer, TrackId};
 
 /// Re-exported so dependents don't need to spell the module path.
 pub mod prelude {
@@ -61,5 +61,5 @@ pub mod prelude {
     pub use crate::rng::Rng;
     pub use crate::stats::{Histogram, Summary};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::trace::{Activity, Tracer, TrackId};
+    pub use crate::trace::{Activity, BinnedUtilization, Tracer, TrackId};
 }

@@ -26,7 +26,8 @@ use crate::recovery::{FailureVerdict, RecoveryConfig, RecoveryStats};
 use crate::timing::Timing;
 use anton_des::{Activity, Scheduler, SimDuration, SimTime, Tracer, TrackId};
 use anton_obs::{
-    FlightRecorder, MetricsRegistry, PacketId, Recorder, SharedFlightRecorder, VerdictCause,
+    FlightRecorder, MetricsRegistry, PacketId, Recorder, SharedFlightRecorder, StreamConfig,
+    StreamObserver, StreamSummary, VerdictCause,
 };
 use anton_topo::{Coord, Dim, LinkDir, LinkMask, MulticastPattern, NodeId, Route, TorusDims};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -608,6 +609,28 @@ impl Fabric {
     /// mutex handles do not — keep their handle instead).
     pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
         self.recorder.as_deref().and_then(|r| r.as_flight())
+    }
+
+    /// Install a bounded-memory [`StreamObserver`] as the fabric's
+    /// recorder. Unlike flight recording, delivered packets are folded
+    /// into streaming sketches on the fly and their events dropped, so
+    /// observability memory stays O(nodes + links) at any scale.
+    pub fn attach_stream_observer(&mut self, cfg: StreamConfig) {
+        self.recorder = Some(Box::new(StreamObserver::new(cfg)));
+    }
+
+    /// The installed recorder's [`StreamObserver`] view, when the
+    /// recorder is one.
+    pub fn stream_observer(&self) -> Option<&StreamObserver> {
+        self.recorder.as_deref().and_then(|r| r.as_stream())
+    }
+
+    /// Snapshot of the stream observer's summary, when one is
+    /// installed. The snapshot is mergeable across shards; callers
+    /// owning the final copy should [`StreamSummary::finalize`] it to
+    /// classify still-open packet lifecycles.
+    pub fn stream_summary(&self) -> Option<StreamSummary> {
+        self.stream_observer().map(|o| o.summary())
     }
 
     /// Machine dimensions.

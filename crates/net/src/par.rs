@@ -48,7 +48,7 @@ use anton_des::{
     EventHandler, ParProfile, RunOutcome, Scheduler, SimDuration, SimTime, StderrTelemetry,
     TelemetryConfig, Tracer,
 };
-use anton_obs::FlightEvent;
+use anton_obs::{FlightEvent, StreamConfig, StreamFootprint, StreamSummary};
 use anton_topo::{Dim, NodeId, TorusDims};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -68,24 +68,42 @@ fn parse_env_count(raw: Option<&str>) -> Result<Option<usize>, String> {
     }
 }
 
-/// Resolve a raw env-var value to a count, falling back to `fallback`
-/// on an unset or invalid value. An invalid value (silently accepting it
-/// would mask a typo'd `ANTON_SHARDS=abc` forever) warns on stderr —
-/// once per variable per process, so loops over simulations don't spam.
-fn resolve_count(var: &str, raw: Option<&str>, fallback: usize, warned: &AtomicBool) -> usize {
-    match parse_env_count(raw) {
-        Ok(Some(n)) => n,
-        Ok(None) => fallback,
-        Err(bad) => {
-            if !warned.swap(true, Ordering::Relaxed) {
-                eprintln!(
-                    "warning: ignoring invalid {var}={bad:?} \
-                     (expected a positive integer); using {fallback}"
-                );
+/// Resolve a raw env-var value through `parse`, falling back to
+/// `fallback` on an unset or invalid value. An invalid value (silently
+/// accepting it would mask a typo'd `ANTON_SHARDS=abc` forever) warns on
+/// stderr — once per variable per process, so loops over simulations
+/// don't spam. Every `ANTON_*` knob resolves through this one helper so
+/// they all share the same warn-once contract.
+fn resolve_env<T: std::fmt::Display>(
+    var: &str,
+    raw: Option<&str>,
+    fallback: T,
+    warned: &AtomicBool,
+    expected: &str,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> T {
+    match raw {
+        None => fallback,
+        Some(s) => match parse(s) {
+            Some(v) => v,
+            None => {
+                if !warned.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "warning: ignoring invalid {var}={s:?} \
+                         (expected {expected}); using {fallback}"
+                    );
+                }
+                fallback
             }
-            fallback
-        }
+        },
     }
+}
+
+/// [`resolve_env`] for positive-integer counts.
+fn resolve_count(var: &str, raw: Option<&str>, fallback: usize, warned: &AtomicBool) -> usize {
+    resolve_env(var, raw, fallback, warned, "a positive integer", |s| {
+        parse_env_count(Some(s)).ok().flatten()
+    })
 }
 
 /// [`resolve_count`] over the live process environment.
@@ -97,6 +115,9 @@ fn env_count(var: &str, fallback: usize, warned: &AtomicBool) -> usize {
 static SHARDS_WARNED: AtomicBool = AtomicBool::new(false);
 static THREADS_WARNED: AtomicBool = AtomicBool::new(false);
 static TELEMETRY_WARNED: AtomicBool = AtomicBool::new(false);
+static OBS_MODE_WARNED: AtomicBool = AtomicBool::new(false);
+static OBS_RESERVOIR_WARNED: AtomicBool = AtomicBool::new(false);
+static OBS_TOPK_WARNED: AtomicBool = AtomicBool::new(false);
 
 /// Live-telemetry heartbeat period from `ANTON_TELEMETRY_MS`: unset (or
 /// invalid, with a once-per-process warning) disables telemetry; `0`
@@ -181,6 +202,76 @@ impl ShardPlan {
 /// simulated results — only wall-clock time.
 pub fn threads_from_env() -> usize {
     env_count("ANTON_THREADS", 1, &THREADS_WARNED)
+}
+
+/// Which observability recorder to attach to a fabric (or one per
+/// shard), selectable at run time via `ANTON_OBS_MODE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObsMode {
+    /// No recorder: the zero-observer-effect baseline.
+    #[default]
+    Off,
+    /// Full O(events) flight recording
+    /// ([`anton_obs::FlightRecorder`]) — exact offline analysis on
+    /// paper-scale (512-node) machines.
+    Flight,
+    /// Bounded-memory streaming observability
+    /// ([`anton_obs::StreamObserver`]) — O(nodes + links) state for
+    /// 100×-scale machines.
+    Stream,
+}
+
+impl std::fmt::Display for ObsMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ObsMode::Off => "off",
+            ObsMode::Flight => "flight",
+            ObsMode::Stream => "stream",
+        })
+    }
+}
+
+impl ObsMode {
+    /// Parse a mode name (`"off"`, `"flight"`, `"stream"`, plus a few
+    /// forgiving aliases). `None` for anything else.
+    pub fn parse_str(s: &str) -> Option<ObsMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(ObsMode::Off),
+            "flight" | "full" => Some(ObsMode::Flight),
+            "stream" | "streaming" | "bounded" => Some(ObsMode::Stream),
+            _ => None,
+        }
+    }
+}
+
+/// Observability mode from `ANTON_OBS_MODE`, defaulting to
+/// [`ObsMode::Off`]; invalid values warn once on stderr (same warn-once
+/// contract as `ANTON_THREADS`/`ANTON_SHARDS`).
+pub fn obs_mode_from_env() -> ObsMode {
+    let raw = std::env::var("ANTON_OBS_MODE").ok();
+    resolve_env(
+        "ANTON_OBS_MODE",
+        raw.as_deref(),
+        ObsMode::Off,
+        &OBS_MODE_WARNED,
+        "off|flight|stream",
+        ObsMode::parse_str,
+    )
+}
+
+/// Streaming-observer configuration from the environment:
+/// `ANTON_OBS_RESERVOIR` (lifecycle sample size) and `ANTON_OBS_TOPK`
+/// (heavy-hitter streaming capacity) override the defaults; both are
+/// positive integers resolved through the shared warn-once helpers. The
+/// sampling seed is intentionally *not* an env knob — runs stay
+/// reproducible unless code opts into a different seed.
+pub fn obs_stream_config_from_env() -> StreamConfig {
+    let d = StreamConfig::default();
+    StreamConfig {
+        reservoir: env_count("ANTON_OBS_RESERVOIR", d.reservoir, &OBS_RESERVOIR_WARNED),
+        topk: env_count("ANTON_OBS_TOPK", d.topk, &OBS_TOPK_WARNED),
+        ..d
+    }
 }
 
 /// The shard map for fabric events: route to the named node's slab.
@@ -374,6 +465,30 @@ impl<P: NodeProgram + Send> ParSimulation<P> {
         }
     }
 
+    /// Install one bounded-memory
+    /// [`StreamObserver`](anton_obs::StreamObserver) per shard (call
+    /// before running). Each shard folds its own packets at delivery;
+    /// packets that cross shards stay open and are joined by
+    /// [`ParSimulation::merged_stream_summary`] after the run.
+    pub fn attach_stream_observers(&mut self, cfg: StreamConfig) {
+        for w in &mut self.worlds {
+            w.fabric.attach_stream_observer(cfg);
+        }
+    }
+
+    /// Attach the recorder selected by `ANTON_OBS_MODE` (with
+    /// `ANTON_OBS_RESERVOIR`/`ANTON_OBS_TOPK` sizing for stream mode)
+    /// to every shard. Returns the mode that was applied.
+    pub fn attach_observability_from_env(&mut self) -> ObsMode {
+        let mode = obs_mode_from_env();
+        match mode {
+            ObsMode::Off => {}
+            ObsMode::Flight => self.attach_flight_recorders(),
+            ObsMode::Stream => self.attach_stream_observers(obs_stream_config_from_env()),
+        }
+        mode
+    }
+
     /// Enable runtime profiling on the underlying [`ParEngine`]:
     /// per-worker phase accounting, per-shard event counts, and the
     /// cross-shard traffic matrix, readable after a run through
@@ -500,6 +615,36 @@ impl<P: NodeProgram + Send> ParSimulation<P> {
             })
             .collect();
         merge_flight_events(per_shard)
+    }
+
+    /// The per-shard streaming summaries merged in deterministic shard
+    /// order — cross-shard partial lifecycles are joined and the result
+    /// is finalized, so it is bit-identical to a sequential run's
+    /// finalized summary. `None` unless
+    /// [`ParSimulation::attach_stream_observers`] was called.
+    pub fn merged_stream_summary(&self) -> Option<StreamSummary> {
+        let mut acc: Option<StreamSummary> = None;
+        for w in &self.worlds {
+            let s = w.fabric.stream_summary()?;
+            match &mut acc {
+                None => acc = Some(s),
+                Some(a) => a.merge(&s),
+            }
+        }
+        let mut merged = acc?;
+        merged.finalize();
+        Some(merged)
+    }
+
+    /// Combined footprint of the per-shard stream observers (peaks are
+    /// max'd, final live bytes add). `None` unless observers are
+    /// attached.
+    pub fn stream_footprint(&self) -> Option<StreamFootprint> {
+        let mut acc = StreamFootprint::default();
+        for w in &self.worlds {
+            acc.combine(&w.fabric.stream_observer()?.footprint());
+        }
+        Some(acc)
     }
 
     /// One tracer holding every shard's activity intervals, labels
@@ -667,6 +812,46 @@ mod tests {
         assert_eq!(resolve_count("T", Some("0"), 7, &warned), 7);
         assert!(warned.load(Ordering::Relaxed));
         assert_eq!(resolve_count("T", Some("junk"), 7, &warned), 7);
+        assert!(warned.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn obs_mode_parses_every_alias_case_insensitively() {
+        for (s, want) in [
+            ("off", ObsMode::Off),
+            ("none", ObsMode::Off),
+            ("OFF", ObsMode::Off),
+            ("flight", ObsMode::Flight),
+            ("full", ObsMode::Flight),
+            ("stream", ObsMode::Stream),
+            ("streaming", ObsMode::Stream),
+            ("bounded", ObsMode::Stream),
+            (" Stream ", ObsMode::Stream),
+        ] {
+            assert_eq!(ObsMode::parse_str(s), Some(want), "{s:?}");
+        }
+        for s in ["", "fligth", "2", "on"] {
+            assert_eq!(ObsMode::parse_str(s), None, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn obs_mode_resolution_falls_back_and_warns_once() {
+        let warned = AtomicBool::new(false);
+        let resolve = |raw: Option<&str>, warned: &AtomicBool| {
+            resolve_env(
+                "ANTON_OBS_MODE",
+                raw,
+                ObsMode::Off,
+                warned,
+                "off, flight, or stream",
+                |s| ObsMode::parse_str(s),
+            )
+        };
+        assert_eq!(resolve(Some("stream"), &warned), ObsMode::Stream);
+        assert_eq!(resolve(None, &warned), ObsMode::Off);
+        assert!(!warned.load(Ordering::Relaxed));
+        assert_eq!(resolve(Some("sideways"), &warned), ObsMode::Off);
         assert!(warned.load(Ordering::Relaxed));
     }
 }

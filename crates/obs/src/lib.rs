@@ -48,6 +48,15 @@
 //! - [`dashboard`] — a dependency-free, byte-deterministic HTML
 //!   rendering of the benchmark trajectory (inline SVG sparklines,
 //!   blame stacked bars, triage tables), published as a CI artifact.
+//! - [`stream`] — bounded-memory observability for 100×-scale machines:
+//!   mergeable quantile sketches, exact streaming moments, space-saving
+//!   per-link heavy hitters, a seeded lifecycle reservoir, and the
+//!   [`StreamObserver`] recorder that folds packets into the Figure 6
+//!   attribution at delivery and drops the events — O(nodes + links)
+//!   state instead of O(events), bit-identical under shard merges.
+//! - [`memory`] — the memory observatory: a feature-gated (`obs-alloc`)
+//!   instrumented global allocator with scoped subsystem tags reporting
+//!   live/peak bytes per subsystem, per node, and per event.
 //! - [`fingerprint`] — stable FNV-1a digests of exported run state,
 //!   backing the sequential-vs-parallel bit-identity cross-checks.
 
@@ -60,20 +69,23 @@ pub mod congestion;
 pub mod dashboard;
 pub mod fingerprint;
 pub mod json;
+pub mod memory;
 pub mod metrics;
 pub mod observatory;
 pub mod recorder;
 pub mod regress;
 pub mod retime;
 pub mod runtime;
+pub mod stream;
 
 pub use breakdown::{fold_lifecycles, BreakdownSummary, FoldStats, PacketLifecycle, Stage};
 pub use causal::{Blame, CEdge, CNode, CausalGraph, CriticalPath, EdgeKind, NodeKind};
-pub use chrome_trace::{lifecycles_csv, ChromeTraceBuilder};
+pub use chrome_trace::{lifecycles_csv, ChromeTraceBuilder, ChromeTraceWriter, LifecycleCsvWriter};
 pub use congestion::{CongestionMap, LinkLoad, RouterLoad};
 pub use dashboard::{render_dashboard, validate_html, DashboardInput};
 pub use fingerprint::{fnv1a64, Fingerprint};
 pub use json::validate_json;
+pub use memory::{MemReport, MemScope, MemTag};
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use observatory::{
     DiffConfig, ObservatoryDiff, ObservatoryReport, Section, SectionDiff, SectionKind,
@@ -87,3 +99,7 @@ pub use recorder::{
 pub use regress::{BenchReport, Direction, RegressFinding, RegressReport, BENCH_SCHEMA_VERSION};
 pub use retime::{retime, retime_blamed, Perturbation, Retimed};
 pub use runtime::{profile_chrome_trace, RuntimeSummary, SpeedupAttribution};
+pub use stream::{
+    QuantileSketch, Reservoir, SpaceSavingTopK, StreamConfig, StreamFootprint, StreamObserver,
+    StreamSummary, StreamingMoments, TopKEntry,
+};

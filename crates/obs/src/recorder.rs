@@ -323,6 +323,20 @@ pub trait Recorder {
     fn as_flight(&self) -> Option<&FlightRecorder> {
         None
     }
+
+    /// Read access to the underlying [`crate::stream::StreamObserver`],
+    /// when this recorder is one — the bounded-memory sibling of
+    /// [`Recorder::as_flight`], used by hosts to pull the streamed
+    /// summary back out of a `Box<dyn Recorder>`.
+    fn as_stream(&self) -> Option<&crate::stream::StreamObserver> {
+        None
+    }
+
+    /// Mutable access to the underlying
+    /// [`crate::stream::StreamObserver`], when this recorder is one.
+    fn as_stream_mut(&mut self) -> Option<&mut crate::stream::StreamObserver> {
+        None
+    }
 }
 
 /// A recorder that drops everything (the explicit spelling of the

@@ -1,0 +1,1329 @@
+//! Streaming bounded-memory observability: mergeable sketches plus a
+//! [`Recorder`] that folds lifecycles at delivery instead of keeping the
+//! event stream.
+//!
+//! Every earlier observability layer (flight recording, causal graphs,
+//! congestion maps) is O(events): fine on the paper's 512-node Anton 1
+//! torus, fatal at the 10⁴-node scales the ROADMAP targets. This module
+//! keeps the *same* Figure 6 attribution with O(nodes + links) state:
+//!
+//! - [`QuantileSketch`] — a DDSketch-style log-bucket histogram with
+//!   **fixed** bucket boundaries (8 sub-buckets per power of two), so
+//!   merging is an element-wise integer add: bit-deterministic,
+//!   commutative, associative. Relative quantile error ≤ 1/8, well
+//!   inside one [`crate::LogHistogram`] power-of-two bucket.
+//! - [`StreamingMoments`] — count/sum/sum-of-squares kept as exact
+//!   integers (no float accumulation), so merges are associative to the
+//!   bit and the mean telescopes exactly against the offline
+//!   [`crate::BreakdownSummary`].
+//! - [`SpaceSavingTopK`] — bounded heavy-hitter table for per-link busy
+//!   time. Per-shard streams evict (space-saving); merging is an exact
+//!   union-sum, which stays bounded in sharded use because torus shards
+//!   own disjoint links.
+//! - [`Reservoir`] — seeded bottom-k priority sample of full
+//!   [`PacketLifecycle`]s for causal/blame spot checks. The kept set
+//!   depends only on (seed, packet id), never on arrival order, so
+//!   shard merges reproduce the sequential sample bit-exactly.
+//! - [`StreamObserver`] — the [`Recorder`] gluing it together: it keeps
+//!   only in-flight partial lifecycles, folds each packet into the
+//!   5-stage attribution at delivery (watermark-lazily, because the
+//!   counter-visibility event lands at the same instant as delivery),
+//!   and drops the events.
+//!
+//! Sharded runs attach one observer per shard; a packet that crosses
+//! shards is seen only partially by each (inject on the source shard,
+//! delivery on the destination shard), so [`StreamSummary`] carries its
+//! still-open partials and [`StreamSummary::merge`] *joins* them
+//! field-wise before [`StreamSummary::finalize`] classifies what
+//! remains. All aggregate state is order-independent, so the merged
+//! summary equals the sequential one bit-for-bit — the cross-check
+//! `scale_probe` asserts.
+
+use crate::breakdown::{BreakdownSummary, FoldStats, PacketLifecycle, Stage};
+use crate::metrics::MetricsRegistry;
+use crate::recorder::{PacketId, Recorder};
+use anton_des::{SimDuration, SimTime};
+use anton_topo::{LinkDir, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per power of two, i.e. a
+/// worst-case relative bucket width of 1/8.
+pub const SKETCH_SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SKETCH_SUB_BITS;
+/// Total fixed bucket count of [`QuantileSketch`] (values 0..8 exactly,
+/// then 8 sub-buckets for each of the 61 remaining u64 octaves).
+pub const SKETCH_BUCKETS: usize = 8 + 61 * SUB;
+
+/// Power-of-two bucket index of a picosecond value, matching the
+/// [`crate::LogHistogram`] bucketing (`0 → 0`, else `64 - leading_zeros`).
+/// Exposed so callers can assert "within one log-bucket" error bounds.
+#[inline]
+pub fn log2_bucket(ps: u64) -> u32 {
+    64 - ps.leading_zeros()
+}
+
+/// A mergeable quantile sketch over picosecond durations with fixed
+/// log-spaced bucket boundaries.
+///
+/// Because the boundaries are fixed (not data-dependent like a q-digest
+/// collapse), two sketches merge by adding bucket counts element-wise:
+/// the merge is bit-deterministic, commutative, and associative, and a
+/// sharded run's merged sketch equals the sequential run's sketch
+/// exactly. Count, sum, min, and max are exact; quantiles use the same
+/// rank + midpoint rule as [`crate::LogHistogram`] but on buckets 8×
+/// narrower.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSketch {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ps: u128,
+    min_ps: u64,
+    max_ps: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// New empty sketch. Allocates the full fixed bucket array
+    /// (`SKETCH_BUCKETS` u64s ≈ 4 KiB) up front: footprint is constant,
+    /// never data-dependent.
+    pub fn new() -> QuantileSketch {
+        QuantileSketch {
+            buckets: vec![0; SKETCH_BUCKETS],
+            count: 0,
+            sum_ps: 0,
+            min_ps: u64::MAX,
+            max_ps: 0,
+        }
+    }
+
+    /// Fixed bucket index of a picosecond value.
+    #[inline]
+    fn bucket_of(ps: u64) -> usize {
+        if ps < 8 {
+            return ps as usize;
+        }
+        let b = (64 - ps.leading_zeros()) as usize; // bit length, 4..=64
+        let sub = ((ps >> (b - 4)) & 7) as usize; // low 3 of the top 4 bits
+        (b - 3) * SUB + sub
+    }
+
+    /// Inclusive value range `[lo, hi]` covered by bucket `idx`.
+    fn bucket_bounds(idx: usize) -> (u64, u64) {
+        if idx < 8 {
+            return (idx as u64, idx as u64);
+        }
+        let b = idx / SUB + 3; // bit length
+        let sub = (idx % SUB) as u64;
+        let scale = 1u64 << (b - 4);
+        let lo = (8 + sub) * scale;
+        (lo, lo + (scale - 1))
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        self.record_ps(d.as_ps());
+    }
+
+    /// Record one raw picosecond value.
+    pub fn record_ps(&mut self, ps: u64) {
+        self.buckets[Self::bucket_of(ps)] += 1;
+        self.count += 1;
+        self.sum_ps += ps as u128;
+        self.min_ps = self.min_ps.min(ps);
+        self.max_ps = self.max_ps.max(ps);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded values, in picoseconds.
+    pub fn sum_ps(&self) -> u128 {
+        self.sum_ps
+    }
+
+    /// Exact mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_ps as f64 / self.count as f64 / 1e3
+    }
+
+    /// Smallest recorded value in picoseconds (`None` when empty).
+    pub fn min_ps(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_ps)
+    }
+
+    /// Largest recorded value in picoseconds (`None` when empty).
+    pub fn max_ps(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_ps)
+    }
+
+    /// Estimated quantile in picoseconds (`None` when empty). Exact at
+    /// `q <= 0` (min) and `q >= 1` (max); otherwise within the one
+    /// sub-bucket (≤ 1/8 relative width) that contains the rank sample.
+    pub fn quantile_ps(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min_ps);
+        }
+        if q >= 1.0 {
+            return Some(self.max_ps);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let frac = ((rank - seen) as f64 - 0.5) / n as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                let est = est.round() as u64;
+                return Some(est.clamp(self.min_ps, self.max_ps));
+            }
+            seen += n;
+        }
+        Some(self.max_ps)
+    }
+
+    /// Estimated quantile in nanoseconds (0 when empty).
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        self.quantile_ps(q).unwrap_or(0) as f64 / 1e3
+    }
+
+    /// Merge another sketch in: element-wise bucket add plus exact
+    /// count/sum/min/max combination. Bit-deterministic in any order.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        self.min_ps = self.min_ps.min(other.min_ps);
+        self.max_ps = self.max_ps.max(other.max_ps);
+    }
+}
+
+/// Streaming count/mean/M2 moments kept as **exact integers** (count,
+/// Σx, Σx² in picoseconds), so merging is a plain add: associative and
+/// commutative to the bit, unlike Welford/Chan float updates. The mean
+/// and variance are derived on read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamingMoments {
+    count: u64,
+    sum_ps: u128,
+    /// Σx² saturates instead of wrapping: at u128 this needs ~10¹⁹
+    /// samples of 200-day durations, but saturation keeps the merge
+    /// law total anyway.
+    sumsq_ps2: u128,
+}
+
+impl StreamingMoments {
+    /// New empty accumulator.
+    pub fn new() -> StreamingMoments {
+        StreamingMoments::default()
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let ps = d.as_ps();
+        self.count += 1;
+        self.sum_ps += ps as u128;
+        self.sumsq_ps2 = self.sumsq_ps2.saturating_add((ps as u128) * (ps as u128));
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum in picoseconds.
+    pub fn sum_ps(&self) -> u128 {
+        self.sum_ps
+    }
+
+    /// Exact total as a [`SimDuration`]. Panics if the sum overflows
+    /// u64 picoseconds (≫ 200 days of simulated latency).
+    pub fn total(&self) -> SimDuration {
+        SimDuration::from_ps(u64::try_from(self.sum_ps).expect("stage total overflows u64 ps"))
+    }
+
+    /// Mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_ps as f64 / self.count as f64 / 1e3
+    }
+
+    /// Population variance in ns² (0 when empty).
+    pub fn variance_ns2(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean_ps = self.sum_ps as f64 / n;
+        let var_ps2 = (self.sumsq_ps2 as f64 / n - mean_ps * mean_ps).max(0.0);
+        var_ps2 / 1e6
+    }
+
+    /// Population standard deviation in nanoseconds.
+    pub fn std_ns(&self) -> f64 {
+        self.variance_ns2().sqrt()
+    }
+
+    /// Merge another accumulator in (exact integer adds).
+    pub fn merge(&mut self, other: &StreamingMoments) {
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        self.sumsq_ps2 = self.sumsq_ps2.saturating_add(other.sumsq_ps2);
+    }
+}
+
+/// One heavy-hitter table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TopKEntry {
+    /// Estimated total weight (exact while the key never got evicted).
+    pub count: u64,
+    /// Maximum overestimation error inherited from evictions (0 means
+    /// the count is exact).
+    pub err: u64,
+}
+
+/// Space-saving heavy-hitter table with deterministic eviction and an
+/// exact union-sum merge.
+///
+/// Streaming offers evict the smallest `(count, key)` entry when the
+/// table is full (the classic space-saving bound: a kept count
+/// overestimates by at most its `err`). Merging deliberately does *not*
+/// evict — it is an exact union-sum, hence commutative and associative —
+/// so a merged table can exceed `capacity`. In sharded torus use the
+/// key sets are disjoint (each shard owns its links), so the union stays
+/// O(links) and, when `capacity` ≥ distinct keys, every count is exact
+/// and equals the offline [`crate::CongestionMap`] busy total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceSavingTopK<K: Ord + Clone> {
+    capacity: usize,
+    entries: BTreeMap<K, TopKEntry>,
+    /// Secondary index for O(log n) min-eviction: ordered by (count, key).
+    order: BTreeSet<(u64, K)>,
+}
+
+impl<K: Ord + Clone> SpaceSavingTopK<K> {
+    /// New table holding at most `capacity` streamed keys (capacity 0
+    /// disables recording).
+    pub fn new(capacity: usize) -> SpaceSavingTopK<K> {
+        SpaceSavingTopK {
+            capacity,
+            entries: BTreeMap::new(),
+            order: BTreeSet::new(),
+        }
+    }
+
+    /// Configured streaming capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Distinct keys currently held (may exceed capacity after merges).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no keys are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Estimated (count, max error) for a key.
+    pub fn get(&self, key: &K) -> Option<TopKEntry> {
+        self.entries.get(key).copied()
+    }
+
+    /// Add `weight` to `key`, evicting the smallest entry if the table
+    /// is full and the key is new.
+    pub fn offer(&mut self, key: K, weight: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(e) = self.entries.get_mut(&key) {
+            self.order.remove(&(e.count, key.clone()));
+            e.count += weight;
+            self.order.insert((e.count, key));
+            return;
+        }
+        let mut entry = TopKEntry {
+            count: weight,
+            err: 0,
+        };
+        if self.entries.len() >= self.capacity {
+            // Deterministic space-saving eviction: smallest (count, key).
+            let (min_count, min_key) = self
+                .order
+                .iter()
+                .next()
+                .cloned()
+                .expect("non-empty table at capacity");
+            self.order.remove(&(min_count, min_key.clone()));
+            self.entries.remove(&min_key);
+            entry.count += min_count;
+            entry.err = min_count;
+        }
+        self.order.insert((entry.count, key.clone()));
+        self.entries.insert(key, entry);
+    }
+
+    /// Merge another table in by exact union-sum (errors add; no
+    /// eviction, so this is associative and commutative).
+    pub fn merge(&mut self, other: &SpaceSavingTopK<K>) {
+        for (k, e) in &other.entries {
+            match self.entries.get_mut(k) {
+                Some(mine) => {
+                    self.order.remove(&(mine.count, k.clone()));
+                    mine.count += e.count;
+                    mine.err += e.err;
+                    self.order.insert((mine.count, k.clone()));
+                }
+                None => {
+                    self.entries.insert(k.clone(), *e);
+                    self.order.insert((e.count, k.clone()));
+                }
+            }
+        }
+    }
+
+    /// The `k` heaviest keys, sorted by count descending then key
+    /// ascending (fully deterministic).
+    pub fn top(&self, k: usize) -> Vec<(K, TopKEntry)> {
+        let mut all: Vec<(K, TopKEntry)> =
+            self.entries.iter().map(|(k, e)| (k.clone(), *e)).collect();
+        all.sort_by(|a, b| b.1.count.cmp(&a.1.count).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+/// SplitMix64 — the stateless mixer used to derive reservoir priorities
+/// from packet ids. Public so tests can reproduce priorities.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded bottom-k priority-sampling reservoir.
+///
+/// Each id gets a fixed pseudo-random priority `splitmix64(seed ^ id)`;
+/// the reservoir keeps the `cap` items with the smallest priorities.
+/// Unlike Vitter's algorithm R, the kept set is a pure function of the
+/// offered id set — independent of arrival order — so shard merges
+/// (union then re-trim) are commutative, associative, and reproduce the
+/// sequential sample bit-exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reservoir<T> {
+    cap: usize,
+    seed: u64,
+    /// Keyed by (priority, id): unique per id, totally ordered.
+    entries: BTreeMap<(u64, u64), T>,
+}
+
+impl<T> Reservoir<T> {
+    /// New reservoir keeping at most `cap` items under `seed`.
+    pub fn new(cap: usize, seed: u64) -> Reservoir<T> {
+        Reservoir {
+            cap,
+            seed,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Maximum number of items kept.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Sampling seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Items currently kept.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is kept.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Offer one item; it is kept iff its priority is among the `cap`
+    /// smallest seen so far.
+    pub fn offer(&mut self, id: u64, value: T) {
+        if self.cap == 0 {
+            return;
+        }
+        let pri = splitmix64(self.seed ^ id);
+        if self.entries.len() >= self.cap {
+            let &(worst, _) = self.entries.keys().next_back().expect("non-empty");
+            if pri >= worst {
+                return;
+            }
+        }
+        self.entries.insert((pri, id), value);
+        while self.entries.len() > self.cap {
+            self.entries.pop_last();
+        }
+    }
+
+    /// Kept items in (priority, id) order.
+    pub fn items(&self) -> impl Iterator<Item = &T> {
+        self.entries.values()
+    }
+
+    /// Kept (id, item) pairs in (priority, id) order.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.entries.iter().map(|(&(_, id), v)| (id, v))
+    }
+}
+
+impl<T: Clone> Reservoir<T> {
+    /// Merge another reservoir in: union of kept sets, re-trimmed to the
+    /// bottom `cap` priorities. Requires matching seed and cap (asserted)
+    /// so the priority spaces agree.
+    pub fn merge(&mut self, other: &Reservoir<T>) {
+        assert_eq!(self.seed, other.seed, "reservoir seeds differ");
+        assert_eq!(self.cap, other.cap, "reservoir caps differ");
+        for (k, v) in &other.entries {
+            self.entries.insert(*k, v.clone());
+        }
+        while self.entries.len() > self.cap {
+            self.entries.pop_last();
+        }
+    }
+}
+
+/// Configuration for [`StreamObserver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Full lifecycles kept for spot checks (bottom-k sample).
+    pub reservoir: usize,
+    /// Reservoir sampling seed.
+    pub seed: u64,
+    /// Streaming capacity of the per-link heavy-hitter table.
+    pub topk: usize,
+}
+
+/// Default reservoir sample size.
+pub const DEFAULT_RESERVOIR: usize = 64;
+/// Default reservoir seed (fixed so runs are reproducible by default).
+pub const DEFAULT_SEED: u64 = 0x0162_0162_0162_0162;
+/// Default heavy-hitter streaming capacity (covers every link of tori
+/// up to ~680 nodes exactly; beyond that the table approximates).
+pub const DEFAULT_TOPK: usize = 4096;
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            reservoir: DEFAULT_RESERVOIR,
+            seed: DEFAULT_SEED,
+            topk: DEFAULT_TOPK,
+        }
+    }
+}
+
+/// An in-flight partial lifecycle (also carried inside summaries for
+/// packets that crossed shard boundaries).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct StreamPartial {
+    /// (src, dst, issued, inj_ready, wire_ready, payload_bytes), same
+    /// tuple the offline fold keeps.
+    inject: Option<(NodeId, Option<NodeId>, SimTime, SimTime, SimTime, u32)>,
+    hop_enters: Vec<SimTime>,
+    delivers: Vec<(NodeId, SimTime)>,
+    fired: Option<SimTime>,
+    retransmits: u32,
+}
+
+impl StreamPartial {
+    /// Join another shard's view of the same packet. Every field is
+    /// combined order-independently (sorted merges / min / add), so
+    /// joining in any shard order yields the same partial.
+    fn join(&mut self, other: &StreamPartial) {
+        if self.inject.is_none() {
+            self.inject = other.inject;
+        }
+        if !other.hop_enters.is_empty() {
+            self.hop_enters.extend_from_slice(&other.hop_enters);
+            self.hop_enters.sort_unstable();
+        }
+        if !other.delivers.is_empty() {
+            self.delivers.extend_from_slice(&other.delivers);
+            self.delivers.sort_unstable_by_key(|&(node, at)| (at, node));
+        }
+        self.fired = match (self.fired, other.fired) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.retransmits += other.retransmits;
+    }
+
+    fn heap_bytes(&self) -> u64 {
+        (self.hop_enters.len() * std::mem::size_of::<SimTime>()
+            + self.delivers.len() * std::mem::size_of::<(NodeId, SimTime)>()) as u64
+    }
+}
+
+/// Nominal per-entry map overhead used by the deterministic footprint
+/// model (B-tree node amortization; intentionally round, not exact).
+const MAP_OVERHEAD: u64 = 32;
+
+/// The bounded-memory aggregate of one run (or one shard of one run).
+///
+/// Everything in here is mergeable: sketches and moments add, the
+/// heavy-hitter table union-sums, the reservoir re-trims, fold stats
+/// add, and still-open cross-shard partials join field-wise. After
+/// merging all shards call [`StreamSummary::finalize`] to classify the
+/// remaining partials; a finalized merged summary is bit-identical to
+/// the finalized sequential summary of the same run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSummary {
+    /// Per-stage moments, pipeline order ([`Stage::ALL`]).
+    pub stage_moments: [StreamingMoments; 5],
+    /// Per-stage quantile sketches, pipeline order.
+    pub stage_sketches: [QuantileSketch; 5],
+    /// End-to-end latency moments.
+    pub e2e_moments: StreamingMoments,
+    /// End-to-end latency sketch.
+    pub e2e_sketch: QuantileSketch,
+    /// Per-link busy picoseconds, keyed `(node index, link index)`.
+    pub link_busy: SpaceSavingTopK<(u32, u8)>,
+    /// Seeded sample of full lifecycles.
+    pub reservoir: Reservoir<PacketLifecycle>,
+    /// What was folded (complete) and what was skipped, matching the
+    /// offline [`crate::fold_lifecycles`] classification.
+    pub fold: FoldStats,
+    /// Total link-layer retransmissions over folded packets.
+    pub retransmits: u64,
+    /// Lifecycles not yet classifiable (cross-shard or in flight),
+    /// keyed by packet id. Emptied by [`StreamSummary::finalize`].
+    open: BTreeMap<u64, StreamPartial>,
+}
+
+impl StreamSummary {
+    /// New empty summary under `cfg`.
+    pub fn new(cfg: StreamConfig) -> StreamSummary {
+        StreamSummary {
+            stage_moments: [StreamingMoments::new(); 5],
+            stage_sketches: std::array::from_fn(|_| QuantileSketch::new()),
+            e2e_moments: StreamingMoments::new(),
+            e2e_sketch: QuantileSketch::new(),
+            link_busy: SpaceSavingTopK::new(cfg.topk),
+            reservoir: Reservoir::new(cfg.reservoir, cfg.seed),
+            fold: FoldStats::default(),
+            retransmits: 0,
+            open: BTreeMap::new(),
+        }
+    }
+
+    /// Fold one complete unicast lifecycle into every aggregate.
+    pub fn fold_lifecycle(&mut self, lc: &PacketLifecycle) {
+        for (i, stage) in Stage::ALL.into_iter().enumerate() {
+            let d = lc.stage(stage);
+            self.stage_moments[i].record(d);
+            self.stage_sketches[i].record(d);
+        }
+        let e2e = lc.end_to_end();
+        self.e2e_moments.record(e2e);
+        self.e2e_sketch.record(e2e);
+        self.fold.complete += 1;
+        self.retransmits += lc.retransmits as u64;
+        self.reservoir.offer(lc.pkt.0, lc.clone());
+    }
+
+    /// Open (unclassified) partial lifecycles currently carried.
+    pub fn open_len(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Merge another shard's summary in. Order-independent; call
+    /// [`StreamSummary::finalize`] once after the last merge.
+    pub fn merge(&mut self, other: &StreamSummary) {
+        for (a, b) in self.stage_moments.iter_mut().zip(&other.stage_moments) {
+            a.merge(b);
+        }
+        for (a, b) in self.stage_sketches.iter_mut().zip(&other.stage_sketches) {
+            a.merge(b);
+        }
+        self.e2e_moments.merge(&other.e2e_moments);
+        self.e2e_sketch.merge(&other.e2e_sketch);
+        self.link_busy.merge(&other.link_busy);
+        self.reservoir.merge(&other.reservoir);
+        self.fold.complete += other.fold.complete;
+        self.fold.incomplete += other.fold.incomplete;
+        self.fold.multicast += other.fold.multicast;
+        self.retransmits += other.retransmits;
+        for (pkt, p) in &other.open {
+            match self.open.get_mut(pkt) {
+                Some(mine) => mine.join(p),
+                None => {
+                    self.open.insert(*pkt, p.clone());
+                }
+            }
+        }
+    }
+
+    /// Classify and drain the remaining open partials: joined complete
+    /// unicast lifecycles fold in; the rest count as incomplete or
+    /// multicast exactly like the offline [`crate::fold_lifecycles`].
+    pub fn finalize(&mut self) {
+        let open = std::mem::take(&mut self.open);
+        for (pkt, p) in open {
+            self.classify(pkt, &p);
+        }
+    }
+
+    fn classify(&mut self, pkt: u64, p: &StreamPartial) {
+        let Some((src, dst, issued, inj_ready, wire_ready, payload_bytes)) = p.inject else {
+            self.fold.incomplete += 1;
+            return;
+        };
+        if dst.is_none() || p.delivers.len() > 1 {
+            self.fold.multicast += 1;
+            return;
+        }
+        let Some(&(dst_node, delivered)) = p.delivers.first() else {
+            self.fold.incomplete += 1;
+            return;
+        };
+        let lc = PacketLifecycle {
+            pkt: PacketId(pkt),
+            src,
+            dst: dst_node,
+            issued,
+            inj_ready,
+            wire_ready,
+            hop_enters: p.hop_enters.clone(),
+            delivered,
+            fired: p.fired,
+            retransmits: p.retransmits,
+            payload_bytes,
+        };
+        self.fold_lifecycle(&lc);
+    }
+
+    /// Exact total duration of one stage over all folded packets.
+    pub fn stage_total(&self, stage: Stage) -> SimDuration {
+        let idx = Stage::ALL.iter().position(|s| *s == stage).unwrap();
+        self.stage_moments[idx].total()
+    }
+
+    /// Mean duration of one stage in nanoseconds.
+    pub fn mean_ns(&self, stage: Stage) -> f64 {
+        let idx = Stage::ALL.iter().position(|s| *s == stage).unwrap();
+        self.stage_moments[idx].mean_ns()
+    }
+
+    /// The equivalent offline [`BreakdownSummary`]: because moment sums
+    /// are exact integers, this equals
+    /// [`BreakdownSummary::from_lifecycles`] over the same complete
+    /// lifecycles bit-for-bit.
+    pub fn breakdown(&self) -> BreakdownSummary {
+        BreakdownSummary {
+            packets: self.fold.complete,
+            totals: std::array::from_fn(|i| self.stage_moments[i].total()),
+            end_to_end: self.e2e_moments.total(),
+        }
+    }
+
+    /// The `k` busiest links as `((node, link), entry)`, count order.
+    pub fn hottest_links(&self, k: usize) -> Vec<((NodeId, LinkDir), TopKEntry)> {
+        self.link_busy
+            .top(k)
+            .into_iter()
+            .map(|((node, link), e)| ((NodeId(node), LinkDir::from_index(link as usize)), e))
+            .collect()
+    }
+
+    /// Record the headline aggregates as metrics: fold counters,
+    /// retransmits, and per-stage / end-to-end p50/p99 gauges (ns).
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.set_counter("obs.stream.complete", self.fold.complete);
+        reg.set_counter("obs.stream.incomplete", self.fold.incomplete);
+        reg.set_counter("obs.stream.multicast", self.fold.multicast);
+        reg.set_counter("obs.stream.retransmits", self.retransmits);
+        reg.set_gauge("obs.stream.e2e_p50_ns", self.e2e_sketch.quantile_ns(0.5));
+        reg.set_gauge("obs.stream.e2e_p99_ns", self.e2e_sketch.quantile_ns(0.99));
+        for (i, stage) in Stage::ALL.into_iter().enumerate() {
+            let name = match stage {
+                Stage::SenderOverhead => "sender",
+                Stage::Injection => "injection",
+                Stage::RouterWire => "router_wire",
+                Stage::Delivery => "delivery",
+                Stage::Sync => "sync",
+            };
+            reg.set_gauge(
+                &format!("obs.stream.{name}_p50_ns"),
+                self.stage_sketches[i].quantile_ns(0.5),
+            );
+        }
+    }
+
+    /// Deterministic model of this summary's heap footprint in bytes.
+    /// A size *model* (element counts × nominal entry sizes), not an
+    /// allocator measurement — pair with [`crate::memory`] for the real
+    /// numbers. Deterministic across runs and shard merges of the same
+    /// workload, so budgets on it are CI-gateable.
+    pub fn approx_bytes(&self) -> u64 {
+        let sketches = (self.stage_sketches.len() + 1) as u64
+            * (SKETCH_BUCKETS * std::mem::size_of::<u64>()) as u64;
+        let topk = self.link_busy.len() as u64
+            * (std::mem::size_of::<((u32, u8), TopKEntry)>() as u64 + 2 * MAP_OVERHEAD);
+        let reservoir: u64 = self
+            .reservoir
+            .items()
+            .map(|lc| {
+                std::mem::size_of::<PacketLifecycle>() as u64
+                    + (lc.hop_enters.len() * std::mem::size_of::<SimTime>()) as u64
+                    + MAP_OVERHEAD
+            })
+            .sum();
+        let open: u64 = self
+            .open
+            .values()
+            .map(|p| std::mem::size_of::<StreamPartial>() as u64 + p.heap_bytes() + MAP_OVERHEAD)
+            .sum();
+        sketches + topk + reservoir + open
+    }
+}
+
+/// Deterministic footprint report of a [`StreamObserver`] after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamFootprint {
+    /// Peak simultaneous in-flight partial lifecycles.
+    pub peak_partials: u64,
+    /// Peak of the observer's modeled heap footprint
+    /// ([`StreamSummary::approx_bytes`] + live partials), in bytes.
+    pub peak_bytes: u64,
+    /// Modeled footprint at the end of the run.
+    pub final_bytes: u64,
+}
+
+impl StreamFootprint {
+    /// Combine per-shard footprints (peaks max, finals add).
+    pub fn combine(&mut self, other: &StreamFootprint) {
+        self.peak_partials = self.peak_partials.max(other.peak_partials);
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+        self.final_bytes += other.final_bytes;
+    }
+
+    /// Record the footprint as gauges, normalized per node.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry, nodes: u64) {
+        reg.set_gauge("obs.stream.peak_partials", self.peak_partials as f64);
+        reg.set_gauge("obs.stream.peak_bytes", self.peak_bytes as f64);
+        if nodes > 0 {
+            reg.set_gauge(
+                "obs.stream.peak_bytes_per_node",
+                self.peak_bytes as f64 / nodes as f64,
+            );
+        }
+    }
+}
+
+/// The bounded-memory [`Recorder`]: folds each packet into the 5-stage
+/// attribution at delivery and drops the events.
+///
+/// Lifecycles are folded **lazily behind a watermark**: the fabric
+/// reports the synchronization-counter update at the *same instant* as
+/// the delivery it belongs to, so a delivered packet stays pending until
+/// simulated time strictly passes its delivery instant, then folds and
+/// frees. Multicast candidates (`dst = None`) are held until
+/// [`StreamObserver::summary`] because any number of copies may still
+/// deliver. Live state is therefore O(in-flight packets + links), not
+/// O(events).
+#[derive(Debug)]
+pub struct StreamObserver {
+    cfg: StreamConfig,
+    agg: StreamSummary,
+    partials: BTreeMap<u64, StreamPartial>,
+    /// Delivered-but-not-yet-folded packets, keyed (delivery ps, pkt).
+    pending: BTreeSet<(u64, u64)>,
+    watermark_ps: u64,
+    partial_heap_bytes: u64,
+    peak_partials: u64,
+    peak_bytes: u64,
+}
+
+impl StreamObserver {
+    /// New observer under `cfg`.
+    pub fn new(cfg: StreamConfig) -> StreamObserver {
+        StreamObserver {
+            cfg,
+            agg: StreamSummary::new(cfg),
+            partials: BTreeMap::new(),
+            pending: BTreeSet::new(),
+            watermark_ps: 0,
+            partial_heap_bytes: 0,
+            peak_partials: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    /// The configuration this observer was built with.
+    pub fn config(&self) -> StreamConfig {
+        self.cfg
+    }
+
+    /// Current modeled heap footprint in bytes (aggregates + live
+    /// partials). O(reservoir) — cheap, but not free; peaks are tracked
+    /// incrementally on every hook.
+    pub fn approx_bytes(&self) -> u64 {
+        self.agg.approx_bytes()
+            + self.partials.len() as u64
+                * (std::mem::size_of::<StreamPartial>() as u64 + MAP_OVERHEAD)
+            + self.partial_heap_bytes
+            + self.pending.len() as u64 * (std::mem::size_of::<(u64, u64)>() as u64 + MAP_OVERHEAD)
+    }
+
+    /// Footprint report (peaks over the whole run).
+    pub fn footprint(&self) -> StreamFootprint {
+        StreamFootprint {
+            peak_partials: self.peak_partials,
+            peak_bytes: self.peak_bytes,
+            final_bytes: self.approx_bytes(),
+        }
+    }
+
+    /// Snapshot the aggregate state. Still-live partials are carried as
+    /// open entries in the summary (not yet classified), so sharded
+    /// summaries can be merged first; call [`StreamSummary::finalize`]
+    /// after the last merge.
+    pub fn summary(&self) -> StreamSummary {
+        let mut s = self.agg.clone();
+        for (pkt, p) in &self.partials {
+            match s.open.get_mut(pkt) {
+                Some(mine) => mine.join(p),
+                None => {
+                    s.open.insert(*pkt, p.clone());
+                }
+            }
+        }
+        s
+    }
+
+    #[inline]
+    fn tick(&mut self, at: SimTime) {
+        let t = at.as_ps();
+        if t > self.watermark_ps {
+            self.watermark_ps = t;
+            self.flush_ready();
+        }
+        let bytes = self.approx_bytes();
+        if bytes > self.peak_bytes {
+            self.peak_bytes = bytes;
+        }
+    }
+
+    /// Fold every pending packet whose delivery instant is strictly
+    /// behind the watermark: all of its events (including the same-
+    /// instant counter update) have been seen.
+    fn flush_ready(&mut self) {
+        while let Some(&(t, pkt)) = self.pending.iter().next() {
+            if t >= self.watermark_ps {
+                break;
+            }
+            self.pending.remove(&(t, pkt));
+            if let Some(p) = self.partials.remove(&pkt) {
+                self.partial_heap_bytes -= p.heap_bytes();
+                self.agg.classify(pkt, &p);
+            }
+        }
+    }
+
+    #[inline]
+    fn partial(&mut self, pkt: PacketId) -> &mut StreamPartial {
+        self.partials.entry(pkt.0).or_default()
+    }
+
+    fn note_peak_partials(&mut self) {
+        let n = self.partials.len() as u64;
+        if n > self.peak_partials {
+            self.peak_partials = n;
+        }
+    }
+}
+
+impl Recorder for StreamObserver {
+    fn on_inject(
+        &mut self,
+        pkt: PacketId,
+        node: NodeId,
+        _client: u8,
+        dst: Option<NodeId>,
+        at: SimTime,
+        inj_ready: SimTime,
+        _inj_start: SimTime,
+        wire_ready: SimTime,
+        payload_bytes: u32,
+    ) {
+        let _scope = crate::memory::MemScope::new(crate::memory::MemTag::Obs);
+        self.tick(at);
+        let p = self.partial(pkt);
+        p.inject = Some((node, dst, at, inj_ready, wire_ready, payload_bytes));
+        self.note_peak_partials();
+    }
+
+    fn on_link_reserve(
+        &mut self,
+        _pkt: PacketId,
+        node: NodeId,
+        link: LinkDir,
+        _ready: SimTime,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let _scope = crate::memory::MemScope::new(crate::memory::MemTag::Obs);
+        self.tick(start);
+        self.agg
+            .link_busy
+            .offer((node.0, link.index() as u8), end.since(start).as_ps());
+    }
+
+    fn on_retransmit(
+        &mut self,
+        pkt: PacketId,
+        _node: NodeId,
+        _link: LinkDir,
+        _attempt: u32,
+        at: SimTime,
+    ) {
+        let _scope = crate::memory::MemScope::new(crate::memory::MemTag::Obs);
+        self.tick(at);
+        self.partial(pkt).retransmits += 1;
+        self.note_peak_partials();
+    }
+
+    fn on_hop_enter(&mut self, pkt: PacketId, _node: NodeId, at: SimTime) {
+        let _scope = crate::memory::MemScope::new(crate::memory::MemTag::Obs);
+        self.tick(at);
+        self.partial(pkt).hop_enters.push(at);
+        self.partial_heap_bytes += std::mem::size_of::<SimTime>() as u64;
+        self.note_peak_partials();
+    }
+
+    fn on_deliver(&mut self, pkt: PacketId, node: NodeId, _client: u8, at: SimTime) {
+        let _scope = crate::memory::MemScope::new(crate::memory::MemTag::Obs);
+        self.tick(at);
+        let p = self.partial(pkt);
+        p.delivers.push((node, at));
+        let fold_ready = p.inject.is_some_and(|(_, dst, ..)| dst.is_some());
+        self.partial_heap_bytes += std::mem::size_of::<(NodeId, SimTime)>() as u64;
+        if fold_ready {
+            // Unicast with its inject seen locally: safe to fold once
+            // time passes this instant. Multicast (dst = None) is held
+            // for summary() because more copies may deliver; partials
+            // whose inject lives on another shard stay open for the
+            // cross-shard join.
+            self.pending.insert((at.as_ps(), pkt.0));
+        }
+        self.note_peak_partials();
+    }
+
+    fn on_counter_update(
+        &mut self,
+        pkt: PacketId,
+        _node: NodeId,
+        _client: u8,
+        _counter: u16,
+        at: SimTime,
+        fire_at: Option<SimTime>,
+    ) {
+        let _scope = crate::memory::MemScope::new(crate::memory::MemTag::Obs);
+        self.tick(at);
+        if let Some(f) = fire_at {
+            let p = self.partial(pkt);
+            p.fired = Some(p.fired.map_or(f, |old| old.min(f)));
+            self.note_peak_partials();
+        }
+    }
+
+    fn on_phase(&mut self, _label: &str, at: SimTime) {
+        self.tick(at);
+    }
+
+    fn as_stream(&self) -> Option<&StreamObserver> {
+        Some(self)
+    }
+
+    fn as_stream_mut(&mut self) -> Option<&mut StreamObserver> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakdown::fold_lifecycles;
+    use crate::metrics::LogHistogram;
+    use crate::recorder::{FlightRecorder, Recorder};
+
+    #[test]
+    fn sketch_buckets_partition_u64() {
+        // Boundaries tile: every bucket's hi + 1 is the next bucket's lo.
+        for idx in 0..SKETCH_BUCKETS - 1 {
+            let (_, hi) = QuantileSketch::bucket_bounds(idx);
+            let (next_lo, _) = QuantileSketch::bucket_bounds(idx + 1);
+            assert_eq!(hi + 1, next_lo, "gap after bucket {idx}");
+        }
+        let (_, top) = QuantileSketch::bucket_bounds(SKETCH_BUCKETS - 1);
+        assert_eq!(top, u64::MAX);
+        // bucket_of lands inside its own bounds.
+        for ps in [0, 1, 7, 8, 15, 16, 100, 1_000, u64::MAX / 3, u64::MAX] {
+            let idx = QuantileSketch::bucket_of(ps);
+            let (lo, hi) = QuantileSketch::bucket_bounds(idx);
+            assert!(lo <= ps && ps <= hi, "ps {ps} outside bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn sketch_relative_error_bounded() {
+        let mut sk = QuantileSketch::new();
+        let vals: Vec<u64> = (0..10_000u64).map(|i| 500 + i * 37).collect();
+        for &v in &vals {
+            sk.record_ps(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1] as f64;
+            let est = sk.quantile_ps(q).unwrap() as f64;
+            assert!(
+                (est - exact).abs() <= exact / 8.0 + 1.0,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(sk.quantile_ps(0.0), Some(*sorted.first().unwrap()));
+        assert_eq!(sk.quantile_ps(1.0), Some(*sorted.last().unwrap()));
+    }
+
+    #[test]
+    fn sketch_within_one_log_bucket_of_exact_histogram() {
+        let mut sk = QuantileSketch::new();
+        let mut hist = LogHistogram::new();
+        for i in 0..5_000u64 {
+            let v = 1 + (i * i) % 2_000_000;
+            sk.record_ps(v);
+            hist.record(SimDuration::from_ps(v));
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let a = log2_bucket(sk.quantile_ps(q).unwrap());
+            let b = log2_bucket(hist.quantile(q).unwrap().as_ps());
+            assert!(
+                a.abs_diff(b) <= 1,
+                "q={q}: sketch bucket {a} vs exact bucket {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn topk_exact_when_under_capacity() {
+        let mut t = SpaceSavingTopK::new(8);
+        t.offer("a", 5);
+        t.offer("b", 3);
+        t.offer("a", 2);
+        let top = t.top(2);
+        assert_eq!(top[0], ("a", TopKEntry { count: 7, err: 0 }));
+        assert_eq!(top[1], ("b", TopKEntry { count: 3, err: 0 }));
+    }
+
+    #[test]
+    fn topk_eviction_overestimates_boundedly() {
+        let mut t = SpaceSavingTopK::new(2);
+        t.offer(1u32, 10);
+        t.offer(2, 1);
+        t.offer(3, 5); // evicts key 2 (count 1): count 6, err 1
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&3), Some(TopKEntry { count: 6, err: 1 }));
+        assert_eq!(t.get(&1), Some(TopKEntry { count: 10, err: 0 }));
+    }
+
+    #[test]
+    fn reservoir_is_order_independent() {
+        let mut fwd = Reservoir::new(4, 99);
+        let mut rev = Reservoir::new(4, 99);
+        for id in 0..100u64 {
+            fwd.offer(id, id);
+        }
+        for id in (0..100u64).rev() {
+            rev.offer(id, id);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.len(), 4);
+    }
+
+    /// Drive one packet through the observer exactly as the fabric
+    /// would, and cross-check against the offline fold.
+    #[test]
+    fn observer_matches_offline_fold() {
+        let t = SimTime::from_ns;
+        let mut flight = FlightRecorder::new();
+        let mut stream = StreamObserver::new(StreamConfig::default());
+        for rec in [&mut flight as &mut dyn Recorder, &mut stream] {
+            rec.on_inject(
+                PacketId(7),
+                NodeId(0),
+                0,
+                Some(NodeId(1)),
+                t(0),
+                t(36),
+                t(36),
+                t(55),
+                32,
+            );
+            rec.on_hop_enter(PacketId(7), NodeId(1), t(95));
+            rec.on_deliver(PacketId(7), NodeId(1), 0, t(120));
+            rec.on_counter_update(PacketId(7), NodeId(1), 0, 3, t(120), Some(t(162)));
+            // A later event moves the watermark past the delivery.
+            rec.on_phase("next", t(200));
+        }
+        let (lifecycles, stats) = fold_lifecycles(flight.events());
+        let exact = BreakdownSummary::from_lifecycles(&lifecycles);
+        let mut summary = stream.summary();
+        summary.finalize();
+        assert_eq!(summary.fold, stats);
+        assert_eq!(summary.breakdown(), exact);
+        // The watermark flush already folded it: no open partials left.
+        assert_eq!(stream.partials.len(), 0);
+        assert_eq!(summary.open_len(), 0);
+        let kept: Vec<_> = summary.reservoir.items().collect();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0], &lifecycles[0]);
+    }
+
+    /// Split the same packet across two observers (as a sharded run
+    /// would); the merged + finalized summary must match a single
+    /// observer that saw everything.
+    #[test]
+    fn cross_shard_join_matches_sequential() {
+        let t = SimTime::from_ns;
+        let mut seq = StreamObserver::new(StreamConfig::default());
+        let mut src_shard = StreamObserver::new(StreamConfig::default());
+        let mut dst_shard = StreamObserver::new(StreamConfig::default());
+        for rec in [&mut seq, &mut src_shard] {
+            rec.on_inject(
+                PacketId(1),
+                NodeId(0),
+                0,
+                Some(NodeId(9)),
+                t(0),
+                t(30),
+                t(30),
+                t(50),
+                32,
+            );
+        }
+        for rec in [&mut seq, &mut dst_shard] {
+            rec.on_hop_enter(PacketId(1), NodeId(9), t(90));
+            rec.on_deliver(PacketId(1), NodeId(9), 0, t(110));
+            rec.on_phase("end", t(500));
+        }
+        let mut merged = src_shard.summary();
+        merged.merge(&dst_shard.summary());
+        merged.finalize();
+        let mut sequential = seq.summary();
+        sequential.finalize();
+        assert_eq!(merged, sequential);
+        assert_eq!(merged.fold.complete, 1);
+    }
+
+    #[test]
+    fn multicast_and_incomplete_classified_like_offline_fold() {
+        let t = SimTime::from_ns;
+        let mut flight = FlightRecorder::new();
+        let mut stream = StreamObserver::new(StreamConfig::default());
+        for rec in [&mut flight as &mut dyn Recorder, &mut stream] {
+            // Multicast: dst None, two deliveries.
+            rec.on_inject(
+                PacketId(1),
+                NodeId(0),
+                0,
+                None,
+                t(0),
+                t(10),
+                t(10),
+                t(20),
+                16,
+            );
+            rec.on_deliver(PacketId(1), NodeId(2), 0, t(50));
+            rec.on_deliver(PacketId(1), NodeId(3), 0, t(60));
+            // Incomplete: injected, never delivered.
+            rec.on_inject(
+                PacketId(2),
+                NodeId(4),
+                0,
+                Some(NodeId(5)),
+                t(0),
+                t(10),
+                t(10),
+                t(20),
+                16,
+            );
+            rec.on_phase("end", t(1_000));
+        }
+        let (_, stats) = fold_lifecycles(flight.events());
+        let mut summary = stream.summary();
+        summary.finalize();
+        assert_eq!(summary.fold, stats);
+        assert_eq!(summary.fold.multicast, 1);
+        assert_eq!(summary.fold.incomplete, 1);
+    }
+
+    #[test]
+    fn footprint_is_bounded_and_tracked() {
+        let t = SimTime::from_ns;
+        let mut obs = StreamObserver::new(StreamConfig {
+            reservoir: 2,
+            seed: 1,
+            topk: 8,
+        });
+        for i in 0..1_000u64 {
+            let at = t(10 * i);
+            obs.on_inject(
+                PacketId(i),
+                NodeId(0),
+                0,
+                Some(NodeId(1)),
+                at,
+                at,
+                at,
+                at,
+                16,
+            );
+            obs.on_deliver(PacketId(i), NodeId(1), 0, t(10 * i + 5));
+        }
+        obs.on_phase("end", t(1_000_000));
+        let fp = obs.footprint();
+        // Watermark folding keeps live partials to the in-flight few,
+        // not the thousand folded packets.
+        assert!(fp.peak_partials <= 4, "peak partials {}", fp.peak_partials);
+        let mut s = obs.summary();
+        s.finalize();
+        assert_eq!(s.fold.complete, 1_000);
+        assert_eq!(s.reservoir.len(), 2);
+        assert!(fp.peak_bytes < 128 * 1024, "peak bytes {}", fp.peak_bytes);
+    }
+}

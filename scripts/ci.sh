@@ -80,6 +80,24 @@ git diff --exit-code BENCH_pr7.json || {
   exit 1
 }
 
+# Scale-observatory gate: the streaming bounded-memory probe proves the
+# streamed fold exact on the 512-node reference (breakdown, census,
+# heavy hitters, shard-merge bit-identity; sketch quantiles within one
+# log-bucket), then runs the 4,096-node probe under the instrumented
+# allocator asserting the per-node observer-memory budget — all inside
+# the binary. Regenerates BENCH_pr8.json (reference + 16^3 metrics,
+# byte-identical in quick and full modes), which must match the
+# committed copy.
+cargo run -q --release -p anton-bench --features obs-alloc --bin scale_probe -- \
+  --quick --bench-out BENCH_pr8.json
+test -s target/obs/scale_report.json
+test -s target/obs/scale_trace.json
+test -s target/obs/scale_lifecycles.csv
+git diff --exit-code BENCH_pr8.json || {
+  echo "ci: BENCH_pr8.json drifted from the committed copy" >&2
+  exit 1
+}
+
 # Perf-regression gate: the quick canonical suite must stay within 10%
 # of the committed baseline (named 'pr3' in BENCH_trajectory.json).
 scripts/bench_regress.sh
