@@ -26,7 +26,8 @@ pub use cost::CostModel;
 pub use decomp::{wrap_signed, Decomposition};
 pub use engine::{AntonMdEngine, Energies};
 pub use parstep::{
-    run_md_exchange, run_md_exchange_par, run_md_exchange_par_profiled, run_md_exchange_recorded,
+    run_md_exchange, run_md_exchange_par, run_md_exchange_par_mode,
+    run_md_exchange_par_mode_profiled, run_md_exchange_par_profiled, run_md_exchange_recorded,
     run_md_exchange_streamed, run_md_exchange_streamed_par, MdExchangeNode, MdExchangeOutcome,
     MdExchangeParams,
 };

@@ -23,7 +23,7 @@
 //! so every run — sequential or sharded, any thread count — produces
 //! identical folds and identical completion times.
 
-use anton_des::{SimDuration, SimTime};
+use anton_des::{LookaheadMode, SimDuration, SimTime};
 use anton_net::{
     ClientAddr, ClientKind, CounterId, Ctx, Fabric, FaultPlan, NetStats, NodeProgram, Packet,
     ParSimulation, Payload, ProgEvent, Simulation,
@@ -47,6 +47,15 @@ pub struct MdExchangeParams {
     pub values_per_msg: usize,
     /// Modeled per-step force-computation time, ns.
     pub compute_ns: f64,
+    /// Extra compute per unit of the node's Z coordinate, ns — a
+    /// deterministic stand-in for spatial load imbalance (real MD boxes
+    /// have denser and sparser regions). Nonzero skew staggers the
+    /// per-slab event streams, which is exactly the regime where the
+    /// parallel engine's adaptive per-pair lookahead recovers windows a
+    /// uniform global bound would force; 0 (the default) keeps every
+    /// node identical. Simulated results stay bit-identical across
+    /// engines and modes either way.
+    pub compute_skew_ns: f64,
 }
 
 impl Default for MdExchangeParams {
@@ -55,6 +64,7 @@ impl Default for MdExchangeParams {
             steps: 10,
             values_per_msg: 4,
             compute_ns: 250.0,
+            compute_skew_ns: 0.0,
         }
     }
 }
@@ -146,7 +156,9 @@ impl MdExchangeNode {
             }
         }
         ctx.reset_counter(me, C_EXCH);
-        let cost = SimDuration::from_ns_f64(self.params.compute_ns);
+        let z = node.coord(ctx.dims()).get(Dim::ALL[2]) as f64;
+        let cost =
+            SimDuration::from_ns_f64(self.params.compute_ns + self.params.compute_skew_ns * z);
         ctx.set_timer(node, ClientKind::Slice(0), cost, self.step as u64);
     }
 }
@@ -346,7 +358,7 @@ pub fn run_md_exchange_par(
     params: MdExchangeParams,
     threads: usize,
 ) -> MdExchangeOutcome {
-    run_md_exchange_par_inner(dims, params, threads, false).0
+    run_md_exchange_par_inner(dims, params, threads, false, None).0
 }
 
 /// [`run_md_exchange_par`] with runtime profiling enabled: also returns
@@ -357,7 +369,32 @@ pub fn run_md_exchange_par_profiled(
     params: MdExchangeParams,
     threads: usize,
 ) -> (MdExchangeOutcome, anton_des::ParProfile) {
-    let (out, prof) = run_md_exchange_par_inner(dims, params, threads, true);
+    let (out, prof) = run_md_exchange_par_inner(dims, params, threads, true, None);
+    (out, prof.expect("profiling was enabled"))
+}
+
+/// [`run_md_exchange_par`] with an explicit window-bound mode instead
+/// of the `ANTON_LOOKAHEAD` env default — for A/B comparisons of
+/// adaptive vs. uniform-global windows. The simulated outcome is
+/// bit-identical in both modes (asserted by `bench/par_speedup` and the
+/// tests here); only window counts and wall clock differ.
+pub fn run_md_exchange_par_mode(
+    dims: TorusDims,
+    params: MdExchangeParams,
+    threads: usize,
+    mode: LookaheadMode,
+) -> MdExchangeOutcome {
+    run_md_exchange_par_inner(dims, params, threads, false, Some(mode)).0
+}
+
+/// [`run_md_exchange_par_mode`] with runtime profiling enabled.
+pub fn run_md_exchange_par_mode_profiled(
+    dims: TorusDims,
+    params: MdExchangeParams,
+    threads: usize,
+    mode: LookaheadMode,
+) -> (MdExchangeOutcome, anton_des::ParProfile) {
+    let (out, prof) = run_md_exchange_par_inner(dims, params, threads, true, Some(mode));
     (out, prof.expect("profiling was enabled"))
 }
 
@@ -366,12 +403,16 @@ fn run_md_exchange_par_inner(
     params: MdExchangeParams,
     threads: usize,
     profile: bool,
+    mode: Option<LookaheadMode>,
 ) -> (MdExchangeOutcome, Option<anton_des::ParProfile>) {
     let mut sim = ParSimulation::new(
         threads,
         move || Fabric::with_faults(dims, anton_net::Timing::default(), FaultPlan::none()),
         make_node(params),
     );
+    if let Some(mode) = mode {
+        sim.set_lookahead_mode(mode);
+    }
     if profile {
         sim.enable_runtime_profiling();
     }
@@ -422,6 +463,7 @@ mod tests {
             steps: 2,
             values_per_msg: 2,
             compute_ns: 100.0,
+            compute_skew_ns: 0.0,
         };
         let out = run_md_exchange(dims, params);
         let mut want = vec![0.0f64; dims.node_count() as usize];
@@ -469,6 +511,67 @@ mod tests {
         // The observer's heap stays bounded and is accounted.
         assert!(footprint.peak_bytes > 0);
         assert!(footprint.peak_partials > 0);
+    }
+
+    #[test]
+    fn adaptive_and_global_windows_agree_and_adaptive_never_needs_more() {
+        let dims = TorusDims::new(4, 4, 4);
+        let params = MdExchangeParams {
+            steps: 3,
+            ..Default::default()
+        };
+        let seq = run_md_exchange(dims, params);
+        let (glob, pg) = run_md_exchange_par_mode_profiled(dims, params, 2, LookaheadMode::Global);
+        let (adap, pa) =
+            run_md_exchange_par_mode_profiled(dims, params, 2, LookaheadMode::Adaptive);
+        // Same simulated machine in all three executions.
+        assert_eq!(glob.makespan, seq.makespan);
+        assert_eq!(adap.makespan, seq.makespan);
+        assert_eq!(adap.checksums, glob.checksums);
+        assert_eq!(adap.checksums, seq.checksums);
+        assert_eq!(adap.events, glob.events);
+        // Adaptive windows are never narrower than global ones, and the
+        // recovered-events accounting is zero by construction under the
+        // global bound.
+        assert!(pa.windows <= pg.windows, "{} vs {}", pa.windows, pg.windows);
+        assert_eq!(pg.recovered_events, 0);
+        assert_eq!(pg.extended_shard_windows, 0);
+        // Window counts (and recovered accounting) are thread-invariant.
+        let (_, pa4) = run_md_exchange_par_mode_profiled(dims, params, 4, LookaheadMode::Adaptive);
+        assert_eq!(pa4.windows, pa.windows);
+        assert_eq!(pa4.recovered_events, pa.recovered_events);
+        assert_eq!(pa4.extended_shard_windows, pa.extended_shard_windows);
+    }
+
+    /// With spatial load imbalance (per-slab compute skew) the shard
+    /// event streams stagger, and the adaptive per-pair bounds genuinely
+    /// widen windows past the uniform global bound — while the simulated
+    /// outcome stays bit-identical to the sequential engine.
+    #[test]
+    fn compute_skew_lets_adaptive_windows_recover_events() {
+        let dims = TorusDims::new(4, 4, 4);
+        let params = MdExchangeParams {
+            steps: 3,
+            compute_skew_ns: 60.0,
+            ..Default::default()
+        };
+        let seq = run_md_exchange(dims, params);
+        let (glob, pg) = run_md_exchange_par_mode_profiled(dims, params, 2, LookaheadMode::Global);
+        let (adap, pa) =
+            run_md_exchange_par_mode_profiled(dims, params, 2, LookaheadMode::Adaptive);
+        assert_eq!(glob.makespan, seq.makespan);
+        assert_eq!(adap.makespan, seq.makespan);
+        assert_eq!(adap.checksums, seq.checksums);
+        assert_eq!(adap.events, glob.events);
+        assert!(
+            pa.windows < pg.windows,
+            "skewed workload should need fewer adaptive windows ({} vs {})",
+            pa.windows,
+            pg.windows
+        );
+        assert!(pa.recovered_events > 0);
+        assert!(pa.extended_shard_windows > 0);
+        assert_eq!(pg.recovered_events, 0);
     }
 
     #[test]

@@ -10,37 +10,16 @@
 //! by insertion sequence number: two events scheduled for the same
 //! picosecond fire in the order they were scheduled.
 
+use crate::calendar::CalendarQueue;
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-/// A scheduled event: fires at `at`, with `seq` breaking ties.
+/// A scheduled event: fires at `at`, with `seq` breaking ties. The queue
+/// itself ([`CalendarQueue`]) orders on `(at, seq)`; this struct is the
+/// staging format handlers fill through a [`Scheduler`].
 struct Scheduled<E> {
     at: SimTime,
     seq: u64,
     event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event is popped
-        // first, and among equal times the lowest sequence number.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 /// The scheduling interface handed to event handlers.
@@ -141,8 +120,12 @@ pub enum RunOutcome {
 }
 
 /// The event queue plus clock. Generic over the event type.
+///
+/// The queue is a [`CalendarQueue`] keyed on `(time, insertion seq)` —
+/// pop order is identical to the binary heap it replaced (property-tested
+/// in `tests/calendar_order.rs`), so every tie-break below still holds.
 pub struct Engine<E> {
-    queue: BinaryHeap<Scheduled<E>>,
+    queue: CalendarQueue<u64, E>,
     now: SimTime,
     next_seq: u64,
     events_processed: u64,
@@ -158,7 +141,7 @@ impl<E> Engine<E> {
     /// Fresh engine at time zero.
     pub fn new() -> Self {
         Engine {
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             events_processed: 0,
@@ -189,7 +172,7 @@ impl<E> Engine<E> {
         assert!(at >= self.now, "causality violation");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Scheduled { at, seq, event });
+        self.queue.push(at, seq, event);
     }
 
     /// Seed the queue with an event `delay` after the current time.
@@ -230,16 +213,16 @@ impl<E> Engine<E> {
         probe: &mut P,
     ) -> RunOutcome {
         let mut budget = max_events;
-        while let Some(head) = self.queue.peek() {
-            if head.at > horizon {
+        while let Some(head_at) = self.queue.peek_at() {
+            if head_at > horizon {
                 return RunOutcome::HorizonReached;
             }
             if budget == 0 {
                 return RunOutcome::BudgetExhausted;
             }
             budget -= 1;
-            probe.on_event(head.at, self.queue.len());
-            let Scheduled { at, event, .. } = self.queue.pop().expect("peeked");
+            probe.on_event(head_at, self.queue.len());
+            let (at, _seq, event) = self.queue.pop().expect("peeked");
             debug_assert!(at >= self.now, "event queue emitted out of order");
             self.now = at;
             self.events_processed += 1;
@@ -252,7 +235,7 @@ impl<E> Engine<E> {
             world.handle(event, &mut sched);
             self.next_seq = sched.next_seq;
             for s in sched.pending {
-                self.queue.push(s);
+                self.queue.push(s.at, s.seq, s.event);
             }
         }
         RunOutcome::Drained

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod engine;
 pub mod par;
 pub mod profile;
@@ -44,8 +45,9 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use calendar::{CalendarQueue, EventArena, DEFAULT_DAY_SHIFT};
 pub use engine::{Engine, EventHandler, NopProbe, Probe, RunOutcome, Scheduler};
-pub use par::{Executor, ParEngine, ShardMap};
+pub use par::{Executor, LookaheadMatrix, LookaheadMode, ParEngine, ShardMap};
 pub use profile::{
     Heartbeat, ParProfile, StderrTelemetry, TelemetryConfig, TelemetrySink, WindowSample,
     WorkerProfile, DEFAULT_SAMPLE_CAP,

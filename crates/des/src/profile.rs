@@ -85,6 +85,14 @@ pub struct WorkerProfile {
     pub active_windows: u64,
     /// Events this worker executed.
     pub events: u64,
+    /// Events executed at or past the uniform global-bound window end —
+    /// work an adaptive window recovered that a global window would have
+    /// deferred behind another barrier crossing. Deterministic; always 0
+    /// in [`LookaheadMode::Global`](crate::par::LookaheadMode::Global).
+    pub recovered_events: u64,
+    /// Per-shard windows in which at least one event was recovered (one
+    /// shard extending once in one window counts once). Deterministic.
+    pub extended_shard_windows: u64,
     /// Retained per-window samples (capped; see
     /// [`ParProfile::sample_cap`]).
     pub samples: Vec<WindowSample>,
@@ -108,6 +116,8 @@ impl WorkerProfile {
         self.windows += other.windows;
         self.active_windows += other.active_windows;
         self.events += other.events;
+        self.recovered_events += other.recovered_events;
+        self.extended_shard_windows += other.extended_shard_windows;
         let room = cap.saturating_sub(self.samples.len());
         self.samples
             .extend(other.samples.iter().take(room).copied());
@@ -132,6 +142,13 @@ pub struct ParProfile {
     pub windows: u64,
     /// Events executed (deterministic).
     pub events: u64,
+    /// Events recovered by adaptive window extension — executed past the
+    /// uniform global-bound end of their window (deterministic; 0 under
+    /// the global bound).
+    pub recovered_events: u64,
+    /// Per-shard windows that executed at least one recovered event
+    /// (deterministic).
+    pub extended_shard_windows: u64,
     /// Per-worker phase accounting, worker order.
     pub workers: Vec<WorkerProfile>,
     /// Events executed per shard (deterministic).
@@ -154,6 +171,8 @@ impl ParProfile {
             wall_ns: 0,
             windows: 0,
             events: 0,
+            recovered_events: 0,
+            extended_shard_windows: 0,
             workers: Vec::new(),
             shard_events: vec![0; shards],
             shard_busy_ns: vec![0; shards],
@@ -216,6 +235,8 @@ impl ParProfile {
         self.wall_ns += other.wall_ns;
         self.windows += other.windows;
         self.events += other.events;
+        self.recovered_events += other.recovered_events;
+        self.extended_shard_windows += other.extended_shard_windows;
         if self.workers.len() < other.workers.len() {
             self.workers
                 .resize_with(other.workers.len(), WorkerProfile::default);

@@ -1,0 +1,57 @@
+//! Property test: [`CalendarQueue`] pops in exactly the order a binary
+//! heap over the same `(time, key)` entries would — including interleaved
+//! pushes at already-reached times (same-instant chains), far-future
+//! gaps, and bucket growth — so swapping it under either engine cannot
+//! change any tie-break.
+
+use anton_des::{CalendarQueue, SimTime};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+type Key = (u64, u64);
+type Model = BinaryHeap<Reverse<(u64, Key, u64)>>;
+
+fn push_both(cal: &mut CalendarQueue<Key, u64>, model: &mut Model, t: u64, key: Key, v: u64) {
+    cal.push(SimTime(t), key, v);
+    model.push(Reverse((t, key, v)));
+}
+
+fn pop_both(cal: &mut CalendarQueue<Key, u64>, model: &mut Model) -> Option<(u64, Key, u64)> {
+    let got = cal.pop().map(|(at, k, v)| (at.0, k, v));
+    let want = model.pop().map(|Reverse(e)| e);
+    assert_eq!(got, want, "calendar diverged from the heap model");
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn calendar_pop_order_matches_binary_heap(
+        // Times span from same-day clusters to ~5 us gaps; small key
+        // space forces (time, key) ties to be broken by the unique id.
+        entries in prop::collection::vec((0u64..5_000_000, 0u64..8), 1..300),
+        shift in 4u32..20,
+        pop_stride in 1usize..6,
+    ) {
+        let mut cal: CalendarQueue<Key, u64> = CalendarQueue::with_day_shift(shift);
+        let mut model: Model = BinaryHeap::new();
+        let mut id = 0u64;
+        for (i, &(t, k)) in entries.iter().enumerate() {
+            push_both(&mut cal, &mut model, t, (k, id), id);
+            id += 1;
+            // Interleave pops with pushes, and chase each mid-stream pop
+            // with a push at the popped instant — the monotone-queue case
+            // a DES generates constantly.
+            if i % pop_stride == 0 {
+                if let Some((at, _, _)) = pop_both(&mut cal, &mut model) {
+                    push_both(&mut cal, &mut model, at, (k ^ 5, id), id);
+                    id += 1;
+                }
+            }
+        }
+        while pop_both(&mut cal, &mut model).is_some() {}
+        prop_assert!(cal.is_empty());
+    }
+}

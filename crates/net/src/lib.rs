@@ -32,8 +32,9 @@ pub use packet::{
     SourceRoute, COUNTERS_PER_CLIENT, COUNTER_BY_SOURCE,
 };
 pub use par::{
-    merge_flight_events, obs_mode_from_env, obs_stream_config_from_env, threads_from_env,
-    EvShardMap, NodeShardWorld, ObsMode, ParSimulation, ShardPlan,
+    lookahead_mode_from_env, merge_flight_events, obs_mode_from_env, obs_stream_config_from_env,
+    parse_lookahead_mode, threads_from_env, EvShardMap, NodeShardWorld, ObsMode, ParSimulation,
+    ShardPlan,
 };
 pub use recovery::{
     chaos_level_from_env, chaos_seed_from_env, FailureVerdict, RecoveryConfig, RecoveryStats,

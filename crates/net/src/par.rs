@@ -12,6 +12,16 @@
 //! Deliveries, FIFO service, program dispatches, and watchdog checks are
 //! all node-local. The parallel engine asserts this bound at runtime.
 //!
+//! Beyond the single global bound, the plan induces a **per-shard-pair
+//! lookahead matrix** ([`ShardPlan::lookahead_matrix`]): a hop can only
+//! cross into a *ring-adjacent* slab, so non-adjacent slabs are bounded
+//! by the slab ring distance times the per-axis hop minimum
+//! ([`Timing::min_hop_delay`]). The engine's adaptive mode (the default;
+//! `ANTON_LOOKAHEAD=global` selects the uniform baseline) uses those
+//! per-pair bounds to open wider windows for distant slabs and to extend
+//! a shard's window when its upstream shards have drained — without
+//! changing any simulated result.
+//!
 //! ## Shard worlds
 //!
 //! Each shard owns a **full fabric replica** built by the same
@@ -43,7 +53,7 @@
 use crate::fabric::{Ev, Fabric, NetStats, ProgEvent};
 use crate::timing::Timing;
 use crate::world::{Ctx, NodeProgram, RunReport, SimWorld, StallReport, StuckWatch};
-use anton_des::par::{ParEngine, ShardMap};
+use anton_des::par::{LookaheadMatrix, LookaheadMode, ParEngine, ShardMap};
 use anton_des::{
     EventHandler, ParProfile, RunOutcome, Scheduler, SimDuration, SimTime, StderrTelemetry,
     TelemetryConfig, Tracer,
@@ -114,6 +124,7 @@ fn env_count(var: &str, fallback: usize, warned: &AtomicBool) -> usize {
 
 static SHARDS_WARNED: AtomicBool = AtomicBool::new(false);
 static THREADS_WARNED: AtomicBool = AtomicBool::new(false);
+static LOOKAHEAD_WARNED: AtomicBool = AtomicBool::new(false);
 static TELEMETRY_WARNED: AtomicBool = AtomicBool::new(false);
 static OBS_MODE_WARNED: AtomicBool = AtomicBool::new(false);
 static OBS_RESERVOIR_WARNED: AtomicBool = AtomicBool::new(false);
@@ -194,6 +205,41 @@ impl ShardPlan {
         let c = node.coord(self.dims).get(self.axis) as usize;
         c * self.nshards / self.dims.len(self.axis) as usize
     }
+
+    /// Ring distance between two slabs: the slabs are arranged in a ring
+    /// along the slab axis (the torus wraps), so slab `a` reaches slab
+    /// `b` in `min(|a−b|, n−|a−b|)` slab-boundary crossings.
+    pub fn slab_ring_distance(&self, a: usize, b: usize) -> usize {
+        let d = a.abs_diff(b);
+        d.min(self.nshards - d)
+    }
+
+    /// The per-shard-pair lookahead matrix this plan induces under
+    /// `timing`: the minimum latency of any single event that can carry
+    /// state from slab `a` into slab `b`.
+    ///
+    /// The only cross-node fabric events are `HopArrive`s, and a hop
+    /// changes exactly one coordinate by ±1 — so a hop leaves its slab
+    /// only when it travels along the slab axis, and then lands in a
+    /// **ring-adjacent** slab (torus wraparound makes the first and last
+    /// slabs adjacent). Adjacent pairs therefore get the per-axis bound
+    /// [`Timing::min_hop_delay`]; every other pair is unreachable by a
+    /// single event, and the engine's min-plus closure composes the
+    /// adjacent bound once per intervening slab. A 16-slab machine's
+    /// opposite slabs end up with an 8×54 = 432 ns bound instead of the
+    /// uniform 54 ns — the leverage behind adaptive windows.
+    pub fn lookahead_matrix(&self, timing: &Timing) -> LookaheadMatrix {
+        let mut m = LookaheadMatrix::unreachable(self.nshards);
+        let hop = timing.min_hop_delay(self.axis);
+        for a in 0..self.nshards {
+            for b in 0..self.nshards {
+                if a != b && self.slab_ring_distance(a, b) == 1 {
+                    m.set(a, b, hop);
+                }
+            }
+        }
+        m
+    }
 }
 
 /// Worker-thread count for parallel runs: the `ANTON_THREADS` env var,
@@ -202,6 +248,35 @@ impl ShardPlan {
 /// simulated results — only wall-clock time.
 pub fn threads_from_env() -> usize {
     env_count("ANTON_THREADS", 1, &THREADS_WARNED)
+}
+
+/// Parse a lookahead-mode name (`"adaptive"`/`"matrix"` or
+/// `"global"`/`"uniform"`, case-insensitive). `None` for anything else.
+pub fn parse_lookahead_mode(s: &str) -> Option<LookaheadMode> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "adaptive" | "matrix" => Some(LookaheadMode::Adaptive),
+        "global" | "uniform" => Some(LookaheadMode::Global),
+        _ => None,
+    }
+}
+
+/// Window-bound mode from `ANTON_LOOKAHEAD`, defaulting to
+/// [`LookaheadMode::Adaptive`] (per-shard-pair windows from the slab
+/// distance matrix); `global` selects the uniform 54 ns baseline for
+/// A/B comparisons. Mode never affects simulated results — only how
+/// wide the conservative windows open (asserted by the determinism
+/// tests and the `par_speedup` bench). Invalid values warn once on
+/// stderr, same contract as the other `ANTON_*` knobs.
+pub fn lookahead_mode_from_env() -> LookaheadMode {
+    let raw = std::env::var("ANTON_LOOKAHEAD").ok();
+    resolve_env(
+        "ANTON_LOOKAHEAD",
+        raw.as_deref(),
+        LookaheadMode::default(),
+        &LOOKAHEAD_WARNED,
+        "adaptive|global",
+        parse_lookahead_mode,
+    )
 }
 
 /// Which observability recorder to attach to a fabric (or one per
@@ -278,15 +353,19 @@ pub fn obs_stream_config_from_env() -> StreamConfig {
 pub struct EvShardMap {
     plan: ShardPlan,
     lookahead: SimDuration,
+    matrix: LookaheadMatrix,
 }
 
 impl EvShardMap {
     /// Build from a plan and the timing model whose
-    /// [`Timing::conservative_lookahead`] bounds cross-node events.
+    /// [`Timing::conservative_lookahead`] bounds cross-node events (and
+    /// whose per-axis [`Timing::min_hop_delay`] feeds the per-pair
+    /// matrix for adaptive windows).
     pub fn new(plan: ShardPlan, timing: &Timing) -> EvShardMap {
         EvShardMap {
             plan,
             lookahead: timing.conservative_lookahead(),
+            matrix: plan.lookahead_matrix(timing),
         }
     }
 
@@ -317,6 +396,10 @@ impl ShardMap<Ev> for EvShardMap {
 
     fn lookahead(&self) -> SimDuration {
         self.lookahead
+    }
+
+    fn lookahead_matrix(&self) -> LookaheadMatrix {
+        self.matrix.clone()
     }
 }
 
@@ -421,14 +504,29 @@ impl<P: NodeProgram + Send> ParSimulation<P> {
     pub fn new(
         threads: usize,
         mut build_fabric: impl FnMut() -> Fabric,
+        make: impl FnMut(NodeId) -> P,
+    ) -> ParSimulation<P> {
+        let plan = ShardPlan::auto(build_fabric().dims());
+        ParSimulation::with_plan(threads, plan, build_fabric, make)
+    }
+
+    /// [`ParSimulation::new`] with an explicit [`ShardPlan`] instead of
+    /// [`ShardPlan::auto`] — for tests and experiments that sweep shard
+    /// counts or axes without touching the process environment. The
+    /// plan's dims must match the fabric the closure builds.
+    pub fn with_plan(
+        threads: usize,
+        plan: ShardPlan,
+        mut build_fabric: impl FnMut() -> Fabric,
         mut make: impl FnMut(NodeId) -> P,
     ) -> ParSimulation<P> {
         let probe = build_fabric();
         let dims = probe.dims();
-        let plan = ShardPlan::auto(dims);
+        assert_eq!(dims, plan.dims(), "shard plan built for different dims");
         let map = EvShardMap::new(plan, probe.timing());
         drop(probe);
         let mut engine = ParEngine::new(map, threads);
+        engine.set_lookahead_mode(lookahead_mode_from_env());
         let n = dims.node_count();
         let mut worlds = Vec::with_capacity(plan.shard_count());
         for shard in 0..plan.shard_count() {
@@ -487,6 +585,24 @@ impl<P: NodeProgram + Send> ParSimulation<P> {
             ObsMode::Stream => self.attach_stream_observers(obs_stream_config_from_env()),
         }
         mode
+    }
+
+    /// Select which window bound the engine applies (overriding the
+    /// `ANTON_LOOKAHEAD` env default). Call before running. Mode never
+    /// changes simulated results — adaptive windows are provably
+    /// conservative — only how often shards synchronize.
+    pub fn set_lookahead_mode(&mut self, mode: LookaheadMode) {
+        self.engine.set_lookahead_mode(mode);
+    }
+
+    /// The window-bound mode in force.
+    pub fn lookahead_mode(&self) -> LookaheadMode {
+        self.engine.lookahead_mode()
+    }
+
+    /// The per-shard-pair lookahead matrix the plan induced.
+    pub fn lookahead_matrix(&self) -> &LookaheadMatrix {
+        self.engine.lookahead_matrix()
     }
 
     /// Enable runtime profiling on the underlying [`ParEngine`]:
@@ -813,6 +929,83 @@ mod tests {
         assert!(warned.load(Ordering::Relaxed));
         assert_eq!(resolve_count("T", Some("junk"), 7, &warned), 7);
         assert!(warned.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn lookahead_mode_parses_aliases_case_insensitively() {
+        for (s, want) in [
+            ("adaptive", LookaheadMode::Adaptive),
+            ("matrix", LookaheadMode::Adaptive),
+            (" Adaptive ", LookaheadMode::Adaptive),
+            ("global", LookaheadMode::Global),
+            ("uniform", LookaheadMode::Global),
+            ("GLOBAL", LookaheadMode::Global),
+        ] {
+            assert_eq!(parse_lookahead_mode(s), Some(want), "{s:?}");
+        }
+        for s in ["", "adaptve", "1", "on"] {
+            assert_eq!(parse_lookahead_mode(s), None, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn slab_ring_distance_wraps() {
+        let plan = ShardPlan::new(TorusDims::new(4, 4, 8), 8);
+        assert_eq!(plan.shard_count(), 8);
+        assert_eq!(plan.slab_ring_distance(0, 0), 0);
+        assert_eq!(plan.slab_ring_distance(0, 1), 1);
+        assert_eq!(plan.slab_ring_distance(0, 7), 1); // torus wrap
+        assert_eq!(plan.slab_ring_distance(0, 4), 4);
+        assert_eq!(plan.slab_ring_distance(2, 7), 3);
+        assert_eq!(plan.slab_ring_distance(7, 2), 3);
+    }
+
+    /// The 8×8×8 default plan's matrix: adjacent slabs at the 54 ns
+    /// per-axis hop bound, everything else unreachable directly; the
+    /// closure composes distance — opposite slabs get 4×54 ns.
+    #[test]
+    fn default_plan_matrix_is_ring_distance_times_hop() {
+        let dims = TorusDims::new(8, 8, 8);
+        let plan = ShardPlan::new(dims, 8);
+        let t = Timing::default();
+        let m = plan.lookahead_matrix(&t);
+        assert_eq!(m.shards(), 8);
+        let hop = t.min_hop_delay(plan.axis());
+        assert_eq!(hop, SimDuration::from_ns(54));
+        for a in 0..8 {
+            for b in 0..8 {
+                if a == b {
+                    continue;
+                }
+                match plan.slab_ring_distance(a, b) {
+                    1 => assert_eq!(m.direct(a, b), Some(hop), "{a}->{b}"),
+                    _ => assert_eq!(m.direct(a, b), None, "{a}->{b}"),
+                }
+            }
+        }
+        let dist = m.closure_ps();
+        for a in 0..8 {
+            for b in 0..8 {
+                let want = plan.slab_ring_distance(a, b) as u64 * hop.0;
+                assert_eq!(dist[a * 8 + b], want, "{a}->{b}");
+            }
+        }
+        // Every finite bound dominates the global floor the engine
+        // validates against.
+        assert!(m.min_direct().unwrap() >= t.conservative_lookahead());
+    }
+
+    /// A 2-slab plan is a degenerate ring: both directions adjacent, and
+    /// the matrix adds nothing over the global bound (adaptive still
+    /// helps via self-exclusion and drain extension, not distance).
+    #[test]
+    fn two_slab_matrix_matches_global_bound() {
+        let dims = TorusDims::new(4, 4, 4);
+        let plan = ShardPlan::new(dims, 2);
+        let t = Timing::default();
+        let m = plan.lookahead_matrix(&t);
+        assert_eq!(m.direct(0, 1), Some(t.min_hop_delay(plan.axis())));
+        assert_eq!(m.direct(1, 0), Some(t.min_hop_delay(plan.axis())));
     }
 
     #[test]

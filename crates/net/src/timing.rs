@@ -280,6 +280,40 @@ impl Timing {
         self.link_head() + SimDuration::from_ns_f64(min_ring)
     }
 
+    /// Minimum latency of one hop whose **outgoing** link runs along
+    /// `axis`: both link adapters plus the cheapest ring crossing that
+    /// can feed that axis (straight-through if the packet is already
+    /// travelling in `axis`, or a turn from any other dimension —
+    /// whichever is smaller). This is the per-link-class refinement of
+    /// [`conservative_lookahead`]: a slab shard boundary perpendicular
+    /// to `axis` can only be crossed by a hop *out* along `axis`, so the
+    /// per-pair lookahead matrix ([`crate::par::ShardPlan::lookahead_matrix`])
+    /// uses this bound for adjacent slabs instead of the global minimum
+    /// over all axes. With default timing every axis bottoms out at
+    /// 54 ns (the 14 ns turn crossing dominates even for X), so the
+    /// matrix's leverage comes from *distance* — non-adjacent slabs
+    /// compose this bound once per intervening ring step.
+    ///
+    /// ```
+    /// use anton_net::Timing;
+    /// use anton_topo::Dim;
+    /// let t = Timing::default();
+    /// for axis in Dim::ALL {
+    ///     assert_eq!(t.min_hop_delay(axis).as_ns_f64(), 54.0);
+    ///     assert!(t.min_hop_delay(axis) >= t.conservative_lookahead());
+    /// }
+    /// ```
+    ///
+    /// [`conservative_lookahead`]: Timing::conservative_lookahead
+    pub fn min_hop_delay(&self, axis: Dim) -> SimDuration {
+        let min_ring = Dim::ALL
+            .iter()
+            .map(|&in_dim| self.transit_ring(in_dim, axis))
+            .min()
+            .expect("three dims");
+        self.link_head() + min_ring
+    }
+
     /// Tail time of a payload crossing only the on-chip ring.
     pub fn payload_tail_onchip(&self, payload_bytes: u32) -> SimDuration {
         let body = if payload_bytes <= IN_HEADER_PAYLOAD_BYTES {
@@ -395,6 +429,34 @@ mod tests {
         assert!(look <= x_inc);
         // And even the *first* hop's wire portion alone is ≥ the bound.
         assert!(t.link_head() + t.transit_ring(Dim::Y, Dim::Y) >= look);
+    }
+
+    /// Per-axis hop bounds dominate the global lookahead, and with the
+    /// default calibration all three axes share the 54 ns floor (the
+    /// turn crossing undercuts even the long X straight-through).
+    #[test]
+    fn min_hop_delay_matches_cheapest_crossing_per_axis() {
+        let t = Timing::default();
+        for axis in Dim::ALL {
+            let hop = t.min_hop_delay(axis);
+            assert!(hop >= t.conservative_lookahead(), "{axis:?}");
+            assert_eq!(hop, SimDuration::from_ns(54), "{axis:?}");
+            // It really is the min over incoming dimensions.
+            for in_dim in Dim::ALL {
+                assert!(hop <= t.link_head() + t.transit_ring(in_dim, axis));
+            }
+        }
+        // A timing where X transits get cheap makes the X bound drop
+        // below Y/Z — the per-axis refinement is not vacuous.
+        let skewed = Timing {
+            transit_ring_x_ns: 4.0,
+            ..Timing::default()
+        };
+        assert!(skewed.min_hop_delay(Dim::X) < skewed.min_hop_delay(Dim::Y));
+        assert_eq!(
+            skewed.min_hop_delay(Dim::X),
+            skewed.conservative_lookahead()
+        );
     }
 
     #[test]

@@ -204,6 +204,17 @@ pub struct RuntimeSummary {
     pub cross_shard_events: u64,
     /// Fraction of events whose scheduling crossed a shard boundary.
     pub cross_shard_fraction: f64,
+    /// Events executed past the uniform global window bound — work the
+    /// adaptive per-pair lookahead recovered that global windows would
+    /// have deferred to a later window. Deterministic (a pure function
+    /// of the window partition); 0 under global-bound windows.
+    pub recovered_events: u64,
+    /// Shard-windows whose adaptive bound extended past the global
+    /// bound *and* executed at least one event there.
+    pub extended_shard_windows: u64,
+    /// `recovered_events / events` — how much of the workload the
+    /// adaptive windows pulled forward.
+    pub recovered_fraction: f64,
 }
 
 impl RuntimeSummary {
@@ -221,6 +232,13 @@ impl RuntimeSummary {
                 0.0
             } else {
                 prof.cross_shard_events() as f64 / prof.events as f64
+            },
+            recovered_events: prof.recovered_events,
+            extended_shard_windows: prof.extended_shard_windows,
+            recovered_fraction: if prof.events == 0 {
+                0.0
+            } else {
+                prof.recovered_events as f64 / prof.events as f64
             },
         }
     }
@@ -251,6 +269,19 @@ impl RuntimeSummary {
             &format!("{prefix}_cross_shard_fraction"),
             self.cross_shard_fraction,
         );
+        report.set_directed(
+            &format!("{prefix}_recovered_events"),
+            self.recovered_events as f64,
+            crate::regress::Direction::HigherIsBetter,
+        );
+        report.set(
+            &format!("{prefix}_extended_shard_windows"),
+            self.extended_shard_windows as f64,
+        );
+        report.set(
+            &format!("{prefix}_recovered_fraction"),
+            self.recovered_fraction,
+        );
     }
 
     /// Human-readable one-paragraph summary.
@@ -258,7 +289,9 @@ impl RuntimeSummary {
         format!(
             "runtime summary: {} shards, {} windows, {} events \
              ({:.2} ev/window, lookahead efficiency {:.2} ev/shard/window)\n\
-             shard imbalance {:.1}%  cross-shard {} events ({:.1}%)\n",
+             shard imbalance {:.1}%  cross-shard {} events ({:.1}%)\n\
+             windowing recovered {} events ({:.1}%) across {} extended \
+             shard-windows\n",
             self.shards,
             self.windows,
             self.events,
@@ -267,6 +300,9 @@ impl RuntimeSummary {
             self.shard_imbalance_pct,
             self.cross_shard_events,
             100.0 * self.cross_shard_fraction,
+            self.recovered_events,
+            100.0 * self.recovered_fraction,
+            self.extended_shard_windows,
         )
     }
 }
@@ -357,6 +393,8 @@ mod tests {
             shard_busy_ns: vec![600, 200],
             traffic: vec![0, 6, 2, 0],
             sample_cap: 8,
+            recovered_events: 6,
+            extended_shard_windows: 2,
             ..Default::default()
         };
         for (worker, busy) in [(0usize, 600u64), (1, 200)] {
@@ -421,11 +459,17 @@ mod tests {
         assert_eq!(s.cross_shard_events, 8);
         assert!((s.cross_shard_fraction - 0.2).abs() < 1e-12);
         assert!((s.shard_imbalance_pct - 50.0).abs() < 1e-9);
+        assert_eq!(s.recovered_events, 6);
+        assert_eq!(s.extended_shard_windows, 2);
+        assert!((s.recovered_fraction - 0.15).abs() < 1e-12);
         let mut r = BenchReport::new("t");
         s.record_into(&mut r, "par4");
         assert_eq!(r.get("par4_windows"), Some(4.0));
         assert_eq!(r.get("par4_cross_shard_events"), Some(8.0));
+        assert_eq!(r.get("par4_recovered_events"), Some(6.0));
+        assert_eq!(r.get("par4_extended_shard_windows"), Some(2.0));
         assert!(s.table().contains("2 shards"));
+        assert!(s.table().contains("windowing recovered 6 events"));
     }
 
     #[test]

@@ -26,6 +26,17 @@ if [[ "${FULL:-0}" != 0 ]]; then
   FLAGS+=(--full)
 fi
 
-cargo run -q --release -p anton-bench --bin bench_regress -- \
+# Build first, with an explicit status check: a compile failure must
+# fail the gate loudly rather than being swallowed (pipefail alone does
+# not cover `cargo run` invoked through wrappers that eat the status).
+if ! cargo build -q --release -p anton-bench --bin bench_regress; then
+  echo "bench_regress: failed to build the harness binary" >&2
+  exit 1
+fi
+
+if ! cargo run -q --release -p anton-bench --bin bench_regress -- \
   check --baseline "$BASELINE" --index BENCH_trajectory.json \
-  "${FLAGS[@]+"${FLAGS[@]}"}" --threshold "$THRESHOLD"
+  "${FLAGS[@]+"${FLAGS[@]}"}" --threshold "$THRESHOLD"; then
+  echo "bench_regress: regression gate failed" >&2
+  exit 1
+fi
