@@ -152,11 +152,27 @@ fn render_to(
     if let Some(cur) = current {
         trajectory.push(("current".to_owned(), cur.metrics.clone()));
     }
+    // Spec-hash/fingerprint provenance columns for every trajectory
+    // entry that carries them (PRs predating the run ledger render an
+    // em-dash).
+    let provenance: Vec<(String, String, String)> = index
+        .entries
+        .iter()
+        .filter_map(|e| match (&e.spec_hash, &e.fingerprint) {
+            (None, None) => None,
+            (h, f) => Some((
+                e.name.clone(),
+                h.clone().unwrap_or_default(),
+                f.clone().unwrap_or_default(),
+            )),
+        })
+        .collect();
     let html = render_dashboard(&DashboardInput {
         title: "anton perf observatory",
         trajectory: &trajectory,
         current,
         diff,
+        provenance: &provenance,
     });
     validate_html(&html).expect("rendered dashboard is well-formed");
     write_file(path, &html)?;
@@ -194,17 +210,19 @@ fn run() -> Result<ExitCode, ExitCode> {
                     "bench_observatory: baseline {:?} not in {} (have: {})",
                     args.baseline,
                     args.index,
-                    index
-                        .entries
-                        .iter()
-                        .map(|e| e.name.as_str())
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    index.names().join(", ")
                 );
                 return Err(ExitCode::FAILURE);
             };
             let text = std::fs::read_to_string(&entry.path).map_err(|e| {
-                eprintln!("bench_observatory: {}: {e}", entry.path);
+                eprintln!(
+                    "bench_observatory: {}: {e} (baseline '{}' resolved through {}; \
+                     other names: {})",
+                    entry.path,
+                    args.baseline,
+                    args.index,
+                    index.names().join(", ")
+                );
                 ExitCode::FAILURE
             })?;
             let baseline_metrics = BenchReport::parse(&text).map_err(|e| {

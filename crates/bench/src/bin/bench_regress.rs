@@ -36,18 +36,33 @@ fn resolve_baseline(index_path: &str, name: &str) -> Result<String, String> {
     index.resolve(name).map(|e| e.path.clone()).ok_or_else(|| {
         format!(
             "baseline {name:?} not in {index_path} (have: {})",
-            index
-                .entries
-                .iter()
-                .map(|e| e.name.as_str())
-                .collect::<Vec<_>>()
-                .join(", ")
+            index.names().join(", ")
         )
     })
 }
 
-fn read_report(path: &str) -> Result<BenchReport, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+/// The "did you mean a *named* baseline?" suffix for a missing report
+/// path — the common slip is passing an index name (`pr6`) where a
+/// report path goes, or a stale path the trajectory no longer ships.
+fn missing_report_hint(index_path: &str) -> String {
+    match TrajectoryIndex::load(std::path::Path::new(index_path)) {
+        Ok(index) if !index.entries.is_empty() => format!(
+            " (named baselines in {index_path}: {}; use check --baseline NAME)",
+            index.names().join(", ")
+        ),
+        _ => String::new(),
+    }
+}
+
+fn read_report(path: &str, index_path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        let hint = if std::path::Path::new(path).exists() {
+            String::new()
+        } else {
+            missing_report_hint(index_path)
+        };
+        format!("{path}: {e}{hint}")
+    })?;
     BenchReport::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -143,7 +158,10 @@ fn main() -> ExitCode {
         }
         Some("diff") if positional.len() == 3 => {
             let (base, cur) = (&positional[1], &positional[2]);
-            match (read_report(base), read_report(cur)) {
+            match (
+                read_report(base, &index_path),
+                read_report(cur, &index_path),
+            ) {
                 (Ok(b), Ok(c)) => diff_reports(&b, &c, threshold),
                 (Err(e), _) | (_, Err(e)) => {
                     eprintln!("bench_regress: {e}");
@@ -151,7 +169,7 @@ fn main() -> ExitCode {
                 }
             }
         }
-        Some("check") if positional.len() == 2 => match read_report(&positional[1]) {
+        Some("check") if positional.len() == 2 => match read_report(&positional[1], &index_path) {
             Ok(baseline) => {
                 let current = run_suite(full);
                 diff_reports(&baseline, &current, threshold)

@@ -1,10 +1,16 @@
 //! Chaos campaign: sweep fault intensity against the recovering
 //! all-reduce and assert the recovery invariants on every single run.
 //!
-//! The campaign crosses four chaos levels (drop rate × node deaths)
-//! with a fixed block of seeds. Every cell runs the collective on the
-//! sequential engine, on the 2-thread sharded engine, and (sequential
-//! only) a second time as a replay, then asserts:
+//! Every campaign cell is a content-addressed scenario: the spec for
+//! `(seed, level)` comes from [`presets::chaos_cell`], which owns the
+//! level table (drop rate × node deaths) and the seed-derived death
+//! schedules. A cell's spec hash therefore names the exact fault plan,
+//! recovery config, and victims this binary ran — `scenario run` on the
+//! same preset ledgers the identical execution.
+//!
+//! Every cell runs the collective on the sequential engine, on the
+//! 2-thread sharded engine, and (sequential only) a second time as a
+//! replay, then asserts:
 //!
 //!   1. **No lost completions** — every node that stays alive holds a
 //!      result, and that result is the bit-exact sum over the root's
@@ -32,83 +38,14 @@
 
 use anton_collectives::{random_inputs, run_all_reduce_recovering, run_all_reduce_recovering_par};
 use anton_collectives::{RecoveringOutcome, RecoveringParams};
-use anton_des::SimTime;
-use anton_net::{chaos_level_from_env, chaos_seed_from_env, FaultPlan, RecoveryConfig};
+use anton_net::{chaos_level_from_env, chaos_seed_from_env};
 use anton_obs::BenchReport;
-use anton_topo::{NodeId, TorusDims};
-
-/// One fault-intensity level of the sweep.
-#[derive(Debug, Clone, Copy)]
-struct ChaosLevel {
-    /// Per-traversal transient drop probability.
-    drop_rate: f64,
-    /// Mid-collective node deaths.
-    deaths: usize,
-}
-
-/// Levels 0–3: quiet fabric up to 2% drops with three node deaths.
-const LEVELS: [ChaosLevel; 4] = [
-    ChaosLevel {
-        drop_rate: 0.0,
-        deaths: 0,
-    },
-    ChaosLevel {
-        drop_rate: 1e-3,
-        deaths: 1,
-    },
-    ChaosLevel {
-        drop_rate: 5e-3,
-        deaths: 2,
-    },
-    ChaosLevel {
-        drop_rate: 2e-2,
-        deaths: 3,
-    },
-];
-
-const DIMS: TorusDims = TorusDims {
-    nx: 4,
-    ny: 4,
-    nz: 4,
-};
-
-const VLEN: usize = 2;
-
-/// splitmix64 — the deterministic chooser for death schedules.
-fn mix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
-/// A seed-derived death schedule: `count` distinct victims (never node
-/// 0, the immortal root) at times inside the collective's active
-/// window, so deaths genuinely straddle in-flight work.
-fn death_schedule(seed: u64, level: usize, count: usize) -> Vec<(NodeId, SimTime)> {
-    let n = DIMS.node_count();
-    let mut out: Vec<(NodeId, SimTime)> = Vec::with_capacity(count);
-    let mut k = 0u64;
-    while out.len() < count {
-        let h = mix(seed ^ mix(level as u64) ^ k);
-        k += 1;
-        let node = NodeId(1 + (h % (n as u64 - 1)) as u32);
-        if out.iter().any(|(v, _)| *v == node) {
-            continue;
-        }
-        // The fault-free collective drains in ~4 µs; keep deaths inside
-        // that window so they strike mid-collective, not post-mortem.
-        let at_ns = 200 + (h >> 32) % 3_500;
-        out.push((node, SimTime::from_ns(at_ns)));
-    }
-    out.sort_by_key(|(v, at)| (*at, v.index()));
-    out
-}
+use anton_scenario::{presets, ScenarioSpec, Workload};
 
 /// Bit-exact expected value: inputs summed over `origins` in ascending
 /// origin order, exactly as the root folds them.
-fn sum_over(inputs: &[Vec<f64>], origins: &[u32]) -> Vec<f64> {
-    let mut out = vec![0.0; VLEN];
+fn sum_over(inputs: &[Vec<f64>], vlen: usize, origins: &[u32]) -> Vec<f64> {
+    let mut out = vec![0.0; vlen];
     for &o in origins {
         for (s, x) in out.iter_mut().zip(&inputs[o as usize]) {
             *s += *x;
@@ -119,9 +56,18 @@ fn sum_over(inputs: &[Vec<f64>], origins: &[u32]) -> Vec<f64> {
 
 /// Assert every recovery invariant on one outcome. Returns the latency
 /// so callers can fold the degradation curve.
-fn check_invariants(out: &RecoveringOutcome, inputs: &[Vec<f64>], label: &str) -> f64 {
+fn check_invariants(
+    spec: &ScenarioSpec,
+    out: &RecoveringOutcome,
+    inputs: &[Vec<f64>],
+    label: &str,
+) -> f64 {
     assert!(out.completed, "{label}: simulation wedged");
-    let height = DIMS.node_count().ilog2();
+    let vlen = match &spec.workload {
+        Workload::Recovering { vlen, .. } => *vlen as usize,
+        _ => unreachable!("chaos cells are recovering specs"),
+    };
+    let height = spec.torus_dims().node_count().ilog2();
     let bound = RecoveringParams::default().completion_bound(height);
     assert!(
         out.latency <= bound,
@@ -129,7 +75,7 @@ fn check_invariants(out: &RecoveringOutcome, inputs: &[Vec<f64>], label: &str) -
         out.latency,
         bound
     );
-    let expect = sum_over(inputs, &out.contributors);
+    let expect = sum_over(inputs, vlen, &out.contributors);
     for (i, result) in out.results.iter().enumerate() {
         let died = out.deaths.iter().any(|(v, _)| v.index() == i);
         match result {
@@ -150,20 +96,27 @@ fn check_invariants(out: &RecoveringOutcome, inputs: &[Vec<f64>], label: &str) -
     out.latency.as_us_f64()
 }
 
-/// Run one campaign cell on every engine and assert bit-identity.
-fn run_cell(seed: u64, level: usize, extended: bool) -> RecoveringOutcome {
-    let spec = LEVELS[level];
-    let inputs = random_inputs(DIMS, VLEN, seed);
-    let deaths = death_schedule(seed, level, spec.deaths);
-    let fault = FaultPlan::seeded(seed).with_drop_rate(spec.drop_rate);
-    let recovery = RecoveryConfig::recovering(seed);
+/// Run one campaign cell on every engine and assert bit-identity. The
+/// cell's entire configuration — inputs seed, fault plan, death
+/// schedule, recovery config — is read off its scenario spec.
+fn run_cell(seed: u64, level: usize, extended: bool) -> (ScenarioSpec, RecoveringOutcome) {
+    let spec = presets::chaos_cell(seed, level as u32);
+    let dims = spec.torus_dims();
+    let (vlen, in_seed) = match &spec.workload {
+        Workload::Recovering { vlen, seed, .. } => (*vlen as usize, *seed),
+        _ => unreachable!("chaos cells are recovering specs"),
+    };
+    let inputs = random_inputs(dims, vlen, in_seed);
+    let deaths = spec.deaths();
+    let fault = spec.fault_plan();
+    let recovery = spec.recovery_config();
     let params = RecoveringParams::default();
     let label = format!("L{level}/seed{seed}");
 
-    let seq = run_all_reduce_recovering(DIMS, &inputs, fault.clone(), &deaths, recovery, params);
-    check_invariants(&seq, &inputs, &label);
+    let seq = run_all_reduce_recovering(dims, &inputs, fault.clone(), &deaths, recovery, params);
+    check_invariants(&spec, &seq, &inputs, &label);
 
-    let replay = run_all_reduce_recovering(DIMS, &inputs, fault.clone(), &deaths, recovery, params);
+    let replay = run_all_reduce_recovering(dims, &inputs, fault.clone(), &deaths, recovery, params);
     assert_eq!(
         seq.fingerprint(),
         replay.fingerprint(),
@@ -171,7 +124,7 @@ fn run_cell(seed: u64, level: usize, extended: bool) -> RecoveringOutcome {
     );
 
     let par =
-        run_all_reduce_recovering_par(DIMS, &inputs, fault.clone(), &deaths, recovery, params, 2);
+        run_all_reduce_recovering_par(dims, &inputs, fault.clone(), &deaths, recovery, params, 2);
     assert_eq!(
         seq.fingerprint(),
         par.fingerprint(),
@@ -180,14 +133,14 @@ fn run_cell(seed: u64, level: usize, extended: bool) -> RecoveringOutcome {
 
     if extended {
         let par4 =
-            run_all_reduce_recovering_par(DIMS, &inputs, fault, &deaths, recovery, params, 4);
+            run_all_reduce_recovering_par(dims, &inputs, fault, &deaths, recovery, params, 4);
         assert_eq!(
             seq.fingerprint(),
             par4.fingerprint(),
             "{label}: 4-thread run diverged"
         );
     }
-    seq
+    (spec, seq)
 }
 
 fn main() {
@@ -199,12 +152,13 @@ fn main() {
     if smoke {
         // The fast gate: 3 seeds × 2 fault levels (the quiet baseline
         // and the hottest enabled level), every invariant asserted.
-        let hot = max_level.min(LEVELS.len() - 1);
+        let hot = max_level.min(presets::CHAOS_LEVEL_COUNT as usize - 1);
         for level in [0, hot] {
             for seed in base_seed..base_seed + 3 {
-                let out = run_cell(seed, level, false);
+                let (spec, out) = run_cell(seed, level, false);
                 println!(
-                    "chaos smoke L{level}/seed{seed}: latency {:.2} us, {} verdicts, ok",
+                    "chaos smoke L{level}/seed{seed} ({}): latency {:.2} us, {} verdicts, ok",
+                    spec.hash_hex(),
                     out.latency.as_us_f64(),
                     out.verdicts
                 );
@@ -216,17 +170,26 @@ fn main() {
 
     let mut report = BenchReport::new("pr6 chaos campaign degradation curve");
     let seeds_per_level = 3u64;
-    for (level, spec) in LEVELS.iter().enumerate().take(max_level + 1) {
+    for (level, drop_rate) in presets::CHAOS_DROP_RATES
+        .iter()
+        .enumerate()
+        .take(max_level + 1)
+    {
         let mut latency_us = 0.0;
         let mut reinjections = 0u64;
         let mut verdicts = 0u64;
         let mut suppressed = 0u64;
         let mut unrecovered = 0u64;
         for seed in base_seed..base_seed + seeds_per_level {
-            let out = run_cell(seed, level, extended);
+            let (spec, out) = run_cell(seed, level, extended);
+            let (vlen, in_seed) = match &spec.workload {
+                Workload::Recovering { vlen, seed, .. } => (*vlen as usize, *seed),
+                _ => unreachable!(),
+            };
             latency_us += check_invariants(
+                &spec,
                 &out,
-                &random_inputs(DIMS, VLEN, seed),
+                &random_inputs(spec.torus_dims(), vlen, in_seed),
                 &format!("L{level}/seed{seed}"),
             );
             reinjections += out.recovery.reinjections;
@@ -238,7 +201,9 @@ fn main() {
         println!(
             "chaos L{level} (drop {:.0e}, {} deaths): mean latency {:.2} us, \
              {reinjections} reinjections, {verdicts} verdicts",
-            spec.drop_rate, spec.deaths, mean_us
+            drop_rate,
+            presets::CHAOS_DEATHS[level],
+            mean_us
         );
         report.set(&format!("l{level}_latency_us_mean"), mean_us);
         report.set(&format!("l{level}_reinjections"), reinjections as f64);
@@ -267,7 +232,9 @@ fn main() {
 
     // Only the default seed block regenerates the committed baseline;
     // a shifted ANTON_CHAOS_SEED run is exploratory.
-    if base_seed == anton_net::CHAOS_SEED_DEFAULT && max_level == LEVELS.len() - 1 {
+    if base_seed == anton_net::CHAOS_SEED_DEFAULT
+        && max_level == presets::CHAOS_LEVEL_COUNT as usize - 1
+    {
         std::fs::write("BENCH_pr6.json", report.to_json()).expect("write BENCH_pr6.json");
         println!("chaos_campaign: wrote BENCH_pr6.json");
     } else {

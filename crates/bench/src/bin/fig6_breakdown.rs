@@ -3,21 +3,42 @@
 //! packet lifecycles captured by the flight recorder, then cross-checked
 //! against the closed-form timing model.
 
-use anton_bench::one_way_latency_recorded;
+use anton_bench::microbench::one_way_latency_timed;
 use anton_bench::report::section;
-use anton_net::Timing;
 use anton_obs::{fold_lifecycles, BreakdownSummary, Stage};
-use anton_topo::{Coord, TorusDims};
+use anton_scenario::{presets, Workload};
+use anton_topo::Coord;
 
 fn main() {
-    let t = Timing::default();
+    // The workload is the committed `fig6_pingpong` scenario: a
+    // single-hop (+X) 0-byte unidirectional counted remote write on the
+    // 512-node machine, so this figure's provenance is its spec hash.
+    let spec = presets::fig6_pingpong();
+    let t = spec.timing_table();
     section("Figure 6: single-hop (X) counted remote write latency breakdown");
+    println!("(spec {} = {})", spec.name, spec.hash_hex());
 
     // Record a unidirectional single-hop ping-pong; every one-way
     // transfer is one packet lifecycle in the recorder.
-    let dims = TorusDims::anton_512();
-    let (measured, rec) =
-        one_way_latency_recorded(dims, Coord::new(0, 0, 0), Coord::new(1, 0, 0), 0, false, 8);
+    let Workload::PingPong {
+        from,
+        to,
+        payload_bytes,
+        bidirectional,
+        reps,
+    } = spec.workload
+    else {
+        unreachable!("fig6_pingpong is a ping-pong spec");
+    };
+    let (measured, rec) = one_way_latency_timed(
+        spec.torus_dims(),
+        Coord::new(from.0, from.1, from.2),
+        Coord::new(to.0, to.1, to.2),
+        payload_bytes,
+        bidirectional,
+        reps,
+        t.clone(),
+    );
     let rec = rec.borrow();
     let (lifecycles, fold) = fold_lifecycles(rec.events());
     let summary = BreakdownSummary::from_lifecycles(&lifecycles);

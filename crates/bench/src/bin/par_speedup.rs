@@ -1,6 +1,12 @@
 //! Wall-clock speedup of the sharded parallel DES engine, plus the
 //! adaptive-vs-global lookahead comparison.
 //!
+//! Every workload constant here comes from the committed scenario
+//! presets (`anton_scenario::presets`), so the runs this binary gates
+//! are the same content-addressed specs the run ledger records:
+//! `allreduce_888` + `md_balanced` for the PR-4 speedup table, and the
+//! `md_balanced`/`md_skewed` pair for the PR-9 lookahead A/B.
+//!
 //! Part one runs the PR-4 acceptance workload — an 8×8×8
 //! dimension-ordered all-reduce batch plus an MD neighbor-exchange
 //! skeleton — at 1, 2, and 8 worker threads, asserts the simulated
@@ -22,42 +28,15 @@
 //! actually has ≥8 cores; otherwise it downgrades to a warning so CI
 //! containers with small CPU quotas don't flake.
 
-use anton_collectives::{random_inputs, run_all_reduce_par, Algorithm, AllReduceOutcome};
+use anton_bench::scenario::md_fingerprint;
+use anton_collectives::{random_inputs, run_all_reduce_par, AllReduceOutcome};
 use anton_core::{
     run_md_exchange, run_md_exchange_par, run_md_exchange_par_mode_profiled, MdExchangeOutcome,
-    MdExchangeParams,
 };
 use anton_des::{LookaheadMode, ParProfile};
 use anton_obs::{BenchReport, Fingerprint, RuntimeSummary};
-use anton_topo::TorusDims;
+use anton_scenario::{presets, ScenarioSpec, Workload};
 use std::time::Instant;
-
-const ALLREDUCE_REPS: u32 = 6;
-const MD_STEPS: u32 = 30;
-
-fn dims() -> TorusDims {
-    TorusDims::new(8, 8, 8)
-}
-
-fn md_params() -> MdExchangeParams {
-    MdExchangeParams {
-        steps: MD_STEPS,
-        ..Default::default()
-    }
-}
-
-/// The spatially imbalanced variant: per-slab compute skew staggers the
-/// shard event streams — the regime where adaptive per-pair windows beat
-/// the uniform bound (the balanced 8×8×8 exchange is perfectly
-/// symmetric, so every shard head coincides and the two modes provably
-/// tie there).
-fn md_skew_params() -> MdExchangeParams {
-    MdExchangeParams {
-        steps: MD_STEPS,
-        compute_skew_ns: 40.0,
-        ..Default::default()
-    }
-}
 
 struct RunResult {
     wall_s: f64,
@@ -66,20 +45,34 @@ struct RunResult {
     md: MdExchangeOutcome,
 }
 
-fn run_workload(threads: usize) -> RunResult {
-    let inputs = random_inputs(dims(), 4, 42);
+/// The PR-4 workload, wired straight off the committed specs.
+fn run_workload(threads: usize, ar: &ScenarioSpec, md_spec: &ScenarioSpec) -> RunResult {
+    let Workload::AllReduce {
+        algorithm,
+        vlen,
+        seed,
+        reps,
+    } = &ar.workload
+    else {
+        unreachable!("allreduce_888 is an all-reduce spec");
+    };
+    let inputs = random_inputs(ar.torus_dims(), *vlen as usize, *seed);
     let start = Instant::now();
     let mut allreduce = None;
-    for _ in 0..ALLREDUCE_REPS {
+    for _ in 0..*reps {
         allreduce = Some(run_all_reduce_par(
-            dims(),
-            Algorithm::DimensionOrdered,
+            ar.torus_dims(),
+            algorithm.algorithm(),
             Default::default(),
             &inputs,
             threads,
         ));
     }
-    let md = run_md_exchange_par(dims(), md_params(), threads);
+    let md = run_md_exchange_par(
+        md_spec.torus_dims(),
+        md_spec.md_params().expect("md spec"),
+        threads,
+    );
     let wall_s = start.elapsed().as_secs_f64();
     let allreduce = allreduce.expect("at least one rep");
 
@@ -100,23 +93,6 @@ fn run_workload(threads: usize) -> RunResult {
     }
 }
 
-/// Fingerprint of the simulated observables shared by the sequential
-/// and sharded executors. Total event counts are excluded — the sharded
-/// engine seeds one `Start` per shard where the sequential engine seeds
-/// one total, a bookkeeping (not simulation) difference; sharded runs
-/// are additionally held to full stats+events identity among themselves.
-fn md_fingerprint(md: &MdExchangeOutcome) -> String {
-    let mut fp = Fingerprint::new();
-    fp.update(&md.makespan);
-    fp.update(&md.checksums);
-    fp.update(&md.stats.packets_sent);
-    fp.update(&md.stats.packets_delivered);
-    fp.update(&md.stats.link_traversals);
-    fp.update(&md.stats.sent_by_node);
-    fp.update(&md.stats.delivered_by_node);
-    fp.hex()
-}
-
 struct ModeRun {
     threads: usize,
     mode: LookaheadMode,
@@ -128,16 +104,23 @@ struct ModeRun {
 
 /// The PR-9 A/B: MD exchange under global vs adaptive windows at every
 /// thread count, checked against the sequential engine's fingerprint.
+/// The workload is `spec` (one of the committed MD presets), so the
+/// sequential fingerprint printed here is exactly what `scenario run`
+/// ledgers for that spec hash.
 fn run_mode_comparison(
     cores: usize,
     label: &str,
-    params: MdExchangeParams,
+    spec: &ScenarioSpec,
 ) -> (Vec<ModeRun>, ParProfile, ParProfile) {
-    let seq = run_md_exchange(dims(), params);
+    let dims = spec.torus_dims();
+    let params = spec.md_params().expect("md spec");
+    let seq = run_md_exchange(dims, params);
     let seq_fp = md_fingerprint(&seq);
     println!(
-        "\npar_speedup: adaptive vs global lookahead, {MD_STEPS}-step {label} MD exchange \
-         (sequential fingerprint {seq_fp})"
+        "\npar_speedup: adaptive vs global lookahead, {}-step {label} MD exchange \
+         (spec {}, sequential fingerprint {seq_fp})",
+        params.steps,
+        spec.hash_hex()
     );
     println!(
         "{:>8} {:>9} {:>10} {:>9} {:>11} {:>10}",
@@ -148,7 +131,7 @@ fn run_mode_comparison(
     for &threads in &[1usize, 2, 4, 8] {
         for mode in [LookaheadMode::Global, LookaheadMode::Adaptive] {
             let start = Instant::now();
-            let (out, profile) = run_md_exchange_par_mode_profiled(dims(), params, threads, mode);
+            let (out, profile) = run_md_exchange_par_mode_profiled(dims, params, threads, mode);
             let wall_s = start.elapsed().as_secs_f64();
             assert_eq!(
                 md_fingerprint(&out),
@@ -271,9 +254,15 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let ar_spec = presets::allreduce_888();
+    let md_spec = presets::md_balanced();
+    let md_skew_spec = presets::md_skewed();
     println!(
-        "par_speedup: 8x8x8 all-reduce x{ALLREDUCE_REPS} + {MD_STEPS}-step MD exchange \
-         ({cores} host cores)"
+        "par_speedup: specs {} ({}) + {} ({}), {cores} host cores",
+        ar_spec.name,
+        ar_spec.hash_hex(),
+        md_spec.name,
+        md_spec.hash_hex()
     );
     println!(
         "{:>8} {:>10} {:>9}  fingerprint",
@@ -282,7 +271,7 @@ fn main() {
 
     let mut results = Vec::new();
     for &threads in &[1usize, 2, 8] {
-        let r = run_workload(threads);
+        let r = run_workload(threads, &ar_spec, &md_spec);
         let speedup = results
             .first()
             .map(|(_, base): &(usize, RunResult)| base.wall_s / r.wall_s)
@@ -338,8 +327,8 @@ fn main() {
     // On the balanced workload the two modes provably tie (symmetric
     // shard heads); on the skewed workload adaptive must strictly win
     // the deterministic window count — both facts are committed.
-    let (runs, pg, pa) = run_mode_comparison(cores, "balanced", md_params());
-    let (skew_runs, spg, spa) = run_mode_comparison(cores, "skewed", md_skew_params());
+    let (runs, pg, pa) = run_mode_comparison(cores, "balanced", &md_spec);
+    let (skew_runs, spg, spa) = run_mode_comparison(cores, "skewed", &md_skew_spec);
     assert!(
         spa.windows < spg.windows,
         "adaptive windows must strictly beat global on the skewed workload \

@@ -34,7 +34,7 @@
 
 use anton_core::{
     run_md_exchange, run_md_exchange_recorded, run_md_exchange_streamed,
-    run_md_exchange_streamed_par, MdExchangeOutcome, MdExchangeParams,
+    run_md_exchange_streamed_par, MdExchangeOutcome,
 };
 use anton_obs::stream::log2_bucket;
 use anton_obs::{
@@ -42,7 +42,7 @@ use anton_obs::{
     CongestionMap, Direction, LifecycleCsvWriter, MemReport, MetricsRegistry, MetricsSnapshot,
     PacketLifecycle, StreamConfig, StreamSummary,
 };
-use anton_topo::TorusDims;
+use anton_scenario::{presets, ScenarioSpec};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -55,28 +55,26 @@ const APPROX_BUDGET_BYTES_PER_NODE: u64 = 4 * 1024;
 /// Real-allocation budget for the Obs tag, bytes per node (only
 /// checked when the instrumented allocator is installed).
 const ALLOC_BUDGET_BYTES_PER_NODE: i64 = 16 * 1024;
-/// Steps for every workload; enough that per-stage quantiles settle.
-const STEPS: u32 = 4;
 
-fn params() -> MdExchangeParams {
-    MdExchangeParams {
-        steps: STEPS,
-        ..Default::default()
-    }
-}
-
-/// One scale probe: run streamed, check budgets, return the sections.
-fn scale_run(label: &str, dims: TorusDims) -> (MdExchangeOutcome, StreamSummary, MetricsSnapshot) {
+/// One scale probe: run the spec's MD exchange streamed, check
+/// budgets, return the sections. The spec is one of the committed
+/// `scale_md_*` scenarios, so its hash names this exact probe.
+fn scale_run(
+    label: &str,
+    spec: &ScenarioSpec,
+) -> (MdExchangeOutcome, StreamSummary, MetricsSnapshot) {
+    let dims = spec.torus_dims();
+    let params = spec.md_params().expect("scale presets are MD specs");
     let nodes = dims.node_count() as u64;
     anton_obs::memory::reset_peaks();
-    let (out, summary, footprint) =
-        run_md_exchange_streamed(dims, params(), StreamConfig::default());
+    let (out, summary, footprint) = run_md_exchange_streamed(dims, params, StreamConfig::default());
     let mem = MemReport::capture();
 
     let per_node = footprint.peak_bytes / nodes;
     println!(
-        "[{label}] {nodes} nodes: makespan {:.1} ns, {} events, \
+        "[{label}] spec {} — {nodes} nodes: makespan {:.1} ns, {} events, \
          obs peak {} B ({} B/node, budget {} B/node), {} peak partials",
+        spec.hash_hex(),
         out.makespan.as_ns_f64(),
         out.events,
         footprint.peak_bytes,
@@ -89,7 +87,7 @@ fn scale_run(label: &str, dims: TorusDims) -> (MdExchangeOutcome, StreamSummary,
         "[{label}] observer heap {per_node} B/node exceeds the \
          {APPROX_BUDGET_BYTES_PER_NODE} B/node budget"
     );
-    let expected = nodes * 6 * STEPS as u64;
+    let expected = nodes * 6 * u64::from(params.steps);
     assert_eq!(
         summary.fold.complete, expected,
         "[{label}] every packet folds"
@@ -116,7 +114,7 @@ fn scale_run(label: &str, dims: TorusDims) -> (MdExchangeOutcome, StreamSummary,
     footprint.record_metrics(&mut reg, nodes);
     mem.record_metrics(&mut reg, nodes, out.events);
     reg.set_gauge("scale.nodes", nodes as f64);
-    reg.set_gauge("scale.steps", STEPS as f64);
+    reg.set_gauge("scale.steps", f64::from(params.steps));
     reg.set_gauge("scale.events", out.events as f64);
     reg.set_gauge("scale.makespan_ns", out.makespan.as_ns_f64());
     (out, summary, reg.snapshot())
@@ -124,12 +122,14 @@ fn scale_run(label: &str, dims: TorusDims) -> (MdExchangeOutcome, StreamSummary,
 
 /// Phase 1: the streamed fold against ground truth on the paper machine.
 fn reference_checks(report: &mut BenchReport) -> (StreamSummary, MetricsSnapshot) {
-    let dims = TorusDims::new(8, 8, 8);
+    let spec = presets::scale_md(8);
+    let dims = spec.torus_dims();
+    let params = spec.md_params().expect("scale presets are MD specs");
     let nodes = dims.node_count() as u64;
-    let plain = run_md_exchange(dims, params());
-    let (rec_out, events) = run_md_exchange_recorded(dims, params());
+    let plain = run_md_exchange(dims, params);
+    let (rec_out, events) = run_md_exchange_recorded(dims, params);
     let (str_out, summary, footprint) =
-        run_md_exchange_streamed(dims, params(), StreamConfig::default());
+        run_md_exchange_streamed(dims, params, StreamConfig::default());
 
     // Zero observer effect: recording modes never move the simulation.
     for (mode, out) in [("flight", &rec_out), ("stream", &str_out)] {
@@ -177,7 +177,7 @@ fn reference_checks(report: &mut BenchReport) -> (StreamSummary, MetricsSnapshot
     // Shard-merged summaries are bit-identical to the sequential one.
     for threads in [2, 4] {
         let (_, par_summary) =
-            run_md_exchange_streamed_par(dims, params(), threads, StreamConfig::default());
+            run_md_exchange_streamed_par(dims, params, threads, StreamConfig::default());
         assert_eq!(
             par_summary, summary,
             "{threads}-thread merge is bit-identical"
@@ -301,7 +301,7 @@ fn main() -> ExitCode {
 
     // 16³ always runs, so the committed bench metrics are identical in
     // quick and full modes.
-    let (out16, _, snap16) = scale_run("scale 16^3", TorusDims::new(16, 16, 16));
+    let (out16, _, snap16) = scale_run("scale 16^3", &presets::scale_md(16));
     report.set("scale16_events", out16.events as f64);
     report.set_directed(
         "scale16_makespan_ns",
@@ -321,7 +321,7 @@ fn main() -> ExitCode {
     sections.push(("scale_4096".to_owned(), snap16));
 
     if !quick {
-        let (_, _, snap24) = scale_run("scale 24^3", TorusDims::new(24, 24, 24));
+        let (_, _, snap24) = scale_run("scale 24^3", &presets::scale_md(24));
         sections.push(("scale_13824".to_owned(), snap24));
     }
 

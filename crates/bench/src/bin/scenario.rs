@@ -1,0 +1,463 @@
+//! The scenario provenance CLI: run declarative specs, address the
+//! results by content hash, and replay any committed experiment
+//! bit-exactly from its hash.
+//!
+//! ```text
+//! scenario run    <spec.toml | preset> [--threads N] [--ledger DIR]
+//!                 [--index PATH] [--note TEXT]
+//! scenario list   [--ledger DIR] [--index PATH]
+//! scenario show   <hash | name> [--ledger DIR] [--index PATH]
+//! scenario diff   <hash | name> <hash | name> [--ledger DIR] [--index PATH]
+//!                 [--threshold PCT]
+//! scenario verify <hash | name> | --all [--ledger DIR] [--index PATH]
+//! scenario presets
+//! ```
+//!
+//! `run` executes the spec at 1 and 4 worker threads (plus the spec's
+//! own thread budget), refuses to proceed unless every fingerprint
+//! matches, then writes the content-addressed [`RunRecord`] into the
+//! ledger directory (default `target/obs/ledger/`) and, with
+//! `--index`, upserts the committed `LEDGER.json` entry. `verify`
+//! replays a spec from the committed index (or the stored record) and
+//! exits non-zero unless both the recomputed spec hash and the
+//! re-measured fingerprints are bit-identical to what was recorded.
+//! `diff` reuses the observatory's component-level triage, so a
+//! cross-run comparison names the shifted component, not just the
+//! moved number.
+
+use anton_bench::scenario::run_scenario;
+use anton_obs::DiffConfig;
+use anton_scenario::{presets, LedgerEntry, LedgerIndex, RunRecord, ScenarioSpec};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: scenario run    <spec.toml | preset> [--threads N] [--ledger DIR]\n\
+       \x20                     [--index PATH] [--note TEXT]\n\
+       \x20      scenario list   [--ledger DIR] [--index PATH]\n\
+       \x20      scenario show   <hash | name> [--ledger DIR] [--index PATH]\n\
+       \x20      scenario diff   <A> <B> [--ledger DIR] [--index PATH] [--threshold PCT]\n\
+       \x20      scenario verify <hash | name> | --all [--ledger DIR] [--index PATH]\n\
+       \x20      scenario presets [--export DIR]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    command: String,
+    operands: Vec<String>,
+    threads: Option<usize>,
+    ledger: PathBuf,
+    index: Option<PathBuf>,
+    note: String,
+    threshold: f64,
+    all: bool,
+    export: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().cloned() else {
+        return Err(usage());
+    };
+    let mut args = Args {
+        command,
+        operands: Vec::new(),
+        threads: None,
+        ledger: PathBuf::from("target/obs/ledger"),
+        index: None,
+        note: String::new(),
+        threshold: 10.0,
+        all: false,
+        export: None,
+    };
+    let mut it = argv.iter().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| -> Result<String, ExitCode> {
+            it.next().cloned().ok_or_else(|| {
+                eprintln!("scenario: {flag} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--threads" => {
+                args.threads = Some(next("--threads")?.parse().map_err(|_| usage())?);
+            }
+            "--ledger" => args.ledger = PathBuf::from(next("--ledger")?),
+            "--index" => args.index = Some(PathBuf::from(next("--index")?)),
+            "--note" => args.note = next("--note")?,
+            "--threshold" => {
+                args.threshold = next("--threshold")?.parse().map_err(|_| usage())?;
+            }
+            "--all" => args.all = true,
+            "--export" => args.export = Some(PathBuf::from(next("--export")?)),
+            other if other.starts_with("--") => {
+                eprintln!("scenario: unknown flag {other:?}");
+                return Err(usage());
+            }
+            operand => args.operands.push(operand.to_owned()),
+        }
+    }
+    Ok(args)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("scenario: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Resolve a `run` operand: an existing file parses as a spec; anything
+/// else must name a preset.
+fn load_spec(operand: &str) -> Result<(ScenarioSpec, String), ExitCode> {
+    let path = Path::new(operand);
+    if path.is_file() {
+        let text = std::fs::read_to_string(path).map_err(|e| fail(format!("{operand}: {e}")))?;
+        let spec =
+            ScenarioSpec::from_toml_str(&text).map_err(|e| fail(format!("{operand}: {e}")))?;
+        return Ok((spec, operand.to_owned()));
+    }
+    if let Some(spec) = presets::all().into_iter().find(|s| s.name == operand) {
+        let source = format!("preset:{operand}");
+        return Ok((spec, source));
+    }
+    Err(fail(format!(
+        "{operand:?} is neither a spec file nor a preset (presets: {})",
+        presets::all()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )))
+}
+
+/// Execute a spec at the determinism-probe thread counts (1, 4, and the
+/// spec's own budget), asserting fingerprint identity, and return the
+/// fingerprint map plus the observatory report from the spec-budget run.
+fn probe(
+    spec: &ScenarioSpec,
+    extra: Option<usize>,
+) -> Result<(BTreeMap<String, String>, anton_obs::ObservatoryReport), ExitCode> {
+    let mut counts = vec![1usize, 4, spec.threads as usize];
+    if let Some(t) = extra {
+        counts.push(t);
+    }
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut fingerprints = BTreeMap::new();
+    let mut observatory = None;
+    for &t in &counts {
+        let out = run_scenario(spec, t);
+        fingerprints.insert(format!("t{t}"), out.fingerprint);
+        // Keep the spec-thread-count run's report (falling back to the
+        // first run when the spec count never comes up in `counts`).
+        if t == spec.threads as usize || observatory.is_none() {
+            observatory = Some(out.observatory);
+        }
+    }
+    let first = fingerprints.values().next().cloned().unwrap_or_default();
+    for (k, v) in &fingerprints {
+        if *v != first {
+            return Err(fail(format!(
+                "{}: fingerprint diverged across thread counts ({k} {v} vs {first}) — \
+                 the engine's bit-determinism contract is broken",
+                spec.name
+            )));
+        }
+    }
+    Ok((fingerprints, observatory.expect("at least one run")))
+}
+
+/// Load a stored record by hash/name/prefix, via the index when given.
+fn resolve_record(
+    key: &str,
+    ledger: &Path,
+    index: Option<&LedgerIndex>,
+) -> Result<RunRecord, ExitCode> {
+    let hash = index
+        .and_then(|idx| idx.resolve(key))
+        .map(|e| e.hash.clone())
+        .unwrap_or_else(|| key.to_owned());
+    RunRecord::load(ledger, &hash).map_err(|e| {
+        let hint = match index {
+            Some(idx) if !idx.entries.is_empty() => {
+                format!(" (index names: {})", idx.names().join(", "))
+            }
+            _ => String::new(),
+        };
+        fail(format!("{key}: {e}{hint}"))
+    })
+}
+
+fn load_index(args: &Args) -> Result<Option<LedgerIndex>, ExitCode> {
+    match &args.index {
+        None => Ok(None),
+        Some(path) => LedgerIndex::load(path)
+            .map(Some)
+            .map_err(|e| fail(format!("{}: {e}", path.display()))),
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<ExitCode, ExitCode> {
+    let [operand] = args.operands.as_slice() else {
+        return Err(usage());
+    };
+    let (spec, source) = load_spec(operand)?;
+    let hash = spec.hash_hex();
+    println!("scenario: {} = {hash} (from {source})", spec.name);
+
+    let (fingerprints, observatory) = probe(&spec, args.threads)?;
+    let fingerprint = fingerprints.values().next().cloned().unwrap_or_default();
+    for (k, v) in &fingerprints {
+        println!("scenario:   {k}: {v}");
+    }
+
+    let record = RunRecord::new(&spec, fingerprints, observatory);
+    let path = record
+        .store(&args.ledger)
+        .map_err(|e| fail(format!("store record: {e}")))?;
+    println!("scenario: recorded {}", path.display());
+
+    if let Some(index_path) = &args.index {
+        let mut idx = LedgerIndex::load(index_path)
+            .map_err(|e| fail(format!("{}: {e}", index_path.display())))?;
+        idx.upsert(LedgerEntry {
+            hash: hash.clone(),
+            name: spec.name.clone(),
+            spec_path: source,
+            fingerprint,
+            note: args.note.clone(),
+        });
+        idx.save(index_path)
+            .map_err(|e| fail(format!("{}: {e}", index_path.display())))?;
+        println!("scenario: indexed in {}", index_path.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_list(args: &Args) -> Result<ExitCode, ExitCode> {
+    let index = load_index(args)?;
+    if let Some(idx) = &index {
+        println!("committed index:");
+        for e in &idx.entries {
+            println!(
+                "  {}  {:24}  {}  {}",
+                e.hash, e.name, e.fingerprint, e.spec_path
+            );
+        }
+    }
+    let mut hashes: Vec<String> = match std::fs::read_dir(&args.ledger) {
+        Err(_) => Vec::new(),
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                e.file_name()
+                    .to_str()
+                    .and_then(|n| n.strip_suffix(".json"))
+                    .map(str::to_owned)
+            })
+            .collect(),
+    };
+    hashes.sort_unstable();
+    println!(
+        "ledger {} ({} records):",
+        args.ledger.display(),
+        hashes.len()
+    );
+    for h in &hashes {
+        match RunRecord::load(&args.ledger, h) {
+            Ok(rec) => println!(
+                "  {h}  {:24}  {}",
+                rec.spec_name,
+                rec.fingerprints
+                    .values()
+                    .next()
+                    .map(String::as_str)
+                    .unwrap_or("-")
+            ),
+            Err(e) => println!("  {h}  <unreadable: {e}>"),
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_show(args: &Args) -> Result<ExitCode, ExitCode> {
+    let [key] = args.operands.as_slice() else {
+        return Err(usage());
+    };
+    let index = load_index(args)?;
+    let rec = resolve_record(key, &args.ledger, index.as_ref())?;
+    println!("spec {} ({})", rec.spec_name, rec.spec_hash);
+    println!("toolchain: {}", rec.toolchain);
+    for (k, v) in &rec.fingerprints {
+        println!("fingerprint {k}: {v}");
+    }
+    for (k, v) in &rec.env {
+        println!("env {k}={v}");
+    }
+    println!("--- spec ---\n{}", rec.spec_toml);
+    println!("--- observatory ---\n{}", rec.observatory.to_json());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: &Args) -> Result<ExitCode, ExitCode> {
+    let [a, b] = args.operands.as_slice() else {
+        return Err(usage());
+    };
+    let index = load_index(args)?;
+    let base = resolve_record(a, &args.ledger, index.as_ref())?;
+    let cur = resolve_record(b, &args.ledger, index.as_ref())?;
+    let mut baseline = base.observatory.clone();
+    baseline.label = format!("{} ({})", base.spec_name, base.spec_hash);
+    let config = DiffConfig {
+        metric_threshold_pct: args.threshold,
+        share_threshold_pt: 2.0,
+        value_threshold_pct: args.threshold,
+    };
+    let diff = cur.observatory.diff(&baseline, config).map_err(fail)?;
+    print!("{}", diff.triage());
+    if diff.has_regressions() {
+        println!(
+            "scenario: {} component shift(s) from {} to {}",
+            diff.regression_count(),
+            base.spec_hash,
+            cur.spec_hash
+        );
+    } else {
+        println!("scenario: no component shifts past thresholds");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Replay one committed entry and check hash + fingerprint identity.
+fn verify_entry(key: &str, ledger: &Path, index: Option<&LedgerIndex>) -> Result<(), String> {
+    // Prefer the committed spec file; fall back to the stored record's
+    // embedded canonical spec.
+    let entry = index.and_then(|idx| idx.resolve(key));
+    let (spec_text, expect_hash, expect_fp, origin) = match entry {
+        Some(e) => {
+            let text = std::fs::read_to_string(&e.spec_path)
+                .map_err(|err| format!("{}: {err}", e.spec_path))?;
+            (
+                text,
+                e.hash.clone(),
+                e.fingerprint.clone(),
+                e.spec_path.clone(),
+            )
+        }
+        None => {
+            let rec = RunRecord::load(ledger, key)?;
+            let fp = rec
+                .fingerprints
+                .values()
+                .next()
+                .cloned()
+                .ok_or("record has no fingerprints")?;
+            (
+                rec.spec_toml,
+                rec.spec_hash.clone(),
+                fp,
+                format!("ledger record {}", rec.spec_hash),
+            )
+        }
+    };
+    let spec = ScenarioSpec::from_toml_str(&spec_text).map_err(|e| format!("{origin}: {e}"))?;
+    if spec.hash_hex() != expect_hash {
+        return Err(format!(
+            "{origin}: spec hashes to {} but the ledger says {expect_hash} — \
+             the spec file changed without re-running `scenario run`",
+            spec.hash_hex()
+        ));
+    }
+    for threads in [1usize, 4] {
+        let out = run_scenario(&spec, threads);
+        if out.fingerprint != expect_fp {
+            return Err(format!(
+                "{}: fingerprint {} at {threads} thread(s), ledger says {expect_fp} — \
+                 the engine no longer reproduces this run",
+                spec.name, out.fingerprint
+            ));
+        }
+    }
+    println!(
+        "scenario: verified {} ({expect_hash}) -> {expect_fp} at 1 and 4 threads",
+        spec.name
+    );
+    Ok(())
+}
+
+fn cmd_verify(args: &Args) -> Result<ExitCode, ExitCode> {
+    let index = load_index(args)?;
+    let keys: Vec<String> = if args.all {
+        let Some(idx) = &index else {
+            return Err(fail("verify --all needs --index PATH"));
+        };
+        idx.entries.iter().map(|e| e.hash.clone()).collect()
+    } else {
+        match args.operands.as_slice() {
+            [key] => vec![key.clone()],
+            _ => return Err(usage()),
+        }
+    };
+    if keys.is_empty() {
+        return Err(fail("verify --all: the index has no entries"));
+    }
+    let mut failures = 0usize;
+    for key in &keys {
+        if let Err(e) = verify_entry(key, &args.ledger, index.as_ref()) {
+            eprintln!("scenario: FAIL {key}: {e}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        Err(fail(format!(
+            "{failures}/{} verification(s) failed",
+            keys.len()
+        )))
+    } else {
+        println!("scenario: {} verification(s) passed", keys.len());
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn cmd_presets(args: &Args) -> Result<ExitCode, ExitCode> {
+    println!("{:16}  {:24}  workload", "hash", "name");
+    for spec in presets::all() {
+        println!(
+            "{}  {:24}  {}",
+            spec.hash_hex(),
+            spec.name,
+            spec.workload.kind()
+        );
+        if let Some(dir) = &args.export {
+            std::fs::create_dir_all(dir).map_err(|e| fail(format!("{}: {e}", dir.display())))?;
+            let path = dir.join(format!("{}.toml", spec.name));
+            std::fs::write(&path, spec.to_toml())
+                .map_err(|e| fail(format!("{}: {e}", path.display())))?;
+            println!("{:18}exported {}", "", path.display());
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let result = match args.command.as_str() {
+        "run" => cmd_run(&args),
+        "list" => cmd_list(&args),
+        "show" => cmd_show(&args),
+        "diff" => cmd_diff(&args),
+        "verify" => cmd_verify(&args),
+        "presets" => cmd_presets(&args),
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(code) => code,
+    }
+}

@@ -11,6 +11,7 @@
 pub mod microbench;
 pub mod observatory;
 pub mod report;
+pub mod scenario;
 pub mod suite;
 
 pub use microbench::{

@@ -26,22 +26,23 @@
 //! marked informational accordingly.
 
 use anton_collectives::{random_inputs, run_all_reduce_recovering, RecoveringParams};
-use anton_core::{run_md_exchange_par_profiled, MdExchangeParams};
+use anton_core::run_md_exchange_par_profiled;
 use anton_des::{SimDuration, SimTime};
 use anton_net::{
     ClientAddr, ClientKind, Ctx, Fabric, FaultPlan, NodeProgram, Packet, Payload, ProgEvent,
-    RecoveryConfig, Simulation, Timing,
+    Simulation, Timing,
 };
 use anton_obs::runtime::{RuntimeSummary, SpeedupAttribution};
 use anton_obs::{
     retime_blamed, CausalGraph, CongestionMap, FlightRecorder, ObservatoryReport, Perturbation,
     Section, SEC_ATTRIBUTION, SEC_BLAME, SEC_CONGESTION, SEC_RECOVERY,
 };
+use anton_scenario::{presets, Workload};
 use anton_topo::{Coord, NodeId, TorusDims};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use crate::microbench::one_way_latency_recorded;
+use crate::microbench::one_way_latency_timed;
 use crate::suite::run_suite;
 
 /// Knobs for one collection pass.
@@ -65,10 +66,6 @@ impl Default for ObservatoryOptions {
     }
 }
 
-/// Seed shared by the recovery cell's faults, inputs, and recovery
-/// schedule — the committed profile corresponds to this seed.
-const RECOVERY_SEED: u64 = 1;
-
 /// Run every observatory workload and assemble the report. `perturb`
 /// re-times the causal workload under a what-if scenario (the blame
 /// section, `blame_*_pct`, and `causal_critical_end_ns` move; the
@@ -89,10 +86,28 @@ pub fn collect(opts: &ObservatoryOptions, perturb: Option<&Perturbation>) -> Obs
 /// Workload 2: diameter one-way transfer → causal DAG → (re-timed)
 /// critical-path blame.
 fn causal_blame(obs: &mut ObservatoryReport, perturb: Option<&Perturbation>) {
-    let dims = TorusDims::anton_512();
-    let timing = Timing::default();
-    let (_, rec) =
-        one_way_latency_recorded(dims, Coord::new(0, 0, 0), Coord::new(4, 4, 4), 0, false, 4);
+    let spec = presets::causal_pingpong();
+    let dims = spec.torus_dims();
+    let timing = spec.timing_table();
+    let Workload::PingPong {
+        from,
+        to,
+        payload_bytes,
+        bidirectional,
+        reps,
+    } = spec.workload
+    else {
+        unreachable!("causal_pingpong is a ping-pong spec");
+    };
+    let (_, rec) = one_way_latency_timed(
+        dims,
+        Coord::new(from.0, from.1, from.2),
+        Coord::new(to.0, to.1, to.2),
+        payload_bytes,
+        bidirectional,
+        reps,
+        timing.clone(),
+    );
     let g = {
         let rec = rec.borrow();
         CausalGraph::build(dims, rec.events(), |b| timing.injection_occupancy(b))
@@ -116,13 +131,11 @@ fn causal_blame(obs: &mut ObservatoryReport, perturb: Option<&Perturbation>) {
 /// summary into the metrics, wall-clock attribution shares into the
 /// informational section.
 fn parallel_runtime(obs: &mut ObservatoryReport) {
-    let dims = TorusDims::new(8, 8, 8);
-    let params = MdExchangeParams {
-        steps: 8,
-        ..Default::default()
-    };
+    let spec = presets::observatory_md();
+    let dims = spec.torus_dims();
+    let params = spec.md_params().expect("observatory_md is an MD spec");
     let (_, seq_prof) = run_md_exchange_par_profiled(dims, params, 1);
-    let (_, par_prof) = run_md_exchange_par_profiled(dims, params, 2);
+    let (_, par_prof) = run_md_exchange_par_profiled(dims, params, spec.threads as usize);
     RuntimeSummary::from_profile(&par_prof).record_into(&mut obs.metrics, "md");
 
     let attr = SpeedupAttribution::from_profile(seq_prof.wall_ns, &par_prof);
@@ -215,16 +228,19 @@ fn congestion(obs: &mut ObservatoryReport) {
 /// 0.1% transient drops plus one mid-collective node death on 4×4×4 —
 /// and its deterministic recovery counters.
 fn recovery(obs: &mut ObservatoryReport) {
-    let dims = TorusDims::new(4, 4, 4);
-    let inputs = random_inputs(dims, 2, RECOVERY_SEED);
-    let deaths = vec![(NodeId(5), SimTime::from_ns(900))];
-    let fault = FaultPlan::seeded(RECOVERY_SEED).with_drop_rate(1e-3);
+    let spec = presets::observatory_recovery();
+    let dims = spec.torus_dims();
+    let (vlen, seed) = match &spec.workload {
+        Workload::Recovering { vlen, seed, .. } => (*vlen as usize, *seed),
+        _ => unreachable!("observatory_recovery is a recovering spec"),
+    };
+    let inputs = random_inputs(dims, vlen, seed);
     let out = run_all_reduce_recovering(
         dims,
         &inputs,
-        fault,
-        &deaths,
-        RecoveryConfig::recovering(RECOVERY_SEED),
+        spec.fault_plan(),
+        &spec.deaths(),
+        spec.recovery_config(),
         RecoveringParams::default(),
     );
     assert!(out.completed, "recovery cell wedged");

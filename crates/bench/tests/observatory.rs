@@ -97,24 +97,39 @@ fn identical_runs_triage_clean() {
     assert_eq!(back.sections.len(), 4);
 }
 
-/// The committed `BENCH_trajectory.json` resolves every PR 3→8
+/// The committed `BENCH_trajectory.json` resolves every PR 3→9
 /// baseline, and the dashboard rendered from them is byte-
 /// deterministic, tag-balanced, and fully offline.
 #[test]
 fn committed_trajectory_renders_deterministically() {
     let root = repo_root();
     let index = TrajectoryIndex::load(&root.join("BENCH_trajectory.json")).expect("index parses");
-    for name in ["pr3", "pr4", "pr5", "pr6", "pr7", "pr8"] {
+    for name in ["pr3", "pr4", "pr5", "pr6", "pr7", "pr8", "pr9"] {
         assert!(index.resolve(name).is_some(), "baseline {name} missing");
     }
     let trajectory = index.load_reports(&root).expect("every baseline parses");
-    assert_eq!(trajectory.len(), 6);
+    assert_eq!(trajectory.len(), 7);
+
+    // The pr9 entry carries scenario provenance: the spec content hash
+    // and the deterministic engine fingerprint of its workload.
+    let provenance: Vec<(String, String, String)> = index
+        .entries
+        .iter()
+        .filter_map(|e| Some((e.name.clone(), e.spec_hash.clone()?, e.fingerprint.clone()?)))
+        .collect();
+    assert!(
+        provenance
+            .iter()
+            .any(|(n, s, f)| n == "pr9" && s.len() == 16 && f.len() == 16),
+        "pr9 baseline must carry spec-hash + fingerprint provenance"
+    );
 
     let input = DashboardInput {
         title: "anton perf observatory",
         trajectory: &trajectory,
         current: None,
         diff: None,
+        provenance: &provenance,
     };
     let a = render_dashboard(&input);
     let b = render_dashboard(&input);
@@ -129,6 +144,9 @@ fn committed_trajectory_renders_deterministically() {
         assert!(a.contains(&format!("<th>{name}</th>")), "{name} column");
     }
     assert!(a.contains("one_way_1hop_ns"));
+    // The provenance rows render pr9's spec hash and fingerprint.
+    assert!(a.contains("b6797d21d84d45e3"), "pr9 spec hash row");
+    assert!(a.contains("6fe2981e3e69315f"), "pr9 fingerprint row");
 }
 
 /// The committed quick profile (`BENCH_pr7.json`) stays consistent

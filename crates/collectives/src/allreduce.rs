@@ -580,8 +580,24 @@ pub fn run_all_reduce_par(
     run_all_reduce_par_inner(dims, algorithm, params, inputs, threads, false).0
 }
 
+/// [`run_all_reduce_par`] under a caller-supplied [`Timing`] model —
+/// the spec→builder plumbing a scenario-driven run uses to select a
+/// named timing profile instead of the Anton-1 default.
+///
+/// [`Timing`]: anton_net::Timing
+pub fn run_all_reduce_par_timed(
+    dims: TorusDims,
+    algorithm: Algorithm,
+    params: CollectiveParams,
+    inputs: &[Vec<f64>],
+    threads: usize,
+    timing: anton_net::Timing,
+) -> AllReduceOutcome {
+    run_all_reduce_par_with(dims, algorithm, params, inputs, threads, false, timing).0
+}
+
 /// [`run_all_reduce_par`] with runtime profiling enabled: also returns
-/// the engine's [`ParProfile`] (worker phase accounting, per-shard event
+/// the engine's [`ParProfile`](anton_des::ParProfile) (worker phase accounting, per-shard event
 /// counts, cross-shard traffic). The simulated outcome is bit-identical
 /// to the unprofiled run.
 pub fn run_all_reduce_par_profiled(
@@ -603,8 +619,28 @@ fn run_all_reduce_par_inner(
     threads: usize,
     profile: bool,
 ) -> (AllReduceOutcome, Option<anton_des::ParProfile>) {
+    run_all_reduce_par_with(
+        dims,
+        algorithm,
+        params,
+        inputs,
+        threads,
+        profile,
+        anton_net::Timing::default(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_all_reduce_par_with(
+    dims: TorusDims,
+    algorithm: Algorithm,
+    params: CollectiveParams,
+    inputs: &[Vec<f64>],
+    threads: usize,
+    profile: bool,
+    timing: anton_net::Timing,
+) -> (AllReduceOutcome, Option<anton_des::ParProfile>) {
     let fault = FaultPlan::none();
-    let timing = anton_net::Timing::default();
     let mut sim = ParSimulation::new(
         threads,
         || build_allreduce_fabric(dims, timing.clone(), &fault, algorithm),

@@ -470,12 +470,13 @@ fn build_recovering_fabric(
     fault: &FaultPlan,
     deaths: &[(NodeId, SimTime)],
     recovery: RecoveryConfig,
+    timing: &anton_net::Timing,
 ) -> Fabric {
     let mut plan = fault.clone();
     for &(node, at) in deaths {
         plan = plan.fail_node_at(node.coord(dims), at);
     }
-    Fabric::with_recovery(dims, anton_net::Timing::default(), plan, recovery)
+    Fabric::with_recovery(dims, timing.clone(), plan, recovery)
 }
 
 struct NodeView<'a> {
@@ -558,7 +559,33 @@ pub fn run_all_reduce_recovering(
     recovery: RecoveryConfig,
     params: RecoveringParams,
 ) -> RecoveringOutcome {
-    let fabric = build_recovering_fabric(dims, &fault, deaths, recovery);
+    run_all_reduce_recovering_timed(
+        dims,
+        inputs,
+        fault,
+        deaths,
+        recovery,
+        params,
+        anton_net::Timing::default(),
+    )
+}
+
+/// [`run_all_reduce_recovering`] under a caller-supplied [`Timing`]
+/// model — the spec→builder plumbing a scenario-driven run uses to
+/// select a named timing profile instead of the Anton-1 default.
+///
+/// [`Timing`]: anton_net::Timing
+#[allow(clippy::too_many_arguments)]
+pub fn run_all_reduce_recovering_timed(
+    dims: TorusDims,
+    inputs: &[Vec<f64>],
+    fault: FaultPlan,
+    deaths: &[(NodeId, SimTime)],
+    recovery: RecoveryConfig,
+    params: RecoveringParams,
+    timing: anton_net::Timing,
+) -> RecoveringOutcome {
+    let fabric = build_recovering_fabric(dims, &fault, deaths, recovery, &timing);
     let mut sim = Simulation::new(
         fabric,
         make_recovering_programs(dims, inputs, deaths, params),
@@ -590,9 +617,35 @@ pub fn run_all_reduce_recovering_par(
     params: RecoveringParams,
     threads: usize,
 ) -> RecoveringOutcome {
+    run_all_reduce_recovering_par_timed(
+        dims,
+        inputs,
+        fault,
+        deaths,
+        recovery,
+        params,
+        threads,
+        anton_net::Timing::default(),
+    )
+}
+
+/// [`run_all_reduce_recovering_par`] under a caller-supplied
+/// [`Timing`](anton_net::Timing) model.
+#[allow(clippy::too_many_arguments)]
+pub fn run_all_reduce_recovering_par_timed(
+    dims: TorusDims,
+    inputs: &[Vec<f64>],
+    fault: FaultPlan,
+    deaths: &[(NodeId, SimTime)],
+    recovery: RecoveryConfig,
+    params: RecoveringParams,
+    threads: usize,
+    timing: anton_net::Timing,
+) -> RecoveringOutcome {
+    let timing = &timing;
     let mut sim = ParSimulation::new(
         threads,
-        || build_recovering_fabric(dims, &fault, deaths, recovery),
+        move || build_recovering_fabric(dims, &fault, deaths, recovery, timing),
         make_recovering_programs(dims, inputs, deaths, params),
     );
     let completed = sim

@@ -213,7 +213,21 @@ fn outcome(
 
 /// Run the exchange workload sequentially (the reference executor).
 pub fn run_md_exchange(dims: TorusDims, params: MdExchangeParams) -> MdExchangeOutcome {
-    let fabric = Fabric::with_faults(dims, anton_net::Timing::default(), FaultPlan::none());
+    run_md_exchange_timed(dims, params, anton_net::Timing::default())
+}
+
+/// [`run_md_exchange`] under a caller-supplied [`Timing`] model — the
+/// spec→builder plumbing a [scenario]-driven run uses to select a named
+/// timing profile (e.g. `anton3`) instead of the Anton-1 default.
+///
+/// [`Timing`]: anton_net::Timing
+/// [scenario]: https://docs.rs/anton-scenario
+pub fn run_md_exchange_timed(
+    dims: TorusDims,
+    params: MdExchangeParams,
+    timing: anton_net::Timing,
+) -> MdExchangeOutcome {
+    let fabric = Fabric::with_faults(dims, timing, FaultPlan::none());
     let mut sim = Simulation::new(fabric, make_node(params));
     assert!(
         sim.run_guarded(SimTime(u64::MAX / 2), 1_000_000_000)
@@ -282,7 +296,18 @@ pub fn run_md_exchange_streamed(
     params: MdExchangeParams,
     cfg: StreamConfig,
 ) -> (MdExchangeOutcome, StreamSummary, StreamFootprint) {
-    let mut fabric = Fabric::with_faults(dims, anton_net::Timing::default(), FaultPlan::none());
+    run_md_exchange_streamed_timed(dims, params, cfg, anton_net::Timing::default())
+}
+
+/// [`run_md_exchange_streamed`] under a caller-supplied
+/// [`Timing`](anton_net::Timing) model.
+pub fn run_md_exchange_streamed_timed(
+    dims: TorusDims,
+    params: MdExchangeParams,
+    cfg: StreamConfig,
+    timing: anton_net::Timing,
+) -> (MdExchangeOutcome, StreamSummary, StreamFootprint) {
+    let mut fabric = Fabric::with_faults(dims, timing, FaultPlan::none());
     // Node-scoped uids keep packet identities (and so the deterministic
     // reservoir) bit-comparable with the sharded engine.
     fabric.enable_node_scoped_uids();
@@ -324,9 +349,21 @@ pub fn run_md_exchange_streamed_par(
     threads: usize,
     cfg: StreamConfig,
 ) -> (MdExchangeOutcome, StreamSummary) {
+    run_md_exchange_streamed_par_timed(dims, params, threads, cfg, anton_net::Timing::default())
+}
+
+/// [`run_md_exchange_streamed_par`] under a caller-supplied
+/// [`Timing`](anton_net::Timing) model.
+pub fn run_md_exchange_streamed_par_timed(
+    dims: TorusDims,
+    params: MdExchangeParams,
+    threads: usize,
+    cfg: StreamConfig,
+    timing: anton_net::Timing,
+) -> (MdExchangeOutcome, StreamSummary) {
     let mut sim = ParSimulation::new(
         threads,
-        move || Fabric::with_faults(dims, anton_net::Timing::default(), FaultPlan::none()),
+        move || Fabric::with_faults(dims, timing.clone(), FaultPlan::none()),
         make_node(params),
     );
     sim.attach_stream_observers(cfg);
@@ -394,7 +431,25 @@ pub fn run_md_exchange_par_mode_profiled(
     threads: usize,
     mode: LookaheadMode,
 ) -> (MdExchangeOutcome, anton_des::ParProfile) {
-    let (out, prof) = run_md_exchange_par_inner(dims, params, threads, true, Some(mode));
+    run_md_exchange_par_mode_profiled_timed(
+        dims,
+        params,
+        threads,
+        mode,
+        anton_net::Timing::default(),
+    )
+}
+
+/// [`run_md_exchange_par_mode_profiled`] under a caller-supplied
+/// [`Timing`](anton_net::Timing) model.
+pub fn run_md_exchange_par_mode_profiled_timed(
+    dims: TorusDims,
+    params: MdExchangeParams,
+    threads: usize,
+    mode: LookaheadMode,
+    timing: anton_net::Timing,
+) -> (MdExchangeOutcome, anton_des::ParProfile) {
+    let (out, prof) = run_md_exchange_par_with(dims, params, threads, true, Some(mode), timing);
     (out, prof.expect("profiling was enabled"))
 }
 
@@ -405,9 +460,27 @@ fn run_md_exchange_par_inner(
     profile: bool,
     mode: Option<LookaheadMode>,
 ) -> (MdExchangeOutcome, Option<anton_des::ParProfile>) {
+    run_md_exchange_par_with(
+        dims,
+        params,
+        threads,
+        profile,
+        mode,
+        anton_net::Timing::default(),
+    )
+}
+
+fn run_md_exchange_par_with(
+    dims: TorusDims,
+    params: MdExchangeParams,
+    threads: usize,
+    profile: bool,
+    mode: Option<LookaheadMode>,
+    timing: anton_net::Timing,
+) -> (MdExchangeOutcome, Option<anton_des::ParProfile>) {
     let mut sim = ParSimulation::new(
         threads,
-        move || Fabric::with_faults(dims, anton_net::Timing::default(), FaultPlan::none()),
+        move || Fabric::with_faults(dims, timing.clone(), FaultPlan::none()),
         make_node(params),
     );
     if let Some(mode) = mode {

@@ -44,7 +44,7 @@
 //! ## Determinism
 //!
 //! [`ParSimulation`] runs bit-identically at any thread count, and its
-//! merged statistics equal a sequential [`Simulation`] of the same
+//! merged statistics equal a sequential [`Simulation`](crate::Simulation) of the same
 //! machine (asserted in `tests/par_sim.rs` and in the CI determinism
 //! cross-check). The shard *count* is part of the plan, not derived from
 //! the thread count, precisely so that thread count never influences

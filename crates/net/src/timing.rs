@@ -143,6 +143,58 @@ impl Default for Timing {
 }
 
 impl Timing {
+    /// The Anton-1 calibration from the SC 2010 paper — identical to
+    /// [`Timing::default`], under its profile name so scenario specs can
+    /// select it explicitly.
+    pub fn anton1() -> Self {
+        Timing::default()
+    }
+
+    /// A second calibrated profile motivated by the Anton 3 network
+    /// paper (arXiv:2201.08357): one process generation and a full
+    /// redesign later, fixed per-hop costs are roughly halved and link
+    /// and ring rates roughly quadrupled. The edge values here are this
+    /// model's calibration choice (scaled from the Anton-1 numbers),
+    /// not measured Anton 3 figures — the profile exists so experiments
+    /// can ask "which conclusions survive a faster network?".
+    ///
+    /// ```
+    /// use anton_net::Timing;
+    /// let t = Timing::anton3();
+    /// // Exactly half the Anton-1 one-hop and diameter latencies.
+    /// assert_eq!(t.analytic_latency([1, 0, 0], 0).as_ns_f64(), 81.0);
+    /// assert_eq!(t.analytic_latency([4, 4, 4], 0).as_ns_f64(), 411.0);
+    /// ```
+    pub fn anton3() -> Self {
+        Timing {
+            send_setup_ns: 18.0,
+            send_issue_ns: 5.5,
+            send_ring_ns: 9.5,
+            adapter_ns: 10.0,
+            recv_ring_ns: 12.5,
+            deliver_poll_ns: 21.0,
+            transit_ring_x_ns: 18.0,
+            transit_ring_yz_ns: 7.0,
+            transit_ring_turn_ns: 7.0,
+            local_ring_ns: 14.0,
+            accum_poll_extra_ns: 50.0,
+            poll_busy_ns: 6.0,
+            fifo_pop_ns: 25.0,
+            link_raw_gbps: LINK_RAW_GBPS * 4.0,
+            ring_gbps: RING_GBPS * 4.0,
+        }
+    }
+
+    /// Look up a calibrated profile by name: `"anton1"` or `"anton3"`.
+    /// Returns `None` for unknown names (callers own the error message).
+    pub fn named(name: &str) -> Option<Self> {
+        match name {
+            "anton1" => Some(Timing::anton1()),
+            "anton3" => Some(Timing::anton3()),
+            _ => None,
+        }
+    }
+
     /// Bytes that actually cross a torus link for a given payload size
     /// (small payloads ride in the header; everything expands by the
     /// line-coding factor).

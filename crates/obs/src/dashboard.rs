@@ -41,6 +41,10 @@ pub struct DashboardInput<'a> {
     pub current: Option<&'a ObservatoryReport>,
     /// The current-vs-baseline diff, for the triage panel.
     pub diff: Option<&'a ObservatoryDiff>,
+    /// Scenario provenance per trajectory column: `(column label, spec
+    /// content hash, engine fingerprint)`. Columns without an entry
+    /// render an em-dash; pass `&[]` when no provenance is known.
+    pub provenance: &'a [(String, String, String)],
 }
 
 /// Categorical series slots, assigned in fixed order and never cycled.
@@ -166,7 +170,7 @@ pub fn render_dashboard(input: &DashboardInput<'_>) -> String {
     if let Some(diff) = input.diff {
         shift_tables(&mut h, diff);
     }
-    data_table(&mut h, input.trajectory);
+    data_table(&mut h, input.trajectory, input.provenance);
 
     h.push("</main></body></html>\n");
     debug_assert!(validate_html(&h.0).is_ok());
@@ -581,8 +585,15 @@ fn shift_tables(h: &mut Html, diff: &ObservatoryDiff) {
 }
 
 /// The accessibility fallback: every trajectory number in one plain
-/// table, no color or geometry required to read it.
-fn data_table(h: &mut Html, trajectory: &[(String, BenchReport)]) {
+/// table, no color or geometry required to read it. When scenario
+/// provenance is known, two leading rows carry each column's spec
+/// content hash and engine fingerprint so any number in the table can
+/// be traced back to (and replayed from) the run that produced it.
+fn data_table(
+    h: &mut Html,
+    trajectory: &[(String, BenchReport)],
+    provenance: &[(String, String, String)],
+) {
     if trajectory.is_empty() {
         return;
     }
@@ -597,6 +608,21 @@ fn data_table(h: &mut Html, trajectory: &[(String, BenchReport)]) {
         let _ = write!(h.0, "<th>{}</th>", html_escape(label));
     }
     h.push("</tr></thead>\n<tbody>\n");
+    if !provenance.is_empty() {
+        for (row_name, pick) in [("spec hash", 1usize), ("engine fingerprint", 2usize)] {
+            let _ = write!(h.0, "<tr><td>{row_name}</td>");
+            for (label, _) in trajectory {
+                match provenance.iter().find(|(l, _, _)| l == label) {
+                    Some(p) => {
+                        let v = if pick == 1 { &p.1 } else { &p.2 };
+                        let _ = write!(h.0, "<td><code>{}</code></td>", html_escape(v));
+                    }
+                    None => h.push("<td>&#8212;</td>"),
+                }
+            }
+            h.push("</tr>\n");
+        }
+    }
     for name in names {
         let _ = write!(h.0, "<tr><td>{}</td>", html_escape(name));
         for (_, r) in trajectory {
@@ -754,11 +780,17 @@ mod tests {
     fn rendering_is_byte_deterministic() {
         let (trajectory, base, cur) = fixture();
         let diff = cur.diff(&base, DiffConfig::default()).expect("comparable");
+        let provenance = vec![(
+            "pr4".to_owned(),
+            "8f00b204e9800998".to_owned(),
+            "458e528e99e105c2".to_owned(),
+        )];
         let input = DashboardInput {
             title: "anton perf observatory",
             trajectory: &trajectory,
             current: Some(&cur),
             diff: Some(&diff),
+            provenance: &provenance,
         };
         let a = render_dashboard(&input);
         let b = render_dashboard(&input);
@@ -771,11 +803,17 @@ mod tests {
     fn rendered_document_is_balanced_and_offline() {
         let (trajectory, base, cur) = fixture();
         let diff = cur.diff(&base, DiffConfig::default()).expect("comparable");
+        let provenance = vec![(
+            "pr3".to_owned(),
+            "0011223344556677".to_owned(),
+            "8899aabbccddeeff".to_owned(),
+        )];
         let html = render_dashboard(&DashboardInput {
             title: "anton perf observatory",
             trajectory: &trajectory,
             current: Some(&cur),
             diff: Some(&diff),
+            provenance: &provenance,
         });
         validate_html(&html).expect("balanced");
         // Self-contained: no external fetches of any kind.
@@ -795,6 +833,7 @@ mod tests {
             trajectory: &trajectory,
             current: None,
             diff: None,
+            provenance: &[],
         });
         validate_html(&html).expect("balanced despite hostile names");
         assert!(html.contains("evil&lt;script&gt;&amp;&quot;name"));
@@ -808,6 +847,7 @@ mod tests {
             trajectory: &[],
             current: None,
             diff: None,
+            provenance: &[],
         });
         validate_html(&html).expect("balanced");
     }
@@ -821,6 +861,41 @@ mod tests {
         assert!(validate_html("<div>ok</div>").is_ok());
         assert!(validate_html("<br><img src=\"x\"><div a=\"5>3\"></div>").is_ok());
         assert!(validate_html("<svg><rect x=\"0\"/></svg>").is_ok());
+    }
+
+    #[test]
+    fn provenance_rows_render_per_column_with_fallback_dashes() {
+        let (trajectory, _, _) = fixture();
+        let provenance = vec![(
+            "pr4".to_owned(),
+            "deadbeefdeadbeef".to_owned(),
+            "458e528e99e105c2".to_owned(),
+        )];
+        let html = render_dashboard(&DashboardInput {
+            title: "prov",
+            trajectory: &trajectory,
+            current: None,
+            diff: None,
+            provenance: &provenance,
+        });
+        validate_html(&html).expect("balanced");
+        assert!(html.contains("spec hash"));
+        assert!(html.contains("<code>deadbeefdeadbeef</code>"));
+        assert!(html.contains("<code>458e528e99e105c2</code>"));
+        // Columns without provenance (pr3, pr7) fall back to em-dashes:
+        // two provenance rows x two unknown columns.
+        let dashes = html.matches("<td>&#8212;</td>").count();
+        assert!(dashes >= 4, "expected fallback dashes, got {dashes}");
+
+        // No provenance, no extra rows.
+        let bare = render_dashboard(&DashboardInput {
+            title: "prov",
+            trajectory: &trajectory,
+            current: None,
+            diff: None,
+            provenance: &[],
+        });
+        assert!(!bare.contains("spec hash"));
     }
 
     #[test]

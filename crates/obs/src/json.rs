@@ -263,14 +263,14 @@ impl<'a> Parser<'a> {
 ///
 /// [`regress`]: crate::regress
 /// [`observatory`]: crate::observatory
-pub(crate) struct Lex<'a> {
+pub struct Lex<'a> {
     pub(crate) s: &'a [u8],
     pub(crate) i: usize,
 }
 
 impl<'a> Lex<'a> {
     /// A cursor at the start of `s` (validate it first).
-    pub(crate) fn new(s: &'a str) -> Lex<'a> {
+    pub fn new(s: &'a str) -> Lex<'a> {
         Lex {
             s: s.as_bytes(),
             i: 0,
@@ -283,12 +283,14 @@ impl<'a> Lex<'a> {
         }
     }
 
-    pub(crate) fn peek(&mut self) -> Option<u8> {
+    /// The next non-whitespace byte, without consuming it.
+    pub fn peek(&mut self) -> Option<u8> {
         self.ws();
         self.s.get(self.i).copied()
     }
 
-    pub(crate) fn expect(&mut self, b: u8) -> Result<(), String> {
+    /// Consume exactly the byte `b` (after whitespace) or error.
+    pub fn expect(&mut self, b: u8) -> Result<(), String> {
         self.ws();
         if self.s.get(self.i) == Some(&b) {
             self.i += 1;
@@ -299,7 +301,7 @@ impl<'a> Lex<'a> {
     }
 
     /// Consume `,` (returning true) or the given closer (false).
-    pub(crate) fn comma_or(&mut self, close: u8) -> Result<bool, String> {
+    pub fn comma_or(&mut self, close: u8) -> Result<bool, String> {
         self.ws();
         match self.s.get(self.i) {
             Some(b',') => {
@@ -317,7 +319,8 @@ impl<'a> Lex<'a> {
         }
     }
 
-    pub(crate) fn string(&mut self) -> Result<String, String> {
+    /// A quoted JSON string literal, unescaped.
+    pub fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
         while let Some(&b) = self.s.get(self.i) {
@@ -358,7 +361,8 @@ impl<'a> Lex<'a> {
         Err("unterminated string".to_owned())
     }
 
-    pub(crate) fn number(&mut self) -> Result<f64, String> {
+    /// A JSON number, parsed as `f64`.
+    pub fn number(&mut self) -> Result<f64, String> {
         self.ws();
         let start = self.i;
         while let Some(&b) = self.s.get(self.i) {
@@ -375,7 +379,7 @@ impl<'a> Lex<'a> {
     }
 
     /// A `true`/`false` literal.
-    pub(crate) fn boolean(&mut self) -> Result<bool, String> {
+    pub fn boolean(&mut self) -> Result<bool, String> {
         self.ws();
         for (lit, v) in [("true", true), ("false", false)] {
             if self.s[self.i..].starts_with(lit.as_bytes()) {

@@ -84,7 +84,7 @@ pub use chrome_trace::{lifecycles_csv, ChromeTraceBuilder, ChromeTraceWriter, Li
 pub use congestion::{CongestionMap, LinkLoad, RouterLoad};
 pub use dashboard::{render_dashboard, validate_html, DashboardInput};
 pub use fingerprint::{fnv1a64, Fingerprint};
-pub use json::validate_json;
+pub use json::{validate_json, Lex};
 pub use memory::{MemReport, MemScope, MemTag};
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use observatory::{

@@ -216,6 +216,14 @@ impl ObservatoryReport {
     pub fn parse(s: &str) -> Result<ObservatoryReport, String> {
         validate_json(s).map_err(|e| format!("not valid JSON: {e:?}"))?;
         let mut p = Lex::new(s);
+        ObservatoryReport::parse_object(&mut p)
+    }
+
+    /// Parse the report object at the cursor — the embeddable form the
+    /// scenario run ledger uses to nest a full observatory report
+    /// inside its own document. The caller validates the enclosing
+    /// JSON first.
+    pub fn parse_object(p: &mut Lex<'_>) -> Result<ObservatoryReport, String> {
         let mut report = ObservatoryReport::new("");
         let mut saw_schema = false;
         p.expect(b'{')?;
@@ -228,7 +236,7 @@ impl ObservatoryReport {
                     saw_schema = true;
                 }
                 "label" => report.label = p.string()?,
-                "metrics" => report.metrics = BenchReport::parse_object(&mut p)?,
+                "metrics" => report.metrics = BenchReport::parse_object(p)?,
                 "sections" => {
                     p.expect(b'{')?;
                     if p.peek() == Some(b'}') {
@@ -237,7 +245,7 @@ impl ObservatoryReport {
                         loop {
                             let name = p.string()?;
                             p.expect(b':')?;
-                            report.sections.insert(name, parse_section(&mut p)?);
+                            report.sections.insert(name, parse_section(p)?);
                             if !p.comma_or(b'}')? {
                                 break;
                             }
@@ -649,6 +657,13 @@ pub struct TrajectoryEntry {
     pub path: String,
     /// One-line description of what the baseline covers.
     pub note: String,
+    /// Content hash of the `ScenarioSpec` this baseline's workload was
+    /// built from, when the workload is spec-driven (16 hex chars).
+    pub spec_hash: Option<String>,
+    /// Engine fingerprint of the spec's deterministic replay (16 hex
+    /// chars) — together with `spec_hash` the provenance the dashboard
+    /// shows per trajectory column.
+    pub fingerprint: Option<String>,
 }
 
 /// The committed `BENCH_trajectory.json`: the ordered list of named
@@ -671,12 +686,40 @@ impl TrajectoryIndex {
             name: name.to_owned(),
             path: path.to_owned(),
             note: note.to_owned(),
+            spec_hash: None,
+            fingerprint: None,
+        });
+    }
+
+    /// Append one named baseline carrying scenario provenance: the spec
+    /// content hash and the deterministic engine fingerprint of the
+    /// workload the baseline was generated from.
+    pub fn push_with_provenance(
+        &mut self,
+        name: &str,
+        path: &str,
+        note: &str,
+        spec_hash: &str,
+        fingerprint: &str,
+    ) {
+        self.entries.push(TrajectoryEntry {
+            name: name.to_owned(),
+            path: path.to_owned(),
+            note: note.to_owned(),
+            spec_hash: Some(spec_hash.to_owned()),
+            fingerprint: Some(fingerprint.to_owned()),
         });
     }
 
     /// Resolve a baseline by name.
     pub fn resolve(&self, name: &str) -> Option<&TrajectoryEntry> {
         self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Every baseline name in index order — the "did you mean" list the
+    /// CLIs print when a name or report path fails to resolve.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
     }
 
     /// Serialize to the stable JSON document.
@@ -692,11 +735,18 @@ impl TrajectoryIndex {
             first = false;
             let _ = write!(
                 out,
-                "\n    {{\n      \"name\": {},\n      \"path\": {},\n      \"note\": {}\n    }}",
+                "\n    {{\n      \"name\": {},\n      \"path\": {},\n      \"note\": {}",
                 escape(&e.name),
                 escape(&e.path),
                 escape(&e.note)
             );
+            if let Some(h) = &e.spec_hash {
+                let _ = write!(out, ",\n      \"spec\": {}", escape(h));
+            }
+            if let Some(fp) = &e.fingerprint {
+                let _ = write!(out, ",\n      \"fingerprint\": {}", escape(fp));
+            }
+            out.push_str("\n    }");
         }
         out.push_str("\n  ]\n}\n");
         validate_json(&out).expect("trajectory JSON is well-formed by construction");
@@ -725,6 +775,8 @@ impl TrajectoryIndex {
                                 name: String::new(),
                                 path: String::new(),
                                 note: String::new(),
+                                spec_hash: None,
+                                fingerprint: None,
                             };
                             p.expect(b'{')?;
                             loop {
@@ -734,6 +786,8 @@ impl TrajectoryIndex {
                                     "name" => entry.name = p.string()?,
                                     "path" => entry.path = p.string()?,
                                     "note" => entry.note = p.string()?,
+                                    "spec" => entry.spec_hash = Some(p.string()?),
+                                    "fingerprint" => entry.fingerprint = Some(p.string()?),
                                     other => return Err(format!("unexpected entry key {other:?}")),
                                 }
                                 if !p.comma_or(b'}')? {

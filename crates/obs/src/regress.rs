@@ -130,7 +130,7 @@ impl BenchReport {
     /// Write the report object (no trailing newline) at `indent`
     /// leading spaces per nesting level base — the embeddable form the
     /// observatory report uses to nest a `BenchReport` verbatim.
-    pub(crate) fn write_json_into(&self, out: &mut String, indent: usize) {
+    pub fn write_json_into(&self, out: &mut String, indent: usize) {
         let pad = " ".repeat(indent);
         out.push_str("{\n");
         out.push_str(&format!("{pad}  \"schema\": {},\n", self.schema));
@@ -175,7 +175,7 @@ impl BenchReport {
 
     /// Parse the report object at the cursor (shared with the
     /// observatory parser, which embeds a report under `"metrics"`).
-    pub(crate) fn parse_object(p: &mut Lex<'_>) -> Result<BenchReport, String> {
+    pub fn parse_object(p: &mut Lex<'_>) -> Result<BenchReport, String> {
         let mut report = BenchReport {
             schema: 0,
             label: String::new(),

@@ -1,0 +1,30 @@
+//! # anton-scenario — first-class scenario specs and the run ledger
+//!
+//! The provenance layer of the simulator: a declarative
+//! [`ScenarioSpec`] describes *everything* that affects a run —
+//! topology, timing profile, workload, fault and recovery policy,
+//! chaos knobs, thread budget, lookahead and observability modes — and
+//! hashes to a stable content address ([`ScenarioSpec::content_hash`])
+//! that is independent of spec-file formatting. Runs executed from a
+//! spec land in a content-addressed ledger ([`ledger::RunRecord`])
+//! keyed by that hash, alongside the engine fingerprint they produced,
+//! so any committed experiment can be replayed and checked bit-exactly
+//! from nothing but its hash (`scenario verify`).
+//!
+//! The standing experiments the bench binaries run are captured as
+//! [`presets`], so a bin's wiring and the spec the CLI hashes are the
+//! same object.
+
+#![warn(missing_docs)]
+
+pub mod ledger;
+pub mod presets;
+pub mod spec;
+pub mod toml;
+
+pub use ledger::{
+    env_snapshot, toolchain_snapshot, LedgerEntry, LedgerIndex, RunRecord, CAPTURED_ENV,
+};
+pub use spec::{
+    AlgorithmSpec, ChaosSpec, FaultSpec, RecoverySpec, ScenarioSpec, TimingProfile, Workload,
+};

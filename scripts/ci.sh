@@ -126,6 +126,30 @@ full_gate() {
   # Perf-regression gate: the quick canonical suite must stay within 10%
   # of the committed baseline (named 'pr3' in BENCH_trajectory.json).
   scripts/bench_regress.sh
+
+  # Scenario-provenance gate: re-run both committed specs through the
+  # scenario CLI (each executes at 1 and 4 threads and refuses to ledger
+  # on any fingerprint divergence), replay-verify every LEDGER.json
+  # entry from its committed spec file, and prove the cross-run diff
+  # still names the shifted component. The committed LEDGER.json and
+  # specs/ must not drift: a spec edit without a `scenario run` (or a
+  # run that changed a fingerprint) fails here.
+  cargo run -q --release -p anton-bench --bin scenario -- \
+    run specs/md_balanced.toml --index LEDGER.json --note "baseline MD exchange"
+  cargo run -q --release -p anton-bench --bin scenario -- \
+    run specs/md_skewed.toml --index LEDGER.json --note "40ns compute skew variant"
+  cargo run -q --release -p anton-bench --bin scenario -- \
+    verify --all --index LEDGER.json
+  cargo run -q --release -p anton-bench --bin scenario -- \
+    diff md_balanced md_skewed --index LEDGER.json > target/obs/scenario_diff.txt
+  grep -q "critical path moved\|leader moved" target/obs/scenario_diff.txt || {
+    echo "ci: scenario diff lost its component attribution" >&2
+    exit 1
+  }
+  git diff --exit-code LEDGER.json specs/ || {
+    echo "ci: LEDGER.json or specs/ drifted from the committed copies" >&2
+    exit 1
+  }
 }
 
 nightly_gate() {
